@@ -1,0 +1,96 @@
+// Ablation: exploration schedule — sweep the decay factor α and the
+// initial exploration rate ε₀ of Algorithm 1 and report convergence speed
+// (first round within 25% of the full-fit RMSE) and final accuracy on the
+// Cycles table.
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/epsilon_greedy.hpp"
+#include "core/evaluator.hpp"
+#include "experiments/datasets.hpp"
+#include "experiments/report.hpp"
+
+namespace {
+
+std::size_t rounds_to_reach(const std::vector<double>& series, double target) {
+  for (std::size_t r = 0; r < series.size(); ++r) {
+    if (series[r] <= target) return r + 1;
+  }
+  return series.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bw::core;
+  bw::CliParser cli("Ablation — decay factor and initial epsilon sweep");
+  cli.add_flag("sims", "10", "simulations per setting");
+  cli.add_flag("rounds", "100", "rounds per simulation");
+  cli.add_flag("groups", "400", "Cycles dataset size");
+  cli.add_flag("seed", "6262", "base seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::puts("=== Ablation: decaying-epsilon schedule (alpha, epsilon0) ===");
+  std::fputs(bw::exp::substitution_note().c_str(), stdout);
+
+  const auto sims = static_cast<std::size_t>(cli.get_int("sims"));
+  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+  const auto dataset = bw::exp::build_cycles_dataset(
+      static_cast<std::size_t>(cli.get_int("groups")));
+  const auto& table = dataset.table;
+
+  ReplayConfig config;
+  config.num_rounds = rounds;
+  config.accuracy_tolerance.seconds = 20.0;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const FullFit baseline = fit_full_table(table, config.accuracy_tolerance);
+  const double target = baseline.metrics.rmse * 1.25;
+  std::printf("full-fit rmse=%.1f (convergence target: within +25%%)\n",
+              baseline.metrics.rmse);
+
+  struct Setting {
+    double alpha;
+    double epsilon0;
+  };
+  const Setting settings[] = {
+      {1.00, 1.0},   // never stop exploring
+      {0.99, 1.0},   // the paper's configuration
+      {0.95, 1.0},  {0.90, 1.0},  {0.50, 1.0},
+      {0.99, 0.5},  {0.99, 0.2},  {0.99, 0.0},  // greedy from the start
+  };
+
+  bw::Table out({"alpha", "epsilon0", "rounds to converge", "final rmse",
+                 "final accuracy", "mean cum. regret"});
+  for (const auto& [alpha, epsilon0] : settings) {
+    EpsilonGreedyConfig policy_config;
+    policy_config.decay = alpha;
+    policy_config.initial_epsilon = epsilon0;
+    policy_config.tolerance.seconds = 20.0;
+
+    const MultiSimResult result = run_simulations(
+        [&] {
+          return std::make_unique<DecayingEpsilonGreedy>(table.catalog(),
+                                                         table.num_features(),
+                                                         policy_config);
+        },
+        table, config, sims);
+
+    double regret = 0.0;
+    for (double r : result.cumulative_regret) regret += r;
+    regret /= static_cast<double>(result.cumulative_regret.size());
+    out.add_row({bw::format_double(alpha, 2), bw::format_double(epsilon0, 2),
+                 std::to_string(rounds_to_reach(result.rmse.mean, target)),
+                 bw::format_double(result.rmse.mean.back(), 1),
+                 bw::format_double(result.accuracy.mean.back(), 3),
+                 bw::format_double(regret, 1)});
+  }
+  std::fputs(out.to_string().c_str(), stdout);
+
+  std::puts("\nexpected: alpha=0.99/eps0=1 (paper) converges in tens of rounds with");
+  std::puts("moderate regret; eps0=0 never explores slow arms (low regret but can");
+  std::puts("lock onto stale models); alpha=1 keeps paying exploration forever.");
+  return 0;
+}

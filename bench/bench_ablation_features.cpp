@@ -1,0 +1,90 @@
+// Ablation: which workflow features carry signal? The paper trains BP3D
+// with "all features" (Fig. 7) and with "only area" (Fig. 6); this bench
+// completes the sweep — every single-feature view plus all-features —
+// reporting converged RMSE and accuracy. It quantifies the paper's claim
+// that area is the dominant predictor and the extra Table-1 features add
+// little on noise-dominated data.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/epsilon_greedy.hpp"
+#include "core/evaluator.hpp"
+#include "experiments/datasets.hpp"
+#include "experiments/report.hpp"
+
+namespace {
+
+struct FeatureSetResult {
+  double final_rmse = 0.0;
+  double final_accuracy = 0.0;
+  double full_fit_rmse = 0.0;
+};
+
+FeatureSetResult evaluate_feature_set(const bw::core::RunTable& table, std::size_t sims,
+                                      std::size_t rounds, std::uint64_t seed) {
+  using namespace bw::core;
+  ReplayConfig config;
+  config.num_rounds = rounds;
+  config.per_round_metrics = false;
+  config.seed = seed;
+  const MultiSimResult result = run_simulations(
+      [&table] {
+        return std::make_unique<DecayingEpsilonGreedy>(table.catalog(),
+                                                       table.num_features(),
+                                                       EpsilonGreedyConfig{});
+      },
+      table, config, sims);
+
+  FeatureSetResult out;
+  for (double r : result.final_rmse) out.final_rmse += r;
+  out.final_rmse /= static_cast<double>(result.final_rmse.size());
+  for (double a : result.final_accuracy) out.final_accuracy += a;
+  out.final_accuracy /= static_cast<double>(result.final_accuracy.size());
+  out.full_fit_rmse = result.full_fit_metrics.rmse;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bw::CliParser cli("Ablation — BP3D feature-set sweep");
+  cli.add_flag("groups", "600", "BP3D dataset size");
+  cli.add_flag("sims", "12", "simulations per feature set");
+  cli.add_flag("rounds", "60", "rounds per simulation");
+  cli.add_flag("seed", "8282", "base seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::puts("=== Ablation: which BP3D features carry runtime signal? ===");
+  std::fputs(bw::exp::substitution_note().c_str(), stdout);
+
+  const auto dataset = bw::exp::build_bp3d_dataset(
+      static_cast<std::size_t>(cli.get_int("groups")));
+  const auto sims = static_cast<std::size_t>(cli.get_int("sims"));
+  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  bw::Table table({"feature set", "bandit rmse (final)", "full-fit rmse", "accuracy"});
+  auto add_row = [&](const std::string& label, const bw::core::RunTable& view,
+                     std::uint64_t row_seed) {
+    const FeatureSetResult result = evaluate_feature_set(view, sims, rounds, row_seed);
+    table.add_row({label, bw::format_double(result.final_rmse, 0),
+                   bw::format_double(result.full_fit_rmse, 0),
+                   bw::format_double(result.final_accuracy, 3)});
+  };
+
+  add_row("ALL (paper Fig. 7)", dataset.table, seed);
+  std::uint64_t row_seed = seed + 1;
+  for (const auto& feature : dataset.table.feature_names()) {
+    add_row(feature, dataset.table.select_features({feature}), row_seed++);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nexpected: 'area' (and the correlated rss bytes) achieve nearly the");
+  std::puts("full-fit RMSE alone; weather features barely beat a constant model;");
+  std::puts("accuracy stays ~1/3 for every set (hardware interchangeability is");
+  std::puts("a property of the arms, not of the features).");
+  return 0;
+}

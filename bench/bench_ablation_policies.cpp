@@ -1,0 +1,117 @@
+// Ablation: the paper's Decaying Contextual ε-Greedy vs. the policy family
+// its future work points to (LinUCB, linear Thompson sampling) and the
+// non-contextual baselines (UCB1, mean ε-greedy, random, oracle). Run on
+// the Cycles table (clear hardware trade-off) and the BP3D table (none).
+
+#include <cstdio>
+#include <memory>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/baselines.hpp"
+#include "core/epsilon_greedy.hpp"
+#include "core/evaluator.hpp"
+#include "core/linucb.hpp"
+#include "core/thompson.hpp"
+#include "experiments/datasets.hpp"
+#include "experiments/report.hpp"
+
+namespace {
+
+struct NamedFactory {
+  std::string name;
+  bw::core::PolicyFactory factory;
+};
+
+std::vector<NamedFactory> make_factories(const bw::core::RunTable& table) {
+  using namespace bw::core;
+  const auto& catalog = table.catalog();
+  const std::size_t dims = table.num_features();
+  std::vector<NamedFactory> factories;
+  factories.push_back({"eps-greedy (paper)", [&catalog, dims] {
+                         EpsilonGreedyConfig config;  // alpha=0.99, eps0=1
+                         return std::make_unique<DecayingEpsilonGreedy>(catalog, dims,
+                                                                        config);
+                       }});
+  factories.push_back({"linucb", [&catalog, dims] {
+                         return std::make_unique<LinUcb>(catalog, dims, LinUcbConfig{});
+                       }});
+  factories.push_back({"thompson", [&catalog, dims] {
+                         return std::make_unique<LinearThompson>(catalog, dims,
+                                                                 ThompsonConfig{});
+                       }});
+  factories.push_back({"ucb1 (no context)", [&catalog] {
+                         return std::make_unique<Ucb1>(catalog.size());
+                       }});
+  factories.push_back({"mean-eps-greedy", [&catalog] {
+                         return std::make_unique<MeanEpsilonGreedy>(catalog.size(), 0.1);
+                       }});
+  factories.push_back({"random", [&catalog] {
+                         return std::make_unique<RandomPolicy>(catalog.size());
+                       }});
+  return factories;
+}
+
+void run_suite(const std::string& title, const bw::core::RunTable& table,
+               std::size_t sims, std::size_t rounds, std::uint64_t seed) {
+  using namespace bw::core;
+  std::printf("\n-- %s (%zu groups, %zu arms, %zu sims x %zu rounds) --\n", title.c_str(),
+              table.num_groups(), table.num_arms(), sims, rounds);
+
+  ReplayConfig config;
+  config.num_rounds = rounds;
+  config.per_round_metrics = false;  // final metrics + regret only
+  config.seed = seed;
+
+  bw::Table out({"policy", "final rmse", "final accuracy", "mean cum. regret"});
+  for (const auto& [name, factory] : make_factories(table)) {
+    const MultiSimResult result = run_simulations(factory, table, config, sims);
+    double regret = 0.0;
+    for (double r : result.cumulative_regret) regret += r;
+    regret /= static_cast<double>(result.cumulative_regret.size());
+    double rmse = 0.0;
+    double accuracy = 0.0;
+    for (std::size_t s = 0; s < sims; ++s) {
+      rmse += result.final_rmse[s];
+      accuracy += result.final_accuracy[s];
+    }
+    out.add_row({name, bw::format_double(rmse / static_cast<double>(sims), 1),
+                 bw::format_double(accuracy / static_cast<double>(sims), 3),
+                 bw::format_double(regret, 1)});
+  }
+  // Oracle reference: picks the true best arm every round (regret 0).
+  out.add_row({"oracle (reference)", "-", "1.0", "0.0"});
+  std::fputs(out.to_string().c_str(), stdout);
+
+  const FullFit baseline = fit_full_table(table, {});
+  std::printf("full-fit baseline: rmse=%.1f accuracy=%.3f\n", baseline.metrics.rmse,
+              baseline.metrics.accuracy);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bw::CliParser cli("Ablation — policy family comparison");
+  cli.add_flag("sims", "20", "simulations per policy");
+  cli.add_flag("rounds", "100", "rounds per simulation");
+  cli.add_flag("seed", "4242", "base seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::puts("=== Ablation: contextual vs non-contextual policies ===");
+  std::fputs(bw::exp::substitution_note().c_str(), stdout);
+
+  const auto sims = static_cast<std::size_t>(cli.get_int("sims"));
+  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const auto cycles = bw::exp::build_cycles_dataset(400);
+  run_suite("Cycles (separated hardware)", cycles.table, sims, rounds, seed);
+
+  const auto bp3d = bw::exp::build_bp3d_dataset(400);
+  run_suite("BP3D (near-identical hardware)", bp3d.table, sims, rounds, seed + 1);
+
+  std::puts("\nexpected: contextual policies dominate on Cycles (context carries");
+  std::puts("the num_tasks signal); on BP3D every policy collapses to random-guess");
+  std::puts("accuracy because the arms are interchangeable (paper Section 4.2).");
+  return 0;
+}

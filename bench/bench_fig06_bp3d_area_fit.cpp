@@ -1,0 +1,64 @@
+// Reproduces paper Fig. 6: contextual bandit vs. full-data baseline on the
+// `area` feature, one panel per NDP hardware setting (n_sim = 100,
+// n_rounds = 50).
+
+#include <cstdio>
+
+#include "common/ascii_plot.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "experiments/datasets.hpp"
+#include "experiments/exp2_bp3d.hpp"
+#include "experiments/report.hpp"
+
+int main(int argc, char** argv) {
+  bw::CliParser cli("Fig. 6 — bandit vs baseline, area feature");
+  cli.add_flag("groups", "1316", "dataset size (paper: 1316)");
+  cli.add_flag("sims", "100", "simulations (paper: n_sim = 100)");
+  cli.add_flag("rounds", "50", "rounds per simulation (paper: n_rounds = 50)");
+  cli.add_flag("seed", "9103", "base seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::puts("=== Fig. 6: bandit vs baseline fits on area (runtime ~ area) ===");
+  std::fputs(bw::exp::substitution_note().c_str(), stdout);
+
+  const auto dataset = bw::exp::build_bp3d_dataset(
+      static_cast<std::size_t>(cli.get_int("groups")));
+  const auto result = bw::exp::run_fig6_bp3d_area_fit(
+      dataset, static_cast<std::size_t>(cli.get_int("sims")),
+      static_cast<std::size_t>(cli.get_int("rounds")),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  bw::Table table({"hardware", "bandit slope", "bandit intercept", "baseline slope",
+                   "baseline intercept"});
+  for (const auto& arm : result.arms) {
+    table.add_row({arm.hardware, bw::format_double(arm.bandit_slope, 6),
+                   bw::format_double(arm.bandit_intercept, 1),
+                   bw::format_double(arm.baseline_slope, 6),
+                   bw::format_double(arm.baseline_intercept, 1)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // One panel per hardware: predicted (bandit and baseline) across the
+  // area axis — the lines of the paper's three panels.
+  for (std::size_t arm = 0; arm < result.arms.size(); ++arm) {
+    std::vector<bw::Series> series(2);
+    series[0].name = "bandit";
+    series[0].marker = '*';
+    series[1].name = "baseline";
+    series[1].marker = '=';
+    for (double area = 1.0e6; area <= 2.5e6; area += 0.05e6) {
+      series[0].ys.push_back(result.arms[arm].bandit_slope * area +
+                             result.arms[arm].bandit_intercept);
+      series[1].ys.push_back(result.arms[arm].baseline_slope * area +
+                             result.arms[arm].baseline_intercept);
+    }
+    bw::PlotOptions options;
+    options.title = "Hardware=" + std::to_string(arm) + "  predicted runtime vs area (1M..2.5M m^2)";
+    std::fputs(bw::plot_lines(series, options).c_str(), stdout);
+  }
+
+  std::puts("expected shape (paper): the bandit's line closely matches the");
+  std::puts("baseline on every hardware panel, 'although the noise is slightly off'.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 8: RMSE and R² distributions for 100 linear
+// regression models on the matrix-multiplication data — full dataset vs.
+// the truncated (size >= 5000) dataset — plus training durations.
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "experiments/datasets.hpp"
+#include "experiments/exp3_matmul.hpp"
+#include "experiments/paper_refs.hpp"
+#include "experiments/report.hpp"
+
+int main(int argc, char** argv) {
+  namespace paper = bw::exp::paper;
+  bw::CliParser cli("Fig. 8 — linear regressions on matmul data");
+  cli.add_flag("scale", "1.0", "dataset scale (1.0 = paper's 2520 runs)");
+  cli.add_flag("seed", "9201", "experiment seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::puts("=== Fig. 8: linear-regression baseline distributions (matmul) ===");
+  std::fputs(bw::exp::substitution_note().c_str(), stdout);
+
+  const auto dataset = bw::exp::build_matmul_dataset(cli.get_double("scale"));
+  std::printf("dataset: %zu runs (%zu with size >= 5000), hardware: %s\n",
+              dataset.table.num_groups(), dataset.subset.num_groups(),
+              dataset.catalog.to_string().c_str());
+
+  const auto result = bw::exp::run_fig8_matmul_linreg(
+      dataset, static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  std::fputs(bw::exp::render_linreg_report(result.full, "rmse_all / r2_all (full dataset)")
+                 .c_str(),
+             stdout);
+  std::fputs(bw::exp::render_linreg_report(result.truncated,
+                                           "rmse_truncated / r2_truncated (size >= 5000)")
+                 .c_str(),
+             stdout);
+
+  std::puts("paper-vs-measured:");
+  std::fputs(bw::exp::compare_row("R2 mean (full)", paper::kMatmulLinRegR2MeanFull,
+                                  result.full.r2.mean, "runtime ~ size is mostly linear")
+                 .c_str(),
+             stdout);
+  std::fputs(bw::exp::compare_row("R2 mean (truncated)", paper::kMatmulLinRegR2MeanTrunc,
+                                  result.truncated.r2.mean)
+                 .c_str(),
+             stdout);
+  std::fputs(bw::exp::compare_row("R2 min (full)", paper::kMatmulLinRegR2MinFull,
+                                  result.full.r2.min)
+                 .c_str(),
+             stdout);
+  std::printf("  rmse relative spread (max/min): paper=%.2f measured=%.2f (full), "
+              "paper=%.2f measured=%.2f (truncated)\n",
+              paper::kMatmulLinRegRmseMaxFull / paper::kMatmulLinRegRmseMinFull,
+              result.full.rmse.max / result.full.rmse.min,
+              paper::kMatmulLinRegRmseMaxTrunc / paper::kMatmulLinRegRmseMinTrunc,
+              result.truncated.rmse.max / result.truncated.rmse.min);
+  std::printf("  train seconds (mean): paper=1.5572 measured=%.4f (per 25-sample model)\n",
+              result.full.seconds.mean);
+  return 0;
+}

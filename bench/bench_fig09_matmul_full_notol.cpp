@@ -1,0 +1,15 @@
+// Paper Fig. 9: accuracy and RMSE on the FULL matmul dataset, size-only
+// feature, no tolerance — the regime where short runs make best-hardware
+// prediction nearly random.
+
+#include "matmul_learning_common.hpp"
+
+int main(int argc, char** argv) {
+  bw::exp::benchutil::MatmulFigureSpec spec;
+  spec.figure = "Fig. 9";
+  spec.description = "full dataset, size feature, no tolerance";
+  spec.subset = false;
+  spec.paper_accuracy = bw::exp::paper::kMatmulFullAccuracy;
+  spec.accuracy_note = "well below the subset regime; dominated by sub-minute runs";
+  return bw::exp::benchutil::run_matmul_figure(argc, argv, spec);
+}

@@ -1,0 +1,14 @@
+// Paper Fig. 10: accuracy and RMSE on the size >= 5000 subset, no
+// tolerance — long runs separate the hardware, accuracy climbs to ~0.8.
+
+#include "matmul_learning_common.hpp"
+
+int main(int argc, char** argv) {
+  bw::exp::benchutil::MatmulFigureSpec spec;
+  spec.figure = "Fig. 10";
+  spec.description = "subset (size >= 5000), size feature, no tolerance";
+  spec.subset = true;
+  spec.paper_accuracy = bw::exp::paper::kMatmulSubsetAccuracy;
+  spec.accuracy_note = "long runs separate the hardware cleanly";
+  return bw::exp::benchutil::run_matmul_figure(argc, argv, spec);
+}

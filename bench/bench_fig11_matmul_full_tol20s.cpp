@@ -1,0 +1,16 @@
+// Paper Fig. 11: full dataset with tolerance_seconds = 20 — short runs are
+// forgiven up to 20 s, so accuracy recovers while cheaper hardware is
+// chosen.
+
+#include "matmul_learning_common.hpp"
+
+int main(int argc, char** argv) {
+  bw::exp::benchutil::MatmulFigureSpec spec;
+  spec.figure = "Fig. 11";
+  spec.description = "full dataset, size feature, tolerance_seconds = 20";
+  spec.subset = false;
+  spec.tolerance.seconds = bw::exp::paper::kMatmulTolSeconds;
+  spec.paper_accuracy = 0.8;  // paper: "significant improvement in accuracy"
+  spec.accuracy_note = "tolerance forgives sub-20 s gaps on short runs";
+  return bw::exp::benchutil::run_matmul_figure(argc, argv, spec);
+}

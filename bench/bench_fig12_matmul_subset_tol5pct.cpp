@@ -1,0 +1,15 @@
+// Paper Fig. 12: subset (size >= 5000) with tolerance_ratio = 5% — high
+// accuracy while selecting more resource-efficient hardware.
+
+#include "matmul_learning_common.hpp"
+
+int main(int argc, char** argv) {
+  bw::exp::benchutil::MatmulFigureSpec spec;
+  spec.figure = "Fig. 12";
+  spec.description = "subset (size >= 5000), size feature, tolerance_ratio = 5%";
+  spec.subset = true;
+  spec.tolerance.ratio = bw::exp::paper::kMatmulTolRatio;
+  spec.paper_accuracy = 0.9;  // paper: "high accuracy while selecting efficient hardware"
+  spec.accuracy_note = "5% slowdown buys cheaper hardware on long runs";
+  return bw::exp::benchutil::run_matmul_figure(argc, argv, spec);
+}

@@ -1,0 +1,70 @@
+// Microbenchmarks (google-benchmark) for the matmul workload kernel: tiled
+// vs. naive squaring, block-size sweep, and thread scaling — the kernel
+// "takes advantage of the full number of CPU cores given to it".
+
+#include <benchmark/benchmark.h>
+
+#include "apps/matmul.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+
+void BM_NaiveSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = bw::apps::generate_matrix(n, 0.0, -10, 10, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bw::apps::naive_square(m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_NaiveSquare)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_TiledSquareSequential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = bw::apps::generate_matrix(n, 0.0, -10, 10, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bw::apps::tiled_square(m, nullptr, 64));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_TiledSquareSequential)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_TiledSquareBlockSweep(benchmark::State& state) {
+  const std::size_t n = 192;
+  const auto block = static_cast<std::size_t>(state.range(0));
+  const auto m = bw::apps::generate_matrix(n, 0.0, -10, 10, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bw::apps::tiled_square(m, nullptr, block));
+  }
+}
+BENCHMARK(BM_TiledSquareBlockSweep)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TiledSquareThreads(benchmark::State& state) {
+  const std::size_t n = 192;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto m = bw::apps::generate_matrix(n, 0.0, -10, 10, 4);
+  bw::ThreadPool pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bw::apps::tiled_square(m, &pool, 64));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_TiledSquareThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_SparseInputSkipsWork(benchmark::State& state) {
+  const std::size_t n = 192;
+  const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+  const auto m = bw::apps::generate_matrix(n, sparsity, -10, 10, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bw::apps::tiled_square(m, nullptr, 64));
+  }
+}
+BENCHMARK(BM_SparseInputSkipsWork)->Arg(0)->Arg(50)->Arg(90)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+#pragma once
+// Shared driver for the four matmul learning-curve benches (paper
+// Figs. 9-12): same harness, different dataset slice and tolerance.
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "experiments/datasets.hpp"
+#include "experiments/exp3_matmul.hpp"
+#include "experiments/paper_refs.hpp"
+#include "experiments/report.hpp"
+
+namespace bw::exp::benchutil {
+
+struct MatmulFigureSpec {
+  std::string figure;            ///< e.g. "Fig. 9"
+  std::string description;
+  bool subset = false;
+  core::ToleranceParams tolerance{};
+  double paper_accuracy = 0.0;   ///< accuracy level the paper reports
+  std::string accuracy_note;
+};
+
+inline int run_matmul_figure(int argc, char** argv, const MatmulFigureSpec& spec) {
+  CliParser cli(spec.figure + " — " + spec.description);
+  cli.add_flag("scale", "1.0", "dataset scale (1.0 = paper's 2520 runs)");
+  cli.add_flag("sims", "30", "simulations per round");
+  cli.add_flag("rounds", "100", "bandit rounds (paper plots ~100)");
+  cli.add_flag("seed", "9202", "base seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::printf("=== %s: %s ===\n", spec.figure.c_str(), spec.description.c_str());
+  std::fputs(substitution_note().c_str(), stdout);
+
+  const MatmulDataset dataset = build_matmul_dataset(cli.get_double("scale"));
+  MatmulLearningOptions options;
+  options.subset = spec.subset;
+  options.tolerance = spec.tolerance;
+  options.num_simulations = static_cast<std::size_t>(cli.get_int("sims"));
+  options.num_rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const std::size_t groups =
+      spec.subset ? dataset.subset.num_groups() : dataset.table.num_groups();
+  std::printf("dataset slice: %zu runs, 5 hardware settings, feature = size, "
+              "tolerance: ratio=%.2f seconds=%.0f\n",
+              groups, spec.tolerance.ratio, spec.tolerance.seconds);
+
+  const LearningRun run = run_matmul_learning(dataset, options);
+
+  LearningReportOptions report;
+  report.title = spec.figure + " learning curves";
+  report.stride = 10;
+  std::fputs(render_learning_report(run.sims, report).c_str(), stdout);
+
+  std::puts("\npaper-vs-measured:");
+  std::fputs(compare_row("accuracy (converged)", spec.paper_accuracy,
+                         run.sims.accuracy.mean.back(), spec.accuracy_note)
+                 .c_str(),
+             stdout);
+  std::fputs(compare_row("random-guess accuracy", paper::kMatmulRandomAccuracy,
+                         1.0 / 5.0, "5 hardware options")
+                 .c_str(),
+             stdout);
+  std::printf("  mean resource cost of recommendations @ final round: %.3f\n",
+              run.sims.resource_cost.mean.back());
+  return 0;
+}
+
+}  // namespace bw::exp::benchutil

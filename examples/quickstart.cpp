@@ -1,0 +1,64 @@
+// Quickstart: the 30-line BanditWare integration loop.
+//
+// A stream of workflows arrives; each has one feature (its size). Three
+// hardware settings are available. We let BanditWare pick the hardware,
+// "run" the workflow (here: a synthetic linear runtime + noise), feed the
+// observed runtime back, and watch the recommendation sharpen.
+//
+//   ./examples/quickstart [--workflows=60] [--seed=42]
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/banditware.hpp"
+
+int main(int argc, char** argv) {
+  bw::CliParser cli("BanditWare quickstart");
+  cli.add_flag("workflows", "60", "number of incoming workflows");
+  cli.add_flag("seed", "42", "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // 1. Describe the hardware options (the bandit's arms).
+  bw::hw::HardwareCatalog catalog(
+      {{"small", 2, 8.0}, {"medium", 4, 16.0}, {"large", 8, 32.0}});
+
+  // 2. Create the recommender: paper defaults (ε₀=1, α=0.99), and allow a
+  //    10-second slowdown in exchange for cheaper hardware.
+  bw::core::BanditWareConfig config;
+  config.policy.tolerance.seconds = 10.0;
+  bw::core::BanditWare bandit(catalog, {"workflow_size"}, config);
+
+  bw::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const long n = cli.get_int("workflows");
+
+  // Ground truth the bandit does not know: runtime halves per size class.
+  const auto true_runtime = [&rng](double size, std::size_t arm) {
+    const double slope[] = {2.0, 1.05, 0.55};
+    return slope[arm] * size + rng.normal(0.0, 3.0);
+  };
+
+  for (long i = 0; i < n; ++i) {
+    const double size = rng.uniform(20.0, 200.0);
+    const auto decision = bandit.next({size}, rng);                // 3. select
+    const double runtime = true_runtime(size, decision.arm);      // 4. execute
+    bandit.observe(decision.arm, {size}, runtime);                 // 5. learn
+    if (i % 10 == 0) {
+      std::printf("workflow %3ld: size=%6.1f -> %s %-8s observed=%7.1fs  ε=%.2f\n",
+                  i, size, decision.explored ? "explore" : "exploit",
+                  decision.spec->name.c_str(), runtime, bandit.epsilon());
+    }
+  }
+
+  // 6. Ask for pure-exploitation recommendations.
+  std::puts("\nfinal recommendations (with 10 s tolerance toward cheap hardware):");
+  for (double size : {30.0, 100.0, 180.0}) {
+    const auto& spec = bandit.recommend({size});
+    const auto predictions = bandit.predictions({size});
+    std::printf("  size %5.0f -> %-6s %s   (predicted: small=%.0fs medium=%.0fs large=%.0fs)\n",
+                size, spec.name.c_str(), spec.to_string().c_str(), predictions[0],
+                predictions[1], predictions[2]);
+  }
+  std::printf("\nlearned from %zu observations; ε decayed to %.3f\n",
+              bandit.num_observations(), bandit.epsilon());
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "apps/bp3d.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::apps {
+
+double bp3d_work_units(const FireSimResult& fire, const WeatherInputs& weather,
+                       const Bp3dConfig& config) {
+  const double per_cell = config.cost_per_cell_base +
+                          config.cost_per_cell_per_step * weather.sim_time_steps;
+  return static_cast<double>(fire.burned_cells) * per_cell;
+}
+
+double simulate_bp3d_runtime(double work_units, double working_set_gb,
+                             const hw::HardwareSpec& spec, const Bp3dConfig& config,
+                             Rng& rng) {
+  BW_CHECK_MSG(work_units >= 0.0, "work must be non-negative");
+  const hw::PerfModel perf(config.perf);
+  const double base = perf.execution_seconds(work_units, spec, working_set_gb);
+  const double sigma = config.system_noise_sigma;
+  // Mean-one lognormal noise: exp(N(-sigma^2/2, sigma)).
+  const double noise = rng.lognormal(-0.5 * sigma * sigma, sigma);
+  return base * noise;
+}
+
+const std::vector<std::string>& bp3d_feature_names() {
+  static const std::vector<std::string> names = {
+      "surface_moisture", "canopy_moisture",         "wind_direction", "wind_speed",
+      "sim_time",         "run_max_mem_rss_bytes",   "area",
+  };
+  return names;
+}
+
+std::vector<df::DataFrame> build_bp3d_frames(const hw::HardwareCatalog& catalog,
+                                             const Bp3dConfig& config,
+                                             const Bp3dDatasetOptions& options) {
+  BW_CHECK_MSG(!catalog.empty(), "catalog must not be empty");
+  BW_CHECK_MSG(options.num_groups > 0, "dataset needs at least one group");
+  const auto& units = geo::builtin_burn_units();
+
+  Rng seeder(options.seed);
+  Rng weather_rng(seeder.child_seed(1000));
+
+  struct GroupSample {
+    WeatherInputs weather;
+    std::size_t unit_index = 0;
+    double rss_bytes = 0.0;
+    double area_m2 = 0.0;
+    double work_units = 0.0;
+  };
+  std::vector<GroupSample> groups;
+  groups.reserve(options.num_groups);
+  static const int kSimTimes[] = {200, 300, 400, 500, 600};
+  for (std::size_t g = 0; g < options.num_groups; ++g) {
+    GroupSample sample;
+    sample.unit_index = g % units.size();
+    sample.weather.surface_moisture = weather_rng.uniform(0.03, 0.30);
+    sample.weather.canopy_moisture = weather_rng.uniform(0.30, 1.20);
+    sample.weather.wind_direction_deg = weather_rng.uniform(0.0, 360.0);
+    sample.weather.wind_speed_ms = weather_rng.uniform(0.5, 18.0);
+    sample.weather.sim_time_steps = kSimTimes[weather_rng.index(std::size(kSimTimes))];
+    sample.area_m2 = units[sample.unit_index].area_m2();
+    // Bigger burn units need more memory; well below every node's cap so
+    // the hardware settings stay near-interchangeable (paper's regime).
+    sample.rss_bytes = sample.area_m2 * 2000.0 * weather_rng.uniform(0.9, 1.1);
+
+    const FireSimResult fire =
+        run_fire_sim(units[sample.unit_index], sample.weather, config.fire, weather_rng);
+    sample.work_units = bp3d_work_units(fire, sample.weather, config);
+    groups.push_back(sample);
+  }
+
+  std::vector<df::DataFrame> frames;
+  frames.reserve(catalog.size());
+  for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+    Rng rng(seeder.child_seed(arm));
+    std::vector<std::int64_t> run_ids;
+    std::vector<double> surface, canopy, wind_dir, wind_speed, sim_time, rss, area, runtime;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const GroupSample& sample = groups[g];
+      run_ids.push_back(static_cast<std::int64_t>(g));
+      surface.push_back(sample.weather.surface_moisture);
+      canopy.push_back(sample.weather.canopy_moisture);
+      wind_dir.push_back(sample.weather.wind_direction_deg);
+      wind_speed.push_back(sample.weather.wind_speed_ms);
+      sim_time.push_back(static_cast<double>(sample.weather.sim_time_steps));
+      rss.push_back(sample.rss_bytes);
+      area.push_back(sample.area_m2);
+      runtime.push_back(simulate_bp3d_runtime(sample.work_units, sample.rss_bytes / 1e9,
+                                              catalog[arm], config, rng));
+    }
+    df::DataFrame frame;
+    frame.add_column("run_id", df::Column(std::move(run_ids)));
+    frame.add_column("surface_moisture", df::Column(std::move(surface)));
+    frame.add_column("canopy_moisture", df::Column(std::move(canopy)));
+    frame.add_column("wind_direction", df::Column(std::move(wind_dir)));
+    frame.add_column("wind_speed", df::Column(std::move(wind_speed)));
+    frame.add_column("sim_time", df::Column(std::move(sim_time)));
+    frame.add_column("run_max_mem_rss_bytes", df::Column(std::move(rss)));
+    frame.add_column("area", df::Column(std::move(area)));
+    frame.add_column("runtime", df::Column(std::move(runtime)));
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace bw::apps

@@ -1,0 +1,74 @@
+#pragma once
+// BP3D workload (paper Experiment 2): prescribed-fire simulations on NDP
+// Kubernetes hardware. A run is parameterized by a burn unit + weather
+// inputs (paper Table 1); the fire CA produces a deterministic work
+// metric; the workload model converts work into per-hardware runtime.
+//
+// Calibration matches the paper's *regime*, not its testbed: the three
+// NDP settings H0=(2,16), H1=(3,24), H2=(4,16) differ by only a few
+// percent in throughput (QUIC-Fire-style codes parallelize poorly at this
+// scale), while system noise is heavy — so even a perfect model predicts
+// the fastest hardware no better than chance (~34% in the paper).
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/firesim.hpp"
+#include "common/rng.hpp"
+#include "dataframe/dataframe.hpp"
+#include "hardware/catalog.hpp"
+#include "hardware/perf_model.hpp"
+
+namespace bw::apps {
+
+struct Bp3dConfig {
+  FireSimConfig fire{};
+  /// Seconds of reference-core compute per burned cell at sim_time = 0.
+  double cost_per_cell_base = 2.4;
+  /// Additional per-cell cost per allowed simulation step.
+  double cost_per_cell_per_step = 0.006;
+  /// Lognormal system-noise sigma applied to every observed runtime
+  /// (shared filesystems, co-tenants, container startup — the reason the
+  /// paper's full-fit RMSE is ~12k s on ~20k s runtimes).
+  double system_noise_sigma = 0.55;
+  /// Performance model: low parallel fraction makes the NDP hardware
+  /// settings nearly interchangeable.
+  hw::PerfModelParams perf{
+      .parallel_fraction = 0.15,
+      .sync_overhead = 0.05,
+      .base_throughput = 1.0,
+      .mem_pressure_slowdown_per_gb = 0.25,
+  };
+};
+
+/// Deterministic reference-core work (seconds on one core) for a finished
+/// fire simulation.
+double bp3d_work_units(const FireSimResult& fire, const WeatherInputs& weather,
+                       const Bp3dConfig& config);
+
+/// Observed runtime of `work_units` on `spec` (applies speedup, memory
+/// pressure for the given working set, and lognormal system noise).
+double simulate_bp3d_runtime(double work_units, double working_set_gb,
+                             const hw::HardwareSpec& spec, const Bp3dConfig& config,
+                             Rng& rng);
+
+struct Bp3dDatasetOptions {
+  /// Number of run groups; the paper's dataset has 1316 samples.
+  std::size_t num_groups = 1316;
+  std::uint64_t seed = 7002;
+};
+
+/// Feature-column names, in paper Table 1 order.
+const std::vector<std::string>& bp3d_feature_names();
+
+/// One DataFrame per hardware setting with columns
+///   run_id, surface_moisture, canopy_moisture, wind_direction,
+///   wind_speed, sim_time, run_max_mem_rss_bytes, area, runtime.
+/// Burn units rotate through the six builtin units; weather is sampled
+/// per group and shared across hardware (paper: "repeated the process
+/// across all hardware configurations").
+std::vector<df::DataFrame> build_bp3d_frames(const hw::HardwareCatalog& catalog,
+                                             const Bp3dConfig& config,
+                                             const Bp3dDatasetOptions& options);
+
+}  // namespace bw::apps

@@ -1,0 +1,83 @@
+#include "apps/cycles.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/scheduler.hpp"
+
+namespace bw::apps {
+
+double simulate_cycles_run(std::size_t num_tasks, const hw::HardwareSpec& spec,
+                           const CyclesConfig& config, Rng& rng) {
+  BW_CHECK_MSG(num_tasks > 0, "cycles run needs at least one task");
+  wf::TaskDurationModel model;
+  model.mean_s = config.mean_task_s;
+  model.jitter_sd = config.task_jitter_sd;
+
+  const wf::WorkflowDag dag = wf::cycles_workflow(num_tasks, model, rng);
+  const hw::PerfModel perf(config.perf);
+  const wf::Schedule schedule = wf::list_schedule(dag, spec, perf);
+
+  const double noise = std::exp(rng.normal(0.0, config.system_noise_sd) -
+                                0.5 * config.system_noise_sd * config.system_noise_sd);
+  return schedule.makespan_s * noise;
+}
+
+double expected_cycles_makespan(std::size_t num_tasks, const hw::HardwareSpec& spec,
+                                const CyclesConfig& config) {
+  const double c = static_cast<double>(spec.cpus);
+  const double overhead = 1.0 + config.perf.sync_overhead * (c - 1.0);
+  const double bag = static_cast<double>(num_tasks) * config.mean_task_s * overhead / c;
+  // prep + gather + analyze + report, each ~ half a mean task, serialized.
+  const double tail = 4.0 * 0.5 * config.mean_task_s * overhead;
+  return bag + tail;
+}
+
+std::vector<df::DataFrame> build_cycles_frames(const hw::HardwareCatalog& catalog,
+                                               const CyclesConfig& config,
+                                               const CyclesDatasetOptions& options) {
+  BW_CHECK_MSG(!catalog.empty(), "catalog must not be empty");
+  BW_CHECK_MSG(options.min_tasks > 0 && options.min_tasks <= options.max_tasks,
+               "invalid task range");
+  BW_CHECK_MSG(options.num_groups > 0, "dataset needs at least one group");
+
+  Rng seeder(options.seed);
+  // Workflow sizes are shared across hardware within a run group, so the
+  // merge step (Fig. 1) aligns identical workflows across arms.
+  std::vector<std::size_t> sizes;
+  sizes.reserve(options.num_groups);
+  for (std::size_t g = 0; g < options.num_groups; ++g) {
+    sizes.push_back(static_cast<std::size_t>(seeder.uniform_int(
+        static_cast<std::int64_t>(options.min_tasks),
+        static_cast<std::int64_t>(options.max_tasks))));
+  }
+
+  std::vector<df::DataFrame> frames;
+  frames.reserve(catalog.size());
+  for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+    std::vector<std::int64_t> run_ids;
+    std::vector<std::int64_t> num_tasks;
+    std::vector<double> runtimes;
+    std::vector<std::int64_t> cpus;
+    std::vector<double> memory;
+    Rng rng(seeder.child_seed(arm));
+    for (std::size_t g = 0; g < options.num_groups; ++g) {
+      run_ids.push_back(static_cast<std::int64_t>(g));
+      num_tasks.push_back(static_cast<std::int64_t>(sizes[g]));
+      runtimes.push_back(simulate_cycles_run(sizes[g], catalog[arm], config, rng));
+      cpus.push_back(catalog[arm].cpus);
+      memory.push_back(catalog[arm].memory_gb);
+    }
+    df::DataFrame frame;
+    frame.add_column("run_id", df::Column(std::move(run_ids)));
+    frame.add_column("num_tasks", df::Column(std::move(num_tasks)));
+    frame.add_column("runtime", df::Column(std::move(runtimes)));
+    frame.add_column("cpus", df::Column(std::move(cpus)));
+    frame.add_column("memory_gb", df::Column(std::move(memory)));
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace bw::apps

@@ -1,0 +1,59 @@
+#pragma once
+// Cycles workload (paper Experiment 1): an agroecosystem HTC workflow
+// whose runtime is the simulated makespan of a bag of crop simulations
+// under list scheduling. Because the bag dominates, the makespan is
+// approximately linear in num_tasks with a per-hardware slope — the exact
+// regime paper Fig. 3 plots.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataframe/dataframe.hpp"
+#include "hardware/catalog.hpp"
+#include "hardware/perf_model.hpp"
+
+namespace bw::apps {
+
+struct CyclesConfig {
+  /// Mean duration of one crop simulation on a reference core (seconds).
+  double mean_task_s = 6.0;
+  /// Lognormal spread of task durations.
+  double task_jitter_sd = 0.25;
+  /// Multiplicative system noise applied to the final makespan
+  /// (scheduler jitter, container startup, shared filesystem).
+  double system_noise_sd = 0.03;
+  /// Performance model shared by all hardware settings.
+  hw::PerfModelParams perf{};
+};
+
+/// Simulates one Cycles run: builds the workflow DAG with `num_tasks` crop
+/// simulations, list-schedules it on `spec`, and applies system noise.
+/// Returns the observed makespan in seconds.
+double simulate_cycles_run(std::size_t num_tasks, const hw::HardwareSpec& spec,
+                           const CyclesConfig& config, Rng& rng);
+
+/// Expected (noise-free, jitter-free) makespan — the "ground truth" linear
+/// model used to verify fits: approximately
+///   prep + num_tasks * mean_task_s * overhead(c) / c + tail.
+double expected_cycles_makespan(std::size_t num_tasks, const hw::HardwareSpec& spec,
+                                const CyclesConfig& config);
+
+struct CyclesDatasetOptions {
+  /// Distinct workflow sizes are drawn uniformly from [min_tasks, max_tasks].
+  std::size_t min_tasks = 100;
+  std::size_t max_tasks = 500;
+  /// Number of run groups; every group is executed on every hardware.
+  std::size_t num_groups = 80;
+  std::uint64_t seed = 7001;
+};
+
+/// Builds one DataFrame per hardware setting, each with columns
+///   run_id (int64), num_tasks (int64), runtime (double),
+///   cpus (int64), memory_gb (double)
+/// — the per-hardware tables of paper Fig. 1 before the merge step.
+std::vector<df::DataFrame> build_cycles_frames(const hw::HardwareCatalog& catalog,
+                                               const CyclesConfig& config,
+                                               const CyclesDatasetOptions& options);
+
+}  // namespace bw::apps

@@ -1,0 +1,154 @@
+#include "apps/firesim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "geo/polygon.hpp"
+
+namespace bw::apps {
+namespace {
+
+struct Grid {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  // 0 = no fuel, 1 = fuel, 2 = burning/burned
+  std::vector<std::uint8_t> cells;
+
+  std::uint8_t& at(std::size_t x, std::size_t y) { return cells[y * width + x]; }
+  std::uint8_t at(std::size_t x, std::size_t y) const { return cells[y * width + x]; }
+};
+
+/// Rasterizes the polygon onto a cell grid; returns the grid and marks
+/// fuel cells whose centers lie inside the polygon.
+Grid rasterize(const geo::BurnUnit& unit, double cell_size_m) {
+  const geo::BoundingBox box = unit.polygon.bounding_box();
+  const double width_m = box.width_m();
+  const double height_m = box.height_m();
+  Grid grid;
+  grid.width = std::max<std::size_t>(4, static_cast<std::size_t>(std::ceil(width_m / cell_size_m)));
+  grid.height = std::max<std::size_t>(4, static_cast<std::size_t>(std::ceil(height_m / cell_size_m)));
+  grid.cells.assign(grid.width * grid.height, 0);
+
+  const double mid_lat = (box.min_lat + box.max_lat) / 2.0;
+  const double lon_per_m = 1.0 / geo::meters_per_degree_lon(mid_lat);
+  const double lat_per_m = 1.0 / geo::meters_per_degree_lat();
+  for (std::size_t y = 0; y < grid.height; ++y) {
+    for (std::size_t x = 0; x < grid.width; ++x) {
+      const double px = box.min_lon + (static_cast<double>(x) + 0.5) * cell_size_m * lon_per_m;
+      const double py = box.min_lat + (static_cast<double>(y) + 0.5) * cell_size_m * lat_per_m;
+      if (unit.polygon.contains({px, py})) grid.at(x, y) = 1;
+    }
+  }
+  return grid;
+}
+
+}  // namespace
+
+FireSimResult run_fire_sim(const geo::BurnUnit& unit, const WeatherInputs& weather,
+                           const FireSimConfig& config, Rng& rng) {
+  BW_CHECK_MSG(config.cell_size_m > 0, "cell size must be positive");
+  BW_CHECK_MSG(weather.sim_time_steps > 0, "sim_time must be positive");
+  BW_CHECK_MSG(weather.surface_moisture >= 0 && weather.surface_moisture <= 1,
+               "surface moisture must be a fraction");
+  BW_CHECK_MSG(weather.wind_speed_ms >= 0, "wind speed must be non-negative");
+
+  Grid grid = rasterize(unit, config.cell_size_m);
+
+  FireSimResult result;
+  result.grid_width = grid.width;
+  result.grid_height = grid.height;
+  for (std::uint8_t cell : grid.cells) result.fuel_cells += (cell == 1);
+  if (result.fuel_cells == 0) return result;
+
+  // Ignite the fuel cell closest to the grid center.
+  std::size_t ignite_x = grid.width / 2;
+  std::size_t ignite_y = grid.height / 2;
+  if (grid.at(ignite_x, ignite_y) != 1) {
+    double best = 1e30;
+    for (std::size_t y = 0; y < grid.height; ++y) {
+      for (std::size_t x = 0; x < grid.width; ++x) {
+        if (grid.at(x, y) != 1) continue;
+        const double dx = static_cast<double>(x) - static_cast<double>(grid.width) / 2.0;
+        const double dy = static_cast<double>(y) - static_cast<double>(grid.height) / 2.0;
+        const double d2 = dx * dx + dy * dy;
+        if (d2 < best) {
+          best = d2;
+          ignite_x = x;
+          ignite_y = y;
+        }
+      }
+    }
+  }
+  grid.at(ignite_x, ignite_y) = 2;
+  result.burned_cells = 1;
+
+  // Wind vector: direction the wind blows *toward* (grid +y = north).
+  const double wind_rad = weather.wind_direction_deg * std::numbers::pi / 180.0;
+  const double wind_x = std::sin(wind_rad);
+  const double wind_y = std::cos(wind_rad);
+  const double wind_strength = std::clamp(weather.wind_speed_ms / 20.0, 0.0, 1.5);
+
+  const double moisture_damp =
+      std::max(0.05, 1.0 - config.surface_moisture_gain * weather.surface_moisture -
+                         config.canopy_moisture_gain * (weather.canopy_moisture - 0.3));
+
+  static constexpr int kDx[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+  static constexpr int kDy[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+  // Per-direction spread probability (diagonals normalized by sqrt(2)).
+  double dir_probability[8];
+  for (int d = 0; d < 8; ++d) {
+    const double len = std::sqrt(static_cast<double>(kDx[d] * kDx[d] + kDy[d] * kDy[d]));
+    const double align = (kDx[d] * wind_x + kDy[d] * wind_y) / len;
+    const double wind_factor = 1.0 + config.wind_gain * wind_strength * align;
+    dir_probability[d] = std::clamp(
+        config.base_spread_probability * moisture_damp * std::max(0.1, wind_factor) / len,
+        0.0, 0.95);
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> frontier = {{ignite_x, ignite_y}};
+  std::vector<std::pair<std::size_t, std::size_t>> next;
+  for (int step = 0; step < weather.sim_time_steps && !frontier.empty(); ++step) {
+    ++result.steps_executed;
+    next.clear();
+    for (const auto& [x, y] : frontier) {
+      for (int d = 0; d < 8; ++d) {
+        const auto nx = static_cast<std::ptrdiff_t>(x) + kDx[d];
+        const auto ny = static_cast<std::ptrdiff_t>(y) + kDy[d];
+        if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(grid.width) ||
+            ny >= static_cast<std::ptrdiff_t>(grid.height)) {
+          continue;
+        }
+        ++result.cell_updates;
+        const auto ux = static_cast<std::size_t>(nx);
+        const auto uy = static_cast<std::size_t>(ny);
+        if (grid.at(ux, uy) != 1) continue;
+        if (rng.bernoulli(dir_probability[d])) {
+          grid.at(ux, uy) = 2;
+          ++result.burned_cells;
+          next.push_back({ux, uy});
+        }
+      }
+      // A cell that failed to ignite a neighbor stays on the frontier one
+      // more step with probability ~ smoldering; modelled by re-adding the
+      // cell while it still has unburned fuel neighbors.
+      for (int d = 0; d < 8; ++d) {
+        const auto nx = static_cast<std::ptrdiff_t>(x) + kDx[d];
+        const auto ny = static_cast<std::ptrdiff_t>(y) + kDy[d];
+        if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(grid.width) ||
+            ny >= static_cast<std::ptrdiff_t>(grid.height)) {
+          continue;
+        }
+        if (grid.at(static_cast<std::size_t>(nx), static_cast<std::size_t>(ny)) == 1) {
+          next.push_back({x, y});
+          break;
+        }
+      }
+    }
+    std::swap(frontier, next);
+  }
+  return result;
+}
+
+}  // namespace bw::apps

@@ -1,0 +1,122 @@
+#include "apps/llm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::apps {
+
+double llm_expected_latency(const LlmRequest& request, const hw::HardwareSpec& spec,
+                            const LlmModelConfig& config) {
+  BW_CHECK_MSG(request.model_params_b > 0, "model size must be positive");
+  BW_CHECK_MSG(request.prompt_tokens >= 0 && request.output_tokens >= 0,
+               "token counts must be non-negative");
+  BW_CHECK_MSG(request.batch_size >= 1, "batch size must be at least 1");
+
+  // Decode throughput in tokens/s for this model on this hardware.
+  double tokens_per_s;
+  double upload_s = 0.0;
+  if (spec.gpus > 0) {
+    const double gpu_units =
+        1.0 + config.gpu_scaling * (static_cast<double>(spec.gpus) - 1.0);
+    tokens_per_s = config.gpu_tokens_per_s_1b * gpu_units / request.model_params_b;
+    // Weights are staged to the device once per request (cold cache).
+    const double weight_gb =
+        request.model_params_b * config.bytes_per_param;  // B params * B/param = GB
+    upload_s = weight_gb / config.staging_gb_per_s;
+  } else {
+    const double core_factor =
+        std::pow(static_cast<double>(spec.cpus), config.cpu_core_exponent);
+    tokens_per_s = config.cpu_tokens_per_s_1b * core_factor / request.model_params_b;
+  }
+
+  // Batch processing amortizes weight reads: throughput grows ~sqrt(batch).
+  tokens_per_s *= std::sqrt(request.batch_size);
+
+  const double prefill_s =
+      request.prompt_tokens * request.batch_size /
+      (tokens_per_s * config.prefill_speedup);
+  const double decode_s = request.output_tokens * request.batch_size / tokens_per_s;
+
+  double total = upload_s + prefill_s + decode_s;
+
+  // Offloading penalty when the working set exceeds node memory.
+  const double working_set_gb =
+      request.model_params_b * config.bytes_per_param * config.memory_factor;
+  if (working_set_gb > spec.memory_gb) total *= config.offload_slowdown;
+  return total;
+}
+
+double simulate_llm_latency(const LlmRequest& request, const hw::HardwareSpec& spec,
+                            const LlmModelConfig& config, Rng& rng) {
+  const double expected = llm_expected_latency(request, spec, config);
+  const double sigma = config.noise_sigma;
+  return expected * rng.lognormal(-0.5 * sigma * sigma, sigma);
+}
+
+hw::HardwareCatalog llm_catalog() {
+  hw::HardwareCatalog catalog;
+  catalog.add({"C16", 16, 64.0, 0});
+  catalog.add({"C32", 32, 128.0, 0});
+  catalog.add({"G1", 8, 64.0, 1});
+  catalog.add({"G2", 16, 128.0, 2});
+  catalog.add({"G4", 16, 256.0, 4});
+  return catalog;
+}
+
+const std::vector<std::string>& llm_feature_names() {
+  static const std::vector<std::string> names = {"model_params_b", "prompt_tokens",
+                                                 "output_tokens", "batch_size"};
+  return names;
+}
+
+std::vector<df::DataFrame> build_llm_frames(const hw::HardwareCatalog& catalog,
+                                            const LlmModelConfig& config,
+                                            const LlmDatasetOptions& options) {
+  BW_CHECK_MSG(!catalog.empty(), "catalog must not be empty");
+  BW_CHECK_MSG(options.num_groups > 0, "dataset needs at least one group");
+
+  Rng seeder(options.seed);
+  Rng sampler(seeder.child_seed(3000));
+  static const double kModelSizes[] = {1.0, 3.0, 7.0, 13.0, 34.0, 70.0};
+
+  std::vector<LlmRequest> groups;
+  groups.reserve(options.num_groups);
+  for (std::size_t g = 0; g < options.num_groups; ++g) {
+    LlmRequest request;
+    request.model_params_b = kModelSizes[sampler.index(std::size(kModelSizes))];
+    request.prompt_tokens = static_cast<double>(sampler.uniform_int(16, 4096));
+    // Output lengths are log-uniform: chat turns are short, reports long.
+    request.output_tokens = std::exp(sampler.uniform(std::log(8.0), std::log(4096.0)));
+    request.batch_size = static_cast<double>(sampler.uniform_int(1, 8));
+    groups.push_back(request);
+  }
+
+  std::vector<df::DataFrame> frames;
+  frames.reserve(catalog.size());
+  for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+    Rng rng(seeder.child_seed(arm));
+    std::vector<std::int64_t> run_ids;
+    std::vector<double> params, prompts, outputs, batches, runtimes;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      run_ids.push_back(static_cast<std::int64_t>(g));
+      params.push_back(groups[g].model_params_b);
+      prompts.push_back(groups[g].prompt_tokens);
+      outputs.push_back(groups[g].output_tokens);
+      batches.push_back(groups[g].batch_size);
+      runtimes.push_back(simulate_llm_latency(groups[g], catalog[arm], config, rng));
+    }
+    df::DataFrame frame;
+    frame.add_column("run_id", df::Column(std::move(run_ids)));
+    frame.add_column("model_params_b", df::Column(std::move(params)));
+    frame.add_column("prompt_tokens", df::Column(std::move(prompts)));
+    frame.add_column("output_tokens", df::Column(std::move(outputs)));
+    frame.add_column("batch_size", df::Column(std::move(batches)));
+    frame.add_column("runtime", df::Column(std::move(runtimes)));
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace bw::apps

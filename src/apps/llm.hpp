@@ -1,0 +1,85 @@
+#pragma once
+// LLM-inference workload — the paper's future-work application ("we will
+// also experiment with additional applications, including large language
+// models (LLMs), enabling us to incorporate GPU information into hardware
+// recommendations").
+//
+// A request is (model size, prompt tokens, output tokens, batch size); a
+// hardware setting may or may not carry GPUs. The runtime model captures
+// the regime that makes this workload interesting for a bandit:
+//
+//   * GPUs decode an order of magnitude faster, but pay a model-upload
+//     overhead over PCIe at request start;
+//   * short generations are therefore often *faster on CPU*, long
+//     generations are GPU territory — a context-dependent crossover the
+//     contextual policy must learn;
+//   * models that exceed node memory fall back to offloading (heavy
+//     slowdown).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataframe/dataframe.hpp"
+#include "hardware/catalog.hpp"
+
+namespace bw::apps {
+
+struct LlmRequest {
+  double model_params_b = 7.0;  ///< model size in billions of parameters
+  double prompt_tokens = 512;
+  double output_tokens = 128;
+  double batch_size = 1;
+};
+
+struct LlmModelConfig {
+  /// CPU decode throughput for a 1B-parameter model on one core (tok/s).
+  double cpu_tokens_per_s_1b = 24.0;
+  /// CPU scaling exponent over cores (memory-bandwidth bound: sublinear).
+  double cpu_core_exponent = 0.5;
+  /// GPU decode throughput for a 1B-parameter model on one GPU (tok/s).
+  double gpu_tokens_per_s_1b = 420.0;
+  /// Multi-GPU scaling efficiency per extra GPU.
+  double gpu_scaling = 0.85;
+  /// Prefill is compute-bound and ~8x faster than decode per token.
+  double prefill_speedup = 8.0;
+  /// Bytes per parameter (fp16) for the weight-staging overhead.
+  double bytes_per_param = 2.0;
+  /// Weight-staging bandwidth (GB/s), NVMe -> host -> device. Cold-start
+  /// staging is the GPU's per-request tax that lets CPUs win short jobs.
+  double staging_gb_per_s = 2.0;
+  /// Working set = params * bytes_per_param * this factor (KV cache etc.).
+  double memory_factor = 1.4;
+  /// Slowdown when the working set exceeds node memory (offloading).
+  double offload_slowdown = 6.0;
+  /// Lognormal noise sigma.
+  double noise_sigma = 0.08;
+};
+
+/// Noise-free expected latency (seconds) of serving `request` on `spec`.
+double llm_expected_latency(const LlmRequest& request, const hw::HardwareSpec& spec,
+                            const LlmModelConfig& config = {});
+
+/// Observed latency with multiplicative noise.
+double simulate_llm_latency(const LlmRequest& request, const hw::HardwareSpec& spec,
+                            const LlmModelConfig& config, Rng& rng);
+
+/// Mixed CPU/GPU fleet: two CPU-only and three GPU configurations.
+hw::HardwareCatalog llm_catalog();
+
+/// Feature-column names for the LLM dataset.
+const std::vector<std::string>& llm_feature_names();
+
+struct LlmDatasetOptions {
+  std::size_t num_groups = 600;
+  std::uint64_t seed = 7004;
+};
+
+/// One DataFrame per hardware with columns
+///   run_id, model_params_b, prompt_tokens, output_tokens, batch_size,
+///   runtime.
+std::vector<df::DataFrame> build_llm_frames(const hw::HardwareCatalog& catalog,
+                                            const LlmModelConfig& config,
+                                            const LlmDatasetOptions& options);
+
+}  // namespace bw::apps

@@ -1,0 +1,208 @@
+#include "apps/matmul.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::apps {
+
+DenseMatrix generate_matrix(std::size_t n, double sparsity, int min_value, int max_value,
+                            std::uint64_t seed) {
+  BW_CHECK_MSG(n > 0, "matrix size must be positive");
+  BW_CHECK_MSG(sparsity >= 0.0 && sparsity <= 1.0, "sparsity must be in [0,1]");
+  BW_CHECK_MSG(min_value <= max_value, "min_value must be <= max_value");
+  Rng rng(seed);
+  DenseMatrix m;
+  m.n = n;
+  m.a.resize(n * n);
+  for (double& value : m.a) {
+    if (rng.bernoulli(sparsity)) {
+      value = 0.0;
+    } else {
+      value = static_cast<double>(rng.uniform_int(min_value, max_value));
+    }
+  }
+  return m;
+}
+
+DenseMatrix naive_square(const DenseMatrix& m) {
+  const std::size_t n = m.n;
+  DenseMatrix c;
+  c.n = n;
+  c.a.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = m.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c.a[i * n + j] += aik * m.a[k * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+namespace {
+
+/// Computes row-tile [i0, i1) of C = M * M with kj-tiling.
+void square_row_band(const DenseMatrix& m, DenseMatrix& c, std::size_t i0, std::size_t i1,
+                     std::size_t block) {
+  const std::size_t n = m.n;
+  for (std::size_t kk = 0; kk < n; kk += block) {
+    const std::size_t k_end = std::min(n, kk + block);
+    for (std::size_t jj = 0; jj < n; jj += block) {
+      const std::size_t j_end = std::min(n, jj + block);
+      for (std::size_t i = i0; i < i1; ++i) {
+        double* crow = c.a.data() + i * n;
+        const double* arow = m.a.data() + i * n;
+        for (std::size_t k = kk; k < k_end; ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          const double* brow = m.a.data() + k * n;
+          for (std::size_t j = jj; j < j_end; ++j) {
+            crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DenseMatrix tiled_square(const DenseMatrix& m, ThreadPool* pool, std::size_t block) {
+  BW_CHECK_MSG(block > 0, "tile size must be positive");
+  const std::size_t n = m.n;
+  DenseMatrix c;
+  c.n = n;
+  c.a.assign(n * n, 0.0);
+  if (pool == nullptr || pool->size() <= 1 || n < 2 * block) {
+    square_row_band(m, c, 0, n, block);
+    return c;
+  }
+  // One task per row band; bands sized so every worker gets ~2 tasks for
+  // load balance against OS jitter.
+  const std::size_t bands = std::min(n, pool->size() * 2);
+  const std::size_t rows_per_band = (n + bands - 1) / bands;
+  pool->parallel_for(0, bands, [&](std::size_t band) {
+    const std::size_t i0 = band * rows_per_band;
+    const std::size_t i1 = std::min(n, i0 + rows_per_band);
+    if (i0 < i1) square_row_band(m, c, i0, i1, block);
+  });
+  return c;
+}
+
+double measure_tiled_square_seconds(std::size_t n, ThreadPool& pool, std::size_t block) {
+  const DenseMatrix m = generate_matrix(n, 0.0, -10, 10, /*seed=*/n * 2654435761ULL);
+  const auto start = std::chrono::steady_clock::now();
+  const DenseMatrix c = tiled_square(m, &pool, block);
+  const auto end = std::chrono::steady_clock::now();
+  // Fold one element into the timing result's dependency chain so the
+  // multiply cannot be optimized away.
+  const double guard = c.a.empty() ? 0.0 : c.a[0] * 1e-300;
+  return std::chrono::duration<double>(end - start).count() + guard;
+}
+
+double matmul_expected_runtime(std::size_t n, double sparsity, const hw::HardwareSpec& spec,
+                               const MatmulModelConfig& config) {
+  BW_CHECK_MSG(n > 0, "matrix size must be positive");
+  const hw::PerfModel perf(config.perf);
+  const double flops = 2.0 * std::pow(static_cast<double>(n), 3.0);
+  const double dense_seconds = flops / (config.flops_per_core_per_s * perf.speedup(spec));
+  const double sparsity_factor = 1.0 - config.sparsity_speedup * sparsity;
+  const double cache_factor =
+      1.0 + config.cache_pressure * std::pow(static_cast<double>(n) / 12500.0, 2.0);
+  return config.overhead_s + dense_seconds * sparsity_factor * cache_factor;
+}
+
+double simulate_matmul_runtime(std::size_t n, double sparsity, const hw::HardwareSpec& spec,
+                               const MatmulModelConfig& config, Rng& rng) {
+  const double expected = matmul_expected_runtime(n, sparsity, spec, config);
+  const double sigma = config.relative_noise_sigma;
+  const double multiplicative = rng.lognormal(-0.5 * sigma * sigma, sigma);
+  // Delays are one-sided: shared clusters add wait time, never give it back.
+  const double delay = config.delay_mean_s > 0.0
+                           ? rng.exponential(1.0 / config.delay_mean_s)
+                           : 0.0;
+  return expected * multiplicative + delay;
+}
+
+const std::vector<std::string>& matmul_feature_names() {
+  static const std::vector<std::string> names = {"size", "sparsity", "min_value", "max_value"};
+  return names;
+}
+
+std::vector<df::DataFrame> build_matmul_frames(const hw::HardwareCatalog& catalog,
+                                               const MatmulModelConfig& config,
+                                               const MatmulDatasetOptions& options) {
+  BW_CHECK_MSG(!catalog.empty(), "catalog must not be empty");
+  BW_CHECK_MSG(options.min_size < options.split_size && options.split_size <= options.max_size,
+               "size thresholds must satisfy min < split <= max");
+
+  Rng seeder(options.seed);
+  Rng sampler(seeder.child_seed(2000));
+
+  struct GroupSample {
+    std::size_t size;
+    double sparsity;
+    int min_value;
+    int max_value;
+  };
+  std::vector<GroupSample> groups;
+  groups.reserve(options.small_runs + options.large_runs);
+  for (std::size_t g = 0; g < options.small_runs + options.large_runs; ++g) {
+    GroupSample sample{};
+    const bool small = g < options.small_runs;
+    const std::size_t lo = small ? options.min_size : options.split_size;
+    const std::size_t hi = small ? options.split_size - 1 : options.max_size;
+    // Small sizes are sampled log-uniformly (users sweep sizes
+    // multiplicatively), so most small runs finish in seconds — the regime
+    // where the paper observes near-random best-hardware accuracy. Large
+    // sizes are uniform.
+    if (small) {
+      const double log_lo = std::log(static_cast<double>(lo));
+      const double log_hi = std::log(static_cast<double>(hi));
+      sample.size = static_cast<std::size_t>(std::llround(
+          std::exp(sampler.uniform(log_lo, log_hi))));
+      sample.size = std::clamp(sample.size, lo, hi);
+    } else {
+      sample.size = static_cast<std::size_t>(
+          sampler.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+    }
+    sample.sparsity = sampler.uniform(0.0, 0.9);
+    sample.min_value = static_cast<int>(sampler.uniform_int(-100, 0));
+    sample.max_value = static_cast<int>(sampler.uniform_int(1, 100));
+    groups.push_back(sample);
+  }
+
+  std::vector<df::DataFrame> frames;
+  frames.reserve(catalog.size());
+  for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+    Rng rng(seeder.child_seed(arm));
+    std::vector<std::int64_t> run_ids, sizes, min_values, max_values;
+    std::vector<double> sparsities, runtimes;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const GroupSample& sample = groups[g];
+      run_ids.push_back(static_cast<std::int64_t>(g));
+      sizes.push_back(static_cast<std::int64_t>(sample.size));
+      sparsities.push_back(sample.sparsity);
+      min_values.push_back(sample.min_value);
+      max_values.push_back(sample.max_value);
+      runtimes.push_back(
+          simulate_matmul_runtime(sample.size, sample.sparsity, catalog[arm], config, rng));
+    }
+    df::DataFrame frame;
+    frame.add_column("run_id", df::Column(std::move(run_ids)));
+    frame.add_column("size", df::Column(std::move(sizes)));
+    frame.add_column("sparsity", df::Column(std::move(sparsities)));
+    frame.add_column("min_value", df::Column(std::move(min_values)));
+    frame.add_column("max_value", df::Column(std::move(max_values)));
+    frame.add_column("runtime", df::Column(std::move(runtimes)));
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace bw::apps

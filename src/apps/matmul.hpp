@@ -1,0 +1,106 @@
+#pragma once
+// Matrix-squaring workload (paper Experiment 3).
+//
+// Two halves:
+//  1. A real, runnable kernel — "a fully parallelized, tiled matrix
+//     squaring algorithm that takes advantage of the full number of CPU
+//     cores given to it" (paper Section 1). Used by the matmul_live
+//     example (online learning from live measurements) and the kernel
+//     microbenchmark.
+//  2. A calibrated analytic runtime model + dataset builder. Re-running
+//     2520 multiplications up to n=12500 is ~10^13 flops per arm, so the
+//     dataset-scale experiments use the model (DESIGN.md section 2); its
+//     constants are chosen to match the paper's regime: runs under a
+//     minute below size 5000 (hardware choice drowned by system noise),
+//     tens of minutes at size 12500 (hardware choice dominant).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "dataframe/dataframe.hpp"
+#include "hardware/catalog.hpp"
+#include "hardware/perf_model.hpp"
+
+namespace bw::apps {
+
+/// Dense square matrix in row-major order.
+struct DenseMatrix {
+  std::size_t n = 0;
+  std::vector<double> a;  ///< n*n row-major values
+
+  double& at(std::size_t r, std::size_t c) { return a[r * n + c]; }
+  double at(std::size_t r, std::size_t c) const { return a[r * n + c]; }
+};
+
+/// Random integer matrix: entries uniform in [min_value, max_value], then
+/// a `sparsity` fraction of entries zeroed ("the ratio of zeros in the
+/// matrix"). Deterministic given the seed.
+DenseMatrix generate_matrix(std::size_t n, double sparsity, int min_value, int max_value,
+                            std::uint64_t seed);
+
+/// Reference O(n^3) triple loop (tests compare the tiled kernel to this).
+DenseMatrix naive_square(const DenseMatrix& m);
+
+/// Cache-tiled square: C = M * M with `block`-sized tiles, parallelized
+/// over row-tiles on `pool` (sequential when pool is nullptr).
+DenseMatrix tiled_square(const DenseMatrix& m, ThreadPool* pool = nullptr,
+                         std::size_t block = 64);
+
+/// Wall-clock seconds for one tiled square of a fresh n x n matrix.
+double measure_tiled_square_seconds(std::size_t n, ThreadPool& pool, std::size_t block = 64);
+
+// ---- analytic runtime model --------------------------------------------
+
+struct MatmulModelConfig {
+  double flops_per_core_per_s = 3e9;  ///< effective per-core throughput
+  double overhead_s = 1.5;            ///< scheduling/container startup
+  /// Cache-pressure inflation at the largest size: runtime multiplier
+  /// (1 + cache_pressure * (n / 12500)^2).
+  double cache_pressure = 0.5;
+  /// Relative speedup from skipping zeros (sparsity in [0, 1]).
+  double sparsity_speedup = 0.08;
+  /// Mean of the exponential system delay added to every run (queueing,
+  /// image pulls, co-tenant stalls) — what makes hardware choice
+  /// meaningless for sub-minute runs.
+  double delay_mean_s = 6.0;
+  /// Multiplicative lognormal noise sigma.
+  double relative_noise_sigma = 0.04;
+  /// Parallel scaling of the tiled kernel.
+  hw::PerfModelParams perf{
+      .parallel_fraction = 0.97,
+      .sync_overhead = 0.02,
+      .base_throughput = 1.0,
+      .mem_pressure_slowdown_per_gb = 0.25,
+  };
+};
+
+/// Noise-free expected runtime of squaring an n x n matrix on `spec`.
+double matmul_expected_runtime(std::size_t n, double sparsity, const hw::HardwareSpec& spec,
+                               const MatmulModelConfig& config);
+
+/// Observed runtime: expected runtime with multiplicative lognormal noise
+/// plus a one-sided exponential system delay (always positive).
+double simulate_matmul_runtime(std::size_t n, double sparsity, const hw::HardwareSpec& spec,
+                               const MatmulModelConfig& config, Rng& rng);
+
+struct MatmulDatasetOptions {
+  std::size_t small_runs = 1800;  ///< paper: 1800 runs with size < 5000
+  std::size_t large_runs = 720;   ///< remainder of the 2520-run dataset
+  std::size_t min_size = 100;
+  std::size_t split_size = 5000;  ///< truncated dataset = size >= split
+  std::size_t max_size = 12500;
+  std::uint64_t seed = 7003;
+};
+
+/// Feature-column names for the matmul dataset.
+const std::vector<std::string>& matmul_feature_names();
+
+/// One DataFrame per hardware with columns
+///   run_id, size, sparsity, min_value, max_value, runtime.
+std::vector<df::DataFrame> build_matmul_frames(const hw::HardwareCatalog& catalog,
+                                               const MatmulModelConfig& config,
+                                               const MatmulDatasetOptions& options);
+
+}  // namespace bw::apps

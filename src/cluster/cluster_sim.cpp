@@ -1,0 +1,175 @@
+#include "cluster/cluster_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace bw::cluster {
+
+std::string to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kBestFit: return "best-fit";
+    case PlacementPolicy::kWorstFit: return "worst-fit";
+  }
+  return "?";
+}
+
+ClusterSim::ClusterSim(std::vector<Node> nodes, PlacementPolicy policy)
+    : nodes_(std::move(nodes)), policy_(policy) {
+  BW_CHECK_MSG(!nodes_.empty(), "cluster needs at least one node");
+}
+
+PodId ClusterSim::submit(double time_s, PodSpec pod) {
+  BW_CHECK_MSG(time_s >= now_, "cannot submit in the past");
+  BW_CHECK_MSG(pod.cpu_request > 0 && pod.memory_gb_request > 0,
+               "pod resource requests must be positive");
+  BW_CHECK_MSG(pod.duration_s > 0, "pod duration must be positive");
+  const bool can_ever_fit = std::any_of(nodes_.begin(), nodes_.end(), [&](const Node& n) {
+    return pod.cpu_request <= n.cpu_capacity() && pod.memory_gb_request <= n.memory_capacity_gb();
+  });
+  BW_CHECK_MSG(can_ever_fit, "pod '" + pod.name + "' exceeds every node's capacity");
+
+  PodRecord record;
+  record.spec = std::move(pod);
+  record.submit_s = time_s;
+  records_.push_back(std::move(record));
+  const PodId id = records_.size() - 1;
+  submit_events_.push({time_s, id});
+  return id;
+}
+
+std::optional<std::size_t> ClusterSim::pick_node(const PodSpec& pod) const {
+  std::optional<std::size_t> best;
+  double best_metric = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].fits(pod.cpu_request, pod.memory_gb_request)) continue;
+    const double cpu_left = nodes_[i].cpu_free() - pod.cpu_request;
+    switch (policy_) {
+      case PlacementPolicy::kFirstFit:
+        return i;
+      case PlacementPolicy::kBestFit:
+        if (!best || cpu_left < best_metric) {
+          best = i;
+          best_metric = cpu_left;
+        }
+        break;
+      case PlacementPolicy::kWorstFit:
+        if (!best || cpu_left > best_metric) {
+          best = i;
+          best_metric = cpu_left;
+        }
+        break;
+    }
+  }
+  return best;
+}
+
+void ClusterSim::try_start(PodId id) {
+  PodRecord& record = records_[id];
+  const std::optional<std::size_t> node_index = pick_node(record.spec);
+  if (!node_index) {
+    pending_.push_back(id);
+    return;
+  }
+  Node& node = nodes_[*node_index];
+  // Contention reflects co-tenants: how busy the node already is when this
+  // pod lands (its own request does not slow itself down).
+  const double utilization_before = node.utilization();
+  node.allocate(record.spec.cpu_request, record.spec.memory_gb_request);
+  record.phase = PodPhase::kRunning;
+  record.node = node_index;
+  record.start_s = now_;
+  record.inflation = hw::PerfModel::contention_inflation(utilization_before);
+  record.finish_s = now_ + record.spec.duration_s * record.inflation;
+  finish_events_.push({record.finish_s, id});
+}
+
+void ClusterSim::drain_pending() {
+  // FIFO retry: keep starting pods until one cannot be placed (strict FIFO
+  // fairness — later pods do not jump the queue).
+  while (!pending_.empty()) {
+    const PodId id = pending_.front();
+    const std::optional<std::size_t> node_index = pick_node(records_[id].spec);
+    if (!node_index) return;
+    pending_.erase(pending_.begin());
+    try_start(id);
+  }
+}
+
+void ClusterSim::process_events_until(double limit, bool stop_when_idle) {
+  for (;;) {
+    const bool has_submit = !submit_events_.empty();
+    const bool has_finish = !finish_events_.empty();
+    if (!has_submit && !has_finish) {
+      if (!stop_when_idle) now_ = std::max(now_, limit);
+      return;
+    }
+    const double next_submit = has_submit ? submit_events_.top().time
+                                          : std::numeric_limits<double>::infinity();
+    const double next_finish = has_finish ? finish_events_.top().time
+                                          : std::numeric_limits<double>::infinity();
+    const double next_time = std::min(next_submit, next_finish);
+    if (next_time > limit) {
+      now_ = limit;
+      return;
+    }
+    now_ = next_time;
+    // Process finishes before submits at equal timestamps so freed
+    // resources are visible to pods arriving "at the same moment".
+    if (next_finish <= next_submit) {
+      const PodId id = finish_events_.top().pod;
+      finish_events_.pop();
+      PodRecord& record = records_[id];
+      record.phase = PodPhase::kCompleted;
+      nodes_[*record.node].release(record.spec.cpu_request, record.spec.memory_gb_request);
+      drain_pending();
+    } else {
+      const PodId id = submit_events_.top().pod;
+      submit_events_.pop();
+      try_start(id);
+    }
+  }
+}
+
+void ClusterSim::run_until_idle() {
+  process_events_until(std::numeric_limits<double>::infinity(), /*stop_when_idle=*/true);
+}
+
+void ClusterSim::run_until(double until_s) {
+  BW_CHECK_MSG(until_s >= now_, "cannot run backwards in time");
+  process_events_until(until_s, /*stop_when_idle=*/false);
+}
+
+const PodRecord& ClusterSim::record(PodId id) const {
+  BW_CHECK_MSG(id < records_.size(), "pod id out of range");
+  return records_[id];
+}
+
+ClusterStats ClusterSim::stats() const {
+  ClusterStats stats;
+  RunningStats wait;
+  RunningStats runtime;
+  RunningStats inflation;
+  for (const auto& record : records_) {
+    switch (record.phase) {
+      case PodPhase::kPending: ++stats.pending; break;
+      case PodPhase::kRunning: ++stats.running; break;
+      case PodPhase::kCompleted:
+        ++stats.completed;
+        wait.add(record.wait_s());
+        runtime.add(record.runtime_s());
+        inflation.add(record.inflation);
+        stats.makespan_s = std::max(stats.makespan_s, record.finish_s);
+        break;
+    }
+  }
+  stats.mean_wait_s = wait.mean();
+  stats.mean_runtime_s = runtime.mean();
+  stats.mean_inflation = inflation.count() ? inflation.mean() : 1.0;
+  return stats;
+}
+
+}  // namespace bw::cluster

@@ -1,0 +1,111 @@
+#pragma once
+// Discrete-event simulation of a heterogeneous Kubernetes-like cluster:
+// pods are submitted over time, a bin-packing policy places them on nodes,
+// contention on busy nodes inflates runtimes, and finished pods free their
+// resources (unblocking the FIFO pending queue).
+//
+// This is the stand-in for the National Data Platform testbed — the
+// ndp_cluster_sim example runs BanditWare *inside* this loop: the bandit
+// picks the hardware request for each workflow, the simulated cluster
+// produces the observed runtime, and the observation updates the bandit.
+
+#include <cstddef>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "hardware/perf_model.hpp"
+
+namespace bw::cluster {
+
+using PodId = std::size_t;
+
+enum class PlacementPolicy {
+  kFirstFit,  ///< first node with room (node order)
+  kBestFit,   ///< feasible node with the least CPU left after placement
+  kWorstFit,  ///< feasible node with the most CPU left after placement
+};
+
+std::string to_string(PlacementPolicy policy);
+
+enum class PodPhase { kPending, kRunning, kCompleted };
+
+struct PodRecord {
+  PodSpec spec;
+  PodPhase phase = PodPhase::kPending;
+  double submit_s = 0.0;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  double inflation = 1.0;           ///< contention multiplier applied
+  std::optional<std::size_t> node;  ///< index into nodes()
+
+  double wait_s() const { return start_s - submit_s; }
+  double runtime_s() const { return finish_s - start_s; }
+};
+
+struct ClusterStats {
+  std::size_t completed = 0;
+  std::size_t pending = 0;
+  std::size_t running = 0;
+  double mean_wait_s = 0.0;
+  double mean_runtime_s = 0.0;
+  double mean_inflation = 1.0;
+  double makespan_s = 0.0;  ///< last finish time observed
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(std::vector<Node> nodes, PlacementPolicy policy = PlacementPolicy::kBestFit);
+
+  /// Submits a pod at simulation time `time_s` (>= current time). Returns
+  /// the pod id. Throws InvalidArgument if the pod can never fit on any
+  /// node (avoids an eternally pending queue).
+  PodId submit(double time_s, PodSpec pod);
+
+  /// Advances the simulation until all submitted pods have completed.
+  void run_until_idle();
+
+  /// Advances until simulation time reaches `until_s` (events at exactly
+  /// `until_s` are processed).
+  void run_until(double until_s);
+
+  double now() const { return now_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const PodRecord& record(PodId id) const;
+  std::size_t num_pods() const { return records_.size(); }
+
+  ClusterStats stats() const;
+
+ private:
+  struct FinishEvent {
+    double time;
+    PodId pod;
+    bool operator>(const FinishEvent& other) const {
+      return time > other.time || (time == other.time && pod > other.pod);
+    }
+  };
+  struct SubmitEvent {
+    double time;
+    PodId pod;
+    bool operator>(const SubmitEvent& other) const {
+      return time > other.time || (time == other.time && pod > other.pod);
+    }
+  };
+
+  std::optional<std::size_t> pick_node(const PodSpec& pod) const;
+  void try_start(PodId id);
+  void drain_pending();
+  void process_events_until(double limit, bool stop_when_idle);
+
+  std::vector<Node> nodes_;
+  PlacementPolicy policy_;
+  double now_ = 0.0;
+  std::vector<PodRecord> records_;
+  std::priority_queue<FinishEvent, std::vector<FinishEvent>, std::greater<>> finish_events_;
+  std::priority_queue<SubmitEvent, std::vector<SubmitEvent>, std::greater<>> submit_events_;
+  std::vector<PodId> pending_;  ///< FIFO of pods waiting for resources
+};
+
+}  // namespace bw::cluster

@@ -1,0 +1,34 @@
+#include "cluster/node.hpp"
+
+#include "common/error.hpp"
+
+namespace bw::cluster {
+
+Node::Node(std::string name, double cpu_capacity, double memory_gb_capacity)
+    : name_(std::move(name)), cpu_capacity_(cpu_capacity), memory_capacity_gb_(memory_gb_capacity) {
+  BW_CHECK_MSG(!name_.empty(), "node needs a name");
+  BW_CHECK_MSG(cpu_capacity > 0 && memory_gb_capacity > 0, "node capacity must be positive");
+}
+
+bool Node::fits(double cpu_request, double memory_gb_request) const {
+  constexpr double kEps = 1e-9;  // tolerate accumulated float error
+  return cpu_request <= cpu_free() + kEps && memory_gb_request <= memory_free_gb() + kEps;
+}
+
+void Node::allocate(double cpu_request, double memory_gb_request) {
+  BW_CHECK_MSG(cpu_request >= 0 && memory_gb_request >= 0, "negative resource request");
+  BW_CHECK_MSG(fits(cpu_request, memory_gb_request),
+               "request does not fit on node " + name_);
+  cpu_used_ += cpu_request;
+  memory_used_gb_ += memory_gb_request;
+}
+
+void Node::release(double cpu_request, double memory_gb_request) {
+  constexpr double kEps = 1e-9;
+  BW_CHECK_MSG(cpu_used_ + kEps >= cpu_request && memory_used_gb_ + kEps >= memory_gb_request,
+               "releasing more than allocated on node " + name_);
+  cpu_used_ = std::max(0.0, cpu_used_ - cpu_request);
+  memory_used_gb_ = std::max(0.0, memory_used_gb_ - memory_gb_request);
+}
+
+}  // namespace bw::cluster

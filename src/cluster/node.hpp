@@ -1,0 +1,54 @@
+#pragma once
+// Cluster nodes and pod requests — the Kubernetes-flavored vocabulary of
+// the NDP testbed the paper deploys on. A "hardware setting" H_i in the
+// paper is a pod resource request (cpus, memory) placed on such a node.
+
+#include <string>
+
+#include "hardware/spec.hpp"
+
+namespace bw::cluster {
+
+/// A schedulable machine with allocatable capacity and current usage.
+class Node {
+ public:
+  Node(std::string name, double cpu_capacity, double memory_gb_capacity);
+
+  const std::string& name() const { return name_; }
+  double cpu_capacity() const { return cpu_capacity_; }
+  double memory_capacity_gb() const { return memory_capacity_gb_; }
+  double cpu_used() const { return cpu_used_; }
+  double memory_used_gb() const { return memory_used_gb_; }
+
+  double cpu_free() const { return cpu_capacity_ - cpu_used_; }
+  double memory_free_gb() const { return memory_capacity_gb_ - memory_used_gb_; }
+
+  /// CPU utilization fraction in [0, 1].
+  double utilization() const { return cpu_capacity_ > 0 ? cpu_used_ / cpu_capacity_ : 0.0; }
+
+  bool fits(double cpu_request, double memory_gb_request) const;
+
+  /// Reserves resources; throws InvalidArgument if the request does not fit.
+  void allocate(double cpu_request, double memory_gb_request);
+
+  /// Releases resources; throws InvalidArgument on over-release.
+  void release(double cpu_request, double memory_gb_request);
+
+ private:
+  std::string name_;
+  double cpu_capacity_;
+  double memory_capacity_gb_;
+  double cpu_used_ = 0.0;
+  double memory_used_gb_ = 0.0;
+};
+
+/// A workload submission: the resource request mirrors a hardware setting
+/// H = (#cpus, memory) and `duration_s` is its uncontended runtime there.
+struct PodSpec {
+  std::string name;
+  double cpu_request = 1.0;
+  double memory_gb_request = 1.0;
+  double duration_s = 1.0;
+};
+
+}  // namespace bw::cluster

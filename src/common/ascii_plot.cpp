@@ -1,0 +1,162 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace bw {
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range find_range(const std::vector<Series>& series) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double y : s.ys) {
+      if (!std::isfinite(y)) continue;
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) return {0.0, 1.0};
+  if (lo == hi) {  // flat series: pad so it renders mid-plot
+    const double pad = (lo == 0.0) ? 1.0 : std::abs(lo) * 0.1;
+    return {lo - pad, hi + pad};
+  }
+  return {lo, hi};
+}
+
+std::string axis_value(double v) {
+  std::ostringstream os;
+  if (std::abs(v) >= 10000.0 || (v != 0.0 && std::abs(v) < 0.01)) {
+    os << std::scientific << std::setprecision(1) << v;
+  } else {
+    os << std::fixed << std::setprecision(2) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string plot_lines(const std::vector<Series>& series, const PlotOptions& options) {
+  BW_CHECK_MSG(options.width >= 8 && options.height >= 4, "plot area too small");
+  std::size_t n = 0;
+  for (const auto& s : series) n = std::max(n, s.ys.size());
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  if (n == 0) {
+    os << "(no data)\n";
+    return os.str();
+  }
+  const Range range = find_range(series);
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+
+  auto to_col = [&](std::size_t i, std::size_t len) {
+    if (len <= 1) return 0;
+    return static_cast<int>(std::lround(static_cast<double>(i) * (w - 1) / static_cast<double>(len - 1)));
+  };
+  auto to_row = [&](double y) {
+    const double t = (y - range.lo) / (range.hi - range.lo);
+    int row = static_cast<int>(std::lround((1.0 - t) * (h - 1)));
+    return std::clamp(row, 0, h - 1);
+  };
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.ys.size(); ++i) {
+      if (!std::isfinite(s.ys[i])) continue;
+      grid[static_cast<std::size_t>(to_row(s.ys[i]))][static_cast<std::size_t>(to_col(i, s.ys.size()))] = s.marker;
+    }
+  }
+
+  if (!options.y_label.empty()) os << options.y_label << '\n';
+  const std::string hi_label = axis_value(range.hi);
+  const std::string lo_label = axis_value(range.lo);
+  const std::size_t label_w = std::max(hi_label.size(), lo_label.size());
+  for (int r = 0; r < h; ++r) {
+    std::string label(label_w, ' ');
+    if (r == 0) label = hi_label;
+    if (r == h - 1) label = lo_label;
+    os << std::setw(static_cast<int>(label_w)) << label << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(label_w + 1, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  if (!options.x_label.empty()) {
+    os << std::string(label_w + 2, ' ') << "0" << std::string(static_cast<std::size_t>(std::max(1, w - 12)), ' ')
+       << options.x_label << '\n';
+  }
+  bool any_named = false;
+  for (const auto& s : series) any_named = any_named || !s.name.empty();
+  if (any_named) {
+    os << "  legend:";
+    for (const auto& s : series) {
+      if (!s.name.empty()) os << "  " << s.marker << " = " << s.name;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string plot_histogram(std::span<const double> values, int bins, const PlotOptions& options) {
+  BW_CHECK_MSG(bins >= 1, "histogram needs at least one bin");
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  if (values.empty()) {
+    os << "(no data)\n";
+    return os.str();
+  }
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo == hi) hi = lo + 1.0;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(bins), 0);
+  for (double v : values) {
+    auto b = static_cast<std::size_t>((v - lo) / (hi - lo) * bins);
+    if (b >= counts.size()) b = counts.size() - 1;
+    ++counts[b];
+  }
+  const std::size_t max_count = *std::max_element(counts.begin(), counts.end());
+  const int bar_w = std::max(8, options.width - 24);
+  for (int b = 0; b < bins; ++b) {
+    const double bin_lo = lo + (hi - lo) * b / bins;
+    const double bin_hi = lo + (hi - lo) * (b + 1) / bins;
+    const std::size_t len = max_count
+        ? counts[static_cast<std::size_t>(b)] * static_cast<std::size_t>(bar_w) / max_count
+        : 0;
+    os << '[' << std::setw(9) << axis_value(bin_lo) << ',' << std::setw(9) << axis_value(bin_hi)
+       << ") " << std::string(len, '#') << ' ' << counts[static_cast<std::size_t>(b)] << '\n';
+  }
+  return os.str();
+}
+
+std::string plot_band(std::span<const double> mean, std::span<const double> sd,
+                      const PlotOptions& options) {
+  BW_CHECK_MSG(mean.size() == sd.size(), "plot_band: size mismatch");
+  std::vector<Series> series(3);
+  series[0].name = "mean";
+  series[0].marker = '*';
+  series[1].name = "mean+sd";
+  series[1].marker = '.';
+  series[2].name = "mean-sd";
+  series[2].marker = '.';
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    series[0].ys.push_back(mean[i]);
+    series[1].ys.push_back(mean[i] + sd[i]);
+    series[2].ys.push_back(mean[i] - sd[i]);
+  }
+  return plot_lines(series, options);
+}
+
+}  // namespace bw

@@ -1,0 +1,39 @@
+#pragma once
+// Terminal line charts and histograms so bench binaries can render the
+// paper's figures directly in CI logs (no plotting stack available offline).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bw {
+
+struct PlotOptions {
+  int width = 72;       ///< plot area width in characters
+  int height = 16;      ///< plot area height in rows
+  std::string title;    ///< optional title line
+  std::string x_label;  ///< optional x-axis label
+  std::string y_label;  ///< optional y-axis label (printed above the axis)
+};
+
+/// One named series for `plot_lines`.
+struct Series {
+  std::string name;
+  std::vector<double> ys;  ///< sampled at x = 0..n-1 (round index)
+  char marker = '*';
+};
+
+/// Renders one or more series over a shared y-range; x is the sample index.
+/// Constant series render as a flat line mid-plot.
+std::string plot_lines(const std::vector<Series>& series, const PlotOptions& options = {});
+
+/// Renders a horizontal histogram of `values` with `bins` buckets.
+std::string plot_histogram(std::span<const double> values, int bins = 10,
+                           const PlotOptions& options = {});
+
+/// Compact per-round "mean ± sd" band plot: mean line with '*' and band
+/// edges with '·' (used for the RMSE/accuracy-over-time figures).
+std::string plot_band(std::span<const double> mean, std::span<const double> sd,
+                      const PlotOptions& options = {});
+
+}  // namespace bw

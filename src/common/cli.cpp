@@ -1,0 +1,92 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bw {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& default_value,
+                         const std::string& help) {
+  BW_CHECK_MSG(!name.empty() && name[0] != '-', "flag names are registered without dashes");
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      std::string key = arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+      auto it = flags_.find(key);
+      if (it == flags_.end()) throw InvalidArgument("unknown flag: --" + key);
+      if (eq != std::string::npos) {
+        it->second.value = arg.substr(eq + 1);
+      } else if (i + 1 < argc) {
+        it->second.value = argv[++i];
+      } else {
+        throw InvalidArgument("flag --" + key + " expects a value");
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  BW_CHECK_MSG(it != flags_.end(), "flag not registered: " + name);
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return parsed;
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + name + " expects an integer, got '" + v + "'");
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return parsed;
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw InvalidArgument("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::string CliParser::help() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << "=<value>  " << flag.help << " (default: " << flag.default_value
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace bw

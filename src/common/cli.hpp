@@ -1,0 +1,47 @@
+#pragma once
+// Minimal --key=value flag parser for examples and bench binaries.
+// Unknown flags raise errors so typos fail fast; `--help` text is generated
+// from the registered flags.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bw {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Registers a flag with a default value and a help line.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing help) if --help was given.
+  /// Throws InvalidArgument on unknown flags or malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string help() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bw

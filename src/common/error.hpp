@@ -1,0 +1,58 @@
+#pragma once
+// Lightweight precondition / invariant checking used across all modules.
+//
+// BW_CHECK throws bw::Error (not assert) so that failure-injection tests can
+// exercise error paths, and so release builds keep their guard rails.
+
+#include <stdexcept>
+#include <string>
+
+namespace bw {
+
+/// Base exception for all BanditWare errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when input data (CSV, JSON, dataset) is malformed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine cannot proceed (singular matrix, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::string what = std::string("check failed: ") + expr + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  throw InvalidArgument(what);
+}
+}  // namespace detail
+
+}  // namespace bw
+
+#define BW_CHECK(expr)                                                      \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::bw::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define BW_CHECK_MSG(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::bw::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)

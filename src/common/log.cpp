@@ -1,0 +1,58 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace bw {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::once_flag g_env_once;
+
+void init_from_env() {
+  if (const char* env = std::getenv("BW_LOG")) {
+    g_level.store(parse_log_level(env));
+  }
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load();
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  static std::mutex io_mutex;
+  std::lock_guard lock(io_mutex);
+  std::fprintf(stderr, "[bw:%s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace bw

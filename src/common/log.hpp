@@ -1,0 +1,37 @@
+#pragma once
+// Tiny leveled logger. Off by default (benches must emit clean series);
+// enable with bw::set_log_level or the BW_LOG environment variable
+// (trace|debug|info|warn|error).
+
+#include <sstream>
+#include <string>
+
+namespace bw {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug" etc.; unknown names map to kOff.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+}  // namespace bw
+
+#define BW_LOG(level, expr)                                       \
+  do {                                                            \
+    if (static_cast<int>(level) >= static_cast<int>(::bw::log_level())) { \
+      std::ostringstream bw_log_os;                               \
+      bw_log_os << expr;                                          \
+      ::bw::detail::log_line(level, bw_log_os.str());             \
+    }                                                             \
+  } while (0)
+
+#define BW_LOG_DEBUG(expr) BW_LOG(::bw::LogLevel::kDebug, expr)
+#define BW_LOG_INFO(expr) BW_LOG(::bw::LogLevel::kInfo, expr)
+#define BW_LOG_WARN(expr) BW_LOG(::bw::LogLevel::kWarn, expr)
+#define BW_LOG_ERROR(expr) BW_LOG(::bw::LogLevel::kError, expr)

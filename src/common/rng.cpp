@@ -1,0 +1,147 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace bw {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64_next(sm);
+}
+
+static inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> t{0, 0, 0, 0};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        for (std::size_t i = 0; i < 4; ++i) t[i] ^= s_[i];
+      }
+      (*this)();
+    }
+  }
+  s_ = t;
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa construction: uniform in [0, 1).
+  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  BW_CHECK_MSG(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  BW_CHECK_MSG(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(gen_());
+  }
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~span + 1) % span;  // == 2^64 mod span
+  std::uint64_t r;
+  do {
+    r = gen_();
+  } while (r < threshold);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller: two uniforms -> two independent standard normals.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();  // avoid log(0)
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::exponential(double lambda) {
+  BW_CHECK_MSG(lambda > 0.0, "exponential rate must be positive");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  BW_CHECK_MSG(n > 0, "index(n) requires n > 0");
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = index(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  BW_CHECK_MSG(k <= n, "cannot sample more elements than the population size");
+  // Partial Fisher–Yates: only the first k swaps are needed.
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::uint64_t Rng::child_seed(std::uint64_t i) const {
+  // Mix the parent seed with the child index through splitmix64 twice so
+  // consecutive children are decorrelated.
+  std::uint64_t state = seed_ ^ (0xd1342543de82ef95ULL * (i + 1));
+  splitmix64_next(state);
+  return splitmix64_next(state);
+}
+
+}  // namespace bw

@@ -1,0 +1,96 @@
+#pragma once
+// Deterministic, platform-independent pseudo-random number generation.
+//
+// std::mt19937 + std::normal_distribution produce implementation-defined
+// sequences; every figure in the paper reports variation across seeded
+// simulations, so we need bit-identical streams everywhere. We implement
+// splitmix64 (seed expansion / child-seed derivation) and xoshiro256**
+// (the main generator), plus explicit Box–Muller normals.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace bw {
+
+/// splitmix64 step: advances `state` and returns the next 64-bit output.
+/// Used to expand a single user seed into generator state and to derive
+/// independent child seeds (one per simulation).
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by running splitmix64 on `seed`.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// 2^128 decorrelation jump (for long-range independent streams).
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Convenience wrapper: a seeded generator plus the distributions the
+/// library actually uses. All methods are deterministic given the seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : gen_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box–Muller (deterministic across platforms).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)). Used for heavy-tailed system noise.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda);
+
+  /// Index in [0, n) — convenience for arm / row sampling. Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher–Yates shuffle of indices [0, n). Deterministic given the seed.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Sample k distinct indices from [0, n) without replacement (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Derives the seed for the i-th child stream. Children are independent
+  /// of each other and of this generator's future output.
+  std::uint64_t child_seed(std::uint64_t i) const;
+
+  Xoshiro256& generator() { return gen_; }
+
+ private:
+  Xoshiro256 gen_;
+  std::uint64_t seed_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace bw

@@ -1,0 +1,155 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bw {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  BW_CHECK_MSG(n_ > 0, "min() of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  BW_CHECK_MSG(n_ > 0, "max() of empty accumulator");
+  return max_;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " p25=" << p25 << " med=" << median << " p75=" << p75 << " max=" << max;
+  return os.str();
+}
+
+double percentile(std::span<const double> xs, double q) {
+  BW_CHECK_MSG(!xs.empty(), "percentile of empty sample");
+  BW_CHECK_MSG(q >= 0.0 && q <= 100.0, "percentile q must be in [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.p25 = percentile(xs, 25.0);
+  s.median = percentile(xs, 50.0);
+  s.p75 = percentile(xs, 75.0);
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.mean();
+}
+
+double stddev(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.stddev();
+}
+
+double rmse(std::span<const double> predicted, std::span<const double> actual) {
+  BW_CHECK_MSG(predicted.size() == actual.size(), "rmse: size mismatch");
+  BW_CHECK_MSG(!predicted.empty(), "rmse of empty sample");
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - actual[i];
+    sum_sq += e * e;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(predicted.size()));
+}
+
+double r_squared(std::span<const double> predicted, std::span<const double> actual) {
+  BW_CHECK_MSG(predicted.size() == actual.size(), "r_squared: size mismatch");
+  BW_CHECK_MSG(!predicted.empty(), "r_squared of empty sample");
+  const double y_bar = mean(actual);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double res = actual[i] - predicted[i];
+    const double dev = actual[i] - y_bar;
+    ss_res += res * res;
+    ss_tot += dev * dev;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+RoundAggregate aggregate_rounds(const std::vector<std::vector<double>>& per_sim) {
+  RoundAggregate agg;
+  if (per_sim.empty()) return agg;
+  const std::size_t rounds = per_sim.front().size();
+  for (const auto& sim : per_sim) {
+    BW_CHECK_MSG(sim.size() == rounds, "aggregate_rounds: ragged simulations");
+  }
+  agg.mean.resize(rounds);
+  agg.stddev.resize(rounds);
+  agg.min.resize(rounds);
+  agg.max.resize(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    RunningStats rs;
+    for (const auto& sim : per_sim) rs.add(sim[r]);
+    agg.mean[r] = rs.mean();
+    agg.stddev[r] = rs.stddev();
+    agg.min[r] = rs.min();
+    agg.max[r] = rs.max();
+  }
+  return agg;
+}
+
+}  // namespace bw

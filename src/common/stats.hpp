@@ -1,0 +1,85 @@
+#pragma once
+// Statistics utilities shared by the evaluator, the experiment drivers and
+// the benches: Welford online moments, five-number summaries, percentiles,
+// RMSE / R², and per-round aggregation across simulations.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bw {
+
+/// Numerically stable online mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number summary plus mean/stddev of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+
+  /// Range max - min (the paper reports "total range" for Figs. 5/8).
+  double range() const { return max - min; }
+
+  std::string to_string() const;
+};
+
+/// Computes a Summary. Returns an all-zero summary for empty input.
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 100]. Requires non-empty input.
+double percentile(std::span<const double> xs, double q);
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// Root mean squared error between predictions and targets (equal lengths,
+/// non-empty).
+double rmse(std::span<const double> predicted, std::span<const double> actual);
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot.
+/// Returns 0 when the targets are constant (SS_tot == 0) and predictions
+/// differ from them; 1 when predictions match exactly.
+double r_squared(std::span<const double> predicted, std::span<const double> actual);
+
+/// Mean ± stddev of one metric across simulations, per round.
+/// `per_sim[s][r]` is the metric of simulation s at round r; all simulations
+/// must have the same number of rounds.
+struct RoundAggregate {
+  std::vector<double> mean;    ///< per-round mean across simulations
+  std::vector<double> stddev;  ///< per-round sample stddev across simulations
+  std::vector<double> min;
+  std::vector<double> max;
+  std::size_t rounds() const { return mean.size(); }
+};
+
+RoundAggregate aggregate_rounds(const std::vector<std::vector<double>>& per_sim);
+
+}  // namespace bw

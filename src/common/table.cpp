@@ -1,0 +1,108 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bw {
+
+std::string format_double(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  std::string s = os.str();
+  // Trim trailing zeros but keep at least one digit after the point.
+  if (s.find('.') != std::string::npos) {
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.push_back('0');
+  }
+  return s;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  BW_CHECK_MSG(!headers_.empty(), "table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  BW_CHECK_MSG(row.size() == headers_.size(), "table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c], '-');
+    if (c + 1 < headers_.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (const auto& cell : row) os << ' ' << cell << " |";
+    os << '\n';
+  };
+  emit(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+static std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(row[c]);
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace bw

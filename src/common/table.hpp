@@ -1,0 +1,40 @@
+#pragma once
+// Aligned plain-text / markdown table rendering for bench and example
+// output. Every figure-reproduction bench prints its series through this.
+
+#include <string>
+#include <vector>
+
+namespace bw {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  void add_row_numeric(const std::vector<double>& row, int precision = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  /// Space-aligned text rendering with a header separator.
+  std::string to_string() const;
+
+  /// GitHub-flavored markdown rendering.
+  std::string to_markdown() const;
+
+  /// RFC-4180-ish CSV rendering (quotes fields containing , " or newline).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, trimming to a compact form.
+std::string format_double(double value, int precision = 4);
+
+}  // namespace bw

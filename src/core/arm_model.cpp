@@ -1,0 +1,45 @@
+#include "core/arm_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+LinearArmModel::LinearArmModel(std::size_t dim, linalg::FitOptions fit)
+    : dim_(dim), fit_(fit) {
+  BW_CHECK_MSG(dim > 0, "arm model needs at least one feature");
+  reset();
+}
+
+void LinearArmModel::reset() {
+  xs_.clear();
+  ys_.clear();
+  model_.weights.assign(dim_, 0.0);  // paper init: w_i = 0, b_i = 0
+  model_.bias = 0.0;
+  model_.n_observations = 0;
+}
+
+void LinearArmModel::observe(std::span<const double> x, double runtime_s) {
+  BW_CHECK_MSG(x.size() == dim_, "arm model: feature size mismatch");
+  BW_CHECK_MSG(linalg::all_finite(x), "arm model: non-finite feature");
+  BW_CHECK_MSG(std::isfinite(runtime_s), "arm model: non-finite runtime");
+  xs_.emplace_back(x.begin(), x.end());
+  ys_.push_back(runtime_s);
+  refit();
+}
+
+void LinearArmModel::refit() {
+  linalg::Matrix design(xs_.size(), dim_);
+  for (std::size_t r = 0; r < xs_.size(); ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) design(r, c) = xs_[r][c];
+  }
+  model_ = linalg::fit_linear(design, ys_, fit_).model;
+}
+
+double LinearArmModel::predict(std::span<const double> x) const {
+  BW_CHECK_MSG(x.size() == dim_, "arm model: feature size mismatch");
+  return model_.predict(x);
+}
+
+}  // namespace bw::core

@@ -1,0 +1,48 @@
+#pragma once
+// Per-arm linear runtime model (paper Section 3.2):
+//   R(H_i, x) = w_i^T x + b_i
+// initialized to w = 0, b = 0 and refit by least squares over the arm's
+// observation set D_i after every new observation (Alg. 1 lines 1-2, 10-11).
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "linalg/lstsq.hpp"
+
+namespace bw::core {
+
+class LinearArmModel {
+ public:
+  /// `dim` = number of workflow features m. FitOptions control the
+  /// regression (ridge fallback handles the first few underdetermined fits).
+  explicit LinearArmModel(std::size_t dim, linalg::FitOptions fit = {});
+
+  std::size_t dim() const { return dim_; }
+  std::size_t count() const { return xs_.size(); }
+
+  /// Records an observation and refits immediately (Alg. 1 line 10-11).
+  void observe(std::span<const double> x, double runtime_s);
+
+  /// Current prediction ŵ^T x + b̂; 0 before any observation (w=b=0 init).
+  double predict(std::span<const double> x) const;
+
+  const linalg::LinearModel& model() const { return model_; }
+
+  /// Stored observations (x rows, runtimes) — exposed for serialization.
+  const std::vector<FeatureVector>& observed_features() const { return xs_; }
+  const std::vector<double>& observed_runtimes() const { return ys_; }
+
+  void reset();
+
+ private:
+  void refit();
+
+  std::size_t dim_;
+  linalg::FitOptions fit_;
+  std::vector<FeatureVector> xs_;
+  std::vector<double> ys_;
+  linalg::LinearModel model_;  ///< always reflects the latest refit
+};
+
+}  // namespace bw::core

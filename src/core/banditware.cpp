@@ -1,0 +1,155 @@
+#include "core/banditware.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+BanditWare::BanditWare(hw::HardwareCatalog catalog, std::vector<std::string> feature_names,
+                       BanditWareConfig config)
+    : catalog_(std::move(catalog)),
+      feature_names_(std::move(feature_names)),
+      config_(config),
+      policy_(catalog_, feature_names_.empty() ? 1 : feature_names_.size(), config.policy) {
+  BW_CHECK_MSG(!feature_names_.empty(), "BanditWare needs at least one feature name");
+}
+
+BanditWare::Decision BanditWare::next(const FeatureVector& x, Rng& rng) {
+  BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
+  Decision decision;
+  decision.arm = policy_.select(x, rng);
+  decision.explored = policy_.last_was_exploration();
+  decision.spec = &catalog_[decision.arm];
+  decision.predicted_runtime_s = policy_.predict(decision.arm, x);
+  return decision;
+}
+
+const hw::HardwareSpec& BanditWare::recommend(const FeatureVector& x) const {
+  return catalog_[recommend_index(x)];
+}
+
+ArmIndex BanditWare::recommend_index(const FeatureVector& x) const {
+  BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
+  return policy_.recommend(x);
+}
+
+void BanditWare::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
+  BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
+  policy_.observe(arm, x, runtime_s);
+}
+
+std::vector<double> BanditWare::predictions(const FeatureVector& x) const {
+  BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
+  return policy_.predict_all(x);
+}
+
+std::size_t BanditWare::num_observations() const {
+  std::size_t total = 0;
+  for (ArmIndex arm = 0; arm < catalog_.size(); ++arm) {
+    total += policy_.arm_model(arm).count();
+  }
+  return total;
+}
+
+std::string BanditWare::save_state() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "banditware-state v1\n";
+  os << "epsilon0 " << config_.policy.initial_epsilon << " decay " << config_.policy.decay
+     << " tol_ratio " << config_.policy.tolerance.ratio << " tol_seconds "
+     << config_.policy.tolerance.seconds << "\n";
+  os << "epsilon " << policy_.epsilon() << "\n";
+  os << "features " << feature_names_.size();
+  for (const auto& name : feature_names_) os << ' ' << name;
+  os << "\n";
+  os << "arms " << catalog_.size() << "\n";
+  for (ArmIndex arm = 0; arm < catalog_.size(); ++arm) {
+    const auto& spec = catalog_[arm];
+    const auto& model = policy_.arm_model(arm);
+    os << "arm " << spec.name << ' ' << spec.cpus << ' ' << spec.memory_gb << " obs "
+       << model.count() << "\n";
+    for (std::size_t i = 0; i < model.count(); ++i) {
+      for (double v : model.observed_features()[i]) os << v << ' ';
+      os << model.observed_runtimes()[i] << "\n";
+    }
+  }
+  return os.str();
+}
+
+BanditWare BanditWare::load_state(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  auto fail = [](const std::string& what) -> void {
+    throw ParseError("BanditWare::load_state: " + what);
+  };
+
+  if (!std::getline(is, line) || line != "banditware-state v1") fail("bad header");
+
+  BanditWareConfig config;
+  std::string token;
+  double epsilon = 1.0;
+  {
+    is >> token;
+    if (token != "epsilon0") fail("expected epsilon0");
+    is >> config.policy.initial_epsilon;
+    is >> token >> config.policy.decay;
+    is >> token >> config.policy.tolerance.ratio;
+    is >> token >> config.policy.tolerance.seconds;
+    is >> token;
+    if (token != "epsilon") fail("expected epsilon");
+    is >> epsilon;
+  }
+
+  std::size_t num_features = 0;
+  is >> token >> num_features;
+  if (token != "features" || num_features == 0) fail("expected features");
+  std::vector<std::string> feature_names(num_features);
+  for (auto& name : feature_names) is >> name;
+
+  std::size_t num_arms = 0;
+  is >> token >> num_arms;
+  if (token != "arms" || num_arms == 0) fail("expected arms");
+
+  struct ArmData {
+    hw::HardwareSpec spec;
+    std::vector<FeatureVector> xs;
+    std::vector<double> ys;
+  };
+  std::vector<ArmData> arms(num_arms);
+  hw::HardwareCatalog catalog;
+  for (auto& arm : arms) {
+    std::size_t obs = 0;
+    is >> token;
+    if (token != "arm") fail("expected arm record");
+    is >> arm.spec.name >> arm.spec.cpus >> arm.spec.memory_gb >> token >> obs;
+    if (token != "obs") fail("expected obs count");
+    if (!is) fail("truncated arm header");
+    catalog.add(arm.spec);
+    for (std::size_t i = 0; i < obs; ++i) {
+      FeatureVector x(num_features);
+      double y = 0.0;
+      for (double& v : x) is >> v;
+      is >> y;
+      if (!is) fail("truncated observation");
+      arm.xs.push_back(std::move(x));
+      arm.ys.push_back(y);
+    }
+  }
+
+  BanditWare restored(std::move(catalog), std::move(feature_names), config);
+  // Replaying observations rebuilds the per-arm least-squares models; the
+  // saved ε is then restored explicitly (observe() decays it).
+  for (ArmIndex arm = 0; arm < restored.num_arms(); ++arm) {
+    for (std::size_t i = 0; i < arms[arm].xs.size(); ++i) {
+      restored.policy_.observe(arm, arms[arm].xs[i], arms[arm].ys[i]);
+    }
+  }
+  // observe() decayed ε during the replay above; the snapshot value is
+  // authoritative (the original run may have interleaved other decays).
+  restored.policy_.set_epsilon(epsilon);
+  return restored;
+}
+
+}  // namespace bw::core

@@ -1,0 +1,77 @@
+#pragma once
+// BanditWare — the user-facing API of the framework (paper Fig. 1).
+//
+// Typical integration loop (what the NDP deployment does):
+//
+//   bw::core::BanditWare bw(catalog, {"num_tasks"}, config);
+//   bw::Rng rng(42);
+//   for (auto& workflow : incoming) {
+//     auto decision = bw.next(workflow.features, rng);   // pick hardware
+//     double runtime = run_on(decision.spec, workflow);  // execute
+//     bw.observe(decision.arm, workflow.features, runtime);
+//   }
+//   const auto& best = bw.recommend(features);           // pure exploitation
+//
+// State can be saved to / restored from a plain-text snapshot so a service
+// can restart without losing what it learned.
+
+#include <string>
+#include <vector>
+
+#include "core/epsilon_greedy.hpp"
+#include "hardware/catalog.hpp"
+
+namespace bw::core {
+
+struct BanditWareConfig {
+  EpsilonGreedyConfig policy{};
+};
+
+class BanditWare {
+ public:
+  /// `feature_names` documents (and sizes) the workflow feature vector.
+  BanditWare(hw::HardwareCatalog catalog, std::vector<std::string> feature_names,
+             BanditWareConfig config = {});
+
+  struct Decision {
+    ArmIndex arm = 0;
+    const hw::HardwareSpec* spec = nullptr;
+    bool explored = false;             ///< true if this was an ε-exploration
+    double predicted_runtime_s = 0.0;  ///< R̂ for the chosen arm (0 if untrained)
+  };
+
+  /// Online step: selects hardware for the next workflow (may explore).
+  Decision next(const FeatureVector& x, Rng& rng);
+
+  /// Greedy tolerant recommendation — never explores.
+  const hw::HardwareSpec& recommend(const FeatureVector& x) const;
+  ArmIndex recommend_index(const FeatureVector& x) const;
+
+  /// Feeds back an observed runtime (also decays ε, per Algorithm 1).
+  void observe(ArmIndex arm, const FeatureVector& x, double runtime_s);
+
+  /// R̂(H_i, x) for every arm.
+  std::vector<double> predictions(const FeatureVector& x) const;
+
+  double epsilon() const { return policy_.epsilon(); }
+  std::size_t num_observations() const;
+  std::size_t num_arms() const { return catalog_.size(); }
+  const hw::HardwareCatalog& catalog() const { return catalog_; }
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+  const DecayingEpsilonGreedy& policy() const { return policy_; }
+
+  /// Plain-text state snapshot (config + catalog + observations + ε).
+  std::string save_state() const;
+
+  /// Rebuilds an instance from save_state() output.
+  /// Throws ParseError on malformed input.
+  static BanditWare load_state(const std::string& text);
+
+ private:
+  hw::HardwareCatalog catalog_;
+  std::vector<std::string> feature_names_;
+  BanditWareConfig config_;
+  DecayingEpsilonGreedy policy_;
+};
+
+}  // namespace bw::core

@@ -1,0 +1,179 @@
+#include "core/baselines.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+// ---- Ucb1 ---------------------------------------------------------------
+
+Ucb1::Ucb1(std::size_t num_arms, double exploration)
+    : exploration_(exploration), counts_(num_arms, 0), mean_runtime_(num_arms, 0.0) {
+  BW_CHECK_MSG(num_arms > 0, "policy needs at least one arm");
+  BW_CHECK_MSG(exploration >= 0.0, "exploration constant must be non-negative");
+}
+
+ArmIndex Ucb1::select(const FeatureVector& x, Rng& rng) {
+  (void)x;
+  (void)rng;
+  // Play every arm once first.
+  for (ArmIndex arm = 0; arm < counts_.size(); ++arm) {
+    if (counts_[arm] == 0) return arm;
+  }
+  ArmIndex best = 0;
+  double best_value = 0.0;
+  for (ArmIndex arm = 0; arm < counts_.size(); ++arm) {
+    const double bonus = exploration_ * std::sqrt(2.0 * std::log(static_cast<double>(total_)) /
+                                                  static_cast<double>(counts_[arm]));
+    const double value = mean_runtime_[arm] - bonus;  // optimism toward low runtime
+    if (arm == 0 || value < best_value) {
+      best_value = value;
+      best = arm;
+    }
+  }
+  return best;
+}
+
+void Ucb1::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
+  (void)x;
+  BW_CHECK_MSG(arm < counts_.size(), "arm index out of range");
+  ++counts_[arm];
+  ++total_;
+  mean_runtime_[arm] += (runtime_s - mean_runtime_[arm]) / static_cast<double>(counts_[arm]);
+}
+
+ArmIndex Ucb1::recommend(const FeatureVector& x) const {
+  (void)x;
+  ArmIndex best = 0;
+  for (ArmIndex arm = 1; arm < counts_.size(); ++arm) {
+    // Unplayed arms (mean 0) should not win by default; prefer played arms.
+    const bool best_played = counts_[best] > 0;
+    const bool arm_played = counts_[arm] > 0;
+    if (arm_played && (!best_played || mean_runtime_[arm] < mean_runtime_[best])) {
+      best = arm;
+    }
+  }
+  return best;
+}
+
+double Ucb1::predict(ArmIndex arm, const FeatureVector& x) const {
+  (void)x;
+  BW_CHECK_MSG(arm < counts_.size(), "arm index out of range");
+  return mean_runtime_[arm];
+}
+
+void Ucb1::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  std::fill(mean_runtime_.begin(), mean_runtime_.end(), 0.0);
+  total_ = 0;
+}
+
+// ---- MeanEpsilonGreedy ----------------------------------------------------
+
+MeanEpsilonGreedy::MeanEpsilonGreedy(std::size_t num_arms, double epsilon)
+    : epsilon_(epsilon), counts_(num_arms, 0), mean_runtime_(num_arms, 0.0) {
+  BW_CHECK_MSG(num_arms > 0, "policy needs at least one arm");
+  BW_CHECK_MSG(epsilon >= 0.0 && epsilon <= 1.0, "epsilon must be in [0,1]");
+}
+
+ArmIndex MeanEpsilonGreedy::select(const FeatureVector& x, Rng& rng) {
+  if (rng.bernoulli(epsilon_)) return rng.index(counts_.size());
+  return recommend(x);
+}
+
+void MeanEpsilonGreedy::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
+  (void)x;
+  BW_CHECK_MSG(arm < counts_.size(), "arm index out of range");
+  ++counts_[arm];
+  mean_runtime_[arm] += (runtime_s - mean_runtime_[arm]) / static_cast<double>(counts_[arm]);
+}
+
+ArmIndex MeanEpsilonGreedy::recommend(const FeatureVector& x) const {
+  (void)x;
+  // Prefer any unplayed arm (its mean is unknown, not zero).
+  for (ArmIndex arm = 0; arm < counts_.size(); ++arm) {
+    if (counts_[arm] == 0) return arm;
+  }
+  ArmIndex best = 0;
+  for (ArmIndex arm = 1; arm < counts_.size(); ++arm) {
+    if (mean_runtime_[arm] < mean_runtime_[best]) best = arm;
+  }
+  return best;
+}
+
+double MeanEpsilonGreedy::predict(ArmIndex arm, const FeatureVector& x) const {
+  (void)x;
+  BW_CHECK_MSG(arm < counts_.size(), "arm index out of range");
+  return mean_runtime_[arm];
+}
+
+void MeanEpsilonGreedy::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  std::fill(mean_runtime_.begin(), mean_runtime_.end(), 0.0);
+}
+
+// ---- RandomPolicy ----------------------------------------------------------
+
+RandomPolicy::RandomPolicy(std::size_t num_arms) : num_arms_(num_arms) {
+  BW_CHECK_MSG(num_arms > 0, "policy needs at least one arm");
+}
+
+ArmIndex RandomPolicy::select(const FeatureVector& x, Rng& rng) {
+  (void)x;
+  return rng.index(num_arms_);
+}
+
+void RandomPolicy::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
+  (void)arm;
+  (void)x;
+  (void)runtime_s;
+}
+
+ArmIndex RandomPolicy::recommend(const FeatureVector& x) const {
+  (void)x;
+  // Deterministic recommend() keeps the evaluator's accuracy metric
+  // reproducible: cycle through arms.
+  const ArmIndex arm = round_robin_ % num_arms_;
+  round_robin_ = (round_robin_ + 1) % num_arms_;
+  return arm;
+}
+
+double RandomPolicy::predict(ArmIndex arm, const FeatureVector& x) const {
+  (void)arm;
+  (void)x;
+  return 0.0;
+}
+
+// ---- OraclePolicy ----------------------------------------------------------
+
+OraclePolicy::OraclePolicy(std::size_t num_arms, BestArmFn best_arm)
+    : num_arms_(num_arms), best_arm_(std::move(best_arm)) {
+  BW_CHECK_MSG(num_arms > 0, "policy needs at least one arm");
+  BW_CHECK_MSG(static_cast<bool>(best_arm_), "oracle needs a best-arm function");
+}
+
+ArmIndex OraclePolicy::select(const FeatureVector& x, Rng& rng) {
+  (void)rng;
+  return recommend(x);
+}
+
+void OraclePolicy::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
+  (void)arm;
+  (void)x;
+  (void)runtime_s;
+}
+
+ArmIndex OraclePolicy::recommend(const FeatureVector& x) const {
+  const ArmIndex arm = best_arm_(x);
+  BW_CHECK_MSG(arm < num_arms_, "oracle returned an out-of-range arm");
+  return arm;
+}
+
+double OraclePolicy::predict(ArmIndex arm, const FeatureVector& x) const {
+  (void)arm;
+  (void)x;
+  return 0.0;
+}
+
+}  // namespace bw::core

@@ -1,0 +1,93 @@
+#pragma once
+// Non-contextual and reference policies used by the ablation benches:
+//  - UCB1 (lower-confidence-bound on mean runtime, context-blind)
+//  - non-contextual ε-greedy (mean runtime per arm)
+//  - uniform random
+//  - oracle (wraps a caller-supplied "true best arm" function)
+
+#include <functional>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace bw::core {
+
+/// UCB1 adapted to cost minimization: play each arm once, then pick
+/// argmin mean_i - c * sqrt(2 ln t / n_i). Ignores features entirely —
+/// its gap to the contextual policies is the value of context.
+class Ucb1 final : public Policy {
+ public:
+  explicit Ucb1(std::size_t num_arms, double exploration = 1.0);
+
+  std::size_t num_arms() const override { return counts_.size(); }
+  ArmIndex select(const FeatureVector& x, Rng& rng) override;
+  void observe(ArmIndex arm, const FeatureVector& x, double runtime_s) override;
+  ArmIndex recommend(const FeatureVector& x) const override;
+  double predict(ArmIndex arm, const FeatureVector& x) const override;
+  std::string name() const override { return "ucb1"; }
+  void reset() override;
+
+ private:
+  double exploration_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> mean_runtime_;
+  std::size_t total_ = 0;
+};
+
+/// ε-greedy over per-arm mean runtimes (no context, no decay).
+class MeanEpsilonGreedy final : public Policy {
+ public:
+  MeanEpsilonGreedy(std::size_t num_arms, double epsilon = 0.1);
+
+  std::size_t num_arms() const override { return counts_.size(); }
+  ArmIndex select(const FeatureVector& x, Rng& rng) override;
+  void observe(ArmIndex arm, const FeatureVector& x, double runtime_s) override;
+  ArmIndex recommend(const FeatureVector& x) const override;
+  double predict(ArmIndex arm, const FeatureVector& x) const override;
+  std::string name() const override { return "mean-eps-greedy"; }
+  void reset() override;
+
+ private:
+  double epsilon_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> mean_runtime_;
+};
+
+/// Uniform random selection — the paper's "random guess" reference line.
+class RandomPolicy final : public Policy {
+ public:
+  explicit RandomPolicy(std::size_t num_arms);
+
+  std::size_t num_arms() const override { return num_arms_; }
+  ArmIndex select(const FeatureVector& x, Rng& rng) override;
+  void observe(ArmIndex arm, const FeatureVector& x, double runtime_s) override;
+  ArmIndex recommend(const FeatureVector& x) const override;
+  double predict(ArmIndex arm, const FeatureVector& x) const override;
+  std::string name() const override { return "random"; }
+  void reset() override {}
+
+ private:
+  std::size_t num_arms_;
+  mutable std::size_t round_robin_ = 0;  ///< recommend() cycles deterministically
+};
+
+/// Wraps a ground-truth chooser — the regret reference in ablations.
+class OraclePolicy final : public Policy {
+ public:
+  using BestArmFn = std::function<ArmIndex(const FeatureVector&)>;
+  OraclePolicy(std::size_t num_arms, BestArmFn best_arm);
+
+  std::size_t num_arms() const override { return num_arms_; }
+  ArmIndex select(const FeatureVector& x, Rng& rng) override;
+  void observe(ArmIndex arm, const FeatureVector& x, double runtime_s) override;
+  ArmIndex recommend(const FeatureVector& x) const override;
+  double predict(ArmIndex arm, const FeatureVector& x) const override;
+  std::string name() const override { return "oracle"; }
+  void reset() override {}
+
+ private:
+  std::size_t num_arms_;
+  BestArmFn best_arm_;
+};
+
+}  // namespace bw::core

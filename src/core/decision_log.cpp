@@ -1,0 +1,88 @@
+#include "core/decision_log.hpp"
+
+#include "common/error.hpp"
+#include "dataframe/csv.hpp"
+
+namespace bw::core {
+
+DecisionLog::DecisionLog(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {
+  BW_CHECK_MSG(!feature_names_.empty(), "decision log needs feature names");
+}
+
+void DecisionLog::record(const BanditWare::Decision& decision, const FeatureVector& x,
+                         double observed_runtime_s, double epsilon_at_decision) {
+  BW_CHECK_MSG(decision.spec != nullptr, "decision has no hardware spec");
+  DecisionRecord record;
+  record.features = x;
+  record.arm = decision.arm;
+  record.hardware = decision.spec->name;
+  record.explored = decision.explored;
+  record.predicted_runtime_s = decision.predicted_runtime_s;
+  record.observed_runtime_s = observed_runtime_s;
+  record.epsilon = epsilon_at_decision;
+  this->record(std::move(record));
+}
+
+void DecisionLog::record(DecisionRecord record) {
+  BW_CHECK_MSG(record.features.size() == feature_names_.size(),
+               "decision log: feature size mismatch");
+  record.index = records_.size();
+  records_.push_back(std::move(record));
+}
+
+const DecisionRecord& DecisionLog::operator[](std::size_t i) const {
+  BW_CHECK_MSG(i < records_.size(), "decision log index out of range");
+  return records_[i];
+}
+
+double DecisionLog::exploration_rate() const {
+  if (records_.empty()) return 0.0;
+  std::size_t explored = 0;
+  for (const auto& record : records_) explored += record.explored;
+  return static_cast<double>(explored) / static_cast<double>(records_.size());
+}
+
+double DecisionLog::mean_observed_runtime() const {
+  if (records_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& record : records_) sum += record.observed_runtime_s;
+  return sum / static_cast<double>(records_.size());
+}
+
+df::DataFrame DecisionLog::to_frame() const {
+  const std::size_t n = records_.size();
+  std::vector<std::int64_t> index(n);
+  std::vector<std::string> hardware(n);
+  std::vector<std::int64_t> explored(n);
+  std::vector<double> predicted(n), observed(n), epsilon(n);
+  std::vector<std::vector<double>> feature_columns(feature_names_.size(),
+                                                   std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const DecisionRecord& record = records_[i];
+    index[i] = static_cast<std::int64_t>(record.index);
+    hardware[i] = record.hardware;
+    explored[i] = record.explored ? 1 : 0;
+    predicted[i] = record.predicted_runtime_s;
+    observed[i] = record.observed_runtime_s;
+    epsilon[i] = record.epsilon;
+    for (std::size_t c = 0; c < feature_names_.size(); ++c) {
+      feature_columns[c][i] = record.features[c];
+    }
+  }
+  df::DataFrame frame;
+  frame.add_column("decision", df::Column(std::move(index)));
+  for (std::size_t c = 0; c < feature_names_.size(); ++c) {
+    frame.add_column(feature_names_[c], df::Column(std::move(feature_columns[c])));
+  }
+  frame.add_column("hardware", df::Column(std::move(hardware)));
+  frame.add_column("explored", df::Column(std::move(explored)));
+  frame.add_column("predicted_runtime_s", df::Column(std::move(predicted)));
+  frame.add_column("observed_runtime_s", df::Column(std::move(observed)));
+  frame.add_column("epsilon", df::Column(std::move(epsilon)));
+  return frame;
+}
+
+std::string DecisionLog::to_csv() const { return df::write_csv_string(to_frame()); }
+
+}  // namespace bw::core

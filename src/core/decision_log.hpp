@@ -1,0 +1,61 @@
+#pragma once
+// Decision audit log: one row per online decision (features, chosen arm,
+// whether it explored, prediction, observed runtime, ε at the time).
+// Operators of a recommendation service need this trail to debug "why did
+// workflow X land on hardware Y?" — and it exports straight to the
+// DataFrame/CSV substrate for offline analysis.
+
+#include <string>
+#include <vector>
+
+#include "core/banditware.hpp"
+#include "dataframe/dataframe.hpp"
+
+namespace bw::core {
+
+struct DecisionRecord {
+  std::size_t index = 0;          ///< decision sequence number
+  FeatureVector features;
+  ArmIndex arm = 0;
+  std::string hardware;           ///< spec name at decision time
+  bool explored = false;
+  double predicted_runtime_s = 0.0;
+  double observed_runtime_s = 0.0;
+  double epsilon = 0.0;           ///< ε when the decision was made
+};
+
+class DecisionLog {
+ public:
+  /// `feature_names` sizes and labels the feature columns.
+  explicit DecisionLog(std::vector<std::string> feature_names);
+
+  /// Records one completed decision (call after observing the runtime).
+  void record(const BanditWare::Decision& decision, const FeatureVector& x,
+              double observed_runtime_s, double epsilon_at_decision);
+
+  /// Records a fully specified row (for non-facade policies).
+  void record(DecisionRecord record);
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const DecisionRecord& operator[](std::size_t i) const;
+
+  /// Fraction of logged decisions that explored.
+  double exploration_rate() const;
+
+  /// Mean observed runtime of logged decisions.
+  double mean_observed_runtime() const;
+
+  /// Columns: decision, <feature...>, hardware, explored, predicted,
+  /// observed, epsilon.
+  df::DataFrame to_frame() const;
+
+  /// Convenience: to_frame() serialized as CSV text.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace bw::core

@@ -1,0 +1,70 @@
+#include "core/epsilon_greedy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+DecayingEpsilonGreedy::DecayingEpsilonGreedy(const hw::HardwareCatalog& catalog,
+                                             std::size_t num_features,
+                                             EpsilonGreedyConfig config)
+    : config_(config), epsilon_(config.initial_epsilon) {
+  BW_CHECK_MSG(!catalog.empty(), "policy needs at least one arm");
+  BW_CHECK_MSG(num_features > 0, "policy needs at least one feature");
+  BW_CHECK_MSG(config.initial_epsilon >= 0.0 && config.initial_epsilon <= 1.0,
+               "initial epsilon must be in [0,1]");
+  BW_CHECK_MSG(config.decay > 0.0 && config.decay <= 1.0, "decay must be in (0,1]");
+  arms_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    arms_.emplace_back(num_features, config.fit);
+  }
+  resource_costs_ = catalog.resource_costs(config.resource_weights);
+}
+
+ArmIndex DecayingEpsilonGreedy::select(const FeatureVector& x, Rng& rng) {
+  // Line 6: with probability ε, explore uniformly at random.
+  if (rng.bernoulli(epsilon_)) {
+    last_was_exploration_ = true;
+    return rng.index(arms_.size());
+  }
+  last_was_exploration_ = false;
+  // Line 7: tolerant selection over the current estimates.
+  return recommend(x);
+}
+
+void DecayingEpsilonGreedy::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  arms_[arm].observe(x, runtime_s);  // lines 10-11: store + least squares
+  epsilon_ *= config_.decay;         // line 12: ε <- α ε
+}
+
+ArmIndex DecayingEpsilonGreedy::recommend(const FeatureVector& x) const {
+  std::vector<double> predictions(arms_.size());
+  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
+    predictions[arm] = arms_[arm].predict(x);
+  }
+  return tolerant_select(predictions, resource_costs_, config_.tolerance).arm;
+}
+
+double DecayingEpsilonGreedy::predict(ArmIndex arm, const FeatureVector& x) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  return arms_[arm].predict(x);
+}
+
+void DecayingEpsilonGreedy::set_epsilon(double epsilon) {
+  epsilon_ = std::clamp(epsilon, 0.0, 1.0);
+}
+
+void DecayingEpsilonGreedy::reset() {
+  for (auto& arm : arms_) arm.reset();
+  epsilon_ = config_.initial_epsilon;
+  last_was_exploration_ = false;
+}
+
+const LinearArmModel& DecayingEpsilonGreedy::arm_model(ArmIndex arm) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  return arms_[arm];
+}
+
+}  // namespace bw::core

@@ -1,0 +1,102 @@
+#include "core/evaluator.hpp"
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+ReplayResult replay(Policy& policy, const RunTable& table, const ReplayConfig& config) {
+  BW_CHECK_MSG(policy.num_arms() == table.num_arms(),
+               "policy arm count does not match the table");
+  BW_CHECK_MSG(config.num_rounds > 0, "replay needs at least one round");
+  policy.reset();
+  Rng rng(config.seed);
+
+  ReplayResult result;
+  result.chosen_arm.reserve(config.num_rounds);
+  result.observed_runtime.reserve(config.num_rounds);
+  result.instant_regret.reserve(config.num_rounds);
+
+  const PredictFn predict_fn = [&policy](ArmIndex arm, const FeatureVector& x) {
+    return policy.predict(arm, x);
+  };
+  const RecommendFn recommend_fn = [&policy](const FeatureVector& x) {
+    return policy.recommend(x);
+  };
+
+  for (std::size_t round = 0; round < config.num_rounds; ++round) {
+    // Lines 4-10 of Algorithm 1: an incoming workflow arrives...
+    const std::size_t group = rng.index(table.num_groups());
+    const FeatureVector x = table.features_of(group);
+    const ArmIndex arm = policy.select(x, rng);
+    BW_CHECK_MSG(arm < table.num_arms(), "policy selected out-of-range arm");
+    const double runtime = table.runtime(group, arm);
+    policy.observe(arm, x, runtime);
+
+    result.chosen_arm.push_back(arm);
+    result.observed_runtime.push_back(runtime);
+    const double regret = runtime - table.best_runtime(group);
+    result.instant_regret.push_back(regret);
+    result.cumulative_regret += regret;
+
+    if (config.per_round_metrics) {
+      const DatasetMetrics metrics =
+          evaluate_on_table(table, predict_fn, recommend_fn, config.accuracy_tolerance,
+                            config.resource_weights);
+      result.rmse.push_back(metrics.rmse);
+      result.accuracy.push_back(metrics.accuracy);
+      result.mean_resource_cost.push_back(metrics.mean_resource_cost);
+      if (round + 1 == config.num_rounds) result.final_metrics = metrics;
+    }
+  }
+  if (!config.per_round_metrics) {
+    result.final_metrics = evaluate_on_table(table, predict_fn, recommend_fn,
+                                             config.accuracy_tolerance,
+                                             config.resource_weights);
+  }
+  return result;
+}
+
+MultiSimResult run_simulations(const PolicyFactory& make_policy, const RunTable& table,
+                               const ReplayConfig& config, std::size_t num_simulations,
+                               ThreadPool* pool) {
+  BW_CHECK_MSG(num_simulations > 0, "need at least one simulation");
+  BW_CHECK_MSG(static_cast<bool>(make_policy), "need a policy factory");
+
+  std::vector<ReplayResult> results(num_simulations);
+  Rng seeder(config.seed);
+  std::vector<std::uint64_t> seeds(num_simulations);
+  for (std::size_t s = 0; s < num_simulations; ++s) seeds[s] = seeder.child_seed(s);
+
+  auto run_one = [&](std::size_t s) {
+    ReplayConfig sim_config = config;
+    sim_config.seed = seeds[s];
+    std::unique_ptr<Policy> policy = make_policy();
+    results[s] = replay(*policy, table, sim_config);
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, num_simulations, run_one);
+  } else {
+    for (std::size_t s = 0; s < num_simulations; ++s) run_one(s);
+  }
+
+  MultiSimResult aggregate;
+  std::vector<std::vector<double>> rmse_series, accuracy_series, cost_series;
+  for (const auto& result : results) {
+    if (!result.rmse.empty()) {
+      rmse_series.push_back(result.rmse);
+      accuracy_series.push_back(result.accuracy);
+      cost_series.push_back(result.mean_resource_cost);
+    }
+    aggregate.final_rmse.push_back(result.final_metrics.rmse);
+    aggregate.final_accuracy.push_back(result.final_metrics.accuracy);
+    aggregate.cumulative_regret.push_back(result.cumulative_regret);
+  }
+  aggregate.rmse = aggregate_rounds(rmse_series);
+  aggregate.accuracy = aggregate_rounds(accuracy_series);
+  aggregate.resource_cost = aggregate_rounds(cost_series);
+  aggregate.full_fit_metrics =
+      fit_full_table(table, config.accuracy_tolerance, {}, config.resource_weights).metrics;
+  return aggregate;
+}
+
+}  // namespace bw::core

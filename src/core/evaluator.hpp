@@ -1,0 +1,67 @@
+#pragma once
+// Replay evaluation: runs a policy online against a RunTable, exactly the
+// way the paper evaluates Algorithm 1 — each round an incoming workflow is
+// drawn, the policy schedules it, the recorded runtime on the chosen
+// hardware is revealed, and dataset-level RMSE/accuracy are computed with
+// the *current* models. MultiSimRunner repeats this across seeds and
+// aggregates per-round mean ± stddev (the blue bars of Figs. 4/7/9-12).
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "core/metrics.hpp"
+#include "core/policy.hpp"
+#include "core/run_table.hpp"
+
+namespace bw::core {
+
+struct ReplayConfig {
+  std::size_t num_rounds = 50;
+  /// Tolerance used for the *accuracy metric* (usually matches the
+  /// policy's own selection tolerance).
+  ToleranceParams accuracy_tolerance{};
+  hw::ResourceWeights resource_weights{};
+  /// If false, skip the per-round full-table evaluation (cheaper when only
+  /// final metrics and regret are needed).
+  bool per_round_metrics = true;
+  std::uint64_t seed = 1;
+};
+
+struct ReplayResult {
+  // Per-round series (empty when per_round_metrics is false).
+  std::vector<double> rmse;
+  std::vector<double> accuracy;
+  std::vector<double> mean_resource_cost;
+
+  // Per-round trajectory.
+  std::vector<ArmIndex> chosen_arm;
+  std::vector<double> observed_runtime;
+  std::vector<double> instant_regret;  ///< chosen - best actual, per round
+
+  double cumulative_regret = 0.0;
+  DatasetMetrics final_metrics;  ///< metrics after the last round
+};
+
+/// Runs one replay simulation of `policy` (reset first) on `table`.
+ReplayResult replay(Policy& policy, const RunTable& table, const ReplayConfig& config);
+
+struct MultiSimResult {
+  RoundAggregate rmse;                ///< across simulations, per round
+  RoundAggregate accuracy;
+  RoundAggregate resource_cost;
+  std::vector<double> final_rmse;     ///< one per simulation
+  std::vector<double> final_accuracy;
+  std::vector<double> cumulative_regret;
+  DatasetMetrics full_fit_metrics;    ///< the red-line baseline
+};
+
+/// Runs `num_simulations` independent replays (seeds derived from
+/// config.seed) and aggregates. `pool` parallelizes across simulations
+/// when provided. Also computes the full-fit baseline once.
+MultiSimResult run_simulations(const PolicyFactory& make_policy, const RunTable& table,
+                               const ReplayConfig& config, std::size_t num_simulations,
+                               ThreadPool* pool = nullptr);
+
+}  // namespace bw::core

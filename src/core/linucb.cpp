@@ -1,0 +1,65 @@
+#include "core/linucb.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+LinUcb::LinUcb(const hw::HardwareCatalog& catalog, std::size_t num_features,
+               LinUcbConfig config)
+    : config_(config) {
+  BW_CHECK_MSG(!catalog.empty(), "policy needs at least one arm");
+  BW_CHECK_MSG(num_features > 0, "policy needs at least one feature");
+  BW_CHECK_MSG(config.alpha >= 0.0, "alpha must be non-negative");
+  arms_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    arms_.emplace_back(num_features, config.ridge);
+  }
+  resource_costs_ = catalog.resource_costs(config.resource_weights);
+}
+
+double LinUcb::lcb(ArmIndex arm, const FeatureVector& x) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  const double mean = arms_[arm].predict(x);
+  const double width = std::sqrt(std::max(0.0, arms_[arm].variance_proxy(x)));
+  return mean - config_.alpha * width;
+}
+
+ArmIndex LinUcb::select(const FeatureVector& x, Rng& rng) {
+  (void)rng;  // LinUCB is deterministic given its history
+  ArmIndex best = 0;
+  double best_lcb = lcb(0, x);
+  for (ArmIndex arm = 1; arm < arms_.size(); ++arm) {
+    const double value = lcb(arm, x);
+    if (value < best_lcb) {
+      best_lcb = value;
+      best = arm;
+    }
+  }
+  return best;
+}
+
+void LinUcb::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  arms_[arm].update(x, runtime_s);
+}
+
+ArmIndex LinUcb::recommend(const FeatureVector& x) const {
+  std::vector<double> predictions(arms_.size());
+  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
+    predictions[arm] = arms_[arm].predict(x);
+  }
+  return tolerant_select(predictions, resource_costs_, config_.tolerance).arm;
+}
+
+double LinUcb::predict(ArmIndex arm, const FeatureVector& x) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  return arms_[arm].predict(x);
+}
+
+void LinUcb::reset() {
+  for (auto& arm : arms_) arm.reset();
+}
+
+}  // namespace bw::core

@@ -1,0 +1,45 @@
+#pragma once
+// LinUCB for runtime minimization (paper future work: "more complex
+// contextual bandit algorithms"). Per arm we keep a ridge RLS posterior;
+// selection is optimistic toward *low* runtime via the lower confidence
+// bound  R̂(H_i, x) - alpha * sqrt(x̃^T A_i^{-1} x̃).
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/tolerant.hpp"
+#include "hardware/catalog.hpp"
+#include "linalg/rls.hpp"
+
+namespace bw::core {
+
+struct LinUcbConfig {
+  double alpha = 1.0;          ///< exploration width multiplier
+  double ridge = 1e-3;         ///< RLS prior precision
+  ToleranceParams tolerance{}; ///< applied to greedy recommend()
+  hw::ResourceWeights resource_weights{};
+};
+
+class LinUcb final : public Policy {
+ public:
+  LinUcb(const hw::HardwareCatalog& catalog, std::size_t num_features,
+         LinUcbConfig config = {});
+
+  std::size_t num_arms() const override { return arms_.size(); }
+  ArmIndex select(const FeatureVector& x, Rng& rng) override;
+  void observe(ArmIndex arm, const FeatureVector& x, double runtime_s) override;
+  ArmIndex recommend(const FeatureVector& x) const override;
+  double predict(ArmIndex arm, const FeatureVector& x) const override;
+  std::string name() const override { return "linucb"; }
+  void reset() override;
+
+  /// Lower confidence bound used by select().
+  double lcb(ArmIndex arm, const FeatureVector& x) const;
+
+ private:
+  LinUcbConfig config_;
+  std::vector<linalg::RecursiveLeastSquares> arms_;
+  std::vector<double> resource_costs_;
+};
+
+}  // namespace bw::core

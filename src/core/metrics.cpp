@@ -1,0 +1,102 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/tolerant.hpp"
+
+namespace bw::core {
+
+DatasetMetrics evaluate_on_table(const RunTable& table, const PredictFn& predict,
+                                 const RecommendFn& recommend,
+                                 const ToleranceParams& tolerance,
+                                 const hw::ResourceWeights& weights) {
+  BW_CHECK_MSG(static_cast<bool>(predict) && static_cast<bool>(recommend),
+               "evaluate_on_table needs predict and recommend functions");
+  const std::vector<double> costs = table.catalog().resource_costs(weights);
+
+  DatasetMetrics metrics;
+  double sum_sq_error = 0.0;
+  std::size_t correct = 0;
+  double cost_sum = 0.0;
+  double runtime_sum = 0.0;
+
+  for (std::size_t g = 0; g < table.num_groups(); ++g) {
+    const FeatureVector x = table.features_of(g);
+    for (ArmIndex arm = 0; arm < table.num_arms(); ++arm) {
+      const double error = predict(arm, x) - table.runtime(g, arm);
+      sum_sq_error += error * error;
+    }
+    const ArmIndex pick = recommend(x);
+    BW_CHECK_MSG(pick < table.num_arms(), "recommend returned out-of-range arm");
+    const double actual = table.runtime(g, pick);
+    const double best = table.best_runtime(g);
+    const double limit = best + tolerance.ratio * std::max(best, 0.0) + tolerance.seconds;
+    if (actual <= limit) ++correct;
+    cost_sum += costs[pick];
+    runtime_sum += actual;
+  }
+
+  const auto n_groups = static_cast<double>(table.num_groups());
+  const auto n_rows = n_groups * static_cast<double>(table.num_arms());
+  metrics.rmse = std::sqrt(sum_sq_error / n_rows);
+  metrics.accuracy = static_cast<double>(correct) / n_groups;
+  metrics.mean_resource_cost = cost_sum / n_groups;
+  metrics.mean_actual_runtime = runtime_sum / n_groups;
+  return metrics;
+}
+
+double FullFit::predict(ArmIndex arm, const FeatureVector& x) const {
+  BW_CHECK_MSG(arm < arm_models.size(), "arm index out of range");
+  return arm_models[arm].predict(x);
+}
+
+ArmIndex FullFit::recommend(const FeatureVector& x, const hw::HardwareCatalog& catalog,
+                            const ToleranceParams& tolerance,
+                            const hw::ResourceWeights& weights) const {
+  std::vector<double> predictions(arm_models.size());
+  for (ArmIndex arm = 0; arm < arm_models.size(); ++arm) {
+    predictions[arm] = arm_models[arm].predict(x);
+  }
+  return tolerant_select(predictions, catalog.resource_costs(weights), tolerance).arm;
+}
+
+FullFit fit_full_table(const RunTable& table, const ToleranceParams& tolerance,
+                       const linalg::FitOptions& fit, const hw::ResourceWeights& weights) {
+  FullFit result;
+  result.arm_models.reserve(table.num_arms());
+  for (ArmIndex arm = 0; arm < table.num_arms(); ++arm) {
+    linalg::Vector y(table.num_groups());
+    for (std::size_t g = 0; g < table.num_groups(); ++g) y[g] = table.runtime(g, arm);
+    result.arm_models.push_back(linalg::fit_linear(table.features(), y, fit).model);
+  }
+  const FullFit& self = result;
+  result.metrics = evaluate_on_table(
+      table,
+      [&self](ArmIndex arm, const FeatureVector& x) { return self.predict(arm, x); },
+      [&self, &table, &tolerance, &weights](const FeatureVector& x) {
+        return self.recommend(x, table.catalog(), tolerance, weights);
+      },
+      tolerance, weights);
+  return result;
+}
+
+double majority_best_arm_accuracy(const RunTable& table, const ToleranceParams& tolerance) {
+  // Most common best arm.
+  std::vector<std::size_t> counts(table.num_arms(), 0);
+  for (std::size_t g = 0; g < table.num_groups(); ++g) ++counts[table.best_arm(g)];
+  ArmIndex majority = 0;
+  for (ArmIndex arm = 1; arm < counts.size(); ++arm) {
+    if (counts[arm] > counts[majority]) majority = arm;
+  }
+  std::size_t correct = 0;
+  for (std::size_t g = 0; g < table.num_groups(); ++g) {
+    const double actual = table.runtime(g, majority);
+    const double best = table.best_runtime(g);
+    const double limit = best + tolerance.ratio * std::max(best, 0.0) + tolerance.seconds;
+    if (actual <= limit) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(table.num_groups());
+}
+
+}  // namespace bw::core

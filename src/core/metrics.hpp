@@ -1,0 +1,61 @@
+#pragma once
+// Dataset-level evaluation metrics — the quantities plotted in every
+// figure of the paper's evaluation:
+//  * RMSE of the current models over ALL rows (every group x every arm),
+//  * accuracy: fraction of groups whose recommended hardware is within
+//    tolerance of the group's best *actual* runtime,
+//  * mean resource cost of the recommendations (the tolerance trade-off).
+
+#include <functional>
+
+#include "core/run_table.hpp"
+#include "core/types.hpp"
+#include "hardware/catalog.hpp"
+#include "linalg/lstsq.hpp"
+
+namespace bw::core {
+
+/// Callable returning R̂(arm, x) for the model under evaluation.
+using PredictFn = std::function<double(ArmIndex, const FeatureVector&)>;
+
+/// Callable returning the recommended arm for features x.
+using RecommendFn = std::function<ArmIndex(const FeatureVector&)>;
+
+struct DatasetMetrics {
+  double rmse = 0.0;                ///< prediction error over all rows
+  double accuracy = 0.0;            ///< tolerant best-hardware accuracy
+  double mean_resource_cost = 0.0;  ///< avg cost of recommended arms
+  double mean_actual_runtime = 0.0; ///< avg actual runtime of recommendations
+};
+
+/// Evaluates `predict` / `recommend` on the full table. The accuracy rule
+/// (DESIGN.md section 5): a recommendation k for group g is correct iff
+///   R_actual(g, k) <= (1 + tolerance.ratio) * min_a R_actual(g, a)
+///                     + tolerance.seconds.
+DatasetMetrics evaluate_on_table(const RunTable& table, const PredictFn& predict,
+                                 const RecommendFn& recommend,
+                                 const ToleranceParams& tolerance,
+                                 const hw::ResourceWeights& weights = {});
+
+/// Per-arm least squares over the WHOLE table — the paper's "full fit"
+/// baseline (the red/orange reference line in Figs. 4 and 7).
+struct FullFit {
+  std::vector<linalg::LinearModel> arm_models;  ///< one per arm
+  DatasetMetrics metrics;
+
+  double predict(ArmIndex arm, const FeatureVector& x) const;
+  /// Tolerant recommendation under the fitted models.
+  ArmIndex recommend(const FeatureVector& x, const hw::HardwareCatalog& catalog,
+                     const ToleranceParams& tolerance,
+                     const hw::ResourceWeights& weights = {}) const;
+};
+
+FullFit fit_full_table(const RunTable& table, const ToleranceParams& tolerance,
+                       const linalg::FitOptions& fit = {},
+                       const hw::ResourceWeights& weights = {});
+
+/// Fraction of groups whose best actual arm equals the overall most common
+/// best arm — the "no-context" ceiling, handy in ablation output.
+double majority_best_arm_accuracy(const RunTable& table, const ToleranceParams& tolerance);
+
+}  // namespace bw::core

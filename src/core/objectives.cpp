@@ -1,0 +1,95 @@
+#include "core/objectives.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+RunMetrics RunMetrics::from_runtime(double runtime_s, const hw::HardwareSpec& spec,
+                                    const hw::PowerModel& power,
+                                    const hw::PriceModel& price) {
+  BW_CHECK_MSG(runtime_s >= 0.0, "runtime must be non-negative");
+  RunMetrics metrics;
+  metrics.runtime_s = runtime_s;
+  metrics.energy_joules = power.energy_joules(spec, runtime_s);
+  metrics.dollars = price.dollars(spec, runtime_s);
+  return metrics;
+}
+
+std::string ObjectiveWeights::to_string() const {
+  std::ostringstream os;
+  os << "runtime*" << runtime;
+  if (queue_wait > 0) os << " + wait*" << queue_wait;
+  if (sched_overhead > 0) os << " + overhead*" << sched_overhead;
+  if (energy_kj > 0) os << " + energy_kJ*" << energy_kj;
+  if (dollars > 0) os << " + dollars*" << dollars;
+  return os.str();
+}
+
+double scalar_cost(const RunMetrics& metrics, const ObjectiveWeights& weights) {
+  BW_CHECK_MSG(weights.runtime >= 0 && weights.queue_wait >= 0 &&
+                   weights.sched_overhead >= 0 && weights.energy_kj >= 0 &&
+                   weights.dollars >= 0,
+               "objective weights must be non-negative");
+  BW_CHECK_MSG(weights.runtime > 0 || weights.queue_wait > 0 ||
+                   weights.sched_overhead > 0 || weights.energy_kj > 0 ||
+                   weights.dollars > 0,
+               "at least one objective weight must be positive");
+  return weights.runtime * metrics.runtime_s + weights.queue_wait * metrics.queue_wait_s +
+         weights.sched_overhead * metrics.sched_overhead_s +
+         weights.energy_kj * (metrics.energy_joules / 1000.0) +
+         weights.dollars * metrics.dollars;
+}
+
+MultiMetricBandit::MultiMetricBandit(hw::HardwareCatalog catalog,
+                                     std::vector<std::string> feature_names,
+                                     ObjectiveWeights weights,
+                                     EpsilonGreedyConfig policy_config)
+    : catalog_(std::move(catalog)),
+      feature_names_(std::move(feature_names)),
+      weights_(weights),
+      policy_(catalog_, feature_names_.empty() ? 1 : feature_names_.size(), policy_config),
+      stats_(catalog_.size()) {
+  BW_CHECK_MSG(!feature_names_.empty(), "MultiMetricBandit needs feature names");
+  // Validate the weights eagerly (scalar_cost would throw on first use).
+  (void)scalar_cost(RunMetrics{}, weights_);
+}
+
+MultiMetricBandit::Decision MultiMetricBandit::next(const FeatureVector& x, Rng& rng) {
+  BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
+  Decision decision;
+  decision.arm = policy_.select(x, rng);
+  decision.explored = policy_.last_was_exploration();
+  decision.spec = &catalog_[decision.arm];
+  return decision;
+}
+
+void MultiMetricBandit::observe(ArmIndex arm, const FeatureVector& x,
+                                const RunMetrics& metrics) {
+  BW_CHECK_MSG(arm < catalog_.size(), "arm index out of range");
+  BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
+  policy_.observe(arm, x, scalar_cost(metrics, weights_));
+  stats_[arm].runtime.add(metrics.runtime_s);
+  stats_[arm].queue_wait.add(metrics.queue_wait_s);
+  stats_[arm].energy_kj.add(metrics.energy_joules / 1000.0);
+  stats_[arm].dollars.add(metrics.dollars);
+  ++observations_;
+}
+
+ArmIndex MultiMetricBandit::recommend(const FeatureVector& x) const {
+  BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
+  return policy_.recommend(x);
+}
+
+std::vector<double> MultiMetricBandit::predicted_costs(const FeatureVector& x) const {
+  BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
+  return policy_.predict_all(x);
+}
+
+const ArmMetricStats& MultiMetricBandit::arm_stats(ArmIndex arm) const {
+  BW_CHECK_MSG(arm < stats_.size(), "arm index out of range");
+  return stats_[arm];
+}
+
+}  // namespace bw::core

@@ -1,0 +1,97 @@
+#pragma once
+// Multi-metric optimization (paper future work: "adapt BanditWare to
+// support multiple parameter minimization" and "monitoring more
+// performance metrics, such as communication latency and scheduling
+// overhead").
+//
+// A run reports a RunMetrics bundle; an ObjectiveWeights vector collapses
+// it into the scalar cost the bandit minimizes. MultiMetricBandit wraps
+// the paper's policy so callers keep the familiar next/observe/recommend
+// loop but feed full metric bundles.
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/epsilon_greedy.hpp"
+#include "hardware/cost_rates.hpp"
+
+namespace bw::core {
+
+/// Everything a finished run can report. Metrics default to 0 so callers
+/// populate only what they measure.
+struct RunMetrics {
+  double runtime_s = 0.0;         ///< execution time (the paper's objective)
+  double queue_wait_s = 0.0;      ///< time spent pending before start
+  double sched_overhead_s = 0.0;  ///< placement/communication latency
+  double energy_joules = 0.0;     ///< node energy during execution
+  double dollars = 0.0;           ///< billed cost
+
+  /// Derives energy/dollars from hardware rate models when the caller only
+  /// measured time.
+  static RunMetrics from_runtime(double runtime_s, const hw::HardwareSpec& spec,
+                                 const hw::PowerModel& power = {},
+                                 const hw::PriceModel& price = {});
+};
+
+/// Linear scalarization weights. All non-negative; at least one positive.
+struct ObjectiveWeights {
+  double runtime = 1.0;
+  double queue_wait = 0.0;
+  double sched_overhead = 0.0;
+  /// Weight per kilojoule (energy spans much larger magnitudes than
+  /// seconds, so the natural unit is kJ).
+  double energy_kj = 0.0;
+  double dollars = 0.0;
+
+  std::string to_string() const;
+};
+
+/// The scalar cost the bandit minimizes.
+double scalar_cost(const RunMetrics& metrics, const ObjectiveWeights& weights);
+
+/// Per-arm aggregation of every metric, for reporting.
+struct ArmMetricStats {
+  bw::RunningStats runtime;
+  bw::RunningStats queue_wait;
+  bw::RunningStats energy_kj;
+  bw::RunningStats dollars;
+};
+
+/// BanditWare with a multi-metric objective: the contextual model learns
+/// the *scalarized cost* per arm instead of raw runtime, so tolerant
+/// selection and exploration operate on exactly the quantity the operator
+/// cares about.
+class MultiMetricBandit {
+ public:
+  MultiMetricBandit(hw::HardwareCatalog catalog, std::vector<std::string> feature_names,
+                    ObjectiveWeights weights, EpsilonGreedyConfig policy_config = {});
+
+  struct Decision {
+    ArmIndex arm = 0;
+    const hw::HardwareSpec* spec = nullptr;
+    bool explored = false;
+  };
+
+  Decision next(const FeatureVector& x, Rng& rng);
+  void observe(ArmIndex arm, const FeatureVector& x, const RunMetrics& metrics);
+  ArmIndex recommend(const FeatureVector& x) const;
+
+  /// Predicted scalar cost per arm.
+  std::vector<double> predicted_costs(const FeatureVector& x) const;
+
+  const ObjectiveWeights& weights() const { return weights_; }
+  const hw::HardwareCatalog& catalog() const { return catalog_; }
+  const ArmMetricStats& arm_stats(ArmIndex arm) const;
+  std::size_t num_observations() const { return observations_; }
+
+ private:
+  hw::HardwareCatalog catalog_;
+  std::vector<std::string> feature_names_;
+  ObjectiveWeights weights_;
+  DecayingEpsilonGreedy policy_;
+  std::vector<ArmMetricStats> stats_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace bw::core

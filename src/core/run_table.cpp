@@ -1,0 +1,88 @@
+#include "core/run_table.hpp"
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+RunTable::RunTable(std::vector<std::string> feature_names, linalg::Matrix features,
+                   linalg::Matrix runtimes, hw::HardwareCatalog catalog)
+    : feature_names_(std::move(feature_names)),
+      features_(std::move(features)),
+      runtimes_(std::move(runtimes)),
+      catalog_(std::move(catalog)) {
+  BW_CHECK_MSG(features_.rows() > 0, "run table needs at least one group");
+  BW_CHECK_MSG(features_.cols() == feature_names_.size(),
+               "feature-name count must match feature columns");
+  BW_CHECK_MSG(runtimes_.rows() == features_.rows(),
+               "runtimes must have one row per group");
+  BW_CHECK_MSG(runtimes_.cols() == catalog_.size(),
+               "runtimes must have one column per hardware arm");
+  BW_CHECK_MSG(!catalog_.empty(), "run table needs at least one arm");
+  BW_CHECK_MSG(linalg::all_finite(features_.data()), "non-finite feature value");
+  BW_CHECK_MSG(linalg::all_finite(runtimes_.data()), "non-finite runtime value");
+}
+
+FeatureVector RunTable::features_of(std::size_t group) const {
+  const auto row = features_.row(group);
+  return FeatureVector(row.begin(), row.end());
+}
+
+double RunTable::runtime(std::size_t group, ArmIndex arm) const {
+  return runtimes_(group, arm);
+}
+
+ArmIndex RunTable::best_arm(std::size_t group) const {
+  ArmIndex best = 0;
+  for (ArmIndex arm = 1; arm < num_arms(); ++arm) {
+    if (runtimes_(group, arm) < runtimes_(group, best)) best = arm;
+  }
+  return best;
+}
+
+double RunTable::best_runtime(std::size_t group) const {
+  return runtimes_(group, best_arm(group));
+}
+
+RunTable RunTable::filter_groups(const std::vector<bool>& keep) const {
+  BW_CHECK_MSG(keep.size() == num_groups(), "filter mask size mismatch");
+  std::size_t kept = 0;
+  for (bool k : keep) kept += k;
+  BW_CHECK_MSG(kept > 0, "filter would remove every group");
+
+  linalg::Matrix features(kept, num_features());
+  linalg::Matrix runtimes(kept, num_arms());
+  std::size_t out = 0;
+  for (std::size_t g = 0; g < num_groups(); ++g) {
+    if (!keep[g]) continue;
+    for (std::size_t c = 0; c < num_features(); ++c) features(out, c) = features_(g, c);
+    for (std::size_t a = 0; a < num_arms(); ++a) runtimes(out, a) = runtimes_(g, a);
+    ++out;
+  }
+  return RunTable(feature_names_, std::move(features), std::move(runtimes), catalog_);
+}
+
+RunTable RunTable::select_features(const std::vector<std::string>& names) const {
+  BW_CHECK_MSG(!names.empty(), "must keep at least one feature");
+  std::vector<std::size_t> indices;
+  indices.reserve(names.size());
+  for (const auto& name : names) {
+    bool found = false;
+    for (std::size_t i = 0; i < feature_names_.size(); ++i) {
+      if (feature_names_[i] == name) {
+        indices.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    BW_CHECK_MSG(found, "no such feature: " + name);
+  }
+  linalg::Matrix features(num_groups(), indices.size());
+  for (std::size_t g = 0; g < num_groups(); ++g) {
+    for (std::size_t c = 0; c < indices.size(); ++c) {
+      features(g, c) = features_(g, indices[c]);
+    }
+  }
+  return RunTable(names, std::move(features), runtimes_, catalog_);
+}
+
+}  // namespace bw::core

@@ -1,0 +1,59 @@
+#pragma once
+// RunTable: the replay dataset — every workflow (run group) executed on
+// every hardware setting. This is what the merge step of paper Fig. 1
+// produces, and what the replay evaluator samples from.
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "hardware/catalog.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bw::core {
+
+class RunTable {
+ public:
+  RunTable() = default;
+
+  /// `features`: num_groups x num_features; `runtimes`: num_groups x
+  /// num_arms (seconds). Throws InvalidArgument on shape mismatches,
+  /// non-finite values, or empty inputs.
+  RunTable(std::vector<std::string> feature_names, linalg::Matrix features,
+           linalg::Matrix runtimes, hw::HardwareCatalog catalog);
+
+  std::size_t num_groups() const { return features_.rows(); }
+  std::size_t num_features() const { return features_.cols(); }
+  std::size_t num_arms() const { return runtimes_.cols(); }
+
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+  const hw::HardwareCatalog& catalog() const { return catalog_; }
+  const linalg::Matrix& features() const { return features_; }
+  const linalg::Matrix& runtimes() const { return runtimes_; }
+
+  /// Feature row of group g.
+  FeatureVector features_of(std::size_t group) const;
+
+  /// Observed runtime of group g on arm a.
+  double runtime(std::size_t group, ArmIndex arm) const;
+
+  /// Arm with the minimum actual runtime for group g (ties -> lowest index).
+  ArmIndex best_arm(std::size_t group) const;
+
+  /// Minimum actual runtime for group g.
+  double best_runtime(std::size_t group) const;
+
+  /// New table keeping only groups where `predicate(group)` holds.
+  RunTable filter_groups(const std::vector<bool>& keep) const;
+
+  /// New table with a subset of feature columns (by name, in given order).
+  RunTable select_features(const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  linalg::Matrix features_;
+  linalg::Matrix runtimes_;
+  hw::HardwareCatalog catalog_;
+};
+
+}  // namespace bw::core

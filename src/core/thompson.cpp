@@ -1,0 +1,67 @@
+#include "core/thompson.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+LinearThompson::LinearThompson(const hw::HardwareCatalog& catalog, std::size_t num_features,
+                               ThompsonConfig config)
+    : config_(config) {
+  BW_CHECK_MSG(!catalog.empty(), "policy needs at least one arm");
+  BW_CHECK_MSG(num_features > 0, "policy needs at least one feature");
+  BW_CHECK_MSG(config.posterior_scale > 0.0, "posterior scale must be positive");
+  arms_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    arms_.emplace_back(num_features, config.ridge);
+  }
+  resource_costs_ = catalog.resource_costs(config.resource_weights);
+}
+
+double LinearThompson::sample_prediction(ArmIndex arm, const FeatureVector& x,
+                                         Rng& rng) const {
+  // For a single decision only the marginal of x̃^T θ matters, and
+  // θ ~ N(θ̂, v² P) implies x̃^T θ ~ N(x̃^T θ̂, v² x̃^T P x̃) — so we sample
+  // the scalar directly instead of factorizing P.
+  const double mean = arms_[arm].predict(x);
+  const double var = std::max(0.0, arms_[arm].variance_proxy(x));
+  return mean + config_.posterior_scale * std::sqrt(var) * rng.normal();
+}
+
+ArmIndex LinearThompson::select(const FeatureVector& x, Rng& rng) {
+  ArmIndex best = 0;
+  double best_sample = sample_prediction(0, x, rng);
+  for (ArmIndex arm = 1; arm < arms_.size(); ++arm) {
+    const double sample = sample_prediction(arm, x, rng);
+    if (sample < best_sample) {
+      best_sample = sample;
+      best = arm;
+    }
+  }
+  return best;
+}
+
+void LinearThompson::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  arms_[arm].update(x, runtime_s);
+}
+
+ArmIndex LinearThompson::recommend(const FeatureVector& x) const {
+  std::vector<double> predictions(arms_.size());
+  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
+    predictions[arm] = arms_[arm].predict(x);
+  }
+  return tolerant_select(predictions, resource_costs_, config_.tolerance).arm;
+}
+
+double LinearThompson::predict(ArmIndex arm, const FeatureVector& x) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  return arms_[arm].predict(x);
+}
+
+void LinearThompson::reset() {
+  for (auto& arm : arms_) arm.reset();
+}
+
+}  // namespace bw::core

@@ -1,0 +1,46 @@
+#pragma once
+// Linear-Gaussian Thompson sampling: per arm, sample a parameter vector
+// from the posterior N(θ̂_i, v² A_i^{-1}) and pick the arm whose *sampled*
+// model predicts the lowest runtime. Exploration comes from posterior
+// width, so it self-anneals as data accumulates.
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/tolerant.hpp"
+#include "hardware/catalog.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/rls.hpp"
+
+namespace bw::core {
+
+struct ThompsonConfig {
+  double posterior_scale = 1.0;  ///< v — widens (v>1) or sharpens sampling
+  double ridge = 1e-3;
+  ToleranceParams tolerance{};
+  hw::ResourceWeights resource_weights{};
+};
+
+class LinearThompson final : public Policy {
+ public:
+  LinearThompson(const hw::HardwareCatalog& catalog, std::size_t num_features,
+                 ThompsonConfig config = {});
+
+  std::size_t num_arms() const override { return arms_.size(); }
+  ArmIndex select(const FeatureVector& x, Rng& rng) override;
+  void observe(ArmIndex arm, const FeatureVector& x, double runtime_s) override;
+  ArmIndex recommend(const FeatureVector& x) const override;
+  double predict(ArmIndex arm, const FeatureVector& x) const override;
+  std::string name() const override { return "linear-thompson"; }
+  void reset() override;
+
+ private:
+  /// One posterior draw of the predicted runtime for (arm, x).
+  double sample_prediction(ArmIndex arm, const FeatureVector& x, Rng& rng) const;
+
+  ThompsonConfig config_;
+  std::vector<linalg::RecursiveLeastSquares> arms_;
+  std::vector<double> resource_costs_;
+};
+
+}  // namespace bw::core

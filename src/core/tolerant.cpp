@@ -1,0 +1,47 @@
+#include "core/tolerant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+TolerantChoice tolerant_select(const std::vector<double>& predictions,
+                               const std::vector<double>& resource_costs,
+                               const ToleranceParams& tolerance) {
+  BW_CHECK_MSG(!predictions.empty(), "tolerant_select: no arms");
+  BW_CHECK_MSG(predictions.size() == resource_costs.size(),
+               "tolerant_select: predictions/costs size mismatch");
+  BW_CHECK_MSG(tolerance.ratio >= 0.0 && tolerance.seconds >= 0.0,
+               "tolerance parameters must be non-negative");
+  for (double p : predictions) {
+    BW_CHECK_MSG(std::isfinite(p), "tolerant_select: non-finite prediction");
+  }
+
+  ArmIndex fastest = 0;
+  for (ArmIndex arm = 1; arm < predictions.size(); ++arm) {
+    if (predictions[arm] < predictions[fastest]) fastest = arm;
+  }
+  const double r_min = predictions[fastest];
+  const double limit = r_min + tolerance.ratio * std::max(r_min, 0.0) + tolerance.seconds;
+
+  TolerantChoice choice;
+  choice.limit = limit;
+  choice.arm = fastest;
+  double best_cost = resource_costs[fastest];
+  for (ArmIndex arm = 0; arm < predictions.size(); ++arm) {
+    if (predictions[arm] > limit) continue;
+    ++choice.candidates;
+    // Most resource-efficient within the limit; ties keep the lower index.
+    if (resource_costs[arm] < best_cost) {
+      best_cost = resource_costs[arm];
+      choice.arm = arm;
+    }
+  }
+  choice.predicted_runtime = predictions[choice.arm];
+  choice.efficiency_tie_break = choice.arm != fastest;
+  return choice;
+}
+
+}  // namespace bw::core

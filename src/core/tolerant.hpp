@@ -1,0 +1,35 @@
+#pragma once
+// Tolerant selection (Algorithm 1, line 7): among hardware whose predicted
+// runtime is within
+//   R_limit = (1 + tolerance_ratio) * R̂(H_fastest) + tolerance_seconds
+// choose the most resource-efficient one.
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bw::core {
+
+struct TolerantChoice {
+  ArmIndex arm = 0;
+  double predicted_runtime = 0.0;
+  double limit = 0.0;                 ///< R_limit actually used
+  std::size_t candidates = 0;         ///< arms within the limit
+  bool efficiency_tie_break = false;  ///< true if a non-fastest arm was chosen
+};
+
+/// `predictions[i]` = R̂(H_i, x); `resource_costs[i]` = catalog cost of arm
+/// i (lower = more efficient). Throws InvalidArgument on empty or
+/// mismatched inputs, or negative tolerances.
+///
+/// Edge case (deviation from the paper's formula, documented in DESIGN.md):
+/// an untrained or extrapolating linear model can predict *negative*
+/// runtimes, where (1+tr)*R̂_min would fall below R̂_min and exclude every
+/// arm. We therefore apply the ratio to max(R̂_min, 0):
+///   R_limit = R̂_min + tr * max(R̂_min, 0) + ts
+/// which equals the paper's formula whenever R̂_min >= 0.
+TolerantChoice tolerant_select(const std::vector<double>& predictions,
+                               const std::vector<double>& resource_costs,
+                               const ToleranceParams& tolerance);
+
+}  // namespace bw::core

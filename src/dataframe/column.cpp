@@ -1,0 +1,135 @@
+#include "dataframe/column.hpp"
+
+#include "common/error.hpp"
+
+namespace bw::df {
+
+std::string to_string(ColumnType type) {
+  switch (type) {
+    case ColumnType::kDouble: return "double";
+    case ColumnType::kInt64: return "int64";
+    case ColumnType::kString: return "string";
+  }
+  return "?";
+}
+
+ColumnType Column::type() const {
+  if (std::holds_alternative<std::vector<double>>(values_)) return ColumnType::kDouble;
+  if (std::holds_alternative<std::vector<std::int64_t>>(values_)) return ColumnType::kInt64;
+  return ColumnType::kString;
+}
+
+std::size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, values_);
+}
+
+const std::vector<double>& Column::doubles() const {
+  BW_CHECK_MSG(type() == ColumnType::kDouble, "column is not double-typed");
+  return std::get<std::vector<double>>(values_);
+}
+
+const std::vector<std::int64_t>& Column::ints() const {
+  BW_CHECK_MSG(type() == ColumnType::kInt64, "column is not int64-typed");
+  return std::get<std::vector<std::int64_t>>(values_);
+}
+
+const std::vector<std::string>& Column::strings() const {
+  BW_CHECK_MSG(type() == ColumnType::kString, "column is not string-typed");
+  return std::get<std::vector<std::string>>(values_);
+}
+
+std::vector<double> Column::as_doubles() const {
+  switch (type()) {
+    case ColumnType::kDouble:
+      return doubles();
+    case ColumnType::kInt64: {
+      const auto& src = ints();
+      return std::vector<double>(src.begin(), src.end());
+    }
+    case ColumnType::kString:
+      throw InvalidArgument("cannot view string column as doubles");
+  }
+  throw InvalidArgument("unreachable");
+}
+
+std::string Column::cell_to_string(std::size_t row) const {
+  BW_CHECK_MSG(row < size(), "column row out of range");
+  switch (type()) {
+    case ColumnType::kDouble: {
+      // Shortest round-trip representation keeps CSV output readable.
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", doubles()[row]);
+      return buffer;
+    }
+    case ColumnType::kInt64:
+      return std::to_string(ints()[row]);
+    case ColumnType::kString:
+      return strings()[row];
+  }
+  return {};
+}
+
+double Column::numeric_at(std::size_t row) const {
+  BW_CHECK_MSG(row < size(), "column row out of range");
+  switch (type()) {
+    case ColumnType::kDouble: return doubles()[row];
+    case ColumnType::kInt64: return static_cast<double>(ints()[row]);
+    case ColumnType::kString:
+      throw InvalidArgument("numeric_at on string column");
+  }
+  throw InvalidArgument("unreachable");
+}
+
+void Column::append_from(const Column& other, std::size_t row) {
+  BW_CHECK_MSG(type() == other.type(), "append_from: column type mismatch");
+  BW_CHECK_MSG(row < other.size(), "append_from: row out of range");
+  switch (type()) {
+    case ColumnType::kDouble:
+      std::get<std::vector<double>>(values_).push_back(other.doubles()[row]);
+      break;
+    case ColumnType::kInt64:
+      std::get<std::vector<std::int64_t>>(values_).push_back(other.ints()[row]);
+      break;
+    case ColumnType::kString:
+      std::get<std::vector<std::string>>(values_).push_back(other.strings()[row]);
+      break;
+  }
+}
+
+Column Column::take(const std::vector<std::size_t>& rows) const {
+  switch (type()) {
+    case ColumnType::kDouble: {
+      std::vector<double> out;
+      out.reserve(rows.size());
+      const auto& src = doubles();
+      for (std::size_t r : rows) {
+        BW_CHECK_MSG(r < src.size(), "take: row out of range");
+        out.push_back(src[r]);
+      }
+      return Column(std::move(out));
+    }
+    case ColumnType::kInt64: {
+      std::vector<std::int64_t> out;
+      out.reserve(rows.size());
+      const auto& src = ints();
+      for (std::size_t r : rows) {
+        BW_CHECK_MSG(r < src.size(), "take: row out of range");
+        out.push_back(src[r]);
+      }
+      return Column(std::move(out));
+    }
+    case ColumnType::kString: {
+      std::vector<std::string> out;
+      out.reserve(rows.size());
+      const auto& src = strings();
+      for (std::size_t r : rows) {
+        BW_CHECK_MSG(r < src.size(), "take: row out of range");
+        out.push_back(src[r]);
+      }
+      return Column(std::move(out));
+    }
+  }
+  throw InvalidArgument("unreachable");
+}
+
+}  // namespace bw::df

@@ -1,0 +1,52 @@
+#pragma once
+// Typed column storage for the DataFrame substrate. The paper's pipeline
+// (Fig. 1) receives application-performance data "as a Python pandas
+// dataframe"; this module is the C++ stand-in: double / int64 / string
+// columns with explicit, checked conversions.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bw::df {
+
+enum class ColumnType { kDouble, kInt64, kString };
+
+std::string to_string(ColumnType type);
+
+class Column {
+ public:
+  Column() : values_(std::vector<double>{}) {}
+  explicit Column(std::vector<double> values) : values_(std::move(values)) {}
+  explicit Column(std::vector<std::int64_t> values) : values_(std::move(values)) {}
+  explicit Column(std::vector<std::string> values) : values_(std::move(values)) {}
+
+  ColumnType type() const;
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  const std::vector<double>& doubles() const;
+  const std::vector<std::int64_t>& ints() const;
+  const std::vector<std::string>& strings() const;
+
+  /// Numeric view: doubles as-is, int64 widened; throws for string columns.
+  std::vector<double> as_doubles() const;
+
+  /// Element rendered as text (for CSV output and joins on mixed keys).
+  std::string cell_to_string(std::size_t row) const;
+
+  /// Numeric cell (double or int64); throws InvalidArgument for strings.
+  double numeric_at(std::size_t row) const;
+
+  /// Appends the `row`-th element of `other` (types must match).
+  void append_from(const Column& other, std::size_t row);
+
+  /// New column containing only the given rows, in order.
+  Column take(const std::vector<std::size_t>& rows) const;
+
+ private:
+  std::variant<std::vector<double>, std::vector<std::int64_t>, std::vector<std::string>> values_;
+};
+
+}  // namespace bw::df

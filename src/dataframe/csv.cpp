@@ -1,0 +1,196 @@
+#include "dataframe/csv.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bw::df {
+namespace {
+
+/// Splits CSV text into rows of fields, handling quoted fields with
+/// embedded delimiters, quotes ("" escape) and newlines.
+std::vector<std::vector<std::string>> tokenize(const std::string& text, char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+      continue;
+    }
+    if (ch == '"' && field.empty() && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (ch == delimiter) {
+      end_field();
+    } else if (ch == '\n') {
+      if (!field.empty() || !row.empty() || field_started) end_row();
+    } else if (ch == '\r') {
+      // swallow (CRLF handled by the \n branch)
+    } else {
+      field.push_back(ch);
+      field_started = true;
+    }
+  }
+  if (in_quotes) throw ParseError("CSV: unterminated quoted field");
+  if (!field.empty() || !row.empty() || field_started) end_row();
+  return rows;
+}
+
+bool parse_int64(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+Column infer_column(const std::vector<std::vector<std::string>>& rows, std::size_t col,
+                    bool infer_types) {
+  const std::size_t n = rows.size() - 1;  // minus header
+  if (infer_types) {
+    // Try int64 first, then double; fall back to string on first failure.
+    bool all_int = true;
+    bool all_double = true;
+    for (std::size_t r = 1; r < rows.size() && (all_int || all_double); ++r) {
+      std::int64_t iv;
+      double dv;
+      if (all_int && !parse_int64(rows[r][col], iv)) all_int = false;
+      if (all_double && !parse_double(rows[r][col], dv)) all_double = false;
+    }
+    if (all_int && n > 0) {
+      std::vector<std::int64_t> values;
+      values.reserve(n);
+      for (std::size_t r = 1; r < rows.size(); ++r) {
+        std::int64_t v = 0;
+        parse_int64(rows[r][col], v);
+        values.push_back(v);
+      }
+      return Column(std::move(values));
+    }
+    if (all_double && n > 0) {
+      std::vector<double> values;
+      values.reserve(n);
+      for (std::size_t r = 1; r < rows.size(); ++r) {
+        double v = 0;
+        parse_double(rows[r][col], v);
+        values.push_back(v);
+      }
+      return Column(std::move(values));
+    }
+  }
+  std::vector<std::string> values;
+  values.reserve(n);
+  for (std::size_t r = 1; r < rows.size(); ++r) values.push_back(rows[r][col]);
+  return Column(std::move(values));
+}
+
+std::string escape(const std::string& s, char delimiter) {
+  bool needs_quotes = false;
+  for (char ch : s) {
+    if (ch == delimiter || ch == '"' || ch == '\n' || ch == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+DataFrame read_csv_string(const std::string& text, const CsvOptions& options) {
+  const auto rows = tokenize(text, options.delimiter);
+  if (rows.empty()) throw ParseError("CSV: missing header row");
+  const auto& header = rows.front();
+  BW_CHECK_MSG(!header.empty(), "CSV: empty header");
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != header.size()) {
+      throw ParseError("CSV: row " + std::to_string(r) + " has " +
+                       std::to_string(rows[r].size()) + " fields, expected " +
+                       std::to_string(header.size()));
+    }
+  }
+  DataFrame frame;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    frame.add_column(header[c], infer_column(rows, c, options.infer_types));
+  }
+  return frame;
+}
+
+DataFrame read_csv_file(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_csv_string(buffer.str(), options);
+}
+
+std::string write_csv_string(const DataFrame& frame, const CsvOptions& options) {
+  std::ostringstream os;
+  const auto& names = frame.column_names();
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    os << escape(names[c], options.delimiter);
+    if (c + 1 < names.size()) os << options.delimiter;
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < frame.num_rows(); ++r) {
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      os << escape(frame.column(names[c]).cell_to_string(r), options.delimiter);
+      if (c + 1 < names.size()) os << options.delimiter;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void write_csv_file(const DataFrame& frame, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open CSV file for writing: " + path);
+  out << write_csv_string(frame, options);
+}
+
+}  // namespace bw::df

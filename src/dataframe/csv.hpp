@@ -1,0 +1,32 @@
+#pragma once
+// RFC-4180-ish CSV reader/writer with type inference. Dataset builders can
+// export the synthetic run tables and re-load them, so users can swap in
+// their own trace CSVs without recompiling.
+
+#include <iosfwd>
+#include <string>
+
+#include "dataframe/dataframe.hpp"
+
+namespace bw::df {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Infer int64 / double / string per column; if false, all string.
+  bool infer_types = true;
+};
+
+/// Parses CSV text with a header row. Throws ParseError on ragged rows,
+/// unterminated quotes, or an empty header.
+DataFrame read_csv_string(const std::string& text, const CsvOptions& options = {});
+
+/// Reads a CSV file; throws ParseError if the file cannot be opened.
+DataFrame read_csv_file(const std::string& path, const CsvOptions& options = {});
+
+/// Serializes with a header row, quoting fields as needed.
+std::string write_csv_string(const DataFrame& frame, const CsvOptions& options = {});
+
+void write_csv_file(const DataFrame& frame, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace bw::df

@@ -1,0 +1,135 @@
+#include "dataframe/dataframe.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace bw::df {
+
+std::size_t DataFrame::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw InvalidArgument("no such column: " + name);
+}
+
+void DataFrame::add_column(const std::string& name, Column column) {
+  BW_CHECK_MSG(!name.empty(), "column name must be non-empty");
+  for (const auto& existing : names_) {
+    BW_CHECK_MSG(existing != name, "duplicate column name: " + name);
+  }
+  if (!columns_.empty()) {
+    BW_CHECK_MSG(column.size() == num_rows(),
+                 "column '" + name + "' size mismatch with existing frame");
+  }
+  names_.push_back(name);
+  columns_.push_back(std::move(column));
+}
+
+void DataFrame::set_column(const std::string& name, Column column) {
+  const std::size_t i = index_of(name);
+  BW_CHECK_MSG(column.size() == num_rows(), "set_column: size mismatch");
+  columns_[i] = std::move(column);
+}
+
+std::size_t DataFrame::num_rows() const {
+  return columns_.empty() ? 0 : columns_.front().size();
+}
+
+bool DataFrame::has_column(const std::string& name) const {
+  for (const auto& existing : names_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+const Column& DataFrame::column(const std::string& name) const {
+  return columns_[index_of(name)];
+}
+
+DataFrame DataFrame::select(const std::vector<std::string>& names) const {
+  DataFrame out;
+  for (const auto& name : names) out.add_column(name, column(name));
+  return out;
+}
+
+DataFrame DataFrame::filter(const std::function<bool(std::size_t)>& predicate) const {
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    if (predicate(r)) rows.push_back(r);
+  }
+  return take(rows);
+}
+
+DataFrame DataFrame::filter_numeric(const std::string& name,
+                                    const std::function<bool(double)>& predicate) const {
+  const Column& col = column(name);
+  return filter([&](std::size_t r) { return predicate(col.numeric_at(r)); });
+}
+
+DataFrame DataFrame::take(const std::vector<std::size_t>& rows) const {
+  DataFrame out;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out.add_column(names_[i], columns_[i].take(rows));
+  }
+  return out;
+}
+
+DataFrame DataFrame::head(std::size_t n) const {
+  std::vector<std::size_t> rows;
+  const std::size_t take_n = std::min(n, num_rows());
+  rows.reserve(take_n);
+  for (std::size_t r = 0; r < take_n; ++r) rows.push_back(r);
+  return take(rows);
+}
+
+void DataFrame::append_rows(const DataFrame& other) {
+  BW_CHECK_MSG(names_ == other.names_, "append_rows: schema (names) mismatch");
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    BW_CHECK_MSG(columns_[i].type() == other.columns_[i].type(),
+                 "append_rows: column type mismatch for '" + names_[i] + "'");
+    for (std::size_t r = 0; r < other.num_rows(); ++r) {
+      columns_[i].append_from(other.columns_[i], r);
+    }
+  }
+}
+
+std::vector<double> DataFrame::to_row_major(const std::vector<std::string>& names) const {
+  std::vector<const Column*> cols;
+  cols.reserve(names.size());
+  for (const auto& name : names) cols.push_back(&column(name));
+  std::vector<double> out;
+  out.reserve(num_rows() * names.size());
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    for (const Column* col : cols) out.push_back(col->numeric_at(r));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, bw::Summary>> DataFrame::describe() const {
+  std::vector<std::pair<std::string, bw::Summary>> out;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type() == ColumnType::kString) continue;
+    out.emplace_back(names_[i], bw::summarize(columns_[i].as_doubles()));
+  }
+  return out;
+}
+
+std::string DataFrame::to_string(std::size_t max_rows) const {
+  if (columns_.empty()) return "(empty frame)\n";
+  bw::Table table(names_);
+  const std::size_t n = std::min(max_rows, num_rows());
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<std::string> row;
+    row.reserve(columns_.size());
+    for (const auto& col : columns_) row.push_back(col.cell_to_string(r));
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << table.to_string();
+  if (num_rows() > n) os << "... (" << num_rows() << " rows total)\n";
+  return os.str();
+}
+
+}  // namespace bw::df

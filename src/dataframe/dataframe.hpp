@@ -1,0 +1,71 @@
+#pragma once
+// Column-oriented DataFrame with the operations the BanditWare pipeline
+// needs (paper Fig. 1): load per-hardware run tables, retrieve useful
+// columns, filter rows, merge frames on a run ID, and summarize.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dataframe/column.hpp"
+
+namespace bw::df {
+
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Adds a column; size must match existing columns; names must be unique.
+  void add_column(const std::string& name, Column column);
+
+  /// Replaces an existing column (same size requirement).
+  void set_column(const std::string& name, Column column);
+
+  std::size_t num_rows() const;
+  std::size_t num_cols() const { return columns_.size(); }
+  bool empty() const { return num_rows() == 0; }
+
+  bool has_column(const std::string& name) const;
+  const Column& column(const std::string& name) const;
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  /// New frame with only the named columns, in the given order.
+  DataFrame select(const std::vector<std::string>& names) const;
+
+  /// New frame with rows where `predicate(row_index)` is true.
+  DataFrame filter(const std::function<bool(std::size_t)>& predicate) const;
+
+  /// New frame with rows where column `name` (numeric) satisfies the
+  /// predicate — convenience for `size >= 5000`-style slicing.
+  DataFrame filter_numeric(const std::string& name,
+                           const std::function<bool(double)>& predicate) const;
+
+  /// New frame with the given rows (in order, duplicates allowed).
+  DataFrame take(const std::vector<std::size_t>& rows) const;
+
+  /// First n rows (or fewer).
+  DataFrame head(std::size_t n) const;
+
+  /// Appends the rows of `other`; schemas (names + types, same order) must
+  /// match exactly.
+  void append_rows(const DataFrame& other);
+
+  /// Numeric matrix view of the named columns (row-major n x k flattened).
+  /// All named columns must be numeric.
+  std::vector<double> to_row_major(const std::vector<std::string>& names) const;
+
+  /// Per-numeric-column summary (count/mean/sd/min/quartiles/max).
+  std::vector<std::pair<std::string, bw::Summary>> describe() const;
+
+  /// Aligned-text preview of the first `max_rows` rows.
+  std::string to_string(std::size_t max_rows = 10) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Column> columns_;
+  std::size_t index_of(const std::string& name) const;
+};
+
+}  // namespace bw::df

@@ -1,0 +1,86 @@
+#include "dataframe/groupby.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace bw::df {
+
+std::string to_string(Aggregation agg) {
+  switch (agg) {
+    case Aggregation::kMean: return "mean";
+    case Aggregation::kMin: return "min";
+    case Aggregation::kMax: return "max";
+    case Aggregation::kSum: return "sum";
+    case Aggregation::kCount: return "count";
+  }
+  return "?";
+}
+
+DataFrame group_by(const DataFrame& frame, const std::string& key,
+                   const std::vector<GroupBySpec>& specs) {
+  BW_CHECK_MSG(frame.has_column(key), "group_by: missing key '" + key + "'");
+  const Column& key_col = frame.column(key);
+
+  // Stable group discovery: first-appearance order.
+  std::unordered_map<std::string, std::size_t> group_of;
+  std::vector<std::vector<std::size_t>> group_rows;
+  std::vector<std::size_t> group_first_row;
+  for (std::size_t r = 0; r < frame.num_rows(); ++r) {
+    const std::string k = key_col.cell_to_string(r);
+    auto [it, inserted] = group_of.try_emplace(k, group_rows.size());
+    if (inserted) {
+      group_rows.emplace_back();
+      group_first_row.push_back(r);
+    }
+    group_rows[it->second].push_back(r);
+  }
+
+  DataFrame out;
+  out.add_column(key, key_col.take(group_first_row));
+
+  for (const auto& spec : specs) {
+    const Column& values = frame.column(spec.value_column);
+    std::vector<double> agg_values;
+    agg_values.reserve(group_rows.size());
+    for (const auto& rows : group_rows) {
+      double acc;
+      switch (spec.aggregation) {
+        case Aggregation::kCount:
+          acc = static_cast<double>(rows.size());
+          break;
+        case Aggregation::kMean: {
+          double sum = 0.0;
+          for (std::size_t r : rows) sum += values.numeric_at(r);
+          acc = rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+          break;
+        }
+        case Aggregation::kSum: {
+          double sum = 0.0;
+          for (std::size_t r : rows) sum += values.numeric_at(r);
+          acc = sum;
+          break;
+        }
+        case Aggregation::kMin: {
+          acc = std::numeric_limits<double>::infinity();
+          for (std::size_t r : rows) acc = std::min(acc, values.numeric_at(r));
+          break;
+        }
+        case Aggregation::kMax: {
+          acc = -std::numeric_limits<double>::infinity();
+          for (std::size_t r : rows) acc = std::max(acc, values.numeric_at(r));
+          break;
+        }
+        default:
+          throw InvalidArgument("unknown aggregation");
+      }
+      agg_values.push_back(acc);
+    }
+    out.add_column(spec.value_column + "_" + to_string(spec.aggregation),
+                   Column(std::move(agg_values)));
+  }
+  return out;
+}
+
+}  // namespace bw::df

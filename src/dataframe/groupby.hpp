@@ -1,0 +1,28 @@
+#pragma once
+// Group-by aggregation over one key column — used by the dataset builders
+// to compute per-hardware summary rows and by Table-1-style dataset
+// description benches.
+
+#include <string>
+#include <vector>
+
+#include "dataframe/dataframe.hpp"
+
+namespace bw::df {
+
+enum class Aggregation { kMean, kMin, kMax, kSum, kCount };
+
+std::string to_string(Aggregation agg);
+
+struct GroupBySpec {
+  std::string value_column;  ///< numeric column to aggregate
+  Aggregation aggregation = Aggregation::kMean;
+};
+
+/// Groups `frame` by `key` and computes each aggregation. Output: the key
+/// column (one row per distinct key, in first-appearance order) plus one
+/// column per spec named "<value>_<agg>".
+DataFrame group_by(const DataFrame& frame, const std::string& key,
+                   const std::vector<GroupBySpec>& specs);
+
+}  // namespace bw::df

@@ -1,0 +1,59 @@
+#include "dataframe/join.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace bw::df {
+
+DataFrame inner_join(const DataFrame& left, const DataFrame& right, const std::string& key,
+                     const JoinOptions& options) {
+  BW_CHECK_MSG(left.has_column(key), "join: left frame missing key '" + key + "'");
+  BW_CHECK_MSG(right.has_column(key), "join: right frame missing key '" + key + "'");
+  const Column& lkey = left.column(key);
+  const Column& rkey = right.column(key);
+  BW_CHECK_MSG(lkey.type() == rkey.type(), "join: key column type mismatch");
+
+  // Build hash map from right key -> row indices (stringified keys give a
+  // uniform path for all key types; IDs are short so this is cheap).
+  std::unordered_multimap<std::string, std::size_t> right_rows;
+  right_rows.reserve(right.num_rows());
+  for (std::size_t r = 0; r < right.num_rows(); ++r) {
+    right_rows.emplace(rkey.cell_to_string(r), r);
+  }
+
+  std::vector<std::size_t> left_take;
+  std::vector<std::size_t> right_take;
+  for (std::size_t l = 0; l < left.num_rows(); ++l) {
+    const auto [begin, end] = right_rows.equal_range(lkey.cell_to_string(l));
+    for (auto it = begin; it != end; ++it) {
+      left_take.push_back(l);
+      right_take.push_back(it->second);
+    }
+  }
+
+  const DataFrame left_rows_frame = left.take(left_take);
+  const DataFrame right_rows_frame = right.take(right_take);
+
+  DataFrame out;
+  out.add_column(key, left_rows_frame.column(key));
+  auto disambiguate = [&](const std::string& name, const std::string& suffix,
+                          const DataFrame& other) {
+    // Suffix when the same column name exists (non-key) in the other frame.
+    if (name != key && other.has_column(name)) return name + suffix;
+    return name;
+  };
+  for (const auto& name : left.column_names()) {
+    if (name == key) continue;
+    out.add_column(disambiguate(name, options.left_suffix, right),
+                   left_rows_frame.column(name));
+  }
+  for (const auto& name : right.column_names()) {
+    if (name == key) continue;
+    out.add_column(disambiguate(name, options.right_suffix, left),
+                   right_rows_frame.column(name));
+  }
+  return out;
+}
+
+}  // namespace bw::df

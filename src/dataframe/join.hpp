@@ -1,0 +1,25 @@
+#pragma once
+// Hash inner join on a key column — the "Merge" step of paper Fig. 1: one
+// run table per hardware setting is joined on the run ID so each row group
+// holds the same workflow executed on every hardware.
+
+#include <string>
+
+#include "dataframe/dataframe.hpp"
+
+namespace bw::df {
+
+struct JoinOptions {
+  /// Suffixes applied to clashing non-key column names.
+  std::string left_suffix = "_x";
+  std::string right_suffix = "_y";
+};
+
+/// Inner join of `left` and `right` on `key` (must exist in both, same
+/// type). Output contains the key once, then left non-key columns, then
+/// right non-key columns; one output row per matching (left,right) pair,
+/// in left-row order.
+DataFrame inner_join(const DataFrame& left, const DataFrame& right, const std::string& key,
+                     const JoinOptions& options = {});
+
+}  // namespace bw::df

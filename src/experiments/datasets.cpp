@@ -1,0 +1,107 @@
+#include "experiments/datasets.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dataframe/join.hpp"
+
+namespace bw::exp {
+
+core::RunTable merge_frames_to_table(const std::vector<df::DataFrame>& frames,
+                                     const std::string& key,
+                                     const std::vector<std::string>& feature_names,
+                                     const hw::HardwareCatalog& catalog) {
+  BW_CHECK_MSG(frames.size() == catalog.size(),
+               "need exactly one frame per hardware arm");
+  BW_CHECK_MSG(!frames.empty(), "need at least one frame");
+
+  // "Retrieve Useful Data": key + features + runtime from the first arm,
+  // key + runtime from the rest (features are identical across arms for a
+  // given run id by construction of the experiment).
+  std::vector<std::string> base_columns = {key};
+  base_columns.insert(base_columns.end(), feature_names.begin(), feature_names.end());
+  base_columns.push_back("runtime");
+
+  df::DataFrame merged = frames[0].select(base_columns);
+  // Rename arm 0's runtime so later joins do not clash.
+  auto rename_runtime = [&](const df::DataFrame& frame, std::size_t arm) {
+    df::DataFrame out;
+    for (const auto& name : frame.column_names()) {
+      out.add_column(name == "runtime" ? "runtime_" + catalog[arm].name : name,
+                     frame.column(name));
+    }
+    return out;
+  };
+  merged = rename_runtime(merged, 0);
+  for (std::size_t arm = 1; arm < frames.size(); ++arm) {
+    df::DataFrame right = rename_runtime(frames[arm].select({key, "runtime"}), arm);
+    merged = df::inner_join(merged, right, key);  // the "Merge" box of Fig. 1
+  }
+
+  const std::size_t groups = merged.num_rows();
+  BW_CHECK_MSG(groups > 0, "merge produced an empty table");
+
+  linalg::Matrix features(groups, feature_names.size());
+  for (std::size_t c = 0; c < feature_names.size(); ++c) {
+    const df::Column& col = merged.column(feature_names[c]);
+    for (std::size_t g = 0; g < groups; ++g) features(g, c) = col.numeric_at(g);
+  }
+  linalg::Matrix runtimes(groups, catalog.size());
+  for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+    const df::Column& col = merged.column("runtime_" + catalog[arm].name);
+    for (std::size_t g = 0; g < groups; ++g) runtimes(g, arm) = col.numeric_at(g);
+  }
+  return core::RunTable(feature_names, std::move(features), std::move(runtimes), catalog);
+}
+
+CyclesDataset build_cycles_dataset(std::size_t num_groups, std::uint64_t seed) {
+  CyclesDataset dataset;
+  dataset.catalog = hw::synthetic_cycles_catalog();
+  dataset.config = apps::CyclesConfig{};
+  apps::CyclesDatasetOptions options;
+  options.num_groups = num_groups;
+  options.seed = seed;
+  const auto frames = apps::build_cycles_frames(dataset.catalog, dataset.config, options);
+  dataset.table = merge_frames_to_table(frames, "run_id", {"num_tasks"}, dataset.catalog);
+  return dataset;
+}
+
+Bp3dDataset build_bp3d_dataset(std::size_t num_groups, std::uint64_t seed) {
+  Bp3dDataset dataset;
+  dataset.catalog = hw::ndp_catalog();
+  dataset.config = apps::Bp3dConfig{};
+  apps::Bp3dDatasetOptions options;
+  options.num_groups = num_groups;
+  options.seed = seed;
+  dataset.frames = apps::build_bp3d_frames(dataset.catalog, dataset.config, options);
+  dataset.table = merge_frames_to_table(dataset.frames, "run_id", apps::bp3d_feature_names(),
+                                        dataset.catalog);
+  return dataset;
+}
+
+MatmulDataset build_matmul_dataset(double scale, std::uint64_t seed) {
+  BW_CHECK_MSG(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  MatmulDataset dataset;
+  dataset.catalog = hw::matmul_catalog();
+  dataset.config = apps::MatmulModelConfig{};
+  apps::MatmulDatasetOptions options;
+  options.small_runs = std::max<std::size_t>(10, static_cast<std::size_t>(1800 * scale));
+  options.large_runs = std::max<std::size_t>(10, static_cast<std::size_t>(720 * scale));
+  options.seed = seed;
+  const auto frames = apps::build_matmul_frames(dataset.catalog, dataset.config, options);
+  dataset.table =
+      merge_frames_to_table(frames, "run_id", apps::matmul_feature_names(), dataset.catalog);
+
+  dataset.size_only = dataset.table.select_features({"size"});
+
+  std::vector<bool> keep(dataset.table.num_groups());
+  const auto split = static_cast<double>(options.split_size);
+  for (std::size_t g = 0; g < dataset.table.num_groups(); ++g) {
+    keep[g] = dataset.table.features()(g, 0) >= split;  // column 0 = size
+  }
+  dataset.subset = dataset.table.filter_groups(keep);
+  dataset.subset_size_only = dataset.subset.select_features({"size"});
+  return dataset;
+}
+
+}  // namespace bw::exp

@@ -1,0 +1,64 @@
+#pragma once
+// Dataset pipelines: workload dataframes -> merged RunTable.
+//
+// This is paper Fig. 1 end to end: each hardware setting contributes a
+// per-hardware run table; "Retrieve Useful Data" selects the feature and
+// runtime columns; "Merge" inner-joins them on the run ID; BanditWare
+// consumes the merged table.
+
+#include <string>
+#include <vector>
+
+#include "apps/bp3d.hpp"
+#include "apps/cycles.hpp"
+#include "apps/matmul.hpp"
+#include "core/run_table.hpp"
+#include "dataframe/dataframe.hpp"
+
+namespace bw::exp {
+
+/// Merges one frame per hardware arm into a RunTable. Every frame must
+/// contain `key` (shared run id), the feature columns, and a `runtime`
+/// column. Groups present in every frame survive (inner join semantics).
+core::RunTable merge_frames_to_table(const std::vector<df::DataFrame>& frames,
+                                     const std::string& key,
+                                     const std::vector<std::string>& feature_names,
+                                     const hw::HardwareCatalog& catalog);
+
+// ---- canonical experiment datasets -------------------------------------
+
+struct CyclesDataset {
+  core::RunTable table;               ///< features: num_tasks
+  apps::CyclesConfig config;          ///< generator configuration used
+  hw::HardwareCatalog catalog;
+};
+
+/// Experiment 1 dataset on the 4 synthetic hardware settings.
+/// `num_groups` = 80 reproduces the paper's collection; the learning-curve
+/// figures use a larger table (the paper's red line fits 1316 points).
+CyclesDataset build_cycles_dataset(std::size_t num_groups = 80, std::uint64_t seed = 7001);
+
+struct Bp3dDataset {
+  core::RunTable table;  ///< features: paper Table 1 (7 columns)
+  apps::Bp3dConfig config;
+  hw::HardwareCatalog catalog;
+  std::vector<df::DataFrame> frames;  ///< per-hardware frames (for Table 1 bench)
+};
+
+/// Experiment 2 dataset on NDP hardware H0=(2,16), H1=(3,24), H2=(4,16).
+Bp3dDataset build_bp3d_dataset(std::size_t num_groups = 1316, std::uint64_t seed = 7002);
+
+struct MatmulDataset {
+  core::RunTable table;        ///< features: size, sparsity, min/max value
+  core::RunTable size_only;    ///< single-feature view used by Figs. 9-12
+  core::RunTable subset;       ///< size >= 5000, all features
+  core::RunTable subset_size_only;
+  apps::MatmulModelConfig config;
+  hw::HardwareCatalog catalog;
+};
+
+/// Experiment 3 dataset (2520 runs, 5 hardware settings). `scale` in (0,1]
+/// shrinks the dataset proportionally for tests.
+MatmulDataset build_matmul_dataset(double scale = 1.0, std::uint64_t seed = 7003);
+
+}  // namespace bw::exp

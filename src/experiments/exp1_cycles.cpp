@@ -1,0 +1,67 @@
+#include "experiments/exp1_cycles.hpp"
+
+#include "core/epsilon_greedy.hpp"
+#include "experiments/paper_refs.hpp"
+#include "linalg/lstsq.hpp"
+
+namespace bw::exp {
+
+Fig3Result run_fig3_cycles_fit(std::size_t num_groups, std::uint64_t seed) {
+  Fig3Result result;
+  result.dataset = build_cycles_dataset(num_groups, seed);
+  const core::RunTable& table = result.dataset.table;
+
+  for (std::size_t arm = 0; arm < table.num_arms(); ++arm) {
+    linalg::Vector y(table.num_groups());
+    std::vector<double> x(table.num_groups());
+    for (std::size_t g = 0; g < table.num_groups(); ++g) {
+      x[g] = table.features()(g, 0);
+      y[g] = table.runtime(g, arm);
+    }
+    const linalg::FitResult fit = linalg::fit_linear_1d(x, y);
+
+    Fig3ArmFit arm_fit;
+    const auto& spec = table.catalog()[arm];
+    arm_fit.hardware = spec.name + " " + spec.to_string();
+    arm_fit.fitted_slope = fit.model.weights[0];
+    arm_fit.fitted_intercept = fit.model.bias;
+    arm_fit.fit_rmse = fit.train_rmse;
+    // Ground truth from the generator's analytic makespan (two points).
+    const double y100 = apps::expected_cycles_makespan(100, spec, result.dataset.config);
+    const double y500 = apps::expected_cycles_makespan(500, spec, result.dataset.config);
+    arm_fit.true_slope = (y500 - y100) / 400.0;
+    arm_fit.true_intercept = y100 - arm_fit.true_slope * 100.0;
+    result.arms.push_back(arm_fit);
+  }
+  return result;
+}
+
+LearningRun run_fig4_cycles_learning(std::size_t num_simulations, std::size_t num_rounds,
+                                     std::size_t dataset_groups, std::uint64_t seed) {
+  const CyclesDataset dataset = build_cycles_dataset(dataset_groups, seed);
+  const core::RunTable& table = dataset.table;
+
+  core::EpsilonGreedyConfig policy_config;
+  policy_config.initial_epsilon = paper::kInitialEpsilon;
+  policy_config.decay = paper::kDecayAlpha;
+  policy_config.tolerance.seconds = paper::kCyclesAccuracyToleranceS;
+
+  core::ReplayConfig replay_config;
+  replay_config.num_rounds = num_rounds;
+  replay_config.accuracy_tolerance.seconds = paper::kCyclesAccuracyToleranceS;
+  replay_config.seed = seed + 1;
+
+  LearningRun run;
+  run.num_rounds = num_rounds;
+  run.num_simulations = num_simulations;
+  run.sims = core::run_simulations(
+      [&] {
+        return std::make_unique<core::DecayingEpsilonGreedy>(table.catalog(),
+                                                             table.num_features(),
+                                                             policy_config);
+      },
+      table, replay_config, num_simulations);
+  return run;
+}
+
+}  // namespace bw::exp

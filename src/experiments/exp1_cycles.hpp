@@ -1,0 +1,49 @@
+#pragma once
+// Experiment 1 drivers (paper Section 4.1): Cycles on synthetic hardware.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "experiments/datasets.hpp"
+
+namespace bw::exp {
+
+/// Shared result shape for every learning-curve figure.
+struct LearningRun {
+  core::MultiSimResult sims;
+  std::size_t num_rounds = 0;
+  std::size_t num_simulations = 0;
+};
+
+// ---- Fig. 3: linear fit per hardware ------------------------------------
+
+struct Fig3ArmFit {
+  std::string hardware;       ///< e.g. "H0 (1, 8)"
+  double fitted_slope = 0.0;  ///< LS fit over the dataset
+  double fitted_intercept = 0.0;
+  double true_slope = 0.0;    ///< generator ground truth
+  double true_intercept = 0.0;
+  double fit_rmse = 0.0;      ///< residual RMSE of the fit
+};
+
+struct Fig3Result {
+  std::vector<Fig3ArmFit> arms;
+  CyclesDataset dataset;  ///< kept for plotting actual vs predicted points
+};
+
+/// Fits makespan ~ num_tasks per hardware on an 80-run dataset and compares
+/// against the generator's ground-truth line.
+Fig3Result run_fig3_cycles_fit(std::size_t num_groups = 80, std::uint64_t seed = 7001);
+
+// ---- Fig. 4: RMSE / accuracy over 100 rounds ----------------------------
+
+/// Algorithm 1 with the paper's parameters (ε₀=1, α=0.99, ts=20 s) on a
+/// large Cycles table; 10 simulations of 100 rounds (paper Fig. 4).
+LearningRun run_fig4_cycles_learning(std::size_t num_simulations = 10,
+                                     std::size_t num_rounds = 100,
+                                     std::size_t dataset_groups = 1316,
+                                     std::uint64_t seed = 7101);
+
+}  // namespace bw::exp

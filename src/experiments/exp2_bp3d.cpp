@@ -1,0 +1,105 @@
+#include "experiments/exp2_bp3d.hpp"
+
+#include "core/epsilon_greedy.hpp"
+#include "experiments/paper_refs.hpp"
+
+namespace bw::exp {
+
+const std::vector<Table1Row>& bp3d_table1_rows() {
+  static const std::vector<Table1Row> rows = {
+      {"surface_moisture", "surface fuel moisture"},
+      {"canopy_moisture", "canopy fuel moisture"},
+      {"wind_direction", "direction of surface winds"},
+      {"wind_speed", "speed of surface winds"},
+      {"sim_time", "maximum simulation steps allowed"},
+      {"run_max_mem_rss_bytes", "maximum RSS bytes allowed per run"},
+      {"area", "calculated regional surface area"},
+  };
+  return rows;
+}
+
+Fig5Result run_fig5_bp3d_linreg(const Bp3dDataset& dataset, std::uint64_t seed) {
+  Fig5Result result;
+  LinRegExperimentConfig config;
+  config.seed = seed;
+  result.all_features = run_linreg_experiment(dataset.table, config);
+  config.seed = seed + 1;
+  result.area_only = run_linreg_experiment(dataset.table.select_features({"area"}), config);
+  return result;
+}
+
+Fig6Result run_fig6_bp3d_area_fit(const Bp3dDataset& dataset, std::size_t num_simulations,
+                                  std::size_t num_rounds, std::uint64_t seed) {
+  const core::RunTable area_table = dataset.table.select_features({"area"});
+
+  Fig6Result result;
+  result.areas.resize(area_table.num_groups());
+  for (std::size_t g = 0; g < area_table.num_groups(); ++g) {
+    result.areas[g] = area_table.features()(g, 0);
+  }
+  result.actual_runtimes = area_table.runtimes();
+
+  // Baseline: per-arm LS over all samples ("theoretical best possible").
+  const core::FullFit baseline = core::fit_full_table(area_table, {});
+
+  // Bandit: average the learned (w, b) across simulations.
+  core::EpsilonGreedyConfig policy_config;
+  policy_config.initial_epsilon = paper::kInitialEpsilon;
+  policy_config.decay = paper::kDecayAlpha;
+
+  std::vector<bw::RunningStats> slope_stats(area_table.num_arms());
+  std::vector<bw::RunningStats> intercept_stats(area_table.num_arms());
+  Rng seeder(seed);
+  for (std::size_t sim = 0; sim < num_simulations; ++sim) {
+    core::DecayingEpsilonGreedy policy(area_table.catalog(), 1, policy_config);
+    core::ReplayConfig replay_config;
+    replay_config.num_rounds = num_rounds;
+    replay_config.per_round_metrics = false;  // only the final model matters here
+    replay_config.seed = seeder.child_seed(sim);
+    core::replay(policy, area_table, replay_config);
+    for (std::size_t arm = 0; arm < area_table.num_arms(); ++arm) {
+      const auto& model = policy.arm_model(arm).model();
+      slope_stats[arm].add(model.weights[0]);
+      intercept_stats[arm].add(model.bias);
+    }
+  }
+
+  for (std::size_t arm = 0; arm < area_table.num_arms(); ++arm) {
+    Fig6ArmFit fit;
+    const auto& spec = area_table.catalog()[arm];
+    fit.hardware = spec.name + " " + spec.to_string();
+    fit.bandit_slope = slope_stats[arm].mean();
+    fit.bandit_intercept = intercept_stats[arm].mean();
+    fit.baseline_slope = baseline.arm_models[arm].weights[0];
+    fit.baseline_intercept = baseline.arm_models[arm].bias;
+    result.arms.push_back(fit);
+  }
+  return result;
+}
+
+LearningRun run_fig7_bp3d_bandit(const Bp3dDataset& dataset, std::size_t num_simulations,
+                                 std::size_t num_rounds, std::uint64_t seed) {
+  const core::RunTable& table = dataset.table;
+
+  core::EpsilonGreedyConfig policy_config;
+  policy_config.initial_epsilon = paper::kInitialEpsilon;
+  policy_config.decay = paper::kDecayAlpha;
+
+  core::ReplayConfig replay_config;
+  replay_config.num_rounds = num_rounds;
+  replay_config.seed = seed;
+
+  LearningRun run;
+  run.num_rounds = num_rounds;
+  run.num_simulations = num_simulations;
+  run.sims = core::run_simulations(
+      [&] {
+        return std::make_unique<core::DecayingEpsilonGreedy>(table.catalog(),
+                                                             table.num_features(),
+                                                             policy_config);
+      },
+      table, replay_config, num_simulations);
+  return run;
+}
+
+}  // namespace bw::exp

@@ -1,0 +1,61 @@
+#pragma once
+// Experiment 2 drivers (paper Section 4.2): BP3D on NDP hardware.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiments/exp1_cycles.hpp"  // LearningRun
+#include "experiments/linreg_experiment.hpp"
+
+namespace bw::exp {
+
+// ---- Table 1: BP3D inputs & outputs --------------------------------------
+
+struct Table1Row {
+  std::string feature;
+  std::string description;
+};
+
+/// The feature schema exactly as paper Table 1 lists it.
+const std::vector<Table1Row>& bp3d_table1_rows();
+
+// ---- Fig. 5: 100 linear regressions on 25 samples -------------------------
+
+struct Fig5Result {
+  LinRegDistribution all_features;
+  LinRegDistribution area_only;
+};
+
+Fig5Result run_fig5_bp3d_linreg(const Bp3dDataset& dataset, std::uint64_t seed = 9102);
+
+// ---- Fig. 6: bandit vs baseline on the area feature -----------------------
+
+struct Fig6ArmFit {
+  std::string hardware;
+  double bandit_slope = 0.0;      ///< mean over simulations of the learned model
+  double bandit_intercept = 0.0;
+  double baseline_slope = 0.0;    ///< full-fit over all samples
+  double baseline_intercept = 0.0;
+};
+
+struct Fig6Result {
+  std::vector<Fig6ArmFit> arms;
+  /// Scatter support: per group (area, actual runtime per arm).
+  std::vector<double> areas;
+  linalg::Matrix actual_runtimes;  ///< groups x arms
+};
+
+/// Trains the bandit on the area-only view (paper: n_sim=100, n_rounds=50)
+/// and compares the learned per-arm line against the full-data baseline.
+Fig6Result run_fig6_bp3d_area_fit(const Bp3dDataset& dataset,
+                                  std::size_t num_simulations = 100,
+                                  std::size_t num_rounds = 50, std::uint64_t seed = 9103);
+
+// ---- Fig. 7: RMSE / accuracy over 50 rounds, all features -----------------
+
+LearningRun run_fig7_bp3d_bandit(const Bp3dDataset& dataset,
+                                 std::size_t num_simulations = 100,
+                                 std::size_t num_rounds = 50, std::uint64_t seed = 9104);
+
+}  // namespace bw::exp

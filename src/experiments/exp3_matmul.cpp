@@ -1,0 +1,45 @@
+#include "experiments/exp3_matmul.hpp"
+
+#include "core/epsilon_greedy.hpp"
+#include "experiments/paper_refs.hpp"
+
+namespace bw::exp {
+
+Fig8Result run_fig8_matmul_linreg(const MatmulDataset& dataset, std::uint64_t seed) {
+  Fig8Result result;
+  LinRegExperimentConfig config;
+  config.seed = seed;
+  result.full = run_linreg_experiment(dataset.table, config);
+  config.seed = seed + 1;
+  result.truncated = run_linreg_experiment(dataset.subset, config);
+  return result;
+}
+
+LearningRun run_matmul_learning(const MatmulDataset& dataset,
+                                const MatmulLearningOptions& options) {
+  const core::RunTable& table = options.subset ? dataset.subset_size_only : dataset.size_only;
+
+  core::EpsilonGreedyConfig policy_config;
+  policy_config.initial_epsilon = paper::kInitialEpsilon;
+  policy_config.decay = paper::kDecayAlpha;
+  policy_config.tolerance = options.tolerance;
+
+  core::ReplayConfig replay_config;
+  replay_config.num_rounds = options.num_rounds;
+  replay_config.accuracy_tolerance = options.tolerance;
+  replay_config.seed = options.seed;
+
+  LearningRun run;
+  run.num_rounds = options.num_rounds;
+  run.num_simulations = options.num_simulations;
+  run.sims = core::run_simulations(
+      [&] {
+        return std::make_unique<core::DecayingEpsilonGreedy>(table.catalog(),
+                                                             table.num_features(),
+                                                             policy_config);
+      },
+      table, replay_config, options.num_simulations);
+  return run;
+}
+
+}  // namespace bw::exp

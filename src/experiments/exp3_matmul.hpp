@@ -1,0 +1,37 @@
+#pragma once
+// Experiment 3 drivers (paper Section 4.3): matrix multiplication on five
+// hardware settings — full vs truncated (size >= 5000) datasets, with and
+// without tolerance (Figs. 8-12).
+
+#include <cstdint>
+
+#include "experiments/exp1_cycles.hpp"  // LearningRun
+#include "experiments/linreg_experiment.hpp"
+
+namespace bw::exp {
+
+// ---- Fig. 8: linear-regression distributions ------------------------------
+
+struct Fig8Result {
+  LinRegDistribution full;       ///< all 2520 runs
+  LinRegDistribution truncated;  ///< size >= 5000 subset
+};
+
+Fig8Result run_fig8_matmul_linreg(const MatmulDataset& dataset, std::uint64_t seed = 9201);
+
+// ---- Figs. 9-12: bandit learning curves -----------------------------------
+
+struct MatmulLearningOptions {
+  bool subset = false;             ///< true = size >= 5000 (Figs. 10/12)
+  core::ToleranceParams tolerance; ///< zero (Figs. 9/10), ts=20 (11), tr=5% (12)
+  std::size_t num_simulations = 30;
+  std::size_t num_rounds = 100;
+  std::uint64_t seed = 9202;
+};
+
+/// Runs Algorithm 1 on the size-only feature view (paper: "we focus on
+/// training using matrix size as the predictor").
+LearningRun run_matmul_learning(const MatmulDataset& dataset,
+                                const MatmulLearningOptions& options);
+
+}  // namespace bw::exp

@@ -1,0 +1,74 @@
+#include "experiments/linreg_experiment.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/lstsq.hpp"
+
+namespace bw::exp {
+
+LinRegDistribution run_linreg_experiment(const core::RunTable& table,
+                                         const LinRegExperimentConfig& config) {
+  BW_CHECK_MSG(config.num_models > 0, "need at least one model");
+  BW_CHECK_MSG(config.samples_per_model >= 2, "need at least two samples per model");
+  BW_CHECK_MSG(config.samples_per_model <= table.num_groups(),
+               "sample size exceeds dataset size");
+
+  Rng rng(config.seed);
+  LinRegDistribution dist;
+  dist.rmse_values.reserve(config.num_models);
+  dist.r2_values.reserve(config.num_models);
+
+  // Flatten the full table once for scoring.
+  const std::size_t rows = table.num_groups() * table.num_arms();
+  std::vector<double> actual(rows);
+  {
+    std::size_t r = 0;
+    for (std::size_t g = 0; g < table.num_groups(); ++g) {
+      for (std::size_t a = 0; a < table.num_arms(); ++a) actual[r++] = table.runtime(g, a);
+    }
+  }
+
+  for (std::size_t m = 0; m < config.num_models; ++m) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<std::size_t> sample =
+        rng.sample_without_replacement(table.num_groups(), config.samples_per_model);
+
+    // Per-arm least squares on the sampled groups.
+    std::vector<linalg::LinearModel> models;
+    models.reserve(table.num_arms());
+    linalg::Matrix design(sample.size(), table.num_features());
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      for (std::size_t c = 0; c < table.num_features(); ++c) {
+        design(i, c) = table.features()(sample[i], c);
+      }
+    }
+    for (std::size_t arm = 0; arm < table.num_arms(); ++arm) {
+      linalg::Vector y(sample.size());
+      for (std::size_t i = 0; i < sample.size(); ++i) y[i] = table.runtime(sample[i], arm);
+      models.push_back(linalg::fit_linear(design, y).model);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Score on the full dataset (pooled over all rows).
+    std::vector<double> predicted(rows);
+    std::size_t r = 0;
+    for (std::size_t g = 0; g < table.num_groups(); ++g) {
+      const core::FeatureVector x = table.features_of(g);
+      for (std::size_t a = 0; a < table.num_arms(); ++a) {
+        predicted[r++] = models[a].predict(x);
+      }
+    }
+    dist.rmse_values.push_back(bw::rmse(predicted, actual));
+    dist.r2_values.push_back(bw::r_squared(predicted, actual));
+    dist.train_seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+
+  dist.rmse = bw::summarize(dist.rmse_values);
+  dist.r2 = bw::summarize(dist.r2_values);
+  dist.seconds = bw::summarize(dist.train_seconds);
+  return dist;
+}
+
+}  // namespace bw::exp

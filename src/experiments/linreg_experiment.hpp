@@ -1,0 +1,37 @@
+#pragma once
+// The paper's comparison baseline for Figs. 5 and 8: repeatedly train a
+// plain per-arm linear-regression recommender on a small random sample
+// (25 run groups) and score it on the full dataset. The distributions of
+// RMSE and R² across repetitions show how unstable small-sample offline
+// regression is — the motivation for the online bandit.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/run_table.hpp"
+
+namespace bw::exp {
+
+struct LinRegExperimentConfig {
+  std::size_t num_models = 100;       ///< paper: 100 models
+  std::size_t samples_per_model = 25; ///< paper: 25 data samples
+  std::uint64_t seed = 9001;
+};
+
+struct LinRegDistribution {
+  std::vector<double> rmse_values;  ///< one per trained model
+  std::vector<double> r2_values;
+  std::vector<double> train_seconds;
+  bw::Summary rmse;
+  bw::Summary r2;
+  bw::Summary seconds;
+};
+
+/// Trains config.num_models recommenders, each on samples_per_model groups
+/// drawn without replacement, and evaluates RMSE / pooled R² over every
+/// row of `table`.
+LinRegDistribution run_linreg_experiment(const core::RunTable& table,
+                                         const LinRegExperimentConfig& config = {});
+
+}  // namespace bw::exp

@@ -1,0 +1,63 @@
+#pragma once
+// Reference values quoted in the paper's evaluation (Section 4). The
+// benches print these next to measured values; EXPERIMENTS.md records the
+// comparison. Absolute scales differ by construction (our substrates are
+// simulators — DESIGN.md section 2); the *relationships* are the target.
+
+namespace bw::exp::paper {
+
+// --- Experiment 1 (Cycles, Section 4.1) ---------------------------------
+inline constexpr double kCyclesSampleEquivalent = 20;    ///< "same error ... with only 20 samples"
+inline constexpr double kCyclesFullDataPoints = 1316;    ///< "as using 1316 data points"
+inline constexpr double kCyclesAccuracyToleranceS = 20;  ///< "tolerance of 20 seconds"
+
+// --- Experiment 2 (BP3D, Section 4.2) ------------------------------------
+inline constexpr double kBp3dSamples = 1316;
+inline constexpr double kBp3dFullFitRmse = 12257.43;
+inline constexpr double kBp3dBanditRmseRound25 = 20182.91;
+inline constexpr double kBp3dBanditRmseSdRound25 = 12290.82;
+inline constexpr double kBp3dBanditRmseRound50 = 16493.81;
+inline constexpr double kBp3dBanditRmseSdRound50 = 7078.61;
+inline constexpr double kBp3dPctWorseRound25 = 17.90;   ///< % worse than full fit
+inline constexpr double kBp3dPctWorseRound50 = 12.55;
+inline constexpr double kBp3dFullFitAccuracy = 0.342;   ///< ~ random among 3 arms
+inline constexpr int kBp3dNumSimulations = 100;
+inline constexpr int kBp3dNumRounds = 50;
+
+// Fig. 5 linear-regression distribution (25-sample models, 100 models).
+inline constexpr double kBp3dLinRegRmseMin = 0.5163;  ///< paper's normalized units
+inline constexpr double kBp3dLinRegRmseMax = 0.855;
+inline constexpr double kBp3dLinRegRmseMean = 0.7256;
+inline constexpr double kBp3dLinRegR2Min = 0.0048;
+inline constexpr double kBp3dLinRegR2Max = 0.5236;
+inline constexpr double kBp3dLinRegR2Mean = 0.1283;
+
+// --- Experiment 3 (matmul, Section 4.3) -----------------------------------
+inline constexpr double kMatmulRuns = 2520;
+inline constexpr double kMatmulSmallRuns = 1800;   ///< size < 5000
+inline constexpr double kMatmulMaxSize = 12500;
+inline constexpr double kMatmulFullAccuracy = 0.30;     ///< full dataset, no tolerance
+inline constexpr double kMatmulRandomAccuracy = 0.20;   ///< 5 hardware options
+inline constexpr double kMatmulSubsetAccuracy = 0.80;   ///< size >= 5000, no tolerance
+inline constexpr double kMatmulTolSeconds = 20.0;       ///< Fig. 11
+inline constexpr double kMatmulTolRatio = 0.05;         ///< Fig. 12
+
+// Fig. 8 linear-regression distributions.
+inline constexpr double kMatmulLinRegRmseMinFull = 5.1989;
+inline constexpr double kMatmulLinRegRmseMaxFull = 22.4497;
+inline constexpr double kMatmulLinRegRmseMeanFull = 14.9676;
+inline constexpr double kMatmulLinRegR2MinFull = 0.709376;
+inline constexpr double kMatmulLinRegR2MaxFull = 0.983857;
+inline constexpr double kMatmulLinRegR2MeanFull = 0.876601;
+inline constexpr double kMatmulLinRegRmseMinTrunc = 5.5481;
+inline constexpr double kMatmulLinRegRmseMaxTrunc = 21.2297;
+inline constexpr double kMatmulLinRegRmseMeanTrunc = 15.0692;
+inline constexpr double kMatmulLinRegR2MinTrunc = 0.75234;
+inline constexpr double kMatmulLinRegR2MaxTrunc = 0.974758;
+inline constexpr double kMatmulLinRegR2MeanTrunc = 0.882434;
+
+// --- shared algorithm parameters (Section 4 preamble) --------------------
+inline constexpr double kDecayAlpha = 0.99;
+inline constexpr double kInitialEpsilon = 1.0;
+
+}  // namespace bw::exp::paper

@@ -1,0 +1,90 @@
+#include "experiments/report.hpp"
+
+#include <sstream>
+
+#include "common/ascii_plot.hpp"
+#include "common/table.hpp"
+
+namespace bw::exp {
+
+std::string render_learning_report(const core::MultiSimResult& result,
+                                   const LearningReportOptions& options) {
+  std::ostringstream os;
+  if (!options.title.empty()) os << "== " << options.title << " ==\n";
+  const std::size_t rounds = result.rmse.rounds();
+  if (rounds == 0) {
+    os << "(no per-round metrics recorded)\n";
+    return os.str();
+  }
+
+  bw::Table table({"round", "rmse_mean", "rmse_sd", "acc_mean", "acc_sd", "res_cost"});
+  const std::size_t stride = options.stride == 0 ? 1 : options.stride;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (r % stride != 0 && r + 1 != rounds) continue;
+    table.add_row_numeric({static_cast<double>(r + 1), result.rmse.mean[r],
+                           result.rmse.stddev[r], result.accuracy.mean[r],
+                           result.accuracy.stddev[r], result.resource_cost.mean[r]},
+                          4);
+  }
+  os << table.to_string();
+  os << "full-fit baseline: rmse=" << bw::format_double(result.full_fit_metrics.rmse, 2)
+     << " accuracy=" << bw::format_double(result.full_fit_metrics.accuracy, 4)
+     << " (the red line in the paper's figures)\n";
+
+  if (options.plot) {
+    bw::PlotOptions rmse_plot;
+    rmse_plot.title = "RMSE over time (mean ± sd across simulations; flat line = full fit)";
+    rmse_plot.x_label = "round";
+    std::vector<bw::Series> series(2);
+    series[0] = {"bandit rmse", result.rmse.mean, '*'};
+    series[1] = {"full fit", std::vector<double>(rounds, result.full_fit_metrics.rmse), '='};
+    os << bw::plot_lines(series, rmse_plot);
+
+    bw::PlotOptions acc_plot;
+    acc_plot.title = "Accuracy over time";
+    acc_plot.x_label = "round";
+    std::vector<bw::Series> acc_series(2);
+    acc_series[0] = {"bandit accuracy", result.accuracy.mean, '*'};
+    acc_series[1] = {"full fit",
+                     std::vector<double>(rounds, result.full_fit_metrics.accuracy), '='};
+    os << bw::plot_lines(acc_series, acc_plot);
+  }
+  return os.str();
+}
+
+std::string render_linreg_report(const LinRegDistribution& dist, const std::string& title) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  bw::Table table({"metric", "min", "p25", "median", "p75", "max", "mean", "range"});
+  auto add = [&table](const std::string& name, const bw::Summary& s) {
+    table.add_row({name, bw::format_double(s.min, 4), bw::format_double(s.p25, 4),
+                   bw::format_double(s.median, 4), bw::format_double(s.p75, 4),
+                   bw::format_double(s.max, 4), bw::format_double(s.mean, 4),
+                   bw::format_double(s.range(), 4)});
+  };
+  add("rmse", dist.rmse);
+  add("r2", dist.r2);
+  add("train_s", dist.seconds);
+  os << table.to_string();
+  bw::PlotOptions hist;
+  hist.title = "RMSE distribution across models";
+  os << bw::plot_histogram(dist.rmse_values, 10, hist);
+  return os.str();
+}
+
+std::string compare_row(const std::string& quantity, double paper_value,
+                        double measured_value, const std::string& note) {
+  std::ostringstream os;
+  os << "  " << quantity << ": paper=" << bw::format_double(paper_value, 4)
+     << " measured=" << bw::format_double(measured_value, 4);
+  if (!note.empty()) os << "  (" << note << ")";
+  os << '\n';
+  return os.str();
+}
+
+std::string substitution_note() {
+  return "note: workloads run on simulated substrates (DESIGN.md section 2); compare\n"
+         "      shapes and regimes with the paper, not absolute seconds.\n";
+}
+
+}  // namespace bw::exp

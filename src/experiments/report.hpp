@@ -1,0 +1,39 @@
+#pragma once
+// Rendering helpers shared by the bench binaries: learning-curve tables,
+// ASCII band plots with the full-fit reference line, linear-regression
+// distribution summaries, and paper-vs-measured comparison rows.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "experiments/linreg_experiment.hpp"
+
+namespace bw::exp {
+
+struct LearningReportOptions {
+  std::string title;
+  /// Print a table row every `stride` rounds (plus the final round).
+  std::size_t stride = 5;
+  bool plot = true;
+};
+
+/// Renders per-round RMSE and accuracy (mean ± sd across simulations) next
+/// to the full-fit baseline — the content of paper Figs. 4, 7 and 9-12.
+std::string render_learning_report(const core::MultiSimResult& result,
+                                   const LearningReportOptions& options);
+
+/// Renders a LinRegDistribution like the paper's Figs. 5 / 8 box plots:
+/// min / quartiles / max plus a histogram.
+std::string render_linreg_report(const LinRegDistribution& dist, const std::string& title);
+
+/// One "paper vs measured" comparison row (values rendered side by side
+/// and collected into EXPERIMENTS.md).
+std::string compare_row(const std::string& quantity, double paper_value,
+                        double measured_value, const std::string& note = "");
+
+/// "paper reports X; shapes should match, absolute numbers will not"
+/// preamble shared by every figure bench.
+std::string substitution_note();
+
+}  // namespace bw::exp

@@ -1,0 +1,61 @@
+#include "geo/burn_units.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "geo/geojson.hpp"
+
+namespace bw::geo {
+namespace {
+
+/// Builds an L-shaped burn unit: a W x H km rectangle anchored at
+/// (lon0, lat0) with a notch_w x notch_h km notch cut from the north-east
+/// corner. Exact area = (W*H - notch_w*notch_h) km².
+BurnUnit make_unit(const std::string& name, double lon0, double lat0, double w_km,
+                   double h_km, double notch_w_km, double notch_h_km) {
+  const double deg_per_km_lat = 1.0 / (meters_per_degree_lat() / 1000.0);
+  const double deg_per_km_lon = 1.0 / (meters_per_degree_lon(lat0) / 1000.0);
+  auto pt = [&](double x_km, double y_km) {
+    return Point{lon0 + x_km * deg_per_km_lon, lat0 + y_km * deg_per_km_lat};
+  };
+  std::vector<Point> ring = {
+      pt(0, 0),
+      pt(w_km, 0),
+      pt(w_km, h_km - notch_h_km),
+      pt(w_km - notch_w_km, h_km - notch_h_km),
+      pt(w_km - notch_w_km, h_km),
+      pt(0, h_km),
+  };
+  Polygon polygon(ring);
+  BurnUnit unit{name, to_geojson_feature(polygon, name), std::move(polygon)};
+  return unit;
+}
+
+std::vector<BurnUnit> build_all() {
+  // Areas: 1.05, 1.30, 1.60, 1.90, 2.20, 2.50 km² (see header comment).
+  std::vector<BurnUnit> units;
+  units.push_back(make_unit("johnson_valley", -116.60, 34.40, 1.20, 1.00, 0.50, 0.30));
+  units.push_back(make_unit("bear_creek", -120.45, 38.20, 1.40, 1.00, 0.25, 0.40));
+  units.push_back(make_unit("mesa_ridge", -117.80, 33.50, 1.60, 1.10, 0.40, 0.40));
+  units.push_back(make_unit("pine_flat", -119.30, 36.80, 1.90, 1.10, 0.475, 0.40));
+  units.push_back(make_unit("red_canyon", -116.95, 33.10, 1.76, 1.30, 0.44, 0.20));
+  units.push_back(make_unit("sierra_vista", -118.90, 35.70, 2.00, 1.30, 0.50, 0.20));
+  return units;
+}
+
+}  // namespace
+
+const std::vector<BurnUnit>& builtin_burn_units() {
+  static const std::vector<BurnUnit> units = build_all();
+  return units;
+}
+
+const BurnUnit& burn_unit_by_name(const std::string& name) {
+  for (const auto& unit : builtin_burn_units()) {
+    if (unit.name == name) return unit;
+  }
+  throw InvalidArgument("unknown burn unit: " + name);
+}
+
+}  // namespace bw::geo

@@ -1,0 +1,28 @@
+#pragma once
+// The six builtin burn units used by the BP3D experiments. The paper
+// "chose six burn units from previous simulations ... of varying sizes and
+// regions"; ours are synthetic L-shaped units placed across California-like
+// latitudes with areas spanning 1.05–2.5 km² (the 1M–2.5M m² range on the
+// x-axis of paper Fig. 6).
+
+#include <string>
+#include <vector>
+
+#include "geo/polygon.hpp"
+
+namespace bw::geo {
+
+struct BurnUnit {
+  std::string name;
+  std::string geojson;  ///< full GeoJSON Feature document
+  Polygon polygon;
+  double area_m2() const { return polygon.area_m2(); }
+};
+
+/// The six builtin units, ordered by ascending area.
+const std::vector<BurnUnit>& builtin_burn_units();
+
+/// Lookup by name; throws InvalidArgument when unknown.
+const BurnUnit& burn_unit_by_name(const std::string& name);
+
+}  // namespace bw::geo

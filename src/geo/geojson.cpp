@@ -1,0 +1,80 @@
+#include "geo/geojson.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bw::geo {
+namespace {
+
+std::vector<Point> parse_ring(const JsonValue& ring_json) {
+  std::vector<Point> ring;
+  for (const auto& coord : ring_json.as_array()) {
+    const auto& pair = coord.as_array();
+    if (pair.size() < 2) throw ParseError("GeoJSON: coordinate needs [lon, lat]");
+    ring.push_back({pair[0].as_number(), pair[1].as_number()});
+  }
+  return ring;
+}
+
+Polygon parse_polygon_coordinates(const JsonValue& coords) {
+  const auto& rings = coords.as_array();
+  if (rings.empty()) throw ParseError("GeoJSON: polygon without rings");
+  std::vector<Point> exterior = parse_ring(rings[0]);
+  std::vector<std::vector<Point>> holes;
+  for (std::size_t i = 1; i < rings.size(); ++i) holes.push_back(parse_ring(rings[i]));
+  return Polygon(std::move(exterior), std::move(holes));
+}
+
+void collect_from_geometry(const JsonValue& geometry, std::vector<Polygon>& out) {
+  const std::string& type = geometry.at("type").as_string();
+  if (type == "Polygon") {
+    out.push_back(parse_polygon_coordinates(geometry.at("coordinates")));
+  } else if (type == "MultiPolygon") {
+    for (const auto& part : geometry.at("coordinates").as_array()) {
+      out.push_back(parse_polygon_coordinates(part));
+    }
+  } else {
+    throw ParseError("GeoJSON: unsupported geometry type '" + type + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<Polygon> parse_geojson_polygons(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  const std::string& type = doc.at("type").as_string();
+  std::vector<Polygon> polygons;
+  if (type == "FeatureCollection") {
+    for (const auto& feature : doc.at("features").as_array()) {
+      collect_from_geometry(feature.at("geometry"), polygons);
+    }
+  } else if (type == "Feature") {
+    collect_from_geometry(doc.at("geometry"), polygons);
+  } else {
+    collect_from_geometry(doc, polygons);
+  }
+  if (polygons.empty()) throw ParseError("GeoJSON: document contains no polygons");
+  return polygons;
+}
+
+Polygon parse_geojson_polygon(const std::string& text) {
+  return parse_geojson_polygons(text).front();
+}
+
+std::string to_geojson_feature(const Polygon& polygon, const std::string& name) {
+  std::ostringstream os;
+  os.precision(17);  // shortest round-trip precision for coordinates
+  os << R"({"type": "Feature", "properties": {"name": ")" << name
+     << R"("}, "geometry": {"type": "Polygon", "coordinates": [[)";
+  const auto& ring = polygon.exterior();
+  for (std::size_t i = 0; i <= ring.size(); ++i) {
+    const Point& p = ring[i % ring.size()];  // close the ring
+    os << '[' << p.lon << ", " << p.lat << ']';
+    if (i < ring.size()) os << ", ";
+  }
+  os << "]]}}";
+  return os.str();
+}
+
+}  // namespace bw::geo

@@ -1,0 +1,28 @@
+#pragma once
+// GeoJSON support for BP3D burn units. BP3D "uses GeoJSON files, known as
+// burn units, to represent the geographic area of a prescribed burn"
+// (paper Section 4). We parse Feature / Polygon / MultiPolygon documents
+// into geo::Polygon.
+
+#include <string>
+#include <vector>
+
+#include "geo/json.hpp"
+#include "geo/polygon.hpp"
+
+namespace bw::geo {
+
+/// Parses one GeoJSON document (Polygon geometry, Feature wrapping a
+/// Polygon, or a FeatureCollection whose first feature is a Polygon) into
+/// the polygons it contains. MultiPolygon yields one Polygon per part.
+/// Throws ParseError on anything else.
+std::vector<Polygon> parse_geojson_polygons(const std::string& text);
+
+/// Convenience: the first polygon of a document (throws if none).
+Polygon parse_geojson_polygon(const std::string& text);
+
+/// Serializes a polygon back to a GeoJSON Feature string with the given
+/// properties (name only — all burn units need).
+std::string to_geojson_feature(const Polygon& polygon, const std::string& name);
+
+}  // namespace bw::geo

@@ -1,0 +1,245 @@
+#include "geo/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace bw::geo {
+
+JsonValue::JsonValue(JsonArray a)
+    : type_(Type::kArray), array_(std::make_shared<JsonArray>(std::move(a))) {}
+
+JsonValue::JsonValue(JsonObject o)
+    : type_(Type::kObject), object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw ParseError("JSON: expected bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) throw ParseError("JSON: expected number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw ParseError("JSON: expected string");
+  return string_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (!is_array()) throw ParseError("JSON: expected array");
+  return *array_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (!is_object()) throw ParseError("JSON: expected object");
+  return *object_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  if (it == obj.end()) throw ParseError("JSON: missing key '" + key + "'");
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  return is_object() && object_->count(key) > 0;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("JSON parse error at offset " + std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char ch = peek();
+    ++pos_;
+    return ch;
+  }
+
+  void expect(char ch) {
+    if (next() != ch) fail(std::string("expected '") + ch + "'");
+  }
+
+  bool consume_literal(const char* literal) {
+    std::size_t len = 0;
+    while (literal[len] != '\0') ++len;
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char ch = peek();
+    switch (ch) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonObject obj;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_whitespace();
+      if (peek() != '"') fail("object keys must be strings");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      obj.emplace(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char ch = next();
+      if (ch == '}') break;
+      if (ch != ',') fail("expected ',' or '}' in object");
+    }
+    return JsonValue(std::move(obj));
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonArray arr;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char ch = next();
+      if (ch == ']') break;
+      if (ch != ',') fail("expected ',' or ']' in array");
+    }
+    return JsonValue(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char ch = next();
+      if (ch == '"') break;
+      if (ch == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // Basic BMP escape; burn units only need ASCII, but accept any.
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char hex = next();
+              code <<= 4;
+              if (hex >= '0' && hex <= '9') code += static_cast<unsigned>(hex - '0');
+              else if (hex >= 'a' && hex <= 'f') code += static_cast<unsigned>(hex - 'a' + 10);
+              else if (hex >= 'A' && hex <= 'F') code += static_cast<unsigned>(hex - 'A' + 10);
+              else fail("invalid \\u escape");
+            }
+            // UTF-8 encode.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("invalid escape sequence");
+        }
+      } else {
+        out.push_back(ch);
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      fail("invalid number '" + token + "'");
+    }
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace bw::geo

@@ -1,0 +1,62 @@
+#pragma once
+// Minimal JSON parser — just enough for GeoJSON burn units (objects,
+// arrays, strings, numbers, booleans, null). Recursive descent with a
+// depth limit; throws bw::ParseError with position info on malformed input.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bw::geo {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double n) : type_(Type::kNumber), number_(n) {}
+  explicit JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit JsonValue(JsonArray a);
+  explicit JsonValue(JsonObject o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw ParseError if the type does not match.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member access; throws ParseError if missing or not an object.
+  const JsonValue& at(const std::string& key) const;
+
+  /// True if this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;    // shared_ptr keeps JsonValue copyable
+  std::shared_ptr<JsonObject> object_;  // and cheap to pass around
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+JsonValue parse_json(const std::string& text);
+
+}  // namespace bw::geo

@@ -1,0 +1,106 @@
+#include "geo/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace bw::geo {
+
+namespace {
+constexpr double kEarthRadiusM = 6371008.8;  // mean Earth radius
+}
+
+double meters_per_degree_lat() {
+  return kEarthRadiusM * std::numbers::pi / 180.0;
+}
+
+double meters_per_degree_lon(double lat_degrees) {
+  return meters_per_degree_lat() * std::cos(lat_degrees * std::numbers::pi / 180.0);
+}
+
+double BoundingBox::width_m() const {
+  const double mid_lat = (min_lat + max_lat) / 2.0;
+  return (max_lon - min_lon) * meters_per_degree_lon(mid_lat);
+}
+
+double BoundingBox::height_m() const {
+  return (max_lat - min_lat) * meters_per_degree_lat();
+}
+
+Polygon::Polygon(std::vector<Point> exterior, std::vector<std::vector<Point>> holes)
+    : exterior_(std::move(exterior)), holes_(std::move(holes)) {
+  // Drop an explicit closing point so area/centroid treat rings uniformly.
+  if (exterior_.size() >= 2 && exterior_.front() == exterior_.back()) {
+    exterior_.pop_back();
+  }
+  for (auto& hole : holes_) {
+    if (hole.size() >= 2 && hole.front() == hole.back()) hole.pop_back();
+  }
+  BW_CHECK_MSG(exterior_.size() >= 3, "polygon exterior needs at least 3 distinct points");
+}
+
+double ring_area_m2(const std::vector<Point>& ring, const Point& origin) {
+  if (ring.size() < 3) return 0.0;
+  const double mx = meters_per_degree_lon(origin.lat);
+  const double my = meters_per_degree_lat();
+  double twice_area = 0.0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % ring.size()];
+    const double ax = (a.lon - origin.lon) * mx;
+    const double ay = (a.lat - origin.lat) * my;
+    const double bx = (b.lon - origin.lon) * mx;
+    const double by = (b.lat - origin.lat) * my;
+    twice_area += ax * by - bx * ay;
+  }
+  return std::abs(twice_area) / 2.0;
+}
+
+double Polygon::area_m2() const {
+  const Point origin = centroid();
+  double area = ring_area_m2(exterior_, origin);
+  for (const auto& hole : holes_) area -= ring_area_m2(hole, origin);
+  return std::max(0.0, area);
+}
+
+BoundingBox Polygon::bounding_box() const {
+  BoundingBox box{exterior_[0].lon, exterior_[0].lat, exterior_[0].lon, exterior_[0].lat};
+  for (const Point& p : exterior_) {
+    box.min_lon = std::min(box.min_lon, p.lon);
+    box.max_lon = std::max(box.max_lon, p.lon);
+    box.min_lat = std::min(box.min_lat, p.lat);
+    box.max_lat = std::max(box.max_lat, p.lat);
+  }
+  return box;
+}
+
+Point Polygon::centroid() const {
+  double lon = 0.0;
+  double lat = 0.0;
+  for (const Point& p : exterior_) {
+    lon += p.lon;
+    lat += p.lat;
+  }
+  const auto n = static_cast<double>(exterior_.size());
+  return {lon / n, lat / n};
+}
+
+bool Polygon::contains(const Point& p) const {
+  bool inside = false;
+  const std::size_t n = exterior_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = exterior_[i];
+    const Point& b = exterior_[j];
+    const bool crosses = (a.lat > p.lat) != (b.lat > p.lat);
+    if (crosses) {
+      const double t = (p.lat - a.lat) / (b.lat - a.lat);
+      const double x = a.lon + t * (b.lon - a.lon);
+      if (p.lon < x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+}  // namespace bw::geo

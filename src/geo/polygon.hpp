@@ -1,0 +1,55 @@
+#pragma once
+// Planar polygon geometry for burn units. GeoJSON coordinates are
+// (longitude, latitude) degrees; areas are computed in square meters via a
+// local equirectangular projection around the polygon centroid — accurate
+// to well under 1% for burn-unit-sized regions (a few km across).
+
+#include <vector>
+
+namespace bw::geo {
+
+struct Point {
+  double lon = 0.0;  ///< degrees east
+  double lat = 0.0;  ///< degrees north
+  bool operator==(const Point&) const = default;
+};
+
+struct BoundingBox {
+  double min_lon = 0.0, min_lat = 0.0, max_lon = 0.0, max_lat = 0.0;
+  double width_m() const;   ///< east-west extent in meters (at mid-latitude)
+  double height_m() const;  ///< north-south extent in meters
+};
+
+/// A simple polygon: one exterior ring (first point need not repeat at the
+/// end; both closed and open forms are accepted) and zero or more holes.
+class Polygon {
+ public:
+  explicit Polygon(std::vector<Point> exterior, std::vector<std::vector<Point>> holes = {});
+
+  const std::vector<Point>& exterior() const { return exterior_; }
+  const std::vector<std::vector<Point>>& holes() const { return holes_; }
+
+  /// Area in square meters (exterior minus holes; always >= 0).
+  double area_m2() const;
+
+  BoundingBox bounding_box() const;
+
+  Point centroid() const;  ///< vertex centroid (adequate for projection)
+
+  /// Point-in-polygon (even-odd rule) on the exterior ring, ignoring holes.
+  bool contains(const Point& p) const;
+
+ private:
+  std::vector<Point> exterior_;
+  std::vector<std::vector<Point>> holes_;
+};
+
+/// Shoelace area of a ring projected to meters around `origin`.
+/// Positive regardless of winding order.
+double ring_area_m2(const std::vector<Point>& ring, const Point& origin);
+
+/// Meters per degree of longitude/latitude at a given latitude.
+double meters_per_degree_lon(double lat_degrees);
+double meters_per_degree_lat();
+
+}  // namespace bw::geo

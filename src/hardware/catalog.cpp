@@ -1,0 +1,77 @@
+#include "hardware/catalog.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bw::hw {
+
+HardwareCatalog::HardwareCatalog(std::vector<HardwareSpec> specs) {
+  for (auto& spec : specs) add(std::move(spec));
+}
+
+std::size_t HardwareCatalog::add(HardwareSpec spec) {
+  BW_CHECK_MSG(!spec.name.empty(), "hardware spec needs a name");
+  BW_CHECK_MSG(!index_of(spec.name).has_value(), "duplicate hardware name: " + spec.name);
+  BW_CHECK_MSG(spec.cpus > 0 && spec.memory_gb > 0, "hardware resources must be positive");
+  specs_.push_back(std::move(spec));
+  return specs_.size() - 1;
+}
+
+const HardwareSpec& HardwareCatalog::operator[](std::size_t arm) const {
+  BW_CHECK_MSG(arm < specs_.size(), "hardware arm index out of range");
+  return specs_[arm];
+}
+
+std::optional<std::size_t> HardwareCatalog::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> HardwareCatalog::resource_costs(const ResourceWeights& weights) const {
+  std::vector<double> costs;
+  costs.reserve(specs_.size());
+  for (const auto& spec : specs_) costs.push_back(spec.resource_cost(weights));
+  return costs;
+}
+
+std::vector<std::size_t> HardwareCatalog::efficiency_order(const ResourceWeights& weights) const {
+  const std::vector<double> costs = resource_costs(weights);
+  std::vector<std::size_t> order(specs_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return costs[a] < costs[b]; });
+  return order;
+}
+
+std::string HardwareCatalog::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    os << specs_[i].name << " = " << specs_[i].to_string();
+    if (i + 1 < specs_.size()) os << ", ";
+  }
+  return os.str();
+}
+
+HardwareCatalog ndp_catalog() {
+  return HardwareCatalog({{"H0", 2, 16.0}, {"H1", 3, 24.0}, {"H2", 4, 16.0}});
+}
+
+HardwareCatalog synthetic_cycles_catalog() {
+  // Distinct core counts -> distinct makespan slopes (paper Fig. 3 shows
+  // four clearly separated lines over num_tasks).
+  return HardwareCatalog({{"H0", 1, 8.0}, {"H1", 2, 16.0}, {"H2", 4, 16.0}, {"H3", 8, 32.0}});
+}
+
+HardwareCatalog matmul_catalog() {
+  // Five NDP-style settings with modest spacing: close enough that short
+  // runs cannot distinguish them, far enough apart that long runs can.
+  return HardwareCatalog(
+      {{"M0", 2, 8.0}, {"M1", 3, 12.0}, {"M2", 4, 16.0}, {"M3", 5, 20.0}, {"M4", 6, 24.0}});
+}
+
+}  // namespace bw::hw

@@ -1,0 +1,54 @@
+#pragma once
+// Named collections of hardware specs, with the configurations the paper
+// experiments on as presets.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hardware/spec.hpp"
+
+namespace bw::hw {
+
+class HardwareCatalog {
+ public:
+  HardwareCatalog() = default;
+  explicit HardwareCatalog(std::vector<HardwareSpec> specs);
+
+  /// Appends a spec; names must be unique. Returns its arm index.
+  std::size_t add(HardwareSpec spec);
+
+  std::size_t size() const { return specs_.size(); }
+  bool empty() const { return specs_.empty(); }
+
+  const HardwareSpec& operator[](std::size_t arm) const;
+  const std::vector<HardwareSpec>& specs() const { return specs_; }
+
+  std::optional<std::size_t> index_of(const std::string& name) const;
+
+  /// Resource cost of each arm (same order as specs).
+  std::vector<double> resource_costs(const ResourceWeights& weights = {}) const;
+
+  /// Arm indices sorted by ascending resource cost (ties keep arm order).
+  std::vector<std::size_t> efficiency_order(const ResourceWeights& weights = {}) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<HardwareSpec> specs_;
+};
+
+/// NDP hardware used in paper Experiments 2 (Section 4):
+/// H0=(2,16), H1=(3,24), H2=(4,16).
+HardwareCatalog ndp_catalog();
+
+/// Four synthetic hardware settings for Experiment 1 (distinct core counts
+/// give the clearly separated runtime slopes of paper Fig. 3).
+HardwareCatalog synthetic_cycles_catalog();
+
+/// Five configurations for Experiment 3 (matmul): random-guess accuracy of
+/// 1/5 matches the paper's "0.2 among the five hardware options".
+HardwareCatalog matmul_catalog();
+
+}  // namespace bw::hw

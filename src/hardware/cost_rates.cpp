@@ -1,0 +1,27 @@
+#include "hardware/cost_rates.hpp"
+
+#include "common/error.hpp"
+
+namespace bw::hw {
+
+double PowerModel::watts(const HardwareSpec& spec) const {
+  return idle_watts + watts_per_cpu * spec.cpus + watts_per_gb * spec.memory_gb +
+         watts_per_gpu * spec.gpus;
+}
+
+double PowerModel::energy_joules(const HardwareSpec& spec, double runtime_s) const {
+  BW_CHECK_MSG(runtime_s >= 0.0, "runtime must be non-negative");
+  return watts(spec) * runtime_s;
+}
+
+double PriceModel::dollars_per_hour(const HardwareSpec& spec) const {
+  return dollars_per_cpu_hour * spec.cpus + dollars_per_gb_hour * spec.memory_gb +
+         dollars_per_gpu_hour * spec.gpus;
+}
+
+double PriceModel::dollars(const HardwareSpec& spec, double runtime_s) const {
+  BW_CHECK_MSG(runtime_s >= 0.0, "runtime must be non-negative");
+  return dollars_per_hour(spec) * runtime_s / 3600.0;
+}
+
+}  // namespace bw::hw

@@ -1,0 +1,39 @@
+#pragma once
+// Power and price models for multi-metric optimization (paper future work:
+// "adapt BanditWare to support multiple parameter minimization"). Given a
+// hardware spec and an observed runtime, these convert execution into
+// energy (joules) and money (dollars) — the extra metrics the
+// MultiMetricBandit can trade off against raw runtime.
+
+#include "hardware/spec.hpp"
+
+namespace bw::hw {
+
+/// Simple affine node power model (active execution).
+struct PowerModel {
+  double idle_watts = 40.0;
+  double watts_per_cpu = 15.0;
+  double watts_per_gb = 0.3;
+  double watts_per_gpu = 250.0;
+
+  /// Average draw of `spec` while busy, in watts.
+  double watts(const HardwareSpec& spec) const;
+
+  /// Energy for `runtime_s` seconds of execution, in joules.
+  double energy_joules(const HardwareSpec& spec, double runtime_s) const;
+};
+
+/// Cloud-style hourly pricing.
+struct PriceModel {
+  double dollars_per_cpu_hour = 0.04;
+  double dollars_per_gb_hour = 0.005;
+  double dollars_per_gpu_hour = 1.20;
+
+  /// Hourly rate of `spec`, in dollars.
+  double dollars_per_hour(const HardwareSpec& spec) const;
+
+  /// Cost of `runtime_s` seconds of execution, in dollars.
+  double dollars(const HardwareSpec& spec, double runtime_s) const;
+};
+
+}  // namespace bw::hw

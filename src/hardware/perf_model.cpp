@@ -1,0 +1,39 @@
+#include "hardware/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::hw {
+
+PerfModel::PerfModel(PerfModelParams params) : params_(params) {
+  BW_CHECK_MSG(params_.parallel_fraction >= 0.0 && params_.parallel_fraction <= 1.0,
+               "parallel_fraction must be in [0,1]");
+  BW_CHECK_MSG(params_.sync_overhead >= 0.0, "sync_overhead must be non-negative");
+  BW_CHECK_MSG(params_.base_throughput > 0.0, "base_throughput must be positive");
+}
+
+double PerfModel::speedup(const HardwareSpec& spec) const {
+  const double c = static_cast<double>(spec.cpus);
+  const double c_eff = c / (1.0 + params_.sync_overhead * (c - 1.0));
+  const double p = params_.parallel_fraction;
+  return 1.0 / ((1.0 - p) + p / c_eff);
+}
+
+double PerfModel::execution_seconds(double work_units, const HardwareSpec& spec,
+                                    double working_set_gb) const {
+  BW_CHECK_MSG(work_units >= 0.0, "work_units must be non-negative");
+  const double base_seconds = work_units / (params_.base_throughput * speedup(spec));
+  const double overflow_gb = std::max(0.0, working_set_gb - spec.memory_gb);
+  return base_seconds * (1.0 + params_.mem_pressure_slowdown_per_gb * overflow_gb);
+}
+
+double PerfModel::contention_inflation(double utilization) {
+  constexpr double kFreeUtilization = 0.6;
+  if (utilization <= kFreeUtilization) return 1.0;
+  const double excess = utilization - kFreeUtilization;
+  return 1.0 + 2.5 * excess * excess;
+}
+
+}  // namespace bw::hw

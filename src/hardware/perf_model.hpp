@@ -1,0 +1,47 @@
+#pragma once
+// Analytic performance model used by the workload simulators: Amdahl-style
+// parallel speedup with a per-core efficiency roll-off, plus a contention
+// inflation factor used by the cluster simulator. This is what replaces the
+// authors' physical NDP testbed (see DESIGN.md section 2).
+
+#include "hardware/spec.hpp"
+
+namespace bw::hw {
+
+struct PerfModelParams {
+  /// Fraction of the workload that parallelizes (Amdahl).
+  double parallel_fraction = 0.95;
+  /// Per-core synchronization overhead: effective cores
+  /// c_eff = c / (1 + overhead * (c - 1)).
+  double sync_overhead = 0.02;
+  /// Throughput of one reference core, in work-units per second.
+  double base_throughput = 1.0;
+  /// Extra slowdown per GB the working set exceeds the spec's memory
+  /// (models paging/eviction on undersized nodes).
+  double mem_pressure_slowdown_per_gb = 0.25;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(PerfModelParams params = {});
+
+  const PerfModelParams& params() const { return params_; }
+
+  /// Amdahl speedup of `spec` relative to one reference core.
+  double speedup(const HardwareSpec& spec) const;
+
+  /// Seconds to execute `work_units` of compute whose working set is
+  /// `working_set_gb` on `spec` (no contention).
+  double execution_seconds(double work_units, const HardwareSpec& spec,
+                           double working_set_gb = 0.0) const;
+
+  /// Multiplicative runtime inflation when a node runs at `utilization`
+  /// (0..1+ of allocatable CPU). <= 60% utilization is free; above that the
+  /// penalty grows quadratically (queueing-like behaviour).
+  static double contention_inflation(double utilization);
+
+ private:
+  PerfModelParams params_;
+};
+
+}  // namespace bw::hw

@@ -1,0 +1,70 @@
+#include "hardware/spec.hpp"
+
+#include <cctype>
+#include <vector>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bw::hw {
+
+double HardwareSpec::resource_cost(const ResourceWeights& weights) const {
+  return weights.cpu_weight * cpus + weights.mem_weight_per_gb * memory_gb +
+         weights.gpu_weight * gpus;
+}
+
+std::string HardwareSpec::to_string() const {
+  std::ostringstream os;
+  os << '(' << cpus << ", ";
+  if (memory_gb == static_cast<int>(memory_gb)) {
+    os << static_cast<int>(memory_gb);
+  } else {
+    os << memory_gb;
+  }
+  if (gpus > 0) os << ", " << gpus;
+  os << ')';
+  return os.str();
+}
+
+HardwareSpec parse_spec(const std::string& name, const std::string& text) {
+  std::string digits;
+  digits.reserve(text.size());
+  for (char ch : text) {
+    if ((std::isdigit(static_cast<unsigned char>(ch)) != 0) || ch == '.' || ch == ',' ||
+        ch == '-') {
+      digits.push_back(ch);
+    } else if (ch == '(' || ch == ')' || ch == ' ' || ch == '\t') {
+      continue;  // decoration
+    } else {
+      throw ParseError("hardware spec: unexpected character '" + std::string(1, ch) +
+                       "' in '" + text + "'");
+    }
+  }
+  // Split on commas: 2 fields = (cpus, mem), 3 fields = (cpus, mem, gpus).
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const auto comma = digits.find(',', start);
+    fields.push_back(digits.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (fields.size() < 2 || fields.size() > 3) {
+    throw ParseError("hardware spec must be '(cpus, memory_gb[, gpus])': '" + text + "'");
+  }
+  HardwareSpec spec;
+  spec.name = name;
+  try {
+    spec.cpus = std::stoi(fields[0]);
+    spec.memory_gb = std::stod(fields[1]);
+    if (fields.size() == 3) spec.gpus = std::stoi(fields[2]);
+  } catch (const std::exception&) {
+    throw ParseError("hardware spec: cannot parse numbers in '" + text + "'");
+  }
+  if (spec.cpus <= 0) throw ParseError("hardware spec: cpus must be positive");
+  if (spec.memory_gb <= 0) throw ParseError("hardware spec: memory must be positive");
+  if (spec.gpus < 0) throw ParseError("hardware spec: gpus must be non-negative");
+  return spec;
+}
+
+}  // namespace bw::hw

@@ -1,0 +1,42 @@
+#pragma once
+// Hardware configurations — the bandit's arms. The paper describes
+// hardware as H_n = (#cpus, memory); tolerant selection (Alg. 1 line 7)
+// breaks ties toward "the most resource efficiency", which we define as
+// the lowest weighted resource cost.
+
+#include <string>
+
+namespace bw::hw {
+
+/// Weights for the resource-efficiency ordering. Defaults make one CPU as
+/// expensive as 16 GB of memory, so H0=(2,16) < H1=(3,24) < H2=(4,16).
+/// GPUs are scarce: one GPU costs as much as eight CPUs by default.
+struct ResourceWeights {
+  double cpu_weight = 1.0;
+  double mem_weight_per_gb = 1.0 / 16.0;
+  double gpu_weight = 8.0;
+};
+
+struct HardwareSpec {
+  std::string name;      ///< e.g. "H0"
+  int cpus = 1;          ///< CPU cores allocated
+  double memory_gb = 1;  ///< memory allocated (GB)
+  /// GPU accelerators attached (paper future work: "incorporate GPU
+  /// information into hardware recommendations"). 0 = CPU-only node.
+  int gpus = 0;
+
+  /// Weighted resource cost; lower = "more resource-efficient".
+  double resource_cost(const ResourceWeights& weights = {}) const;
+
+  /// "(2, 16)" — the paper's notation; "(2, 16, 1)" when GPUs are present.
+  std::string to_string() const;
+
+  bool operator==(const HardwareSpec& other) const = default;
+};
+
+/// Parses "(2, 16)" / "2,16" (cpus, memory) or "(2, 16, 1)" (plus GPUs)
+/// into a spec named `name`. Throws ParseError on malformed text,
+/// non-positive cpus or memory, or negative GPU count.
+HardwareSpec parse_spec(const std::string& name, const std::string& text);
+
+}  // namespace bw::hw

@@ -1,0 +1,126 @@
+#include "linalg/lstsq.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+
+namespace bw::linalg {
+
+double LinearModel::predict(std::span<const double> x) const {
+  BW_CHECK_MSG(x.size() == weights.size(), "LinearModel::predict: feature size mismatch");
+  return dot(weights, x) + bias;
+}
+
+Vector LinearModel::predict_rows(const Matrix& x) const {
+  Vector out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+std::string LinearModel::to_string() const {
+  std::ostringstream os;
+  os << "R(x) = ";
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    os << weights[i] << "*x" << i << " + ";
+  }
+  os << bias << "  (n=" << n_observations << ")";
+  return os.str();
+}
+
+namespace {
+
+Matrix augment_with_intercept(const Matrix& x) {
+  Matrix design(x.rows(), x.cols() + 1);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) design(r, c) = x(r, c);
+    design(r, x.cols()) = 1.0;
+  }
+  return design;
+}
+
+/// Ridge solve via the normal equations: (X^T X + lambda I) theta = X^T y
+/// with lambda = ridge plus a relative term scaled to the Gram diagonal —
+/// features can live on wildly different scales (BP3D mixes moisture
+/// fractions ~0.1 with RSS limits ~4e9), so an absolute jitter alone can
+/// be 20 orders of magnitude too small to make the matrix numerically PD.
+Vector ridge_solve(const Matrix& design, const Vector& y, double ridge) {
+  const std::size_t p = design.cols();
+  Matrix gram(p, p);
+  double diag_sum = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i; j < p; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < design.rows(); ++r) s += design(r, i) * design(r, j);
+      gram(i, j) = s;
+      gram(j, i) = s;
+    }
+    diag_sum += gram(i, i);
+  }
+  const double relative = 1e-12 * (diag_sum / static_cast<double>(p));
+  const double lambda = ridge + relative;
+  for (std::size_t i = 0; i < p; ++i) gram(i, i) += lambda;
+  Vector xty(p, 0.0);
+  for (std::size_t r = 0; r < design.rows(); ++r) {
+    for (std::size_t i = 0; i < p; ++i) xty[i] += design(r, i) * y[r];
+  }
+  return solve_spd(gram, xty, std::max(lambda * 1e-6, 1e-12));
+}
+
+}  // namespace
+
+FitResult fit_linear(const Matrix& x, const Vector& y, const FitOptions& options) {
+  BW_CHECK_MSG(x.rows() == y.size(), "fit_linear: row/target count mismatch");
+  BW_CHECK_MSG(x.rows() >= 1, "fit_linear: empty dataset");
+  BW_CHECK_MSG(all_finite(std::span<const double>(x.data())), "fit_linear: non-finite feature");
+  BW_CHECK_MSG(all_finite(y), "fit_linear: non-finite target");
+
+  const Matrix design = options.intercept ? augment_with_intercept(x) : x;
+  const std::size_t p = design.cols();
+
+  Vector theta;
+  const bool underdetermined = design.rows() < p;
+  if (options.ridge > 0.0 || underdetermined) {
+    const double ridge = options.ridge > 0.0 ? options.ridge : options.fallback_ridge;
+    theta = ridge_solve(design, y, ridge);
+  } else {
+    try {
+      HouseholderQr qr(design);
+      if (qr.min_diag_abs() < 1e-10) {
+        theta = ridge_solve(design, y, options.fallback_ridge);
+      } else {
+        theta = qr.solve(y);
+      }
+    } catch (const NumericalError&) {
+      theta = ridge_solve(design, y, options.fallback_ridge);
+    }
+  }
+
+  FitResult result;
+  result.model.n_observations = x.rows();
+  if (options.intercept) {
+    result.model.weights.assign(theta.begin(), theta.end() - 1);
+    result.model.bias = theta.back();
+  } else {
+    result.model.weights = theta;
+    result.model.bias = 0.0;
+  }
+
+  const Vector predictions = result.model.predict_rows(x);
+  result.train_rmse = bw::rmse(predictions, y);
+  result.train_r_squared = bw::r_squared(predictions, y);
+  return result;
+}
+
+FitResult fit_linear_1d(std::span<const double> x, std::span<const double> y,
+                        const FitOptions& options) {
+  BW_CHECK_MSG(x.size() == y.size(), "fit_linear_1d: size mismatch");
+  Matrix design(x.size(), 1);
+  for (std::size_t i = 0; i < x.size(); ++i) design(i, 0) = x[i];
+  return fit_linear(design, Vector(y.begin(), y.end()), options);
+}
+
+}  // namespace bw::linalg

@@ -1,0 +1,105 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::linalg {
+
+HouseholderQr::HouseholderQr(const Matrix& a) : qr_(a) {
+  BW_CHECK_MSG(a.rows() > 0 && a.cols() > 0, "QR of empty matrix");
+  BW_CHECK_MSG(a.rows() >= a.cols(), "QR requires rows >= cols (tall matrix)");
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  beta_.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector annihilating column k below the diagonal.
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_sq += qr_(i, k) * qr_(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {  // column already zero; skip (rank deficiency shows in R)
+      beta_[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0 ? -norm : norm;
+    const double vk = qr_(k, k) - alpha;
+    // v = (vk, a_{k+1,k}, ..., a_{m-1,k}); beta = 2 / (v^T v)
+    double vtv = vk * vk;
+    for (std::size_t i = k + 1; i < m; ++i) vtv += qr_(i, k) * qr_(i, k);
+    beta_[k] = vtv > 0.0 ? 2.0 / vtv : 0.0;
+
+    // Store v in the column (diagonal holds vk for the apply step).
+    qr_(k, k) = vk;
+
+    // Apply reflector to the remaining columns: A <- (I - beta v v^T) A.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= beta_[k];
+      for (std::size_t i = k; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+    // The diagonal of R is alpha; stash it after applying (store v then fix
+    // up by remembering alpha in a separate pass). We overwrite below.
+    // To keep storage compact we put alpha on the diagonal and keep vk in
+    // beta-normalized form: instead, store v scaled so v_k = 1.
+    const double inv_vk = vk != 0.0 ? 1.0 / vk : 0.0;
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) *= inv_vk;
+    beta_[k] = vtv > 0.0 ? beta_[k] * vk * vk : 0.0;  // beta for normalized v
+    qr_(k, k) = alpha;  // R diagonal
+  }
+}
+
+Vector HouseholderQr::apply_qt(const Vector& b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  BW_CHECK_MSG(b.size() == m, "apply_qt: size mismatch");
+  Vector y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (beta_[k] == 0.0) continue;
+    // v = (1, qr_(k+1..m-1, k))
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= beta_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+  return y;
+}
+
+Vector HouseholderQr::solve(const Vector& b) const {
+  const std::size_t n = qr_.cols();
+  Vector y = apply_qt(b);
+  // Back-substitute R x = y[0..n).
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    const double rii = qr_(i, i);
+    if (std::abs(rii) < 1e-12) {
+      throw NumericalError("HouseholderQr::solve: R is numerically singular");
+    }
+    double sum = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= qr_(i, j) * x[j];
+    x[i] = sum / rii;
+  }
+  return x;
+}
+
+Matrix HouseholderQr::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+double HouseholderQr::min_diag_abs() const {
+  double min_abs = std::abs(qr_(0, 0));
+  for (std::size_t i = 1; i < qr_.cols(); ++i) {
+    min_abs = std::min(min_abs, std::abs(qr_(i, i)));
+  }
+  return min_abs;
+}
+
+}  // namespace bw::linalg

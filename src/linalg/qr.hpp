@@ -1,0 +1,38 @@
+#pragma once
+// Householder QR factorization and least-squares solve. This is the primary
+// fitting path for the per-arm linear models (better conditioned than the
+// normal equations when features are correlated, e.g. BP3D area vs memory).
+
+#include "linalg/matrix.hpp"
+
+namespace bw::linalg {
+
+/// QR factorization of an m x n matrix with m >= n, stored compactly:
+/// Householder vectors in the lower trapezoid, R in the upper triangle.
+class HouseholderQr {
+ public:
+  /// Factors `a` (requires rows >= cols, both > 0).
+  explicit HouseholderQr(const Matrix& a);
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+  /// Minimum-norm least-squares solution of min ||A x - b||_2.
+  /// Throws NumericalError if R is numerically singular.
+  Vector solve(const Vector& b) const;
+
+  /// Applies Q^T to a vector of length rows().
+  Vector apply_qt(const Vector& b) const;
+
+  /// Extracts the upper-triangular R (cols x cols).
+  Matrix r() const;
+
+  /// |R_nn| smallest diagonal magnitude — rank-deficiency indicator.
+  double min_diag_abs() const;
+
+ private:
+  Matrix qr_;            ///< packed Householder vectors + R
+  std::vector<double> beta_;  ///< Householder scalars
+};
+
+}  // namespace bw::linalg

@@ -1,0 +1,64 @@
+#include "linalg/rls.hpp"
+
+#include "common/error.hpp"
+
+namespace bw::linalg {
+
+RecursiveLeastSquares::RecursiveLeastSquares(std::size_t dim, double ridge)
+    : dim_(dim), ridge_(ridge) {
+  BW_CHECK_MSG(ridge > 0.0, "RLS requires a positive ridge prior");
+  reset();
+}
+
+void RecursiveLeastSquares::reset() {
+  const std::size_t p = dim_ + 1;
+  p_ = Matrix(p, p);
+  for (std::size_t i = 0; i < p; ++i) p_(i, i) = 1.0 / ridge_;
+  theta_.assign(p, 0.0);
+  n_ = 0;
+}
+
+Vector RecursiveLeastSquares::augment(std::span<const double> x) const {
+  BW_CHECK_MSG(x.size() == dim_, "RLS: feature size mismatch");
+  Vector xa(dim_ + 1);
+  for (std::size_t i = 0; i < dim_; ++i) xa[i] = x[i];
+  xa[dim_] = 1.0;  // intercept column
+  return xa;
+}
+
+void RecursiveLeastSquares::update(std::span<const double> x, double y) {
+  BW_CHECK_MSG(all_finite(x), "RLS: non-finite feature");
+  const Vector xa = augment(x);
+  const std::size_t p = xa.size();
+
+  // k = P x / (1 + x^T P x); theta += k (y - x^T theta); P -= k x^T P.
+  Vector px = p_ * xa;
+  const double denom = 1.0 + dot(xa, px);
+  const double err = y - dot(xa, theta_);
+  for (std::size_t i = 0; i < p; ++i) theta_[i] += px[i] * err / denom;
+  // P <- P - (P x)(x^T P) / denom; exploit symmetry.
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      p_(i, j) -= px[i] * px[j] / denom;
+    }
+  }
+  ++n_;
+}
+
+double RecursiveLeastSquares::predict(std::span<const double> x) const {
+  const Vector xa = augment(x);
+  return dot(xa, theta_);
+}
+
+Vector RecursiveLeastSquares::weights() const {
+  return Vector(theta_.begin(), theta_.end() - 1);
+}
+
+double RecursiveLeastSquares::bias() const { return theta_.back(); }
+
+double RecursiveLeastSquares::variance_proxy(std::span<const double> x) const {
+  const Vector xa = augment(x);
+  return dot(xa, p_ * xa);
+}
+
+}  // namespace bw::linalg

@@ -1,0 +1,91 @@
+#include "workflow/dag.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::wf {
+
+TaskId WorkflowDag::add_task(Task task) {
+  BW_CHECK_MSG(task.duration_s > 0.0 && std::isfinite(task.duration_s),
+               "task duration must be positive and finite");
+  BW_CHECK_MSG(task.memory_gb >= 0.0, "task memory must be non-negative");
+  tasks_.push_back(std::move(task));
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  return tasks_.size() - 1;
+}
+
+void WorkflowDag::add_edge(TaskId from, TaskId to) {
+  BW_CHECK_MSG(from < tasks_.size() && to < tasks_.size(), "edge endpoint out of range");
+  BW_CHECK_MSG(from != to, "self-dependency is not allowed");
+  successors_[from].push_back(to);
+  predecessors_[to].push_back(from);
+  ++edge_count_;
+}
+
+const Task& WorkflowDag::task(TaskId id) const {
+  BW_CHECK_MSG(id < tasks_.size(), "task id out of range");
+  return tasks_[id];
+}
+
+const std::vector<TaskId>& WorkflowDag::successors(TaskId id) const {
+  BW_CHECK_MSG(id < tasks_.size(), "task id out of range");
+  return successors_[id];
+}
+
+const std::vector<TaskId>& WorkflowDag::predecessors(TaskId id) const {
+  BW_CHECK_MSG(id < tasks_.size(), "task id out of range");
+  return predecessors_[id];
+}
+
+double WorkflowDag::total_work_s() const {
+  double sum = 0.0;
+  for (const auto& task : tasks_) sum += task.duration_s;
+  return sum;
+}
+
+std::vector<TaskId> WorkflowDag::topological_order() const {
+  std::vector<std::size_t> in_degree(tasks_.size(), 0);
+  for (TaskId id = 0; id < tasks_.size(); ++id) in_degree[id] = predecessors_[id].size();
+
+  // Kahn's algorithm with a FIFO frontier (stable order for determinism).
+  std::vector<TaskId> frontier;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (in_degree[id] == 0) frontier.push_back(id);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const TaskId id = frontier[head++];
+    order.push_back(id);
+    for (TaskId succ : successors_[id]) {
+      if (--in_degree[succ] == 0) frontier.push_back(succ);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    throw InvalidArgument("workflow DAG contains a cycle");
+  }
+  return order;
+}
+
+double WorkflowDag::critical_path_s() const {
+  const std::vector<TaskId> order = topological_order();
+  std::vector<double> finish(tasks_.size(), 0.0);
+  double best = 0.0;
+  for (TaskId id : order) {
+    double earliest_start = 0.0;
+    for (TaskId pred : predecessors_[id]) {
+      earliest_start = std::max(earliest_start, finish[pred]);
+    }
+    finish[id] = earliest_start + tasks_[id].duration_s;
+    best = std::max(best, finish[id]);
+  }
+  return best;
+}
+
+void WorkflowDag::validate() const { (void)topological_order(); }
+
+}  // namespace bw::wf

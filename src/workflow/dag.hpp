@@ -1,0 +1,56 @@
+#pragma once
+// Workflow DAG representation. Cycles (paper Experiment 1) is an HTC
+// scientific workflow — a large bag of crop-simulation tasks feeding a few
+// aggregation stages. We model workflows explicitly so runtimes come from
+// *scheduling simulation* rather than a hardcoded formula.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bw::wf {
+
+using TaskId = std::size_t;
+
+struct Task {
+  std::string name;
+  double duration_s = 1.0;   ///< execution time on one reference core
+  double memory_gb = 0.1;    ///< peak working set
+};
+
+class WorkflowDag {
+ public:
+  /// Adds a task; returns its id. Duration must be positive and finite.
+  TaskId add_task(Task task);
+
+  /// Adds a dependency: `to` cannot start before `from` finishes.
+  /// Self-edges are rejected immediately; cycles are caught by validate().
+  void add_edge(TaskId from, TaskId to);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_edges() const { return edge_count_; }
+  const Task& task(TaskId id) const;
+  const std::vector<TaskId>& successors(TaskId id) const;
+  const std::vector<TaskId>& predecessors(TaskId id) const;
+
+  /// Sum of all task durations (serial execution time on one core).
+  double total_work_s() const;
+
+  /// Tasks in a topological order; throws InvalidArgument if cyclic.
+  std::vector<TaskId> topological_order() const;
+
+  /// Length of the longest duration-weighted path — the makespan lower
+  /// bound with unlimited cores.
+  double critical_path_s() const;
+
+  /// Throws InvalidArgument if the graph contains a cycle.
+  void validate() const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<std::vector<TaskId>> successors_;
+  std::vector<std::vector<TaskId>> predecessors_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace bw::wf

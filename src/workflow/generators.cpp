@@ -1,0 +1,91 @@
+#include "workflow/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::wf {
+namespace {
+
+double sample_duration(const TaskDurationModel& model, Rng& rng) {
+  // Multiplicative jitter keeps durations positive.
+  const double factor = std::exp(rng.normal(0.0, model.jitter_sd) -
+                                 0.5 * model.jitter_sd * model.jitter_sd);
+  return std::max(1e-3, model.mean_s * factor);
+}
+
+Task make_task(const std::string& name, const TaskDurationModel& model, Rng& rng) {
+  return Task{name, sample_duration(model, rng), model.memory_gb};
+}
+
+}  // namespace
+
+WorkflowDag bag_of_tasks(std::size_t n, const TaskDurationModel& model, Rng& rng) {
+  BW_CHECK_MSG(n > 0, "bag_of_tasks needs at least one task");
+  WorkflowDag dag;
+  for (std::size_t i = 0; i < n; ++i) {
+    dag.add_task(make_task("task_" + std::to_string(i), model, rng));
+  }
+  return dag;
+}
+
+WorkflowDag chain(std::size_t n, const TaskDurationModel& model, Rng& rng) {
+  BW_CHECK_MSG(n > 0, "chain needs at least one task");
+  WorkflowDag dag;
+  TaskId prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskId id = dag.add_task(make_task("stage_" + std::to_string(i), model, rng));
+    if (i > 0) dag.add_edge(prev, id);
+    prev = id;
+  }
+  return dag;
+}
+
+WorkflowDag fork_join(std::size_t n, const TaskDurationModel& model, Rng& rng) {
+  BW_CHECK_MSG(n > 0, "fork_join needs at least one parallel task");
+  WorkflowDag dag;
+  const TaskId source = dag.add_task(make_task("source", model, rng));
+  const TaskId sink_placeholder = 0;  // created after the branches
+  std::vector<TaskId> branches;
+  branches.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskId id = dag.add_task(make_task("branch_" + std::to_string(i), model, rng));
+    dag.add_edge(source, id);
+    branches.push_back(id);
+  }
+  (void)sink_placeholder;
+  const TaskId sink = dag.add_task(make_task("sink", model, rng));
+  for (TaskId id : branches) dag.add_edge(id, sink);
+  return dag;
+}
+
+WorkflowDag cycles_workflow(std::size_t num_simulations, const TaskDurationModel& model,
+                            Rng& rng) {
+  BW_CHECK_MSG(num_simulations > 0, "cycles workflow needs at least one simulation");
+  WorkflowDag dag;
+  // Light preprocessing stage (weather/soil staging).
+  TaskDurationModel light = model;
+  light.mean_s = model.mean_s * 0.5;
+  const TaskId prep = dag.add_task(make_task("prepare_inputs", light, rng));
+
+  // The bag of crop simulations dominates the runtime.
+  std::vector<TaskId> sims;
+  sims.reserve(num_simulations);
+  for (std::size_t i = 0; i < num_simulations; ++i) {
+    const TaskId id = dag.add_task(make_task("cycles_sim_" + std::to_string(i), model, rng));
+    dag.add_edge(prep, id);
+    sims.push_back(id);
+  }
+
+  // Aggregation tail: gather -> analyze -> report.
+  const TaskId gather = dag.add_task(make_task("gather_outputs", light, rng));
+  for (TaskId id : sims) dag.add_edge(id, gather);
+  const TaskId analyze = dag.add_task(make_task("analyze", light, rng));
+  dag.add_edge(gather, analyze);
+  const TaskId report = dag.add_task(make_task("report", light, rng));
+  dag.add_edge(analyze, report);
+  return dag;
+}
+
+}  // namespace bw::wf

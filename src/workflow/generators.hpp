@@ -1,0 +1,32 @@
+#pragma once
+// Workflow topology generators: the shapes that cover the paper's use
+// cases (Cycles is a bag-of-tasks + aggregation pipeline) plus generic
+// chain / fork-join shapes used by the cluster example and tests.
+
+#include "common/rng.hpp"
+#include "workflow/dag.hpp"
+
+namespace bw::wf {
+
+struct TaskDurationModel {
+  double mean_s = 6.0;    ///< per-task mean duration on one reference core
+  double jitter_sd = 0.5; ///< lognormal-ish spread around the mean
+  double memory_gb = 0.2; ///< per-task working set
+};
+
+/// n independent tasks, no edges.
+WorkflowDag bag_of_tasks(std::size_t n, const TaskDurationModel& model, Rng& rng);
+
+/// Linear chain of n tasks.
+WorkflowDag chain(std::size_t n, const TaskDurationModel& model, Rng& rng);
+
+/// source -> n parallel tasks -> sink.
+WorkflowDag fork_join(std::size_t n, const TaskDurationModel& model, Rng& rng);
+
+/// Cycles-like agroecosystem workflow: a preprocessing task fans out to
+/// `num_simulations` crop-simulation tasks, which fan into a fixed
+/// 3-stage aggregation/summary tail. Task count = num_simulations + 4.
+WorkflowDag cycles_workflow(std::size_t num_simulations, const TaskDurationModel& model,
+                            Rng& rng);
+
+}  // namespace bw::wf

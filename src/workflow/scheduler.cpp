@@ -1,0 +1,59 @@
+#include "workflow/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace bw::wf {
+
+double Schedule::utilization(std::size_t num_cores) const {
+  if (makespan_s <= 0.0 || num_cores == 0) return 0.0;
+  double busy = 0.0;
+  for (const auto& scheduled : tasks) busy += scheduled.finish_s - scheduled.start_s;
+  return busy / (makespan_s * static_cast<double>(num_cores));
+}
+
+Schedule list_schedule(const WorkflowDag& dag, const hw::HardwareSpec& spec,
+                       const hw::PerfModel& perf) {
+  BW_CHECK_MSG(spec.cpus > 0, "hardware must have at least one core");
+  const std::vector<TaskId> order = dag.topological_order();
+  const auto num_cores = static_cast<std::size_t>(spec.cpus);
+
+  // Per-task coordination overhead grows mildly with core count — this is
+  // what makes the per-hardware makespan slopes sub-linear in 1/c.
+  const double overhead = 1.0 + perf.params().sync_overhead * (spec.cpus - 1);
+  const double per_core_throughput = perf.params().base_throughput;
+
+  std::vector<double> core_available(num_cores, 0.0);
+  std::vector<double> finish(dag.num_tasks(), 0.0);
+
+  Schedule schedule;
+  schedule.tasks.reserve(dag.num_tasks());
+
+  for (TaskId id : order) {
+    double ready = 0.0;
+    for (TaskId pred : dag.predecessors(id)) ready = std::max(ready, finish[pred]);
+
+    // Earliest-available core (ties -> lowest index, deterministic).
+    std::size_t best_core = 0;
+    for (std::size_t c = 1; c < num_cores; ++c) {
+      if (core_available[c] < core_available[best_core]) best_core = c;
+    }
+    const double start = std::max(ready, core_available[best_core]);
+    const double duration = dag.task(id).duration_s * overhead / per_core_throughput;
+    const double end = start + duration;
+    core_available[best_core] = end;
+    finish[id] = end;
+    schedule.tasks.push_back({id, best_core, start, end});
+    schedule.makespan_s = std::max(schedule.makespan_s, end);
+  }
+
+  std::sort(schedule.tasks.begin(), schedule.tasks.end(),
+            [](const ScheduledTask& a, const ScheduledTask& b) {
+              return a.start_s < b.start_s || (a.start_s == b.start_s && a.task < b.task);
+            });
+  return schedule;
+}
+
+}  // namespace bw::wf

@@ -1,0 +1,39 @@
+#pragma once
+// List scheduling of a workflow DAG onto c identical cores of a hardware
+// spec. The Cycles dataset builder derives every runtime sample from this
+// simulation, so makespans obey real scheduling effects (ready queues,
+// stragglers) rather than an idealized formula.
+
+#include "hardware/perf_model.hpp"
+#include "hardware/spec.hpp"
+#include "workflow/dag.hpp"
+
+namespace bw::wf {
+
+struct ScheduledTask {
+  TaskId task = 0;
+  std::size_t core = 0;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+};
+
+struct Schedule {
+  double makespan_s = 0.0;
+  std::vector<ScheduledTask> tasks;  ///< in start-time order
+
+  /// Fraction of core-time busy during the makespan (0..1].
+  double utilization(std::size_t num_cores) const;
+};
+
+/// Greedy list scheduler: ready tasks start on the earliest-available core
+/// in topological order. Task durations are scaled by the hardware's
+/// per-core throughput (PerfModel::speedup of a 1-cpu spec with the same
+/// clock == 1, so duration_s is "reference-core seconds").
+///
+/// The schedule respects all DAG edges; with `spec.cpus` cores the
+/// makespan satisfies the classic bounds
+///   max(critical_path, total_work / c) <= makespan <= critical_path + total_work / c.
+Schedule list_schedule(const WorkflowDag& dag, const hw::HardwareSpec& spec,
+                       const hw::PerfModel& perf = hw::PerfModel{});
+
+}  // namespace bw::wf

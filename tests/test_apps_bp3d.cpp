@@ -1,0 +1,220 @@
+// Tests for the fire-spread CA and the BP3D workload model (apps/firesim,
+// apps/bp3d).
+
+#include <gtest/gtest.h>
+
+#include "apps/bp3d.hpp"
+#include "apps/firesim.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace bw::apps {
+namespace {
+
+const geo::BurnUnit& small_unit() { return geo::builtin_burn_units().front(); }
+
+WeatherInputs mild_weather() {
+  WeatherInputs weather;
+  weather.surface_moisture = 0.08;
+  weather.canopy_moisture = 0.5;
+  weather.wind_direction_deg = 90.0;
+  weather.wind_speed_ms = 6.0;
+  weather.sim_time_steps = 400;
+  return weather;
+}
+
+TEST(FireSim, BurnsSomethingUnderMildWeather) {
+  Rng rng(1);
+  const FireSimResult result = run_fire_sim(small_unit(), mild_weather(), {}, rng);
+  EXPECT_GT(result.fuel_cells, 0u);
+  EXPECT_GT(result.burned_cells, 1u);
+  EXPECT_GT(result.cell_updates, 0u);
+  EXPECT_LE(result.burned_cells, result.fuel_cells);
+  EXPECT_GT(result.steps_executed, 0);
+}
+
+TEST(FireSim, FuelCellsTrackPolygonArea) {
+  Rng rng(2);
+  FireSimConfig config;
+  config.cell_size_m = 20.0;
+  const FireSimResult result = run_fire_sim(small_unit(), mild_weather(), config, rng);
+  const double expected_cells = small_unit().area_m2() / (20.0 * 20.0);
+  EXPECT_NEAR(static_cast<double>(result.fuel_cells), expected_cells, expected_cells * 0.05);
+}
+
+TEST(FireSim, DeterministicGivenSeed) {
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const FireSimResult a = run_fire_sim(small_unit(), mild_weather(), {}, rng_a);
+  const FireSimResult b = run_fire_sim(small_unit(), mild_weather(), {}, rng_b);
+  EXPECT_EQ(a.burned_cells, b.burned_cells);
+  EXPECT_EQ(a.steps_executed, b.steps_executed);
+  EXPECT_EQ(a.cell_updates, b.cell_updates);
+}
+
+TEST(FireSim, HighMoistureSuppressesSpread) {
+  WeatherInputs wet = mild_weather();
+  wet.surface_moisture = 0.34;
+  wet.canopy_moisture = 1.2;
+  Rng rng_dry(4);
+  Rng rng_wet(4);
+  const FireSimResult dry = run_fire_sim(small_unit(), mild_weather(), {}, rng_dry);
+  const FireSimResult moist = run_fire_sim(small_unit(), wet, {}, rng_wet);
+  EXPECT_LT(moist.burned_cells, dry.burned_cells);
+}
+
+TEST(FireSim, SimTimeCapsSteps) {
+  WeatherInputs brief = mild_weather();
+  brief.sim_time_steps = 5;
+  Rng rng(5);
+  const FireSimResult result = run_fire_sim(small_unit(), brief, {}, rng);
+  EXPECT_LE(result.steps_executed, 5);
+}
+
+TEST(FireSim, RejectsInvalidInputs) {
+  Rng rng(6);
+  WeatherInputs bad = mild_weather();
+  bad.sim_time_steps = 0;
+  EXPECT_THROW(run_fire_sim(small_unit(), bad, {}, rng), InvalidArgument);
+  bad = mild_weather();
+  bad.surface_moisture = 1.5;
+  EXPECT_THROW(run_fire_sim(small_unit(), bad, {}, rng), InvalidArgument);
+  bad = mild_weather();
+  bad.wind_speed_ms = -1.0;
+  EXPECT_THROW(run_fire_sim(small_unit(), bad, {}, rng), InvalidArgument);
+  FireSimConfig config;
+  config.cell_size_m = 0.0;
+  EXPECT_THROW(run_fire_sim(small_unit(), mild_weather(), config, rng), InvalidArgument);
+}
+
+TEST(FireSim, StrongerWindBurnsMoreDownwind) {
+  WeatherInputs calm = mild_weather();
+  calm.wind_speed_ms = 0.5;
+  WeatherInputs windy = mild_weather();
+  windy.wind_speed_ms = 18.0;
+  bw::RunningStats calm_burn, windy_burn;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng_calm(seed);
+    Rng rng_windy(seed);
+    calm_burn.add(static_cast<double>(
+        run_fire_sim(small_unit(), calm, {}, rng_calm).burned_cells));
+    windy_burn.add(static_cast<double>(
+        run_fire_sim(small_unit(), windy, {}, rng_windy).burned_cells));
+  }
+  // Wind accelerates spread along its axis; with a generous step budget the
+  // windy fire reaches at least as much fuel on average.
+  EXPECT_GE(windy_burn.mean(), calm_burn.mean() * 0.9);
+}
+
+// ---- workload model -----------------------------------------------------------
+
+TEST(Bp3dModel, WorkGrowsWithBurnedCellsAndSimTime) {
+  FireSimResult fire;
+  fire.burned_cells = 1000;
+  WeatherInputs weather = mild_weather();
+  const Bp3dConfig config;
+  const double base = bp3d_work_units(fire, weather, config);
+  fire.burned_cells = 2000;
+  EXPECT_GT(bp3d_work_units(fire, weather, config), base);
+  fire.burned_cells = 1000;
+  weather.sim_time_steps = 800;
+  EXPECT_GT(bp3d_work_units(fire, weather, config), base);
+}
+
+TEST(Bp3dModel, RuntimeNoiseIsMeanPreserving) {
+  const Bp3dConfig config;
+  const hw::HardwareSpec h0{"H0", 2, 16.0};
+  Rng rng(7);
+  bw::RunningStats stats;
+  for (int i = 0; i < 4000; ++i) {
+    stats.add(simulate_bp3d_runtime(10000.0, 2.0, h0, config, rng));
+  }
+  const hw::PerfModel perf(config.perf);
+  const double expected = perf.execution_seconds(10000.0, h0, 2.0);
+  EXPECT_NEAR(stats.mean(), expected, expected * 0.05);
+}
+
+TEST(Bp3dModel, NdpHardwareNearlyInterchangeable) {
+  // The defining property of Experiment 2: speedups differ by only a few
+  // percent across H0/H1/H2.
+  const Bp3dConfig config;
+  const hw::PerfModel perf(config.perf);
+  const auto catalog = hw::ndp_catalog();
+  const double s0 = perf.speedup(catalog[0]);
+  const double s2 = perf.speedup(catalog[2]);
+  EXPECT_GT(s2, s0);             // more cores still help a little...
+  EXPECT_LT(s2 / s0, 1.10);      // ...but by less than 10%
+}
+
+TEST(Bp3dFrames, SchemaMatchesPaperTable1) {
+  const auto catalog = hw::ndp_catalog();
+  Bp3dDatasetOptions options;
+  options.num_groups = 30;
+  const auto frames = build_bp3d_frames(catalog, Bp3dConfig{}, options);
+  ASSERT_EQ(frames.size(), 3u);
+  for (const auto& name : bp3d_feature_names()) {
+    EXPECT_TRUE(frames[0].has_column(name)) << name;
+  }
+  EXPECT_TRUE(frames[0].has_column("runtime"));
+  EXPECT_EQ(frames[0].num_rows(), 30u);
+}
+
+TEST(Bp3dFrames, FeaturesSharedAcrossHardware) {
+  const auto catalog = hw::ndp_catalog();
+  Bp3dDatasetOptions options;
+  options.num_groups = 12;
+  const auto frames = build_bp3d_frames(catalog, Bp3dConfig{}, options);
+  for (std::size_t arm = 1; arm < frames.size(); ++arm) {
+    EXPECT_EQ(frames[arm].column("area").doubles(), frames[0].column("area").doubles());
+    EXPECT_EQ(frames[arm].column("wind_speed").doubles(),
+              frames[0].column("wind_speed").doubles());
+    // Runtimes must differ (independent noise draws per arm).
+    EXPECT_NE(frames[arm].column("runtime").doubles(),
+              frames[0].column("runtime").doubles());
+  }
+}
+
+TEST(Bp3dFrames, FeatureRangesMatchDocumentedSampling) {
+  const auto catalog = hw::ndp_catalog();
+  Bp3dDatasetOptions options;
+  options.num_groups = 60;
+  const auto frames = build_bp3d_frames(catalog, Bp3dConfig{}, options);
+  for (double v : frames[0].column("surface_moisture").doubles()) {
+    EXPECT_GE(v, 0.03);
+    EXPECT_LE(v, 0.30);
+  }
+  for (double v : frames[0].column("wind_direction").doubles()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 360.0);
+  }
+  for (double v : frames[0].column("area").doubles()) {
+    EXPECT_GE(v, 1.0e6);
+    EXPECT_LE(v, 2.55e6);
+  }
+  for (double v : frames[0].column("runtime").doubles()) EXPECT_GT(v, 0.0);
+}
+
+TEST(Bp3dFrames, SixBurnUnitsRotate) {
+  const auto catalog = hw::ndp_catalog();
+  Bp3dDatasetOptions options;
+  options.num_groups = 12;
+  const auto frames = build_bp3d_frames(catalog, Bp3dConfig{}, options);
+  const auto& areas = frames[0].column("area").doubles();
+  // Groups cycle through the six builtin units: areas repeat with period 6.
+  for (std::size_t g = 6; g < areas.size(); ++g) {
+    EXPECT_DOUBLE_EQ(areas[g], areas[g - 6]);
+  }
+}
+
+TEST(Bp3dFrames, DeterministicBySeed) {
+  const auto catalog = hw::ndp_catalog();
+  Bp3dDatasetOptions options;
+  options.num_groups = 8;
+  options.seed = 123;
+  const auto a = build_bp3d_frames(catalog, Bp3dConfig{}, options);
+  const auto b = build_bp3d_frames(catalog, Bp3dConfig{}, options);
+  EXPECT_EQ(a[1].column("runtime").doubles(), b[1].column("runtime").doubles());
+}
+
+}  // namespace
+}  // namespace bw::apps

@@ -1,0 +1,157 @@
+// Tests for the Cycles workload simulator and dataset builder (apps/cycles).
+
+#include "apps/cycles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/lstsq.hpp"
+
+namespace bw::apps {
+namespace {
+
+CyclesConfig quiet_config() {
+  CyclesConfig config;
+  config.task_jitter_sd = 0.0;
+  config.system_noise_sd = 0.0;
+  return config;
+}
+
+TEST(CyclesSim, ProducesPositiveMakespans) {
+  Rng rng(1);
+  const double makespan = simulate_cycles_run(100, {"H", 2, 16.0}, CyclesConfig{}, rng);
+  EXPECT_GT(makespan, 0.0);
+}
+
+TEST(CyclesSim, RejectsEmptyWorkflow) {
+  Rng rng(2);
+  EXPECT_THROW(simulate_cycles_run(0, {"H", 2, 16.0}, CyclesConfig{}, rng),
+               InvalidArgument);
+}
+
+TEST(CyclesSim, MoreCoresRunFaster) {
+  const CyclesConfig config = quiet_config();
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const double slow = simulate_cycles_run(200, {"H", 1, 8.0}, config, rng_a);
+  const double fast = simulate_cycles_run(200, {"H", 8, 32.0}, config, rng_b);
+  EXPECT_GT(slow, 3.0 * fast);
+}
+
+TEST(CyclesSim, DeterministicGivenSeed) {
+  Rng rng_a(4);
+  Rng rng_b(4);
+  const CyclesConfig config;
+  EXPECT_DOUBLE_EQ(simulate_cycles_run(150, {"H", 2, 16.0}, config, rng_a),
+                   simulate_cycles_run(150, {"H", 2, 16.0}, config, rng_b));
+}
+
+TEST(CyclesSim, NoiseFreeMakespanMatchesAnalyticModel) {
+  const CyclesConfig config = quiet_config();
+  const hw::HardwareSpec spec{"H", 4, 16.0};
+  Rng rng(5);
+  const double simulated = simulate_cycles_run(400, spec, config, rng);
+  const double expected = expected_cycles_makespan(400, spec, config);
+  EXPECT_NEAR(simulated, expected, expected * 0.05);
+}
+
+TEST(CyclesSim, MakespanApproximatelyLinearInTasks) {
+  // The ground-truth regime of paper Fig. 3: fit the simulated makespans
+  // and check the slope against the analytic model.
+  const CyclesConfig config = quiet_config();
+  const hw::HardwareSpec spec{"H", 2, 16.0};
+  std::vector<double> xs, ys;
+  Rng rng(6);
+  for (std::size_t n = 100; n <= 500; n += 50) {
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(simulate_cycles_run(n, spec, config, rng));
+  }
+  const auto fit = linalg::fit_linear_1d(xs, ys);
+  const double expected_slope = config.mean_task_s *
+                                (1.0 + config.perf.sync_overhead) / 2.0;
+  EXPECT_NEAR(fit.model.weights[0], expected_slope, expected_slope * 0.05);
+  EXPECT_GT(fit.train_r_squared, 0.999);
+}
+
+TEST(CyclesFrames, SchemaAndShape) {
+  const hw::HardwareCatalog catalog = hw::synthetic_cycles_catalog();
+  CyclesDatasetOptions options;
+  options.num_groups = 20;
+  const auto frames = build_cycles_frames(catalog, CyclesConfig{}, options);
+  ASSERT_EQ(frames.size(), 4u);
+  for (const auto& frame : frames) {
+    EXPECT_EQ(frame.num_rows(), 20u);
+    EXPECT_TRUE(frame.has_column("run_id"));
+    EXPECT_TRUE(frame.has_column("num_tasks"));
+    EXPECT_TRUE(frame.has_column("runtime"));
+    EXPECT_TRUE(frame.has_column("cpus"));
+  }
+}
+
+TEST(CyclesFrames, GroupsShareWorkflowSizesAcrossHardware) {
+  const hw::HardwareCatalog catalog = hw::synthetic_cycles_catalog();
+  CyclesDatasetOptions options;
+  options.num_groups = 15;
+  const auto frames = build_cycles_frames(catalog, CyclesConfig{}, options);
+  for (std::size_t arm = 1; arm < frames.size(); ++arm) {
+    EXPECT_EQ(frames[arm].column("num_tasks").ints(),
+              frames[0].column("num_tasks").ints());
+    EXPECT_EQ(frames[arm].column("run_id").ints(), frames[0].column("run_id").ints());
+  }
+}
+
+TEST(CyclesFrames, SizesWithinRequestedRange) {
+  const hw::HardwareCatalog catalog({{"A", 1, 8.0}});
+  CyclesDatasetOptions options;
+  options.num_groups = 50;
+  options.min_tasks = 100;
+  options.max_tasks = 500;
+  const auto frames = build_cycles_frames(catalog, CyclesConfig{}, options);
+  for (std::int64_t n : frames[0].column("num_tasks").ints()) {
+    EXPECT_GE(n, 100);
+    EXPECT_LE(n, 500);
+  }
+}
+
+TEST(CyclesFrames, DeterministicBySeed) {
+  const hw::HardwareCatalog catalog({{"A", 2, 8.0}});
+  CyclesDatasetOptions options;
+  options.num_groups = 5;
+  options.seed = 99;
+  const auto a = build_cycles_frames(catalog, CyclesConfig{}, options);
+  const auto b = build_cycles_frames(catalog, CyclesConfig{}, options);
+  EXPECT_EQ(a[0].column("runtime").doubles(), b[0].column("runtime").doubles());
+}
+
+TEST(CyclesFrames, RejectsBadOptions) {
+  const hw::HardwareCatalog catalog({{"A", 2, 8.0}});
+  CyclesDatasetOptions options;
+  options.num_groups = 0;
+  EXPECT_THROW(build_cycles_frames(catalog, CyclesConfig{}, options), InvalidArgument);
+  options.num_groups = 5;
+  options.min_tasks = 10;
+  options.max_tasks = 5;
+  EXPECT_THROW(build_cycles_frames(catalog, CyclesConfig{}, options), InvalidArgument);
+  EXPECT_THROW(build_cycles_frames(hw::HardwareCatalog{}, CyclesConfig{}, {}),
+               InvalidArgument);
+}
+
+// Property: per-hardware slopes decrease with core count (the separated
+// lines of paper Fig. 3).
+TEST(CyclesFrames, SlopesDecreaseWithCores) {
+  const hw::HardwareCatalog catalog = hw::synthetic_cycles_catalog();
+  CyclesDatasetOptions options;
+  options.num_groups = 60;
+  const auto frames = build_cycles_frames(catalog, CyclesConfig{}, options);
+  double previous_slope = 1e30;
+  for (std::size_t arm = 0; arm < frames.size(); ++arm) {
+    const auto xs = frames[arm].column("num_tasks").as_doubles();
+    const auto& ys = frames[arm].column("runtime").doubles();
+    const auto fit = linalg::fit_linear_1d(xs, ys);
+    EXPECT_LT(fit.model.weights[0], previous_slope);
+    previous_slope = fit.model.weights[0];
+  }
+}
+
+}  // namespace
+}  // namespace bw::apps

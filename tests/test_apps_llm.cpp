@@ -1,0 +1,187 @@
+// Tests for the LLM-inference workload model (apps/llm) — the GPU-aware
+// future-work application.
+
+#include "apps/llm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace bw::apps {
+namespace {
+
+const hw::HardwareSpec kCpu{"C16", 16, 64.0, 0};
+const hw::HardwareSpec kGpu{"G2", 16, 128.0, 2};
+
+LlmRequest chat_request() {
+  LlmRequest request;
+  request.model_params_b = 7.0;
+  request.prompt_tokens = 256;
+  request.output_tokens = 16;
+  request.batch_size = 1;
+  return request;
+}
+
+LlmRequest report_request() {
+  LlmRequest request;
+  request.model_params_b = 7.0;
+  request.prompt_tokens = 2048;
+  request.output_tokens = 4096;
+  request.batch_size = 1;
+  return request;
+}
+
+TEST(LlmModel, CpuWinsShortGenerations) {
+  // GPU pays the weight-staging tax; a 16-token chat cannot amortize it.
+  const double cpu = llm_expected_latency(chat_request(), kCpu);
+  const double gpu = llm_expected_latency(chat_request(), kGpu);
+  EXPECT_LT(cpu, gpu);
+}
+
+TEST(LlmModel, GpuWinsLongGenerations) {
+  const double cpu = llm_expected_latency(report_request(), kCpu);
+  const double gpu = llm_expected_latency(report_request(), kGpu);
+  EXPECT_GT(cpu, 3.0 * gpu);
+}
+
+TEST(LlmModel, LatencyGrowsWithModelSize) {
+  LlmRequest small = report_request();
+  LlmRequest large = report_request();
+  large.model_params_b = 34.0;
+  EXPECT_GT(llm_expected_latency(large, kGpu), llm_expected_latency(small, kGpu));
+}
+
+TEST(LlmModel, MoreGpusDecodeFaster) {
+  const hw::HardwareSpec one_gpu{"G1", 8, 64.0, 1};
+  const hw::HardwareSpec four_gpus{"G4", 16, 256.0, 4};
+  EXPECT_GT(llm_expected_latency(report_request(), one_gpu),
+            llm_expected_latency(report_request(), four_gpus));
+}
+
+TEST(LlmModel, MoreCpusHelpSublinearly) {
+  const hw::HardwareSpec c4{"C4", 4, 64.0, 0};
+  const hw::HardwareSpec c16{"C16b", 16, 64.0, 0};
+  const double t4 = llm_expected_latency(report_request(), c4);
+  const double t16 = llm_expected_latency(report_request(), c16);
+  EXPECT_LT(t16, t4);
+  EXPECT_GT(t16, t4 / 4.0);  // sublinear: 4x cores < 4x speedup
+}
+
+TEST(LlmModel, OversizedModelPaysOffloadPenalty) {
+  LlmRequest huge = report_request();
+  huge.model_params_b = 70.0;  // 70B * 2B * 1.4 = 196 GB > any node here
+  const LlmModelConfig config;
+  const double fits_lat = llm_expected_latency(report_request(), kGpu, config);
+  const double offload_lat = llm_expected_latency(huge, kGpu, config);
+  // Offloading multiplies on top of the 10x model-size slowdown.
+  EXPECT_GT(offload_lat, fits_lat * 10.0 * config.offload_slowdown * 0.5);
+}
+
+TEST(LlmModel, BatchingAmortizes) {
+  LlmRequest single = report_request();
+  LlmRequest batched = report_request();
+  batched.batch_size = 4;
+  const double t1 = llm_expected_latency(single, kGpu);
+  const double t4 = llm_expected_latency(batched, kGpu);
+  // 4x the tokens in less than 4x the time (sqrt-batch throughput gain).
+  EXPECT_GT(t4, t1);
+  EXPECT_LT(t4, 4.0 * t1);
+}
+
+TEST(LlmModel, RejectsInvalidRequests) {
+  LlmRequest bad = chat_request();
+  bad.model_params_b = 0.0;
+  EXPECT_THROW(llm_expected_latency(bad, kCpu), InvalidArgument);
+  bad = chat_request();
+  bad.output_tokens = -1;
+  EXPECT_THROW(llm_expected_latency(bad, kCpu), InvalidArgument);
+  bad = chat_request();
+  bad.batch_size = 0;
+  EXPECT_THROW(llm_expected_latency(bad, kCpu), InvalidArgument);
+}
+
+TEST(LlmModel, NoiseIsMultiplicativeAndPositive) {
+  const LlmModelConfig config;
+  Rng rng(3);
+  const double expected = llm_expected_latency(chat_request(), kCpu, config);
+  for (int i = 0; i < 200; ++i) {
+    const double observed = simulate_llm_latency(chat_request(), kCpu, config, rng);
+    EXPECT_GT(observed, expected * 0.5);
+    EXPECT_LT(observed, expected * 2.0);
+  }
+}
+
+TEST(LlmCatalog, MixedFleetShape) {
+  const hw::HardwareCatalog catalog = llm_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  int gpu_nodes = 0;
+  for (const auto& spec : catalog.specs()) gpu_nodes += (spec.gpus > 0);
+  EXPECT_EQ(gpu_nodes, 3);
+  // GPU nodes never undercut comparable CPU nodes in the efficiency
+  // ordering, and the 4-GPU box is the priciest of all.
+  EXPECT_GE(catalog[2].resource_cost(), catalog[0].resource_cost());
+  for (std::size_t arm = 0; arm + 1 < catalog.size(); ++arm) {
+    EXPECT_GT(catalog[4].resource_cost(), catalog[arm].resource_cost());
+  }
+}
+
+TEST(LlmFrames, SchemaAndSharedFeatures) {
+  LlmDatasetOptions options;
+  options.num_groups = 40;
+  const auto frames = build_llm_frames(llm_catalog(), LlmModelConfig{}, options);
+  ASSERT_EQ(frames.size(), 5u);
+  for (const auto& name : llm_feature_names()) {
+    EXPECT_TRUE(frames[0].has_column(name)) << name;
+  }
+  EXPECT_EQ(frames[0].num_rows(), 40u);
+  EXPECT_EQ(frames[1].column("output_tokens").doubles(),
+            frames[0].column("output_tokens").doubles());
+  EXPECT_NE(frames[1].column("runtime").doubles(), frames[0].column("runtime").doubles());
+}
+
+TEST(LlmFrames, DeterministicBySeed) {
+  LlmDatasetOptions options;
+  options.num_groups = 10;
+  options.seed = 77;
+  const auto a = build_llm_frames(llm_catalog(), LlmModelConfig{}, options);
+  const auto b = build_llm_frames(llm_catalog(), LlmModelConfig{}, options);
+  EXPECT_EQ(a[2].column("runtime").doubles(), b[2].column("runtime").doubles());
+}
+
+TEST(LlmFrames, RejectsEmptyOptions) {
+  LlmDatasetOptions options;
+  options.num_groups = 0;
+  EXPECT_THROW(build_llm_frames(llm_catalog(), LlmModelConfig{}, options),
+               InvalidArgument);
+}
+
+// Property: for every model size, there is a generation length beyond
+// which the GPU node beats the CPU node (the crossover the bandit learns).
+class LlmCrossover : public ::testing::TestWithParam<double> {};
+
+TEST_P(LlmCrossover, GpuOvertakesCpuAsOutputGrows) {
+  LlmRequest request;
+  request.model_params_b = GetParam();
+  request.prompt_tokens = 512;
+  request.batch_size = 1;
+
+  bool gpu_wins_eventually = false;
+  bool cpu_wins_somewhere = false;
+  for (double output : {1.0, 8.0, 64.0, 512.0, 4096.0, 16384.0}) {
+    request.output_tokens = output;
+    const double cpu = llm_expected_latency(request, kCpu);
+    const double gpu = llm_expected_latency(request, kGpu);
+    if (gpu < cpu) gpu_wins_eventually = true;
+    if (cpu < gpu) cpu_wins_somewhere = true;
+  }
+  EXPECT_TRUE(gpu_wins_eventually) << "GPU never won at " << GetParam() << "B";
+  // For small models the CPU should win the shortest generations.
+  if (GetParam() <= 13.0) {
+    EXPECT_TRUE(cpu_wins_somewhere);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelSizes, LlmCrossover, ::testing::Values(1.0, 3.0, 7.0, 13.0));
+
+}  // namespace
+}  // namespace bw::apps

@@ -1,0 +1,197 @@
+// Tests for the matmul workload: the real tiled kernel and the calibrated
+// runtime model (apps/matmul).
+
+#include "apps/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bw::apps {
+namespace {
+
+TEST(GenerateMatrix, RespectsValueRange) {
+  const DenseMatrix m = generate_matrix(20, 0.0, -5, 5, 42);
+  for (double v : m.a) {
+    EXPECT_GE(v, -5.0);
+    EXPECT_LE(v, 5.0);
+    EXPECT_EQ(v, std::floor(v));  // integer entries
+  }
+}
+
+TEST(GenerateMatrix, SparsityFractionApproximatelyHolds) {
+  const DenseMatrix m = generate_matrix(100, 0.7, 1, 9, 43);
+  std::size_t zeros = 0;
+  for (double v : m.a) zeros += (v == 0.0);
+  const double ratio = static_cast<double>(zeros) / static_cast<double>(m.a.size());
+  EXPECT_NEAR(ratio, 0.7, 0.03);
+}
+
+TEST(GenerateMatrix, DeterministicBySeed) {
+  const DenseMatrix a = generate_matrix(30, 0.3, -10, 10, 7);
+  const DenseMatrix b = generate_matrix(30, 0.3, -10, 10, 7);
+  EXPECT_EQ(a.a, b.a);
+}
+
+TEST(GenerateMatrix, RejectsBadArguments) {
+  EXPECT_THROW(generate_matrix(0, 0.0, 0, 1, 1), InvalidArgument);
+  EXPECT_THROW(generate_matrix(5, -0.1, 0, 1, 1), InvalidArgument);
+  EXPECT_THROW(generate_matrix(5, 1.1, 0, 1, 1), InvalidArgument);
+  EXPECT_THROW(generate_matrix(5, 0.0, 2, 1, 1), InvalidArgument);
+}
+
+TEST(NaiveSquare, KnownTwoByTwo) {
+  DenseMatrix m;
+  m.n = 2;
+  m.a = {1.0, 2.0, 3.0, 4.0};
+  const DenseMatrix c = naive_square(m);
+  EXPECT_EQ(c.a, (std::vector<double>{7.0, 10.0, 15.0, 22.0}));
+}
+
+TEST(TiledSquare, IdentityIsFixedPoint) {
+  DenseMatrix eye;
+  eye.n = 8;
+  eye.a.assign(64, 0.0);
+  for (std::size_t i = 0; i < 8; ++i) eye.at(i, i) = 1.0;
+  const DenseMatrix c = tiled_square(eye, nullptr, 4);
+  EXPECT_EQ(c.a, eye.a);
+}
+
+TEST(TiledSquare, RejectsZeroBlock) {
+  DenseMatrix m;
+  m.n = 2;
+  m.a = {1.0, 0.0, 0.0, 1.0};
+  EXPECT_THROW(tiled_square(m, nullptr, 0), InvalidArgument);
+}
+
+// Property: the tiled kernel matches the naive reference for every
+// combination of size, block size and thread count.
+struct KernelCase {
+  std::size_t n;
+  std::size_t block;
+  std::size_t threads;
+};
+
+class KernelEquivalence : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelEquivalence, TiledMatchesNaive) {
+  const auto [n, block, threads] = GetParam();
+  const DenseMatrix m = generate_matrix(n, 0.3, -8, 8, n * 31 + block);
+  const DenseMatrix reference = naive_square(m);
+
+  DenseMatrix tiled;
+  if (threads == 0) {
+    tiled = tiled_square(m, nullptr, block);
+  } else {
+    ThreadPool pool(threads);
+    tiled = tiled_square(m, &pool, block);
+  }
+  ASSERT_EQ(tiled.n, reference.n);
+  for (std::size_t i = 0; i < tiled.a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tiled.a[i], reference.a[i]) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesBlocksThreads, KernelEquivalence,
+    ::testing::Values(KernelCase{1, 4, 0}, KernelCase{7, 4, 0}, KernelCase{16, 4, 0},
+                      KernelCase{33, 8, 2}, KernelCase{64, 16, 4}, KernelCase{50, 64, 2},
+                      KernelCase{65, 16, 3}, KernelCase{40, 5, 1}));
+
+TEST(MeasureKernel, ReturnsPositiveSeconds) {
+  ThreadPool pool(2);
+  EXPECT_GT(measure_tiled_square_seconds(48, pool), 0.0);
+}
+
+// ---- runtime model ---------------------------------------------------------
+
+TEST(RuntimeModel, GrowsCubicallyWithSize) {
+  const MatmulModelConfig config;
+  const hw::HardwareSpec spec{"M", 2, 8.0};
+  const double t1 = matmul_expected_runtime(2000, 0.0, spec, config) - config.overhead_s;
+  const double t2 = matmul_expected_runtime(4000, 0.0, spec, config) - config.overhead_s;
+  // Cache pressure adds a little on top of the pure 8x.
+  EXPECT_GT(t2 / t1, 7.9);
+  EXPECT_LT(t2 / t1, 9.5);
+}
+
+TEST(RuntimeModel, MoreCoresAreFaster) {
+  const MatmulModelConfig config;
+  double previous = 1e30;
+  const hw::HardwareCatalog catalog = hw::matmul_catalog();
+  for (const auto& spec : catalog.specs()) {
+    const double t = matmul_expected_runtime(8000, 0.0, spec, config);
+    EXPECT_LT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(RuntimeModel, SparsityGivesMildSpeedup) {
+  const MatmulModelConfig config;
+  const hw::HardwareSpec spec{"M", 2, 8.0};
+  const double dense = matmul_expected_runtime(6000, 0.0, spec, config);
+  const double sparse = matmul_expected_runtime(6000, 0.9, spec, config);
+  EXPECT_LT(sparse, dense);
+  EXPECT_GT(sparse, dense * 0.85);
+}
+
+TEST(RuntimeModel, PaperRegimes) {
+  // Paper Section 4.3: size < 5000 stays around a minute; the largest runs
+  // approach tens of minutes.
+  const MatmulModelConfig config;
+  const auto catalog = hw::matmul_catalog();
+  const double small_slowest = matmul_expected_runtime(4999, 0.0, catalog[0], config);
+  EXPECT_LT(small_slowest, 90.0);
+  const double large_slowest = matmul_expected_runtime(12500, 0.0, catalog[0], config);
+  EXPECT_GT(large_slowest, 600.0);   // >= 10 minutes
+  EXPECT_LT(large_slowest, 2000.0);  // but bounded
+}
+
+TEST(RuntimeModel, SimulatedRuntimesArePositive) {
+  const MatmulModelConfig config;
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GT(simulate_matmul_runtime(100, 0.5, {"M", 2, 8.0}, config, rng), 0.0);
+  }
+}
+
+TEST(MatmulFrames, SplitCountsMatchOptions) {
+  const auto catalog = hw::matmul_catalog();
+  MatmulDatasetOptions options;
+  options.small_runs = 36;
+  options.large_runs = 14;
+  const auto frames = build_matmul_frames(catalog, MatmulModelConfig{}, options);
+  ASSERT_EQ(frames.size(), 5u);
+  EXPECT_EQ(frames[0].num_rows(), 50u);
+  std::size_t small = 0;
+  for (std::int64_t n : frames[0].column("size").ints()) {
+    EXPECT_GE(n, 100);
+    EXPECT_LE(n, 12500);
+    small += (n < 5000);
+  }
+  EXPECT_EQ(small, 36u);
+}
+
+TEST(MatmulFrames, FeaturesSharedRuntimesDiffer) {
+  const auto catalog = hw::matmul_catalog();
+  MatmulDatasetOptions options;
+  options.small_runs = 10;
+  options.large_runs = 5;
+  const auto frames = build_matmul_frames(catalog, MatmulModelConfig{}, options);
+  EXPECT_EQ(frames[1].column("size").ints(), frames[0].column("size").ints());
+  EXPECT_NE(frames[1].column("runtime").doubles(), frames[0].column("runtime").doubles());
+}
+
+TEST(MatmulFrames, RejectsBadThresholds) {
+  const auto catalog = hw::matmul_catalog();
+  MatmulDatasetOptions options;
+  options.min_size = 6000;
+  options.split_size = 5000;
+  EXPECT_THROW(build_matmul_frames(catalog, MatmulModelConfig{}, options),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bw::apps

@@ -1,0 +1,273 @@
+// Tests for dataset metrics and the replay evaluator (core/metrics,
+// core/evaluator).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/epsilon_greedy.hpp"
+#include "core/evaluator.hpp"
+#include "core/baselines.hpp"
+
+namespace bw::core {
+namespace {
+
+/// Noiseless two-arm table: arm 0 runtime = 10x, arm 1 runtime = 5x + 2.
+/// Arm 1 is best for x > 0.4, arm 0 never (x >= 1 in this table).
+RunTable clean_table(std::size_t groups = 20) {
+  linalg::Matrix features(groups, 1);
+  linalg::Matrix runtimes(groups, 2);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const double x = 1.0 + static_cast<double>(g);
+    features(g, 0) = x;
+    runtimes(g, 0) = 10.0 * x;
+    runtimes(g, 1) = 5.0 * x + 2.0;
+  }
+  hw::HardwareCatalog catalog({{"A", 2, 8.0}, {"B", 4, 16.0}});
+  return RunTable({"x"}, std::move(features), std::move(runtimes), std::move(catalog));
+}
+
+// ---- RunTable -------------------------------------------------------------
+
+TEST(RunTable, ShapeAccessors) {
+  const RunTable table = clean_table(5);
+  EXPECT_EQ(table.num_groups(), 5u);
+  EXPECT_EQ(table.num_features(), 1u);
+  EXPECT_EQ(table.num_arms(), 2u);
+  EXPECT_EQ(table.features_of(2), (FeatureVector{3.0}));
+  EXPECT_DOUBLE_EQ(table.runtime(0, 0), 10.0);
+}
+
+TEST(RunTable, BestArmAndRuntime) {
+  const RunTable table = clean_table(3);
+  for (std::size_t g = 0; g < 3; ++g) {
+    EXPECT_EQ(table.best_arm(g), 1u);
+    EXPECT_DOUBLE_EQ(table.best_runtime(g), table.runtime(g, 1));
+  }
+}
+
+TEST(RunTable, FilterGroupsKeepsSubset) {
+  const RunTable table = clean_table(10);
+  std::vector<bool> keep(10, false);
+  keep[0] = keep[9] = true;
+  const RunTable filtered = table.filter_groups(keep);
+  EXPECT_EQ(filtered.num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(filtered.features()(1, 0), 10.0);
+  EXPECT_THROW(table.filter_groups(std::vector<bool>(3, true)), InvalidArgument);
+  EXPECT_THROW(table.filter_groups(std::vector<bool>(10, false)), InvalidArgument);
+}
+
+TEST(RunTable, SelectFeaturesReorders) {
+  linalg::Matrix features(2, 2);
+  features(0, 0) = 1.0;
+  features(0, 1) = 10.0;
+  features(1, 0) = 2.0;
+  features(1, 1) = 20.0;
+  linalg::Matrix runtimes(2, 1, 5.0);
+  RunTable table({"a", "b"}, features, runtimes, hw::HardwareCatalog({{"X", 1, 4.0}}));
+  const RunTable selected = table.select_features({"b"});
+  EXPECT_EQ(selected.num_features(), 1u);
+  EXPECT_DOUBLE_EQ(selected.features()(1, 0), 20.0);
+  EXPECT_THROW(table.select_features({"zzz"}), InvalidArgument);
+  EXPECT_THROW(table.select_features({}), InvalidArgument);
+}
+
+TEST(RunTable, ValidatesConstruction) {
+  linalg::Matrix features(2, 1, 1.0);
+  linalg::Matrix runtimes(2, 1, 1.0);
+  hw::HardwareCatalog catalog({{"X", 1, 4.0}});
+  EXPECT_THROW(RunTable({"a", "b"}, features, runtimes, catalog), InvalidArgument);
+  EXPECT_THROW(RunTable({"a"}, features, linalg::Matrix(3, 1, 1.0), catalog),
+               InvalidArgument);
+  linalg::Matrix bad = features;
+  bad(0, 0) = std::nan("");
+  EXPECT_THROW(RunTable({"a"}, bad, runtimes, catalog), InvalidArgument);
+}
+
+// ---- metrics ---------------------------------------------------------------
+
+TEST(Metrics, PerfectPredictorScoresPerfectly) {
+  const RunTable table = clean_table();
+  const auto predict = [&table](ArmIndex arm, const FeatureVector& x) {
+    return arm == 0 ? 10.0 * x[0] : 5.0 * x[0] + 2.0;
+  };
+  const auto recommend = [](const FeatureVector&) { return ArmIndex{1}; };
+  const DatasetMetrics metrics = evaluate_on_table(table, predict, recommend, {});
+  EXPECT_NEAR(metrics.rmse, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(metrics.accuracy, 1.0);
+}
+
+TEST(Metrics, WrongRecommenderScoresZeroWithoutTolerance) {
+  const RunTable table = clean_table();
+  const auto predict = [](ArmIndex, const FeatureVector&) { return 0.0; };
+  const auto recommend = [](const FeatureVector&) { return ArmIndex{0}; };
+  const DatasetMetrics metrics = evaluate_on_table(table, predict, recommend, {});
+  EXPECT_DOUBLE_EQ(metrics.accuracy, 0.0);
+  EXPECT_GT(metrics.rmse, 0.0);
+}
+
+TEST(Metrics, ToleranceForgivesSmallGaps) {
+  const RunTable table = clean_table(3);  // x in {1,2,3}: gap 5x-2 <= 13
+  const auto predict = [](ArmIndex, const FeatureVector&) { return 0.0; };
+  const auto recommend = [](const FeatureVector&) { return ArmIndex{0}; };
+  ToleranceParams tolerance;
+  tolerance.seconds = 13.0;
+  const DatasetMetrics metrics = evaluate_on_table(table, predict, recommend, tolerance);
+  EXPECT_DOUBLE_EQ(metrics.accuracy, 1.0);
+}
+
+TEST(Metrics, ResourceCostTracksRecommendedArm) {
+  const RunTable table = clean_table(4);
+  const auto predict = [](ArmIndex, const FeatureVector&) { return 0.0; };
+  const auto cheap = [](const FeatureVector&) { return ArmIndex{0}; };
+  const auto costly = [](const FeatureVector&) { return ArmIndex{1}; };
+  const double cost0 = evaluate_on_table(table, predict, cheap, {}).mean_resource_cost;
+  const double cost1 = evaluate_on_table(table, predict, costly, {}).mean_resource_cost;
+  EXPECT_LT(cost0, cost1);
+}
+
+TEST(Metrics, FullFitOnNoiselessTableIsExact) {
+  const RunTable table = clean_table();
+  const FullFit fit = fit_full_table(table, {});
+  EXPECT_NEAR(fit.metrics.rmse, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fit.metrics.accuracy, 1.0);
+  EXPECT_NEAR(fit.arm_models[0].weights[0], 10.0, 1e-9);
+  EXPECT_NEAR(fit.arm_models[1].bias, 2.0, 1e-8);
+}
+
+TEST(Metrics, MajorityBestArmAccuracy) {
+  const RunTable table = clean_table();
+  EXPECT_DOUBLE_EQ(majority_best_arm_accuracy(table, {}), 1.0);  // arm 1 always best
+}
+
+// ---- replay -----------------------------------------------------------------
+
+TEST(Replay, LearnsCleanTableAndConverges) {
+  const RunTable table = clean_table();
+  EpsilonGreedyConfig config;
+  DecayingEpsilonGreedy policy(table.catalog(), 1, config);
+  ReplayConfig replay_config;
+  replay_config.num_rounds = 60;
+  replay_config.seed = 5;
+  const ReplayResult result = replay(policy, table, replay_config);
+  ASSERT_EQ(result.rmse.size(), 60u);
+  // Final model must be essentially exact on this noiseless table.
+  EXPECT_LT(result.rmse.back(), result.rmse.front());
+  EXPECT_LT(result.rmse.back(), 1.0);
+  EXPECT_DOUBLE_EQ(result.accuracy.back(), 1.0);
+  EXPECT_DOUBLE_EQ(result.final_metrics.accuracy, 1.0);
+}
+
+TEST(Replay, DeterministicGivenSeed) {
+  const RunTable table = clean_table();
+  auto run_once = [&table] {
+    DecayingEpsilonGreedy policy(table.catalog(), 1, {});
+    ReplayConfig config;
+    config.num_rounds = 20;
+    config.seed = 99;
+    return replay(policy, table, config);
+  };
+  const ReplayResult a = run_once();
+  const ReplayResult b = run_once();
+  EXPECT_EQ(a.chosen_arm, b.chosen_arm);
+  EXPECT_EQ(a.rmse, b.rmse);
+  EXPECT_EQ(a.cumulative_regret, b.cumulative_regret);
+}
+
+TEST(Replay, RegretIsNonNegativeAndAccumulates) {
+  const RunTable table = clean_table();
+  DecayingEpsilonGreedy policy(table.catalog(), 1, {});
+  ReplayConfig config;
+  config.num_rounds = 30;
+  const ReplayResult result = replay(policy, table, config);
+  double sum = 0.0;
+  for (double r : result.instant_regret) {
+    EXPECT_GE(r, 0.0);
+    sum += r;
+  }
+  EXPECT_DOUBLE_EQ(sum, result.cumulative_regret);
+}
+
+TEST(Replay, SkippingPerRoundMetricsStillGivesFinal) {
+  const RunTable table = clean_table();
+  DecayingEpsilonGreedy policy(table.catalog(), 1, {});
+  ReplayConfig config;
+  config.num_rounds = 25;
+  config.per_round_metrics = false;
+  const ReplayResult result = replay(policy, table, config);
+  EXPECT_TRUE(result.rmse.empty());
+  EXPECT_GT(result.final_metrics.accuracy, 0.0);
+}
+
+TEST(Replay, RejectsMismatchedPolicy) {
+  const RunTable table = clean_table();
+  DecayingEpsilonGreedy wrong_arms(hw::HardwareCatalog({{"X", 1, 1.0}}), 1, {});
+  ReplayConfig config;
+  EXPECT_THROW(replay(wrong_arms, table, config), InvalidArgument);
+  DecayingEpsilonGreedy ok(table.catalog(), 1, {});
+  config.num_rounds = 0;
+  EXPECT_THROW(replay(ok, table, config), InvalidArgument);
+}
+
+TEST(Replay, RandomPolicyShowsNoLearning) {
+  const RunTable table = clean_table();
+  RandomPolicy policy(table.num_arms());
+  ReplayConfig config;
+  config.num_rounds = 40;
+  const ReplayResult result = replay(policy, table, config);
+  EXPECT_GT(result.cumulative_regret, 0.0);
+}
+
+// ---- multi-sim runner ----------------------------------------------------------
+
+TEST(MultiSim, AggregatesAcrossSeeds) {
+  const RunTable table = clean_table();
+  ReplayConfig config;
+  config.num_rounds = 15;
+  config.seed = 7;
+  const MultiSimResult result = run_simulations(
+      [&table] { return std::make_unique<DecayingEpsilonGreedy>(table.catalog(), 1,
+                                                                EpsilonGreedyConfig{}); },
+      table, config, 8);
+  EXPECT_EQ(result.rmse.rounds(), 15u);
+  EXPECT_EQ(result.final_rmse.size(), 8u);
+  EXPECT_EQ(result.cumulative_regret.size(), 8u);
+  // Full-fit baseline on the noiseless table is exact.
+  EXPECT_NEAR(result.full_fit_metrics.rmse, 0.0, 1e-9);
+  // Simulations differ (different seeds -> nonzero spread early on).
+  EXPECT_GT(result.rmse.stddev[0], 0.0);
+}
+
+TEST(MultiSim, ParallelMatchesSequential) {
+  const RunTable table = clean_table();
+  ReplayConfig config;
+  config.num_rounds = 10;
+  config.seed = 11;
+  const PolicyFactory factory = [&table] {
+    return std::make_unique<DecayingEpsilonGreedy>(table.catalog(), 1,
+                                                   EpsilonGreedyConfig{});
+  };
+  const MultiSimResult sequential = run_simulations(factory, table, config, 6, nullptr);
+  ThreadPool pool(3);
+  const MultiSimResult parallel = run_simulations(factory, table, config, 6, &pool);
+  EXPECT_EQ(sequential.rmse.mean, parallel.rmse.mean);
+  EXPECT_EQ(sequential.final_accuracy, parallel.final_accuracy);
+}
+
+TEST(MultiSim, RejectsBadArguments) {
+  const RunTable table = clean_table();
+  ReplayConfig config;
+  EXPECT_THROW(run_simulations(nullptr, table, config, 2), InvalidArgument);
+  EXPECT_THROW(run_simulations(
+                   [&table] {
+                     return std::make_unique<DecayingEpsilonGreedy>(
+                         table.catalog(), 1, EpsilonGreedyConfig{});
+                   },
+                   table, config, 0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -1,0 +1,118 @@
+// Tests for CSV parsing and serialization (dataframe/csv).
+
+#include "dataframe/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace bw::df {
+namespace {
+
+TEST(CsvRead, InfersTypesPerColumn) {
+  const DataFrame frame = read_csv_string("id,runtime,app\n1,10.5,cycles\n2,20,bp3d\n");
+  EXPECT_EQ(frame.column("id").type(), ColumnType::kInt64);
+  EXPECT_EQ(frame.column("runtime").type(), ColumnType::kDouble);
+  EXPECT_EQ(frame.column("app").type(), ColumnType::kString);
+  EXPECT_EQ(frame.num_rows(), 2u);
+}
+
+TEST(CsvRead, MixedNumericFallsBackToString) {
+  const DataFrame frame = read_csv_string("v\n1\nx\n");
+  EXPECT_EQ(frame.column("v").type(), ColumnType::kString);
+}
+
+TEST(CsvRead, QuotedFieldsWithDelimitersAndNewlines) {
+  const DataFrame frame = read_csv_string("a,b\n\"x,y\",\"line1\nline2\"\n");
+  EXPECT_EQ(frame.column("a").strings()[0], "x,y");
+  EXPECT_EQ(frame.column("b").strings()[0], "line1\nline2");
+}
+
+TEST(CsvRead, EscapedQuotes) {
+  const DataFrame frame = read_csv_string("a\n\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(frame.column("a").strings()[0], "he said \"hi\"");
+}
+
+TEST(CsvRead, CrlfLineEndings) {
+  const DataFrame frame = read_csv_string("a,b\r\n1,2\r\n3,4\r\n");
+  EXPECT_EQ(frame.num_rows(), 2u);
+  EXPECT_EQ(frame.column("b").ints()[1], 4);
+}
+
+TEST(CsvRead, MissingFinalNewlineIsFine) {
+  const DataFrame frame = read_csv_string("a\n42");
+  EXPECT_EQ(frame.num_rows(), 1u);
+  EXPECT_EQ(frame.column("a").ints()[0], 42);
+}
+
+TEST(CsvRead, EmptyFieldsBecomeStrings) {
+  const DataFrame frame = read_csv_string("a,b\n1,\n2,x\n");
+  EXPECT_EQ(frame.column("b").type(), ColumnType::kString);
+  EXPECT_EQ(frame.column("b").strings()[0], "");
+}
+
+TEST(CsvRead, HeaderOnlyGivesEmptyStringColumns) {
+  const DataFrame frame = read_csv_string("a,b\n");
+  EXPECT_EQ(frame.num_rows(), 0u);
+  EXPECT_EQ(frame.num_cols(), 2u);
+}
+
+TEST(CsvRead, RaggedRowThrows) {
+  EXPECT_THROW(read_csv_string("a,b\n1\n"), ParseError);
+  EXPECT_THROW(read_csv_string("a,b\n1,2,3\n"), ParseError);
+}
+
+TEST(CsvRead, UnterminatedQuoteThrows) {
+  EXPECT_THROW(read_csv_string("a\n\"oops\n"), ParseError);
+}
+
+TEST(CsvRead, EmptyDocumentThrows) {
+  EXPECT_THROW(read_csv_string(""), ParseError);
+}
+
+TEST(CsvRead, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  const DataFrame frame = read_csv_string("a;b\n1;2\n", options);
+  EXPECT_EQ(frame.column("b").ints()[0], 2);
+}
+
+TEST(CsvWrite, RoundTripPreservesValues) {
+  DataFrame frame;
+  frame.add_column("id", Column(std::vector<std::int64_t>{1, 2}));
+  frame.add_column("x", Column(std::vector<double>{1.25, -3.5}));
+  frame.add_column("s", Column(std::vector<std::string>{"plain", "with,comma"}));
+
+  const DataFrame back = read_csv_string(write_csv_string(frame));
+  EXPECT_EQ(back.column("id").ints(), frame.column("id").ints());
+  EXPECT_EQ(back.column("x").doubles(), frame.column("x").doubles());
+  EXPECT_EQ(back.column("s").strings(), frame.column("s").strings());
+}
+
+TEST(CsvWrite, RoundTripPreservesFullDoublePrecision) {
+  DataFrame frame;
+  frame.add_column("v", Column(std::vector<double>{1.0 / 3.0, 1e-17, 12345.678901234567}));
+  const DataFrame back = read_csv_string(write_csv_string(frame));
+  EXPECT_EQ(back.column("v").doubles(), frame.column("v").doubles());
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  const auto path = std::filesystem::temp_directory_path() / "bw_csv_test.csv";
+  DataFrame frame;
+  frame.add_column("a", Column(std::vector<std::int64_t>{7}));
+  write_csv_file(frame, path.string());
+  const DataFrame back = read_csv_file(path.string());
+  EXPECT_EQ(back.column("a").ints()[0], 7);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"), ParseError);
+}
+
+}  // namespace
+}  // namespace bw::df

@@ -1,0 +1,149 @@
+// Tests for the DataFrame substrate (dataframe/column, dataframe/dataframe).
+
+#include "dataframe/dataframe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace bw::df {
+namespace {
+
+DataFrame sample_frame() {
+  DataFrame frame;
+  frame.add_column("id", Column(std::vector<std::int64_t>{1, 2, 3, 4}));
+  frame.add_column("runtime", Column(std::vector<double>{10.5, 20.0, 15.25, 8.0}));
+  frame.add_column("app", Column(std::vector<std::string>{"a", "b", "a", "c"}));
+  return frame;
+}
+
+TEST(Column, TypesAndSizes) {
+  EXPECT_EQ(Column(std::vector<double>{1.0}).type(), ColumnType::kDouble);
+  EXPECT_EQ(Column(std::vector<std::int64_t>{1}).type(), ColumnType::kInt64);
+  EXPECT_EQ(Column(std::vector<std::string>{"x"}).type(), ColumnType::kString);
+  EXPECT_EQ(Column(std::vector<double>{1.0, 2.0}).size(), 2u);
+  EXPECT_TRUE(Column().empty());
+}
+
+TEST(Column, WrongTypeAccessThrows) {
+  const Column c(std::vector<double>{1.0});
+  EXPECT_THROW(c.ints(), InvalidArgument);
+  EXPECT_THROW(c.strings(), InvalidArgument);
+}
+
+TEST(Column, AsDoublesWidensInts) {
+  const Column c(std::vector<std::int64_t>{1, 2});
+  const auto d = c.as_doubles();
+  EXPECT_EQ(d, (std::vector<double>{1.0, 2.0}));
+  EXPECT_THROW(Column(std::vector<std::string>{"x"}).as_doubles(), InvalidArgument);
+}
+
+TEST(Column, NumericAtAndCellToString) {
+  const Column c(std::vector<std::int64_t>{42});
+  EXPECT_EQ(c.numeric_at(0), 42.0);
+  EXPECT_EQ(c.cell_to_string(0), "42");
+  EXPECT_THROW(c.numeric_at(1), InvalidArgument);
+  const Column s(std::vector<std::string>{"hi"});
+  EXPECT_THROW(s.numeric_at(0), InvalidArgument);
+  EXPECT_EQ(s.cell_to_string(0), "hi");
+}
+
+TEST(Column, TakeSelectsRowsInOrder) {
+  const Column c(std::vector<double>{1.0, 2.0, 3.0});
+  const Column t = c.take({2, 0, 2});
+  EXPECT_EQ(t.doubles(), (std::vector<double>{3.0, 1.0, 3.0}));
+  EXPECT_THROW(c.take({5}), InvalidArgument);
+}
+
+TEST(DataFrame, BasicShape) {
+  const DataFrame frame = sample_frame();
+  EXPECT_EQ(frame.num_rows(), 4u);
+  EXPECT_EQ(frame.num_cols(), 3u);
+  EXPECT_TRUE(frame.has_column("runtime"));
+  EXPECT_FALSE(frame.has_column("nope"));
+  EXPECT_THROW(frame.column("nope"), InvalidArgument);
+}
+
+TEST(DataFrame, RejectsDuplicateAndMismatchedColumns) {
+  DataFrame frame;
+  frame.add_column("a", Column(std::vector<double>{1.0}));
+  EXPECT_THROW(frame.add_column("a", Column(std::vector<double>{2.0})), InvalidArgument);
+  EXPECT_THROW(frame.add_column("b", Column(std::vector<double>{1.0, 2.0})), InvalidArgument);
+  EXPECT_THROW(frame.add_column("", Column(std::vector<double>{1.0})), InvalidArgument);
+}
+
+TEST(DataFrame, SelectPreservesOrder) {
+  const DataFrame sel = sample_frame().select({"app", "id"});
+  EXPECT_EQ(sel.column_names(), (std::vector<std::string>{"app", "id"}));
+  EXPECT_EQ(sel.num_rows(), 4u);
+}
+
+TEST(DataFrame, FilterByPredicate) {
+  const DataFrame frame = sample_frame();
+  const DataFrame fast = frame.filter_numeric("runtime", [](double r) { return r < 16.0; });
+  EXPECT_EQ(fast.num_rows(), 3u);
+  EXPECT_EQ(fast.column("id").ints(), (std::vector<std::int64_t>{1, 3, 4}));
+}
+
+TEST(DataFrame, FilterToEmptyIsAllowed) {
+  const DataFrame none =
+      sample_frame().filter_numeric("runtime", [](double r) { return r > 1000.0; });
+  EXPECT_EQ(none.num_rows(), 0u);
+  EXPECT_EQ(none.num_cols(), 3u);
+}
+
+TEST(DataFrame, TakeDuplicatesRows) {
+  const DataFrame taken = sample_frame().take({0, 0, 3});
+  EXPECT_EQ(taken.num_rows(), 3u);
+  EXPECT_EQ(taken.column("id").ints(), (std::vector<std::int64_t>{1, 1, 4}));
+}
+
+TEST(DataFrame, HeadClamps) {
+  EXPECT_EQ(sample_frame().head(2).num_rows(), 2u);
+  EXPECT_EQ(sample_frame().head(100).num_rows(), 4u);
+}
+
+TEST(DataFrame, AppendRowsChecksSchema) {
+  DataFrame a = sample_frame();
+  a.append_rows(sample_frame());
+  EXPECT_EQ(a.num_rows(), 8u);
+
+  DataFrame wrong;
+  wrong.add_column("id", Column(std::vector<std::int64_t>{9}));
+  EXPECT_THROW(a.append_rows(wrong), InvalidArgument);
+}
+
+TEST(DataFrame, ToRowMajorFlattensNumerics) {
+  const DataFrame frame = sample_frame();
+  const auto flat = frame.to_row_major({"id", "runtime"});
+  ASSERT_EQ(flat.size(), 8u);
+  EXPECT_EQ(flat[0], 1.0);
+  EXPECT_EQ(flat[1], 10.5);
+  EXPECT_EQ(flat[6], 4.0);
+  EXPECT_THROW(frame.to_row_major({"app"}), InvalidArgument);
+}
+
+TEST(DataFrame, DescribeSkipsStrings) {
+  const auto described = sample_frame().describe();
+  ASSERT_EQ(described.size(), 2u);  // id and runtime, not app
+  EXPECT_EQ(described[0].first, "id");
+  EXPECT_EQ(described[1].first, "runtime");
+  EXPECT_DOUBLE_EQ(described[1].second.min, 8.0);
+}
+
+TEST(DataFrame, SetColumnReplaces) {
+  DataFrame frame = sample_frame();
+  frame.set_column("runtime", Column(std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_EQ(frame.column("runtime").doubles()[0], 1.0);
+  EXPECT_THROW(frame.set_column("runtime", Column(std::vector<double>{1.0})),
+               InvalidArgument);
+}
+
+TEST(DataFrame, ToStringShowsTruncation) {
+  const std::string out = sample_frame().to_string(2);
+  EXPECT_NE(out.find("4 rows total"), std::string::npos);
+  EXPECT_EQ(DataFrame().to_string(), "(empty frame)\n");
+}
+
+}  // namespace
+}  // namespace bw::df

@@ -1,0 +1,89 @@
+// Tests for the decision audit log (core/decision_log).
+
+#include "core/decision_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dataframe/csv.hpp"
+
+namespace bw::core {
+namespace {
+
+DecisionLog logged_session(int decisions, double epsilon0 = 1.0) {
+  BanditWareConfig config;
+  config.policy.initial_epsilon = epsilon0;
+  config.policy.decay = 0.9;
+  BanditWare bandit(hw::ndp_catalog(), {"size"}, config);
+  DecisionLog log({"size"});
+  Rng rng(4);
+  for (int i = 0; i < decisions; ++i) {
+    const FeatureVector x = {static_cast<double>(10 * (i % 5 + 1))};
+    const double epsilon = bandit.epsilon();
+    const auto decision = bandit.next(x, rng);
+    const double runtime = 2.0 * x[0] + decision.arm;
+    bandit.observe(decision.arm, x, runtime);
+    log.record(decision, x, runtime, epsilon);
+  }
+  return log;
+}
+
+TEST(DecisionLog, RecordsEveryDecisionInOrder) {
+  const DecisionLog log = logged_session(12);
+  ASSERT_EQ(log.size(), 12u);
+  for (std::size_t i = 0; i < log.size(); ++i) EXPECT_EQ(log[i].index, i);
+  EXPECT_THROW(log[99], InvalidArgument);
+}
+
+TEST(DecisionLog, ExplorationRateTracksEpsilon) {
+  const DecisionLog always = logged_session(30, 1.0);
+  EXPECT_GT(always.exploration_rate(), 0.25);  // high early epsilon
+  const DecisionLog never = logged_session(30, 0.0);
+  EXPECT_EQ(never.exploration_rate(), 0.0);
+}
+
+TEST(DecisionLog, MeanObservedRuntime) {
+  DecisionLog log({"x"});
+  EXPECT_EQ(log.mean_observed_runtime(), 0.0);
+  DecisionRecord record;
+  record.features = {1.0};
+  record.observed_runtime_s = 10.0;
+  log.record(record);
+  record.observed_runtime_s = 30.0;
+  log.record(record);
+  EXPECT_DOUBLE_EQ(log.mean_observed_runtime(), 20.0);
+}
+
+TEST(DecisionLog, FrameHasDocumentedSchema) {
+  const DecisionLog log = logged_session(5);
+  const df::DataFrame frame = log.to_frame();
+  EXPECT_EQ(frame.num_rows(), 5u);
+  for (const char* column : {"decision", "size", "hardware", "explored",
+                             "predicted_runtime_s", "observed_runtime_s", "epsilon"}) {
+    EXPECT_TRUE(frame.has_column(column)) << column;
+  }
+  // Epsilon decays monotonically within the session.
+  const auto& eps = frame.column("epsilon").doubles();
+  for (std::size_t i = 1; i < eps.size(); ++i) EXPECT_LE(eps[i], eps[i - 1]);
+}
+
+TEST(DecisionLog, CsvRoundTrips) {
+  const DecisionLog log = logged_session(8);
+  const df::DataFrame back = df::read_csv_string(log.to_csv());
+  EXPECT_EQ(back.num_rows(), 8u);
+  EXPECT_EQ(back.column("hardware").strings().size(), 8u);
+  // Integral runtimes may round-trip as int64 columns; compare numerically.
+  EXPECT_EQ(back.column("observed_runtime_s").as_doubles(),
+            log.to_frame().column("observed_runtime_s").as_doubles());
+}
+
+TEST(DecisionLog, RejectsBadInput) {
+  EXPECT_THROW(DecisionLog({}), InvalidArgument);
+  DecisionLog log({"a", "b"});
+  DecisionRecord wrong;
+  wrong.features = {1.0};  // needs 2
+  EXPECT_THROW(log.record(wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -1,0 +1,108 @@
+// Golden-value determinism suite: the README promises bit-reproducible
+// simulations across runs and platforms. These tests pin exact outputs of
+// every stochastic layer so any accidental change to RNG consumption order,
+// simulator logic or dataset construction fails loudly.
+//
+// If a change here is *intentional* (e.g. a simulator improvement), update
+// the pinned values and call it out in the commit message — downstream
+// EXPERIMENTS.md numbers shift with them.
+
+#include <gtest/gtest.h>
+
+#include "apps/bp3d.hpp"
+#include "apps/cycles.hpp"
+#include "apps/llm.hpp"
+#include "apps/matmul.hpp"
+#include "common/rng.hpp"
+#include "core/epsilon_greedy.hpp"
+#include "core/evaluator.hpp"
+#include "experiments/datasets.hpp"
+
+namespace bw {
+namespace {
+
+TEST(GoldenValues, XoshiroStream) {
+  Xoshiro256 gen(42);
+  EXPECT_EQ(gen(), 1546998764402558742ULL);
+  EXPECT_EQ(gen(), 6990951692964543102ULL);
+}
+
+TEST(GoldenValues, RngUniformAndNormal) {
+  Rng rng(42);
+  EXPECT_NEAR(rng.uniform(), 0.083862971059882163, 1e-15);
+  EXPECT_NEAR(rng.normal(), -0.59278099932293538, 1e-12);
+}
+
+TEST(GoldenValues, ChildSeedDerivation) {
+  Rng rng(42);
+  EXPECT_EQ(rng.child_seed(0), 18062737256950912743ULL);
+}
+
+TEST(GoldenValues, CyclesRunIsPinned) {
+  Rng rng(7);
+  const double makespan =
+      apps::simulate_cycles_run(200, {"H", 2, 16.0}, apps::CyclesConfig{}, rng);
+  EXPECT_NEAR(makespan, 639.85143260242944, 1e-9);
+}
+
+TEST(GoldenValues, FireSimIsPinned) {
+  Rng rng(11);
+  apps::WeatherInputs weather;
+  weather.surface_moisture = 0.10;
+  weather.canopy_moisture = 0.60;
+  weather.wind_direction_deg = 45.0;
+  weather.wind_speed_ms = 8.0;
+  weather.sim_time_steps = 300;
+  const apps::FireSimResult result =
+      apps::run_fire_sim(geo::builtin_burn_units()[2], weather, {}, rng);
+  EXPECT_EQ(result.burned_cells, 4000u);
+  EXPECT_EQ(result.steps_executed, 89);
+}
+
+TEST(GoldenValues, MatmulRuntimeIsPinned) {
+  Rng rng(13);
+  const double runtime = apps::simulate_matmul_runtime(
+      6000, 0.25, {"M2", 4, 16.0}, apps::MatmulModelConfig{}, rng);
+  EXPECT_NEAR(runtime, 47.511787849929419, 1e-9);
+}
+
+TEST(GoldenValues, LlmLatencyIsPinned) {
+  apps::LlmRequest request;
+  request.model_params_b = 7.0;
+  request.prompt_tokens = 1024;
+  request.output_tokens = 256;
+  request.batch_size = 2;
+  const double cpu = apps::llm_expected_latency(request, {"C16", 16, 64.0, 0});
+  EXPECT_NEAR(cpu, 39.597979746446661, 1e-9);
+}
+
+TEST(GoldenValues, ReplayTrajectoryIsPinned) {
+  const exp::CyclesDataset dataset = exp::build_cycles_dataset(40, 21);
+  core::DecayingEpsilonGreedy policy(dataset.table.catalog(), 1, {});
+  core::ReplayConfig config;
+  config.num_rounds = 8;
+  config.per_round_metrics = false;
+  config.seed = 3;
+  const core::ReplayResult result = core::replay(policy, dataset.table, config);
+  const std::vector<core::ArmIndex> expected_arms = {2, 2, 2, 0, 0, 2, 3, 3};
+  EXPECT_EQ(result.chosen_arm, expected_arms);
+}
+
+TEST(GoldenValues, DatasetBuildersAreStableAcrossCalls) {
+  // Same options twice -> byte-identical runtime matrices.
+  const exp::Bp3dDataset a = exp::build_bp3d_dataset(25, 99);
+  const exp::Bp3dDataset b = exp::build_bp3d_dataset(25, 99);
+  EXPECT_EQ(a.table.runtimes().data(), b.table.runtimes().data());
+  const exp::MatmulDataset ma = exp::build_matmul_dataset(0.02, 4);
+  const exp::MatmulDataset mb = exp::build_matmul_dataset(0.02, 4);
+  EXPECT_EQ(ma.table.runtimes().data(), mb.table.runtimes().data());
+}
+
+TEST(GoldenValues, DatasetSeedChangesEverything) {
+  const exp::Bp3dDataset a = exp::build_bp3d_dataset(25, 99);
+  const exp::Bp3dDataset c = exp::build_bp3d_dataset(25, 100);
+  EXPECT_NE(a.table.runtimes().data(), c.table.runtimes().data());
+}
+
+}  // namespace
+}  // namespace bw

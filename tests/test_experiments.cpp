@@ -1,0 +1,263 @@
+// Tests for the experiment drivers (experiments/): dataset pipelines, the
+// linear-regression baseline and the per-figure drivers at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/epsilon_greedy.hpp"
+#include "experiments/datasets.hpp"
+#include "experiments/exp1_cycles.hpp"
+#include "experiments/exp2_bp3d.hpp"
+#include "experiments/exp3_matmul.hpp"
+#include "experiments/linreg_experiment.hpp"
+#include "experiments/report.hpp"
+
+namespace bw::exp {
+namespace {
+
+// ---- merge pipeline -----------------------------------------------------------
+
+TEST(MergePipeline, CombinesPerHardwareFrames) {
+  hw::HardwareCatalog catalog({{"A", 1, 4.0}, {"B", 2, 8.0}});
+  std::vector<df::DataFrame> frames(2);
+  for (std::size_t arm = 0; arm < 2; ++arm) {
+    frames[arm].add_column("run_id", df::Column(std::vector<std::int64_t>{0, 1, 2}));
+    frames[arm].add_column("x", df::Column(std::vector<double>{1.0, 2.0, 3.0}));
+    frames[arm].add_column(
+        "runtime", df::Column(std::vector<double>{10.0 + static_cast<double>(arm),
+                                                  20.0 + static_cast<double>(arm),
+                                                  30.0 + static_cast<double>(arm)}));
+  }
+  const core::RunTable table = merge_frames_to_table(frames, "run_id", {"x"}, catalog);
+  EXPECT_EQ(table.num_groups(), 3u);
+  EXPECT_EQ(table.num_arms(), 2u);
+  EXPECT_DOUBLE_EQ(table.runtime(1, 0), 20.0);
+  EXPECT_DOUBLE_EQ(table.runtime(1, 1), 21.0);
+  EXPECT_DOUBLE_EQ(table.features()(2, 0), 3.0);
+}
+
+TEST(MergePipeline, InnerJoinDropsUnmatchedRuns) {
+  hw::HardwareCatalog catalog({{"A", 1, 4.0}, {"B", 2, 8.0}});
+  std::vector<df::DataFrame> frames(2);
+  frames[0].add_column("run_id", df::Column(std::vector<std::int64_t>{0, 1, 2}));
+  frames[0].add_column("x", df::Column(std::vector<double>{1.0, 2.0, 3.0}));
+  frames[0].add_column("runtime", df::Column(std::vector<double>{1.0, 2.0, 3.0}));
+  frames[1].add_column("run_id", df::Column(std::vector<std::int64_t>{1, 2, 5}));
+  frames[1].add_column("x", df::Column(std::vector<double>{2.0, 3.0, 9.0}));
+  frames[1].add_column("runtime", df::Column(std::vector<double>{2.5, 3.5, 9.5}));
+  const core::RunTable table = merge_frames_to_table(frames, "run_id", {"x"}, catalog);
+  EXPECT_EQ(table.num_groups(), 2u);  // run ids 1 and 2 survive
+}
+
+TEST(MergePipeline, ArmCountMismatchThrows) {
+  hw::HardwareCatalog catalog({{"A", 1, 4.0}, {"B", 2, 8.0}});
+  std::vector<df::DataFrame> frames(1);
+  frames[0].add_column("run_id", df::Column(std::vector<std::int64_t>{0}));
+  frames[0].add_column("runtime", df::Column(std::vector<double>{1.0}));
+  EXPECT_THROW(merge_frames_to_table(frames, "run_id", {}, catalog), InvalidArgument);
+}
+
+// ---- dataset builders ------------------------------------------------------------
+
+TEST(Datasets, CyclesShape) {
+  const CyclesDataset dataset = build_cycles_dataset(25, 1);
+  EXPECT_EQ(dataset.table.num_groups(), 25u);
+  EXPECT_EQ(dataset.table.num_arms(), 4u);
+  EXPECT_EQ(dataset.table.feature_names(), (std::vector<std::string>{"num_tasks"}));
+}
+
+TEST(Datasets, Bp3dShapeMatchesTable1) {
+  const Bp3dDataset dataset = build_bp3d_dataset(18, 2);
+  EXPECT_EQ(dataset.table.num_groups(), 18u);
+  EXPECT_EQ(dataset.table.num_arms(), 3u);
+  EXPECT_EQ(dataset.table.num_features(), 7u);
+  EXPECT_EQ(dataset.frames.size(), 3u);
+}
+
+TEST(Datasets, MatmulViewsAreConsistent) {
+  const MatmulDataset dataset = build_matmul_dataset(0.02, 3);
+  EXPECT_EQ(dataset.table.num_arms(), 5u);
+  EXPECT_EQ(dataset.size_only.num_features(), 1u);
+  EXPECT_EQ(dataset.size_only.num_groups(), dataset.table.num_groups());
+  // Subset keeps only size >= 5000 groups.
+  for (std::size_t g = 0; g < dataset.subset.num_groups(); ++g) {
+    EXPECT_GE(dataset.subset.features()(g, 0), 5000.0);
+  }
+  EXPECT_LT(dataset.subset.num_groups(), dataset.table.num_groups());
+  EXPECT_EQ(dataset.subset.num_groups(), dataset.subset_size_only.num_groups());
+  EXPECT_THROW(build_matmul_dataset(0.0, 3), InvalidArgument);
+}
+
+// ---- linreg baseline --------------------------------------------------------------
+
+TEST(LinRegExperiment, ProducesRequestedDistribution) {
+  const CyclesDataset dataset = build_cycles_dataset(40, 4);
+  LinRegExperimentConfig config;
+  config.num_models = 12;
+  config.samples_per_model = 10;
+  const LinRegDistribution dist = run_linreg_experiment(dataset.table, config);
+  EXPECT_EQ(dist.rmse_values.size(), 12u);
+  EXPECT_EQ(dist.r2_values.size(), 12u);
+  EXPECT_GT(dist.rmse.mean, 0.0);
+  EXPECT_LE(dist.r2.max, 1.0);
+  // Cycles runtimes are strongly linear in num_tasks: R2 must be high.
+  EXPECT_GT(dist.r2.median, 0.9);
+}
+
+TEST(LinRegExperiment, DeterministicBySeed) {
+  const CyclesDataset dataset = build_cycles_dataset(30, 5);
+  LinRegExperimentConfig config;
+  config.num_models = 5;
+  config.samples_per_model = 8;
+  const LinRegDistribution a = run_linreg_experiment(dataset.table, config);
+  const LinRegDistribution b = run_linreg_experiment(dataset.table, config);
+  EXPECT_EQ(a.rmse_values, b.rmse_values);
+}
+
+TEST(LinRegExperiment, RejectsBadConfig) {
+  const CyclesDataset dataset = build_cycles_dataset(10, 6);
+  LinRegExperimentConfig config;
+  config.samples_per_model = 50;  // > dataset size
+  EXPECT_THROW(run_linreg_experiment(dataset.table, config), InvalidArgument);
+  config.samples_per_model = 1;
+  EXPECT_THROW(run_linreg_experiment(dataset.table, config), InvalidArgument);
+  config.samples_per_model = 5;
+  config.num_models = 0;
+  EXPECT_THROW(run_linreg_experiment(dataset.table, config), InvalidArgument);
+}
+
+// ---- figure drivers (reduced scale) --------------------------------------------------
+
+TEST(Fig3, SlopesSeparateAndMatchGroundTruth) {
+  const Fig3Result result = run_fig3_cycles_fit(60, 7);
+  ASSERT_EQ(result.arms.size(), 4u);
+  for (const auto& arm : result.arms) {
+    EXPECT_NEAR(arm.fitted_slope, arm.true_slope, arm.true_slope * 0.10) << arm.hardware;
+  }
+  for (std::size_t i = 1; i < result.arms.size(); ++i) {
+    EXPECT_LT(result.arms[i].fitted_slope, result.arms[i - 1].fitted_slope);
+  }
+}
+
+TEST(Fig4, BanditConvergesTowardFullFit) {
+  const LearningRun run = run_fig4_cycles_learning(3, 40, 120, 8);
+  ASSERT_EQ(run.sims.rmse.rounds(), 40u);
+  const double final_rmse = run.sims.rmse.mean.back();
+  const double initial_rmse = run.sims.rmse.mean.front();
+  const double baseline = run.sims.full_fit_metrics.rmse;
+  EXPECT_LT(final_rmse, initial_rmse);
+  EXPECT_LT(final_rmse, baseline * 3.0);  // near the red line
+  // Accuracy (ts = 20 s) improves over time.
+  EXPECT_GT(run.sims.accuracy.mean.back(), run.sims.accuracy.mean.front());
+}
+
+TEST(Fig5, AreaOnlyModelsAreNoBetterThanAllFeatures) {
+  const Bp3dDataset dataset = build_bp3d_dataset(80, 9);
+  Fig5Result result;
+  {
+    LinRegExperimentConfig config;
+    config.num_models = 10;
+    config.samples_per_model = 20;
+    config.seed = 1;
+    result.all_features = run_linreg_experiment(dataset.table, config);
+    result.area_only =
+        run_linreg_experiment(dataset.table.select_features({"area"}), config);
+  }
+  EXPECT_GT(result.all_features.rmse.mean, 0.0);
+  EXPECT_GT(result.area_only.rmse.mean, 0.0);
+}
+
+TEST(Fig6, BanditFitTracksBaselineSlope) {
+  const Bp3dDataset dataset = build_bp3d_dataset(120, 10);
+  // Slopes on the noisy BP3D data are variable per simulation; averaging
+  // over 15 simulations of 60 rounds keeps the sign stable.
+  const Fig6Result result = run_fig6_bp3d_area_fit(dataset, 15, 60, 11);
+  ASSERT_EQ(result.arms.size(), 3u);
+  for (const auto& arm : result.arms) {
+    // Learned slope has the same sign and order of magnitude as baseline.
+    EXPECT_GT(arm.bandit_slope, 0.0);
+    EXPECT_GT(arm.baseline_slope, 0.0);
+    EXPECT_LT(std::abs(arm.bandit_slope - arm.baseline_slope),
+              std::abs(arm.baseline_slope) * 2.0);
+  }
+  EXPECT_EQ(result.areas.size(), 120u);
+}
+
+TEST(Fig7, RmseConvergesAccuracyNearRandom) {
+  const Bp3dDataset dataset = build_bp3d_dataset(200, 12);
+  const LearningRun run = run_fig7_bp3d_bandit(dataset, 8, 50, 13);
+  const double baseline_acc = run.sims.full_fit_metrics.accuracy;
+  // The paper's key negative result: near-identical hardware -> accuracy
+  // close to random guessing (1/3).
+  EXPECT_NEAR(baseline_acc, 1.0 / 3.0, 0.15);
+  // Small-sample OLS on 7 features spikes mid-run (the paper's Fig. 7a has
+  // the same early instability); assert recovery rather than monotonicity:
+  // the final RMSE must be below the worst round and within reach of the
+  // full-fit baseline.
+  const double worst = *std::max_element(run.sims.rmse.mean.begin(),
+                                         run.sims.rmse.mean.end());
+  EXPECT_LT(run.sims.rmse.mean.back(), worst);
+  EXPECT_LT(run.sims.rmse.mean.back(), run.sims.full_fit_metrics.rmse * 3.0);
+}
+
+TEST(Figs9to12, ToleranceLiftsAccuracy) {
+  const MatmulDataset dataset = build_matmul_dataset(0.05, 14);
+  MatmulLearningOptions no_tol;
+  no_tol.num_simulations = 4;
+  no_tol.num_rounds = 40;
+  const LearningRun full_run = run_matmul_learning(dataset, no_tol);
+
+  MatmulLearningOptions subset_opts = no_tol;
+  subset_opts.subset = true;
+  const LearningRun subset_run = run_matmul_learning(dataset, subset_opts);
+
+  MatmulLearningOptions tol20 = no_tol;
+  tol20.tolerance.seconds = 20.0;
+  const LearningRun tolerant_run = run_matmul_learning(dataset, tol20);
+
+  // Paper regimes: subset beats full; tolerance beats no tolerance.
+  EXPECT_GT(subset_run.sims.full_fit_metrics.accuracy,
+            full_run.sims.full_fit_metrics.accuracy);
+  EXPECT_GT(tolerant_run.sims.accuracy.mean.back(), full_run.sims.accuracy.mean.back());
+}
+
+// ---- report rendering ----------------------------------------------------------------
+
+TEST(Report, LearningReportContainsSeries) {
+  const CyclesDataset dataset = build_cycles_dataset(30, 15);
+  core::ReplayConfig config;
+  config.num_rounds = 10;
+  const core::MultiSimResult sims = core::run_simulations(
+      [&dataset] {
+        return std::make_unique<core::DecayingEpsilonGreedy>(
+            dataset.table.catalog(), 1, core::EpsilonGreedyConfig{});
+      },
+      dataset.table, config, 2);
+  LearningReportOptions options;
+  options.title = "test-figure";
+  const std::string report = render_learning_report(sims, options);
+  EXPECT_NE(report.find("test-figure"), std::string::npos);
+  EXPECT_NE(report.find("rmse_mean"), std::string::npos);
+  EXPECT_NE(report.find("full-fit baseline"), std::string::npos);
+}
+
+TEST(Report, CompareRowFormatsBothValues) {
+  const std::string row = compare_row("accuracy", 0.342, 0.40, "regime check");
+  EXPECT_NE(row.find("paper=0.342"), std::string::npos);
+  EXPECT_NE(row.find("measured=0.4"), std::string::npos);
+  EXPECT_NE(row.find("regime check"), std::string::npos);
+}
+
+TEST(Table1, RowsMatchPaperSchema) {
+  const auto& rows = bp3d_table1_rows();
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows[0].feature, "surface_moisture");
+  EXPECT_EQ(rows[6].feature, "area");
+  for (const auto& row : rows) EXPECT_FALSE(row.description.empty());
+}
+
+}  // namespace
+}  // namespace bw::exp

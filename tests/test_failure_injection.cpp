@@ -1,0 +1,179 @@
+// Failure injection across module boundaries: feeding malformed, corrupt
+// or adversarial inputs through the public APIs must produce typed
+// exceptions (never UB, never silent garbage).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "apps/cycles.hpp"
+#include "common/error.hpp"
+#include "core/banditware.hpp"
+#include "core/evaluator.hpp"
+#include "dataframe/csv.hpp"
+#include "experiments/datasets.hpp"
+#include "geo/geojson.hpp"
+
+namespace bw {
+namespace {
+
+// ---- non-finite values at every entry point ---------------------------------
+
+TEST(FailureInjection, NanFeaturesRejectedByBanditWare) {
+  core::BanditWare bandit(hw::ndp_catalog(), {"a", "b"}, {});
+  const double nan = std::nan("");
+  EXPECT_THROW(bandit.observe(0, {nan, 1.0}, 10.0), InvalidArgument);
+  EXPECT_THROW(bandit.observe(0, {1.0, 1.0}, nan), InvalidArgument);
+  EXPECT_THROW(bandit.observe(0, {1.0, 1.0}, INFINITY), InvalidArgument);
+}
+
+TEST(FailureInjection, NonFiniteRuntimesRejectedByRunTable) {
+  linalg::Matrix features(2, 1, 1.0);
+  linalg::Matrix runtimes(2, 1, 1.0);
+  runtimes(1, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(core::RunTable({"x"}, features, runtimes,
+                              hw::HardwareCatalog({{"A", 1, 4.0}})),
+               InvalidArgument);
+}
+
+TEST(FailureInjection, NanInCsvStaysStringTyped) {
+  // "nan" strings must not silently become numeric columns.
+  const df::DataFrame frame = df::read_csv_string("v\nnan\n1.5\n");
+  // strtod accepts "nan" — the column parses as double; the pipeline must
+  // then reject it at the RunTable boundary rather than propagate NaN.
+  if (frame.column("v").type() == df::ColumnType::kDouble) {
+    linalg::Matrix features(2, 1);
+    features(0, 0) = frame.column("v").doubles()[0];
+    features(1, 0) = frame.column("v").doubles()[1];
+    linalg::Matrix runtimes(2, 1, 1.0);
+    EXPECT_THROW(core::RunTable({"v"}, features, runtimes,
+                                hw::HardwareCatalog({{"A", 1, 4.0}})),
+                 InvalidArgument);
+  }
+}
+
+// ---- corrupt pipeline inputs ---------------------------------------------------
+
+TEST(FailureInjection, MergeRejectsFramesMissingColumns) {
+  hw::HardwareCatalog catalog({{"A", 1, 4.0}});
+  std::vector<df::DataFrame> frames(1);
+  frames[0].add_column("run_id", df::Column(std::vector<std::int64_t>{0}));
+  // No runtime column at all.
+  EXPECT_THROW(exp::merge_frames_to_table(frames, "run_id", {}, catalog),
+               InvalidArgument);
+}
+
+TEST(FailureInjection, MergeRejectsDisjointRunIds) {
+  hw::HardwareCatalog catalog({{"A", 1, 4.0}, {"B", 2, 8.0}});
+  std::vector<df::DataFrame> frames(2);
+  frames[0].add_column("run_id", df::Column(std::vector<std::int64_t>{0}));
+  frames[0].add_column("runtime", df::Column(std::vector<double>{1.0}));
+  frames[1].add_column("run_id", df::Column(std::vector<std::int64_t>{99}));
+  frames[1].add_column("runtime", df::Column(std::vector<double>{2.0}));
+  // Inner join yields zero groups -> typed error, not an empty table.
+  EXPECT_THROW(exp::merge_frames_to_table(frames, "run_id", {}, catalog), Error);
+}
+
+TEST(FailureInjection, CsvBinaryGarbage) {
+  const std::string garbage("\x01\x02,\x03\n\xff\xfe,\x00x", 14);
+  // Bytes are data, not structure: parsing must not crash, and the header
+  // must round-trip as strings.
+  const df::DataFrame frame = df::read_csv_string(garbage);
+  EXPECT_EQ(frame.num_cols(), 2u);
+}
+
+TEST(FailureInjection, GeoJsonWithWrongShapes) {
+  EXPECT_THROW(geo::parse_geojson_polygons(R"({"type": "Polygon"})"), ParseError);
+  EXPECT_THROW(geo::parse_geojson_polygons(
+                   R"({"type": "Polygon", "coordinates": [[[1], [2], [3]]]})"),
+               ParseError);
+  EXPECT_THROW(geo::parse_geojson_polygons(
+                   R"({"type": "FeatureCollection", "features": []})"),
+               ParseError);
+  // Degenerate polygon: two distinct points only.
+  EXPECT_THROW(geo::parse_geojson_polygons(
+                   R"({"type": "Polygon", "coordinates": [[[0,0],[1,1],[0,0]]]})"),
+               Error);
+}
+
+// ---- corrupted persistent state -------------------------------------------------
+
+core::BanditWare trained_bandit() {
+  core::BanditWare bandit(hw::ndp_catalog(), {"x"}, {});
+  Rng rng(5);
+  for (int i = 0; i < 6; ++i) {
+    const core::FeatureVector x = {static_cast<double>(i)};
+    const auto decision = bandit.next(x, rng);
+    bandit.observe(decision.arm, x, 10.0 * x[0] + 1.0);
+  }
+  return bandit;
+}
+
+TEST(FailureInjection, StateWithFlippedHeaderRejected) {
+  std::string snapshot = trained_bandit().save_state();
+  snapshot[0] = 'X';
+  EXPECT_THROW(core::BanditWare::load_state(snapshot), ParseError);
+}
+
+TEST(FailureInjection, StateWithNegativeArmCountRejected) {
+  std::string snapshot = trained_bandit().save_state();
+  const auto pos = snapshot.find("arms 3");
+  ASSERT_NE(pos, std::string::npos);
+  snapshot.replace(pos, 6, "arms 0");
+  EXPECT_THROW(core::BanditWare::load_state(snapshot), ParseError);
+}
+
+TEST(FailureInjection, StateWithTruncatedTailRejected) {
+  const std::string snapshot = trained_bandit().save_state();
+  for (std::size_t keep : {snapshot.size() / 4, snapshot.size() / 2}) {
+    EXPECT_THROW(core::BanditWare::load_state(snapshot.substr(0, keep)), ParseError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(FailureInjection, StateSurvivesWhitespaceTail) {
+  // Trailing newlines are not corruption.
+  const std::string snapshot = trained_bandit().save_state() + "\n\n";
+  EXPECT_NO_THROW(core::BanditWare::load_state(snapshot));
+}
+
+// ---- evaluator misuse --------------------------------------------------------------
+
+TEST(FailureInjection, EvaluatorRejectsForeignPolicy) {
+  const exp::CyclesDataset dataset = exp::build_cycles_dataset(10, 1);
+  core::DecayingEpsilonGreedy two_arms(hw::HardwareCatalog({{"A", 1, 1.0}, {"B", 2, 2.0}}),
+                                       1, {});
+  core::ReplayConfig config;
+  EXPECT_THROW(core::replay(two_arms, dataset.table, config), InvalidArgument);
+}
+
+TEST(FailureInjection, RecommendFunctionReturningBadArmIsCaught) {
+  const exp::CyclesDataset dataset = exp::build_cycles_dataset(5, 2);
+  const auto predict = [](core::ArmIndex, const core::FeatureVector&) { return 0.0; };
+  const auto bad_recommend = [](const core::FeatureVector&) {
+    return core::ArmIndex{999};
+  };
+  EXPECT_THROW(core::evaluate_on_table(dataset.table, predict, bad_recommend, {}),
+               InvalidArgument);
+}
+
+// ---- hardware spec fuzz -------------------------------------------------------------
+
+TEST(FailureInjection, SpecParserSurvivesFuzzInputs) {
+  const char* inputs[] = {"",       "()",     "(,)",      ",",     "(2,,16)",
+                          "(2 16)", "(1e9,16)", "2,16,", "(2;16)", "(2,16,3,4)"};
+  for (const char* input : inputs) {
+    EXPECT_THROW(hw::parse_spec("X", input), ParseError) << "input: " << input;
+  }
+}
+
+TEST(FailureInjection, SpecParserAcceptsDecorationVariants) {
+  // Parentheses and whitespace are decoration, not structure.
+  EXPECT_EQ(hw::parse_spec("X", " ( 2 , 16 ) ").cpus, 2);
+  EXPECT_EQ(hw::parse_spec("X", "2,16").memory_gb, 16.0);
+  EXPECT_EQ(hw::parse_spec("X", "((2,16))").cpus, 2);
+}
+
+}  // namespace
+}  // namespace bw

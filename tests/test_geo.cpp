@@ -1,0 +1,205 @@
+// Tests for JSON parsing, polygon geometry and burn units (geo/).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geo/burn_units.hpp"
+#include "geo/geojson.hpp"
+#include "geo/json.hpp"
+#include "geo/polygon.hpp"
+
+namespace bw::geo {
+namespace {
+
+// ---- JSON -----------------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_json("-1e3").as_number(), -1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue v = parse_json(R"({"a": [1, 2, {"b": "c"}], "d": {}})");
+  EXPECT_TRUE(v.is_object());
+  const auto& arr = v.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[2].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").as_object().empty());
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("zzz"));
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(parse_json(R"("q\"q")").as_string(), "q\"q");
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("back\\slash")").as_string(), "back\\slash");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), ParseError);
+  EXPECT_THROW(parse_json("{"), ParseError);
+  EXPECT_THROW(parse_json("[1, ]"), ParseError);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(parse_json("{1: 2}"), ParseError);
+  EXPECT_THROW(parse_json("tru"), ParseError);
+  EXPECT_THROW(parse_json("\"unterminated"), ParseError);
+  EXPECT_THROW(parse_json("1 2"), ParseError);  // trailing garbage
+  EXPECT_THROW(parse_json(R"("bad\x")"), ParseError);
+}
+
+TEST(Json, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_THROW(parse_json(deep), ParseError);
+}
+
+TEST(Json, TypeMismatchAccessThrows) {
+  const JsonValue v = parse_json("42");
+  EXPECT_THROW(v.as_string(), ParseError);
+  EXPECT_THROW(v.as_array(), ParseError);
+  EXPECT_THROW(v.at("k"), ParseError);
+  EXPECT_THROW(parse_json("{}").at("missing"), ParseError);
+}
+
+// ---- polygon geometry -------------------------------------------------------
+
+// A 0.01° x 0.01° square at the equator is ~1.1129 km on each side.
+Polygon unit_square_at_equator() {
+  return Polygon({{0.0, 0.0}, {0.01, 0.0}, {0.01, 0.01}, {0.0, 0.01}});
+}
+
+TEST(Polygon, RectangleAreaMatchesAnalytic) {
+  const Polygon square = unit_square_at_equator();
+  const double side_m = 0.01 * meters_per_degree_lat();
+  EXPECT_NEAR(square.area_m2(), side_m * side_m, side_m * side_m * 0.001);
+}
+
+TEST(Polygon, HolesSubtract) {
+  // Outer square with an inner square hole of 1/4 the side length.
+  const Polygon with_hole(
+      {{0.0, 0.0}, {0.01, 0.0}, {0.01, 0.01}, {0.0, 0.01}},
+      {{{0.004, 0.004}, {0.0065, 0.004}, {0.0065, 0.0065}, {0.004, 0.0065}}});
+  const Polygon solid = unit_square_at_equator();
+  EXPECT_LT(with_hole.area_m2(), solid.area_m2());
+  EXPECT_NEAR(with_hole.area_m2() / solid.area_m2(), 1.0 - 0.0625, 0.01);
+}
+
+TEST(Polygon, ClosedAndOpenRingsEquivalent) {
+  const Polygon open({{0.0, 0.0}, {0.01, 0.0}, {0.01, 0.01}});
+  const Polygon closed({{0.0, 0.0}, {0.01, 0.0}, {0.01, 0.01}, {0.0, 0.0}});
+  EXPECT_NEAR(open.area_m2(), closed.area_m2(), 1e-6);
+}
+
+TEST(Polygon, WindingOrderDoesNotFlipSign) {
+  const Polygon ccw({{0.0, 0.0}, {0.01, 0.0}, {0.01, 0.01}});
+  const Polygon cw({{0.0, 0.0}, {0.01, 0.01}, {0.01, 0.0}});
+  EXPECT_NEAR(ccw.area_m2(), cw.area_m2(), 1e-6);
+  EXPECT_GT(ccw.area_m2(), 0.0);
+}
+
+TEST(Polygon, RejectsDegenerateRings) {
+  EXPECT_THROW(Polygon({{0.0, 0.0}, {1.0, 1.0}}), InvalidArgument);
+  // A "triangle" that closes immediately: only 2 distinct points.
+  EXPECT_THROW(Polygon({{0.0, 0.0}, {1.0, 1.0}, {0.0, 0.0}}), InvalidArgument);
+}
+
+TEST(Polygon, BoundingBoxAndContains) {
+  const Polygon square = unit_square_at_equator();
+  const BoundingBox box = square.bounding_box();
+  EXPECT_DOUBLE_EQ(box.min_lon, 0.0);
+  EXPECT_DOUBLE_EQ(box.max_lat, 0.01);
+  EXPECT_GT(box.width_m(), 1000.0);
+  EXPECT_TRUE(square.contains({0.005, 0.005}));
+  EXPECT_FALSE(square.contains({0.02, 0.005}));
+}
+
+TEST(Polygon, MetersPerDegreeShrinkWithLatitude) {
+  EXPECT_GT(meters_per_degree_lon(0.0), meters_per_degree_lon(45.0));
+  EXPECT_NEAR(meters_per_degree_lon(60.0), meters_per_degree_lat() * 0.5, 1.0);
+}
+
+// ---- GeoJSON ------------------------------------------------------------------
+
+TEST(GeoJson, ParsesBarePolygon) {
+  const auto polys = parse_geojson_polygons(
+      R"({"type": "Polygon", "coordinates": [[[0,0],[0.01,0],[0.01,0.01],[0,0]]]})");
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_GT(polys[0].area_m2(), 0.0);
+}
+
+TEST(GeoJson, ParsesFeatureAndCollection) {
+  const std::string feature =
+      R"({"type": "Feature", "properties": {},
+          "geometry": {"type": "Polygon", "coordinates": [[[0,0],[0.01,0],[0,0.01]]]}})";
+  EXPECT_EQ(parse_geojson_polygons(feature).size(), 1u);
+  const std::string collection =
+      R"({"type": "FeatureCollection", "features": [)" + feature + "," + feature + "]}";
+  EXPECT_EQ(parse_geojson_polygons(collection).size(), 2u);
+}
+
+TEST(GeoJson, MultiPolygonYieldsParts) {
+  const std::string doc =
+      R"({"type": "MultiPolygon", "coordinates":
+          [[[[0,0],[0.01,0],[0,0.01]]], [[[1,1],[1.01,1],[1,1.01]]]]})";
+  EXPECT_EQ(parse_geojson_polygons(doc).size(), 2u);
+}
+
+TEST(GeoJson, RejectsUnsupportedGeometry) {
+  EXPECT_THROW(parse_geojson_polygons(R"({"type": "Point", "coordinates": [0,0]})"),
+               ParseError);
+  EXPECT_THROW(parse_geojson_polygons(R"({"type": "Polygon", "coordinates": []})"),
+               ParseError);
+}
+
+TEST(GeoJson, FeatureRoundTrip) {
+  const Polygon original({{-116.6, 34.4}, {-116.59, 34.4}, {-116.59, 34.41}});
+  const std::string doc = to_geojson_feature(original, "test_unit");
+  const Polygon parsed = parse_geojson_polygon(doc);
+  EXPECT_NEAR(parsed.area_m2(), original.area_m2(), original.area_m2() * 1e-9);
+}
+
+// ---- burn units -----------------------------------------------------------------
+
+TEST(BurnUnits, SixBuiltinsCoverPaperAreaRange) {
+  const auto& units = builtin_burn_units();
+  ASSERT_EQ(units.size(), 6u);
+  // Paper Fig. 6 x-axis: 1M to 2.5M square meters.
+  for (const auto& unit : units) {
+    EXPECT_GE(unit.area_m2(), 1.0e6);
+    EXPECT_LE(unit.area_m2(), 2.55e6);
+  }
+  // Ordered by ascending area.
+  for (std::size_t i = 1; i < units.size(); ++i) {
+    EXPECT_GT(units[i].area_m2(), units[i - 1].area_m2());
+  }
+}
+
+TEST(BurnUnits, AreasMatchConstructionWithinOnePercent) {
+  const std::vector<double> expected = {1.05e6, 1.30e6, 1.60e6, 1.90e6, 2.20e6, 2.50e6};
+  const auto& units = builtin_burn_units();
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_NEAR(units[i].area_m2(), expected[i], expected[i] * 0.01) << units[i].name;
+  }
+}
+
+TEST(BurnUnits, GeojsonDocumentsParseBack) {
+  for (const auto& unit : builtin_burn_units()) {
+    const Polygon parsed = parse_geojson_polygon(unit.geojson);
+    EXPECT_NEAR(parsed.area_m2(), unit.area_m2(), unit.area_m2() * 1e-6) << unit.name;
+  }
+}
+
+TEST(BurnUnits, LookupByName) {
+  EXPECT_EQ(burn_unit_by_name("pine_flat").name, "pine_flat");
+  EXPECT_THROW(burn_unit_by_name("atlantis"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bw::geo

@@ -1,0 +1,184 @@
+// Tests for the hardware model (hardware/spec, catalog, perf_model).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hardware/catalog.hpp"
+#include "hardware/perf_model.hpp"
+#include "hardware/spec.hpp"
+
+namespace bw::hw {
+namespace {
+
+TEST(Spec, ToStringMatchesPaperNotation) {
+  const HardwareSpec h0{"H0", 2, 16.0};
+  EXPECT_EQ(h0.to_string(), "(2, 16)");
+  const HardwareSpec frac{"X", 1, 1.5};
+  EXPECT_EQ(frac.to_string(), "(1, 1.5)");
+}
+
+TEST(Spec, ParseAcceptsPaperForms) {
+  const HardwareSpec a = parse_spec("H1", "(3, 24)");
+  EXPECT_EQ(a.cpus, 3);
+  EXPECT_EQ(a.memory_gb, 24.0);
+  const HardwareSpec b = parse_spec("H2", "4,16");
+  EXPECT_EQ(b.cpus, 4);
+}
+
+TEST(Spec, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_spec("X", "(2)"), ParseError);
+  EXPECT_THROW(parse_spec("X", "(2, 16, 3, 4)"), ParseError);
+  EXPECT_THROW(parse_spec("X", "(a, b)"), ParseError);
+  EXPECT_THROW(parse_spec("X", "(0, 16)"), ParseError);
+  EXPECT_THROW(parse_spec("X", "(2, -1)"), ParseError);
+  EXPECT_THROW(parse_spec("X", "(2, 16, -1)"), ParseError);
+}
+
+TEST(Spec, GpuAwareSpecs) {
+  // Paper future work: GPU information in the hardware description.
+  const HardwareSpec gpu_node = parse_spec("G1", "(8, 64, 2)");
+  EXPECT_EQ(gpu_node.gpus, 2);
+  EXPECT_EQ(gpu_node.to_string(), "(8, 64, 2)");
+  const HardwareSpec cpu_node = parse_spec("C1", "(8, 64)");
+  EXPECT_EQ(cpu_node.gpus, 0);
+  EXPECT_EQ(cpu_node.to_string(), "(8, 64)");
+  // One GPU outweighs many CPUs in the efficiency ordering by default.
+  EXPECT_GT(gpu_node.resource_cost(), cpu_node.resource_cost() + 8.0);
+}
+
+TEST(Spec, ResourceCostOrdersNdpCatalogAsExpected) {
+  // With default weights: H0=(2,16) < H1=(3,24) < H2=(4,16).
+  const HardwareCatalog ndp = ndp_catalog();
+  const auto costs = ndp.resource_costs();
+  EXPECT_LT(costs[0], costs[1]);
+  EXPECT_LT(costs[1], costs[2]);
+}
+
+TEST(Spec, CustomWeightsChangeOrdering) {
+  ResourceWeights memory_heavy;
+  memory_heavy.cpu_weight = 0.0;
+  memory_heavy.mem_weight_per_gb = 1.0;
+  const HardwareSpec h1{"H1", 3, 24.0};
+  const HardwareSpec h2{"H2", 4, 16.0};
+  EXPECT_GT(h1.resource_cost(memory_heavy), h2.resource_cost(memory_heavy));
+}
+
+TEST(Catalog, AddAndLookup) {
+  HardwareCatalog catalog;
+  const std::size_t i = catalog.add({"A", 2, 8.0});
+  EXPECT_EQ(i, 0u);
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.index_of("A"), std::optional<std::size_t>{0});
+  EXPECT_FALSE(catalog.index_of("missing").has_value());
+  EXPECT_THROW(catalog[5], InvalidArgument);
+}
+
+TEST(Catalog, RejectsDuplicatesAndBadSpecs) {
+  HardwareCatalog catalog;
+  catalog.add({"A", 2, 8.0});
+  EXPECT_THROW(catalog.add({"A", 4, 8.0}), InvalidArgument);
+  EXPECT_THROW(catalog.add({"", 4, 8.0}), InvalidArgument);
+  EXPECT_THROW(catalog.add({"B", 0, 8.0}), InvalidArgument);
+}
+
+TEST(Catalog, EfficiencyOrderIsStableAscending) {
+  const HardwareCatalog catalog({{"big", 8, 32.0}, {"small", 1, 4.0}, {"mid", 4, 16.0}});
+  const auto order = catalog.efficiency_order();
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(Catalog, PaperPresetsHaveDocumentedShapes) {
+  EXPECT_EQ(ndp_catalog().size(), 3u);
+  EXPECT_EQ(synthetic_cycles_catalog().size(), 4u);
+  EXPECT_EQ(matmul_catalog().size(), 5u);
+  EXPECT_EQ(ndp_catalog()[0].to_string(), "(2, 16)");
+  EXPECT_EQ(ndp_catalog()[1].to_string(), "(3, 24)");
+  EXPECT_EQ(ndp_catalog()[2].to_string(), "(4, 16)");
+}
+
+TEST(PerfModel, SingleCoreHasUnitSpeedup) {
+  const PerfModel perf;
+  EXPECT_DOUBLE_EQ(perf.speedup({"one", 1, 4.0}), 1.0);
+}
+
+TEST(PerfModel, SpeedupMonotoneButBounded) {
+  const PerfModel perf;
+  double previous = 0.0;
+  for (int c : {1, 2, 4, 8, 16, 32}) {
+    const double s = perf.speedup({"x", c, 8.0});
+    EXPECT_GT(s, previous);
+    previous = s;
+  }
+  // Amdahl ceiling: 1 / (1 - p).
+  const double ceiling = 1.0 / (1.0 - perf.params().parallel_fraction);
+  EXPECT_LT(previous, ceiling);
+}
+
+TEST(PerfModel, SerialWorkloadIgnoresCores) {
+  PerfModelParams params;
+  params.parallel_fraction = 0.0;
+  const PerfModel perf(params);
+  EXPECT_DOUBLE_EQ(perf.speedup({"x", 16, 8.0}), 1.0);
+}
+
+TEST(PerfModel, ExecutionSecondsScalesWithWork) {
+  const PerfModel perf;
+  const HardwareSpec spec{"x", 2, 8.0};
+  const double t1 = perf.execution_seconds(100.0, spec);
+  const double t2 = perf.execution_seconds(200.0, spec);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+  EXPECT_EQ(perf.execution_seconds(0.0, spec), 0.0);
+  EXPECT_THROW(perf.execution_seconds(-1.0, spec), InvalidArgument);
+}
+
+TEST(PerfModel, MemoryPressureSlowsExecution) {
+  const PerfModel perf;
+  const HardwareSpec small{"s", 2, 4.0};
+  const double fits = perf.execution_seconds(100.0, small, 2.0);
+  const double overflows = perf.execution_seconds(100.0, small, 8.0);
+  EXPECT_GT(overflows, fits);
+}
+
+TEST(PerfModel, ContentionFreeBelowThreshold) {
+  EXPECT_DOUBLE_EQ(PerfModel::contention_inflation(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PerfModel::contention_inflation(0.6), 1.0);
+}
+
+TEST(PerfModel, ContentionGrowsAboveThreshold) {
+  const double at80 = PerfModel::contention_inflation(0.8);
+  const double at100 = PerfModel::contention_inflation(1.0);
+  EXPECT_GT(at80, 1.0);
+  EXPECT_GT(at100, at80);
+}
+
+TEST(PerfModel, RejectsInvalidParams) {
+  PerfModelParams params;
+  params.parallel_fraction = 1.5;
+  EXPECT_THROW(PerfModel{params}, InvalidArgument);
+  params.parallel_fraction = 0.5;
+  params.base_throughput = 0.0;
+  EXPECT_THROW(PerfModel{params}, InvalidArgument);
+}
+
+// Property: speedup(c) is within the classical Amdahl bounds for any
+// parallel fraction.
+class AmdahlProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(AmdahlProperty, WithinBounds) {
+  PerfModelParams params;
+  params.parallel_fraction = GetParam();
+  params.sync_overhead = 0.0;  // pure Amdahl when overhead-free
+  const PerfModel perf(params);
+  for (int c : {1, 2, 3, 4, 8, 16}) {
+    const double s = perf.speedup({"x", c, 8.0});
+    const double amdahl =
+        1.0 / ((1.0 - GetParam()) + GetParam() / static_cast<double>(c));
+    EXPECT_NEAR(s, amdahl, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, AmdahlProperty,
+                         ::testing::Values(0.0, 0.15, 0.5, 0.9, 0.97, 1.0));
+
+}  // namespace
+}  // namespace bw::hw

@@ -1,0 +1,156 @@
+// End-to-end integration tests: the paper's Fig. 1 pipeline through CSV,
+// the bandit inside the cluster simulator, and online learning from the
+// real matmul kernel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "apps/cycles.hpp"
+#include "apps/matmul.hpp"
+#include "cluster/cluster_sim.hpp"
+#include "core/banditware.hpp"
+#include "core/evaluator.hpp"
+#include "dataframe/csv.hpp"
+#include "experiments/datasets.hpp"
+
+namespace bw {
+namespace {
+
+// Fig. 1 end to end: per-hardware frames -> CSV files on disk -> reload ->
+// merge -> replay -> the bandit must beat random selection.
+TEST(Integration, Fig1PipelineThroughCsv) {
+  const hw::HardwareCatalog catalog = hw::synthetic_cycles_catalog();
+  apps::CyclesDatasetOptions options;
+  options.num_groups = 60;
+  options.seed = 42;
+  const auto frames = apps::build_cycles_frames(catalog, apps::CyclesConfig{}, options);
+
+  // Round-trip every per-hardware frame through a CSV file.
+  const auto dir = std::filesystem::temp_directory_path() / "bw_integration";
+  std::filesystem::create_directories(dir);
+  std::vector<df::DataFrame> reloaded;
+  for (std::size_t arm = 0; arm < frames.size(); ++arm) {
+    const auto path = dir / ("runs_" + catalog[arm].name + ".csv");
+    df::write_csv_file(frames[arm], path.string());
+    reloaded.push_back(df::read_csv_file(path.string()));
+  }
+  std::filesystem::remove_all(dir);
+
+  const core::RunTable table =
+      exp::merge_frames_to_table(reloaded, "run_id", {"num_tasks"}, catalog);
+  EXPECT_EQ(table.num_groups(), 60u);
+
+  core::DecayingEpsilonGreedy policy(catalog, 1, core::EpsilonGreedyConfig{});
+  core::ReplayConfig replay_config;
+  replay_config.num_rounds = 80;
+  replay_config.accuracy_tolerance.seconds = 20.0;
+  replay_config.seed = 7;
+  const core::ReplayResult result = core::replay(policy, table, replay_config);
+
+  // Cycles hardware is cleanly separated: the learned model must identify
+  // the fastest arm for nearly every workflow.
+  EXPECT_GT(result.final_metrics.accuracy, 0.9);
+  // And the learned RMSE must come close to the full-fit baseline.
+  const core::FullFit baseline = core::fit_full_table(table, replay_config.accuracy_tolerance);
+  EXPECT_LT(result.final_metrics.rmse, baseline.metrics.rmse * 5.0);
+}
+
+// BanditWare driving placement inside the simulated NDP cluster: pick a
+// hardware request per workflow, run it on the cluster, learn from the
+// observed (contention-inflated) runtime.
+TEST(Integration, BanditInsideClusterSim) {
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  core::BanditWareConfig config;
+  config.policy.decay = 0.95;
+  core::BanditWare bandit(catalog, {"num_tasks"}, config);
+  Rng rng(11);
+
+  std::vector<cluster::Node> nodes;
+  nodes.emplace_back("node-a", 8.0, 64.0);
+  nodes.emplace_back("node-b", 8.0, 64.0);
+  cluster::ClusterSim sim(std::move(nodes));
+
+  const apps::CyclesConfig cycles_config;
+  double time = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    const std::size_t num_tasks = 100 + rng.index(400);
+    const core::FeatureVector x = {static_cast<double>(num_tasks)};
+    const auto decision = bandit.next(x, rng);
+
+    // The cluster runs the workflow with the chosen resource request; its
+    // uncontended duration comes from the Cycles simulator.
+    Rng run_rng(rng.child_seed(static_cast<std::uint64_t>(i)));
+    const double duration =
+        apps::simulate_cycles_run(num_tasks, *decision.spec, cycles_config, run_rng);
+    const cluster::PodId pod = sim.submit(
+        time, {"wf" + std::to_string(i), static_cast<double>(decision.spec->cpus),
+               decision.spec->memory_gb, duration});
+    sim.run_until_idle();
+    bandit.observe(decision.arm, x, sim.record(pod).runtime_s());
+    time = sim.now();
+  }
+
+  EXPECT_EQ(bandit.num_observations(), 40u);
+  EXPECT_EQ(sim.stats().completed, 40u);
+  // After 40 observations the model must order the NDP arms by speed:
+  // more cores -> lower predicted runtime for a large workflow.
+  const auto predictions = bandit.predictions({450.0});
+  EXPECT_GT(predictions[0], predictions[2]);
+}
+
+// Online learning from *live* kernel measurements (miniature sizes): the
+// bandit learns that more threads are faster for the biggest matrices.
+TEST(Integration, BanditOnLiveMatmulKernel) {
+  hw::HardwareCatalog catalog({{"T1", 1, 4.0}, {"T2", 2, 8.0}});
+  core::BanditWareConfig config;
+  config.policy.decay = 0.9;
+  core::BanditWare bandit(catalog, {"size"}, config);
+  Rng rng(13);
+
+  ThreadPool pool_one(1);
+  ThreadPool pool_two(2);
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t n = 32 + (static_cast<std::size_t>(i) % 3) * 16;
+    const core::FeatureVector x = {static_cast<double>(n)};
+    const auto decision = bandit.next(x, rng);
+    ThreadPool& pool = decision.arm == 0 ? pool_one : pool_two;
+    const double seconds = apps::measure_tiled_square_seconds(n, pool);
+    bandit.observe(decision.arm, x, seconds);
+  }
+  EXPECT_EQ(bandit.num_observations(), 10u);
+  // Sanity only (timing noise): predictions exist and are finite.
+  const auto predictions = bandit.predictions({48.0});
+  for (double p : predictions) EXPECT_TRUE(std::isfinite(p));
+}
+
+// Snapshot persistence across a "service restart" mid-stream.
+TEST(Integration, SnapshotRestartContinuesLearning) {
+  const exp::CyclesDataset dataset = exp::build_cycles_dataset(40, 21);
+  const core::RunTable& table = dataset.table;
+
+  core::BanditWare bandit(dataset.catalog, {"num_tasks"}, {});
+  Rng rng(17);
+  for (int i = 0; i < 15; ++i) {
+    const std::size_t g = rng.index(table.num_groups());
+    const core::FeatureVector x = table.features_of(g);
+    const auto decision = bandit.next(x, rng);
+    bandit.observe(decision.arm, x, table.runtime(g, decision.arm));
+  }
+
+  core::BanditWare restored = core::BanditWare::load_state(bandit.save_state());
+  for (int i = 0; i < 15; ++i) {
+    const std::size_t g = rng.index(table.num_groups());
+    const core::FeatureVector x = table.features_of(g);
+    const auto decision = restored.next(x, rng);
+    restored.observe(decision.arm, x, table.runtime(g, decision.arm));
+  }
+  EXPECT_EQ(restored.num_observations(), 30u);
+  // The restored bandit orders the synthetic hardware correctly.
+  const auto predictions = restored.predictions({400.0});
+  EXPECT_GT(predictions[0], predictions[3]);  // 1 core slower than 8 cores
+}
+
+}  // namespace
+}  // namespace bw

@@ -1,0 +1,153 @@
+// Tests for join and group-by (dataframe/join, dataframe/groupby) — the
+// "Merge" step of paper Fig. 1.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dataframe/groupby.hpp"
+#include "dataframe/join.hpp"
+
+namespace bw::df {
+namespace {
+
+DataFrame left_frame() {
+  DataFrame frame;
+  frame.add_column("run_id", Column(std::vector<std::int64_t>{1, 2, 3}));
+  frame.add_column("num_tasks", Column(std::vector<std::int64_t>{100, 200, 300}));
+  frame.add_column("runtime", Column(std::vector<double>{10.0, 20.0, 30.0}));
+  return frame;
+}
+
+DataFrame right_frame() {
+  DataFrame frame;
+  frame.add_column("run_id", Column(std::vector<std::int64_t>{2, 3, 4}));
+  frame.add_column("runtime", Column(std::vector<double>{21.0, 31.0, 41.0}));
+  return frame;
+}
+
+TEST(InnerJoin, KeepsOnlyMatchingKeys) {
+  const DataFrame joined = inner_join(left_frame(), right_frame(), "run_id");
+  EXPECT_EQ(joined.num_rows(), 2u);
+  EXPECT_EQ(joined.column("run_id").ints(), (std::vector<std::int64_t>{2, 3}));
+}
+
+TEST(InnerJoin, SuffixesClashingColumns) {
+  const DataFrame joined = inner_join(left_frame(), right_frame(), "run_id");
+  EXPECT_TRUE(joined.has_column("runtime_x"));
+  EXPECT_TRUE(joined.has_column("runtime_y"));
+  EXPECT_EQ(joined.column("runtime_x").doubles(), (std::vector<double>{20.0, 30.0}));
+  EXPECT_EQ(joined.column("runtime_y").doubles(), (std::vector<double>{21.0, 31.0}));
+}
+
+TEST(InnerJoin, NonClashingColumnsKeepNames) {
+  const DataFrame joined = inner_join(left_frame(), right_frame(), "run_id");
+  EXPECT_TRUE(joined.has_column("num_tasks"));
+  EXPECT_EQ(joined.column("num_tasks").ints(), (std::vector<std::int64_t>{200, 300}));
+}
+
+TEST(InnerJoin, CustomSuffixes) {
+  JoinOptions options;
+  options.left_suffix = "_H0";
+  options.right_suffix = "_H1";
+  const DataFrame joined = inner_join(left_frame(), right_frame(), "run_id", options);
+  EXPECT_TRUE(joined.has_column("runtime_H0"));
+  EXPECT_TRUE(joined.has_column("runtime_H1"));
+}
+
+TEST(InnerJoin, DuplicateKeysProduceCartesianPerKey) {
+  DataFrame left;
+  left.add_column("k", Column(std::vector<std::int64_t>{1, 1}));
+  left.add_column("a", Column(std::vector<std::int64_t>{10, 11}));
+  DataFrame right;
+  right.add_column("k", Column(std::vector<std::int64_t>{1, 1, 1}));
+  right.add_column("b", Column(std::vector<std::int64_t>{20, 21, 22}));
+  const DataFrame joined = inner_join(left, right, "k");
+  EXPECT_EQ(joined.num_rows(), 6u);  // 2 x 3
+}
+
+TEST(InnerJoin, StringKeysWork) {
+  DataFrame left;
+  left.add_column("name", Column(std::vector<std::string>{"a", "b"}));
+  left.add_column("v", Column(std::vector<std::int64_t>{1, 2}));
+  DataFrame right;
+  right.add_column("name", Column(std::vector<std::string>{"b", "c"}));
+  right.add_column("w", Column(std::vector<std::int64_t>{3, 4}));
+  const DataFrame joined = inner_join(left, right, "name");
+  EXPECT_EQ(joined.num_rows(), 1u);
+  EXPECT_EQ(joined.column("name").strings()[0], "b");
+}
+
+TEST(InnerJoin, EmptyResultKeepsSchema) {
+  DataFrame left;
+  left.add_column("k", Column(std::vector<std::int64_t>{1}));
+  left.add_column("a", Column(std::vector<std::int64_t>{1}));
+  DataFrame right;
+  right.add_column("k", Column(std::vector<std::int64_t>{2}));
+  right.add_column("b", Column(std::vector<std::int64_t>{2}));
+  const DataFrame joined = inner_join(left, right, "k");
+  EXPECT_EQ(joined.num_rows(), 0u);
+  EXPECT_TRUE(joined.has_column("a"));
+  EXPECT_TRUE(joined.has_column("b"));
+}
+
+TEST(InnerJoin, ErrorsOnBadKeys) {
+  EXPECT_THROW(inner_join(left_frame(), right_frame(), "nope"), InvalidArgument);
+  DataFrame right;
+  right.add_column("run_id", Column(std::vector<std::string>{"1"}));  // type clash
+  right.add_column("x", Column(std::vector<std::int64_t>{5}));
+  EXPECT_THROW(inner_join(left_frame(), right, "run_id"), InvalidArgument);
+}
+
+// ---- group_by --------------------------------------------------------------
+
+DataFrame runs_frame() {
+  DataFrame frame;
+  frame.add_column("hw", Column(std::vector<std::string>{"H0", "H1", "H0", "H1", "H0"}));
+  frame.add_column("runtime", Column(std::vector<double>{10.0, 20.0, 14.0, 24.0, 12.0}));
+  return frame;
+}
+
+TEST(GroupBy, MeanPerGroup) {
+  const DataFrame grouped =
+      group_by(runs_frame(), "hw", {{"runtime", Aggregation::kMean}});
+  ASSERT_EQ(grouped.num_rows(), 2u);
+  EXPECT_EQ(grouped.column("hw").strings(), (std::vector<std::string>{"H0", "H1"}));
+  EXPECT_EQ(grouped.column("runtime_mean").doubles(), (std::vector<double>{12.0, 22.0}));
+}
+
+TEST(GroupBy, MinMaxSumCount) {
+  const DataFrame grouped = group_by(runs_frame(), "hw",
+                                     {{"runtime", Aggregation::kMin},
+                                      {"runtime", Aggregation::kMax},
+                                      {"runtime", Aggregation::kSum},
+                                      {"runtime", Aggregation::kCount}});
+  EXPECT_EQ(grouped.column("runtime_min").doubles()[0], 10.0);
+  EXPECT_EQ(grouped.column("runtime_max").doubles()[0], 14.0);
+  EXPECT_EQ(grouped.column("runtime_sum").doubles()[1], 44.0);
+  EXPECT_EQ(grouped.column("runtime_count").doubles()[0], 3.0);
+}
+
+TEST(GroupBy, FirstAppearanceOrder) {
+  DataFrame frame;
+  frame.add_column("k", Column(std::vector<std::string>{"z", "a", "z", "m"}));
+  frame.add_column("v", Column(std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  const DataFrame grouped = group_by(frame, "k", {{"v", Aggregation::kCount}});
+  EXPECT_EQ(grouped.column("k").strings(), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(GroupBy, IntKeysWork) {
+  DataFrame frame;
+  frame.add_column("k", Column(std::vector<std::int64_t>{5, 5, 6}));
+  frame.add_column("v", Column(std::vector<double>{1.0, 3.0, 10.0}));
+  const DataFrame grouped = group_by(frame, "k", {{"v", Aggregation::kMean}});
+  EXPECT_EQ(grouped.column("v_mean").doubles(), (std::vector<double>{2.0, 10.0}));
+}
+
+TEST(GroupBy, MissingColumnsThrow) {
+  EXPECT_THROW(group_by(runs_frame(), "nope", {}), InvalidArgument);
+  EXPECT_THROW(group_by(runs_frame(), "hw", {{"nope", Aggregation::kMean}}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bw::df

@@ -1,0 +1,228 @@
+// Tests for least-squares fitting and recursive least squares
+// (linalg/lstsq, linalg/rls) — the regression engine behind Algorithm 1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/lstsq.hpp"
+#include "linalg/rls.hpp"
+
+namespace bw::linalg {
+namespace {
+
+TEST(FitLinear, RecoversExactLine) {
+  // y = 2x + 3, noiseless.
+  Matrix x(4, 1);
+  Vector y(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = 2.0 * static_cast<double>(i) + 3.0;
+  }
+  const FitResult fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.model.weights[0], 2.0, 1e-10);
+  EXPECT_NEAR(fit.model.bias, 3.0, 1e-10);
+  EXPECT_NEAR(fit.train_rmse, 0.0, 1e-10);
+  EXPECT_NEAR(fit.train_r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoInterceptOption) {
+  Matrix x(3, 1);
+  Vector y(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    x(i, 0) = static_cast<double>(i + 1);
+    y[i] = 5.0 * x(i, 0);
+  }
+  FitOptions options;
+  options.intercept = false;
+  const FitResult fit = fit_linear(x, y, options);
+  EXPECT_NEAR(fit.model.weights[0], 5.0, 1e-10);
+  EXPECT_EQ(fit.model.bias, 0.0);
+}
+
+TEST(FitLinear, SingleObservationUsesRidgeFallback) {
+  Matrix x(1, 2);
+  x(0, 0) = 1.0;
+  x(0, 1) = 2.0;
+  const Vector y = {10.0};
+  const FitResult fit = fit_linear(x, y);  // underdetermined
+  // Prediction at the training point should be close to the target.
+  EXPECT_NEAR(fit.model.predict(std::vector<double>{1.0, 2.0}), 10.0, 1e-3);
+}
+
+TEST(FitLinear, CollinearFeaturesHandledByFallback) {
+  // Second feature is an exact copy of the first: rank deficient.
+  Matrix x(5, 2);
+  Vector y(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = static_cast<double>(i);
+    y[i] = 4.0 * static_cast<double>(i) + 1.0;
+  }
+  const FitResult fit = fit_linear(x, y);
+  // Predictions remain correct even though individual weights are not
+  // identifiable.
+  EXPECT_NEAR(fit.model.predict(std::vector<double>{2.0, 2.0}), 9.0, 1e-4);
+}
+
+TEST(FitLinear, RidgeShrinksWeights) {
+  bw::Rng rng(3);
+  Matrix x(30, 2);
+  Vector y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = 10.0 * x(i, 0) - 7.0 * x(i, 1);
+  }
+  FitOptions heavy;
+  heavy.ridge = 1000.0;
+  const double free_norm = norm2(fit_linear(x, y).model.weights);
+  const double ridge_norm = norm2(fit_linear(x, y, heavy).model.weights);
+  EXPECT_LT(ridge_norm, free_norm * 0.5);
+}
+
+TEST(FitLinear, RejectsBadInput) {
+  Matrix x(2, 1);
+  EXPECT_THROW(fit_linear(x, Vector{1.0}), InvalidArgument);          // size mismatch
+  EXPECT_THROW(fit_linear(Matrix(0, 1), Vector{}), InvalidArgument);  // empty
+  Matrix bad(1, 1);
+  bad(0, 0) = std::nan("");
+  EXPECT_THROW(fit_linear(bad, Vector{1.0}), InvalidArgument);  // non-finite
+  Matrix ok(1, 1);
+  EXPECT_THROW(fit_linear(ok, Vector{INFINITY}), InvalidArgument);
+}
+
+TEST(FitLinear1d, MatchesMatrixPath) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const FitResult fit = fit_linear_1d(x, y);
+  EXPECT_NEAR(fit.model.weights[0], 2.0, 1e-10);
+  EXPECT_NEAR(fit.model.bias, 1.0, 1e-10);
+}
+
+TEST(LinearModel, PredictRejectsWrongDimension) {
+  LinearModel model;
+  model.weights = {1.0, 2.0};
+  EXPECT_THROW(model.predict(std::vector<double>{1.0}), InvalidArgument);
+}
+
+// Property: planted coefficients are recovered within noise tolerance.
+struct PlantedCase {
+  std::size_t dim;
+  double noise;
+};
+
+class PlantedRecovery : public ::testing::TestWithParam<PlantedCase> {};
+
+TEST_P(PlantedRecovery, RecoversCoefficients) {
+  const auto [dim, noise] = GetParam();
+  bw::Rng rng(dim * 1000 + static_cast<std::uint64_t>(noise * 100));
+  Vector w_true(dim);
+  for (auto& w : w_true) w = rng.uniform(-5.0, 5.0);
+  const double b_true = rng.uniform(-10.0, 10.0);
+
+  const std::size_t n = 400;
+  Matrix x(n, dim);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double dot_val = b_true;
+    for (std::size_t c = 0; c < dim; ++c) {
+      x(i, c) = rng.uniform(-2.0, 2.0);
+      dot_val += w_true[c] * x(i, c);
+    }
+    y[i] = dot_val + rng.normal(0.0, noise);
+  }
+  const FitResult fit = fit_linear(x, y);
+  const double tolerance = 5.0 * noise / std::sqrt(static_cast<double>(n)) + 1e-8;
+  for (std::size_t c = 0; c < dim; ++c) {
+    EXPECT_NEAR(fit.model.weights[c], w_true[c], tolerance) << "weight " << c;
+  }
+  EXPECT_NEAR(fit.model.bias, b_true, 3.0 * tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndNoise, PlantedRecovery,
+                         ::testing::Values(PlantedCase{1, 0.0}, PlantedCase{1, 0.5},
+                                           PlantedCase{3, 0.0}, PlantedCase{3, 1.0},
+                                           PlantedCase{7, 0.1}, PlantedCase{7, 2.0}));
+
+// ---- RLS -----------------------------------------------------------------
+
+TEST(Rls, StartsAtZeroPrediction) {
+  RecursiveLeastSquares rls(2);
+  EXPECT_EQ(rls.predict(std::vector<double>{1.0, 1.0}), 0.0);
+  EXPECT_EQ(rls.n_observations(), 0u);
+}
+
+TEST(Rls, RequiresPositiveRidge) {
+  EXPECT_THROW(RecursiveLeastSquares(2, 0.0), InvalidArgument);
+}
+
+TEST(Rls, LearnsExactLineQuickly) {
+  RecursiveLeastSquares rls(1, 1e-8);
+  for (int i = 0; i < 10; ++i) {
+    const double x = static_cast<double>(i);
+    rls.update(std::vector<double>{x}, 3.0 * x + 1.0);
+  }
+  EXPECT_NEAR(rls.weights()[0], 3.0, 1e-5);
+  EXPECT_NEAR(rls.bias(), 1.0, 1e-4);
+}
+
+TEST(Rls, VarianceProxyShrinksWithData) {
+  RecursiveLeastSquares rls(1, 1.0);
+  const std::vector<double> x = {1.0};
+  const double before = rls.variance_proxy(x);
+  for (int i = 0; i < 20; ++i) rls.update(x, 2.0);
+  EXPECT_LT(rls.variance_proxy(x), before * 0.1);
+}
+
+TEST(Rls, ResetRestoresPrior) {
+  RecursiveLeastSquares rls(1, 1e-3);
+  rls.update(std::vector<double>{1.0}, 5.0);
+  rls.reset();
+  EXPECT_EQ(rls.n_observations(), 0u);
+  EXPECT_EQ(rls.predict(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Rls, RejectsBadFeatures) {
+  RecursiveLeastSquares rls(2);
+  EXPECT_THROW(rls.update(std::vector<double>{1.0}, 1.0), InvalidArgument);
+  EXPECT_THROW(rls.update(std::vector<double>{1.0, std::nan("")}, 1.0), InvalidArgument);
+}
+
+// Property: RLS equals batch ridge regression on the same stream.
+class RlsEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RlsEquivalence, MatchesBatchRidge) {
+  bw::Rng rng(static_cast<std::uint64_t>(GetParam()) + 7);
+  const std::size_t dim = 1 + GetParam() % 4;
+  const double ridge = 1e-4;
+  RecursiveLeastSquares rls(dim, ridge);
+
+  const std::size_t n = 40;
+  Matrix x(n, dim);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> xi(dim);
+    for (std::size_t c = 0; c < dim; ++c) {
+      xi[c] = rng.uniform(-3.0, 3.0);
+      x(i, c) = xi[c];
+    }
+    y[i] = rng.uniform(-5.0, 5.0);
+    rls.update(xi, y[i]);
+  }
+
+  FitOptions options;
+  options.ridge = ridge;
+  const FitResult batch = fit_linear(x, y, options);
+  for (std::size_t c = 0; c < dim; ++c) {
+    EXPECT_NEAR(rls.weights()[c], batch.model.weights[c], 1e-6) << "weight " << c;
+  }
+  EXPECT_NEAR(rls.bias(), batch.model.bias, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, RlsEquivalence, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace bw::linalg

@@ -1,0 +1,179 @@
+// Tests for the dense matrix/vector substrate (linalg/matrix).
+
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bw::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW(Matrix({{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, IndexOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), InvalidArgument);
+  EXPECT_THROW(m(0, 2), InvalidArgument);
+}
+
+TEST(Matrix, IdentityTimesAnything) {
+  const Matrix eye = Matrix::identity(3);
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  EXPECT_EQ((eye * a), a);
+  EXPECT_EQ((a * eye), a);
+}
+
+TEST(Matrix, KnownProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix expected{{19.0, 22.0}, {43.0, 50.0}};
+  EXPECT_EQ(a * b, expected);
+}
+
+TEST(Matrix, ProductShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, InvalidArgument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Matrix, AddSubtract) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{3.0, 5.0}};
+  EXPECT_EQ((a + b), Matrix({{4.0, 7.0}}));
+  EXPECT_EQ((b - a), Matrix({{2.0, 3.0}}));
+  EXPECT_THROW(a + Matrix(2, 2), InvalidArgument);
+}
+
+TEST(Matrix, ScalarScale) {
+  const Matrix a{{1.0, -2.0}};
+  EXPECT_EQ(a * 2.0, Matrix({{2.0, -4.0}}));
+}
+
+TEST(Matrix, MatVec) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector x = {1.0, 1.0};
+  const Vector y = a * x;
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[1], 7.0);
+  EXPECT_THROW(a * Vector{1.0}, InvalidArgument);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix a{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.5, 1.0}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+}
+
+TEST(VecOps, DotNormAxpy) {
+  const Vector a = {1.0, 2.0, 3.0};
+  const Vector b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{3.0, 4.0}), 5.0);
+  Vector acc = {1.0, 1.0, 1.0};
+  axpy(2.0, a, acc);
+  EXPECT_EQ(acc, (Vector{3.0, 5.0, 7.0}));
+}
+
+TEST(VecOps, AddSubtractScale) {
+  const Vector a = {1.0, 2.0};
+  const Vector b = {3.0, 4.0};
+  EXPECT_EQ(add(a, b), (Vector{4.0, 6.0}));
+  EXPECT_EQ(subtract(b, a), (Vector{2.0, 2.0}));
+  EXPECT_EQ(scale(a, 3.0), (Vector{3.0, 6.0}));
+  EXPECT_THROW(dot(a, Vector{1.0}), InvalidArgument);
+}
+
+TEST(VecOps, Outer) {
+  const Vector a = {1.0, 2.0};
+  const Vector b = {3.0, 4.0, 5.0};
+  const Matrix o = outer(a, b);
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_EQ(o(1, 2), 10.0);
+}
+
+TEST(VecOps, AllFinite) {
+  EXPECT_TRUE(all_finite(Vector{1.0, 2.0}));
+  EXPECT_FALSE(all_finite(Vector{1.0, std::nan("")}));
+  EXPECT_FALSE(all_finite(Vector{INFINITY}));
+  EXPECT_TRUE(all_finite(Vector{}));
+}
+
+// Property: (AB)^T == B^T A^T on random matrices.
+class MatrixAlgebraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixAlgebraProperty, TransposeOfProduct) {
+  bw::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t m = 2 + GetParam() % 4;
+  const std::size_t k = 3 + GetParam() % 3;
+  const std::size_t n = 2 + GetParam() % 5;
+  Matrix a(m, k);
+  Matrix b(k, n);
+  for (auto& v : a.data()) v = rng.uniform(-2.0, 2.0);
+  for (auto& v : b.data()) v = rng.uniform(-2.0, 2.0);
+  const Matrix left = (a * b).transposed();
+  const Matrix right = b.transposed() * a.transposed();
+  EXPECT_LT(left.max_abs_diff(right), 1e-12);
+}
+
+TEST_P(MatrixAlgebraProperty, MatVecMatchesMatMat) {
+  bw::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const std::size_t m = 3 + GetParam() % 4;
+  const std::size_t n = 2 + GetParam() % 4;
+  Matrix a(m, n);
+  Matrix xcol(n, 1);
+  for (auto& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(-1.0, 1.0);
+    xcol(i, 0) = x[i];
+  }
+  const Vector y = a * x;
+  const Matrix ycol = a * xcol;
+  for (std::size_t i = 0; i < m; ++i) EXPECT_NEAR(y[i], ycol(i, 0), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, MatrixAlgebraProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace bw::linalg

@@ -1,0 +1,171 @@
+// Tests for multi-metric objectives and cost/power/price rate models
+// (core/objectives, hardware/cost_rates) — the paper's future-work
+// "multiple parameter minimization".
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/objectives.hpp"
+
+namespace bw::core {
+namespace {
+
+const hw::HardwareSpec kCpuNode{"C", 16, 64.0, 0};
+const hw::HardwareSpec kGpuNode{"G", 8, 64.0, 2};
+
+// ---- power / price rates ----------------------------------------------------
+
+TEST(PowerModel, WattsAreAdditive) {
+  hw::PowerModel power;
+  const double cpu_watts = power.watts(kCpuNode);
+  EXPECT_DOUBLE_EQ(cpu_watts, 40.0 + 15.0 * 16 + 0.3 * 64);
+  // GPUs dominate node power.
+  EXPECT_GT(power.watts(kGpuNode), cpu_watts);
+}
+
+TEST(PowerModel, EnergyScalesWithRuntime) {
+  hw::PowerModel power;
+  EXPECT_DOUBLE_EQ(power.energy_joules(kCpuNode, 10.0),
+                   10.0 * power.watts(kCpuNode));
+  EXPECT_DOUBLE_EQ(power.energy_joules(kCpuNode, 0.0), 0.0);
+  EXPECT_THROW(power.energy_joules(kCpuNode, -1.0), InvalidArgument);
+}
+
+TEST(PriceModel, HourlyRateAndProration) {
+  hw::PriceModel price;
+  const double rate = price.dollars_per_hour(kCpuNode);
+  EXPECT_DOUBLE_EQ(rate, 0.04 * 16 + 0.005 * 64);
+  EXPECT_DOUBLE_EQ(price.dollars(kCpuNode, 3600.0), rate);
+  EXPECT_DOUBLE_EQ(price.dollars(kCpuNode, 1800.0), rate / 2.0);
+  EXPECT_THROW(price.dollars(kCpuNode, -5.0), InvalidArgument);
+}
+
+TEST(PriceModel, GpusArePremium) {
+  hw::PriceModel price;
+  EXPECT_GT(price.dollars_per_hour(kGpuNode), price.dollars_per_hour(kCpuNode));
+}
+
+// ---- scalar cost ---------------------------------------------------------------
+
+TEST(ScalarCost, RuntimeOnlyIsIdentity) {
+  RunMetrics metrics;
+  metrics.runtime_s = 42.0;
+  metrics.energy_joules = 9999.0;  // ignored at weight 0
+  EXPECT_DOUBLE_EQ(scalar_cost(metrics, {}), 42.0);
+}
+
+TEST(ScalarCost, CombinesWeightedMetrics) {
+  RunMetrics metrics;
+  metrics.runtime_s = 10.0;
+  metrics.queue_wait_s = 5.0;
+  metrics.sched_overhead_s = 1.0;
+  metrics.energy_joules = 2000.0;  // 2 kJ
+  metrics.dollars = 0.5;
+  ObjectiveWeights weights;
+  weights.runtime = 1.0;
+  weights.queue_wait = 2.0;
+  weights.sched_overhead = 3.0;
+  weights.energy_kj = 4.0;
+  weights.dollars = 10.0;
+  EXPECT_DOUBLE_EQ(scalar_cost(metrics, weights), 10.0 + 10.0 + 3.0 + 8.0 + 5.0);
+}
+
+TEST(ScalarCost, RejectsInvalidWeights) {
+  RunMetrics metrics;
+  ObjectiveWeights negative;
+  negative.runtime = -1.0;
+  EXPECT_THROW(scalar_cost(metrics, negative), InvalidArgument);
+  ObjectiveWeights all_zero;
+  all_zero.runtime = 0.0;
+  EXPECT_THROW(scalar_cost(metrics, all_zero), InvalidArgument);
+}
+
+TEST(ScalarCost, WeightsToStringListsActiveTerms) {
+  ObjectiveWeights weights;
+  weights.energy_kj = 2.0;
+  const std::string s = weights.to_string();
+  EXPECT_NE(s.find("runtime"), std::string::npos);
+  EXPECT_NE(s.find("energy_kJ*2"), std::string::npos);
+  EXPECT_EQ(s.find("dollars"), std::string::npos);
+}
+
+TEST(RunMetrics, FromRuntimeDerivesEnergyAndDollars) {
+  const RunMetrics metrics = RunMetrics::from_runtime(100.0, kGpuNode);
+  EXPECT_DOUBLE_EQ(metrics.runtime_s, 100.0);
+  EXPECT_GT(metrics.energy_joules, 0.0);
+  EXPECT_GT(metrics.dollars, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.queue_wait_s, 0.0);
+  EXPECT_THROW(RunMetrics::from_runtime(-1.0, kGpuNode), InvalidArgument);
+}
+
+// ---- MultiMetricBandit ------------------------------------------------------------
+
+hw::HardwareCatalog cpu_gpu_catalog() {
+  hw::HardwareCatalog catalog;
+  catalog.add(kCpuNode);
+  catalog.add(kGpuNode);
+  return catalog;
+}
+
+TEST(MultiMetricBandit, ConstructionValidates) {
+  EXPECT_THROW(MultiMetricBandit(cpu_gpu_catalog(), {}, {}), InvalidArgument);
+  ObjectiveWeights zero;
+  zero.runtime = 0.0;
+  EXPECT_THROW(MultiMetricBandit(cpu_gpu_catalog(), {"x"}, zero), InvalidArgument);
+}
+
+TEST(MultiMetricBandit, NextAndObserveRoundTrip) {
+  MultiMetricBandit bandit(cpu_gpu_catalog(), {"x"}, {});
+  Rng rng(1);
+  const auto decision = bandit.next({1.0}, rng);
+  ASSERT_NE(decision.spec, nullptr);
+  RunMetrics metrics;
+  metrics.runtime_s = 12.0;
+  bandit.observe(decision.arm, {1.0}, metrics);
+  EXPECT_EQ(bandit.num_observations(), 1u);
+  EXPECT_DOUBLE_EQ(bandit.arm_stats(decision.arm).runtime.mean(), 12.0);
+}
+
+TEST(MultiMetricBandit, ObjectiveChangesTheWinner) {
+  // Arm 0 (CPU): runtime 20 s, low energy. Arm 1 (GPU): runtime 10 s, huge
+  // energy. Runtime-only must learn the GPU; energy-heavy must learn the CPU.
+  auto run_with = [](const ObjectiveWeights& weights) {
+    EpsilonGreedyConfig policy;
+    policy.initial_epsilon = 1.0;
+    policy.decay = 0.9;
+    MultiMetricBandit bandit(cpu_gpu_catalog(), {"x"}, weights, policy);
+    Rng rng(7);
+    for (int i = 0; i < 60; ++i) {
+      const FeatureVector x = {1.0 + (i % 3)};
+      const auto decision = bandit.next(x, rng);
+      RunMetrics metrics;
+      metrics.runtime_s = decision.arm == 0 ? 20.0 : 10.0;
+      metrics.energy_joules = decision.arm == 0 ? 4000.0 : 40000.0;
+      bandit.observe(decision.arm, x, metrics);
+    }
+    return bandit.recommend({2.0});
+  };
+
+  EXPECT_EQ(run_with({}), 1u);  // runtime-only -> GPU
+  ObjectiveWeights energy_heavy;
+  energy_heavy.runtime = 1.0;
+  energy_heavy.energy_kj = 2.0;  // cost: CPU 20+8=28, GPU 10+80=90
+  EXPECT_EQ(run_with(energy_heavy), 0u);
+}
+
+TEST(MultiMetricBandit, RejectsBadUsage) {
+  MultiMetricBandit bandit(cpu_gpu_catalog(), {"x"}, {});
+  Rng rng(2);
+  EXPECT_THROW(bandit.next({1.0, 2.0}, rng), InvalidArgument);
+  EXPECT_THROW(bandit.observe(9, {1.0}, {}), InvalidArgument);
+  EXPECT_THROW(bandit.recommend({}), InvalidArgument);
+  EXPECT_THROW(bandit.arm_stats(5), InvalidArgument);
+}
+
+TEST(MultiMetricBandit, PredictedCostsMatchArmCount) {
+  MultiMetricBandit bandit(cpu_gpu_catalog(), {"x"}, {});
+  EXPECT_EQ(bandit.predicted_costs({1.0}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace bw::core

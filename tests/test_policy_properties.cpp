@@ -1,0 +1,233 @@
+// Cross-policy property suite: every policy implementation is run through
+// the same replay invariants on several synthetic table shapes. This is
+// the safety net that lets new policies (the paper's future work) be added
+// without re-deriving the evaluator contracts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/baselines.hpp"
+#include "core/epsilon_greedy.hpp"
+#include "core/evaluator.hpp"
+#include "core/linucb.hpp"
+#include "core/thompson.hpp"
+
+namespace bw::core {
+namespace {
+
+enum class PolicyKind { kEpsGreedy, kLinUcb, kThompson, kUcb1, kMeanEps, kRandom };
+
+const char* kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kEpsGreedy: return "EpsGreedy";
+    case PolicyKind::kLinUcb: return "LinUcb";
+    case PolicyKind::kThompson: return "Thompson";
+    case PolicyKind::kUcb1: return "Ucb1";
+    case PolicyKind::kMeanEps: return "MeanEps";
+    case PolicyKind::kRandom: return "Random";
+  }
+  return "?";
+}
+
+enum class TableKind { kSeparable, kInterchangeable, kSingleArm };
+
+const char* table_name(TableKind kind) {
+  switch (kind) {
+    case TableKind::kSeparable: return "Separable";
+    case TableKind::kInterchangeable: return "Interchangeable";
+    case TableKind::kSingleArm: return "SingleArm";
+  }
+  return "?";
+}
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind, const hw::HardwareCatalog& catalog,
+                                    std::size_t dims) {
+  switch (kind) {
+    case PolicyKind::kEpsGreedy:
+      return std::make_unique<DecayingEpsilonGreedy>(catalog, dims, EpsilonGreedyConfig{});
+    case PolicyKind::kLinUcb:
+      return std::make_unique<LinUcb>(catalog, dims, LinUcbConfig{});
+    case PolicyKind::kThompson:
+      return std::make_unique<LinearThompson>(catalog, dims, ThompsonConfig{});
+    case PolicyKind::kUcb1:
+      return std::make_unique<Ucb1>(catalog.size());
+    case PolicyKind::kMeanEps:
+      return std::make_unique<MeanEpsilonGreedy>(catalog.size(), 0.1);
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>(catalog.size());
+  }
+  return nullptr;
+}
+
+RunTable make_table(TableKind kind, Rng& rng) {
+  switch (kind) {
+    case TableKind::kSeparable: {
+      // Three arms, slopes 9 / 5 / 1 + small noise: arm 2 always best.
+      const std::size_t groups = 30;
+      linalg::Matrix features(groups, 1);
+      linalg::Matrix runtimes(groups, 3);
+      for (std::size_t g = 0; g < groups; ++g) {
+        const double x = 1.0 + static_cast<double>(g % 10);
+        features(g, 0) = x;
+        runtimes(g, 0) = 9.0 * x + rng.uniform(0.0, 0.5);
+        runtimes(g, 1) = 5.0 * x + rng.uniform(0.0, 0.5);
+        runtimes(g, 2) = 1.0 * x + rng.uniform(0.0, 0.5);
+      }
+      return RunTable({"x"}, std::move(features), std::move(runtimes),
+                      hw::HardwareCatalog({{"A", 1, 4.0}, {"B", 2, 8.0}, {"C", 4, 16.0}}));
+    }
+    case TableKind::kInterchangeable: {
+      // Arms statistically identical: pure noise around 10x.
+      const std::size_t groups = 30;
+      linalg::Matrix features(groups, 1);
+      linalg::Matrix runtimes(groups, 3);
+      for (std::size_t g = 0; g < groups; ++g) {
+        const double x = 1.0 + static_cast<double>(g % 7);
+        features(g, 0) = x;
+        for (std::size_t a = 0; a < 3; ++a) {
+          runtimes(g, a) = 10.0 * x * rng.uniform(0.8, 1.2);
+        }
+      }
+      return RunTable({"x"}, std::move(features), std::move(runtimes),
+                      hw::HardwareCatalog({{"A", 1, 4.0}, {"B", 2, 8.0}, {"C", 4, 16.0}}));
+    }
+    case TableKind::kSingleArm: {
+      const std::size_t groups = 10;
+      linalg::Matrix features(groups, 1);
+      linalg::Matrix runtimes(groups, 1);
+      for (std::size_t g = 0; g < groups; ++g) {
+        features(g, 0) = static_cast<double>(g + 1);
+        runtimes(g, 0) = 3.0 * features(g, 0);
+      }
+      return RunTable({"x"}, std::move(features), std::move(runtimes),
+                      hw::HardwareCatalog({{"only", 1, 4.0}}));
+    }
+  }
+  throw InvalidArgument("unknown table kind");
+}
+
+struct Case {
+  PolicyKind policy;
+  TableKind table;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  return std::string(kind_name(info.param.policy)) + "On" +
+         table_name(info.param.table);
+}
+
+class PolicyReplayProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PolicyReplayProperty, ReplayInvariantsHold) {
+  Rng table_rng(99);
+  const RunTable table = make_table(GetParam().table, table_rng);
+  auto policy = make_policy(GetParam().policy, table.catalog(), table.num_features());
+
+  ReplayConfig config;
+  config.num_rounds = 40;
+  config.seed = 1234;
+  const ReplayResult result = replay(*policy, table, config);
+
+  ASSERT_EQ(result.chosen_arm.size(), 40u);
+  for (ArmIndex arm : result.chosen_arm) EXPECT_LT(arm, table.num_arms());
+  for (double regret : result.instant_regret) EXPECT_GE(regret, -1e-12);
+  for (double accuracy : result.accuracy) {
+    EXPECT_GE(accuracy, 0.0);
+    EXPECT_LE(accuracy, 1.0);
+  }
+  for (double rmse : result.rmse) EXPECT_GE(rmse, 0.0);
+  EXPECT_GE(result.cumulative_regret, 0.0);
+}
+
+TEST_P(PolicyReplayProperty, ReplayIsDeterministicPerSeed) {
+  Rng table_rng(7);
+  const RunTable table = make_table(GetParam().table, table_rng);
+  auto run_once = [&] {
+    auto policy = make_policy(GetParam().policy, table.catalog(), table.num_features());
+    ReplayConfig config;
+    config.num_rounds = 25;
+    config.seed = 777;
+    return replay(*policy, table, config);
+  };
+  const ReplayResult a = run_once();
+  const ReplayResult b = run_once();
+  EXPECT_EQ(a.chosen_arm, b.chosen_arm);
+  EXPECT_EQ(a.observed_runtime, b.observed_runtime);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyReplayProperty,
+    ::testing::Values(Case{PolicyKind::kEpsGreedy, TableKind::kSeparable},
+                      Case{PolicyKind::kEpsGreedy, TableKind::kInterchangeable},
+                      Case{PolicyKind::kEpsGreedy, TableKind::kSingleArm},
+                      Case{PolicyKind::kLinUcb, TableKind::kSeparable},
+                      Case{PolicyKind::kLinUcb, TableKind::kInterchangeable},
+                      Case{PolicyKind::kLinUcb, TableKind::kSingleArm},
+                      Case{PolicyKind::kThompson, TableKind::kSeparable},
+                      Case{PolicyKind::kThompson, TableKind::kInterchangeable},
+                      Case{PolicyKind::kThompson, TableKind::kSingleArm},
+                      Case{PolicyKind::kUcb1, TableKind::kSeparable},
+                      Case{PolicyKind::kUcb1, TableKind::kInterchangeable},
+                      Case{PolicyKind::kMeanEps, TableKind::kSeparable},
+                      Case{PolicyKind::kMeanEps, TableKind::kInterchangeable},
+                      Case{PolicyKind::kRandom, TableKind::kSeparable},
+                      Case{PolicyKind::kRandom, TableKind::kSingleArm}),
+    case_name);
+
+// Contextual policies must beat the random baseline on separable data.
+class ContextualBeatsRandom : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(ContextualBeatsRandom, LowerRegretThanRandom) {
+  Rng table_rng(11);
+  const RunTable table = make_table(TableKind::kSeparable, table_rng);
+
+  ReplayConfig config;
+  config.num_rounds = 80;
+  config.per_round_metrics = false;
+  config.seed = 4321;
+
+  auto contextual = make_policy(GetParam(), table.catalog(), table.num_features());
+  const double contextual_regret = replay(*contextual, table, config).cumulative_regret;
+
+  RandomPolicy random(table.num_arms());
+  const double random_regret = replay(random, table, config).cumulative_regret;
+
+  EXPECT_LT(contextual_regret, random_regret * 0.8)
+      << kind_name(GetParam()) << " vs random";
+}
+
+INSTANTIATE_TEST_SUITE_P(Contextual, ContextualBeatsRandom,
+                         ::testing::Values(PolicyKind::kEpsGreedy, PolicyKind::kLinUcb,
+                                           PolicyKind::kThompson));
+
+// Tolerance monotonicity at the system level: widening tolerance_seconds
+// never increases the mean resource cost of final recommendations.
+class ToleranceMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ToleranceMonotonicity, WiderToleranceNeverCostsMore) {
+  Rng table_rng(13);
+  const RunTable table = make_table(TableKind::kSeparable, table_rng);
+
+  auto final_cost = [&](double seconds) {
+    EpsilonGreedyConfig policy_config;
+    policy_config.tolerance.seconds = seconds;
+    DecayingEpsilonGreedy policy(table.catalog(), table.num_features(), policy_config);
+    ReplayConfig config;
+    config.num_rounds = 60;
+    config.accuracy_tolerance.seconds = seconds;
+    config.seed = 31;
+    return replay(policy, table, config).mean_resource_cost.back();
+  };
+
+  const double narrow = final_cost(GetParam());
+  const double wide = final_cost(GetParam() + 50.0);
+  EXPECT_LE(wide, narrow + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seconds, ToleranceMonotonicity,
+                         ::testing::Values(0.0, 5.0, 20.0));
+
+}  // namespace
+}  // namespace bw::core

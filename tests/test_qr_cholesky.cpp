@@ -1,0 +1,188 @@
+// Tests for the QR and Cholesky factorizations (linalg/qr, linalg/cholesky).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+
+namespace bw::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, bw::Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.uniform(-5.0, 5.0);
+  return m;
+}
+
+// ---- Cholesky -----------------------------------------------------------
+
+TEST(Cholesky, FactorsKnownSpdMatrix) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix& l = chol->lower();
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 0), 1.0);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Vector x_true = {1.0, -2.0};
+  const Vector b = a * x_true;
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Vector x = chol->solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsNonPositiveDefinite) {
+  const Matrix indefinite{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_FALSE(Cholesky::factor(indefinite).has_value());
+  const Matrix zero(2, 2);
+  EXPECT_FALSE(Cholesky::factor(zero).has_value());
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky::factor(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(Cholesky, LogDetMatchesKnownValue) {
+  const Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_NEAR(chol->log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(SolveSpd, JitterRescuesSemidefinite) {
+  // Rank-1 PSD matrix; plain Cholesky fails, jitter makes it solvable.
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  const Vector b = {2.0, 2.0};
+  const Vector x = solve_spd(a, b, 1e-8);
+  // Solution of the regularized system is close to [1, 1].
+  EXPECT_NEAR(x[0], 1.0, 1e-3);
+  EXPECT_NEAR(x[1], 1.0, 1e-3);
+}
+
+TEST(SolveSpd, ThrowsWhenHopeless) {
+  const Matrix a{{0.0, 0.0}, {0.0, -1.0}};
+  // Negative diagonal stays non-PD under small jitter escalation.
+  EXPECT_THROW(solve_spd(a, {1.0, 1.0}, 1e-12), NumericalError);
+}
+
+// Property: for random SPD matrices (A = B^T B + I), solve returns the
+// planted solution.
+class CholeskyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyProperty, SolvesRandomSpdSystems) {
+  bw::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + GetParam() % 6;
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix a = b.transposed() * b;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-3.0, 3.0);
+  const Vector rhs = a * x_true;
+
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Vector x = chol->solve(rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+
+  // L L^T must reconstruct A.
+  const Matrix& l = chol->lower();
+  EXPECT_LT((l * l.transposed()).max_abs_diff(a), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSpd, CholeskyProperty, ::testing::Range(0, 8));
+
+// ---- Householder QR -------------------------------------------------------
+
+TEST(HouseholderQr, SolvesSquareSystemExactly) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector x_true = {3.0, -1.0};
+  const Vector b = a * x_true;
+  HouseholderQr qr(a);
+  const Vector x = qr.solve(b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], -1.0, 1e-12);
+}
+
+TEST(HouseholderQr, RejectsWideMatrices) {
+  EXPECT_THROW(HouseholderQr(Matrix(2, 3)), InvalidArgument);
+  EXPECT_THROW(HouseholderQr(Matrix(0, 0)), InvalidArgument);
+}
+
+TEST(HouseholderQr, DetectsSingularity) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};  // rank 1
+  HouseholderQr qr(a);
+  EXPECT_LT(qr.min_diag_abs(), 1e-10);
+  EXPECT_THROW(qr.solve({1.0, 2.0, 3.0}), NumericalError);
+}
+
+TEST(HouseholderQr, LeastSquaresMatchesNormalEquations) {
+  bw::Rng rng(77);
+  const Matrix a = random_matrix(20, 4, rng);
+  Vector b(20);
+  for (auto& v : b) v = rng.uniform(-10.0, 10.0);
+
+  HouseholderQr qr(a);
+  const Vector x_qr = qr.solve(b);
+
+  // Normal equations: (A^T A) x = A^T b.
+  const Matrix ata = a.transposed() * a;
+  Vector atb(4, 0.0);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) atb[c] += a(r, c) * b[r];
+  }
+  const Vector x_ne = solve_spd(ata, atb);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x_qr[i], x_ne[i], 1e-8);
+}
+
+// Property: QR residual is orthogonal to the column space, and R matches
+// the Gram factor.
+class QrProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrProperty, ResidualOrthogonalToColumns) {
+  bw::Rng rng(static_cast<std::uint64_t>(GetParam()) + 31);
+  const std::size_t m = 8 + GetParam() % 10;
+  const std::size_t n = 2 + GetParam() % 4;
+  const Matrix a = random_matrix(m, n, rng);
+  Vector b(m);
+  for (auto& v : b) v = rng.uniform(-4.0, 4.0);
+
+  HouseholderQr qr(a);
+  const Vector x = qr.solve(b);
+
+  // residual r = b - A x; A^T r must be ~0.
+  Vector ax = a * x;
+  for (std::size_t c = 0; c < n; ++c) {
+    double dot_col = 0.0;
+    for (std::size_t r = 0; r < m; ++r) dot_col += a(r, c) * (b[r] - ax[r]);
+    EXPECT_NEAR(dot_col, 0.0, 1e-8);
+  }
+}
+
+TEST_P(QrProperty, RMatchesGramCholesky) {
+  bw::Rng rng(static_cast<std::uint64_t>(GetParam()) + 57);
+  const std::size_t m = 10 + GetParam();
+  const std::size_t n = 3;
+  const Matrix a = random_matrix(m, n, rng);
+  HouseholderQr qr(a);
+  const Matrix r = qr.r();
+  // R^T R == A^T A (up to sign conventions absorbed by the product).
+  const Matrix rtr = r.transposed() * r;
+  const Matrix ata = a.transposed() * a;
+  EXPECT_LT(rtr.max_abs_diff(ata), 1e-8 * ata.frobenius_norm());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTall, QrProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace bw::linalg

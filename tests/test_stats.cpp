@@ -1,0 +1,190 @@
+// Tests for the statistics kit (common/stats).
+
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bw {
+namespace {
+
+TEST(RunningStats, EmptyAccumulator) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_THROW(rs.min(), InvalidArgument);
+  EXPECT_THROW(rs.max(), InvalidArgument);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats rs;
+  rs.add(3.25);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+}
+
+TEST(Percentile, UnsortedInputIsSortedInternally) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile({}, 50.0), InvalidArgument);
+  EXPECT_THROW(percentile(xs, -1.0), InvalidArgument);
+  EXPECT_THROW(percentile(xs, 101.0), InvalidArgument);
+}
+
+TEST(Summarize, KnownValues) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 30.0);
+  EXPECT_DOUBLE_EQ(s.median, 30.0);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 50.0);
+  EXPECT_DOUBLE_EQ(s.range(), 40.0);
+}
+
+TEST(Summarize, EmptyGivesZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> pred = {1.0, 2.0, 3.0};
+  const std::vector<double> actual = {1.0, 4.0, 1.0};
+  EXPECT_NEAR(rmse(pred, actual), std::sqrt((0.0 + 4.0 + 4.0) / 3.0), 1e-12);
+}
+
+TEST(Rmse, PerfectPredictionIsZero) {
+  const std::vector<double> v = {5.0, -3.0, 2.5};
+  EXPECT_EQ(rmse(v, v), 0.0);
+}
+
+TEST(Rmse, RejectsMismatchedOrEmpty) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(rmse(a, b), InvalidArgument);
+  EXPECT_THROW(rmse({}, {}), InvalidArgument);
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero) {
+  const std::vector<double> pred = {2.0, 2.0, 2.0};
+  const std::vector<double> actual = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(pred, actual), 0.0);
+}
+
+TEST(RSquared, ConstantTargetEdgeCases) {
+  const std::vector<double> constant = {5.0, 5.0};
+  const std::vector<double> off = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(r_squared(constant, constant), 1.0);
+  EXPECT_DOUBLE_EQ(r_squared(off, constant), 0.0);
+}
+
+TEST(AggregateRounds, MeanAndSpread) {
+  const std::vector<std::vector<double>> per_sim = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const RoundAggregate agg = aggregate_rounds(per_sim);
+  ASSERT_EQ(agg.rounds(), 2u);
+  EXPECT_DOUBLE_EQ(agg.mean[0], 3.0);
+  EXPECT_DOUBLE_EQ(agg.mean[1], 4.0);
+  EXPECT_DOUBLE_EQ(agg.min[0], 1.0);
+  EXPECT_DOUBLE_EQ(agg.max[1], 6.0);
+  EXPECT_NEAR(agg.stddev[0], 2.0, 1e-12);
+}
+
+TEST(AggregateRounds, RaggedInputThrows) {
+  EXPECT_THROW(aggregate_rounds({{1.0}, {1.0, 2.0}}), InvalidArgument);
+}
+
+TEST(AggregateRounds, EmptyInputIsEmpty) {
+  EXPECT_EQ(aggregate_rounds({}).rounds(), 0u);
+}
+
+// Property: Welford matches the two-pass computation for random samples.
+class WelfordProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelfordProperty, MatchesTwoPass) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  RunningStats rs;
+  const int n = 100 + GetParam() * 37;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double two_pass_mean = sum / n;
+  double ss = 0.0;
+  for (double x : xs) ss += (x - two_pass_mean) * (x - two_pass_mean);
+  EXPECT_NEAR(rs.mean(), two_pass_mean, 1e-9);
+  EXPECT_NEAR(rs.variance(), ss / (n - 1), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, WelfordProperty, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace bw

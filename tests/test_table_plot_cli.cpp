@@ -1,0 +1,211 @@
+// Tests for table rendering, ASCII plots and the CLI parser (common/).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+
+#include "common/ascii_plot.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace bw {
+namespace {
+
+// ---- format_double ---------------------------------------------------------
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(1.5000, 4), "1.5");
+  EXPECT_EQ(format_double(2.0, 4), "2.0");
+  EXPECT_EQ(format_double(0.1234, 4), "0.1234");
+}
+
+TEST(FormatDouble, HandlesSpecials) {
+  EXPECT_EQ(format_double(std::nan(""), 4), "nan");
+  EXPECT_EQ(format_double(INFINITY, 4), "inf");
+  EXPECT_EQ(format_double(-INFINITY, 4), "-inf");
+}
+
+// ---- Table ------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidthRows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), InvalidArgument);
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table table({"v"});
+  table.add_row_numeric({3.14159}, 2);
+  EXPECT_NE(table.to_string().find("3.14"), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table table({"a"});
+  table.add_row({"x,y"});
+  table.add_row({"he said \"hi\""});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+// ---- ascii plots --------------------------------------------------------------
+
+TEST(AsciiPlot, RendersMarkersAndLegend) {
+  Series s;
+  s.name = "rmse";
+  s.marker = '*';
+  s.ys = {10.0, 5.0, 2.0, 1.0};
+  const std::string out = plot_lines({s});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("rmse"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesSaysNoData) {
+  EXPECT_NE(plot_lines({}).find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiPlot, FlatSeriesDoesNotDivideByZero) {
+  Series s;
+  s.ys = {3.0, 3.0, 3.0};
+  const std::string out = plot_lines({s});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsTinyCanvas) {
+  Series s;
+  s.ys = {1.0};
+  PlotOptions options;
+  options.width = 2;
+  EXPECT_THROW(plot_lines({s}, options), InvalidArgument);
+}
+
+TEST(AsciiPlot, HistogramCountsSum) {
+  std::vector<double> values = {1.0, 1.1, 1.2, 5.0, 9.9};
+  const std::string out = plot_histogram(values, 3);
+  // All 5 values must appear across the bin counts ("# k" suffixes).
+  int total = 0;
+  for (std::size_t pos = 0; pos < out.size(); ++pos) {
+    if (out[pos] == ' ' && pos + 1 < out.size() && std::isdigit(out[pos + 1]) &&
+        (pos + 2 == out.size() || out[pos + 2] == '\n')) {
+      total += out[pos + 1] - '0';
+    }
+  }
+  EXPECT_EQ(total, 5);
+}
+
+TEST(AsciiPlot, BandPlotsThreeSeries) {
+  std::vector<double> mean = {5.0, 4.0, 3.0};
+  std::vector<double> sd = {1.0, 0.5, 0.25};
+  const std::string out = plot_band(mean, sd);
+  EXPECT_NE(out.find("mean+sd"), std::string::npos);
+  EXPECT_NE(out.find("mean-sd"), std::string::npos);
+}
+
+TEST(AsciiPlot, BandSizeMismatchThrows) {
+  std::vector<double> mean = {1.0, 2.0};
+  std::vector<double> sd = {0.1};
+  EXPECT_THROW(plot_band(mean, sd), InvalidArgument);
+}
+
+// ---- CLI ------------------------------------------------------------------
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  CliParser cli("test");
+  cli.add_flag("rounds", "50", "rounds");
+  cli.add_flag("name", "x", "name");
+  const char* argv[] = {"prog", "--rounds=100", "--name", "bp3d"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("rounds"), 100);
+  EXPECT_EQ(cli.get("name"), "bp3d");
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli("test");
+  cli.add_flag("x", "7", "x");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("x"), 7);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli("test");
+  cli.add_flag("x", "", "x");
+  const char* argv[] = {"prog", "--x"};
+  EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, TypeErrorsThrow) {
+  CliParser cli("test");
+  cli.add_flag("n", "abc", "n");
+  cli.add_flag("d", "1.2.3", "d");
+  cli.add_flag("b", "maybe", "b");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW(cli.get_int("n"), InvalidArgument);
+  EXPECT_THROW(cli.get_double("d"), InvalidArgument);
+  EXPECT_THROW(cli.get_bool("b"), InvalidArgument);
+}
+
+TEST(Cli, BoolAcceptsCommonSpellings) {
+  CliParser cli("test");
+  cli.add_flag("a", "true", "");
+  cli.add_flag("b", "0", "");
+  cli.add_flag("c", "yes", "");
+  cli.add_flag("d", "off", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_TRUE(cli.get_bool("a"));
+  EXPECT_FALSE(cli.get_bool("b"));
+  EXPECT_TRUE(cli.get_bool("c"));
+  EXPECT_FALSE(cli.get_bool("d"));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "one", "two"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "one");
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("test tool");
+  cli.add_flag("x", "1", "the x flag");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.help().find("the x flag"), std::string::npos);
+}
+
+TEST(Cli, UnregisteredGetThrows) {
+  CliParser cli("test");
+  EXPECT_THROW(cli.get("ghost"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bw

@@ -1,0 +1,229 @@
+// Tests for the workflow DAG engine and list scheduler (workflow/).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "workflow/dag.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/scheduler.hpp"
+
+namespace bw::wf {
+namespace {
+
+TEST(Dag, AddTasksAndEdges) {
+  WorkflowDag dag;
+  const TaskId a = dag.add_task({"a", 1.0, 0.1});
+  const TaskId b = dag.add_task({"b", 2.0, 0.1});
+  dag.add_edge(a, b);
+  EXPECT_EQ(dag.num_tasks(), 2u);
+  EXPECT_EQ(dag.num_edges(), 1u);
+  EXPECT_EQ(dag.successors(a), (std::vector<TaskId>{b}));
+  EXPECT_EQ(dag.predecessors(b), (std::vector<TaskId>{a}));
+  EXPECT_DOUBLE_EQ(dag.total_work_s(), 3.0);
+}
+
+TEST(Dag, RejectsBadTasksAndEdges) {
+  WorkflowDag dag;
+  EXPECT_THROW(dag.add_task({"bad", 0.0, 0.1}), InvalidArgument);
+  EXPECT_THROW(dag.add_task({"bad", -1.0, 0.1}), InvalidArgument);
+  EXPECT_THROW(dag.add_task({"bad", 1.0, -0.5}), InvalidArgument);
+  const TaskId a = dag.add_task({"a", 1.0, 0.1});
+  EXPECT_THROW(dag.add_edge(a, a), InvalidArgument);
+  EXPECT_THROW(dag.add_edge(a, 99), InvalidArgument);
+  EXPECT_THROW(dag.task(42), InvalidArgument);
+}
+
+TEST(Dag, DetectsCycles) {
+  WorkflowDag dag;
+  const TaskId a = dag.add_task({"a", 1.0, 0.1});
+  const TaskId b = dag.add_task({"b", 1.0, 0.1});
+  const TaskId c = dag.add_task({"c", 1.0, 0.1});
+  dag.add_edge(a, b);
+  dag.add_edge(b, c);
+  dag.add_edge(c, a);
+  EXPECT_THROW(dag.validate(), InvalidArgument);
+  EXPECT_THROW(dag.topological_order(), InvalidArgument);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  WorkflowDag dag;
+  const TaskId a = dag.add_task({"a", 1.0, 0.1});
+  const TaskId b = dag.add_task({"b", 1.0, 0.1});
+  const TaskId c = dag.add_task({"c", 1.0, 0.1});
+  dag.add_edge(a, c);
+  dag.add_edge(b, c);
+  const auto order = dag.topological_order();
+  const auto pos = [&](TaskId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(Dag, CriticalPathOfChainIsTotalWork) {
+  Rng rng(1);
+  TaskDurationModel model;
+  model.jitter_sd = 0.0;
+  const WorkflowDag dag = chain(5, model, rng);
+  EXPECT_NEAR(dag.critical_path_s(), dag.total_work_s(), 1e-9);
+}
+
+TEST(Dag, CriticalPathOfBagIsLongestTask) {
+  WorkflowDag dag;
+  dag.add_task({"a", 1.0, 0.1});
+  dag.add_task({"b", 5.0, 0.1});
+  dag.add_task({"c", 2.0, 0.1});
+  EXPECT_DOUBLE_EQ(dag.critical_path_s(), 5.0);
+}
+
+// ---- generators ---------------------------------------------------------------
+
+TEST(Generators, ShapesHaveDocumentedCounts) {
+  Rng rng(2);
+  TaskDurationModel model;
+  EXPECT_EQ(bag_of_tasks(10, model, rng).num_tasks(), 10u);
+  EXPECT_EQ(bag_of_tasks(10, model, rng).num_edges(), 0u);
+  EXPECT_EQ(chain(10, model, rng).num_edges(), 9u);
+  const WorkflowDag fj = fork_join(8, model, rng);
+  EXPECT_EQ(fj.num_tasks(), 10u);  // source + 8 + sink
+  EXPECT_EQ(fj.num_edges(), 16u);
+  const WorkflowDag cycles = cycles_workflow(100, model, rng);
+  EXPECT_EQ(cycles.num_tasks(), 104u);  // prep + 100 + gather/analyze/report
+}
+
+TEST(Generators, CyclesWorkflowIsValidDag) {
+  Rng rng(3);
+  TaskDurationModel model;
+  const WorkflowDag dag = cycles_workflow(50, model, rng);
+  EXPECT_NO_THROW(dag.validate());
+}
+
+TEST(Generators, DurationsArePositiveAndJittered) {
+  Rng rng(4);
+  TaskDurationModel model;
+  model.mean_s = 10.0;
+  model.jitter_sd = 0.5;
+  const WorkflowDag dag = bag_of_tasks(100, model, rng);
+  std::set<double> distinct;
+  for (TaskId id = 0; id < dag.num_tasks(); ++id) {
+    EXPECT_GT(dag.task(id).duration_s, 0.0);
+    distinct.insert(dag.task(id).duration_s);
+  }
+  EXPECT_GT(distinct.size(), 90u);  // jitter produces distinct values
+}
+
+TEST(Generators, RejectEmptyShapes) {
+  Rng rng(5);
+  TaskDurationModel model;
+  EXPECT_THROW(bag_of_tasks(0, model, rng), InvalidArgument);
+  EXPECT_THROW(chain(0, model, rng), InvalidArgument);
+  EXPECT_THROW(fork_join(0, model, rng), InvalidArgument);
+  EXPECT_THROW(cycles_workflow(0, model, rng), InvalidArgument);
+}
+
+// ---- list scheduler -----------------------------------------------------------
+
+hw::HardwareSpec cores(int c) { return {"hw" + std::to_string(c), c, 16.0}; }
+
+TEST(Scheduler, SingleCoreRunsSerially) {
+  Rng rng(6);
+  TaskDurationModel model;
+  model.jitter_sd = 0.0;
+  const WorkflowDag dag = bag_of_tasks(7, model, rng);
+  hw::PerfModelParams params;
+  params.sync_overhead = 0.0;
+  const Schedule schedule = list_schedule(dag, cores(1), hw::PerfModel(params));
+  EXPECT_NEAR(schedule.makespan_s, dag.total_work_s(), 1e-9);
+  EXPECT_NEAR(schedule.utilization(1), 1.0, 1e-9);
+}
+
+TEST(Scheduler, UnlimitedCoresHitCriticalPath) {
+  Rng rng(7);
+  TaskDurationModel model;
+  const WorkflowDag dag = fork_join(6, model, rng);
+  hw::PerfModelParams params;
+  params.sync_overhead = 0.0;
+  const Schedule schedule = list_schedule(dag, cores(32), hw::PerfModel(params));
+  EXPECT_NEAR(schedule.makespan_s, dag.critical_path_s(), 1e-9);
+}
+
+TEST(Scheduler, RespectsDependencies) {
+  WorkflowDag dag;
+  const TaskId a = dag.add_task({"a", 2.0, 0.1});
+  const TaskId b = dag.add_task({"b", 1.0, 0.1});
+  dag.add_edge(a, b);
+  hw::PerfModelParams params;
+  params.sync_overhead = 0.0;
+  const Schedule schedule = list_schedule(dag, cores(4), hw::PerfModel(params));
+  double start_b = -1.0;
+  double finish_a = -1.0;
+  for (const auto& t : schedule.tasks) {
+    if (t.task == a) finish_a = t.finish_s;
+    if (t.task == b) start_b = t.start_s;
+  }
+  EXPECT_GE(start_b, finish_a);
+}
+
+TEST(Scheduler, DeterministicGivenSameInputs) {
+  Rng rng_a(8);
+  Rng rng_b(8);
+  TaskDurationModel model;
+  const WorkflowDag dag_a = cycles_workflow(40, model, rng_a);
+  const WorkflowDag dag_b = cycles_workflow(40, model, rng_b);
+  const Schedule sa = list_schedule(dag_a, cores(3));
+  const Schedule sb = list_schedule(dag_b, cores(3));
+  EXPECT_DOUBLE_EQ(sa.makespan_s, sb.makespan_s);
+}
+
+// Property: for any random DAG and core count, the makespan respects the
+// classical list-scheduling bounds.
+struct ScheduleCase {
+  std::uint64_t seed;
+  int num_cores;
+};
+
+class SchedulerBounds : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(SchedulerBounds, WithinClassicalBounds) {
+  const auto [seed, num_cores] = GetParam();
+  Rng rng(seed);
+  TaskDurationModel model;
+  // Random layered DAG.
+  WorkflowDag dag;
+  std::vector<TaskId> previous_layer;
+  for (int layer = 0; layer < 4; ++layer) {
+    std::vector<TaskId> current;
+    const std::size_t width = 1 + rng.index(6);
+    for (std::size_t i = 0; i < width; ++i) {
+      const TaskId id = dag.add_task(
+          {"t", rng.uniform(0.5, 4.0), 0.1});
+      for (TaskId prev : previous_layer) {
+        if (rng.bernoulli(0.5)) dag.add_edge(prev, id);
+      }
+      current.push_back(id);
+    }
+    previous_layer = current;
+  }
+
+  hw::PerfModelParams params;
+  params.sync_overhead = 0.0;
+  const Schedule schedule = list_schedule(dag, cores(num_cores), hw::PerfModel(params));
+  const double cp = dag.critical_path_s();
+  const double work_per_core = dag.total_work_s() / num_cores;
+  EXPECT_GE(schedule.makespan_s, std::max(cp, work_per_core) - 1e-9);
+  EXPECT_LE(schedule.makespan_s, cp + work_per_core + 1e-9);
+  EXPECT_LE(schedule.utilization(static_cast<std::size_t>(num_cores)), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, SchedulerBounds,
+                         ::testing::Values(ScheduleCase{1, 1}, ScheduleCase{1, 2},
+                                           ScheduleCase{2, 3}, ScheduleCase{3, 4},
+                                           ScheduleCase{4, 8}, ScheduleCase{5, 2},
+                                           ScheduleCase{6, 16}, ScheduleCase{7, 5}));
+
+}  // namespace
+}  // namespace bw::wf

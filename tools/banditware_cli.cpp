@@ -1,0 +1,293 @@
+// banditware_cli — command-line front end for the BanditWare framework.
+//
+// A downstream user brings per-hardware run tables as CSV files (one per
+// hardware setting, sharing a run-id column), trains a recommender by
+// online replay, saves its state, and queries recommendations later:
+//
+//   banditware_cli train
+//     --data "H0=(2,16):runs_h0.csv,H1=(3,24):runs_h1.csv"
+//     --features num_tasks --rounds 100 --tolerance-seconds 20
+//     --state model.bw                      (one command, wrapped here)
+//
+//   banditware_cli recommend --state model.bw --x 350
+//   banditware_cli inspect --state model.bw
+//   banditware_cli demo        # self-contained end-to-end walkthrough
+//
+// Exit codes: 0 success, 1 usage error, 2 data/state error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "apps/cycles.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/banditware.hpp"
+#include "core/decision_log.hpp"
+#include "dataframe/csv.hpp"
+#include "experiments/datasets.hpp"
+
+namespace {
+
+using bw::core::BanditWare;
+
+struct DataSource {
+  bw::hw::HardwareSpec spec;
+  std::string path;
+};
+
+/// Parses "H0=(2,16):runs_h0.csv,H1=(3,24,1):runs_h1.csv".
+std::vector<DataSource> parse_data_flag(const std::string& value) {
+  std::vector<DataSource> sources;
+  std::stringstream stream(value);
+  std::string entry;
+  // Entries are comma-separated, but specs contain commas inside (...)
+  // — split on commas that are outside parentheses.
+  std::vector<std::string> entries;
+  int depth = 0;
+  std::string current;
+  for (char ch : value) {
+    if (ch == '(') ++depth;
+    if (ch == ')') --depth;
+    if (ch == ',' && depth == 0) {
+      entries.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) entries.push_back(current);
+
+  for (const std::string& item : entries) {
+    const auto eq = item.find('=');
+    const auto colon = item.find(':', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || colon == std::string::npos) {
+      throw bw::InvalidArgument("--data entries must look like NAME=(cpus,mem):file.csv");
+    }
+    DataSource source;
+    source.spec = bw::hw::parse_spec(item.substr(0, eq), item.substr(eq + 1, colon - eq - 1));
+    source.path = item.substr(colon + 1);
+    sources.push_back(std::move(source));
+  }
+  if (sources.empty()) throw bw::InvalidArgument("--data lists no sources");
+  return sources;
+}
+
+std::vector<std::string> split_commas(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream stream(value);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+BanditWare load_state_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw bw::ParseError("cannot open state file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return BanditWare::load_state(buffer.str());
+}
+
+int cmd_train(int argc, char** argv) {
+  bw::CliParser cli("banditware_cli train — fit a recommender from CSV run tables");
+  cli.add_flag("data", "", "NAME=(cpus,mem[,gpus]):file.csv per hardware, comma separated");
+  cli.add_flag("key", "run_id", "shared run-id column");
+  cli.add_flag("features", "", "comma-separated feature column names");
+  cli.add_flag("rounds", "100", "replay rounds");
+  cli.add_flag("tolerance-seconds", "0", "tolerance_seconds of Algorithm 1");
+  cli.add_flag("tolerance-ratio", "0", "tolerance_ratio of Algorithm 1");
+  cli.add_flag("epsilon0", "1.0", "initial exploration rate");
+  cli.add_flag("decay", "0.99", "epsilon decay factor");
+  cli.add_flag("seed", "42", "replay seed");
+  cli.add_flag("state", "banditware_state.bw", "output state file");
+  cli.add_flag("log", "", "optional CSV decision-audit log to write");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto sources = parse_data_flag(cli.get("data"));
+  const auto features = split_commas(cli.get("features"));
+  if (features.empty()) throw bw::InvalidArgument("--features must name at least one column");
+
+  bw::hw::HardwareCatalog catalog;
+  std::vector<bw::df::DataFrame> frames;
+  for (const auto& source : sources) {
+    catalog.add(source.spec);
+    frames.push_back(bw::df::read_csv_file(source.path));
+    std::printf("loaded %s: %zu runs from %s\n", source.spec.name.c_str(),
+                frames.back().num_rows(), source.path.c_str());
+  }
+  const bw::core::RunTable table =
+      bw::exp::merge_frames_to_table(frames, cli.get("key"), features, catalog);
+  std::printf("merged table: %zu run groups x %zu hardware settings\n",
+              table.num_groups(), table.num_arms());
+
+  bw::core::BanditWareConfig config;
+  config.policy.initial_epsilon = cli.get_double("epsilon0");
+  config.policy.decay = cli.get_double("decay");
+  config.policy.tolerance.seconds = cli.get_double("tolerance-seconds");
+  config.policy.tolerance.ratio = cli.get_double("tolerance-ratio");
+  BanditWare bandit(catalog, features, config);
+
+  bw::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  bw::core::DecisionLog log(features);
+  const long rounds = cli.get_int("rounds");
+  for (long round = 0; round < rounds; ++round) {
+    const std::size_t group = rng.index(table.num_groups());
+    const bw::core::FeatureVector x = table.features_of(group);
+    const double epsilon = bandit.epsilon();
+    const auto decision = bandit.next(x, rng);
+    const double runtime = table.runtime(group, decision.arm);
+    bandit.observe(decision.arm, x, runtime);
+    log.record(decision, x, runtime, epsilon);
+  }
+  std::printf("trained for %ld rounds; epsilon=%.3f exploration-rate=%.2f\n", rounds,
+              bandit.epsilon(), log.exploration_rate());
+  if (!cli.get("log").empty()) {
+    bw::df::write_csv_file(log.to_frame(), cli.get("log"));
+    std::printf("decision audit log written to %s\n", cli.get("log").c_str());
+  }
+
+  std::ofstream out(cli.get("state"), std::ios::binary);
+  if (!out) throw bw::ParseError("cannot write state file: " + cli.get("state"));
+  out << bandit.save_state();
+  std::printf("state saved to %s\n", cli.get("state").c_str());
+  return 0;
+}
+
+int cmd_recommend(int argc, char** argv) {
+  bw::CliParser cli("banditware_cli recommend — query a trained recommender");
+  cli.add_flag("state", "banditware_state.bw", "state file from `train`");
+  cli.add_flag("x", "", "comma-separated feature values, in training order");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const BanditWare bandit = load_state_file(cli.get("state"));
+  const auto tokens = split_commas(cli.get("x"));
+  if (tokens.size() != bandit.feature_names().size()) {
+    std::ostringstream os;
+    os << "--x needs " << bandit.feature_names().size() << " values (";
+    for (const auto& name : bandit.feature_names()) os << name << ' ';
+    os << ")";
+    throw bw::InvalidArgument(os.str());
+  }
+  bw::core::FeatureVector x;
+  for (const auto& token : tokens) x.push_back(std::stod(token));
+
+  const auto predictions = bandit.predictions(x);
+  const auto& chosen = bandit.recommend(x);
+  bw::Table table({"hardware", "spec", "predicted runtime (s)", "recommended"});
+  for (std::size_t arm = 0; arm < bandit.num_arms(); ++arm) {
+    const auto& spec = bandit.catalog()[arm];
+    table.add_row({spec.name, spec.to_string(), bw::format_double(predictions[arm], 2),
+                   spec.name == chosen.name ? "<==" : ""});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  bw::CliParser cli("banditware_cli inspect — show a trained recommender's state");
+  cli.add_flag("state", "banditware_state.bw", "state file from `train`");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const BanditWare bandit = load_state_file(cli.get("state"));
+  std::printf("features:");
+  for (const auto& name : bandit.feature_names()) std::printf(" %s", name.c_str());
+  std::printf("\nepsilon: %.4f\nobservations: %zu\n", bandit.epsilon(),
+              bandit.num_observations());
+  bw::Table table({"hardware", "spec", "observations", "learned model"});
+  for (std::size_t arm = 0; arm < bandit.num_arms(); ++arm) {
+    const auto& spec = bandit.catalog()[arm];
+    const auto& model = bandit.policy().arm_model(arm);
+    table.add_row({spec.name, spec.to_string(), std::to_string(model.count()),
+                   model.model().to_string()});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}
+
+int cmd_demo(int argc, char** argv) {
+  bw::CliParser cli("banditware_cli demo — end-to-end walkthrough on generated data");
+  cli.add_flag("dir", "", "working directory (default: a temp directory)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  namespace fs = std::filesystem;
+  const fs::path dir = cli.get("dir").empty()
+                           ? fs::temp_directory_path() / "banditware_demo"
+                           : fs::path(cli.get("dir"));
+  fs::create_directories(dir);
+  std::printf("demo directory: %s\n\n", dir.string().c_str());
+
+  // 1. Generate per-hardware Cycles run tables and write them as CSV.
+  const auto catalog = bw::hw::synthetic_cycles_catalog();
+  bw::apps::CyclesDatasetOptions options;
+  options.num_groups = 120;
+  const auto frames =
+      bw::apps::build_cycles_frames(catalog, bw::apps::CyclesConfig{}, options);
+  std::string data_flag;
+  for (std::size_t arm = 0; arm < frames.size(); ++arm) {
+    const fs::path csv = dir / ("runs_" + catalog[arm].name + ".csv");
+    bw::df::write_csv_file(frames[arm], csv.string());
+    if (arm) data_flag += ',';
+    data_flag += catalog[arm].name + "=" + catalog[arm].to_string() + ":" + csv.string();
+  }
+  std::printf("wrote 4 per-hardware CSV tables under %s\n\n", dir.string().c_str());
+
+  // 2. Train.
+  const fs::path state = dir / "model.bw";
+  {
+    std::string rounds = "--rounds=150";
+    std::string tolerance = "--tolerance-seconds=20";
+    std::string data = "--data=" + data_flag;
+    std::string state_flag = "--state=" + state.string();
+    const char* train_argv[] = {"train",          data.c_str(),      "--features=num_tasks",
+                                rounds.c_str(),   tolerance.c_str(), state_flag.c_str()};
+    const int rc = cmd_train(6, const_cast<char**>(train_argv));
+    if (rc != 0) return rc;
+  }
+
+  // 3. Recommend for a few workflow sizes.
+  for (const char* size : {"120", "300", "480"}) {
+    std::printf("\nrecommend --x %s:\n", size);
+    std::string x = std::string("--x=") + size;
+    std::string state_flag = "--state=" + state.string();
+    const char* rec_argv[] = {"recommend", state_flag.c_str(), x.c_str()};
+    const int rc = cmd_recommend(3, const_cast<char**>(rec_argv));
+    if (rc != 0) return rc;
+  }
+  std::puts("\ndemo complete — state file and CSVs left in the demo directory.");
+  return 0;
+}
+
+void print_usage() {
+  std::puts("banditware_cli — hardware recommendation from run-table CSVs");
+  std::puts("usage: banditware_cli <train|recommend|inspect|demo> [flags]");
+  std::puts("       banditware_cli <command> --help for per-command flags");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "train") return cmd_train(argc - 1, argv + 1);
+    if (command == "recommend") return cmd_recommend(argc - 1, argv + 1);
+    if (command == "inspect") return cmd_inspect(argc - 1, argv + 1);
+    if (command == "demo") return cmd_demo(argc - 1, argv + 1);
+    print_usage();
+    return 1;
+  } catch (const bw::InvalidArgument& error) {
+    std::fprintf(stderr, "usage error: %s\n", error.what());
+    return 1;
+  } catch (const bw::Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}
