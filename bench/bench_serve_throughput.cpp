@@ -1,0 +1,133 @@
+// bench_serve_throughput — decisions/sec of the sharded serving engine as a
+// function of shard count (1/2/4/8) and batch size. Self-timed with
+// std::chrono (no google-benchmark dependency) so it runs anywhere the
+// library builds; each timed cell replays the same deterministic stream of
+// recommend_batch + observe_batch pairs.
+//
+//   ./bench/bench_serve_throughput [--decisions=20000] [--batches=1,64,256]
+//
+// Two effects compound as shards grow: shard batches execute concurrently
+// on the pool, and each replica's observation history (whose least-squares
+// refit dominates observe cost) is a 1/N slice of the stream.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "hardware/catalog.hpp"
+#include "serve/bandit_server.hpp"
+
+namespace {
+
+constexpr std::size_t kNumFeatures = 7;
+
+bw::core::FeatureVector random_features(bw::Rng& rng) {
+  bw::core::FeatureVector x(kNumFeatures);
+  for (double& v : x) v = rng.uniform(1.0, 10.0);
+  return x;
+}
+
+double synthetic_runtime(const bw::hw::HardwareSpec& spec,
+                         const bw::core::FeatureVector& x) {
+  double load = 0.0;
+  for (double v : x) load += v;
+  return 5.0 + load / spec.cpus;
+}
+
+struct CellResult {
+  std::size_t shards = 0;
+  std::size_t batch = 0;
+  double seconds = 0.0;
+  double decisions_per_s = 0.0;
+};
+
+CellResult run_cell(std::size_t shards, std::size_t batch, std::size_t decisions) {
+  std::vector<std::string> feature_names;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    feature_names.push_back("f" + std::to_string(i));
+  }
+  bw::serve::BanditServerConfig config;
+  config.num_shards = shards;
+  config.sharding = bw::serve::ShardingPolicy::kFeatureHash;
+  config.seed = 42;
+  bw::serve::BanditServer server(bw::hw::ndp_catalog(), feature_names, config);
+
+  bw::Rng rng(11);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t served = 0;
+  while (served < decisions) {
+    const std::size_t n = std::min(batch, decisions - served);
+    std::vector<bw::core::FeatureVector> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) xs.push_back(random_features(rng));
+    const auto batch_decisions = server.recommend_batch(xs);
+    std::vector<bw::serve::ServeObservation> observations;
+    observations.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      observations.push_back({batch_decisions[i].shard, batch_decisions[i].arm, xs[i],
+                              synthetic_runtime(*batch_decisions[i].spec, xs[i])});
+    }
+    server.observe_batch(observations);
+    served += n;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  CellResult result;
+  result.shards = shards;
+  result.batch = batch;
+  result.seconds = std::chrono::duration<double>(elapsed).count();
+  result.decisions_per_s = static_cast<double>(served) / result.seconds;
+  return result;
+}
+
+std::vector<std::size_t> parse_sizes(const std::string& value) {
+  std::vector<std::size_t> sizes;
+  std::string token;
+  for (char ch : value + ",") {
+    if (ch == ',') {
+      if (!token.empty()) sizes.push_back(std::stoul(token));
+      token.clear();
+    } else {
+      token.push_back(ch);
+    }
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bw::CliParser cli("serving-engine throughput: decisions/sec vs shards x batch");
+  cli.add_flag("decisions", "20000", "decisions per timed cell");
+  cli.add_flag("shards", "1,2,4,8", "shard counts to sweep");
+  cli.add_flag("batches", "1,64,256", "batch sizes to sweep");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto decisions = static_cast<std::size_t>(cli.get_int("decisions"));
+  const auto shard_counts = parse_sizes(cli.get("shards"));
+  const auto batch_sizes = parse_sizes(cli.get("batches"));
+
+  std::printf("hardware threads: %u, decisions per cell: %zu\n\n",
+              std::thread::hardware_concurrency(), decisions);
+
+  bw::Table table({"shards", "batch", "wall (s)", "decisions/s", "speedup vs 1 shard"});
+  for (std::size_t batch : batch_sizes) {
+    double baseline = 0.0;
+    for (std::size_t shards : shard_counts) {
+      const CellResult cell = run_cell(shards, batch, decisions);
+      if (shards == shard_counts.front()) baseline = cell.decisions_per_s;
+      table.add_row({std::to_string(cell.shards), std::to_string(cell.batch),
+                     bw::format_double(cell.seconds, 3),
+                     bw::format_double(cell.decisions_per_s, 0),
+                     bw::format_double(cell.decisions_per_s / baseline, 2) + "x"});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -11,6 +11,7 @@
 
 #include "common/cli.hpp"
 #include "core/banditware.hpp"
+#include "serve/bandit_server.hpp"
 
 int main(int argc, char** argv) {
   bw::CliParser cli("BanditWare quickstart");
@@ -60,5 +61,26 @@ int main(int argc, char** argv) {
   }
   std::printf("\nlearned from %zu observations; ε decayed to %.3f\n",
               bandit.num_observations(), bandit.epsilon());
+
+  // 7. Scaling out: the same loop, batched through the sharded serving
+  //    engine (src/serve) — this is what a multi-tenant deployment uses.
+  bw::serve::BanditServerConfig serve_config;
+  serve_config.num_shards = 2;
+  serve_config.bandit = config;
+  serve_config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  bw::serve::BanditServer server(catalog, {"workflow_size"}, serve_config);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<bw::core::FeatureVector> xs;
+    for (int i = 0; i < 16; ++i) xs.push_back({rng.uniform(20.0, 200.0)});
+    const auto decisions = server.recommend_batch(xs);
+    std::vector<bw::serve::ServeObservation> feedback;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      feedback.push_back({decisions[i].shard, decisions[i].arm, xs[i],
+                          true_runtime(xs[i][0], decisions[i].arm)});
+    }
+    server.observe_batch(feedback);
+  }
+  std::printf("served %zu batched observations across %zu shards\n",
+              server.num_observations(), server.num_shards());
   return 0;
 }

@@ -1,0 +1,140 @@
+// Sharded serving inside the cluster loop: waves of Cycles workflows hit a
+// BanditServer (batched recommend), the simulated NDP cluster executes the
+// chosen pods under contention, and completed runtimes flow back through
+// observe_batch. This is the multi-tenant version of ndp_cluster_sim — one
+// engine, many concurrent workflow streams, per-shard learning.
+//
+//   ./examples/serve_cluster [--waves=30] [--wave-size=8] [--shards=4]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/cycles.hpp"
+#include "cluster/cluster_sim.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "hardware/catalog.hpp"
+#include "serve/bandit_server.hpp"
+
+namespace {
+
+struct InFlight {
+  bw::cluster::PodId pod = 0;
+  bw::serve::ServeDecision decision;
+  bw::core::FeatureVector x;
+  bool consumed = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bw::CliParser cli("sharded BanditServer driving a simulated NDP cluster");
+  cli.add_flag("waves", "30", "number of workflow waves");
+  cli.add_flag("wave-size", "8", "workflows per wave (one recommend_batch)");
+  cli.add_flag("shards", "4", "serving shards");
+  cli.add_flag("arrival-seconds", "600", "mean inter-wave time");
+  cli.add_flag("seed", "23", "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::vector<bw::cluster::Node> nodes;
+  nodes.emplace_back("sdsc-a", 16.0, 128.0);
+  nodes.emplace_back("sdsc-b", 16.0, 128.0);
+  nodes.emplace_back("edge-1", 4.0, 32.0);
+  nodes.emplace_back("edge-2", 4.0, 32.0);
+  bw::cluster::ClusterSim sim(std::move(nodes));
+
+  bw::serve::BanditServerConfig config;
+  config.num_shards = static_cast<std::size_t>(cli.get_int("shards"));
+  config.sharding = bw::serve::ShardingPolicy::kFeatureHash;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.bandit.policy.tolerance.seconds = 30.0;  // trade 30 s for smaller pods
+  bw::serve::BanditServer server(bw::hw::synthetic_cycles_catalog(), {"num_tasks"},
+                                 config);
+
+  bw::Rng rng(config.seed);
+  const bw::apps::CyclesConfig cycles_config;
+  const double mean_arrival = cli.get_double("arrival-seconds");
+  const long waves = cli.get_int("waves");
+  const long wave_size = cli.get_int("wave-size");
+
+  std::vector<InFlight> in_flight;
+  double clock = 0.0;
+  for (long wave = 0; wave < waves; ++wave) {
+    clock += rng.exponential(1.0 / mean_arrival);
+
+    // One wave = one batched request against the serving engine.
+    std::vector<bw::core::FeatureVector> xs;
+    for (long i = 0; i < wave_size; ++i) {
+      xs.push_back({static_cast<double>(rng.uniform_int(100, 500))});
+    }
+    const auto decisions = server.recommend_batch(xs);
+
+    sim.run_until(clock);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const auto num_tasks = static_cast<std::size_t>(xs[i][0]);
+      const double duration = bw::apps::simulate_cycles_run(
+          num_tasks, *decisions[i].spec, cycles_config, rng);
+      InFlight entry;
+      entry.pod = sim.submit(
+          clock, {"cycles-" + std::to_string(wave) + "-" + std::to_string(i),
+                  static_cast<double>(decisions[i].spec->cpus),
+                  decisions[i].spec->memory_gb, duration});
+      entry.decision = decisions[i];
+      entry.x = xs[i];
+      in_flight.push_back(std::move(entry));
+    }
+
+    // Feed back everything that completed by now, as one observe batch.
+    std::vector<bw::serve::ServeObservation> completed;
+    for (auto& entry : in_flight) {
+      const auto& record = sim.record(entry.pod);
+      if (!entry.consumed && record.phase == bw::cluster::PodPhase::kCompleted) {
+        completed.push_back({entry.decision.shard, entry.decision.arm, entry.x,
+                             record.runtime_s()});
+        entry.consumed = true;
+      }
+    }
+    server.observe_batch(completed);
+  }
+
+  sim.run_until_idle();
+  std::vector<bw::serve::ServeObservation> remaining;
+  for (auto& entry : in_flight) {
+    if (!entry.consumed) {
+      remaining.push_back({entry.decision.shard, entry.decision.arm, entry.x,
+                           sim.record(entry.pod).runtime_s()});
+    }
+  }
+  server.observe_batch(remaining);
+
+  const auto stats = sim.stats();
+  std::printf("served %ld waves x %ld workflows through %zu shards\n\n", waves,
+              wave_size, server.num_shards());
+  bw::Table table({"metric", "value"});
+  table.add_row({"completed pods", std::to_string(stats.completed)});
+  table.add_row({"makespan (h)", bw::format_double(stats.makespan_s / 3600.0, 2)});
+  table.add_row({"mean wait (s)", bw::format_double(stats.mean_wait_s, 1)});
+  table.add_row({"mean runtime (s)", bw::format_double(stats.mean_runtime_s, 1)});
+  table.add_row({"mean contention inflation", bw::format_double(stats.mean_inflation, 3)});
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nobservations per shard (feature-hash keeps workflows sticky):");
+  const auto counts = server.shard_observation_counts();
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    std::printf("  shard %zu: %zu\n", s, counts[s]);
+  }
+
+  std::puts("\nfinal per-size recommendations (pure exploitation):");
+  for (std::size_t num_tasks : {120, 300, 480}) {
+    const bw::core::FeatureVector x = {static_cast<double>(num_tasks)};
+    const auto predictions = server.predictions(server.shard_of(x), x);
+    std::size_t best = 0;
+    for (std::size_t arm = 1; arm < predictions.size(); ++arm) {
+      if (predictions[arm] < predictions[best]) best = arm;
+    }
+    std::printf("  %3zu tasks -> fastest predicted arm %zu (%.1f s)\n", num_tasks, best,
+                predictions[best]);
+  }
+  return 0;
+}

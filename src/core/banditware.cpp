@@ -35,6 +35,17 @@ ArmIndex BanditWare::recommend_index(const FeatureVector& x) const {
   return policy_.recommend(x);
 }
 
+BanditWare::Decision BanditWare::recommend_decision(const FeatureVector& x) const {
+  BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
+  const auto choice = policy_.recommend_choice(x);
+  Decision decision;
+  decision.arm = choice.arm;
+  decision.spec = &catalog_[choice.arm];
+  decision.explored = false;
+  decision.predicted_runtime_s = choice.predicted_runtime;
+  return decision;
+}
+
 void BanditWare::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
   BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
   policy_.observe(arm, x, runtime_s);

@@ -47,6 +47,11 @@ class BanditWare {
   const hw::HardwareSpec& recommend(const FeatureVector& x) const;
   ArmIndex recommend_index(const FeatureVector& x) const;
 
+  /// Greedy tolerant recommendation with its prediction attached — one
+  /// prediction pass, cheaper than recommend_index() + predictions() on a
+  /// serving hot path. `explored` is always false.
+  Decision recommend_decision(const FeatureVector& x) const;
+
   /// Feeds back an observed runtime (also decays ε, per Algorithm 1).
   void observe(ArmIndex arm, const FeatureVector& x, double runtime_s);
 
@@ -56,6 +61,7 @@ class BanditWare {
   double epsilon() const { return policy_.epsilon(); }
   std::size_t num_observations() const;
   std::size_t num_arms() const { return catalog_.size(); }
+  const BanditWareConfig& config() const { return config_; }
   const hw::HardwareCatalog& catalog() const { return catalog_; }
   const std::vector<std::string>& feature_names() const { return feature_names_; }
   const DecayingEpsilonGreedy& policy() const { return policy_; }

@@ -39,12 +39,16 @@ void DecayingEpsilonGreedy::observe(ArmIndex arm, const FeatureVector& x, double
   epsilon_ *= config_.decay;         // line 12: ε <- α ε
 }
 
-ArmIndex DecayingEpsilonGreedy::recommend(const FeatureVector& x) const {
+TolerantChoice DecayingEpsilonGreedy::recommend_choice(const FeatureVector& x) const {
   std::vector<double> predictions(arms_.size());
   for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
     predictions[arm] = arms_[arm].predict(x);
   }
-  return tolerant_select(predictions, resource_costs_, config_.tolerance).arm;
+  return tolerant_select(predictions, resource_costs_, config_.tolerance);
+}
+
+ArmIndex DecayingEpsilonGreedy::recommend(const FeatureVector& x) const {
+  return recommend_choice(x).arm;
 }
 
 double DecayingEpsilonGreedy::predict(ArmIndex arm, const FeatureVector& x) const {

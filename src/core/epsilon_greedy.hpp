@@ -43,6 +43,10 @@ class DecayingEpsilonGreedy final : public Policy {
 
   double epsilon() const { return epsilon_; }
 
+  /// Tolerant-greedy choice with its predicted runtime — one prediction
+  /// pass, unlike recommend() followed by predict().
+  TolerantChoice recommend_choice(const FeatureVector& x) const;
+
   /// Overrides the current exploration rate (clamped to [0, 1]).
   /// Intended for resuming from a saved snapshot, not for tuning mid-run.
   void set_epsilon(double epsilon);

@@ -1,0 +1,290 @@
+#include "serve/bandit_server.hpp"
+
+#include <cstring>
+#include <exception>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace bw::serve {
+
+namespace {
+
+/// FNV-1a over the bit patterns of the feature values — deterministic
+/// within a build, unlike std::hash<double>.
+std::uint64_t hash_features(const core::FeatureVector& x) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (double v : x) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (bits >> (8 * byte)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+/// Waits for every task, then rethrows the first failure. Unwinding on the
+/// first get() would destroy the stack buffers the remaining tasks still
+/// reference.
+void wait_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<core::BanditWare> make_replicas(const hw::HardwareCatalog& catalog,
+                                            const std::vector<std::string>& feature_names,
+                                            const BanditServerConfig& config) {
+  BW_CHECK_MSG(config.num_shards >= 1, "BanditServer needs at least one shard");
+  std::vector<core::BanditWare> replicas;
+  replicas.reserve(config.num_shards);
+  for (std::size_t i = 0; i < config.num_shards; ++i) {
+    replicas.emplace_back(catalog, feature_names, config.bandit);
+  }
+  return replicas;
+}
+
+}  // namespace
+
+std::string to_string(ShardingPolicy policy) {
+  switch (policy) {
+    case ShardingPolicy::kFeatureHash:
+      return "feature-hash";
+    case ShardingPolicy::kRoundRobin:
+      return "round-robin";
+  }
+  return "unknown";
+}
+
+ShardingPolicy parse_sharding_policy(const std::string& name) {
+  if (name == "feature-hash") return ShardingPolicy::kFeatureHash;
+  if (name == "round-robin") return ShardingPolicy::kRoundRobin;
+  throw InvalidArgument("unknown sharding policy: " + name);
+}
+
+BanditServer::BanditServer(hw::HardwareCatalog catalog,
+                           std::vector<std::string> feature_names,
+                           BanditServerConfig config)
+    : BanditServer(config, make_replicas(catalog, feature_names, config)) {}
+
+BanditServer::BanditServer(BanditServerConfig config,
+                           std::vector<core::BanditWare> replicas)
+    : config_(config) {
+  BW_CHECK_MSG(!replicas.empty(), "BanditServer needs at least one shard replica");
+  config_.num_shards = replicas.size();
+  feature_names_ = replicas.front().feature_names();
+  Rng seeder(config_.seed);
+  shards_.reserve(replicas.size());
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(std::move(replicas[i]), seeder.child_seed(i)));
+  }
+  const std::size_t threads =
+      config_.num_threads == 0 ? shards_.size() : config_.num_threads;
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+BanditServer::BanditServer(BanditServer&& other) noexcept
+    : config_(std::move(other.config_)),
+      feature_names_(std::move(other.feature_names_)),
+      shards_(std::move(other.shards_)),
+      pool_(std::move(other.pool_)),
+      rr_counter_(other.rr_counter_.load(std::memory_order_relaxed)) {}
+
+std::size_t BanditServer::shard_of(const core::FeatureVector& x) const {
+  return hash_features(x) % shards_.size();
+}
+
+std::size_t BanditServer::route(const core::FeatureVector& x) {
+  if (config_.sharding == ShardingPolicy::kRoundRobin) {
+    return rr_counter_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  }
+  return shard_of(x);
+}
+
+ServeDecision BanditServer::decide_locked(Shard& shard, std::size_t shard_index,
+                                          const core::FeatureVector& x) {
+  ServeDecision out;
+  out.shard = shard_index;
+  const auto decision = config_.explore ? shard.bandit.next(x, shard.rng)
+                                        : shard.bandit.recommend_decision(x);
+  out.arm = decision.arm;
+  out.spec = decision.spec;
+  out.explored = decision.explored;
+  out.predicted_runtime_s = decision.predicted_runtime_s;
+  return out;
+}
+
+ServeDecision BanditServer::recommend_one(const core::FeatureVector& x) {
+  const std::size_t index = route(x);
+  Shard& shard = *shards_[index];
+  std::lock_guard lock(shard.mutex);
+  return decide_locked(shard, index, x);
+}
+
+std::vector<ServeDecision> BanditServer::recommend_batch(
+    const std::vector<core::FeatureVector>& xs) {
+  std::vector<ServeDecision> results(xs.size());
+  if (xs.empty()) return results;
+
+  // Route serially (keeps round-robin deterministic for a batch), then fan
+  // out one task per non-empty shard. Tasks write to disjoint result slots.
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) by_shard[route(xs[i])].push_back(i);
+
+  std::vector<std::future<void>> futures;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    futures.push_back(pool_->submit([this, s, &by_shard, &xs, &results] {
+      Shard& shard = *shards_[s];
+      std::lock_guard lock(shard.mutex);
+      for (std::size_t i : by_shard[s]) {
+        results[i] = decide_locked(shard, s, xs[i]);
+      }
+    }));
+  }
+  wait_all(futures);
+  return results;
+}
+
+void BanditServer::observe_one(const ServeObservation& obs) {
+  BW_CHECK_MSG(obs.shard < shards_.size(), "observation routed to unknown shard");
+  Shard& shard = *shards_[obs.shard];
+  std::lock_guard lock(shard.mutex);
+  shard.bandit.observe(obs.arm, obs.x, obs.runtime_s);
+}
+
+void BanditServer::observe_batch(const std::vector<ServeObservation>& observations) {
+  if (observations.empty()) return;
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    BW_CHECK_MSG(observations[i].shard < shards_.size(),
+                 "observation routed to unknown shard");
+    by_shard[observations[i].shard].push_back(i);
+  }
+  std::vector<std::future<void>> futures;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    futures.push_back(pool_->submit([this, s, &by_shard, &observations] {
+      Shard& shard = *shards_[s];
+      std::lock_guard lock(shard.mutex);
+      for (std::size_t i : by_shard[s]) {
+        const ServeObservation& obs = observations[i];
+        shard.bandit.observe(obs.arm, obs.x, obs.runtime_s);
+      }
+    }));
+  }
+  wait_all(futures);
+}
+
+std::vector<double> BanditServer::predictions(std::size_t shard_index,
+                                              const core::FeatureVector& x) const {
+  BW_CHECK_MSG(shard_index < shards_.size(), "predictions: unknown shard");
+  const Shard& shard = *shards_[shard_index];
+  std::lock_guard lock(shard.mutex);
+  return shard.bandit.predictions(x);
+}
+
+std::size_t BanditServer::num_observations() const {
+  std::size_t total = 0;
+  for (std::size_t count : shard_observation_counts()) total += count;
+  return total;
+}
+
+std::vector<std::size_t> BanditServer::shard_observation_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    counts.push_back(shard->bandit.num_observations());
+  }
+  return counts;
+}
+
+std::string BanditServer::save_state() const {
+  // Take every shard lock before reading anything: the snapshot is a
+  // consistent cut across the whole engine. Lock order is shard index, and
+  // no other code path holds two shard locks, so this cannot deadlock.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+  std::ostringstream os;
+  os << "banditserver-state v1\n";
+  os << "shards " << shards_.size() << " sharding " << to_string(config_.sharding)
+     << " seed " << config_.seed << " threads " << config_.num_threads << " explore "
+     << (config_.explore ? 1 : 0) << " rr_counter "
+     << rr_counter_.load(std::memory_order_relaxed) << "\n";
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string state = shards_[s]->bandit.save_state();
+    os << "shard " << s << " bytes " << state.size() << "\n" << state;
+  }
+  return os.str();
+}
+
+BanditServer BanditServer::load_state(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  auto fail = [](const std::string& what) -> void {
+    throw ParseError("BanditServer::load_state: " + what);
+  };
+
+  if (!std::getline(is, line) || line != "banditserver-state v1") fail("bad header");
+
+  BanditServerConfig config;
+  std::size_t num_shards = 0;
+  std::string token;
+  std::string sharding_name;
+  int explore = 1;
+  std::uint64_t rr_counter = 0;
+  is >> token >> num_shards;
+  if (token != "shards" || num_shards == 0) fail("expected shards");
+  is >> token >> sharding_name;
+  if (token != "sharding") fail("expected sharding");
+  config.sharding = parse_sharding_policy(sharding_name);
+  is >> token >> config.seed;
+  if (token != "seed") fail("expected seed");
+  is >> token >> config.num_threads;
+  if (token != "threads") fail("expected threads");
+  is >> token >> explore;
+  if (token != "explore") fail("expected explore");
+  config.explore = explore != 0;
+  is >> token >> rr_counter;
+  if (token != "rr_counter") fail("expected rr_counter");
+  if (!std::getline(is, line)) fail("truncated header");
+
+  std::vector<core::BanditWare> replicas;
+  replicas.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    std::size_t index = 0;
+    std::size_t bytes = 0;
+    is >> token >> index;
+    if (token != "shard" || index != s) fail("expected shard record");
+    is >> token >> bytes;
+    if (token != "bytes") fail("expected shard byte count");
+    if (!std::getline(is, line)) fail("truncated shard header");
+    std::string blob(bytes, '\0');
+    is.read(blob.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<std::size_t>(is.gcount()) != bytes) fail("truncated shard blob");
+    replicas.push_back(core::BanditWare::load_state(blob));
+    // The per-shard config is authoritative for the whole engine (every
+    // replica is constructed identically).
+    config.bandit = replicas.back().config();
+  }
+
+  BanditServer server(config, std::move(replicas));
+  server.rr_counter_.store(rr_counter, std::memory_order_relaxed);
+  return server;
+}
+
+}  // namespace bw::serve

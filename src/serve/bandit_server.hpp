@@ -1,0 +1,137 @@
+#pragma once
+// BanditServer — sharded, thread-safe serving engine around the BanditWare
+// facade. The single-threaded facade handles one decision at a time; a
+// production deployment (the ROADMAP's "heavy traffic" north star) needs
+// many concurrent recommend/observe streams. The server keeps N independent
+// BanditWare replicas (shards), routes every request to one shard, and
+// executes batches on a thread pool — shards never share mutable state, so
+// throughput scales with shard count.
+//
+// Routing must be stable between a recommendation and its feedback so that
+// the shard that served a decision also learns from it:
+//   * kFeatureHash — shard = FNV-1a(feature bits) % N. Deterministic in x,
+//     so repeat workflows always hit (and train) the same replica.
+//   * kRoundRobin  — an atomic counter spreads load evenly; the decision
+//     carries its shard id and the caller echoes it back with the runtime.
+//
+// Snapshots are atomic (all shard locks held) and built on the facade's
+// plain-text snapshots, so save -> load -> save is byte-identical. Like
+// BanditWare::save_state, exploration RNG state and non-default fit options
+// are not serialized — a restored server resumes with reseeded exploration
+// streams but identical learned models.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/banditware.hpp"
+
+namespace bw::serve {
+
+enum class ShardingPolicy {
+  kFeatureHash,  ///< stable hash of the feature vector
+  kRoundRobin,   ///< atomic counter, even spread
+};
+
+std::string to_string(ShardingPolicy policy);
+ShardingPolicy parse_sharding_policy(const std::string& name);
+
+struct BanditServerConfig {
+  std::size_t num_shards = 1;
+  ShardingPolicy sharding = ShardingPolicy::kFeatureHash;
+  core::BanditWareConfig bandit{};  ///< applied to every shard replica
+  std::uint64_t seed = 42;          ///< root seed; shard RNGs use child seeds
+  std::size_t num_threads = 0;      ///< batch-execution threads (0 = num_shards)
+  bool explore = true;              ///< false = pure-exploitation serving
+};
+
+/// One served decision. `shard` must be echoed back in the matching
+/// ServeObservation (kFeatureHash recomputes it, kRoundRobin cannot).
+struct ServeDecision {
+  std::size_t shard = 0;
+  core::ArmIndex arm = 0;
+  const hw::HardwareSpec* spec = nullptr;
+  bool explored = false;
+  double predicted_runtime_s = 0.0;
+};
+
+/// Feedback for one served decision.
+struct ServeObservation {
+  std::size_t shard = 0;
+  core::ArmIndex arm = 0;
+  core::FeatureVector x;
+  double runtime_s = 0.0;
+};
+
+class BanditServer {
+ public:
+  BanditServer(hw::HardwareCatalog catalog, std::vector<std::string> feature_names,
+               BanditServerConfig config = {});
+
+  /// Movable (so load_state can return by value) but not copyable: shards
+  /// own mutexes and the engine owns its thread pool.
+  BanditServer(BanditServer&& other) noexcept;
+  BanditServer(const BanditServer&) = delete;
+  BanditServer& operator=(const BanditServer&) = delete;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const BanditServerConfig& config() const { return config_; }
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+
+  /// Shard a feature vector routes to under kFeatureHash (stable within a
+  /// build). For kRoundRobin routing happens per request; use the decision's
+  /// `shard` field instead.
+  std::size_t shard_of(const core::FeatureVector& x) const;
+
+  /// Serves one decision (locks a single shard).
+  ServeDecision recommend_one(const core::FeatureVector& x);
+
+  /// Serves a batch: requests are routed, grouped per shard, and executed
+  /// concurrently on the internal pool. Result i corresponds to xs[i].
+  std::vector<ServeDecision> recommend_batch(const std::vector<core::FeatureVector>& xs);
+
+  /// Feeds one observed runtime back into its shard.
+  void observe_one(const ServeObservation& obs);
+
+  /// Batched feedback, grouped per shard and executed concurrently.
+  void observe_batch(const std::vector<ServeObservation>& observations);
+
+  /// R̂ per arm from one shard's replica (locks that shard).
+  std::vector<double> predictions(std::size_t shard, const core::FeatureVector& x) const;
+
+  /// Total observations across shards / per shard (locks each shard briefly).
+  std::size_t num_observations() const;
+  std::vector<std::size_t> shard_observation_counts() const;
+
+  /// Atomic whole-engine snapshot: every shard lock is held while the text
+  /// is assembled, so the state is a consistent cut.
+  std::string save_state() const;
+
+  /// Rebuilds a server from save_state() output. Throws ParseError.
+  static BanditServer load_state(const std::string& text);
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    core::BanditWare bandit;
+    Rng rng;
+    Shard(core::BanditWare b, std::uint64_t seed) : bandit(std::move(b)), rng(seed) {}
+  };
+
+  BanditServer(BanditServerConfig config, std::vector<core::BanditWare> replicas);
+
+  std::size_t route(const core::FeatureVector& x);
+  ServeDecision decide_locked(Shard& shard, std::size_t shard_index,
+                              const core::FeatureVector& x);
+
+  BanditServerConfig config_;
+  std::vector<std::string> feature_names_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<std::uint64_t> rr_counter_{0};
+};
+
+}  // namespace bw::serve

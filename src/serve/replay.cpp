@@ -1,0 +1,76 @@
+#include "serve/replay.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace bw::serve {
+
+std::string ReplayReport::to_string() const {
+  std::ostringstream os;
+  os << "decisions " << decisions << " in " << wall_s << " s (" << decisions_per_s
+     << "/s), mean regret " << mean_regret_s << " s, batch p50/p95/p99 " << batch_p50_ms
+     << "/" << batch_p95_ms << "/" << batch_p99_ms << " ms";
+  return os.str();
+}
+
+ReplayReport replay_run_table(BanditServer& server, const core::RunTable& table,
+                              const ReplayOptions& options) {
+  BW_CHECK_MSG(table.num_groups() > 0, "replay needs a non-empty run table");
+  BW_CHECK_MSG(table.num_features() == server.feature_names().size(),
+               "run table feature count does not match the server");
+  BW_CHECK_MSG(options.batch > 0, "replay batch size must be positive");
+  BW_CHECK_MSG(options.rounds >= 0, "replay round count must be non-negative");
+
+  Rng rng(options.seed);
+  ReplayReport report;
+  double regret_s = 0.0;
+  std::vector<double> batch_ms;
+  batch_ms.reserve(static_cast<std::size_t>(options.rounds));
+
+  const auto start = std::chrono::steady_clock::now();
+  for (long round = 0; round < options.rounds; ++round) {
+    std::vector<std::size_t> groups;
+    std::vector<core::FeatureVector> xs;
+    groups.reserve(options.batch);
+    xs.reserve(options.batch);
+    for (std::size_t i = 0; i < options.batch; ++i) {
+      groups.push_back(rng.index(table.num_groups()));
+      xs.push_back(table.features_of(groups.back()));
+    }
+
+    const auto batch_start = std::chrono::steady_clock::now();
+    const auto decisions = server.recommend_batch(xs);
+    std::vector<ServeObservation> observations;
+    observations.reserve(options.batch);
+    for (std::size_t i = 0; i < options.batch; ++i) {
+      const double runtime = table.runtime(groups[i], decisions[i].arm);
+      regret_s += runtime - table.best_runtime(groups[i]);
+      observations.push_back({decisions[i].shard, decisions[i].arm, xs[i], runtime});
+    }
+    server.observe_batch(observations);
+    const auto batch_elapsed = std::chrono::steady_clock::now() - batch_start;
+    batch_ms.push_back(std::chrono::duration<double, std::milli>(batch_elapsed).count());
+
+    report.decisions += options.batch;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  report.wall_s = std::chrono::duration<double>(elapsed).count();
+  report.decisions_per_s =
+      report.wall_s > 0.0 ? static_cast<double>(report.decisions) / report.wall_s : 0.0;
+  report.mean_regret_s =
+      report.decisions > 0 ? regret_s / static_cast<double>(report.decisions) : 0.0;
+  if (!batch_ms.empty()) {
+    report.batch_p50_ms = percentile(batch_ms, 50.0);
+    report.batch_p95_ms = percentile(batch_ms, 95.0);
+    report.batch_p99_ms = percentile(batch_ms, 99.0);
+  }
+  report.shard_observations = server.shard_observation_counts();
+  return report;
+}
+
+}  // namespace bw::serve

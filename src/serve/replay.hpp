@@ -1,0 +1,45 @@
+#pragma once
+// Throughput replay: drives a BanditServer with batches sampled from a
+// RunTable (the merged per-hardware CSV dataset of paper Fig. 1) and
+// measures what a serving deployment cares about — decisions/sec, batch
+// latency percentiles, regret against the per-group optimum, and how the
+// stream spread across shards. Shared by `banditware_cli serve` and tests
+// so the CLI stays a thin flag-parsing layer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/run_table.hpp"
+#include "serve/bandit_server.hpp"
+
+namespace bw::serve {
+
+struct ReplayOptions {
+  std::size_t batch = 64;    ///< workflows per recommend/observe batch
+  long rounds = 100;         ///< batches to replay
+  std::uint64_t seed = 42;   ///< group-sampling seed
+};
+
+struct ReplayReport {
+  std::size_t decisions = 0;
+  double wall_s = 0.0;
+  double decisions_per_s = 0.0;
+  double mean_regret_s = 0.0;  ///< chosen runtime minus per-group optimum
+  double batch_p50_ms = 0.0;   ///< recommend+observe latency per batch
+  double batch_p95_ms = 0.0;
+  double batch_p99_ms = 0.0;
+  std::vector<std::size_t> shard_observations;
+
+  std::string to_string() const;
+};
+
+/// Replays `options.rounds` batches of groups sampled uniformly from
+/// `table` through `server`: recommend_batch, look up the true runtime of
+/// the chosen arm, observe_batch. The table's arm order must match the
+/// server's catalog. Throws InvalidArgument on empty tables or a feature
+/// count mismatch.
+ReplayReport replay_run_table(BanditServer& server, const core::RunTable& table,
+                              const ReplayOptions& options = {});
+
+}  // namespace bw::serve

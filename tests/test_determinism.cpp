@@ -17,6 +17,7 @@
 #include "core/epsilon_greedy.hpp"
 #include "core/evaluator.hpp"
 #include "experiments/datasets.hpp"
+#include "serve/bandit_server.hpp"
 
 namespace bw {
 namespace {
@@ -102,6 +103,21 @@ TEST(GoldenValues, DatasetSeedChangesEverything) {
   const exp::Bp3dDataset a = exp::build_bp3d_dataset(25, 99);
   const exp::Bp3dDataset c = exp::build_bp3d_dataset(25, 100);
   EXPECT_NE(a.table.runtimes().data(), c.table.runtimes().data());
+}
+
+TEST(GoldenValues, ServeFeatureHashRoutingIsPinned) {
+  // The serving engine promises stable feature-hash routing (FNV-1a over
+  // the feature bit patterns) — repeat workflows must keep hitting the
+  // replica that learned them, across runs and platforms.
+  serve::BanditServerConfig config;
+  config.num_shards = 4;
+  serve::BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+  EXPECT_EQ(server.shard_of({120.0}), 3u);
+  EXPECT_EQ(server.shard_of({55.0}), 2u);
+  EXPECT_EQ(server.shard_of({129.0}), 1u);
+  EXPECT_EQ(server.shard_of({200.0}), 0u);
+  EXPECT_EQ(server.shard_of({97.5}), 1u);
+  EXPECT_EQ(server.shard_of({120.0, 2.0}), 3u);
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+// Tests for the sharded serving engine (serve/bandit_server): routing
+// determinism, batch ordering, snapshot round-trips, and a concurrent
+// observe-vs-recommend stress run.
+
+#include "serve/bandit_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hardware/catalog.hpp"
+
+namespace bw::serve {
+namespace {
+
+core::FeatureVector features_for(double num_tasks) { return {num_tasks}; }
+
+/// Deterministic synthetic runtime: bigger workflows and fewer CPUs -> slower.
+double synthetic_runtime(const hw::HardwareSpec& spec, double num_tasks) {
+  return 5.0 + num_tasks / spec.cpus;
+}
+
+BanditServer make_server(std::size_t shards, ShardingPolicy sharding,
+                         bool explore = true) {
+  BanditServerConfig config;
+  config.num_shards = shards;
+  config.sharding = sharding;
+  config.explore = explore;
+  config.seed = 7;
+  return BanditServer(hw::ndp_catalog(), {"num_tasks"}, config);
+}
+
+TEST(BanditServer, FeatureHashRoutingIsStable) {
+  BanditServer server = make_server(4, ShardingPolicy::kFeatureHash);
+  for (double tasks : {10.0, 55.0, 320.0, 499.0}) {
+    const auto x = features_for(tasks);
+    const std::size_t expected = server.shard_of(x);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_EQ(server.shard_of(x), expected);
+      EXPECT_EQ(server.recommend_one(x).shard, expected);
+    }
+  }
+}
+
+TEST(BanditServer, RoundRobinSpreadsBatchEvenly) {
+  BanditServer server = make_server(4, ShardingPolicy::kRoundRobin);
+  const std::vector<core::FeatureVector> xs(16, features_for(100.0));
+  const auto decisions = server.recommend_batch(xs);
+  ASSERT_EQ(decisions.size(), 16u);
+  std::vector<int> served(4, 0);
+  for (const auto& decision : decisions) {
+    ASSERT_LT(decision.shard, 4u);
+    ++served[decision.shard];
+  }
+  for (int count : served) EXPECT_EQ(count, 4);
+}
+
+TEST(BanditServer, BatchResultsMatchRequestOrder) {
+  BanditServer server = make_server(3, ShardingPolicy::kFeatureHash);
+  std::vector<core::FeatureVector> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(features_for(10.0 * (i + 1)));
+  const auto decisions = server.recommend_batch(xs);
+  ASSERT_EQ(decisions.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(decisions[i].shard, server.shard_of(xs[i]));
+    ASSERT_NE(decisions[i].spec, nullptr);
+    EXPECT_LT(decisions[i].arm, 3u);
+  }
+}
+
+TEST(BanditServer, IdenticallySeededServersDecideIdentically) {
+  BanditServer a = make_server(4, ShardingPolicy::kFeatureHash);
+  BanditServer b = make_server(4, ShardingPolicy::kFeatureHash);
+  std::vector<core::FeatureVector> xs;
+  for (int i = 0; i < 64; ++i) xs.push_back(features_for(25.0 * (i % 13) + 40.0));
+  const auto da = a.recommend_batch(xs);
+  const auto db = b.recommend_batch(xs);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].shard, db[i].shard);
+    EXPECT_EQ(da[i].arm, db[i].arm);
+    EXPECT_EQ(da[i].explored, db[i].explored);
+  }
+}
+
+TEST(BanditServer, ObservationsTrainTheServingShard) {
+  BanditServer server = make_server(2, ShardingPolicy::kFeatureHash, /*explore=*/false);
+  // Teach both shards that the 4-CPU arm is fastest for every size.
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  std::vector<ServeObservation> observations;
+  for (int round = 0; round < 30; ++round) {
+    const double tasks = 50.0 + 17.0 * round;
+    const auto x = features_for(tasks);
+    const std::size_t shard = server.shard_of(x);
+    for (core::ArmIndex arm = 0; arm < 3; ++arm) {
+      observations.push_back({shard, arm, x, synthetic_runtime(catalog[arm], tasks)});
+    }
+  }
+  server.observe_batch(observations);
+  EXPECT_EQ(server.num_observations(), observations.size());
+
+  const auto x = features_for(400.0);
+  const auto predictions = server.predictions(server.shard_of(x), x);
+  ASSERT_EQ(predictions.size(), 3u);
+  // H2 = (4, 16) dominates on runtime; the trained models must reflect it.
+  EXPECT_LT(predictions[2], predictions[0]);
+}
+
+TEST(BanditServer, SnapshotRoundTripIsByteIdentical) {
+  BanditServer server = make_server(3, ShardingPolicy::kRoundRobin);
+  std::vector<core::FeatureVector> xs;
+  for (int i = 0; i < 40; ++i) xs.push_back(features_for(30.0 + 11.0 * i));
+  const auto decisions = server.recommend_batch(xs);
+  std::vector<ServeObservation> observations;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    observations.push_back({decisions[i].shard, decisions[i].arm, xs[i],
+                            synthetic_runtime(*decisions[i].spec, xs[i][0])});
+  }
+  server.observe_batch(observations);
+
+  const std::string saved = server.save_state();
+  BanditServer restored = BanditServer::load_state(saved);
+  EXPECT_EQ(restored.save_state(), saved);
+
+  EXPECT_EQ(restored.num_shards(), server.num_shards());
+  EXPECT_EQ(restored.num_observations(), server.num_observations());
+  EXPECT_EQ(restored.shard_observation_counts(), server.shard_observation_counts());
+  const auto x = features_for(222.0);
+  for (std::size_t s = 0; s < server.num_shards(); ++s) {
+    EXPECT_EQ(restored.predictions(s, x), server.predictions(s, x));
+  }
+}
+
+TEST(BanditServer, LoadStateRejectsMalformedText) {
+  EXPECT_THROW(BanditServer::load_state("not a snapshot"), ParseError);
+  EXPECT_THROW(BanditServer::load_state("banditserver-state v1\nshards 0\n"),
+               ParseError);
+}
+
+TEST(BanditServer, ConcurrentObserveAndRecommendStress) {
+  BanditServer server = make_server(4, ShardingPolicy::kFeatureHash);
+  constexpr int kThreads = 6;
+  constexpr int kRoundsPerThread = 200;
+  std::atomic<std::size_t> decisions_served{0};
+  std::atomic<std::size_t> observations_fed{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, &decisions_served, &observations_fed, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const double tasks = 20.0 + 7.0 * ((t * kRoundsPerThread + round) % 91);
+        const auto x = features_for(tasks);
+        if ((t + round) % 3 == 0) {
+          // Batched path: recommend four workflows, feed all four back.
+          const std::vector<core::FeatureVector> xs(4, x);
+          const auto batch = server.recommend_batch(xs);
+          std::vector<ServeObservation> observations;
+          for (const auto& decision : batch) {
+            observations.push_back({decision.shard, decision.arm, x,
+                                    synthetic_runtime(*decision.spec, tasks)});
+          }
+          server.observe_batch(observations);
+          decisions_served += batch.size();
+          observations_fed += observations.size();
+        } else {
+          const auto decision = server.recommend_one(x);
+          server.observe_one({decision.shard, decision.arm, x,
+                              synthetic_runtime(*decision.spec, tasks)});
+          ++decisions_served;
+          ++observations_fed;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(decisions_served.load(), observations_fed.load());
+  EXPECT_EQ(server.num_observations(), observations_fed.load());
+}
+
+TEST(BanditServer, SaveStateIsAtomicUnderConcurrentWrites) {
+  BanditServer server = make_server(4, ShardingPolicy::kFeatureHash);
+  // The writer is bounded (not free-running) so the snapshot loop below
+  // cannot chase an ever-growing history: load_state replays every stored
+  // observation, which is quadratic if the stream never stops.
+  std::atomic<bool> stop{false};
+  std::thread writer([&server, &stop] {
+    for (int i = 0; i < 400 && !stop.load(); ++i) {
+      const auto x = features_for(15.0 + (i % 37));
+      const auto decision = server.recommend_one(x);
+      server.observe_one({decision.shard, decision.arm, x,
+                          synthetic_runtime(*decision.spec, x[0])});
+    }
+  });
+  for (int i = 0; i < 10; ++i) {
+    const std::string saved = server.save_state();
+    // Every snapshot taken mid-stream must itself be loadable and stable.
+    BanditServer restored = BanditServer::load_state(saved);
+    EXPECT_EQ(restored.save_state(), saved);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace bw::serve

@@ -1,0 +1,88 @@
+// Tests for the throughput replay harness (serve/replay) on a small
+// synthetic RunTable.
+
+#include "serve/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "hardware/catalog.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bw::serve {
+namespace {
+
+/// 8 workflow groups x 3 NDP arms; runtime = tasks / cpus, so the 4-CPU
+/// arm is optimal everywhere.
+core::RunTable make_table() {
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  const std::size_t groups = 8;
+  linalg::Matrix features(groups, 1);
+  linalg::Matrix runtimes(groups, catalog.size());
+  for (std::size_t g = 0; g < groups; ++g) {
+    const double tasks = 100.0 + 40.0 * static_cast<double>(g);
+    features(g, 0) = tasks;
+    for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+      runtimes(g, arm) = tasks / catalog[arm].cpus;
+    }
+  }
+  return core::RunTable({"num_tasks"}, features, runtimes, catalog);
+}
+
+BanditServer make_server(std::size_t shards) {
+  BanditServerConfig config;
+  config.num_shards = shards;
+  config.seed = 5;
+  return BanditServer(hw::ndp_catalog(), {"num_tasks"}, config);
+}
+
+TEST(ServeReplay, ServesEveryRequestedDecisionExactlyOnce) {
+  BanditServer server = make_server(4);
+  ReplayOptions options;
+  options.batch = 16;
+  options.rounds = 5;
+  const ReplayReport report = replay_run_table(server, make_table(), options);
+  EXPECT_EQ(report.decisions, 80u);
+  EXPECT_GT(report.decisions_per_s, 0.0);
+  EXPECT_GE(report.mean_regret_s, 0.0);
+  EXPECT_LE(report.batch_p50_ms, report.batch_p95_ms);
+  EXPECT_LE(report.batch_p95_ms, report.batch_p99_ms);
+  // Every decision was observed back into some shard.
+  const std::size_t observed = std::accumulate(report.shard_observations.begin(),
+                                               report.shard_observations.end(), 0ull);
+  EXPECT_EQ(observed, report.decisions);
+  EXPECT_EQ(server.num_observations(), report.decisions);
+}
+
+TEST(ServeReplay, RegretShrinksAsExplorationDecays) {
+  // Early batches explore (high regret); once epsilon has decayed the
+  // tolerant-greedy path should mostly pick the dominant 4-CPU arm.
+  BanditServer server = make_server(1);
+  ReplayOptions warmup;
+  warmup.batch = 32;
+  warmup.rounds = 20;
+  const ReplayReport early = replay_run_table(server, make_table(), warmup);
+  ReplayOptions steady = warmup;
+  steady.seed = 99;
+  const ReplayReport late = replay_run_table(server, make_table(), steady);
+  EXPECT_LT(late.mean_regret_s, early.mean_regret_s);
+}
+
+TEST(ServeReplay, RejectsMismatchedInputs) {
+  BanditServer server = make_server(2);
+  EXPECT_THROW(replay_run_table(server, core::RunTable{}), InvalidArgument);
+
+  BanditServerConfig config;
+  config.num_shards = 2;
+  BanditServer wide(hw::ndp_catalog(), {"num_tasks", "ram"}, config);
+  EXPECT_THROW(replay_run_table(wide, make_table()), InvalidArgument);
+
+  ReplayOptions zero_batch;
+  zero_batch.batch = 0;
+  EXPECT_THROW(replay_run_table(server, make_table(), zero_batch), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bw::serve

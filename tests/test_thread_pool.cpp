@@ -84,6 +84,78 @@ TEST(ThreadPool, SingleWorkerStillCorrect) {
   EXPECT_EQ(order, expected);  // one worker executes in order
 }
 
+// --- contention coverage: the serving engine submits batches to one shared
+// --- pool from many request threads at once, so the pool must stay correct
+// --- when the submission side itself is parallel.
+
+TEST(ThreadPool, ManyProducersManySmallTasks) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 500;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasksPerProducer);
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsStayIsolated) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kRange = 400;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& caller_hits : hits) {
+    caller_hits = std::vector<std::atomic<int>>(kRange);
+  }
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      pool.parallel_for(0, kRange, [&hits, c](std::size_t i) {
+        hits[c][i].fetch_add(1);
+      });
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (std::size_t i = 0; i < kRange; ++i) EXPECT_EQ(hits[c][i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, MixedProducersSurviveTaskExceptions) {
+  ThreadPool pool(3);
+  std::atomic<int> ok{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 6; ++p) {
+    producers.emplace_back([&pool, &ok, &failed, p] {
+      for (int i = 0; i < 100; ++i) {
+        auto future = pool.submit([p, i]() -> int {
+          if ((p + i) % 7 == 0) throw std::runtime_error("injected");
+          return i;
+        });
+        try {
+          future.get();
+          ok.fetch_add(1);
+        } catch (const std::runtime_error&) {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(ok.load() + failed.load(), 600);
+  EXPECT_GT(failed.load(), 0);  // the injected failures really propagated
+}
+
 TEST(ThreadPool, NestedSubmitFromTaskDoesNotDeadlock) {
   ThreadPool pool(2);
   auto outer = pool.submit([&pool] {

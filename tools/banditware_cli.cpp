@@ -11,6 +11,7 @@
 //
 //   banditware_cli recommend --state model.bw --x 350
 //   banditware_cli inspect --state model.bw
+//   banditware_cli serve --data ... --shards 4 --batch 64   # throughput replay
 //   banditware_cli demo        # self-contained end-to-end walkthrough
 //
 // Exit codes: 0 success, 1 usage error, 2 data/state error.
@@ -28,6 +29,8 @@
 #include "core/decision_log.hpp"
 #include "dataframe/csv.hpp"
 #include "experiments/datasets.hpp"
+#include "serve/bandit_server.hpp"
+#include "serve/replay.hpp"
 
 namespace {
 
@@ -93,6 +96,13 @@ BanditWare load_state_file(const std::string& path) {
   return BanditWare::load_state(buffer.str());
 }
 
+void write_state_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw bw::ParseError("cannot write state file: " + path);
+  out << text;
+  std::printf("state saved to %s\n", path.c_str());
+}
+
 int cmd_train(int argc, char** argv) {
   bw::CliParser cli("banditware_cli train — fit a recommender from CSV run tables");
   cli.add_flag("data", "", "NAME=(cpus,mem[,gpus]):file.csv per hardware, comma separated");
@@ -151,10 +161,7 @@ int cmd_train(int argc, char** argv) {
     std::printf("decision audit log written to %s\n", cli.get("log").c_str());
   }
 
-  std::ofstream out(cli.get("state"), std::ios::binary);
-  if (!out) throw bw::ParseError("cannot write state file: " + cli.get("state"));
-  out << bandit.save_state();
-  std::printf("state saved to %s\n", cli.get("state").c_str());
+  write_state_file(cli.get("state"), bandit.save_state());
   return 0;
 }
 
@@ -206,6 +213,88 @@ int cmd_inspect(int argc, char** argv) {
                    model.model().to_string()});
   }
   std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  bw::CliParser cli(
+      "banditware_cli serve — batched throughput replay through the sharded engine");
+  cli.add_flag("data", "", "NAME=(cpus,mem[,gpus]):file.csv per hardware, comma separated");
+  cli.add_flag("key", "run_id", "shared run-id column");
+  cli.add_flag("features", "", "comma-separated feature column names");
+  cli.add_flag("shards", "4", "serving shards (independent bandit replicas)");
+  cli.add_flag("sharding", "feature-hash", "routing: feature-hash | round-robin");
+  cli.add_flag("batch", "64", "workflows per recommend/observe batch");
+  cli.add_flag("rounds", "100", "batches to replay");
+  cli.add_flag("threads", "0", "batch-execution threads (0 = shards)");
+  cli.add_flag("tolerance-seconds", "0", "tolerance_seconds of Algorithm 1");
+  cli.add_flag("tolerance-ratio", "0", "tolerance_ratio of Algorithm 1");
+  cli.add_flag("epsilon0", "1.0", "initial exploration rate");
+  cli.add_flag("decay", "0.99", "epsilon decay factor");
+  cli.add_flag("seed", "42", "replay + exploration seed");
+  cli.add_flag("state", "", "optional output file for the engine snapshot");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto sources = parse_data_flag(cli.get("data"));
+  const auto features = split_commas(cli.get("features"));
+  if (features.empty()) throw bw::InvalidArgument("--features must name at least one column");
+
+  bw::hw::HardwareCatalog catalog;
+  std::vector<bw::df::DataFrame> frames;
+  for (const auto& source : sources) {
+    catalog.add(source.spec);
+    frames.push_back(bw::df::read_csv_file(source.path));
+  }
+  const bw::core::RunTable table =
+      bw::exp::merge_frames_to_table(frames, cli.get("key"), features, catalog);
+  std::printf("replaying %zu run groups x %zu hardware settings\n", table.num_groups(),
+              table.num_arms());
+
+  const long shards = cli.get_int("shards");
+  const long batch = cli.get_int("batch");
+  const long threads = cli.get_int("threads");
+  const long rounds = cli.get_int("rounds");
+  if (shards < 1) throw bw::InvalidArgument("--shards must be >= 1");
+  if (batch < 1) throw bw::InvalidArgument("--batch must be >= 1");
+  if (threads < 0) throw bw::InvalidArgument("--threads must be >= 0");
+  if (rounds < 0) throw bw::InvalidArgument("--rounds must be >= 0");
+
+  bw::serve::BanditServerConfig config;
+  config.num_shards = static_cast<std::size_t>(shards);
+  config.sharding = bw::serve::parse_sharding_policy(cli.get("sharding"));
+  config.num_threads = static_cast<std::size_t>(threads);
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.bandit.policy.initial_epsilon = cli.get_double("epsilon0");
+  config.bandit.policy.decay = cli.get_double("decay");
+  config.bandit.policy.tolerance.seconds = cli.get_double("tolerance-seconds");
+  config.bandit.policy.tolerance.ratio = cli.get_double("tolerance-ratio");
+  bw::serve::BanditServer server(catalog, features, config);
+
+  bw::serve::ReplayOptions options;
+  options.batch = static_cast<std::size_t>(batch);
+  options.rounds = rounds;
+  options.seed = config.seed;
+  const bw::serve::ReplayReport result = bw::serve::replay_run_table(server, table, options);
+
+  bw::Table report({"metric", "value"});
+  report.add_row({"shards", std::to_string(server.num_shards())});
+  report.add_row({"sharding", bw::serve::to_string(config.sharding)});
+  report.add_row({"decisions served", std::to_string(result.decisions)});
+  report.add_row({"wall time (s)", bw::format_double(result.wall_s, 3)});
+  report.add_row({"decisions/sec", bw::format_double(result.decisions_per_s, 0)});
+  report.add_row({"mean regret (s)", bw::format_double(result.mean_regret_s, 3)});
+  report.add_row({"batch p50 (ms)", bw::format_double(result.batch_p50_ms, 3)});
+  report.add_row({"batch p95 (ms)", bw::format_double(result.batch_p95_ms, 3)});
+  report.add_row({"batch p99 (ms)", bw::format_double(result.batch_p99_ms, 3)});
+  std::fputs(report.to_string().c_str(), stdout);
+
+  for (std::size_t s = 0; s < result.shard_observations.size(); ++s) {
+    std::printf("shard %zu observations: %zu\n", s, result.shard_observations[s]);
+  }
+
+  if (!cli.get("state").empty()) {
+    write_state_file(cli.get("state"), server.save_state());
+  }
   return 0;
 }
 
@@ -264,7 +353,7 @@ int cmd_demo(int argc, char** argv) {
 
 void print_usage() {
   std::puts("banditware_cli — hardware recommendation from run-table CSVs");
-  std::puts("usage: banditware_cli <train|recommend|inspect|demo> [flags]");
+  std::puts("usage: banditware_cli <train|recommend|inspect|serve|demo> [flags]");
   std::puts("       banditware_cli <command> --help for per-command flags");
 }
 
@@ -280,6 +369,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(argc - 1, argv + 1);
     if (command == "recommend") return cmd_recommend(argc - 1, argv + 1);
     if (command == "inspect") return cmd_inspect(argc - 1, argv + 1);
+    if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     if (command == "demo") return cmd_demo(argc - 1, argv + 1);
     print_usage();
     return 1;
