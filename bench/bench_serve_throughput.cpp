@@ -5,12 +5,23 @@
 // recommend_batch + observe_batch pairs.
 //
 //   ./bench/bench_serve_throughput [--decisions=20000] [--batches=1,64,256]
+//       [--workload=train|read-heavy] [--read-frac=0.9] [--clients=4]
+//       [--json=BENCH_serve_throughput.json]
 //
-// Two effects compound as shards grow: shard batches execute concurrently
-// on the pool, and each replica's observation history (whose least-squares
-// refit dominates observe cost) is a 1/N slice of the stream.
+// Workloads:
+//   * train       — the original 1:1 recommend/observe loop (exploring
+//     learner). Shards gain both from pool concurrency and from each
+//     replica seeing a 1/N slice of the stream.
+//   * read-heavy  — production serving: pure-exploitation recommends from
+//     `clients` concurrent threads with a `read-frac` read/write mix.
+//     Reads take the per-shard lock shared, so concurrent recommend
+//     batches to the *same* shard no longer serialize.
+//
+// Emits machine-readable BENCH_*.json so the perf trajectory is tracked
+// across PRs.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -40,6 +51,12 @@ double synthetic_runtime(const bw::hw::HardwareSpec& spec,
   return 5.0 + load / spec.cpus;
 }
 
+std::vector<std::string> feature_names() {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) names.push_back("f" + std::to_string(i));
+  return names;
+}
+
 struct CellResult {
   std::size_t shards = 0;
   std::size_t batch = 0;
@@ -47,16 +64,13 @@ struct CellResult {
   double decisions_per_s = 0.0;
 };
 
-CellResult run_cell(std::size_t shards, std::size_t batch, std::size_t decisions) {
-  std::vector<std::string> feature_names;
-  for (std::size_t i = 0; i < kNumFeatures; ++i) {
-    feature_names.push_back("f" + std::to_string(i));
-  }
+CellResult run_train_cell(std::size_t shards, std::size_t batch,
+                          std::size_t decisions) {
   bw::serve::BanditServerConfig config;
   config.num_shards = shards;
   config.sharding = bw::serve::ShardingPolicy::kFeatureHash;
   config.seed = 42;
-  bw::serve::BanditServer server(bw::hw::ndp_catalog(), feature_names, config);
+  bw::serve::BanditServer server(bw::hw::ndp_catalog(), feature_names(), config);
 
   bw::Rng rng(11);
   const auto start = std::chrono::steady_clock::now();
@@ -86,42 +100,169 @@ CellResult run_cell(std::size_t shards, std::size_t batch, std::size_t decisions
   return result;
 }
 
-std::vector<std::size_t> parse_sizes(const std::string& value) {
-  std::vector<std::size_t> sizes;
-  std::string token;
-  for (char ch : value + ",") {
-    if (ch == ',') {
-      if (!token.empty()) sizes.push_back(std::stoul(token));
-      token.clear();
-    } else {
-      token.push_back(ch);
+CellResult run_read_heavy_cell(std::size_t shards, std::size_t batch,
+                               std::size_t decisions, double read_frac,
+                               std::size_t clients) {
+  bw::serve::BanditServerConfig config;
+  config.num_shards = shards;
+  config.sharding = bw::serve::ShardingPolicy::kFeatureHash;
+  config.seed = 42;
+  config.explore = false;  // pure exploitation: reads share the shard lock
+  config.num_threads = std::max<std::size_t>(shards, clients);
+  bw::serve::BanditServer server(bw::hw::ndp_catalog(), feature_names(), config);
+
+  // Pre-train every replica so the serving phase exercises fitted models.
+  {
+    bw::Rng rng(5);
+    std::vector<bw::serve::ServeObservation> warmup;
+    const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+    for (std::size_t i = 0; i < 64 * shards; ++i) {
+      const auto x = random_features(rng);
+      const auto arm = static_cast<bw::core::ArmIndex>(i % catalog.size());
+      warmup.push_back({server.shard_of(x), arm, x,
+                        synthetic_runtime(catalog[arm], x)});
     }
+    server.observe_batch(warmup);
   }
-  return sizes;
+
+  // `clients` threads issue batches concurrently; every k-th batch per
+  // client is a write batch (recommend + observe feedback), the rest are
+  // read-only recommends. k is derived from read_frac (0.9 -> every 10th).
+  const std::size_t write_every =
+      read_frac >= 1.0 ? 0
+                       : std::max<std::size_t>(1, static_cast<std::size_t>(
+                                                      1.0 / (1.0 - read_frac) + 0.5));
+  const std::size_t per_client = (decisions + clients - 1) / clients;
+  std::atomic<std::size_t> total_served{0};
+
+  auto client_loop = [&](std::size_t client_id) {
+    bw::Rng rng(100 + client_id);
+    std::size_t served = 0;
+    std::size_t iteration = 0;
+    while (served < per_client) {
+      const std::size_t n = std::min(batch, per_client - served);
+      std::vector<bw::core::FeatureVector> xs;
+      xs.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) xs.push_back(random_features(rng));
+      const auto batch_decisions = server.recommend_batch(xs);
+      const bool write_batch = write_every != 0 && (iteration % write_every) == 0;
+      if (write_batch) {
+        std::vector<bw::serve::ServeObservation> observations;
+        observations.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          observations.push_back(
+              {batch_decisions[i].shard, batch_decisions[i].arm, xs[i],
+               synthetic_runtime(*batch_decisions[i].spec, xs[i])});
+        }
+        server.observe_batch(observations);
+      }
+      served += n;
+      ++iteration;
+    }
+    total_served += served;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) threads.emplace_back(client_loop, c);
+  for (auto& thread : threads) thread.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  CellResult result;
+  result.shards = shards;
+  result.batch = batch;
+  result.seconds = std::chrono::duration<double>(elapsed).count();
+  result.decisions_per_s =
+      static_cast<double>(total_served.load()) / result.seconds;
+  return result;
+}
+
+void write_json(const std::string& path, const std::string& workload,
+                double read_frac, std::size_t clients,
+                const std::vector<CellResult>& cells) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"serve_throughput\",\n  \"workload\": \"%s\",\n"
+               "  \"read_frac\": %.2f,\n  \"clients\": %zu,\n  \"results\": [\n",
+               workload.c_str(), read_frac, clients);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = cells[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"batch\": %zu, \"seconds\": %.4f, "
+                 "\"decisions_per_s\": %.1f}%s\n",
+                 cell.shards, cell.batch, cell.seconds, cell.decisions_per_s,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
 }
 
 }  // namespace
 
+int run(int argc, char** argv);
+
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
+int run(int argc, char** argv) {
   bw::CliParser cli("serving-engine throughput: decisions/sec vs shards x batch");
   cli.add_flag("decisions", "20000", "decisions per timed cell");
   cli.add_flag("shards", "1,2,4,8", "shard counts to sweep");
   cli.add_flag("batches", "1,64,256", "batch sizes to sweep");
+  cli.add_flag("workload", "train", "train (1:1 learn loop) or read-heavy");
+  cli.add_flag("read-frac", "0.9", "read fraction of the read-heavy mix");
+  cli.add_flag("clients", "4", "concurrent client threads (read-heavy)");
+  cli.add_flag("json", "BENCH_serve_throughput.json", "machine-readable output path");
   if (!cli.parse(argc, argv)) return 0;
 
+  if (cli.get_int("decisions") <= 0 || cli.get_int("clients") <= 0) {
+    std::fprintf(stderr, "--decisions and --clients must be positive\n");
+    return 1;
+  }
   const auto decisions = static_cast<std::size_t>(cli.get_int("decisions"));
-  const auto shard_counts = parse_sizes(cli.get("shards"));
-  const auto batch_sizes = parse_sizes(cli.get("batches"));
+  const auto shard_counts = bw::parse_size_list(cli.get("shards"));
+  const auto batch_sizes = bw::parse_size_list(cli.get("batches"));
+  const std::string workload = cli.get("workload");
+  const double read_frac = cli.get_double("read-frac");
+  const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
+  const bool read_heavy = workload == "read-heavy";
+  if (workload != "train" && workload != "read-heavy") {
+    std::fprintf(stderr, "--workload must be 'train' or 'read-heavy'\n");
+    return 1;
+  }
+  if (read_heavy && (read_frac < 0.0 || read_frac > 1.0)) {
+    std::fprintf(stderr, "--read-frac must be in [0, 1]\n");
+    return 1;
+  }
 
-  std::printf("hardware threads: %u, decisions per cell: %zu\n\n",
-              std::thread::hardware_concurrency(), decisions);
+  std::printf("hardware threads: %u, decisions per cell: %zu, workload: %s\n",
+              std::thread::hardware_concurrency(), decisions, workload.c_str());
+  if (read_heavy) {
+    std::printf("read fraction: %.0f%%, clients: %zu\n", read_frac * 100.0, clients);
+  }
+  std::printf("\n");
 
+  std::vector<CellResult> cells;
   bw::Table table({"shards", "batch", "wall (s)", "decisions/s", "speedup vs 1 shard"});
   for (std::size_t batch : batch_sizes) {
     double baseline = 0.0;
     for (std::size_t shards : shard_counts) {
-      const CellResult cell = run_cell(shards, batch, decisions);
+      const CellResult cell =
+          read_heavy ? run_read_heavy_cell(shards, batch, decisions, read_frac, clients)
+                     : run_train_cell(shards, batch, decisions);
       if (shards == shard_counts.front()) baseline = cell.decisions_per_s;
+      cells.push_back(cell);
       table.add_row({std::to_string(cell.shards), std::to_string(cell.batch),
                      bw::format_double(cell.seconds, 3),
                      bw::format_double(cell.decisions_per_s, 0),
@@ -129,5 +270,7 @@ int main(int argc, char** argv) {
     }
   }
   std::fputs(table.to_string().c_str(), stdout);
+  write_json(cli.get("json"), workload, read_heavy ? read_frac : 0.0,
+             read_heavy ? clients : 1, cells);
   return 0;
 }

@@ -79,6 +79,36 @@ bool CliParser::get_bool(const std::string& name) const {
   throw InvalidArgument("flag --" + name + " expects a boolean, got '" + v + "'");
 }
 
+std::vector<std::size_t> parse_size_list(const std::string& value) {
+  std::vector<std::size_t> sizes;
+  std::string token;
+  auto flush = [&sizes, &token] {
+    if (token.empty()) return;
+    std::size_t pos = 0;
+    unsigned long long parsed = 0;
+    try {
+      parsed = std::stoull(token, &pos);
+    } catch (const std::exception&) {
+      throw InvalidArgument("expected a size list like '1,64,256', got '" + token + "'");
+    }
+    if (pos != token.size() || parsed == 0) {
+      throw InvalidArgument("expected a positive size, got '" + token + "'");
+    }
+    sizes.push_back(static_cast<std::size_t>(parsed));
+    token.clear();
+  };
+  for (char ch : value) {
+    if (ch == ',') {
+      flush();
+    } else {
+      token.push_back(ch);
+    }
+  }
+  flush();
+  if (sizes.empty()) throw InvalidArgument("expected a non-empty size list");
+  return sizes;
+}
+
 std::string CliParser::help() const {
   std::ostringstream os;
   os << description_ << "\n\nFlags:\n";

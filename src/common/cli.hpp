@@ -44,4 +44,9 @@ class CliParser {
   std::vector<std::string> positional_;
 };
 
+/// Parses a comma-separated list of positive sizes ("1,64,256") — the
+/// sweep-axis syntax the self-timed benches share. Throws InvalidArgument
+/// on empty input, non-numeric entries, or zeros.
+std::vector<std::size_t> parse_size_list(const std::string& value);
+
 }  // namespace bw

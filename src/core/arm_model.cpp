@@ -6,8 +6,25 @@
 
 namespace bw::core {
 
-LinearArmModel::LinearArmModel(std::size_t dim, linalg::FitOptions fit)
-    : dim_(dim), fit_(fit) {
+namespace {
+
+/// The incremental backend's ridge prior mirrors the batch path: an
+/// explicit fit.ridge wins, otherwise the rank-deficiency fallback ridge
+/// (which is what the batch fit applies on every underdetermined refit).
+double rls_prior_ridge(const linalg::FitOptions& fit) {
+  if (fit.ridge > 0.0) return fit.ridge;
+  if (fit.fallback_ridge > 0.0) return fit.fallback_ridge;
+  return 1e-8;
+}
+
+}  // namespace
+
+LinearArmModel::LinearArmModel(std::size_t dim, linalg::FitOptions fit,
+                               bool exact_history)
+    : dim_(dim),
+      fit_(fit),
+      exact_history_(exact_history || !fit.intercept),
+      rls_(dim > 0 ? dim : 1, rls_prior_ridge(fit)) {
   BW_CHECK_MSG(dim > 0, "arm model needs at least one feature");
   reset();
 }
@@ -15,6 +32,7 @@ LinearArmModel::LinearArmModel(std::size_t dim, linalg::FitOptions fit)
 void LinearArmModel::reset() {
   xs_.clear();
   ys_.clear();
+  rls_.reset();
   model_.weights.assign(dim_, 0.0);  // paper init: w_i = 0, b_i = 0
   model_.bias = 0.0;
   model_.n_observations = 0;
@@ -24,9 +42,14 @@ void LinearArmModel::observe(std::span<const double> x, double runtime_s) {
   BW_CHECK_MSG(x.size() == dim_, "arm model: feature size mismatch");
   BW_CHECK_MSG(linalg::all_finite(x), "arm model: non-finite feature");
   BW_CHECK_MSG(std::isfinite(runtime_s), "arm model: non-finite runtime");
-  xs_.emplace_back(x.begin(), x.end());
-  ys_.push_back(runtime_s);
-  refit();
+  if (exact_history_) {
+    xs_.emplace_back(x.begin(), x.end());
+    ys_.push_back(runtime_s);
+    refit();
+    return;
+  }
+  rls_.update(x, runtime_s);
+  sync_from_rls();
 }
 
 void LinearArmModel::refit() {
@@ -35,6 +58,21 @@ void LinearArmModel::refit() {
     for (std::size_t c = 0; c < dim_; ++c) design(r, c) = xs_[r][c];
   }
   model_ = linalg::fit_linear(design, ys_, fit_).model;
+}
+
+void LinearArmModel::sync_from_rls() {
+  const linalg::Vector& theta = rls_.theta();
+  model_.weights.assign(theta.begin(), theta.end() - 1);
+  model_.bias = theta.back();
+  model_.n_observations = rls_.n_observations();
+}
+
+void LinearArmModel::restore_stats(const linalg::Matrix& p,
+                                   const linalg::Vector& theta, std::size_t n) {
+  BW_CHECK_MSG(!exact_history_,
+               "arm model: restore_stats requires the incremental backend");
+  rls_.restore(p, theta, n);
+  sync_from_rls();
 }
 
 double LinearArmModel::predict(std::span<const double> x) const {

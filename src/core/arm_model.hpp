@@ -1,35 +1,66 @@
 #pragma once
 // Per-arm linear runtime model (paper Section 3.2):
 //   R(H_i, x) = w_i^T x + b_i
-// initialized to w = 0, b = 0 and refit by least squares over the arm's
-// observation set D_i after every new observation (Alg. 1 lines 1-2, 10-11).
+// initialized to w = 0, b = 0 and updated after every observation
+// (Alg. 1 lines 1-2, 10-11).
+//
+// Two interchangeable backends:
+//   * incremental (default) — a Sherman–Morrison recursive least-squares
+//     update (linalg/rls): O(d^2) per observe(), no per-row history kept.
+//     Mathematically the ridge solution on the full stream with the prior
+//     ridge fit.ridge (or fit.fallback_ridge when ridge is 0), i.e. the
+//     same estimate the batch path's underdetermined fallback computes.
+//   * exact_history (opt-in) — the paper's literal Alg. 1 line 11: store
+//     every observation and rerun the batch QR fit each time. O(n d^2) per
+//     observe(). Kept for the paper-figure benchmarks and as the ground
+//     truth the incremental path is property-tested against.
 
 #include <span>
 #include <vector>
 
 #include "core/types.hpp"
 #include "linalg/lstsq.hpp"
+#include "linalg/rls.hpp"
 
 namespace bw::core {
 
 class LinearArmModel {
  public:
   /// `dim` = number of workflow features m. FitOptions control the
-  /// regression (ridge fallback handles the first few underdetermined fits).
-  explicit LinearArmModel(std::size_t dim, linalg::FitOptions fit = {});
+  /// regression; `exact_history` selects the batch-QR backend. A fit with
+  /// intercept=false always uses the batch backend (the recursive update
+  /// hard-codes the intercept column).
+  explicit LinearArmModel(std::size_t dim, linalg::FitOptions fit = {},
+                          bool exact_history = false);
 
   std::size_t dim() const { return dim_; }
-  std::size_t count() const { return xs_.size(); }
+  std::size_t count() const {
+    return exact_history_ ? xs_.size() : rls_.n_observations();
+  }
+  bool exact_history() const { return exact_history_; }
 
-  /// Records an observation and refits immediately (Alg. 1 line 10-11).
+  /// Records an observation and updates the model (Alg. 1 line 10-11).
+  /// O(d^2) incremental, O(n d^2) with exact_history.
   void observe(std::span<const double> x, double runtime_s);
 
   /// Current prediction ŵ^T x + b̂; 0 before any observation (w=b=0 init).
+  /// Reads only immutable-between-observes state, so concurrent predict()
+  /// calls are safe as long as no observe() runs (read-mostly serving).
   double predict(std::span<const double> x) const;
 
   const linalg::LinearModel& model() const { return model_; }
 
-  /// Stored observations (x rows, runtimes) — exposed for serialization.
+  /// Sufficient statistics of the incremental backend (P, theta, n) — the
+  /// banditware-state v2 payload. Only meaningful when !exact_history().
+  const linalg::RecursiveLeastSquares& rls() const { return rls_; }
+
+  /// Reinstates saved sufficient statistics (incremental backend only).
+  /// Throws InvalidArgument on shape mismatch or in exact_history mode.
+  void restore_stats(const linalg::Matrix& p, const linalg::Vector& theta,
+                     std::size_t n);
+
+  /// Stored observations — exposed for serialization. Empty in incremental
+  /// mode (the hot path deliberately keeps no history).
   const std::vector<FeatureVector>& observed_features() const { return xs_; }
   const std::vector<double>& observed_runtimes() const { return ys_; }
 
@@ -37,12 +68,15 @@ class LinearArmModel {
 
  private:
   void refit();
+  void sync_from_rls();
 
   std::size_t dim_;
   linalg::FitOptions fit_;
-  std::vector<FeatureVector> xs_;
+  bool exact_history_;
+  linalg::RecursiveLeastSquares rls_;  ///< incremental backend
+  std::vector<FeatureVector> xs_;      ///< exact_history backend only
   std::vector<double> ys_;
-  linalg::LinearModel model_;  ///< always reflects the latest refit
+  linalg::LinearModel model_;  ///< always reflects the latest update
 };
 
 }  // namespace bw::core

@@ -1,11 +1,83 @@
 #include "core/banditware.hpp"
 
 #include <iomanip>
+#include <limits>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/error.hpp"
 
 namespace bw::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ParseError("BanditWare::load_state: " + what);
+}
+
+/// Arms are bounded by what a serialized catalog can sanely hold; a
+/// mis-parsed (negative / overflowed) count must not turn into a
+/// multi-gigabyte replay allocation.
+constexpr long long kMaxObservationsPerArm = 100'000'000;
+
+/// Reads a per-arm observation count defensively: the stream extracts a
+/// signed value so "-3" is caught as negative instead of wrapping to a
+/// huge unsigned count, and overflow sets failbit.
+std::size_t read_obs_count(std::istream& is) {
+  long long obs = 0;
+  is >> obs;
+  if (!is) fail("malformed obs count");
+  if (obs < 0) fail("negative obs count");
+  if (obs > kMaxObservationsPerArm) fail("obs count exceeds limit");
+  return static_cast<std::size_t>(obs);
+}
+
+void check_unique_arm_name(std::unordered_set<std::string>& seen,
+                           const std::string& name) {
+  if (!seen.insert(name).second) fail("duplicate arm name: " + name);
+}
+
+struct SnapshotHeader {
+  BanditWareConfig config;
+  double epsilon = 1.0;
+  std::vector<std::string> feature_names;
+  std::size_t num_arms = 0;
+};
+
+/// Parses the config / epsilon / features / arms preamble shared by v1 and
+/// v2 (v2 additionally carries the exact_history flag on the config line).
+SnapshotHeader read_header(std::istream& is, int version) {
+  SnapshotHeader header;
+  std::string token;
+  is >> token;
+  if (token != "epsilon0") fail("expected epsilon0");
+  is >> header.config.policy.initial_epsilon;
+  is >> token >> header.config.policy.decay;
+  is >> token >> header.config.policy.tolerance.ratio;
+  is >> token >> header.config.policy.tolerance.seconds;
+  if (version >= 2) {
+    int exact = 0;
+    is >> token >> exact;
+    if (token != "exact_history") fail("expected exact_history");
+    header.config.policy.exact_history = exact != 0;
+  }
+  is >> token;
+  if (token != "epsilon") fail("expected epsilon");
+  is >> header.epsilon;
+
+  std::size_t num_features = 0;
+  is >> token >> num_features;
+  if (token != "features" || num_features == 0) fail("expected features");
+  header.feature_names.resize(num_features);
+  for (auto& name : header.feature_names) is >> name;
+
+  is >> token >> header.num_arms;
+  if (token != "arms" || header.num_arms == 0) fail("expected arms");
+  if (!is) fail("truncated header");
+  return header;
+}
+
+}  // namespace
 
 BanditWare::BanditWare(hw::HardwareCatalog catalog, std::vector<std::string> feature_names,
                        BanditWareConfig config)
@@ -65,12 +137,22 @@ std::size_t BanditWare::num_observations() const {
 }
 
 std::string BanditWare::save_state() const {
+  // v2: sufficient statistics per arm. Incremental arms serialize (theta,
+  // P, n) — O(arms * d^2) regardless of history length — while
+  // exact_history arms still carry their raw observation rows (the batch
+  // backend *is* its history). load_state below reads both v2 and v1.
+  // The serialized flag is the arms' *effective* backend (every arm shares
+  // it): a fit with intercept=false forces the batch backend even when
+  // exact_history was not requested, and the reader checks record kinds
+  // against this flag.
+  const bool effective_exact_history = policy_.arm_model(0).exact_history();
   std::ostringstream os;
   os << std::setprecision(17);
-  os << "banditware-state v1\n";
+  os << "banditware-state v2\n";
   os << "epsilon0 " << config_.policy.initial_epsilon << " decay " << config_.policy.decay
      << " tol_ratio " << config_.policy.tolerance.ratio << " tol_seconds "
-     << config_.policy.tolerance.seconds << "\n";
+     << config_.policy.tolerance.seconds << " exact_history "
+     << (effective_exact_history ? 1 : 0) << "\n";
   os << "epsilon " << policy_.epsilon() << "\n";
   os << "features " << feature_names_.size();
   for (const auto& name : feature_names_) os << ' ' << name;
@@ -79,67 +161,69 @@ std::string BanditWare::save_state() const {
   for (ArmIndex arm = 0; arm < catalog_.size(); ++arm) {
     const auto& spec = catalog_[arm];
     const auto& model = policy_.arm_model(arm);
-    os << "arm " << spec.name << ' ' << spec.cpus << ' ' << spec.memory_gb << " obs "
-       << model.count() << "\n";
-    for (std::size_t i = 0; i < model.count(); ++i) {
-      for (double v : model.observed_features()[i]) os << v << ' ';
-      os << model.observed_runtimes()[i] << "\n";
+    os << "arm " << spec.name << ' ' << spec.cpus << ' ' << spec.memory_gb << ' '
+       << spec.gpus;
+    if (model.exact_history()) {
+      os << " obs " << model.count() << "\n";
+      for (std::size_t i = 0; i < model.count(); ++i) {
+        for (double v : model.observed_features()[i]) os << v << ' ';
+        os << model.observed_runtimes()[i] << "\n";
+      }
+    } else {
+      const auto& rls = model.rls();
+      os << " stats " << model.count() << "\n";
+      os << "theta";
+      for (double v : rls.theta()) os << ' ' << v;
+      os << "\n";
+      const auto& p = rls.precision_inverse();
+      for (std::size_t r = 0; r < p.rows(); ++r) {
+        os << "P";
+        for (std::size_t c = 0; c < p.cols(); ++c) os << ' ' << p(r, c);
+        os << "\n";
+      }
     }
   }
+  // Explicit trailer: a truncated numeric tail would still parse as a
+  // (wrong) shorter number, so the reader verifies this sentinel instead.
+  os << "end\n";
   return os.str();
 }
 
 BanditWare BanditWare::load_state(const std::string& text) {
   std::istringstream is(text);
   std::string line;
-  auto fail = [](const std::string& what) -> void {
-    throw ParseError("BanditWare::load_state: " + what);
-  };
+  if (!std::getline(is, line)) fail("bad header");
+  if (line == "banditware-state v2") return load_state_v2(is);
+  if (line == "banditware-state v1") return load_state_v1(is);
+  fail("bad header");
+}
 
-  if (!std::getline(is, line) || line != "banditware-state v1") fail("bad header");
-
-  BanditWareConfig config;
+BanditWare BanditWare::load_state_v1(std::istream& is) {
+  // Legacy format: raw observation rows per arm, rebuilt by replaying every
+  // observation through the policy. With the incremental backend the replay
+  // is O(n d^2) total (it was O(n^2 d^2) when each observe refit the batch).
+  const SnapshotHeader header = read_header(is, 1);
   std::string token;
-  double epsilon = 1.0;
-  {
-    is >> token;
-    if (token != "epsilon0") fail("expected epsilon0");
-    is >> config.policy.initial_epsilon;
-    is >> token >> config.policy.decay;
-    is >> token >> config.policy.tolerance.ratio;
-    is >> token >> config.policy.tolerance.seconds;
-    is >> token;
-    if (token != "epsilon") fail("expected epsilon");
-    is >> epsilon;
-  }
-
-  std::size_t num_features = 0;
-  is >> token >> num_features;
-  if (token != "features" || num_features == 0) fail("expected features");
-  std::vector<std::string> feature_names(num_features);
-  for (auto& name : feature_names) is >> name;
-
-  std::size_t num_arms = 0;
-  is >> token >> num_arms;
-  if (token != "arms" || num_arms == 0) fail("expected arms");
 
   struct ArmData {
-    hw::HardwareSpec spec;
     std::vector<FeatureVector> xs;
     std::vector<double> ys;
   };
-  std::vector<ArmData> arms(num_arms);
+  std::vector<ArmData> arms(header.num_arms);
   hw::HardwareCatalog catalog;
+  std::unordered_set<std::string> seen_names;
   for (auto& arm : arms) {
-    std::size_t obs = 0;
+    hw::HardwareSpec spec;
     is >> token;
     if (token != "arm") fail("expected arm record");
-    is >> arm.spec.name >> arm.spec.cpus >> arm.spec.memory_gb >> token >> obs;
+    is >> spec.name >> spec.cpus >> spec.memory_gb >> token;
     if (token != "obs") fail("expected obs count");
+    const std::size_t obs = read_obs_count(is);
     if (!is) fail("truncated arm header");
-    catalog.add(arm.spec);
+    check_unique_arm_name(seen_names, spec.name);
+    catalog.add(spec);
     for (std::size_t i = 0; i < obs; ++i) {
-      FeatureVector x(num_features);
+      FeatureVector x(header.feature_names.size());
       double y = 0.0;
       for (double& v : x) is >> v;
       is >> y;
@@ -149,9 +233,7 @@ BanditWare BanditWare::load_state(const std::string& text) {
     }
   }
 
-  BanditWare restored(std::move(catalog), std::move(feature_names), config);
-  // Replaying observations rebuilds the per-arm least-squares models; the
-  // saved ε is then restored explicitly (observe() decays it).
+  BanditWare restored(std::move(catalog), header.feature_names, header.config);
   for (ArmIndex arm = 0; arm < restored.num_arms(); ++arm) {
     for (std::size_t i = 0; i < arms[arm].xs.size(); ++i) {
       restored.policy_.observe(arm, arms[arm].xs[i], arms[arm].ys[i]);
@@ -159,7 +241,80 @@ BanditWare BanditWare::load_state(const std::string& text) {
   }
   // observe() decayed ε during the replay above; the snapshot value is
   // authoritative (the original run may have interleaved other decays).
-  restored.policy_.set_epsilon(epsilon);
+  restored.policy_.set_epsilon(header.epsilon);
+  return restored;
+}
+
+BanditWare BanditWare::load_state_v2(std::istream& is) {
+  const SnapshotHeader header = read_header(is, 2);
+  const std::size_t dim = header.feature_names.size();
+  const std::size_t dim_aug = dim + 1;
+  std::string token;
+
+  struct ArmState {
+    bool exact = false;
+    std::size_t n = 0;
+    linalg::Vector theta;          // stats record
+    linalg::Matrix p;              // stats record
+    std::vector<FeatureVector> xs; // obs record
+    std::vector<double> ys;
+  };
+  std::vector<ArmState> arms(header.num_arms);
+  hw::HardwareCatalog catalog;
+  std::unordered_set<std::string> seen_names;
+  for (auto& arm : arms) {
+    hw::HardwareSpec spec;
+    is >> token;
+    if (token != "arm") fail("expected arm record");
+    is >> spec.name >> spec.cpus >> spec.memory_gb >> spec.gpus >> token;
+    if (token != "obs" && token != "stats") fail("expected obs or stats count");
+    arm.exact = token == "obs";
+    if (arm.exact != header.config.policy.exact_history) {
+      fail("arm record kind contradicts exact_history flag");
+    }
+    arm.n = read_obs_count(is);
+    if (!is) fail("truncated arm header");
+    check_unique_arm_name(seen_names, spec.name);
+    catalog.add(spec);
+    if (arm.exact) {
+      for (std::size_t i = 0; i < arm.n; ++i) {
+        FeatureVector x(dim);
+        double y = 0.0;
+        for (double& v : x) is >> v;
+        is >> y;
+        if (!is) fail("truncated observation");
+        arm.xs.push_back(std::move(x));
+        arm.ys.push_back(y);
+      }
+    } else {
+      is >> token;
+      if (token != "theta") fail("expected theta");
+      arm.theta.resize(dim_aug);
+      for (double& v : arm.theta) is >> v;
+      arm.p = linalg::Matrix(dim_aug, dim_aug);
+      for (std::size_t r = 0; r < dim_aug; ++r) {
+        is >> token;
+        if (token != "P") fail("expected P row");
+        for (std::size_t c = 0; c < dim_aug; ++c) is >> arm.p(r, c);
+      }
+      if (!is) fail("truncated sufficient statistics");
+    }
+  }
+  is >> token;
+  if (token != "end") fail("truncated state (missing end trailer)");
+
+  BanditWare restored(std::move(catalog), header.feature_names, header.config);
+  for (ArmIndex arm = 0; arm < restored.num_arms(); ++arm) {
+    ArmState& state = arms[arm];
+    if (state.exact) {
+      for (std::size_t i = 0; i < state.xs.size(); ++i) {
+        restored.policy_.observe(arm, state.xs[i], state.ys[i]);
+      }
+    } else {
+      restored.policy_.arm_model(arm).restore_stats(state.p, state.theta, state.n);
+    }
+  }
+  restored.policy_.set_epsilon(header.epsilon);
   return restored;
 }
 

@@ -15,6 +15,7 @@
 // State can be saved to / restored from a plain-text snapshot so a service
 // can restart without losing what it learned.
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -66,14 +67,22 @@ class BanditWare {
   const std::vector<std::string>& feature_names() const { return feature_names_; }
   const DecayingEpsilonGreedy& policy() const { return policy_; }
 
-  /// Plain-text state snapshot (config + catalog + observations + ε).
+  /// Plain-text state snapshot, format `banditware-state v2`: config +
+  /// catalog + per-arm sufficient statistics (theta, P, n) + ε. Cost is
+  /// O(arms * d^2) independent of how many observations were absorbed.
+  /// Arms running in exact_history mode serialize their raw observation
+  /// rows instead (their history *is* their state).
   std::string save_state() const;
 
-  /// Rebuilds an instance from save_state() output.
-  /// Throws ParseError on malformed input.
+  /// Rebuilds an instance from save_state() output. Reads both the current
+  /// v2 format and legacy v1 snapshots (raw observation rows, restored by
+  /// replay). Throws ParseError on malformed input.
   static BanditWare load_state(const std::string& text);
 
  private:
+  static BanditWare load_state_v1(std::istream& is);
+  static BanditWare load_state_v2(std::istream& is);
+
   hw::HardwareCatalog catalog_;
   std::vector<std::string> feature_names_;
   BanditWareConfig config_;

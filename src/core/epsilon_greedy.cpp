@@ -17,7 +17,7 @@ DecayingEpsilonGreedy::DecayingEpsilonGreedy(const hw::HardwareCatalog& catalog,
   BW_CHECK_MSG(config.decay > 0.0 && config.decay <= 1.0, "decay must be in (0,1]");
   arms_.reserve(catalog.size());
   for (std::size_t i = 0; i < catalog.size(); ++i) {
-    arms_.emplace_back(num_features, config.fit);
+    arms_.emplace_back(num_features, config.fit, config.exact_history);
   }
   resource_costs_ = catalog.resource_costs(config.resource_weights);
 }
@@ -40,7 +40,11 @@ void DecayingEpsilonGreedy::observe(ArmIndex arm, const FeatureVector& x, double
 }
 
 TolerantChoice DecayingEpsilonGreedy::recommend_choice(const FeatureVector& x) const {
-  std::vector<double> predictions(arms_.size());
+  // thread_local scratch: recommend_choice is the serving hot path and may
+  // run concurrently under shared locks, so the reusable buffer must be
+  // per-thread rather than a mutable member.
+  static thread_local std::vector<double> predictions;
+  predictions.resize(arms_.size());
   for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
     predictions[arm] = arms_[arm].predict(x);
   }
@@ -67,6 +71,11 @@ void DecayingEpsilonGreedy::reset() {
 }
 
 const LinearArmModel& DecayingEpsilonGreedy::arm_model(ArmIndex arm) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  return arms_[arm];
+}
+
+LinearArmModel& DecayingEpsilonGreedy::arm_model(ArmIndex arm) {
   BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
   return arms_[arm];
 }

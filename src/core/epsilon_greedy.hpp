@@ -25,6 +25,11 @@ struct EpsilonGreedyConfig {
   ToleranceParams tolerance{};   ///< tr / ts of the tolerant selection
   linalg::FitOptions fit{};      ///< per-arm regression options
   hw::ResourceWeights resource_weights{};  ///< efficiency ordering
+  /// Opt into the paper's literal batch refit (store every observation,
+  /// rerun QR each observe). Default is the O(d^2) incremental backend;
+  /// both produce the same predictions within float tolerance (see
+  /// tests/test_incremental_equivalence.cpp).
+  bool exact_history = false;
 };
 
 class DecayingEpsilonGreedy final : public Policy {
@@ -52,6 +57,10 @@ class DecayingEpsilonGreedy final : public Policy {
   void set_epsilon(double epsilon);
   const EpsilonGreedyConfig& config() const { return config_; }
   const LinearArmModel& arm_model(ArmIndex arm) const;
+
+  /// Mutable arm access for snapshot restoration (state loaders reinstate
+  /// sufficient statistics directly instead of replaying history).
+  LinearArmModel& arm_model(ArmIndex arm);
 
   /// True if the most recent select() call explored (for diagnostics).
   bool last_was_exploration() const { return last_was_exploration_; }

@@ -1,0 +1,26 @@
+#include "linalg/intercept.hpp"
+
+namespace bw::linalg {
+
+Vector with_intercept(std::span<const double> x) {
+  Vector out;
+  with_intercept_into(x, out);
+  return out;
+}
+
+void with_intercept_into(std::span<const double> x, Vector& out) {
+  out.resize(x.size() + 1);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i];
+  out[x.size()] = 1.0;
+}
+
+Matrix with_intercept_column(const Matrix& x) {
+  Matrix design(x.rows(), x.cols() + 1);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) design(r, c) = x(r, c);
+    design(r, x.cols()) = 1.0;
+  }
+  return design;
+}
+
+}  // namespace bw::linalg

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "linalg/cholesky.hpp"
+#include "linalg/intercept.hpp"
 #include "linalg/qr.hpp"
 
 namespace bw::linalg {
@@ -32,15 +33,6 @@ std::string LinearModel::to_string() const {
 }
 
 namespace {
-
-Matrix augment_with_intercept(const Matrix& x) {
-  Matrix design(x.rows(), x.cols() + 1);
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    for (std::size_t c = 0; c < x.cols(); ++c) design(r, c) = x(r, c);
-    design(r, x.cols()) = 1.0;
-  }
-  return design;
-}
 
 /// Ridge solve via the normal equations: (X^T X + lambda I) theta = X^T y
 /// with lambda = ridge plus a relative term scaled to the Gram diagonal —
@@ -78,7 +70,7 @@ FitResult fit_linear(const Matrix& x, const Vector& y, const FitOptions& options
   BW_CHECK_MSG(all_finite(std::span<const double>(x.data())), "fit_linear: non-finite feature");
   BW_CHECK_MSG(all_finite(y), "fit_linear: non-finite target");
 
-  const Matrix design = options.intercept ? augment_with_intercept(x) : x;
+  const Matrix design = options.intercept ? with_intercept_column(x) : x;
   const std::size_t p = design.cols();
 
   Vector theta;

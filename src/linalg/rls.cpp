@@ -1,6 +1,7 @@
 #include "linalg/rls.hpp"
 
 #include "common/error.hpp"
+#include "linalg/intercept.hpp"
 
 namespace bw::linalg {
 
@@ -18,35 +19,37 @@ void RecursiveLeastSquares::reset() {
   n_ = 0;
 }
 
-Vector RecursiveLeastSquares::augment(std::span<const double> x) const {
-  BW_CHECK_MSG(x.size() == dim_, "RLS: feature size mismatch");
-  Vector xa(dim_ + 1);
-  for (std::size_t i = 0; i < dim_; ++i) xa[i] = x[i];
-  xa[dim_] = 1.0;  // intercept column
-  return xa;
-}
-
 void RecursiveLeastSquares::update(std::span<const double> x, double y) {
+  BW_CHECK_MSG(x.size() == dim_, "RLS: feature size mismatch");
   BW_CHECK_MSG(all_finite(x), "RLS: non-finite feature");
-  const Vector xa = augment(x);
+  with_intercept_into(x, xa_scratch_);
+  const Vector& xa = xa_scratch_;
   const std::size_t p = xa.size();
 
   // k = P x / (1 + x^T P x); theta += k (y - x^T theta); P -= k x^T P.
-  Vector px = p_ * xa;
+  px_scratch_.resize(p);  // every element is overwritten below
+  Vector& px = px_scratch_;
+  for (std::size_t i = 0; i < p; ++i) {
+    const double* row = p_.row(i).data();
+    double s = 0.0;
+    for (std::size_t j = 0; j < p; ++j) s += row[j] * xa[j];
+    px[i] = s;
+  }
   const double denom = 1.0 + dot(xa, px);
   const double err = y - dot(xa, theta_);
   for (std::size_t i = 0; i < p; ++i) theta_[i] += px[i] * err / denom;
   // P <- P - (P x)(x^T P) / denom; exploit symmetry.
   for (std::size_t i = 0; i < p; ++i) {
-    for (std::size_t j = 0; j < p; ++j) {
-      p_(i, j) -= px[i] * px[j] / denom;
-    }
+    double* row = p_.row(i).data();
+    const double pxi = px[i] / denom;
+    for (std::size_t j = 0; j < p; ++j) row[j] -= pxi * px[j];
   }
   ++n_;
 }
 
 double RecursiveLeastSquares::predict(std::span<const double> x) const {
-  const Vector xa = augment(x);
+  BW_CHECK_MSG(x.size() == dim_, "RLS: feature size mismatch");
+  const Vector xa = with_intercept(x);
   return dot(xa, theta_);
 }
 
@@ -57,8 +60,23 @@ Vector RecursiveLeastSquares::weights() const {
 double RecursiveLeastSquares::bias() const { return theta_.back(); }
 
 double RecursiveLeastSquares::variance_proxy(std::span<const double> x) const {
-  const Vector xa = augment(x);
+  BW_CHECK_MSG(x.size() == dim_, "RLS: feature size mismatch");
+  const Vector xa = with_intercept(x);
   return dot(xa, p_ * xa);
+}
+
+void RecursiveLeastSquares::restore(const Matrix& p, const Vector& theta,
+                                    std::size_t n) {
+  const std::size_t dim_aug = dim_ + 1;
+  BW_CHECK_MSG(p.rows() == dim_aug && p.cols() == dim_aug,
+               "RLS::restore: precision matrix shape mismatch");
+  BW_CHECK_MSG(theta.size() == dim_aug, "RLS::restore: theta length mismatch");
+  BW_CHECK_MSG(all_finite(std::span<const double>(p.data())),
+               "RLS::restore: non-finite precision entry");
+  BW_CHECK_MSG(all_finite(theta), "RLS::restore: non-finite theta entry");
+  p_ = p;
+  theta_ = theta;
+  n_ = n;
 }
 
 }  // namespace bw::linalg

@@ -3,8 +3,15 @@
 // alternative to the paper's batch refit (Alg. 1 line 11): after every
 // observation the posterior precision P = (X^T X + ridge I)^{-1} is updated
 // in place. Mathematically identical to ridge least squares on the same
-// data (verified by property tests), and what the `bench_micro_core`
-// "lightweight online" benchmark measures against batch QR refits.
+// data (verified by property tests). This is the production backend of
+// core::LinearArmModel; the batch-QR path survives behind its
+// `exact_history` flag for the paper-figure benchmarks.
+//
+// update() is allocation-free after the first call (member scratch
+// buffers), so a long observation stream costs exactly O(p^2) work per
+// step. The sufficient statistics (P, theta, n) are exposed — and
+// restorable via restore() — so snapshots can carry the model state
+// directly instead of replaying history.
 
 #include <span>
 
@@ -19,9 +26,10 @@ class RecursiveLeastSquares {
   explicit RecursiveLeastSquares(std::size_t dim, double ridge = 1e-6);
 
   std::size_t dim() const { return dim_; }
+  double ridge() const { return ridge_; }
   std::size_t n_observations() const { return n_; }
 
-  /// Incorporates one observation (x, y).
+  /// Incorporates one observation (x, y). O(p^2), allocation-free.
   void update(std::span<const double> x, double y);
 
   /// Current estimate: prediction w^T x + b.
@@ -39,16 +47,21 @@ class RecursiveLeastSquares {
   /// Parameter vector theta = [w; b].
   const Vector& theta() const { return theta_; }
 
+  /// Reinstates saved sufficient statistics (banditware-state v2):
+  /// P must be (dim+1)x(dim+1), theta length dim+1. Throws InvalidArgument
+  /// on shape mismatch or non-finite entries.
+  void restore(const Matrix& p, const Vector& theta, std::size_t n);
+
   void reset();
 
  private:
-  Vector augment(std::span<const double> x) const;
-
   std::size_t dim_;
   double ridge_;
   std::size_t n_ = 0;
   Matrix p_;      ///< (X^T X + ridge I)^{-1}
   Vector theta_;  ///< [w; b]
+  Vector xa_scratch_;  ///< [x; 1] for the current update
+  Vector px_scratch_;  ///< P [x; 1]
 };
 
 }  // namespace bw::linalg

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <exception>
 #include <future>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 #include <utility>
 
@@ -128,7 +130,13 @@ ServeDecision BanditServer::decide_locked(Shard& shard, std::size_t shard_index,
 ServeDecision BanditServer::recommend_one(const core::FeatureVector& x) {
   const std::size_t index = route(x);
   Shard& shard = *shards_[index];
-  std::lock_guard lock(shard.mutex);
+  // Exploration mutates the shard RNG and policy diagnostics; pure
+  // exploitation is read-only and may share the lock with other readers.
+  if (config_.explore) {
+    std::unique_lock lock(shard.mutex);
+    return decide_locked(shard, index, x);
+  }
+  std::shared_lock lock(shard.mutex);
   return decide_locked(shard, index, x);
 }
 
@@ -147,9 +155,16 @@ std::vector<ServeDecision> BanditServer::recommend_batch(
     if (by_shard[s].empty()) continue;
     futures.push_back(pool_->submit([this, s, &by_shard, &xs, &results] {
       Shard& shard = *shards_[s];
-      std::lock_guard lock(shard.mutex);
-      for (std::size_t i : by_shard[s]) {
-        results[i] = decide_locked(shard, s, xs[i]);
+      if (config_.explore) {
+        std::unique_lock lock(shard.mutex);
+        for (std::size_t i : by_shard[s]) {
+          results[i] = decide_locked(shard, s, xs[i]);
+        }
+      } else {
+        std::shared_lock lock(shard.mutex);
+        for (std::size_t i : by_shard[s]) {
+          results[i] = decide_locked(shard, s, xs[i]);
+        }
       }
     }));
   }
@@ -160,7 +175,7 @@ std::vector<ServeDecision> BanditServer::recommend_batch(
 void BanditServer::observe_one(const ServeObservation& obs) {
   BW_CHECK_MSG(obs.shard < shards_.size(), "observation routed to unknown shard");
   Shard& shard = *shards_[obs.shard];
-  std::lock_guard lock(shard.mutex);
+  std::unique_lock lock(shard.mutex);
   shard.bandit.observe(obs.arm, obs.x, obs.runtime_s);
 }
 
@@ -177,7 +192,7 @@ void BanditServer::observe_batch(const std::vector<ServeObservation>& observatio
     if (by_shard[s].empty()) continue;
     futures.push_back(pool_->submit([this, s, &by_shard, &observations] {
       Shard& shard = *shards_[s];
-      std::lock_guard lock(shard.mutex);
+      std::unique_lock lock(shard.mutex);
       for (std::size_t i : by_shard[s]) {
         const ServeObservation& obs = observations[i];
         shard.bandit.observe(obs.arm, obs.x, obs.runtime_s);
@@ -191,7 +206,7 @@ std::vector<double> BanditServer::predictions(std::size_t shard_index,
                                               const core::FeatureVector& x) const {
   BW_CHECK_MSG(shard_index < shards_.size(), "predictions: unknown shard");
   const Shard& shard = *shards_[shard_index];
-  std::lock_guard lock(shard.mutex);
+  std::shared_lock lock(shard.mutex);
   return shard.bandit.predictions(x);
 }
 
@@ -205,7 +220,7 @@ std::vector<std::size_t> BanditServer::shard_observation_counts() const {
   std::vector<std::size_t> counts;
   counts.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    std::shared_lock lock(shard->mutex);
     counts.push_back(shard->bandit.num_observations());
   }
   return counts;
@@ -213,9 +228,11 @@ std::vector<std::size_t> BanditServer::shard_observation_counts() const {
 
 std::string BanditServer::save_state() const {
   // Take every shard lock before reading anything: the snapshot is a
-  // consistent cut across the whole engine. Lock order is shard index, and
-  // no other code path holds two shard locks, so this cannot deadlock.
-  std::vector<std::unique_lock<std::mutex>> locks;
+  // consistent cut across the whole engine. Shared mode suffices (the
+  // snapshot only reads) and still excludes every writer. Lock order is
+  // shard index, and no other code path holds two shard locks, so this
+  // cannot deadlock.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
 

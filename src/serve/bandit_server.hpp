@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -114,8 +115,12 @@ class BanditServer {
   static BanditServer load_state(const std::string& text);
 
  private:
+  // Read-mostly concurrency: recommends in pure-exploitation mode
+  // (config.explore == false) only read the replica, so they take the
+  // shard lock shared and run concurrently; observes, snapshots, and
+  // exploring recommends (which advance the shard RNG) take it exclusive.
   struct Shard {
-    mutable std::mutex mutex;
+    mutable std::shared_mutex mutex;
     core::BanditWare bandit;
     Rng rng;
     Shard(core::BanditWare b, std::uint64_t seed) : bandit(std::move(b)), rng(seed) {}

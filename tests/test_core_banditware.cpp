@@ -111,6 +111,151 @@ TEST(BanditWare, SaveLoadPreservesConfigTolerance) {
   EXPECT_DOUBLE_EQ(restored.policy().config().tolerance.seconds, 7.5);
 }
 
+TEST(BanditWare, SaveStateIsV2AndByteStableAcrossRoundTrip) {
+  BanditWare original = make_bandit();
+  Rng rng(9);
+  for (int i = 0; i < 25; ++i) {
+    const FeatureVector x = {static_cast<double>(i % 7 + 1), 0.5 * (i % 4)};
+    const auto decision = original.next(x, rng);
+    original.observe(decision.arm, x, 4.0 * x[0] + x[1]);
+  }
+  const std::string saved = original.save_state();
+  EXPECT_EQ(saved.rfind("banditware-state v2\n", 0), 0u);
+  // save -> load -> save must be byte-identical (sufficient statistics
+  // serialize exactly at 17 significant digits).
+  BanditWare restored = BanditWare::load_state(saved);
+  EXPECT_EQ(restored.save_state(), saved);
+  // And the restored model is numerically *identical*, not merely close.
+  const FeatureVector probe = {3.5, 1.0};
+  EXPECT_EQ(restored.predictions(probe), original.predictions(probe));
+}
+
+TEST(BanditWare, ExactHistoryModeRoundTripsThroughV2) {
+  BanditWareConfig config;
+  config.policy.exact_history = true;
+  BanditWare original = make_bandit(config);
+  Rng rng(10);
+  for (int i = 0; i < 15; ++i) {
+    const FeatureVector x = {static_cast<double>(i + 1), 2.0};
+    const auto decision = original.next(x, rng);
+    original.observe(decision.arm, x, 7.0 * x[0] + decision.arm);
+  }
+  const std::string saved = original.save_state();
+  BanditWare restored = BanditWare::load_state(saved);
+  EXPECT_TRUE(restored.policy().config().exact_history);
+  EXPECT_EQ(restored.save_state(), saved);
+  EXPECT_EQ(restored.num_observations(), original.num_observations());
+  const FeatureVector probe = {4.0, 2.0};
+  const auto p_original = original.predictions(probe);
+  const auto p_restored = restored.predictions(probe);
+  for (std::size_t arm = 0; arm < 3; ++arm) {
+    EXPECT_NEAR(p_restored[arm], p_original[arm], 1e-9);
+  }
+}
+
+TEST(BanditWare, InterceptFreeFitSnapshotStillLoads) {
+  BanditWareConfig config;
+  config.policy.fit.intercept = false;  // forces the batch backend per-arm
+  BanditWare original = make_bandit(config);
+  original.observe(0, {1.0, 2.0}, 3.0);
+  const std::string saved = original.save_state();
+  // Fit options are not serialized (documented limitation), but the
+  // snapshot must at least load and round-trip: save_state writes the
+  // arms' *effective* backend, not the raw exact_history config flag.
+  BanditWare restored = BanditWare::load_state(saved);
+  EXPECT_TRUE(restored.policy().config().exact_history);
+  EXPECT_EQ(restored.save_state(), saved);
+}
+
+TEST(BanditWare, V1SnapshotMigratesToV2Model) {
+  // A legacy v1 snapshot (raw observation rows) must load into the current
+  // incremental model with matching predictions, and re-save as v2.
+  const std::string v1 =
+      "banditware-state v1\n"
+      "epsilon0 1 decay 0.98999999999999999 tol_ratio 0 tol_seconds 0\n"
+      "epsilon 0.9414801494009999\n"
+      "features 2 num_tasks area\n"
+      "arms 3\n"
+      "arm H0 2 16 obs 3\n"
+      "1 2 21\n"
+      "2 1 33\n"
+      "3 3 50\n"
+      "arm H1 3 24 obs 2\n"
+      "1.5 2 24\n"
+      "4 1 55\n"
+      "arm H2 4 16 obs 1\n"
+      "2 2 30\n";
+  BanditWare migrated = BanditWare::load_state(v1);
+  EXPECT_EQ(migrated.num_arms(), 3u);
+  EXPECT_EQ(migrated.num_observations(), 6u);
+  EXPECT_NEAR(migrated.epsilon(), 0.9414801494009999, 1e-15);
+
+  // Reference: the same observations fed through the current API.
+  BanditWare reference = make_bandit();
+  reference.observe(0, {1.0, 2.0}, 21.0);
+  reference.observe(0, {2.0, 1.0}, 33.0);
+  reference.observe(0, {3.0, 3.0}, 50.0);
+  reference.observe(1, {1.5, 2.0}, 24.0);
+  reference.observe(1, {4.0, 1.0}, 55.0);
+  reference.observe(2, {2.0, 2.0}, 30.0);
+  for (double x0 : {1.0, 2.5, 6.0}) {
+    const FeatureVector x = {x0, 2.0};
+    const auto p_migrated = migrated.predictions(x);
+    const auto p_reference = reference.predictions(x);
+    for (std::size_t arm = 0; arm < 3; ++arm) {
+      EXPECT_NEAR(p_migrated[arm], p_reference[arm], 1e-9);
+    }
+  }
+
+  // Migration completes on the next save: the re-saved snapshot is v2 and
+  // round-trips byte-identically from then on.
+  const std::string v2 = migrated.save_state();
+  EXPECT_EQ(v2.rfind("banditware-state v2\n", 0), 0u);
+  BanditWare reloaded = BanditWare::load_state(v2);
+  EXPECT_EQ(reloaded.save_state(), v2);
+  EXPECT_EQ(reloaded.predictions({2.0, 2.0}), migrated.predictions({2.0, 2.0}));
+}
+
+TEST(BanditWare, LoadRejectsDuplicateArmNames) {
+  const std::string v1 =
+      "banditware-state v1\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0\n"
+      "epsilon 1\n"
+      "features 1 num_tasks\n"
+      "arms 2\n"
+      "arm H0 2 16 obs 0\n"
+      "arm H0 4 32 obs 0\n";
+  EXPECT_THROW(BanditWare::load_state(v1), ParseError);
+
+  BanditWare original = make_bandit();
+  original.observe(0, {1.0, 2.0}, 3.0);
+  std::string v2 = original.save_state();
+  const auto pos = v2.find("arm H1");
+  ASSERT_NE(pos, std::string::npos);
+  v2.replace(pos, 6, "arm H0");  // clone the first arm's name
+  EXPECT_THROW(BanditWare::load_state(v2), ParseError);
+}
+
+TEST(BanditWare, LoadRejectsNegativeOrOverflowingObsCounts) {
+  const std::string header =
+      "banditware-state v1\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0\n"
+      "epsilon 1\n"
+      "features 1 num_tasks\n"
+      "arms 1\n";
+  // Negative counts must be rejected, not wrapped into a huge unsigned.
+  EXPECT_THROW(BanditWare::load_state(header + "arm H0 2 16 obs -3\n"), ParseError);
+  // Counts beyond the sanity cap must be rejected before any allocation.
+  EXPECT_THROW(BanditWare::load_state(header + "arm H0 2 16 obs 999999999999\n"),
+               ParseError);
+  // Counts that overflow the integer reader must set failbit and throw.
+  EXPECT_THROW(
+      BanditWare::load_state(header + "arm H0 2 16 obs 99999999999999999999999\n"),
+      ParseError);
+  // Garbage where a count should be is malformed, not zero.
+  EXPECT_THROW(BanditWare::load_state(header + "arm H0 2 16 obs lots\n"), ParseError);
+}
+
 TEST(BanditWare, LoadRejectsGarbage) {
   EXPECT_THROW(BanditWare::load_state(""), ParseError);
   EXPECT_THROW(BanditWare::load_state("not a snapshot"), ParseError);

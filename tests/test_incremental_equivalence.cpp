@@ -1,0 +1,167 @@
+// Property suite for the O(d^2) incremental learning hot path: the
+// RLS-backed default DecayingEpsilonGreedy must be indistinguishable from
+// the paper-literal exact_history batch refit over randomized
+// 500-observation streams. Two layers of the contract:
+//
+//  1. With identical regression options (a shared explicit ridge) the two
+//     backends solve the *same* problem, so predictions must agree within
+//     1e-9 once an arm is determined (the warm-up solves are conditioned
+//     like ||x||^2 / ridge, so rounding there is visible at ~cond * eps,
+//     and the recursion carries a damped residue of it).
+//  2. With the library defaults the batch path runs unregularized QR while
+//     the incremental path keeps its 1e-8 prior — a bias that decays as
+//     1/n. Discrete behavior (selects, recommends, epsilon) must still be
+//     identical across the whole stream.
+//
+// This is the contract that lets the serving engine run the cheap backend
+// while the paper-figure benchmarks keep the literal Algorithm 1.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/epsilon_greedy.hpp"
+#include "hardware/catalog.hpp"
+
+namespace bw::core {
+namespace {
+
+hw::HardwareCatalog test_catalog() {
+  return hw::HardwareCatalog({{"A", 2, 16.0}, {"B", 3, 24.0}, {"C", 4, 16.0}});
+}
+
+constexpr std::size_t kDim = 4;
+constexpr std::size_t kSteps = 500;
+
+struct StreamStep {
+  FeatureVector x;
+  double runtime = 0.0;
+};
+
+std::vector<StreamStep> make_stream(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w_true(kDim);
+  for (auto& w : w_true) w = rng.uniform(0.2, 1.5);
+  std::vector<StreamStep> steps(kSteps);
+  for (auto& step : steps) {
+    step.x.resize(kDim);
+    step.runtime = 0.5;
+    for (std::size_t c = 0; c < kDim; ++c) {
+      step.x[c] = rng.uniform(0.0, 2.0);
+      step.runtime += w_true[c] * step.x[c];
+    }
+    step.runtime += rng.normal(0.0, 0.05);
+  }
+  return steps;
+}
+
+class IncrementalEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalEquivalence, PredictionsMatchBatchWithin1e9) {
+  const std::uint64_t seed = GetParam();
+  // Shared explicit ridge: both backends solve (X^T X + 1e-6 I) theta =
+  // X^T y, the incremental one recursively, the exact one from scratch per
+  // observation. 1e-6 keeps the warm-up (n < d+1) solves conditioned to
+  // ~1e6, so the recursion's remembered warm-up rounding stays ~1e-10;
+  // with a 1e-8 prior it sits right at the 1e-9 boundary.
+  EpsilonGreedyConfig incremental_config;
+  incremental_config.fit.ridge = 1e-6;
+  EpsilonGreedyConfig exact_config = incremental_config;
+  exact_config.exact_history = true;
+
+  const hw::HardwareCatalog catalog = test_catalog();
+  DecayingEpsilonGreedy incremental(catalog, kDim, incremental_config);
+  DecayingEpsilonGreedy exact(catalog, kDim, exact_config);
+  ASSERT_FALSE(incremental.arm_model(0).exact_history());
+  ASSERT_TRUE(exact.arm_model(0).exact_history());
+
+  // Identically seeded selection RNGs: as long as the two policies keep
+  // agreeing, their exploration streams stay in lockstep too.
+  Rng rng_incremental(seed * 31 + 1);
+  Rng rng_exact(seed * 31 + 1);
+
+  const auto stream = make_stream(seed);
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    const auto& [x, runtime] = stream[t];
+    const ArmIndex chosen = incremental.select(x, rng_incremental);
+    ASSERT_EQ(chosen, exact.select(x, rng_exact)) << "step " << t;
+
+    incremental.observe(chosen, x, runtime);
+    exact.observe(chosen, x, runtime);
+
+    for (ArmIndex arm = 0; arm < catalog.size(); ++arm) {
+      // Warm-up solves are ill-conditioned (cond ~ ||x||^2 / ridge) and
+      // both backends round differently there, so the strict bound kicks
+      // in once the arm's Gram matrix is comfortably determined; measured
+      // determined-phase disagreement is ~3e-11 (30x margin).
+      const bool determined = incremental.arm_model(arm).count() >= 30;
+      ASSERT_NEAR(incremental.predict(arm, x), exact.predict(arm, x),
+                  determined ? 1e-9 : 1e-6)
+          << "step " << t << " arm " << arm;
+    }
+    ASSERT_EQ(incremental.recommend(x), exact.recommend(x)) << "step " << t;
+  }
+
+  for (ArmIndex arm = 0; arm < catalog.size(); ++arm) {
+    EXPECT_EQ(incremental.arm_model(arm).count(), exact.arm_model(arm).count());
+  }
+  EXPECT_DOUBLE_EQ(incremental.epsilon(), exact.epsilon());
+}
+
+TEST_P(IncrementalEquivalence, ChoicesMatchBatchWithDefaultOptions) {
+  const std::uint64_t seed = GetParam();
+  EpsilonGreedyConfig incremental_config;  // default: incremental backend
+  EpsilonGreedyConfig exact_config;
+  exact_config.exact_history = true;  // default fit: unregularized QR
+
+  const hw::HardwareCatalog catalog = test_catalog();
+  DecayingEpsilonGreedy incremental(catalog, kDim, incremental_config);
+  DecayingEpsilonGreedy exact(catalog, kDim, exact_config);
+  Rng rng_incremental(seed * 131 + 5);
+  Rng rng_exact(seed * 131 + 5);
+
+  const auto stream = make_stream(seed + 1000);
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    const auto& [x, runtime] = stream[t];
+    const ArmIndex chosen = incremental.select(x, rng_incremental);
+    ASSERT_EQ(chosen, exact.select(x, rng_exact)) << "step " << t;
+    incremental.observe(chosen, x, runtime);
+    exact.observe(chosen, x, runtime);
+    ASSERT_EQ(incremental.recommend(x), exact.recommend(x)) << "step " << t;
+    // The 1e-8 prior's bias against the unregularized QR decays as 1/n;
+    // it must stay far below anything behavior-relevant.
+    for (ArmIndex arm = 0; arm < catalog.size(); ++arm) {
+      ASSERT_NEAR(incremental.predict(arm, x), exact.predict(arm, x), 1e-5)
+          << "step " << t << " arm " << arm;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalence,
+                         ::testing::Values(1u, 7u, 42u));
+
+TEST(IncrementalBackend, KeepsNoHistory) {
+  LinearArmModel model(3);
+  for (int i = 0; i < 50; ++i) {
+    model.observe(std::vector<double>{1.0 * i, 2.0, 3.0}, 4.0 * i);
+  }
+  EXPECT_EQ(model.count(), 50u);
+  EXPECT_TRUE(model.observed_features().empty());  // hot path stores no rows
+  EXPECT_TRUE(model.observed_runtimes().empty());
+}
+
+TEST(IncrementalBackend, NoInterceptFitFallsBackToBatch) {
+  linalg::FitOptions fit;
+  fit.intercept = false;
+  const LinearArmModel model(3, fit, /*exact_history=*/false);
+  // The recursive update hard-codes the intercept column, so intercept-free
+  // fits must keep the batch backend even when incremental was requested.
+  EXPECT_TRUE(model.exact_history());
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "linalg/intercept.hpp"
 #include "linalg/lstsq.hpp"
 #include "linalg/rls.hpp"
 
@@ -223,6 +224,68 @@ TEST_P(RlsEquivalence, MatchesBatchRidge) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Streams, RlsEquivalence, ::testing::Range(0, 8));
+
+TEST(Rls, RestoreRoundTripsSufficientStatistics) {
+  bw::Rng rng(21);
+  RecursiveLeastSquares original(3, 1e-6);
+  auto feed = [&rng](RecursiveLeastSquares& rls, int count) {
+    for (int i = 0; i < count; ++i) {
+      std::vector<double> x = {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+                               rng.uniform(-2.0, 2.0)};
+      rls.update(x, rng.uniform(-5.0, 5.0));
+    }
+  };
+  feed(original, 25);
+
+  RecursiveLeastSquares restored(3, 1e-6);
+  restored.restore(original.precision_inverse(), original.theta(),
+                   original.n_observations());
+  EXPECT_EQ(restored.n_observations(), 25u);
+  // Restored state is bit-identical, so future updates stay in lockstep.
+  const std::vector<double> probe = {0.5, -1.0, 2.0};
+  EXPECT_EQ(restored.predict(probe), original.predict(probe));
+  original.update(probe, 3.0);
+  restored.update(probe, 3.0);
+  EXPECT_EQ(restored.predict(probe), original.predict(probe));
+  EXPECT_EQ(restored.theta(), original.theta());
+}
+
+TEST(Rls, RestoreRejectsBadShapes) {
+  RecursiveLeastSquares rls(2);
+  EXPECT_THROW(rls.restore(Matrix(2, 2), Vector(3, 0.0), 1), InvalidArgument);
+  EXPECT_THROW(rls.restore(Matrix(3, 3), Vector(2, 0.0), 1), InvalidArgument);
+  Matrix bad(3, 3);
+  bad(0, 0) = std::nan("");
+  EXPECT_THROW(rls.restore(bad, Vector(3, 0.0), 1), InvalidArgument);
+}
+
+// The shared [x; 1] helper is the single definition of the intercept
+// layout; both the batch fitter and the recursive updater build on it.
+TEST(Intercept, VectorAndMatrixFormsAgree) {
+  const std::vector<double> x = {3.0, -1.5};
+  const Vector xa = with_intercept(x);
+  ASSERT_EQ(xa.size(), 3u);
+  EXPECT_EQ(xa[0], 3.0);
+  EXPECT_EQ(xa[1], -1.5);
+  EXPECT_EQ(xa[2], 1.0);
+
+  Vector reused = {9.0, 9.0, 9.0, 9.0};  // shrinks and overwrites
+  with_intercept_into(x, reused);
+  EXPECT_EQ(reused, xa);
+
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = -1.5;
+  m(1, 0) = 7.0;
+  m(1, 1) = 0.25;
+  const Matrix augmented = with_intercept_column(m);
+  ASSERT_EQ(augmented.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(augmented(r, 0), m(r, 0));
+    EXPECT_EQ(augmented(r, 1), m(r, 1));
+    EXPECT_EQ(augmented(r, 2), 1.0);
+  }
+}
 
 }  // namespace
 }  // namespace bw::linalg

@@ -182,6 +182,54 @@ TEST(BanditServer, ConcurrentObserveAndRecommendStress) {
   EXPECT_EQ(server.num_observations(), observations_fed.load());
 }
 
+TEST(BanditServer, ConcurrentSharedReadsAreConsistent) {
+  // Pure-exploitation serving takes the per-shard lock shared: many reader
+  // threads hammering the SAME shard must all see the same trained model
+  // (no serialization requirement, no torn reads). A single shard forces
+  // maximal reader contention.
+  BanditServer server = make_server(1, ShardingPolicy::kFeatureHash, /*explore=*/false);
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  std::vector<ServeObservation> training;
+  for (int round = 0; round < 20; ++round) {
+    const auto x = features_for(40.0 + 13.0 * round);
+    for (core::ArmIndex arm = 0; arm < 3; ++arm) {
+      training.push_back({0, arm, x, synthetic_runtime(catalog[arm], x[0])});
+    }
+  }
+  server.observe_batch(training);
+
+  const auto probe = features_for(123.0);
+  const auto expected = server.recommend_one(probe);
+
+  constexpr int kThreads = 8;
+  constexpr int kReadsPerThread = 300;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&server, &probe, &expected, &mismatches] {
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        const auto decision = server.recommend_one(probe);
+        if (decision.arm != expected.arm ||
+            decision.predicted_runtime_s != expected.predicted_runtime_s) {
+          ++mismatches;
+        }
+        // Batched reads share the lock too.
+        const auto batch = server.recommend_batch({probe, probe});
+        if (batch[0].arm != expected.arm || batch[1].arm != expected.arm) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  // A snapshot (shared locks across every shard) must coexist with readers.
+  for (int i = 0; i < 5; ++i) {
+    BanditServer restored = BanditServer::load_state(server.save_state());
+    EXPECT_EQ(restored.num_observations(), server.num_observations());
+  }
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(BanditServer, SaveStateIsAtomicUnderConcurrentWrites) {
   BanditServer server = make_server(4, ShardingPolicy::kFeatureHash);
   // The writer is bounded (not free-running) so the snapshot loop below
