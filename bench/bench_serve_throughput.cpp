@@ -5,7 +5,8 @@
 // recommend_batch + observe_batch pairs.
 //
 //   ./bench/bench_serve_throughput [--decisions=20000] [--batches=1,64,256]
-//       [--workload=train|read-heavy] [--read-frac=0.9] [--clients=4]
+//       [--workload=train|read-heavy|sync] [--read-frac=0.9] [--clients=4]
+//       [--sync-every=1] [--max-regret-ratio=0]
 //       [--json=BENCH_serve_throughput.json]
 //
 // Workloads:
@@ -16,6 +17,17 @@
 //     `clients` concurrent threads with a `read-frac` read/write mix.
 //     Reads take the per-shard lock shared, so concurrent recommend
 //     batches to the *same* shard no longer serialize.
+//   * sync        — statistical quality of round-robin sharding: mean
+//     regret per decision with and without cross-shard sync, against the
+//     1-shard baseline. Round-robin shows each replica only 1/N of the
+//     stream, so unsynced regret grows with N; with sync_shards() folding
+//     the replicas' sufficient statistics together every --sync-every
+//     batches, every round starts from the model a single learner would
+//     have, and regret approaches the 1-shard baseline.
+//     --max-regret-ratio=R (0 = report only) exits nonzero if a synced
+//     cell's mean regret exceeds R x the 1-shard baseline of its batch
+//     size — the CI acceptance gate. Decisions are deterministic for a
+//     fixed seed, so the gate is stable.
 //
 // Emits machine-readable BENCH_*.json so the perf trajectory is tracked
 // across PRs.
@@ -62,6 +74,10 @@ struct CellResult {
   std::size_t batch = 0;
   double seconds = 0.0;
   double decisions_per_s = 0.0;
+  // sync workload only:
+  std::size_t sync_every = 0;      ///< 0 = no cross-shard sync
+  double mean_regret_s = -1.0;     ///< chosen minus best runtime, averaged
+  double greedy_regret_s = -1.0;   ///< same, over non-explored decisions only
 };
 
 CellResult run_train_cell(std::size_t shards, std::size_t batch,
@@ -97,6 +113,61 @@ CellResult run_train_cell(std::size_t shards, std::size_t batch,
   result.batch = batch;
   result.seconds = std::chrono::duration<double>(elapsed).count();
   result.decisions_per_s = static_cast<double>(served) / result.seconds;
+  return result;
+}
+
+CellResult run_sync_cell(std::size_t shards, std::size_t batch, std::size_t decisions,
+                         std::size_t sync_every) {
+  bw::serve::BanditServerConfig config;
+  config.num_shards = shards;
+  config.sharding = bw::serve::ShardingPolicy::kRoundRobin;
+  config.seed = 42;
+  config.sync_every = sync_every;
+  const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+  bw::serve::BanditServer server(catalog, feature_names(), config);
+
+  bw::Rng rng(11);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t served = 0;
+  double regret = 0.0;
+  double greedy_regret = 0.0;
+  std::size_t greedy = 0;
+  while (served < decisions) {
+    const std::size_t n = std::min(batch, decisions - served);
+    std::vector<bw::core::FeatureVector> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) xs.push_back(random_features(rng));
+    const auto batch_decisions = server.recommend_batch(xs);
+    std::vector<bw::serve::ServeObservation> observations;
+    observations.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double runtime = synthetic_runtime(*batch_decisions[i].spec, xs[i]);
+      double best = runtime;
+      for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+        best = std::min(best, synthetic_runtime(catalog[arm], xs[i]));
+      }
+      regret += runtime - best;
+      if (!batch_decisions[i].explored) {
+        greedy_regret += runtime - best;
+        ++greedy;
+      }
+      observations.push_back(
+          {batch_decisions[i].shard, batch_decisions[i].arm, xs[i], runtime});
+    }
+    server.observe_batch(observations);
+    served += n;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  CellResult result;
+  result.shards = shards;
+  result.batch = batch;
+  result.sync_every = sync_every;
+  result.seconds = std::chrono::duration<double>(elapsed).count();
+  result.decisions_per_s = static_cast<double>(served) / result.seconds;
+  result.mean_regret_s = regret / static_cast<double>(served);
+  result.greedy_regret_s =
+      greedy > 0 ? greedy_regret / static_cast<double>(greedy) : 0.0;
   return result;
 }
 
@@ -193,9 +264,15 @@ void write_json(const std::string& path, const std::string& workload,
     const CellResult& cell = cells[i];
     std::fprintf(f,
                  "    {\"shards\": %zu, \"batch\": %zu, \"seconds\": %.4f, "
-                 "\"decisions_per_s\": %.1f}%s\n",
-                 cell.shards, cell.batch, cell.seconds, cell.decisions_per_s,
-                 i + 1 < cells.size() ? "," : "");
+                 "\"decisions_per_s\": %.1f",
+                 cell.shards, cell.batch, cell.seconds, cell.decisions_per_s);
+    if (cell.mean_regret_s >= 0.0) {
+      std::fprintf(f,
+                   ", \"sync_every\": %zu, \"mean_regret_s\": %.6f, "
+                   "\"greedy_regret_s\": %.6f",
+                   cell.sync_every, cell.mean_regret_s, cell.greedy_regret_s);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -220,14 +297,22 @@ int run(int argc, char** argv) {
   cli.add_flag("decisions", "20000", "decisions per timed cell");
   cli.add_flag("shards", "1,2,4,8", "shard counts to sweep");
   cli.add_flag("batches", "1,64,256", "batch sizes to sweep");
-  cli.add_flag("workload", "train", "train (1:1 learn loop) or read-heavy");
+  cli.add_flag("workload", "train", "train (1:1 learn loop), read-heavy, or sync");
   cli.add_flag("read-frac", "0.9", "read fraction of the read-heavy mix");
   cli.add_flag("clients", "4", "concurrent client threads (read-heavy)");
+  cli.add_flag("sync-every", "1", "sync cadence in batches (sync workload)");
+  cli.add_flag("max-regret-ratio", "0",
+               "fail if a synced cell's regret exceeds this x the 1-shard "
+               "baseline (sync workload; 0 = report only)");
   cli.add_flag("json", "BENCH_serve_throughput.json", "machine-readable output path");
   if (!cli.parse(argc, argv)) return 0;
 
   if (cli.get_int("decisions") <= 0 || cli.get_int("clients") <= 0) {
     std::fprintf(stderr, "--decisions and --clients must be positive\n");
+    return 1;
+  }
+  if (cli.get_int("sync-every") <= 0) {
+    std::fprintf(stderr, "--sync-every must be positive\n");
     return 1;
   }
   const auto decisions = static_cast<std::size_t>(cli.get_int("decisions"));
@@ -236,9 +321,12 @@ int run(int argc, char** argv) {
   const std::string workload = cli.get("workload");
   const double read_frac = cli.get_double("read-frac");
   const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
+  const auto sync_every = static_cast<std::size_t>(cli.get_int("sync-every"));
+  const double max_regret_ratio = cli.get_double("max-regret-ratio");
   const bool read_heavy = workload == "read-heavy";
-  if (workload != "train" && workload != "read-heavy") {
-    std::fprintf(stderr, "--workload must be 'train' or 'read-heavy'\n");
+  const bool sync = workload == "sync";
+  if (workload != "train" && workload != "read-heavy" && workload != "sync") {
+    std::fprintf(stderr, "--workload must be 'train', 'read-heavy', or 'sync'\n");
     return 1;
   }
   if (read_heavy && (read_frac < 0.0 || read_frac > 1.0)) {
@@ -251,26 +339,68 @@ int run(int argc, char** argv) {
   if (read_heavy) {
     std::printf("read fraction: %.0f%%, clients: %zu\n", read_frac * 100.0, clients);
   }
+  if (sync) std::printf("sync cadence: every %zu batches\n", sync_every);
   std::printf("\n");
 
   std::vector<CellResult> cells;
-  bw::Table table({"shards", "batch", "wall (s)", "decisions/s", "speedup vs 1 shard"});
-  for (std::size_t batch : batch_sizes) {
-    double baseline = 0.0;
-    for (std::size_t shards : shard_counts) {
-      const CellResult cell =
-          read_heavy ? run_read_heavy_cell(shards, batch, decisions, read_frac, clients)
-                     : run_train_cell(shards, batch, decisions);
-      if (shards == shard_counts.front()) baseline = cell.decisions_per_s;
-      cells.push_back(cell);
-      table.add_row({std::to_string(cell.shards), std::to_string(cell.batch),
-                     bw::format_double(cell.seconds, 3),
-                     bw::format_double(cell.decisions_per_s, 0),
-                     bw::format_double(cell.decisions_per_s / baseline, 2) + "x"});
+  bool gate_failed = false;
+  if (sync) {
+    // Regret quality sweep: 1-shard baseline, then round-robin with and
+    // without sync for each multi-shard count.
+    bw::Table table({"shards", "sync", "batch", "wall (s)", "decisions/s",
+                     "mean regret (s)", "vs 1 shard"});
+    for (std::size_t batch : batch_sizes) {
+      const CellResult baseline = run_sync_cell(1, batch, decisions, 0);
+      cells.push_back(baseline);
+      table.add_row({"1", "-", std::to_string(batch),
+                     bw::format_double(baseline.seconds, 3),
+                     bw::format_double(baseline.decisions_per_s, 0),
+                     bw::format_double(baseline.mean_regret_s, 4), "1.00x"});
+      for (std::size_t shards : shard_counts) {
+        if (shards <= 1) continue;
+        for (const std::size_t cadence : {std::size_t{0}, sync_every}) {
+          const CellResult cell = run_sync_cell(shards, batch, decisions, cadence);
+          cells.push_back(cell);
+          const double ratio = cell.mean_regret_s / baseline.mean_regret_s;
+          table.add_row({std::to_string(cell.shards),
+                         cadence == 0 ? "off" : "every " + std::to_string(cadence),
+                         std::to_string(cell.batch),
+                         bw::format_double(cell.seconds, 3),
+                         bw::format_double(cell.decisions_per_s, 0),
+                         bw::format_double(cell.mean_regret_s, 4),
+                         bw::format_double(ratio, 2) + "x"});
+          if (cadence > 0 && max_regret_ratio > 0.0 &&
+              ratio > max_regret_ratio) {
+            std::fprintf(stderr,
+                         "FAIL: %zu-shard synced regret %.4f s is %.2fx the "
+                         "1-shard baseline %.4f s (limit %.2fx)\n",
+                         shards, cell.mean_regret_s, ratio, baseline.mean_regret_s,
+                         max_regret_ratio);
+            gate_failed = true;
+          }
+        }
+      }
     }
+    std::fputs(table.to_string().c_str(), stdout);
+  } else {
+    bw::Table table({"shards", "batch", "wall (s)", "decisions/s", "speedup vs 1 shard"});
+    for (std::size_t batch : batch_sizes) {
+      double baseline = 0.0;
+      for (std::size_t shards : shard_counts) {
+        const CellResult cell =
+            read_heavy ? run_read_heavy_cell(shards, batch, decisions, read_frac, clients)
+                       : run_train_cell(shards, batch, decisions);
+        if (shards == shard_counts.front()) baseline = cell.decisions_per_s;
+        cells.push_back(cell);
+        table.add_row({std::to_string(cell.shards), std::to_string(cell.batch),
+                       bw::format_double(cell.seconds, 3),
+                       bw::format_double(cell.decisions_per_s, 0),
+                       bw::format_double(cell.decisions_per_s / baseline, 2) + "x"});
+      }
+    }
+    std::fputs(table.to_string().c_str(), stdout);
   }
-  std::fputs(table.to_string().c_str(), stdout);
   write_json(cli.get("json"), workload, read_heavy ? read_frac : 0.0,
              read_heavy ? clients : 1, cells);
-  return 0;
+  return gate_failed ? 1 : 0;
 }

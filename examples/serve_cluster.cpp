@@ -4,7 +4,12 @@
 // observe_batch. This is the multi-tenant version of ndp_cluster_sim — one
 // engine, many concurrent workflow streams, per-shard learning.
 //
+// With --sharding=round-robin each replica only sees 1/N of the feedback;
+// --sync-every=K fuses all shard models (exact sufficient-statistics merge)
+// every K observe batches so every replica learns from the whole stream.
+//
 //   ./examples/serve_cluster [--waves=30] [--wave-size=8] [--shards=4]
+//       [--sharding=feature-hash|round-robin] [--sync-every=0]
 
 #include <cstdio>
 #include <string>
@@ -33,9 +38,16 @@ int main(int argc, char** argv) {
   cli.add_flag("waves", "30", "number of workflow waves");
   cli.add_flag("wave-size", "8", "workflows per wave (one recommend_batch)");
   cli.add_flag("shards", "4", "serving shards");
+  cli.add_flag("sharding", "feature-hash", "routing: feature-hash | round-robin");
+  cli.add_flag("sync-every", "0",
+               "fuse all shard models every K observe batches (0 = never)");
   cli.add_flag("arrival-seconds", "600", "mean inter-wave time");
   cli.add_flag("seed", "23", "random seed");
   if (!cli.parse(argc, argv)) return 0;
+  if (cli.get_int("sync-every") < 0) {
+    std::fprintf(stderr, "--sync-every must be >= 0\n");
+    return 1;
+  }
 
   std::vector<bw::cluster::Node> nodes;
   nodes.emplace_back("sdsc-a", 16.0, 128.0);
@@ -46,7 +58,8 @@ int main(int argc, char** argv) {
 
   bw::serve::BanditServerConfig config;
   config.num_shards = static_cast<std::size_t>(cli.get_int("shards"));
-  config.sharding = bw::serve::ShardingPolicy::kFeatureHash;
+  config.sharding = bw::serve::parse_sharding_policy(cli.get("sharding"));
+  config.sync_every = static_cast<std::size_t>(cli.get_int("sync-every"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.bandit.policy.tolerance.seconds = 30.0;  // trade 30 s for smaller pods
   bw::serve::BanditServer server(bw::hw::synthetic_cycles_catalog(), {"num_tasks"},
@@ -119,7 +132,16 @@ int main(int argc, char** argv) {
   table.add_row({"mean contention inflation", bw::format_double(stats.mean_inflation, 3)});
   std::fputs(table.to_string().c_str(), stdout);
 
-  std::puts("\nobservations per shard (feature-hash keeps workflows sticky):");
+  if (config.sync_every > 0) {
+    std::printf("\nshard models fused %zu times (every %zu observe batches); "
+                "after a sync every replica predicts from the full stream\n",
+                server.sync_count(), config.sync_every);
+  }
+  std::puts(config.sharding == bw::serve::ShardingPolicy::kFeatureHash
+                ? "\nper-shard model observations (feature-hash keeps workflows "
+                  "sticky):"
+                : "\nper-shard model observations (round-robin spreads evenly; "
+                  "synced shards carry the fused stream):");
   const auto counts = server.shard_observation_counts();
   for (std::size_t s = 0; s < counts.size(); ++s) {
     std::printf("  shard %zu: %zu\n", s, counts[s]);

@@ -67,6 +67,30 @@ void LinearArmModel::sync_from_rls() {
   model_.n_observations = rls_.n_observations();
 }
 
+void LinearArmModel::merge(const LinearArmModel& other, const LinearArmModel* base) {
+  BW_CHECK_MSG(other.dim_ == dim_, "arm model: merge dimension mismatch");
+  BW_CHECK_MSG(other.exact_history_ == exact_history_,
+               "arm model: merge requires matching backends");
+  if (base != nullptr) {
+    BW_CHECK_MSG(base->dim_ == dim_ && base->exact_history_ == exact_history_,
+                 "arm model: merge base backend or dimension mismatch");
+  }
+  if (exact_history_) {
+    const std::size_t skip = base != nullptr ? base->xs_.size() : 0;
+    BW_CHECK_MSG(skip <= other.xs_.size(),
+                 "arm model: merge base is not a prefix of other's history");
+    if (skip == other.xs_.size()) return;  // no new rows (also: other empty)
+    for (std::size_t i = skip; i < other.xs_.size(); ++i) {
+      xs_.push_back(other.xs_[i]);
+      ys_.push_back(other.ys_[i]);
+    }
+    refit();
+    return;
+  }
+  rls_.merge(other.rls_, base != nullptr ? &base->rls_ : nullptr);
+  sync_from_rls();
+}
+
 void LinearArmModel::restore_stats(const linalg::Matrix& p,
                                    const linalg::Vector& theta, std::size_t n) {
   BW_CHECK_MSG(!exact_history_,

@@ -59,6 +59,16 @@ class LinearArmModel {
   void restore_stats(const linalg::Matrix& p, const linalg::Vector& theta,
                      std::size_t n);
 
+  /// Folds another arm's evidence into this one. Incremental arms fuse
+  /// sufficient statistics (RLS::merge — exact under the shared ridge);
+  /// exact_history arms concatenate histories and refit once. With `base`
+  /// (the common ancestor both models grew from, e.g. the state shared at
+  /// the last replica sync) only the evidence beyond the ancestor is
+  /// merged, so repeated syncs never double-count; for exact_history the
+  /// ancestor's rows must be a prefix of `other`'s. Both models (and the
+  /// base) must use the same backend and dimension.
+  void merge(const LinearArmModel& other, const LinearArmModel* base = nullptr);
+
   /// Stored observations — exposed for serialization. Empty in incremental
   /// mode (the hot path deliberately keeps no history).
   const std::vector<FeatureVector>& observed_features() const { return xs_; }

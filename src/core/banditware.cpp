@@ -123,6 +123,68 @@ void BanditWare::observe(ArmIndex arm, const FeatureVector& x, double runtime_s)
   policy_.observe(arm, x, runtime_s);
 }
 
+void BanditWare::merge_from(const BanditWare& other, const BanditWare* base) {
+  BW_CHECK_MSG(other.feature_names_ == feature_names_,
+               "merge_from: feature names mismatch");
+  const auto& mine = config_.policy;
+  const auto& theirs = other.config_.policy;
+  BW_CHECK_MSG(mine.fit.ridge == theirs.fit.ridge &&
+                   mine.fit.fallback_ridge == theirs.fit.fallback_ridge &&
+                   mine.fit.intercept == theirs.fit.intercept,
+               "merge_from: fit options mismatch — fusion would not be exact");
+  BW_CHECK_MSG(policy_.arm_model(0).exact_history() ==
+                   other.policy_.arm_model(0).exact_history(),
+               "merge_from: model backends mismatch");
+  BW_CHECK_MSG(mine.initial_epsilon == theirs.initial_epsilon &&
+                   mine.decay == theirs.decay,
+               "merge_from: exploration schedule mismatch");
+  if (base != nullptr) {
+    BW_CHECK_MSG(base->feature_names_ == feature_names_,
+                 "merge_from: base feature names mismatch");
+  }
+
+  // ε decays by α once per observation, so absorbing other's stream maps to
+  // multiplying the decay factors each side accumulated since the shared
+  // starting point (ε₀, or the common ancestor's ε under replica sync).
+  const double eps_anchor = base != nullptr ? base->epsilon() : mine.initial_epsilon;
+  const double merged_epsilon =
+      eps_anchor > 0.0 ? policy_.epsilon() * other.policy_.epsilon() / eps_anchor : 0.0;
+
+  auto base_model_for = [base](const std::string& name) -> const LinearArmModel* {
+    if (base == nullptr) return nullptr;
+    const auto index = base->catalog_.index_of(name);
+    return index ? &base->policy_.arm_model(*index) : nullptr;
+  };
+
+  // Union of arms: self arms keep their indices, other-only arms append.
+  hw::HardwareCatalog merged_catalog = catalog_;
+  for (ArmIndex j = 0; j < other.catalog_.size(); ++j) {
+    const hw::HardwareSpec& spec = other.catalog_[j];
+    if (const auto index = merged_catalog.index_of(spec.name)) {
+      BW_CHECK_MSG(merged_catalog[*index] == spec,
+                   "merge_from: conflicting specs for arm " + spec.name);
+    } else {
+      merged_catalog.add(spec);
+    }
+  }
+  if (merged_catalog.size() != catalog_.size()) {
+    // Rebuild around the wider catalog, carrying our learned arms across
+    // (indices are preserved; resource costs recompute from the catalog).
+    BanditWare widened(merged_catalog, feature_names_, config_);
+    for (ArmIndex arm = 0; arm < catalog_.size(); ++arm) {
+      widened.policy_.arm_model(arm) = policy_.arm_model(arm);
+    }
+    *this = std::move(widened);
+  }
+
+  for (ArmIndex j = 0; j < other.catalog_.size(); ++j) {
+    const std::string& name = other.catalog_[j].name;
+    const auto index = catalog_.index_of(name);
+    policy_.arm_model(*index).merge(other.policy_.arm_model(j), base_model_for(name));
+  }
+  policy_.set_epsilon(merged_epsilon);
+}
+
 std::vector<double> BanditWare::predictions(const FeatureVector& x) const {
   BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
   return policy_.predict_all(x);

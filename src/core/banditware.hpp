@@ -56,6 +56,19 @@ class BanditWare {
   /// Feeds back an observed runtime (also decays ε, per Algorithm 1).
   void observe(ArmIndex arm, const FeatureVector& x, double runtime_s);
 
+  /// Folds another instance's learned state into this one by fusing per-arm
+  /// sufficient statistics (exact under the shared ridge prior — merging
+  /// two independently trained instances reproduces the single-stream
+  /// result; see tests/test_merge_equivalence.cpp). Arms are matched by
+  /// hardware name; arms only `other` knows are appended (union of arms),
+  /// and exact_history arms merge by history concatenation. ε is combined
+  /// multiplicatively (ε_merged = ε_self · ε_other / ε₀), matching one
+  /// decay per absorbed observation. Pass the common ancestor both
+  /// instances grew from as `base` (replica sync) so shared evidence is
+  /// counted once. Requires matching feature names, fit options, backend,
+  /// and exploration schedule; throws InvalidArgument otherwise.
+  void merge_from(const BanditWare& other, const BanditWare* base = nullptr);
+
   /// R̂(H_i, x) for every arm.
   std::vector<double> predictions(const FeatureVector& x) const;
 

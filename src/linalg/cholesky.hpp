@@ -28,6 +28,11 @@ class Cholesky {
   /// log(det A) = 2 * sum log L_ii. Useful for model-evidence diagnostics.
   double log_det() const;
 
+  /// A^{-1}, solved column-by-column from the stored factor and symmetrized
+  /// (the exact inverse is symmetric; averaging removes solve round-off).
+  /// Used to recover precision matrices when fusing sufficient statistics.
+  Matrix inverse() const;
+
   const Matrix& lower() const { return l_; }
 
  private:
@@ -35,9 +40,15 @@ class Cholesky {
   Matrix l_;
 };
 
-/// Solves A x = b for SPD A; adds `jitter` * I and retries (up to 3
+/// Factors an SPD matrix; adds a scale-aware jitter * I and retries (up to 6
 /// escalations) if the factorization fails. Throws NumericalError if the
-/// system remains non-positive-definite.
+/// matrix has a negative diagonal entry or remains non-positive-definite.
+Cholesky factor_spd(const Matrix& a, double jitter = 1e-10);
+
+/// Solves A x = b for SPD A via factor_spd.
 Vector solve_spd(const Matrix& a, const Vector& b, double jitter = 1e-10);
+
+/// A^{-1} for SPD A via factor_spd. The result is exactly symmetric.
+Matrix invert_spd(const Matrix& a, double jitter = 1e-10);
 
 }  // namespace bw::linalg

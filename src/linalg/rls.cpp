@@ -1,6 +1,7 @@
 #include "linalg/rls.hpp"
 
 #include "common/error.hpp"
+#include "linalg/cholesky.hpp"
 #include "linalg/intercept.hpp"
 
 namespace bw::linalg {
@@ -63,6 +64,62 @@ double RecursiveLeastSquares::variance_proxy(std::span<const double> x) const {
   BW_CHECK_MSG(x.size() == dim_, "RLS: feature size mismatch");
   const Vector xa = with_intercept(x);
   return dot(xa, p_ * xa);
+}
+
+void RecursiveLeastSquares::merge(const RecursiveLeastSquares& other,
+                                  const RecursiveLeastSquares* base) {
+  BW_CHECK_MSG(other.dim_ == dim_, "RLS::merge: dimension mismatch");
+  BW_CHECK_MSG(other.ridge_ == ridge_,
+               "RLS::merge: ridge priors differ — fusion would not be exact");
+  if (base != nullptr) {
+    BW_CHECK_MSG(base->dim_ == dim_ && base->ridge_ == ridge_,
+                 "RLS::merge: base dimension or ridge mismatch");
+    BW_CHECK_MSG(base->n_ <= other.n_,
+                 "RLS::merge: base holds more observations than other");
+    // No evidence beyond the common ancestor — nothing to fold in. (The
+    // deterministic update makes identical statistics equivalent to an
+    // identical stream.)
+    if (other.n_ == base->n_ && other.p_ == base->p_ && other.theta_ == base->theta_) {
+      return;
+    }
+  } else {
+    if (other.n_ == 0) return;  // other is the bare prior: exact no-op
+    if (n_ == 0) {              // we are the bare prior: adopt other verbatim
+      p_ = other.p_;
+      theta_ = other.theta_;
+      n_ = other.n_;
+      return;
+    }
+  }
+
+  const std::size_t p = dim_ + 1;
+  const Matrix a_self = invert_spd(p_);
+  const Matrix a_other = invert_spd(other.p_);
+  Matrix a = a_self + a_other;
+  Vector b = a_self * theta_;
+  axpy(1.0, a_other * other.theta_, b);
+  std::size_t n = n_ + other.n_;
+  if (base != nullptr) {
+    const Matrix a_base = invert_spd(base->p_);
+    a = a - a_base;
+    axpy(-1.0, a_base * base->theta_, b);
+    n -= base->n_;
+  } else {
+    // Both operands carry the ridge prior; keep exactly one copy.
+    for (std::size_t i = 0; i < p; ++i) a(i, i) -= ridge_;
+  }
+  // Solve the fused normal equations; one step of iterative refinement
+  // (r = b - A theta, theta += A^{-1} r) recovers the digits the plain
+  // solve loses on ill-conditioned Gram matrices — the 1e-9 equivalence
+  // property depends on it.
+  const Cholesky chol = factor_spd(a);
+  Vector theta = chol.solve(b);
+  Vector residual(p);
+  for (std::size_t i = 0; i < p; ++i) residual[i] = b[i] - dot(a.row(i), theta);
+  axpy(1.0, chol.solve(residual), theta);
+  theta_ = std::move(theta);
+  p_ = invert_spd(a);
+  n_ = n;
 }
 
 void RecursiveLeastSquares::restore(const Matrix& p, const Vector& theta,

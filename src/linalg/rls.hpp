@@ -52,6 +52,20 @@ class RecursiveLeastSquares {
   /// on shape mismatch or non-finite entries.
   void restore(const Matrix& p, const Vector& theta, std::size_t n);
 
+  /// Fuses another estimator's evidence into this one. In information form
+  /// (A = P^{-1}, b = A theta) ridge RLS is additive:
+  ///   A <- A + A_other - A_base,   b <- b + b_other - b_base,
+  /// which reproduces exactly the estimator that saw both data streams in
+  /// one pass. With no `base` the shared ridge prior is subtracted once
+  /// (A_base = ridge I, b_base = 0) — correct for two *independently*
+  /// trained models. Pass the common ancestor as `base` when both models
+  /// grew from shared state (replica sync): only the evidence beyond the
+  /// ancestor is folded in, so repeated syncs never double-count.
+  /// Recovery of A from P and of the fused (theta, P) goes through the
+  /// Cholesky path (factor_spd). Requires matching dim and ridge.
+  void merge(const RecursiveLeastSquares& other,
+             const RecursiveLeastSquares* base = nullptr);
+
   void reset();
 
  private:

@@ -80,11 +80,20 @@ BanditServer::BanditServer(hw::HardwareCatalog catalog,
     : BanditServer(config, make_replicas(catalog, feature_names, config)) {}
 
 BanditServer::BanditServer(BanditServerConfig config,
-                           std::vector<core::BanditWare> replicas)
+                           std::vector<core::BanditWare> replicas,
+                           std::unique_ptr<core::BanditWare> sync_base)
     : config_(config) {
   BW_CHECK_MSG(!replicas.empty(), "BanditServer needs at least one shard replica");
   config_.num_shards = replicas.size();
   feature_names_ = replicas.front().feature_names();
+  num_arms_ = replicas.front().num_arms();
+  // The sync baseline defaults to the untrained prior (correct for fresh
+  // servers and for legacy snapshots, which predate cross-shard sync).
+  sync_base_ = sync_base != nullptr
+                   ? std::move(sync_base)
+                   : std::make_unique<core::BanditWare>(replicas.front().catalog(),
+                                                        feature_names_, config_.bandit);
+  base_obs_count_.store(sync_base_->num_observations(), std::memory_order_relaxed);
   Rng seeder(config_.seed);
   shards_.reserve(replicas.size());
   for (std::size_t i = 0; i < replicas.size(); ++i) {
@@ -99,9 +108,14 @@ BanditServer::BanditServer(BanditServerConfig config,
 BanditServer::BanditServer(BanditServer&& other) noexcept
     : config_(std::move(other.config_)),
       feature_names_(std::move(other.feature_names_)),
+      num_arms_(other.num_arms_),
       shards_(std::move(other.shards_)),
       pool_(std::move(other.pool_)),
-      rr_counter_(other.rr_counter_.load(std::memory_order_relaxed)) {}
+      rr_counter_(other.rr_counter_.load(std::memory_order_relaxed)),
+      sync_base_(std::move(other.sync_base_)),
+      base_obs_count_(other.base_obs_count_.load(std::memory_order_relaxed)),
+      observe_batches_(other.observe_batches_.load(std::memory_order_relaxed)),
+      sync_count_(other.sync_count_.load(std::memory_order_relaxed)) {}
 
 std::size_t BanditServer::shard_of(const core::FeatureVector& x) const {
   return hash_features(x) % shards_.size();
@@ -172,8 +186,34 @@ std::vector<ServeDecision> BanditServer::recommend_batch(
   return results;
 }
 
+void BanditServer::validate_observation(const ServeObservation& obs) const {
+  // A stale shard id (e.g. a decision served before the engine was resized
+  // or restored with a different shard count) must fail loudly instead of
+  // training an arbitrary replica — or indexing out of bounds.
+  BW_CHECK_MSG(obs.shard < shards_.size(),
+               "observation routed to unknown shard " + std::to_string(obs.shard) +
+                   " (engine has " + std::to_string(shards_.size()) + ")");
+  // Validate against engine-level immutables only (num_arms_ is fixed at
+  // construction): touching a replica here would race sync_shards'
+  // redistribution, which copy-assigns shard.bandit under the shard lock
+  // this path deliberately does not take.
+  BW_CHECK_MSG(obs.arm < num_arms_,
+               "observation names unknown arm " + std::to_string(obs.arm));
+  BW_CHECK_MSG(obs.x.size() == feature_names_.size(),
+               "observation feature size mismatch");
+  // Feature-hash routing is recomputable, so a mis-echoed shard id is
+  // detectable: the feedback must land on the replica that served it.
+  // Round-robin ids cannot be recomputed; the range check above is all the
+  // validation possible there.
+  if (config_.sharding == ShardingPolicy::kFeatureHash) {
+    BW_CHECK_MSG(obs.shard == shard_of(obs.x),
+                 "observation shard " + std::to_string(obs.shard) +
+                     " does not match feature-hash routing");
+  }
+}
+
 void BanditServer::observe_one(const ServeObservation& obs) {
-  BW_CHECK_MSG(obs.shard < shards_.size(), "observation routed to unknown shard");
+  validate_observation(obs);
   Shard& shard = *shards_[obs.shard];
   std::unique_lock lock(shard.mutex);
   shard.bandit.observe(obs.arm, obs.x, obs.runtime_s);
@@ -181,10 +221,11 @@ void BanditServer::observe_one(const ServeObservation& obs) {
 
 void BanditServer::observe_batch(const std::vector<ServeObservation>& observations) {
   if (observations.empty()) return;
+  // Validate the whole batch before touching any shard so a bad observation
+  // cannot leave the batch half-applied.
   std::vector<std::vector<std::size_t>> by_shard(shards_.size());
   for (std::size_t i = 0; i < observations.size(); ++i) {
-    BW_CHECK_MSG(observations[i].shard < shards_.size(),
-                 "observation routed to unknown shard");
+    validate_observation(observations[i]);
     by_shard[observations[i].shard].push_back(i);
   }
   std::vector<std::future<void>> futures;
@@ -200,6 +241,35 @@ void BanditServer::observe_batch(const std::vector<ServeObservation>& observatio
     }));
   }
   wait_all(futures);
+  if (config_.sync_every > 0) {
+    const std::uint64_t batches =
+        observe_batches_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (batches % config_.sync_every == 0) sync_shards();
+  }
+}
+
+void BanditServer::sync_shards() {
+  if (shards_.size() > 1) {
+    // All-exclusive, in shard-index order — the same order save_state uses,
+    // and no other path holds two shard locks, so this cannot deadlock.
+    std::vector<std::unique_lock<std::shared_mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+    // Fold each replica's evidence since the last sync into the baseline:
+    // fused = base + sum_s (shard_s - base). Passing the baseline keeps the
+    // algebra exact across repeated syncs (shared ancestry counted once).
+    core::BanditWare fused = *sync_base_;
+    for (const auto& shard : shards_) fused.merge_from(shard->bandit, sync_base_.get());
+    for (const auto& shard : shards_) shard->bandit = fused;
+    *sync_base_ = std::move(fused);
+    base_obs_count_.store(sync_base_->num_observations(), std::memory_order_relaxed);
+  }
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t BanditServer::sync_count() const {
+  return sync_count_.load(std::memory_order_relaxed);
 }
 
 std::vector<double> BanditServer::predictions(std::size_t shard_index,
@@ -211,9 +281,18 @@ std::vector<double> BanditServer::predictions(std::size_t shard_index,
 }
 
 std::size_t BanditServer::num_observations() const {
+  // After a sync every shard's model carries the fused stream; summing raw
+  // counts would multiply the shared baseline by N. Discount it so the
+  // total stays "distinct observations absorbed". Counts and baseline must
+  // come from one consistent cut — all shard locks held, same order as
+  // sync_shards — or a concurrent sync could slip between the reads and
+  // underflow the subtraction.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
   std::size_t total = 0;
-  for (std::size_t count : shard_observation_counts()) total += count;
-  return total;
+  for (const auto& shard : shards_) total += shard->bandit.num_observations();
+  return total - (shards_.size() - 1) * base_obs_count_.load(std::memory_order_relaxed);
 }
 
 std::vector<std::size_t> BanditServer::shard_observation_counts() const {
@@ -237,15 +316,21 @@ std::string BanditServer::save_state() const {
   for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
 
   std::ostringstream os;
-  os << "banditserver-state v1\n";
+  os << "banditserver-state v2\n";
   os << "shards " << shards_.size() << " sharding " << to_string(config_.sharding)
      << " seed " << config_.seed << " threads " << config_.num_threads << " explore "
-     << (config_.explore ? 1 : 0) << " rr_counter "
-     << rr_counter_.load(std::memory_order_relaxed) << "\n";
+     << (config_.explore ? 1 : 0) << " sync_every " << config_.sync_every
+     << " observe_batches " << observe_batches_.load(std::memory_order_relaxed)
+     << " rr_counter " << rr_counter_.load(std::memory_order_relaxed) << "\n";
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const std::string state = shards_[s]->bandit.save_state();
     os << "shard " << s << " bytes " << state.size() << "\n" << state;
   }
+  // The sync baseline rides along so a restored server keeps merging
+  // exactly (holding the shared shard locks also serializes against
+  // sync_shards, which takes them all exclusive).
+  const std::string base_state = sync_base_->save_state();
+  os << "base bytes " << base_state.size() << "\n" << base_state;
   return os.str();
 }
 
@@ -256,7 +341,11 @@ BanditServer BanditServer::load_state(const std::string& text) {
     throw ParseError("BanditServer::load_state: " + what);
   };
 
-  if (!std::getline(is, line) || line != "banditserver-state v1") fail("bad header");
+  if (!std::getline(is, line)) fail("bad header");
+  int version = 0;
+  if (line == "banditserver-state v1") version = 1;
+  if (line == "banditserver-state v2") version = 2;
+  if (version == 0) fail("bad header");
 
   BanditServerConfig config;
   std::size_t num_shards = 0;
@@ -264,6 +353,7 @@ BanditServer BanditServer::load_state(const std::string& text) {
   std::string sharding_name;
   int explore = 1;
   std::uint64_t rr_counter = 0;
+  std::uint64_t observe_batches = 0;
   is >> token >> num_shards;
   if (token != "shards" || num_shards == 0) fail("expected shards");
   is >> token >> sharding_name;
@@ -276,31 +366,56 @@ BanditServer BanditServer::load_state(const std::string& text) {
   is >> token >> explore;
   if (token != "explore") fail("expected explore");
   config.explore = explore != 0;
+  if (version >= 2) {
+    is >> token >> config.sync_every;
+    if (token != "sync_every") fail("expected sync_every");
+    // The auto-sync cadence phase: without it a restored server with
+    // sync_every > 1 would sync on different batches than the original.
+    is >> token >> observe_batches;
+    if (token != "observe_batches") fail("expected observe_batches");
+  }
   is >> token >> rr_counter;
   if (token != "rr_counter") fail("expected rr_counter");
   if (!std::getline(is, line)) fail("truncated header");
+
+  auto read_blob = [&](const char* what) -> std::string {
+    std::size_t bytes = 0;
+    is >> token >> bytes;
+    if (token != "bytes") fail(std::string("expected ") + what + " byte count");
+    if (!std::getline(is, line)) fail(std::string("truncated ") + what + " header");
+    std::string blob(bytes, '\0');
+    is.read(blob.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<std::size_t>(is.gcount()) != bytes) {
+      fail(std::string("truncated ") + what + " blob");
+    }
+    return blob;
+  };
 
   std::vector<core::BanditWare> replicas;
   replicas.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     std::size_t index = 0;
-    std::size_t bytes = 0;
     is >> token >> index;
     if (token != "shard" || index != s) fail("expected shard record");
-    is >> token >> bytes;
-    if (token != "bytes") fail("expected shard byte count");
-    if (!std::getline(is, line)) fail("truncated shard header");
-    std::string blob(bytes, '\0');
-    is.read(blob.data(), static_cast<std::streamsize>(bytes));
-    if (static_cast<std::size_t>(is.gcount()) != bytes) fail("truncated shard blob");
-    replicas.push_back(core::BanditWare::load_state(blob));
+    replicas.push_back(core::BanditWare::load_state(read_blob("shard")));
     // The per-shard config is authoritative for the whole engine (every
     // replica is constructed identically).
     config.bandit = replicas.back().config();
   }
 
-  BanditServer server(config, std::move(replicas));
+  // v1 snapshots predate cross-shard sync; their baseline is the prior
+  // (reconstructed by the constructor when no base is passed).
+  std::unique_ptr<core::BanditWare> base;
+  if (version >= 2) {
+    is >> token;
+    if (token != "base") fail("expected base record");
+    base = std::make_unique<core::BanditWare>(
+        core::BanditWare::load_state(read_blob("base")));
+  }
+
+  BanditServer server(config, std::move(replicas), std::move(base));
   server.rr_counter_.store(rr_counter, std::memory_order_relaxed);
+  server.observe_batches_.store(observe_batches, std::memory_order_relaxed);
   return server;
 }
 

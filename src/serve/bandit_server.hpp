@@ -14,11 +14,19 @@
 //   * kRoundRobin  — an atomic counter spreads load evenly; the decision
 //     carries its shard id and the caller echoes it back with the runtime.
 //
+// Shards never share mutable state while serving, but they can be fused:
+// sync_shards() merges every replica's sufficient statistics into one model
+// (exact — summing precision matrices and moment vectors reproduces the
+// single-stream ridge solution) and redistributes it, so N-shard serving is
+// statistically equivalent to one big learner. `sync_every` automates this
+// at a fixed observe-batch cadence.
+//
 // Snapshots are atomic (all shard locks held) and built on the facade's
 // plain-text snapshots, so save -> load -> save is byte-identical. Like
 // BanditWare::save_state, exploration RNG state and non-default fit options
 // are not serialized — a restored server resumes with reseeded exploration
-// streams but identical learned models.
+// streams but identical learned models. Format `banditserver-state v2`
+// additionally carries the sync baseline; v1 snapshots still load.
 
 #include <atomic>
 #include <cstdint>
@@ -47,6 +55,11 @@ struct BanditServerConfig {
   std::uint64_t seed = 42;          ///< root seed; shard RNGs use child seeds
   std::size_t num_threads = 0;      ///< batch-execution threads (0 = num_shards)
   bool explore = true;              ///< false = pure-exploitation serving
+  /// Auto-run sync_shards() after every K observe_batch() calls (0 = never).
+  /// Makes round-robin sharding converge like a single learner: each
+  /// replica only sees 1/N of the stream between syncs, but the fused model
+  /// carries the whole stream.
+  std::size_t sync_every = 0;
 };
 
 /// One served decision. `shard` must be echoed back in the matching
@@ -94,16 +107,37 @@ class BanditServer {
   /// concurrently on the internal pool. Result i corresponds to xs[i].
   std::vector<ServeDecision> recommend_batch(const std::vector<core::FeatureVector>& xs);
 
-  /// Feeds one observed runtime back into its shard.
+  /// Feeds one observed runtime back into its shard. The observation is
+  /// validated first: shard in range, arm known, feature size matching, and
+  /// (under kFeatureHash) shard consistent with the routing of `x`.
+  /// Throws InvalidArgument on a stale or malformed observation.
   void observe_one(const ServeObservation& obs);
 
-  /// Batched feedback, grouped per shard and executed concurrently.
+  /// Batched feedback, grouped per shard and executed concurrently. Every
+  /// observation is validated (as in observe_one) before any is applied.
+  /// Triggers sync_shards() every config.sync_every non-empty batches.
   void observe_batch(const std::vector<ServeObservation>& observations);
+
+  /// Cross-shard model merge: takes every shard lock, fuses each replica's
+  /// evidence since the last sync into one model (exact sufficient-
+  /// statistics fusion — see core::BanditWare::merge_from), and
+  /// redistributes the fused model to every shard. Afterwards each replica
+  /// predicts as if it had seen the full observation stream. The fused
+  /// state is remembered as the next sync's baseline, so repeated syncs
+  /// never double-count shared evidence.
+  void sync_shards();
+
+  /// Number of completed sync_shards() runs (manual + auto).
+  std::size_t sync_count() const;
 
   /// R̂ per arm from one shard's replica (locks that shard).
   std::vector<double> predictions(std::size_t shard, const core::FeatureVector& x) const;
 
-  /// Total observations across shards / per shard (locks each shard briefly).
+  /// Distinct observations absorbed by the engine (takes every shard lock
+  /// shared for a consistent cut) / raw per-shard model counts (locks each
+  /// shard briefly). After a sync every shard's model carries the full
+  /// fused stream, so the total discounts the shared baseline:
+  /// sum(shard counts) - (N-1) * baseline count.
   std::size_t num_observations() const;
   std::vector<std::size_t> shard_observation_counts() const;
 
@@ -126,17 +160,28 @@ class BanditServer {
     Shard(core::BanditWare b, std::uint64_t seed) : bandit(std::move(b)), rng(seed) {}
   };
 
-  BanditServer(BanditServerConfig config, std::vector<core::BanditWare> replicas);
+  BanditServer(BanditServerConfig config, std::vector<core::BanditWare> replicas,
+               std::unique_ptr<core::BanditWare> sync_base = nullptr);
 
   std::size_t route(const core::FeatureVector& x);
   ServeDecision decide_locked(Shard& shard, std::size_t shard_index,
                               const core::FeatureVector& x);
+  void validate_observation(const ServeObservation& obs) const;
 
   BanditServerConfig config_;
   std::vector<std::string> feature_names_;
+  std::size_t num_arms_ = 0;  ///< catalog size, identical and immutable per shard
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<std::uint64_t> rr_counter_{0};
+  /// Fused state at the last sync (initially the untrained prior). Read or
+  /// written only while holding every shard lock — sync_shards holds them
+  /// exclusive, save_state shared — so no separate mutex is needed.
+  std::unique_ptr<core::BanditWare> sync_base_;
+  /// Observation count of sync_base_, readable without any shard lock.
+  std::atomic<std::size_t> base_obs_count_{0};
+  std::atomic<std::uint64_t> observe_batches_{0};  ///< non-empty batches seen
+  std::atomic<std::size_t> sync_count_{0};
 };
 
 }  // namespace bw::serve

@@ -1,6 +1,7 @@
 // Tests for the sharded serving engine (serve/bandit_server): routing
-// determinism, batch ordering, snapshot round-trips, and a concurrent
-// observe-vs-recommend stress run.
+// determinism, batch ordering, snapshot round-trips, a concurrent
+// observe-vs-recommend stress run, cross-shard sync (fusion correctness,
+// sync-under-load, cadence determinism), and feedback validation.
 
 #include "serve/bandit_server.hpp"
 
@@ -228,6 +229,254 @@ TEST(BanditServer, ConcurrentSharedReadsAreConsistent) {
   }
   for (auto& reader : readers) reader.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(BanditServer, SyncShardsMatchesSingleStreamLearner) {
+  // Spread one observation stream round-robin over 4 replicas, sync, and
+  // every replica must predict exactly (1e-9) like a single facade that saw
+  // the whole stream — the merge is algebraic, not approximate.
+  BanditServerConfig config;
+  config.num_shards = 4;
+  config.sharding = ShardingPolicy::kRoundRobin;
+  config.seed = 7;
+  config.bandit.policy.fit.ridge = 1e-6;
+  BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  core::BanditWare reference(catalog, {"num_tasks"}, config.bandit);
+  std::vector<ServeObservation> observations;
+  for (int i = 0; i < 120; ++i) {
+    const double tasks = 20.0 + 9.0 * (i % 41);
+    const auto x = features_for(tasks);
+    const auto arm = static_cast<core::ArmIndex>(i % 3);
+    const double runtime = synthetic_runtime(catalog[arm], tasks);
+    observations.push_back({static_cast<std::size_t>(i % 4), arm, x, runtime});
+    reference.observe(arm, x, runtime);
+  }
+  server.observe_batch(observations);
+  EXPECT_EQ(server.num_observations(), observations.size());
+
+  server.sync_shards();
+  EXPECT_EQ(server.sync_count(), 1u);
+  // The fused total must not double-count: still one stream's worth.
+  EXPECT_EQ(server.num_observations(), observations.size());
+
+  for (double tasks : {33.0, 150.0, 371.0}) {
+    const auto x = features_for(tasks);
+    const auto want = reference.predictions(x);
+    for (std::size_t s = 0; s < server.num_shards(); ++s) {
+      const auto got = server.predictions(s, x);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t arm = 0; arm < want.size(); ++arm) {
+        EXPECT_NEAR(got[arm], want[arm], 1e-9) << "shard=" << s << " arm=" << arm;
+      }
+    }
+  }
+
+  // A second sync with no new evidence must change nothing.
+  const std::string before = server.save_state();
+  server.sync_shards();
+  EXPECT_EQ(server.save_state(), before);
+}
+
+TEST(BanditServer, AutoSyncRunsEveryKObserveBatches) {
+  BanditServerConfig config;
+  config.num_shards = 2;
+  config.sharding = ShardingPolicy::kRoundRobin;
+  config.sync_every = 3;
+  BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  for (int batch = 0; batch < 7; ++batch) {
+    std::vector<ServeObservation> observations;
+    for (int i = 0; i < 4; ++i) {
+      const double tasks = 30.0 + 5.0 * (batch * 4 + i);
+      observations.push_back({static_cast<std::size_t>(i % 2),
+                              static_cast<core::ArmIndex>(i % 3), features_for(tasks),
+                              synthetic_runtime(catalog[i % 3], tasks)});
+    }
+    server.observe_batch(observations);
+  }
+  EXPECT_EQ(server.sync_count(), 2u);  // after batches 3 and 6
+  server.observe_batch({});            // empty batches do not advance the cadence
+  EXPECT_EQ(server.sync_count(), 2u);
+}
+
+TEST(BanditServer, SyncUnderConcurrentLoadKeepsInvariants) {
+  // Recommend/observe batches race sync_shards() from a dedicated thread.
+  // Locking must stay clean (TSan-friendly: shard locks + atomics only) and
+  // no observation may be lost or double-counted by the fusion.
+  BanditServerConfig config;
+  config.num_shards = 4;
+  config.sharding = ShardingPolicy::kRoundRobin;
+  config.seed = 13;
+  BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+
+  constexpr int kThreads = 4;
+  constexpr int kRoundsPerThread = 60;
+  constexpr int kBatch = 8;
+  std::atomic<std::size_t> observations_fed{0};
+  std::atomic<bool> stop{false};
+
+  std::thread syncer([&server, &stop] {
+    while (!stop.load()) server.sync_shards();
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&server, &observations_fed, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        std::vector<core::FeatureVector> xs;
+        for (int i = 0; i < kBatch; ++i) {
+          xs.push_back(features_for(25.0 + 3.0 * ((t * 100 + round + i) % 83)));
+        }
+        const auto decisions = server.recommend_batch(xs);
+        std::vector<ServeObservation> observations;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          observations.push_back({decisions[i].shard, decisions[i].arm, xs[i],
+                                  synthetic_runtime(*decisions[i].spec, xs[i][0])});
+        }
+        server.observe_batch(observations);
+        observations_fed += observations.size();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  stop.store(true);
+  syncer.join();
+
+  server.sync_shards();  // quiesce: fold any remaining per-shard deltas
+  EXPECT_EQ(server.num_observations(), observations_fed.load());
+  // After the final sync every replica serves the same fused model.
+  const auto x = features_for(99.0);
+  const auto want = server.predictions(0, x);
+  for (std::size_t s = 1; s < server.num_shards(); ++s) {
+    EXPECT_EQ(server.predictions(s, x), want);
+  }
+}
+
+TEST(BanditServer, SyncAtFixedCadenceIsDeterministic) {
+  // Two identically-seeded servers fed the same stream with the same
+  // sync_every must make the same decisions and end byte-identical.
+  auto run = [] {
+    BanditServerConfig config;
+    config.num_shards = 3;
+    config.sharding = ShardingPolicy::kRoundRobin;
+    config.seed = 31;
+    config.sync_every = 2;
+    BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+    std::vector<core::ArmIndex> arms;
+    for (int round = 0; round < 10; ++round) {
+      std::vector<core::FeatureVector> xs;
+      for (int i = 0; i < 6; ++i) {
+        xs.push_back(features_for(40.0 + 7.0 * (round * 6 + i)));
+      }
+      const auto decisions = server.recommend_batch(xs);
+      std::vector<ServeObservation> observations;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        arms.push_back(decisions[i].arm);
+        observations.push_back({decisions[i].shard, decisions[i].arm, xs[i],
+                                synthetic_runtime(*decisions[i].spec, xs[i][0])});
+      }
+      server.observe_batch(observations);
+    }
+    return std::make_pair(std::move(arms), server.save_state());
+  };
+  const auto [arms_a, state_a] = run();
+  const auto [arms_b, state_b] = run();
+  EXPECT_EQ(arms_a, arms_b);
+  EXPECT_EQ(state_a, state_b);
+}
+
+TEST(BanditServer, ObserveRejectsStaleOrMalformedFeedback) {
+  // Regression: a stale shard id (from a decision served under a different
+  // shard count) or a bogus arm/feature payload must fail loudly instead of
+  // silently training the wrong replica.
+  BanditServer rr = make_server(3, ShardingPolicy::kRoundRobin);
+  const auto x = features_for(50.0);
+
+  EXPECT_THROW(rr.observe_one({3, 0, x, 10.0}), InvalidArgument);   // shard range
+  EXPECT_THROW(rr.observe_one({99, 0, x, 10.0}), InvalidArgument);  // way stale
+  EXPECT_THROW(rr.observe_one({0, 7, x, 10.0}), InvalidArgument);   // unknown arm
+  EXPECT_THROW(rr.observe_one({0, 0, {1.0, 2.0}, 10.0}), InvalidArgument);  // features
+
+  // Batch validation is all-or-nothing: one bad record, nothing applied.
+  std::vector<ServeObservation> batch = {{0, 0, x, 10.0}, {3, 0, x, 10.0}};
+  EXPECT_THROW(rr.observe_batch(batch), InvalidArgument);
+  EXPECT_EQ(rr.num_observations(), 0u);
+
+  // Feature-hash routing is recomputable, so a mis-echoed shard id is
+  // detected even when it is in range.
+  BanditServer fh = make_server(4, ShardingPolicy::kFeatureHash);
+  const std::size_t right = fh.shard_of(x);
+  const std::size_t wrong = (right + 1) % fh.num_shards();
+  EXPECT_THROW(fh.observe_one({wrong, 0, x, 10.0}), InvalidArgument);
+  fh.observe_one({right, 0, x, 10.0});
+  EXPECT_EQ(fh.num_observations(), 1u);
+}
+
+TEST(BanditServer, LoadsLegacyV1SnapshotsWithPriorSyncBaseline) {
+  // v1 snapshots predate cross-shard sync: no sync_every, no baseline blob.
+  // They must still load (baseline = untrained prior) and re-save as v2.
+  core::BanditWare replica(hw::ndp_catalog(), {"num_tasks"}, {});
+  replica.observe(0, features_for(100.0), 55.0);
+  replica.observe(2, features_for(200.0), 30.0);
+  const std::string blob = replica.save_state();
+
+  std::string legacy = "banditserver-state v1\n";
+  legacy += "shards 1 sharding feature-hash seed 42 threads 0 explore 1 rr_counter 5\n";
+  legacy += "shard 0 bytes " + std::to_string(blob.size()) + "\n" + blob;
+
+  BanditServer restored = BanditServer::load_state(legacy);
+  EXPECT_EQ(restored.num_shards(), 1u);
+  EXPECT_EQ(restored.config().sync_every, 0u);
+  EXPECT_EQ(restored.num_observations(), 2u);
+  const auto x = features_for(150.0);
+  EXPECT_EQ(restored.predictions(0, x), replica.predictions(x));
+  // Re-saves in the current format, round-trippable as usual.
+  const std::string resaved = restored.save_state();
+  EXPECT_EQ(resaved.rfind("banditserver-state v2\n", 0), 0u);
+  EXPECT_EQ(BanditServer::load_state(resaved).save_state(), resaved);
+}
+
+TEST(BanditServer, SyncStateSurvivesSnapshotRoundTrip) {
+  // A synced engine must serialize its baseline so a restored server keeps
+  // merging without double-counting.
+  BanditServerConfig config;
+  config.num_shards = 2;
+  config.sharding = ShardingPolicy::kRoundRobin;
+  config.sync_every = 2;
+  BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  auto make_batch = [&catalog](double base_tasks) {
+    std::vector<ServeObservation> observations;
+    for (int i = 0; i < 6; ++i) {
+      const double tasks = base_tasks + 11.0 * i;
+      observations.push_back({static_cast<std::size_t>(i % 2),
+                              static_cast<core::ArmIndex>(i % 3), features_for(tasks),
+                              synthetic_runtime(catalog[i % 3], tasks)});
+    }
+    return observations;
+  };
+  server.observe_batch(make_batch(60.0));  // batch 1
+  server.observe_batch(make_batch(90.0));  // batch 2 -> auto-sync
+  server.observe_batch(make_batch(35.0));  // batch 3: mid-cadence
+  EXPECT_EQ(server.sync_count(), 1u);
+  EXPECT_EQ(server.num_observations(), 18u);
+
+  const std::string saved = server.save_state();
+  BanditServer restored = BanditServer::load_state(saved);
+  EXPECT_EQ(restored.save_state(), saved);
+  EXPECT_EQ(restored.config().sync_every, 2u);
+  EXPECT_EQ(restored.num_observations(), server.num_observations());
+
+  // Feeding the same next batch to both must sync both (the cadence phase
+  // rode along in the snapshot) and land them byte-identical — the fused
+  // baseline carried across too, so no evidence is double-counted.
+  const auto more = make_batch(44.0);
+  server.observe_batch(more);  // batch 4 -> auto-sync on both sides
+  restored.observe_batch(more);
+  EXPECT_EQ(restored.save_state(), server.save_state());
+  EXPECT_EQ(restored.num_observations(), 24u);
 }
 
 TEST(BanditServer, SaveStateIsAtomicUnderConcurrentWrites) {

@@ -1,0 +1,72 @@
+// Golden-snapshot fixtures: small v1 and v2 `banditware-state` files are
+// checked in under tests/data/, and load -> save output is pinned byte-for-
+// byte against them. A change to the snapshot writer or readers that alters
+// bytes (or silently mis-migrates a legacy v1 file) fails here loudly,
+// instead of shipping a format drift that corrupts deployed state files.
+//
+// Regenerating fixtures after an *intentional* format change: the expected
+// bytes are exactly `BanditWare::load_state(<fixture>).save_state()` — see
+// the comments on each fixture below for its provenance.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/banditware.hpp"
+
+namespace bw::core {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(BW_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(SnapshotGolden, V2StatsFixtureRoundTripsByteIdentical) {
+  // Incremental arms (sufficient statistics records). Produced by training
+  // the NDP catalog on a short deterministic stream and saving.
+  const std::string fixture = read_file(data_path("state_v2_stats.bw"));
+  ASSERT_FALSE(fixture.empty());
+  const BanditWare bandit = BanditWare::load_state(fixture);
+  EXPECT_EQ(bandit.save_state(), fixture);
+  EXPECT_EQ(bandit.num_arms(), 3u);
+  EXPECT_EQ(bandit.num_observations(), 9u);
+}
+
+TEST(SnapshotGolden, V2ExactHistoryFixtureRoundTripsByteIdentical) {
+  // exact_history arms (raw observation rows inside a v2 envelope).
+  const std::string fixture = read_file(data_path("state_v2_obs.bw"));
+  ASSERT_FALSE(fixture.empty());
+  const BanditWare bandit = BanditWare::load_state(fixture);
+  EXPECT_EQ(bandit.save_state(), fixture);
+  EXPECT_TRUE(bandit.config().policy.exact_history);
+  EXPECT_EQ(bandit.num_observations(), 6u);
+}
+
+TEST(SnapshotGolden, V1FixtureMigratesToPinnedV2Bytes) {
+  // Legacy v1 (raw rows, no gpus column, no exact_history flag) must keep
+  // loading by replay and re-save as exactly the pinned v2 migration — any
+  // drift in the replay or the writer shows up as a byte diff here.
+  const std::string fixture = read_file(data_path("state_v1.bw"));
+  const std::string expected = read_file(data_path("state_v1_migrated.bw"));
+  ASSERT_FALSE(fixture.empty());
+  ASSERT_FALSE(expected.empty());
+  const BanditWare bandit = BanditWare::load_state(fixture);
+  const std::string migrated = bandit.save_state();
+  EXPECT_EQ(migrated, expected);
+  EXPECT_EQ(migrated.rfind("banditware-state v2\n", 0), 0u);
+  // The migration itself must be stable under a second round trip.
+  EXPECT_EQ(BanditWare::load_state(migrated).save_state(), migrated);
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -227,6 +227,8 @@ int cmd_serve(int argc, char** argv) {
   cli.add_flag("batch", "64", "workflows per recommend/observe batch");
   cli.add_flag("rounds", "100", "batches to replay");
   cli.add_flag("threads", "0", "batch-execution threads (0 = shards)");
+  cli.add_flag("sync-every", "0",
+               "fuse all shard models every K observe batches (0 = never)");
   cli.add_flag("tolerance-seconds", "0", "tolerance_seconds of Algorithm 1");
   cli.add_flag("tolerance-ratio", "0", "tolerance_ratio of Algorithm 1");
   cli.add_flag("epsilon0", "1.0", "initial exploration rate");
@@ -254,15 +256,18 @@ int cmd_serve(int argc, char** argv) {
   const long batch = cli.get_int("batch");
   const long threads = cli.get_int("threads");
   const long rounds = cli.get_int("rounds");
+  const long sync_every = cli.get_int("sync-every");
   if (shards < 1) throw bw::InvalidArgument("--shards must be >= 1");
   if (batch < 1) throw bw::InvalidArgument("--batch must be >= 1");
   if (threads < 0) throw bw::InvalidArgument("--threads must be >= 0");
   if (rounds < 0) throw bw::InvalidArgument("--rounds must be >= 0");
+  if (sync_every < 0) throw bw::InvalidArgument("--sync-every must be >= 0");
 
   bw::serve::BanditServerConfig config;
   config.num_shards = static_cast<std::size_t>(shards);
   config.sharding = bw::serve::parse_sharding_policy(cli.get("sharding"));
   config.num_threads = static_cast<std::size_t>(threads);
+  config.sync_every = static_cast<std::size_t>(sync_every);
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.bandit.policy.initial_epsilon = cli.get_double("epsilon0");
   config.bandit.policy.decay = cli.get_double("decay");
@@ -279,6 +284,10 @@ int cmd_serve(int argc, char** argv) {
   bw::Table report({"metric", "value"});
   report.add_row({"shards", std::to_string(server.num_shards())});
   report.add_row({"sharding", bw::serve::to_string(config.sharding)});
+  if (config.sync_every > 0) {
+    report.add_row({"shard syncs", std::to_string(server.sync_count()) + " (every " +
+                                       std::to_string(config.sync_every) + " batches)"});
+  }
   report.add_row({"decisions served", std::to_string(result.decisions)});
   report.add_row({"wall time (s)", bw::format_double(result.wall_s, 3)});
   report.add_row({"decisions/sec", bw::format_double(result.decisions_per_s, 0)});
