@@ -5,9 +5,9 @@
 // recommend_batch + observe_batch pairs.
 //
 //   ./bench/bench_serve_throughput [--decisions=20000] [--batches=1,64,256]
-//       [--workload=train|read-heavy|sync] [--read-frac=0.9] [--clients=4]
-//       [--sync-every=1] [--max-regret-ratio=0]
-//       [--json=BENCH_serve_throughput.json]
+//       [--workload=train|read-heavy|sync|async-sync] [--read-frac=0.9]
+//       [--clients=4] [--sync-every=1] [--max-regret-ratio=0]
+//       [--max-p99-ratio=0] [--json=BENCH_serve_throughput.json]
 //
 // Workloads:
 //   * train       — the original 1:1 recommend/observe loop (exploring
@@ -28,6 +28,17 @@
 //     cell's mean regret exceeds R x the 1-shard baseline of its batch
 //     size — the CI acceptance gate. Decisions are deterministic for a
 //     fixed seed, so the gate is stable.
+//   * async-sync   — observe-path latency while fusion is in flight: per
+//     observe_batch wall time (p50/p99) for three variants per shard
+//     count — sync off (baseline), inline sync_every=K (the whole fleet
+//     stalls on fusion inside observe_batch), async sync_every=K (the
+//     background fuser runs the same algebra off the hot path; observes
+//     only wait for their own shard's short publish swap). Also tracks
+//     mean regret so the latency win is not bought with staleness.
+//     Gates: --max-p99-ratio=R fails if the async cell's observe p99
+//     exceeds R x the sync-off baseline at the same shard count;
+//     --max-regret-ratio=R fails if the async cell's regret exceeds R x
+//     the 1-shard baseline.
 //
 // Emits machine-readable BENCH_*.json so the perf trajectory is tracked
 // across PRs.
@@ -74,11 +85,21 @@ struct CellResult {
   std::size_t batch = 0;
   double seconds = 0.0;
   double decisions_per_s = 0.0;
-  // sync workload only:
+  // sync / async-sync workloads only:
   std::size_t sync_every = 0;      ///< 0 = no cross-shard sync
   double mean_regret_s = -1.0;     ///< chosen minus best runtime, averaged
   double greedy_regret_s = -1.0;   ///< same, over non-explored decisions only
+  // async-sync workload only:
+  std::string sync_mode;           ///< "off" | "inline" | "async"
+  double observe_p50_ms = -1.0;    ///< per observe_batch call wall time
+  double observe_p99_ms = -1.0;
 };
+
+double percentile_ms(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(q * (sorted_us.size() - 1));
+  return sorted_us[rank] / 1000.0;
+}
 
 CellResult run_train_cell(std::size_t shards, std::size_t batch,
                           std::size_t decisions) {
@@ -168,6 +189,78 @@ CellResult run_sync_cell(std::size_t shards, std::size_t batch, std::size_t deci
   result.mean_regret_s = regret / static_cast<double>(served);
   result.greedy_regret_s =
       greedy > 0 ? greedy_regret / static_cast<double>(greedy) : 0.0;
+  return result;
+}
+
+/// One cell of the async-sync workload: times every observe_batch call
+/// individually so the p99 captures the fusion stall (inline) or its
+/// absence (async). `mode` is "off" (sync_every forced to 0), "inline", or
+/// "async".
+CellResult run_async_sync_cell(std::size_t shards, std::size_t batch,
+                               std::size_t decisions, std::size_t sync_every,
+                               const std::string& mode) {
+  bw::serve::BanditServerConfig config;
+  config.num_shards = shards;
+  config.sharding = bw::serve::ShardingPolicy::kRoundRobin;
+  config.seed = 42;
+  config.sync_every = mode == "off" ? 0 : sync_every;
+  config.sync_mode = mode == "async" ? bw::serve::SyncMode::kAsync
+                                     : bw::serve::SyncMode::kInline;
+  // Leave the fuser a core: with num_threads defaulting to shard count an
+  // 8-shard cell spawns 8 pool threads and oversubscribes small hosts, so
+  // the background fuser starves, syncs lag, and regret drifts toward the
+  // unsynced curve. Cap the pool (same cap in every mode for a fair
+  // comparison) at hardware_concurrency - 1.
+  const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
+  config.num_threads = std::max<std::size_t>(1, std::min(shards, hw - 1));
+  const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+  bw::serve::BanditServer server(catalog, feature_names(), config);
+
+  bw::Rng rng(11);
+  std::vector<double> observe_us;
+  observe_us.reserve(decisions / std::max<std::size_t>(batch, 1) + 1);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t served = 0;
+  double regret = 0.0;
+  while (served < decisions) {
+    const std::size_t n = std::min(batch, decisions - served);
+    std::vector<bw::core::FeatureVector> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) xs.push_back(random_features(rng));
+    const auto batch_decisions = server.recommend_batch(xs);
+    std::vector<bw::serve::ServeObservation> observations;
+    observations.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double runtime = synthetic_runtime(*batch_decisions[i].spec, xs[i]);
+      double best = runtime;
+      for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+        best = std::min(best, synthetic_runtime(catalog[arm], xs[i]));
+      }
+      regret += runtime - best;
+      observations.push_back(
+          {batch_decisions[i].shard, batch_decisions[i].arm, xs[i], runtime});
+    }
+    const auto observe_start = std::chrono::steady_clock::now();
+    server.observe_batch(observations);
+    observe_us.push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - observe_start)
+                             .count());
+    served += n;
+  }
+  server.drain_sync();  // settle the fuser before the cell ends
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  std::sort(observe_us.begin(), observe_us.end());
+  CellResult result;
+  result.shards = shards;
+  result.batch = batch;
+  result.sync_every = config.sync_every;
+  result.sync_mode = mode;
+  result.seconds = std::chrono::duration<double>(elapsed).count();
+  result.decisions_per_s = static_cast<double>(served) / result.seconds;
+  result.mean_regret_s = regret / static_cast<double>(served);
+  result.observe_p50_ms = percentile_ms(observe_us, 0.50);
+  result.observe_p99_ms = percentile_ms(observe_us, 0.99);
   return result;
 }
 
@@ -267,10 +360,17 @@ void write_json(const std::string& path, const std::string& workload,
                  "\"decisions_per_s\": %.1f",
                  cell.shards, cell.batch, cell.seconds, cell.decisions_per_s);
     if (cell.mean_regret_s >= 0.0) {
+      std::fprintf(f, ", \"sync_every\": %zu, \"mean_regret_s\": %.6f",
+                   cell.sync_every, cell.mean_regret_s);
+    }
+    if (cell.greedy_regret_s >= 0.0) {
+      std::fprintf(f, ", \"greedy_regret_s\": %.6f", cell.greedy_regret_s);
+    }
+    if (!cell.sync_mode.empty()) {
       std::fprintf(f,
-                   ", \"sync_every\": %zu, \"mean_regret_s\": %.6f, "
-                   "\"greedy_regret_s\": %.6f",
-                   cell.sync_every, cell.mean_regret_s, cell.greedy_regret_s);
+                   ", \"sync_mode\": \"%s\", \"observe_p50_ms\": %.4f, "
+                   "\"observe_p99_ms\": %.4f",
+                   cell.sync_mode.c_str(), cell.observe_p50_ms, cell.observe_p99_ms);
     }
     std::fprintf(f, "}%s\n", i + 1 < cells.size() ? "," : "");
   }
@@ -297,13 +397,17 @@ int run(int argc, char** argv) {
   cli.add_flag("decisions", "20000", "decisions per timed cell");
   cli.add_flag("shards", "1,2,4,8", "shard counts to sweep");
   cli.add_flag("batches", "1,64,256", "batch sizes to sweep");
-  cli.add_flag("workload", "train", "train (1:1 learn loop), read-heavy, or sync");
+  cli.add_flag("workload", "train",
+               "train (1:1 learn loop), read-heavy, sync, or async-sync");
   cli.add_flag("read-frac", "0.9", "read fraction of the read-heavy mix");
   cli.add_flag("clients", "4", "concurrent client threads (read-heavy)");
-  cli.add_flag("sync-every", "1", "sync cadence in batches (sync workload)");
+  cli.add_flag("sync-every", "1", "sync cadence in batches (sync workloads)");
   cli.add_flag("max-regret-ratio", "0",
                "fail if a synced cell's regret exceeds this x the 1-shard "
-               "baseline (sync workload; 0 = report only)");
+               "baseline (sync/async-sync workloads; 0 = report only)");
+  cli.add_flag("max-p99-ratio", "0",
+               "fail if the async cell's observe p99 exceeds this x the "
+               "sync-off baseline (async-sync workload; 0 = report only)");
   cli.add_flag("json", "BENCH_serve_throughput.json", "machine-readable output path");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -323,10 +427,15 @@ int run(int argc, char** argv) {
   const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
   const auto sync_every = static_cast<std::size_t>(cli.get_int("sync-every"));
   const double max_regret_ratio = cli.get_double("max-regret-ratio");
+  const double max_p99_ratio = cli.get_double("max-p99-ratio");
   const bool read_heavy = workload == "read-heavy";
   const bool sync = workload == "sync";
-  if (workload != "train" && workload != "read-heavy" && workload != "sync") {
-    std::fprintf(stderr, "--workload must be 'train', 'read-heavy', or 'sync'\n");
+  const bool async_sync = workload == "async-sync";
+  if (workload != "train" && workload != "read-heavy" && workload != "sync" &&
+      workload != "async-sync") {
+    std::fprintf(stderr,
+                 "--workload must be 'train', 'read-heavy', 'sync', or "
+                 "'async-sync'\n");
     return 1;
   }
   if (read_heavy && (read_frac < 0.0 || read_frac > 1.0)) {
@@ -339,12 +448,65 @@ int run(int argc, char** argv) {
   if (read_heavy) {
     std::printf("read fraction: %.0f%%, clients: %zu\n", read_frac * 100.0, clients);
   }
-  if (sync) std::printf("sync cadence: every %zu batches\n", sync_every);
+  if (sync || async_sync) std::printf("sync cadence: every %zu batches\n", sync_every);
   std::printf("\n");
 
   std::vector<CellResult> cells;
   bool gate_failed = false;
-  if (sync) {
+  if (async_sync) {
+    // Observe-latency sweep: per batch size, a 1-shard no-sync cell pins
+    // the regret baseline; per multi-shard count, sync-off pins the p99
+    // baseline and inline/async are measured (and gated) against the two.
+    bw::Table table({"shards", "sync", "batch", "observe p50 (ms)", "observe p99 (ms)",
+                     "p99 vs off", "mean regret (s)", "vs 1 shard"});
+    for (std::size_t batch : batch_sizes) {
+      const CellResult regret_baseline =
+          run_async_sync_cell(1, batch, decisions, sync_every, "off");
+      cells.push_back(regret_baseline);
+      table.add_row({"1", "-", std::to_string(batch),
+                     bw::format_double(regret_baseline.observe_p50_ms, 3),
+                     bw::format_double(regret_baseline.observe_p99_ms, 3), "-",
+                     bw::format_double(regret_baseline.mean_regret_s, 4), "1.00x"});
+      for (std::size_t shards : shard_counts) {
+        if (shards <= 1) continue;
+        CellResult off;
+        for (const char* mode : {"off", "inline", "async"}) {
+          const CellResult cell =
+              run_async_sync_cell(shards, batch, decisions, sync_every, mode);
+          cells.push_back(cell);
+          if (cell.sync_mode == "off") off = cell;
+          const double p99_ratio = cell.observe_p99_ms / off.observe_p99_ms;
+          const double regret_ratio =
+              cell.mean_regret_s / regret_baseline.mean_regret_s;
+          table.add_row({std::to_string(cell.shards), cell.sync_mode,
+                         std::to_string(cell.batch),
+                         bw::format_double(cell.observe_p50_ms, 3),
+                         bw::format_double(cell.observe_p99_ms, 3),
+                         bw::format_double(p99_ratio, 2) + "x",
+                         bw::format_double(cell.mean_regret_s, 4),
+                         bw::format_double(regret_ratio, 2) + "x"});
+          if (cell.sync_mode != "async") continue;
+          if (max_p99_ratio > 0.0 && p99_ratio > max_p99_ratio) {
+            std::fprintf(stderr,
+                         "FAIL: %zu-shard async observe p99 %.3f ms is %.2fx the "
+                         "no-sync baseline %.3f ms (limit %.2fx)\n",
+                         shards, cell.observe_p99_ms, p99_ratio, off.observe_p99_ms,
+                         max_p99_ratio);
+            gate_failed = true;
+          }
+          if (max_regret_ratio > 0.0 && regret_ratio > max_regret_ratio) {
+            std::fprintf(stderr,
+                         "FAIL: %zu-shard async regret %.4f s is %.2fx the 1-shard "
+                         "baseline %.4f s (limit %.2fx)\n",
+                         shards, cell.mean_regret_s, regret_ratio,
+                         regret_baseline.mean_regret_s, max_regret_ratio);
+            gate_failed = true;
+          }
+        }
+      }
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  } else if (sync) {
     // Regret quality sweep: 1-shard baseline, then round-robin with and
     // without sync for each multi-shard count.
     bw::Table table({"shards", "sync", "batch", "wall (s)", "decisions/s",

@@ -10,6 +10,7 @@
 //
 //   ./examples/serve_cluster [--waves=30] [--wave-size=8] [--shards=4]
 //       [--sharding=feature-hash|round-robin] [--sync-every=0]
+//       [--sync-mode=inline|async]
 
 #include <cstdio>
 #include <string>
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   cli.add_flag("sharding", "feature-hash", "routing: feature-hash | round-robin");
   cli.add_flag("sync-every", "0",
                "fuse all shard models every K observe batches (0 = never)");
+  cli.add_flag("sync-mode", "inline", "fusion mode: inline | async");
   cli.add_flag("arrival-seconds", "600", "mean inter-wave time");
   cli.add_flag("seed", "23", "random seed");
   if (!cli.parse(argc, argv)) return 0;
@@ -60,6 +62,7 @@ int main(int argc, char** argv) {
   config.num_shards = static_cast<std::size_t>(cli.get_int("shards"));
   config.sharding = bw::serve::parse_sharding_policy(cli.get("sharding"));
   config.sync_every = static_cast<std::size_t>(cli.get_int("sync-every"));
+  config.sync_mode = bw::serve::parse_sync_mode(cli.get("sync-mode"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.bandit.policy.tolerance.seconds = 30.0;  // trade 30 s for smaller pods
   bw::serve::BanditServer server(bw::hw::synthetic_cycles_catalog(), {"num_tasks"},
@@ -120,6 +123,7 @@ int main(int argc, char** argv) {
     }
   }
   server.observe_batch(remaining);
+  server.drain_sync();  // settle in-flight async fusions before reporting
 
   const auto stats = sim.stats();
   std::printf("served %ld waves x %ld workflows through %zu shards\n\n", waves,
@@ -133,9 +137,10 @@ int main(int argc, char** argv) {
   std::fputs(table.to_string().c_str(), stdout);
 
   if (config.sync_every > 0) {
-    std::printf("\nshard models fused %zu times (every %zu observe batches); "
+    std::printf("\nshard models fused %zu times (every %zu observe batches, %s); "
                 "after a sync every replica predicts from the full stream\n",
-                server.sync_count(), config.sync_every);
+                server.sync_count(), config.sync_every,
+                bw::serve::to_string(config.sync_mode).c_str());
   }
   std::puts(config.sharding == bw::serve::ShardingPolicy::kFeatureHash
                 ? "\nper-shard model observations (feature-hash keeps workflows "

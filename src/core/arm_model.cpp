@@ -23,7 +23,7 @@ LinearArmModel::LinearArmModel(std::size_t dim, linalg::FitOptions fit,
                                bool exact_history)
     : dim_(dim),
       fit_(fit),
-      exact_history_(exact_history || !fit.intercept),
+      exact_history_(uses_exact_history(fit, exact_history)),
       rls_(dim > 0 ? dim : 1, rls_prior_ridge(fit)) {
   BW_CHECK_MSG(dim > 0, "arm model needs at least one feature");
   reset();
@@ -97,6 +97,12 @@ void LinearArmModel::restore_stats(const linalg::Matrix& p,
                "arm model: restore_stats requires the incremental backend");
   rls_.restore(p, theta, n);
   sync_from_rls();
+}
+
+ArmStats LinearArmModel::export_stats() const {
+  BW_CHECK_MSG(!exact_history_,
+               "arm model: export_stats requires the incremental backend");
+  return ArmStats{rls_.precision_inverse(), rls_.theta(), rls_.n_observations()};
 }
 
 double LinearArmModel::predict(std::span<const double> x) const {

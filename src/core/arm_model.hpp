@@ -24,6 +24,16 @@
 
 namespace bw::core {
 
+/// Compact copy of an incremental arm's sufficient statistics (theta, P, n).
+/// This is the in-memory analogue of a banditware-state v2 stats record:
+/// O(d^2) to take, no text round-trip. The async cross-shard sync pipeline
+/// stages these under brief shared locks and fuses them off the hot path.
+struct ArmStats {
+  linalg::Matrix p;      ///< (X^T X + ridge I)^{-1}, intercept-augmented
+  linalg::Vector theta;  ///< [w; b]
+  std::size_t n = 0;     ///< observations absorbed
+};
+
 class LinearArmModel {
  public:
   /// `dim` = number of workflow features m. FitOptions control the
@@ -38,6 +48,14 @@ class LinearArmModel {
     return exact_history_ ? xs_.size() : rls_.n_observations();
   }
   bool exact_history() const { return exact_history_; }
+
+  /// The backend-selection rule the constructor applies — the single source
+  /// of truth for callers that must know the effective backend before any
+  /// model exists (e.g. the serve layer rejecting async sync for batch-
+  /// backend configs at construction time).
+  static bool uses_exact_history(const linalg::FitOptions& fit, bool exact_history) {
+    return exact_history || !fit.intercept;
+  }
 
   /// Records an observation and updates the model (Alg. 1 line 10-11).
   /// O(d^2) incremental, O(n d^2) with exact_history.
@@ -58,6 +76,12 @@ class LinearArmModel {
   /// Throws InvalidArgument on shape mismatch or in exact_history mode.
   void restore_stats(const linalg::Matrix& p, const linalg::Vector& theta,
                      std::size_t n);
+
+  /// Copies out the sufficient statistics (incremental backend only) —
+  /// O(d^2), no text serialization. Throws InvalidArgument in exact_history
+  /// mode (a history-backed arm has no compact statistics to export; the
+  /// serve-layer async sync is rejected for such configs up front).
+  ArmStats export_stats() const;
 
   /// Folds another arm's evidence into this one. Incremental arms fuse
   /// sufficient statistics (RLS::merge — exact under the shared ridge);

@@ -20,6 +20,14 @@ namespace {
 /// multi-gigabyte replay allocation.
 constexpr long long kMaxObservationsPerArm = 100'000'000;
 
+/// Header counts are bounded the same way: a corrupted "features N" or
+/// "arms N" line must fail cleanly, not drive a resize() into bad_alloc
+/// (each feature later sizes a (d+1)x(d+1) matrix per arm). Real catalogs
+/// hold a handful of arms over a handful of features; these caps are
+/// orders of magnitude above any sane snapshot.
+constexpr std::size_t kMaxFeatures = 512;
+constexpr std::size_t kMaxArms = 4096;
+
 /// Reads a per-arm observation count defensively: the stream extracts a
 /// signed value so "-3" is caught as negative instead of wrapping to a
 /// huge unsigned count, and overflow sets failbit.
@@ -67,13 +75,16 @@ SnapshotHeader read_header(std::istream& is, int version) {
 
   std::size_t num_features = 0;
   is >> token >> num_features;
-  if (token != "features" || num_features == 0) fail("expected features");
+  // Check the stream BEFORE acting on the count: an overflowed extraction
+  // leaves a garbage value that must not reach resize().
+  if (!is || token != "features" || num_features == 0) fail("expected features");
+  if (num_features > kMaxFeatures) fail("feature count exceeds limit");
   header.feature_names.resize(num_features);
   for (auto& name : header.feature_names) is >> name;
 
   is >> token >> header.num_arms;
-  if (token != "arms" || header.num_arms == 0) fail("expected arms");
-  if (!is) fail("truncated header");
+  if (!is || token != "arms" || header.num_arms == 0) fail("expected arms");
+  if (header.num_arms > kMaxArms) fail("arm count exceeds limit");
   return header;
 }
 
@@ -183,6 +194,31 @@ void BanditWare::merge_from(const BanditWare& other, const BanditWare* base) {
     policy_.arm_model(*index).merge(other.policy_.arm_model(j), base_model_for(name));
   }
   policy_.set_epsilon(merged_epsilon);
+}
+
+BanditWareStats BanditWare::export_stats() const {
+  BanditWareStats stats;
+  stats.epsilon = policy_.epsilon();
+  stats.arms.reserve(catalog_.size());
+  for (ArmIndex arm = 0; arm < catalog_.size(); ++arm) {
+    stats.arms.push_back(policy_.arm_model(arm).export_stats());
+  }
+  return stats;
+}
+
+BanditWare BanditWare::from_stats(const hw::HardwareCatalog& catalog,
+                                  const std::vector<std::string>& feature_names,
+                                  const BanditWareConfig& config,
+                                  const BanditWareStats& stats) {
+  BW_CHECK_MSG(stats.arms.size() == catalog.size(),
+               "from_stats: arm count does not match the catalog");
+  BanditWare restored(catalog, feature_names, config);
+  for (ArmIndex arm = 0; arm < restored.num_arms(); ++arm) {
+    const ArmStats& s = stats.arms[arm];
+    restored.policy_.arm_model(arm).restore_stats(s.p, s.theta, s.n);
+  }
+  restored.policy_.set_epsilon(stats.epsilon);
+  return restored;
 }
 
 std::vector<double> BanditWare::predictions(const FeatureVector& x) const {

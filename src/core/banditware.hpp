@@ -28,6 +28,23 @@ struct BanditWareConfig {
   EpsilonGreedyConfig policy{};
 };
 
+/// Compact copy of a whole instance's learned state: per-arm sufficient
+/// statistics plus the exploration rate. O(arms * d^2) to take — no text
+/// serialization, no catalog copy. The serve layer's async cross-shard
+/// sync stages these under brief shared locks and runs the fusion math
+/// (Cholesky recovery, baseline subtraction) entirely off the hot path.
+/// Only meaningful for the incremental backend (see export_stats()).
+struct BanditWareStats {
+  double epsilon = 1.0;
+  std::vector<ArmStats> arms;  ///< indexed like the catalog
+
+  std::size_t num_observations() const {
+    std::size_t total = 0;
+    for (const auto& arm : arms) total += arm.n;
+    return total;
+  }
+};
+
 class BanditWare {
  public:
   /// `feature_names` documents (and sizes) the workflow feature vector.
@@ -68,6 +85,21 @@ class BanditWare {
   /// counted once. Requires matching feature names, fit options, backend,
   /// and exploration schedule; throws InvalidArgument otherwise.
   void merge_from(const BanditWare& other, const BanditWare* base = nullptr);
+
+  /// Copies out the learned state as sufficient statistics — O(arms * d^2),
+  /// no text snapshot. Throws InvalidArgument when the arms run the
+  /// exact_history backend (their history is their state; there is nothing
+  /// compact to export).
+  BanditWareStats export_stats() const;
+
+  /// Rebuilds an instance from export_stats() output plus the immutable
+  /// construction parameters (catalog, feature names, config). Exact
+  /// inverse of export_stats(): predictions and epsilon match the source
+  /// bit-for-bit. Throws InvalidArgument on arm-count or shape mismatch.
+  static BanditWare from_stats(const hw::HardwareCatalog& catalog,
+                               const std::vector<std::string>& feature_names,
+                               const BanditWareConfig& config,
+                               const BanditWareStats& stats);
 
   /// R̂(H_i, x) for every arm.
   std::vector<double> predictions(const FeatureVector& x) const;

@@ -1,5 +1,6 @@
 #include "serve/bandit_server.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <future>
@@ -44,10 +45,29 @@ void wait_all(std::vector<std::future<void>>& futures) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+/// Whether this config's arms run the batch (exact_history) backend —
+/// delegated to the model's own backend-selection rule so the two can
+/// never diverge.
+bool effective_exact_history(const BanditServerConfig& config) {
+  return core::LinearArmModel::uses_exact_history(config.bandit.policy.fit,
+                                                  config.bandit.policy.exact_history);
+}
+
+void validate_config(const BanditServerConfig& config) {
+  BW_CHECK_MSG(config.num_shards >= 1, "BanditServer needs at least one shard");
+  // Async sync stages compact sufficient statistics; exact_history arms
+  // have none (their history is their state) and would merge by replaying
+  // O(total) rows inside the publish swap — the ROADMAP caveat. Reject up
+  // front instead of failing mid-flight in the fuser thread.
+  BW_CHECK_MSG(!(config.sync_mode == SyncMode::kAsync && effective_exact_history(config)),
+               "async sync requires the incremental arm backend "
+               "(exact_history arms have no compact statistics to stage)");
+}
+
 std::vector<core::BanditWare> make_replicas(const hw::HardwareCatalog& catalog,
                                             const std::vector<std::string>& feature_names,
                                             const BanditServerConfig& config) {
-  BW_CHECK_MSG(config.num_shards >= 1, "BanditServer needs at least one shard");
+  validate_config(config);
   std::vector<core::BanditWare> replicas;
   replicas.reserve(config.num_shards);
   for (std::size_t i = 0; i < config.num_shards; ++i) {
@@ -55,6 +75,11 @@ std::vector<core::BanditWare> make_replicas(const hw::HardwareCatalog& catalog,
   }
   return replicas;
 }
+
+/// Snapshot header counts are bounded so a corrupted count fails cleanly
+/// instead of driving a huge allocation (the per-shard blobs are further
+/// bounded by the bytes actually present in the stream).
+constexpr std::size_t kMaxShards = 4096;
 
 }  // namespace
 
@@ -74,6 +99,32 @@ ShardingPolicy parse_sharding_policy(const std::string& name) {
   throw InvalidArgument("unknown sharding policy: " + name);
 }
 
+std::string to_string(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kInline:
+      return "inline";
+    case SyncMode::kAsync:
+      return "async";
+  }
+  return "unknown";
+}
+
+SyncMode parse_sync_mode(const std::string& name) {
+  if (name == "inline") return SyncMode::kInline;
+  if (name == "async") return SyncMode::kAsync;
+  throw InvalidArgument("unknown sync mode: " + name);
+}
+
+void BanditServer::SyncStaging::clear() {
+  staged = false;
+  fused_ready = false;
+  generation = 0;
+  base = core::BanditWareStats{};
+  shard_stats.clear();
+  snapshots.clear();
+  fused.reset();
+}
+
 BanditServer::BanditServer(hw::HardwareCatalog catalog,
                            std::vector<std::string> feature_names,
                            BanditServerConfig config)
@@ -85,14 +136,16 @@ BanditServer::BanditServer(BanditServerConfig config,
     : config_(config) {
   BW_CHECK_MSG(!replicas.empty(), "BanditServer needs at least one shard replica");
   config_.num_shards = replicas.size();
+  validate_config(config_);
   feature_names_ = replicas.front().feature_names();
   num_arms_ = replicas.front().num_arms();
+  catalog_ = replicas.front().catalog();
   // The sync baseline defaults to the untrained prior (correct for fresh
   // servers and for legacy snapshots, which predate cross-shard sync).
   sync_base_ = sync_base != nullptr
                    ? std::move(sync_base)
-                   : std::make_unique<core::BanditWare>(replicas.front().catalog(),
-                                                        feature_names_, config_.bandit);
+                   : std::make_unique<core::BanditWare>(catalog_, feature_names_,
+                                                        config_.bandit);
   base_obs_count_.store(sync_base_->num_observations(), std::memory_order_relaxed);
   Rng seeder(config_.seed);
   shards_.reserve(replicas.size());
@@ -105,17 +158,36 @@ BanditServer::BanditServer(BanditServerConfig config,
   pool_ = std::make_unique<ThreadPool>(threads);
 }
 
+BanditServer::~BanditServer() { stop_fuser(); }
+
 BanditServer::BanditServer(BanditServer&& other) noexcept
-    : config_(std::move(other.config_)),
+    : config_([&other] {
+        // Quiesce the source before stealing its members: the fuser thread
+        // captures `this` and must not outlive the move.
+        other.stop_fuser();
+        return std::move(other.config_);
+      }()),
       feature_names_(std::move(other.feature_names_)),
       num_arms_(other.num_arms_),
+      catalog_(std::move(other.catalog_)),
       shards_(std::move(other.shards_)),
       pool_(std::move(other.pool_)),
       rr_counter_(other.rr_counter_.load(std::memory_order_relaxed)),
       sync_base_(std::move(other.sync_base_)),
       base_obs_count_(other.base_obs_count_.load(std::memory_order_relaxed)),
       observe_batches_(other.observe_batches_.load(std::memory_order_relaxed)),
-      sync_count_(other.sync_count_.load(std::memory_order_relaxed)) {}
+      sync_count_(other.sync_count_.load(std::memory_order_relaxed)),
+      generation_(other.generation_.load(std::memory_order_relaxed)),
+      staging_(std::move(other.staging_)) {
+  // stop_fuser left a not-yet-claimed request pending on the source (its
+  // contract: the work is picked back up, not dropped). Carry the flag
+  // across; the destination's fuser is re-armed lazily by the next
+  // request_sync or drain_sync — spawning a thread here could throw, which
+  // must not cross this noexcept constructor. No lock on other's mutex
+  // needed: its fuser is joined and moving implies exclusive access.
+  sync_pending_ = other.sync_pending_;
+  other.sync_pending_ = false;
+}
 
 std::size_t BanditServer::shard_of(const core::FeatureVector& x) const {
   return hash_features(x) % shards_.size();
@@ -135,7 +207,11 @@ ServeDecision BanditServer::decide_locked(Shard& shard, std::size_t shard_index,
   const auto decision = config_.explore ? shard.bandit.next(x, shard.rng)
                                         : shard.bandit.recommend_decision(x);
   out.arm = decision.arm;
-  out.spec = decision.spec;
+  // Point at the server-held catalog, not the replica's: callers read the
+  // spec after the shard lock is released, and a sync publication
+  // copy-assigns the replica (catalog included) in place — a pointer into
+  // it would race. catalog_ is immutable for the server's lifetime.
+  out.spec = &catalog_[decision.arm];
   out.explored = decision.explored;
   out.predicted_runtime_s = decision.predicted_runtime_s;
   return out;
@@ -194,9 +270,9 @@ void BanditServer::validate_observation(const ServeObservation& obs) const {
                "observation routed to unknown shard " + std::to_string(obs.shard) +
                    " (engine has " + std::to_string(shards_.size()) + ")");
   // Validate against engine-level immutables only (num_arms_ is fixed at
-  // construction): touching a replica here would race sync_shards'
-  // redistribution, which copy-assigns shard.bandit under the shard lock
-  // this path deliberately does not take.
+  // construction): touching a replica here would race sync publication,
+  // which copy-assigns shard.bandit under the shard lock this path
+  // deliberately does not take.
   BW_CHECK_MSG(obs.arm < num_arms_,
                "observation names unknown arm " + std::to_string(obs.arm));
   BW_CHECK_MSG(obs.x.size() == feature_names_.size(),
@@ -241,17 +317,21 @@ void BanditServer::observe_batch(const std::vector<ServeObservation>& observatio
     }));
   }
   wait_all(futures);
-  if (config_.sync_every > 0) {
+  // Single-shard engines have nothing to fuse: the cadence is skipped
+  // entirely so sync_every > 0 costs nothing (pinned by test_serve).
+  if (config_.sync_every > 0 && shards_.size() > 1) {
     const std::uint64_t batches =
         observe_batches_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (batches % config_.sync_every == 0) sync_shards();
+    if (batches % config_.sync_every == 0) request_sync();
   }
 }
 
 void BanditServer::sync_shards() {
+  // Lock order everywhere: fuse_mutex_, then shard locks ascending. The
+  // serving hot path never takes fuse_mutex_, so observes/recommends only
+  // wait while their own shard is held.
+  std::unique_lock fuse_lock(fuse_mutex_);
   if (shards_.size() > 1) {
-    // All-exclusive, in shard-index order — the same order save_state uses,
-    // and no other path holds two shard locks, so this cannot deadlock.
     std::vector<std::unique_lock<std::shared_mutex>> locks;
     locks.reserve(shards_.size());
     for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
@@ -264,12 +344,194 @@ void BanditServer::sync_shards() {
     for (const auto& shard : shards_) shard->bandit = fused;
     *sync_base_ = std::move(fused);
     base_obs_count_.store(sync_base_->num_observations(), std::memory_order_relaxed);
+    // The baseline moved: any async round staged against the previous
+    // generation must abandon at publish (its evidence was folded here).
+    generation_.fetch_add(1, std::memory_order_relaxed);
   }
   sync_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void BanditServer::request_sync() {
+  if (shards_.size() <= 1) return;  // nothing to fuse
+  if (config_.sync_mode == SyncMode::kInline) {
+    sync_shards();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(async_mutex_);
+    sync_pending_ = true;
+    ensure_fuser_locked();
+  }
+  async_cv_.notify_all();
+}
+
+void BanditServer::drain_sync() {
+  if (config_.sync_mode != SyncMode::kAsync) return;
+  std::unique_lock<std::mutex> lock(async_mutex_);
+  // A pending request may have been carried across a move with no fuser
+  // running (the noexcept move cannot spawn threads); arm one so the wait
+  // below can actually finish.
+  if (sync_pending_) ensure_fuser_locked();
+  async_cv_.notify_all();
+  async_cv_.wait(lock, [this] { return !sync_pending_ && !sync_in_round_; });
+}
+
+void BanditServer::fuser_loop() {
+  std::unique_lock<std::mutex> lock(async_mutex_);
+  for (;;) {
+    async_cv_.wait(lock, [this] { return sync_pending_ || fuser_shutdown_; });
+    if (fuser_shutdown_) break;
+    // Claim every pending request: one round serves them all (coalescing).
+    sync_pending_ = false;
+    sync_in_round_ = true;
+    lock.unlock();
+    try {
+      if (sync_stage()) {
+        sync_fuse();
+        sync_publish();  // false = abandoned (stale generation); evidence
+                         // stays in the shards and re-folds next round
+      }
+    } catch (...) {
+      // A failed round (bad_alloc under pressure, a numerical failure in
+      // the fusion) must not escape the thread entry and std::terminate
+      // the serving process: the round's evidence is still safely in the
+      // shards, so drop the staging and let a future request retry. This
+      // mirrors inline mode, where the same failure throws to a caller who
+      // can handle it.
+      staging_.clear();
+    }
+    lock.lock();
+    sync_in_round_ = false;
+    async_cv_.notify_all();  // wake drain_sync waiters
+  }
+}
+
+void BanditServer::ensure_fuser_locked() {
+  if (!fuser_.joinable()) {
+    fuser_shutdown_ = false;
+    fuser_ = std::thread(&BanditServer::fuser_loop, this);
+  }
+}
+
+void BanditServer::stop_fuser() noexcept {
+  {
+    std::lock_guard<std::mutex> guard(async_mutex_);
+    if (!fuser_.joinable()) return;
+    fuser_shutdown_ = true;
+  }
+  async_cv_.notify_all();
+  fuser_.join();
+  fuser_ = std::thread();
+  fuser_shutdown_ = false;
+  // Pending-but-unstarted requests are dropped: their evidence is still in
+  // the shards, merely unfused. sync_pending_ stays as-is so a restarted
+  // fuser (next request_sync) picks the work back up.
+}
+
+bool BanditServer::sync_stage() {
+  if (shards_.size() <= 1) return false;
+  BW_CHECK_MSG(!effective_exact_history(config_),
+               "sync_stage requires the incremental arm backend");
+  staging_.clear();
+  std::shared_lock fuse_lock(fuse_mutex_);
+  staging_.generation = generation_.load(std::memory_order_relaxed);
+  staging_.base = sync_base_->export_stats();
+  staging_.shard_stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    // Brief shared lock per shard: O(arms * d^2) stats copy, no fusion
+    // math. Readers (pure-exploitation recommends) share it; observes wait
+    // only for the copy, not for any Cholesky work.
+    std::shared_lock lock(shard->mutex);
+    staging_.shard_stats.push_back(shard->bandit.export_stats());
+  }
+  staging_.staged = true;
+  return true;
+}
+
+void BanditServer::sync_fuse() {
+  BW_CHECK_MSG(staging_.staged, "sync_fuse: no staged round (run sync_stage first)");
+  // Entirely lock-free: reconstruct replicas from the staged statistics and
+  // run the information-form fusion (Cholesky recovery + baseline
+  // subtraction) on private copies. Yield between per-shard merges so the
+  // fuser's CPU bursts stay short: on a machine with fewer cores than
+  // threads a long uninterrupted burst would preempt the serving hot path
+  // and show up as observe tail latency.
+  core::BanditWare base = core::BanditWare::from_stats(catalog_, feature_names_,
+                                                       config_.bandit, staging_.base);
+  staging_.snapshots.clear();
+  staging_.snapshots.reserve(staging_.shard_stats.size());
+  for (const auto& stats : staging_.shard_stats) {
+    staging_.snapshots.push_back(
+        core::BanditWare::from_stats(catalog_, feature_names_, config_.bandit, stats));
+    std::this_thread::yield();
+  }
+  auto fused = std::make_unique<core::BanditWare>(base);
+  for (const auto& snapshot : staging_.snapshots) {
+    fused->merge_from(snapshot, &base);
+    std::this_thread::yield();
+  }
+  staging_.fused = std::move(fused);
+  staging_.fused_ready = true;
+}
+
+bool BanditServer::sync_publish() {
+  BW_CHECK_MSG(staging_.fused_ready,
+               "sync_publish: no fused round (run sync_fuse first)");
+  std::unique_lock fuse_lock(fuse_mutex_);
+  if (generation_.load(std::memory_order_relaxed) != staging_.generation) {
+    // The baseline moved while this round was in flight (an inline
+    // sync_shards won the race). The staged fusion is against a stale
+    // ancestor — publishing it would double-count everything the inline
+    // sync already folded. Abandon: the shards still hold every
+    // observation, so nothing is lost; the next round re-folds it.
+    staging_.clear();
+    return false;
+  }
+  // Prepare the per-shard publication copies before touching any shard
+  // lock: the copies are the allocation-heavy part of publishing, and they
+  // only depend on the (private) fused model.
+  std::vector<core::BanditWare> published;
+  published.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    published.push_back(*staging_.fused);
+  }
+  // Short exclusive swap window: every shard lock, but only for the tiny
+  // late-delta folds and the no-throw move-assigns — the O(arms * d^3 * N)
+  // fleet fusion already ran off the hot path in sync_fuse. Folding each
+  // shard's delta (observations since its stage snapshot) re-folds them
+  // into the new generation, never lost, never double-counted. Everything
+  // that can throw (the merges) happens BEFORE the first swap, so a
+  // failure — e.g. bad_alloc — leaves every shard and the baseline
+  // untouched: a half-published generation would permanently corrupt the
+  // merge accounting (shard = base + own delta would no longer hold).
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  try {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      published[s].merge_from(shards_[s]->bandit, &staging_.snapshots[s]);
+    }
+  } catch (...) {
+    staging_.clear();  // round dropped whole; evidence intact in the shards
+    throw;
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->bandit = std::move(published[s]);  // move-assigns: no-throw
+  }
+  *sync_base_ = std::move(*staging_.fused);
+  base_obs_count_.store(sync_base_->num_observations(), std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
+  staging_.clear();
+  return true;
+}
+
 std::size_t BanditServer::sync_count() const {
   return sync_count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t BanditServer::generation() const {
+  return generation_.load(std::memory_order_relaxed);
 }
 
 std::vector<double> BanditServer::predictions(std::size_t shard_index,
@@ -284,9 +546,9 @@ std::size_t BanditServer::num_observations() const {
   // After a sync every shard's model carries the fused stream; summing raw
   // counts would multiply the shared baseline by N. Discount it so the
   // total stays "distinct observations absorbed". Counts and baseline must
-  // come from one consistent cut — all shard locks held, same order as
-  // sync_shards — or a concurrent sync could slip between the reads and
-  // underflow the subtraction.
+  // come from one consistent cut — the fuse lock excludes a mid-publish
+  // generation, the shard locks exclude in-flight observes.
+  std::shared_lock fuse_lock(fuse_mutex_);
   std::vector<std::shared_lock<std::shared_mutex>> locks;
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
@@ -306,29 +568,31 @@ std::vector<std::size_t> BanditServer::shard_observation_counts() const {
 }
 
 std::string BanditServer::save_state() const {
-  // Take every shard lock before reading anything: the snapshot is a
-  // consistent cut across the whole engine. Shared mode suffices (the
-  // snapshot only reads) and still excludes every writer. Lock order is
-  // shard index, and no other code path holds two shard locks, so this
-  // cannot deadlock.
+  // Take the fuse lock plus every shard lock before reading anything: the
+  // snapshot is a consistent cut across the whole engine — an async publish
+  // (which holds the fuse lock exclusive across all its per-shard swaps)
+  // can never be half-visible here. Shared mode suffices (the snapshot
+  // only reads) and still excludes every writer. Lock order is fuse lock
+  // then shard index, matching every other multi-lock path.
+  std::shared_lock fuse_lock(fuse_mutex_);
   std::vector<std::shared_lock<std::shared_mutex>> locks;
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
 
   std::ostringstream os;
-  os << "banditserver-state v2\n";
+  os << "banditserver-state v3\n";
   os << "shards " << shards_.size() << " sharding " << to_string(config_.sharding)
      << " seed " << config_.seed << " threads " << config_.num_threads << " explore "
      << (config_.explore ? 1 : 0) << " sync_every " << config_.sync_every
-     << " observe_batches " << observe_batches_.load(std::memory_order_relaxed)
-     << " rr_counter " << rr_counter_.load(std::memory_order_relaxed) << "\n";
+     << " sync_mode " << to_string(config_.sync_mode) << " observe_batches "
+     << observe_batches_.load(std::memory_order_relaxed) << " rr_counter "
+     << rr_counter_.load(std::memory_order_relaxed) << "\n";
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const std::string state = shards_[s]->bandit.save_state();
     os << "shard " << s << " bytes " << state.size() << "\n" << state;
   }
   // The sync baseline rides along so a restored server keeps merging
-  // exactly (holding the shared shard locks also serializes against
-  // sync_shards, which takes them all exclusive).
+  // exactly (the shared fuse lock serializes against baseline swaps).
   const std::string base_state = sync_base_->save_state();
   os << "base bytes " << base_state.size() << "\n" << base_state;
   return os.str();
@@ -345,6 +609,7 @@ BanditServer BanditServer::load_state(const std::string& text) {
   int version = 0;
   if (line == "banditserver-state v1") version = 1;
   if (line == "banditserver-state v2") version = 2;
+  if (line == "banditserver-state v3") version = 3;
   if (version == 0) fail("bad header");
 
   BanditServerConfig config;
@@ -355,34 +620,53 @@ BanditServer BanditServer::load_state(const std::string& text) {
   std::uint64_t rr_counter = 0;
   std::uint64_t observe_batches = 0;
   is >> token >> num_shards;
-  if (token != "shards" || num_shards == 0) fail("expected shards");
+  // Stream state is checked BEFORE the count is used: an overflowed
+  // extraction must not turn into a huge replica allocation.
+  if (!is || token != "shards" || num_shards == 0) fail("expected shards");
+  if (num_shards > kMaxShards) fail("shard count exceeds limit");
   is >> token >> sharding_name;
-  if (token != "sharding") fail("expected sharding");
+  if (!is || token != "sharding") fail("expected sharding");
   config.sharding = parse_sharding_policy(sharding_name);
   is >> token >> config.seed;
-  if (token != "seed") fail("expected seed");
+  if (!is || token != "seed") fail("expected seed");
   is >> token >> config.num_threads;
-  if (token != "threads") fail("expected threads");
+  if (!is || token != "threads") fail("expected threads");
+  // Same cap as shards: a corrupted count (e.g. "-7" wrapping to ~1.8e19)
+  // must fail cleanly here, not inside ThreadPool's worker reserve.
+  if (config.num_threads > kMaxShards) fail("thread count exceeds limit");
   is >> token >> explore;
-  if (token != "explore") fail("expected explore");
+  if (!is || token != "explore") fail("expected explore");
   config.explore = explore != 0;
   if (version >= 2) {
     is >> token >> config.sync_every;
-    if (token != "sync_every") fail("expected sync_every");
+    if (!is || token != "sync_every") fail("expected sync_every");
+    if (version >= 3) {
+      // v2 predates SyncMode; restored v2 servers default to inline.
+      std::string mode_name;
+      is >> token >> mode_name;
+      if (!is || token != "sync_mode") fail("expected sync_mode");
+      config.sync_mode = parse_sync_mode(mode_name);
+    }
     // The auto-sync cadence phase: without it a restored server with
     // sync_every > 1 would sync on different batches than the original.
     is >> token >> observe_batches;
-    if (token != "observe_batches") fail("expected observe_batches");
+    if (!is || token != "observe_batches") fail("expected observe_batches");
   }
   is >> token >> rr_counter;
-  if (token != "rr_counter") fail("expected rr_counter");
+  if (!is || token != "rr_counter") fail("expected rr_counter");
   if (!std::getline(is, line)) fail("truncated header");
 
   auto read_blob = [&](const char* what) -> std::string {
     std::size_t bytes = 0;
     is >> token >> bytes;
-    if (token != "bytes") fail(std::string("expected ") + what + " byte count");
+    if (!is || token != "bytes") fail(std::string("expected ") + what + " byte count");
     if (!std::getline(is, line)) fail(std::string("truncated ") + what + " header");
+    // Bound the allocation by what the stream can still provide — a
+    // corrupted byte count must fail cleanly, not bad_alloc.
+    const std::streamsize available = is.rdbuf()->in_avail();
+    if (available < 0 || bytes > static_cast<std::size_t>(available)) {
+      fail(std::string("truncated ") + what + " blob");
+    }
     std::string blob(bytes, '\0');
     is.read(blob.data(), static_cast<std::streamsize>(bytes));
     if (static_cast<std::size_t>(is.gcount()) != bytes) {
@@ -396,7 +680,7 @@ BanditServer BanditServer::load_state(const std::string& text) {
   for (std::size_t s = 0; s < num_shards; ++s) {
     std::size_t index = 0;
     is >> token >> index;
-    if (token != "shard" || index != s) fail("expected shard record");
+    if (!is || token != "shard" || index != s) fail("expected shard record");
     replicas.push_back(core::BanditWare::load_state(read_blob("shard")));
     // The per-shard config is authoritative for the whole engine (every
     // replica is constructed identically).
@@ -408,7 +692,7 @@ BanditServer BanditServer::load_state(const std::string& text) {
   std::unique_ptr<core::BanditWare> base;
   if (version >= 2) {
     is >> token;
-    if (token != "base") fail("expected base record");
+    if (!is || token != "base") fail("expected base record");
     base = std::make_unique<core::BanditWare>(
         core::BanditWare::load_state(read_blob("base")));
   }

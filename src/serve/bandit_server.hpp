@@ -21,18 +21,45 @@
 // statistically equivalent to one big learner. `sync_every` automates this
 // at a fixed observe-batch cadence.
 //
+// Fusion runs in one of two modes (SyncMode):
+//   * kInline — sync_shards() stops the world: every shard lock is held
+//     exclusive while the fleet fuses. Exact and deterministic, but at
+//     sync_every=1 the whole fleet stalls on O(arms * d^3) Cholesky work
+//     each batch.
+//   * kAsync  — a background fuser thread runs the same algebra off the hot
+//     path in three steps: sync_stage() copies per-shard sufficient
+//     statistics under brief shared locks into a staging buffer,
+//     sync_fuse() performs the information-form fusion with no locks held,
+//     sync_publish() swaps the fused model back into every shard during
+//     one short exclusive window (delta folds + no-throw moves only — the
+//     Cholesky-heavy fleet fusion never runs under the shard locks).
+//     Observations that arrived after the stage snapshot
+//     (a "late" delta against the staged generation) are re-folded into the
+//     published model per shard — never lost, never double-counted. A
+//     generation counter guards the baseline: if an inline sync lands while
+//     a round is in flight, the staged round is abandoned (its evidence is
+//     still in the shards and re-folds next round). recommends and observes
+//     never block on fusion math.
+//
 // Snapshots are atomic (all shard locks held) and built on the facade's
 // plain-text snapshots, so save -> load -> save is byte-identical. Like
 // BanditWare::save_state, exploration RNG state and non-default fit options
 // are not serialized — a restored server resumes with reseeded exploration
-// streams but identical learned models. Format `banditserver-state v2`
-// additionally carries the sync baseline; v1 snapshots still load.
+// streams but identical learned models. Format `banditserver-state v3`
+// carries the sync baseline, cadence phase, and sync mode; v1 and v2
+// snapshots still load (missing fields default: prior baseline, inline
+// mode). Snapshots taken mid-async-sync are consistent cuts: publishing
+// holds the fuse lock exclusive across the whole swap, so a snapshot never
+// observes a half-published generation.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -48,6 +75,14 @@ enum class ShardingPolicy {
 std::string to_string(ShardingPolicy policy);
 ShardingPolicy parse_sharding_policy(const std::string& name);
 
+enum class SyncMode {
+  kInline,  ///< sync_shards() fuses under all shard locks (stop-the-world)
+  kAsync,   ///< a background fuser stages/fuses/publishes off the hot path
+};
+
+std::string to_string(SyncMode mode);
+SyncMode parse_sync_mode(const std::string& name);
+
 struct BanditServerConfig {
   std::size_t num_shards = 1;
   ShardingPolicy sharding = ShardingPolicy::kFeatureHash;
@@ -55,11 +90,20 @@ struct BanditServerConfig {
   std::uint64_t seed = 42;          ///< root seed; shard RNGs use child seeds
   std::size_t num_threads = 0;      ///< batch-execution threads (0 = num_shards)
   bool explore = true;              ///< false = pure-exploitation serving
-  /// Auto-run sync_shards() after every K observe_batch() calls (0 = never).
-  /// Makes round-robin sharding converge like a single learner: each
-  /// replica only sees 1/N of the stream between syncs, but the fused model
-  /// carries the whole stream.
+  /// Auto-run a cross-shard sync after every K non-empty observe_batch()
+  /// calls. Semantics (pinned by tests/test_serve.cpp):
+  ///   * 0 — never sync automatically (manual sync_shards()/request_sync()
+  ///     still work). This is the default.
+  ///   * K > 0 with num_shards > 1 — fuse every K batches so round-robin
+  ///     sharding converges like a single learner.
+  ///   * K > 0 with num_shards == 1 — no-op: there is nothing to fuse, so
+  ///     the cadence is skipped entirely and no fusion cost is paid.
   std::size_t sync_every = 0;
+  /// How sync_every (and request_sync) fuses: inline stop-the-world, or
+  /// async off the hot path. Async requires the incremental arm backend —
+  /// exact_history arms merge by replaying full histories, which defeats
+  /// the purpose and is rejected at construction.
+  SyncMode sync_mode = SyncMode::kInline;
 };
 
 /// One served decision. `shard` must be echoed back in the matching
@@ -85,8 +129,15 @@ class BanditServer {
   BanditServer(hw::HardwareCatalog catalog, std::vector<std::string> feature_names,
                BanditServerConfig config = {});
 
+  /// Joins the background fuser (if running) after its in-flight round
+  /// completes; pending but unstarted sync requests are dropped (their
+  /// evidence still lives in the shards — nothing is lost, only unfused).
+  ~BanditServer();
+
   /// Movable (so load_state can return by value) but not copyable: shards
-  /// own mutexes and the engine owns its thread pool.
+  /// own mutexes and the engine owns its thread pool. Moving stops the
+  /// source's fuser thread first (drained semantics as in ~BanditServer);
+  /// the destination restarts it lazily on the next request.
   BanditServer(BanditServer&& other) noexcept;
   BanditServer(const BanditServer&) = delete;
   BanditServer& operator=(const BanditServer&) = delete;
@@ -115,34 +166,83 @@ class BanditServer {
 
   /// Batched feedback, grouped per shard and executed concurrently. Every
   /// observation is validated (as in observe_one) before any is applied.
-  /// Triggers sync_shards() every config.sync_every non-empty batches.
+  /// Triggers a sync request every config.sync_every non-empty batches
+  /// (skipped entirely for single-shard engines — nothing to fuse).
   void observe_batch(const std::vector<ServeObservation>& observations);
 
-  /// Cross-shard model merge: takes every shard lock, fuses each replica's
-  /// evidence since the last sync into one model (exact sufficient-
-  /// statistics fusion — see core::BanditWare::merge_from), and
+  /// Cross-shard model merge, inline: takes every shard lock, fuses each
+  /// replica's evidence since the last sync into one model (exact
+  /// sufficient-statistics fusion — see core::BanditWare::merge_from), and
   /// redistributes the fused model to every shard. Afterwards each replica
   /// predicts as if it had seen the full observation stream. The fused
   /// state is remembered as the next sync's baseline, so repeated syncs
-  /// never double-count shared evidence.
+  /// never double-count shared evidence. Works in either sync mode (in
+  /// async mode it is the quiesce/stop-the-world path; an in-flight async
+  /// round that staged before this call is abandoned by its generation
+  /// check and its evidence re-folds on the next round).
   void sync_shards();
 
-  /// Number of completed sync_shards() runs (manual + auto).
+  /// Requests a cross-shard sync. Inline mode: runs sync_shards() before
+  /// returning. Async mode: marks a sync pending and wakes the background
+  /// fuser — returns immediately, never blocking on fusion math. Multiple
+  /// pending requests coalesce into one round. No-op for 1-shard engines.
+  void request_sync();
+
+  /// Blocks until no async sync is pending or in flight (async mode; no-op
+  /// inline). After drain_sync() returns, all evidence observed before the
+  /// last request_sync() has been published (or re-folds on the next
+  /// round if the round was abandoned by a concurrent inline sync).
+  void drain_sync();
+
+  /// Number of completed fusions (manual + auto, inline + async published).
   std::size_t sync_count() const;
+
+  /// Fusion generation: bumped once per published baseline swap (inline
+  /// sync or async publish). Async rounds staged against a generation that
+  /// moved before publish are abandoned, never published stale.
+  std::uint64_t generation() const;
+
+  // --- Stepwise async pipeline -------------------------------------------
+  // Exactly what the background fuser runs, exposed so the deterministic
+  // schedule harness in tests/ can interleave the phases with serving
+  // calls. Single-driver: at most one of {fuser thread, external caller}
+  // may step the pipeline (the fuser only starts once request_sync() runs
+  // in async mode, so a harness that never calls request_sync() owns it).
+
+  /// Stage: snapshots the baseline and every shard's sufficient statistics
+  /// under brief shared locks. Returns false (and stages nothing) for
+  /// 1-shard engines. Throws InvalidArgument for exact_history configs.
+  bool sync_stage();
+
+  /// Fuse: information-form fusion of the staged statistics against the
+  /// staged baseline. Pure math — no locks held. Requires a staged round.
+  void sync_fuse();
+
+  /// Publish: one short all-exclusive window that folds each shard's
+  /// late-arriving delta (observations since its stage snapshot) into the
+  /// fused model it receives, swaps every shard with no-throw moves, then
+  /// swaps the baseline. The window holds every shard lock but only pays
+  /// the tiny delta folds — the fleet-wide fusion already ran off-lock in
+  /// sync_fuse — and it is failure-atomic: a throw before the swaps leaves
+  /// every shard and the baseline untouched. Returns false if the round
+  /// was abandoned because the generation moved since staging (e.g. a
+  /// concurrent inline sync_shards()).
+  bool sync_publish();
 
   /// R̂ per arm from one shard's replica (locks that shard).
   std::vector<double> predictions(std::size_t shard, const core::FeatureVector& x) const;
 
-  /// Distinct observations absorbed by the engine (takes every shard lock
-  /// shared for a consistent cut) / raw per-shard model counts (locks each
-  /// shard briefly). After a sync every shard's model carries the full
+  /// Distinct observations absorbed by the engine (consistent cut: fuse
+  /// lock + every shard lock, shared) / raw per-shard model counts (locks
+  /// each shard briefly). After a sync every shard's model carries the full
   /// fused stream, so the total discounts the shared baseline:
   /// sum(shard counts) - (N-1) * baseline count.
   std::size_t num_observations() const;
   std::vector<std::size_t> shard_observation_counts() const;
 
-  /// Atomic whole-engine snapshot: every shard lock is held while the text
-  /// is assembled, so the state is a consistent cut.
+  /// Atomic whole-engine snapshot: the fuse lock plus every shard lock is
+  /// held (shared) while the text is assembled, so the state is a
+  /// consistent cut — even mid-async-sync it captures one generation.
   std::string save_state() const;
 
   /// Rebuilds a server from save_state() output. Throws ParseError.
@@ -160,6 +260,23 @@ class BanditServer {
     Shard(core::BanditWare b, std::uint64_t seed) : bandit(std::move(b)), rng(seed) {}
   };
 
+  /// One in-flight async round: staged statistics, then their fused result.
+  /// Touched only by the single pipeline driver (fuser thread or harness).
+  struct SyncStaging {
+    bool staged = false;       ///< sync_stage() completed
+    bool fused_ready = false;  ///< sync_fuse() completed
+    std::uint64_t generation = 0;  ///< generation_ at stage time
+    core::BanditWareStats base;    ///< baseline at stage time
+    std::vector<core::BanditWareStats> shard_stats;  ///< per-shard snapshots
+    /// Reconstructed replicas (fuse step): per-shard snapshot models —
+    /// the merge bases for the publish-time late-delta fold — and the
+    /// fused model itself.
+    std::vector<core::BanditWare> snapshots;
+    std::unique_ptr<core::BanditWare> fused;
+
+    void clear();
+  };
+
   BanditServer(BanditServerConfig config, std::vector<core::BanditWare> replicas,
                std::unique_ptr<core::BanditWare> sync_base = nullptr);
 
@@ -167,21 +284,45 @@ class BanditServer {
   ServeDecision decide_locked(Shard& shard, std::size_t shard_index,
                               const core::FeatureVector& x);
   void validate_observation(const ServeObservation& obs) const;
+  void fuser_loop();
+  void ensure_fuser_locked();
+  void stop_fuser() noexcept;
 
   BanditServerConfig config_;
   std::vector<std::string> feature_names_;
   std::size_t num_arms_ = 0;  ///< catalog size, identical and immutable per shard
+  /// Server-held catalog copy: replicas are constructed identically and
+  /// redistribution never widens them, so this stays equal to every
+  /// shard's catalog and is readable without any lock (immutable).
+  hw::HardwareCatalog catalog_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<std::uint64_t> rr_counter_{0};
-  /// Fused state at the last sync (initially the untrained prior). Read or
-  /// written only while holding every shard lock — sync_shards holds them
-  /// exclusive, save_state shared — so no separate mutex is needed.
+
+  /// Generation lock. Exclusive: anything that swaps the baseline and the
+  /// published models (inline sync_shards, async sync_publish). Shared:
+  /// consistent-cut readers (save_state, num_observations) and sync_stage.
+  /// Lock order: fuse_mutex_ before shard mutexes (ascending index); the
+  /// serving hot path (recommend/observe) never takes fuse_mutex_.
+  mutable std::shared_mutex fuse_mutex_;
+  /// Fused state at the last sync (initially the untrained prior).
+  /// Guarded by fuse_mutex_.
   std::unique_ptr<core::BanditWare> sync_base_;
-  /// Observation count of sync_base_, readable without any shard lock.
+  /// Observation count of sync_base_, readable without any lock.
   std::atomic<std::size_t> base_obs_count_{0};
   std::atomic<std::uint64_t> observe_batches_{0};  ///< non-empty batches seen
   std::atomic<std::size_t> sync_count_{0};
+  std::atomic<std::uint64_t> generation_{0};  ///< published baseline swaps
+  SyncStaging staging_;  ///< single-driver (fuser thread or test harness)
+
+  // Background fuser plumbing (async mode; thread starts lazily on the
+  // first request_sync so harness-driven servers never spawn it).
+  std::mutex async_mutex_;
+  std::condition_variable async_cv_;
+  std::thread fuser_;
+  bool sync_pending_ = false;   ///< guarded by async_mutex_
+  bool sync_in_round_ = false;  ///< guarded by async_mutex_
+  bool fuser_shutdown_ = false;  ///< guarded by async_mutex_
 };
 
 }  // namespace bw::serve

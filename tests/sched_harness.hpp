@@ -1,0 +1,206 @@
+#pragma once
+// Deterministic concurrency harness for the sharded serving engine's async
+// cross-shard sync pipeline (tests/test_async_sync.cpp).
+//
+// Real-thread stress tests (test_serve.cpp) prove the locking is clean, but
+// they cannot replay a failing interleaving. This driver replaces threads
+// with a virtual clock: every "concurrent" actor — serving workers, the
+// background fuser, a snapshotter, an inline-sync antagonist — becomes a
+// step function, and a seeded RNG picks which actor advances at each tick.
+// All ops run serialized on the calling thread, so one (seed, weights,
+// ticks) triple reproduces the exact interleaving every time: same seed ⇒
+// byte-identical final snapshot, same decision trace, same regret. The
+// fuser actor drives the real pipeline (sync_stage / sync_fuse /
+// sync_publish — the same code the background thread runs), one phase per
+// activation, so serving ops interleave *between* the phases of a round.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "serve/bandit_server.hpp"
+
+namespace bw::serve::testing {
+
+/// Relative frequency of each actor in the schedule (0 disables).
+struct ScheduleWeights {
+  int serve = 8;        ///< one recommend_batch + observe_batch cycle
+  int fuser_step = 4;   ///< advance the async pipeline by one phase
+  int inline_sync = 0;  ///< stop-the-world sync_shards() racing the pipeline
+  int snapshot = 1;     ///< save_state + load + consistency assertions
+};
+
+struct ScheduleResult {
+  std::vector<core::ArmIndex> decisions;  ///< full decision trace, in order
+  std::string final_state;   ///< snapshot after quiesce (drain + final sync)
+  double mean_regret = 0.0;  ///< chosen minus best runtime, per decision
+  /// Same, over non-explored decisions only: measures learned-model quality
+  /// without the noise of which arms the ε-schedule happened to explore.
+  double greedy_regret = 0.0;
+  std::size_t observations = 0;      ///< num_observations() after quiesce
+  std::size_t observations_fed = 0;  ///< ground truth the harness fed in
+  std::size_t syncs = 0;             ///< completed fusions
+  std::size_t abandoned_rounds = 0;  ///< publishes dropped (stale generation)
+  std::size_t snapshots_checked = 0;
+  std::size_t inconsistent_snapshots = 0;  ///< mid-sync cuts that failed checks
+};
+
+/// Virtual-clock schedule driver. The server must be configured with
+/// sync_every = 0: the harness owns the pipeline (the background fuser
+/// thread only spawns via request_sync, which the harness never calls), so
+/// it is the single driver the stepwise API requires.
+class ScheduleDriver {
+ public:
+  ScheduleDriver(BanditServerConfig config, hw::HardwareCatalog catalog,
+                 std::size_t batch, std::size_t ticks, ScheduleWeights weights = {})
+      : config_(std::move(config)),
+        catalog_(std::move(catalog)),
+        batch_(batch),
+        ticks_(ticks),
+        weights_(weights) {
+    BW_CHECK_MSG(config_.sync_every == 0,
+                 "ScheduleDriver drives the pipeline itself; set sync_every = 0");
+  }
+
+  /// Deterministic runtime model shared with the regret accounting: bigger
+  /// workflows on fewer CPUs run longer.
+  static double synthetic_runtime(const hw::HardwareSpec& spec, double num_tasks) {
+    return 5.0 + num_tasks / spec.cpus;
+  }
+
+  ScheduleResult run(std::uint64_t seed) const {
+    BanditServer server(catalog_, {"num_tasks"}, config_);
+    Rng schedule_rng(seed);
+    Rng workload_rng(schedule_rng.child_seed(1));
+    ScheduleResult result;
+    double regret = 0.0;
+    double greedy_regret = 0.0;
+    std::size_t greedy_decisions = 0;
+
+    // Fuser actor state machine: which phase the in-flight round is in.
+    enum class Phase { kStage, kFuse, kPublish };
+    Phase phase = Phase::kStage;
+
+    const int total_weight = weights_.serve + weights_.fuser_step +
+                             weights_.inline_sync + weights_.snapshot;
+    BW_CHECK_MSG(total_weight > 0, "ScheduleDriver needs at least one actor");
+
+    for (std::size_t tick = 0; tick < ticks_; ++tick) {
+      int pick = static_cast<int>(
+          schedule_rng.uniform_int(0, static_cast<std::int64_t>(total_weight) - 1));
+      if (pick < weights_.serve) {
+        serve_one_batch(server, workload_rng, regret, greedy_regret,
+                        greedy_decisions, result);
+        continue;
+      }
+      pick -= weights_.serve;
+      if (pick < weights_.fuser_step) {
+        if (server.num_shards() > 1) {
+          switch (phase) {
+            case Phase::kStage:
+              if (server.sync_stage()) phase = Phase::kFuse;
+              break;
+            case Phase::kFuse:
+              server.sync_fuse();
+              phase = Phase::kPublish;
+              break;
+            case Phase::kPublish:
+              if (!server.sync_publish()) ++result.abandoned_rounds;
+              phase = Phase::kStage;
+              break;
+          }
+        }
+        continue;
+      }
+      pick -= weights_.fuser_step;
+      if (pick < weights_.inline_sync) {
+        server.sync_shards();
+        continue;
+      }
+      check_snapshot(server, result);
+    }
+
+    // Quiesce: finish the in-flight round (published or abandoned — either
+    // way the evidence is in the shards), then fold every remaining
+    // per-shard delta with one inline sync.
+    if (phase == Phase::kFuse) {
+      server.sync_fuse();
+      phase = Phase::kPublish;
+    }
+    if (phase == Phase::kPublish) {
+      if (!server.sync_publish()) ++result.abandoned_rounds;
+    }
+    server.sync_shards();
+
+    result.final_state = server.save_state();
+    result.observations = server.num_observations();
+    result.syncs = server.sync_count();
+    result.mean_regret =
+        result.decisions.empty()
+            ? 0.0
+            : regret / static_cast<double>(result.decisions.size());
+    result.greedy_regret =
+        greedy_decisions == 0
+            ? 0.0
+            : greedy_regret / static_cast<double>(greedy_decisions);
+    return result;
+  }
+
+ private:
+  void serve_one_batch(BanditServer& server, Rng& workload_rng, double& regret,
+                       double& greedy_regret, std::size_t& greedy_decisions,
+                       ScheduleResult& result) const {
+    std::vector<core::FeatureVector> xs;
+    xs.reserve(batch_);
+    for (std::size_t i = 0; i < batch_; ++i) {
+      xs.push_back({static_cast<double>(workload_rng.uniform_int(20, 500))});
+    }
+    const auto decisions = server.recommend_batch(xs);
+    std::vector<ServeObservation> observations;
+    observations.reserve(batch_);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double runtime = synthetic_runtime(*decisions[i].spec, xs[i][0]);
+      double best = runtime;
+      for (std::size_t arm = 0; arm < catalog_.size(); ++arm) {
+        best = std::min(best, synthetic_runtime(catalog_[arm], xs[i][0]));
+      }
+      regret += runtime - best;
+      if (!decisions[i].explored) {
+        greedy_regret += runtime - best;
+        ++greedy_decisions;
+      }
+      result.decisions.push_back(decisions[i].arm);
+      observations.push_back({decisions[i].shard, decisions[i].arm, xs[i], runtime});
+    }
+    server.observe_batch(observations);
+    result.observations_fed += observations.size();
+  }
+
+  /// A snapshot taken at any tick — including between stage/fuse/publish —
+  /// must be a loadable, byte-stable, consistent generation.
+  void check_snapshot(const BanditServer& server, ScheduleResult& result) const {
+    ++result.snapshots_checked;
+    const std::string saved = server.save_state();
+    try {
+      BanditServer restored = BanditServer::load_state(saved);
+      if (restored.save_state() != saved ||
+          restored.num_observations() != server.num_observations()) {
+        ++result.inconsistent_snapshots;
+      }
+    } catch (const bw::Error&) {
+      ++result.inconsistent_snapshots;
+    }
+  }
+
+  BanditServerConfig config_;
+  hw::HardwareCatalog catalog_;
+  std::size_t batch_;
+  std::size_t ticks_;
+  ScheduleWeights weights_;
+};
+
+}  // namespace bw::serve::testing

@@ -414,6 +414,179 @@ TEST(BanditServer, ObserveRejectsStaleOrMalformedFeedback) {
   EXPECT_EQ(fh.num_observations(), 1u);
 }
 
+TEST(BanditServer, ConfigRejectsAsyncSyncWithExactHistoryArms) {
+  // ROADMAP caveat, now enforced: exact_history arms merge by history
+  // concatenation, so async sync (which stages compact sufficient
+  // statistics) cannot serve them. Rejected at construction, not mid-round.
+  BanditServerConfig config;
+  config.num_shards = 2;
+  config.sync_mode = SyncMode::kAsync;
+  config.bandit.policy.exact_history = true;
+  EXPECT_THROW(BanditServer(hw::ndp_catalog(), {"num_tasks"}, config),
+               InvalidArgument);
+  // A fit without intercept forces the batch backend too — same rejection.
+  config.bandit.policy.exact_history = false;
+  config.bandit.policy.fit.intercept = false;
+  EXPECT_THROW(BanditServer(hw::ndp_catalog(), {"num_tasks"}, config),
+               InvalidArgument);
+  // Inline sync still accepts exact_history (merge by concatenation works,
+  // it is just expensive — the documented trade-off).
+  config.bandit.policy.fit.intercept = true;
+  config.bandit.policy.exact_history = true;
+  config.sync_mode = SyncMode::kInline;
+  BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+  EXPECT_EQ(server.num_shards(), 2u);
+}
+
+TEST(BanditServer, SingleShardAutoSyncIsANoOp) {
+  // sync_every > 0 with one shard has nothing to fuse: the cadence must be
+  // skipped entirely — no fusion cost, no sync_count noise — in both modes.
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  for (const SyncMode mode : {SyncMode::kInline, SyncMode::kAsync}) {
+    BanditServerConfig config;
+    config.num_shards = 1;
+    config.sync_every = 1;
+    config.sync_mode = mode;
+    BanditServer server(catalog, {"num_tasks"}, config);
+    for (int batch = 0; batch < 5; ++batch) {
+      std::vector<ServeObservation> observations;
+      for (int i = 0; i < 4; ++i) {
+        const double tasks = 30.0 + 5.0 * (batch * 4 + i);
+        observations.push_back({0, static_cast<core::ArmIndex>(i % 3),
+                                features_for(tasks),
+                                synthetic_runtime(catalog[i % 3], tasks)});
+      }
+      server.observe_batch(observations);
+    }
+    server.drain_sync();
+    EXPECT_EQ(server.sync_count(), 0u) << to_string(mode);
+    EXPECT_EQ(server.num_observations(), 20u) << to_string(mode);
+    // Manual sync_shards() on one shard stays a harmless (counted) no-op.
+    const std::string before = server.save_state();
+    server.sync_shards();
+    EXPECT_EQ(server.sync_count(), 1u) << to_string(mode);
+    EXPECT_EQ(server.save_state(), before) << to_string(mode);
+  }
+}
+
+TEST(BanditServer, SyncEveryZeroNeverAutoSyncs) {
+  // Pinned semantics: sync_every = 0 means "never sync automatically",
+  // regardless of mode or batch count; manual syncs still work.
+  BanditServerConfig config;
+  config.num_shards = 2;
+  config.sharding = ShardingPolicy::kRoundRobin;
+  config.sync_every = 0;
+  BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  for (int batch = 0; batch < 8; ++batch) {
+    std::vector<ServeObservation> observations;
+    for (int i = 0; i < 4; ++i) {
+      const double tasks = 25.0 + 3.0 * (batch * 4 + i);
+      observations.push_back({static_cast<std::size_t>(i % 2),
+                              static_cast<core::ArmIndex>(i % 3), features_for(tasks),
+                              synthetic_runtime(catalog[i % 3], tasks)});
+    }
+    server.observe_batch(observations);
+  }
+  EXPECT_EQ(server.sync_count(), 0u);
+  server.sync_shards();
+  EXPECT_EQ(server.sync_count(), 1u);
+}
+
+TEST(BanditServer, AsyncAutoSyncConvergesUnderConcurrentLoad) {
+  // The real background fuser under real threads: recommend/observe
+  // batches race the fuser's stage/fuse/publish. No observation may be
+  // lost or double-counted, and after drain + a final quiescing sync every
+  // replica serves the same fused model. (The deterministic interleaving
+  // coverage lives in test_async_sync.cpp; this is the TSan workhorse.)
+  BanditServerConfig config;
+  config.num_shards = 4;
+  config.sharding = ShardingPolicy::kRoundRobin;
+  config.seed = 13;
+  config.sync_every = 1;
+  config.sync_mode = SyncMode::kAsync;
+  BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+
+  constexpr int kThreads = 4;
+  constexpr int kRoundsPerThread = 40;
+  constexpr int kBatch = 8;
+  std::atomic<std::size_t> observations_fed{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&server, &observations_fed, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        std::vector<core::FeatureVector> xs;
+        for (int i = 0; i < kBatch; ++i) {
+          xs.push_back(features_for(25.0 + 3.0 * ((t * 100 + round + i) % 83)));
+        }
+        const auto decisions = server.recommend_batch(xs);
+        std::vector<ServeObservation> observations;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          observations.push_back({decisions[i].shard, decisions[i].arm, xs[i],
+                                  synthetic_runtime(*decisions[i].spec, xs[i][0])});
+        }
+        server.observe_batch(observations);
+        observations_fed += observations.size();
+        // Snapshots must stay consistent cuts while the fuser publishes.
+        if (round % 16 == 0) {
+          const std::string saved = server.save_state();
+          BanditServer restored = BanditServer::load_state(saved);
+          EXPECT_EQ(restored.save_state(), saved);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  server.drain_sync();
+  EXPECT_GE(server.sync_count(), 1u);  // the fuser actually ran
+  server.sync_shards();  // quiesce: fold any remaining per-shard deltas
+  EXPECT_EQ(server.num_observations(), observations_fed.load());
+  const auto x = features_for(99.0);
+  const auto want = server.predictions(0, x);
+  for (std::size_t s = 1; s < server.num_shards(); ++s) {
+    EXPECT_EQ(server.predictions(s, x), want);
+  }
+}
+
+TEST(BanditServer, SnapshotRoundTripCarriesSyncMode) {
+  BanditServerConfig config;
+  config.num_shards = 2;
+  config.sharding = ShardingPolicy::kRoundRobin;
+  config.sync_every = 3;
+  config.sync_mode = SyncMode::kAsync;
+  BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+  const std::string saved = server.save_state();
+  EXPECT_EQ(saved.rfind("banditserver-state v3\n", 0), 0u);
+  BanditServer restored = BanditServer::load_state(saved);
+  EXPECT_EQ(restored.config().sync_mode, SyncMode::kAsync);
+  EXPECT_EQ(restored.config().sync_every, 3u);
+  EXPECT_EQ(restored.save_state(), saved);
+}
+
+TEST(BanditServer, LoadsLegacyV2ServerSnapshotsAsInlineMode) {
+  // v2 snapshots predate SyncMode: they must keep loading (sync_mode
+  // defaults to inline) and re-save in the current format.
+  core::BanditWare replica(hw::ndp_catalog(), {"num_tasks"}, {});
+  replica.observe(0, features_for(100.0), 55.0);
+  const std::string blob = replica.save_state();
+
+  std::string legacy = "banditserver-state v2\n";
+  legacy +=
+      "shards 1 sharding feature-hash seed 42 threads 0 explore 1 sync_every 2 "
+      "observe_batches 5 rr_counter 0\n";
+  legacy += "shard 0 bytes " + std::to_string(blob.size()) + "\n" + blob;
+  legacy += "base bytes " + std::to_string(blob.size()) + "\n" + blob;
+
+  BanditServer restored = BanditServer::load_state(legacy);
+  EXPECT_EQ(restored.config().sync_mode, SyncMode::kInline);
+  EXPECT_EQ(restored.config().sync_every, 2u);
+  const std::string resaved = restored.save_state();
+  EXPECT_EQ(resaved.rfind("banditserver-state v3\n", 0), 0u);
+  EXPECT_EQ(BanditServer::load_state(resaved).save_state(), resaved);
+}
+
 TEST(BanditServer, LoadsLegacyV1SnapshotsWithPriorSyncBaseline) {
   // v1 snapshots predate cross-shard sync: no sync_every, no baseline blob.
   // They must still load (baseline = untrained prior) and re-save as v2.
@@ -434,7 +607,7 @@ TEST(BanditServer, LoadsLegacyV1SnapshotsWithPriorSyncBaseline) {
   EXPECT_EQ(restored.predictions(0, x), replica.predictions(x));
   // Re-saves in the current format, round-trippable as usual.
   const std::string resaved = restored.save_state();
-  EXPECT_EQ(resaved.rfind("banditserver-state v2\n", 0), 0u);
+  EXPECT_EQ(resaved.rfind("banditserver-state v3\n", 0), 0u);
   EXPECT_EQ(BanditServer::load_state(resaved).save_state(), resaved);
 }
 

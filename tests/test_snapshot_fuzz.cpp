@@ -1,0 +1,231 @@
+// Fuzz-style property tests for the snapshot parsers: seeded mutations of
+// valid `banditware-state` (v1/v2) and `banditserver-state` (v1/v2/v3)
+// texts — truncations, byte flips, deleted/duplicated spans, corrupted
+// numbers — must either load cleanly (a benign mutation, in which case the
+// result must round-trip) or fail with a clean bw::Error. Never a crash,
+// never an unbounded allocation, never a foreign exception type. The
+// loaders are static factories, so "partially applied" state is impossible
+// by construction — what this pins is that every rejection is the
+// documented ParseError/InvalidArgument, not std::length_error from a
+// corrupted count reaching a resize().
+//
+// ~1k cases per run, deterministic (seeded xoshiro), ASan-clean in CI.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/banditware.hpp"
+#include "hardware/catalog.hpp"
+#include "serve/bandit_server.hpp"
+
+namespace bw {
+namespace {
+
+core::BanditWare trained_instance(bool exact_history) {
+  core::BanditWareConfig config;
+  config.policy.exact_history = exact_history;
+  core::BanditWare bandit(hw::ndp_catalog(), {"num_tasks", "mem_req"}, config);
+  for (int i = 0; i < 9; ++i) {
+    const core::FeatureVector x = {50.0 + 13.0 * i, 4.0 + (i % 3)};
+    bandit.observe(static_cast<core::ArmIndex>(i % 3), x, 10.0 + 0.3 * i);
+  }
+  return bandit;
+}
+
+serve::BanditServer trained_server() {
+  serve::BanditServerConfig config;
+  config.num_shards = 2;
+  config.sharding = serve::ShardingPolicy::kRoundRobin;
+  config.sync_every = 2;
+  serve::BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  for (int batch = 0; batch < 3; ++batch) {
+    std::vector<serve::ServeObservation> observations;
+    for (int i = 0; i < 4; ++i) {
+      const double tasks = 30.0 + 7.0 * (batch * 4 + i);
+      observations.push_back({static_cast<std::size_t>(i % 2),
+                              static_cast<core::ArmIndex>(i % 3),
+                              {tasks},
+                              5.0 + tasks / catalog[i % 3].cpus});
+    }
+    server.observe_batch(observations);  // auto-sync at batch 2: real baseline
+  }
+  return server;
+}
+
+/// Legacy v1 banditware text (raw rows, no gpus column, no exact_history).
+std::string v1_banditware_text() {
+  return "banditware-state v1\n"
+         "epsilon0 1 decay 0.99 tol_ratio 0.1 tol_seconds 5\n"
+         "epsilon 0.9414801494009999\n"
+         "features 2 num_tasks mem_req\n"
+         "arms 2\n"
+         "arm H0 1 8 obs 2\n"
+         "50 4 10.5\n"
+         "63 5 11.2\n"
+         "arm H1 2 16 obs 1\n"
+         "76 6 9.1\n";
+}
+
+/// Legacy v1 banditserver text (no sync_every/sync_mode, no baseline blob).
+std::string v1_banditserver_text() {
+  core::BanditWare replica = trained_instance(false);
+  const std::string blob = replica.save_state();
+  std::string text = "banditserver-state v1\n";
+  text += "shards 1 sharding feature-hash seed 42 threads 0 explore 1 rr_counter 5\n";
+  text += "shard 0 bytes " + std::to_string(blob.size()) + "\n" + blob;
+  return text;
+}
+
+/// One seeded mutation: truncate, flip, delete a span, duplicate a span,
+/// insert garbage, or corrupt a number into something hostile.
+std::string mutate(const std::string& base, Rng& rng) {
+  std::string text = base;
+  const int kind = static_cast<int>(rng.uniform_int(0, 5));
+  if (text.empty()) return text;
+  const std::size_t pos = rng.index(text.size());
+  switch (kind) {
+    case 0:  // truncate
+      text.resize(pos);
+      break;
+    case 1:  // flip one byte to a random printable (or NUL) character
+      text[pos] = static_cast<char>(rng.uniform_int(0, 126));
+      break;
+    case 2: {  // delete a span
+      const std::size_t len = 1 + rng.index(std::min<std::size_t>(64, text.size() - pos));
+      text.erase(pos, len);
+      break;
+    }
+    case 3: {  // duplicate a span (shifts every later offset)
+      const std::size_t len = 1 + rng.index(std::min<std::size_t>(64, text.size() - pos));
+      text.insert(pos, text.substr(pos, len));
+      break;
+    }
+    case 4: {  // insert a garbage token (including a real embedded NUL)
+      static const std::string kTokens[] = {
+          "-3",  "999999999999999999999", "nan",
+          "inf", "arm",                   "end",
+          std::string("\0", 1),           "1e308",
+          "shards"};
+      text.insert(pos, kTokens[rng.index(std::size(kTokens))]);
+      break;
+    }
+    default: {  // corrupt the first digit-run at/after pos into a huge value
+      std::size_t digit = text.find_first_of("0123456789", pos);
+      if (digit == std::string::npos) {
+        text.resize(pos);
+      } else {
+        text.replace(digit, 1, rng.bernoulli(0.5) ? "98765432109876543210" : "-7");
+      }
+      break;
+    }
+  }
+  return text;
+}
+
+/// Exercise one parser on a mutated text. Whatever happens must be either a
+/// clean load (then the round trip must be stable) or a clean bw::Error.
+template <typename Loader>
+void check_one(const std::string& mutated, Loader&& load, const char* what,
+               int case_index) {
+  try {
+    load(mutated);
+  } catch (const bw::Error&) {
+    // Clean, typed rejection: the contract.
+  } catch (const std::exception& error) {
+    ADD_FAILURE() << what << " case " << case_index
+                  << ": foreign exception type: " << error.what();
+  } catch (...) {
+    ADD_FAILURE() << what << " case " << case_index << ": unknown exception";
+  }
+}
+
+TEST(SnapshotFuzz, BanditWareParsersRejectMutationsCleanly) {
+  const std::vector<std::string> corpus = {
+      trained_instance(false).save_state(),  // v2 stats records
+      trained_instance(true).save_state(),   // v2 raw-row records
+      v1_banditware_text(),                  // legacy v1
+  };
+  Rng rng(20260730);
+  constexpr int kCasesPerBase = 220;
+  for (std::size_t b = 0; b < corpus.size(); ++b) {
+    for (int i = 0; i < kCasesPerBase; ++i) {
+      std::string mutated = mutate(corpus[b], rng);
+      if (rng.bernoulli(0.33)) mutated = mutate(mutated, rng);  // stacked
+      check_one(
+          mutated,
+          [](const std::string& text) {
+            const core::BanditWare bandit = core::BanditWare::load_state(text);
+            // A benign mutation that still parses must round-trip stably.
+            const std::string resaved = bandit.save_state();
+            EXPECT_EQ(core::BanditWare::load_state(resaved).save_state(), resaved);
+          },
+          "banditware", i);
+    }
+  }
+}
+
+TEST(SnapshotFuzz, BanditServerParsersRejectMutationsCleanly) {
+  const std::vector<std::string> corpus = {
+      trained_server().save_state(),  // current v3 (shard + baseline blobs)
+      v1_banditserver_text(),         // legacy v1
+  };
+  Rng rng(9143071);
+  constexpr int kCasesPerBase = 220;
+  for (std::size_t b = 0; b < corpus.size(); ++b) {
+    for (int i = 0; i < kCasesPerBase; ++i) {
+      std::string mutated = mutate(corpus[b], rng);
+      if (rng.bernoulli(0.33)) mutated = mutate(mutated, rng);
+      check_one(
+          mutated,
+          [](const std::string& text) {
+            serve::BanditServer server = serve::BanditServer::load_state(text);
+            const std::string resaved = server.save_state();
+            EXPECT_EQ(serve::BanditServer::load_state(resaved).save_state(), resaved);
+          },
+          "banditserver", i);
+    }
+  }
+}
+
+TEST(SnapshotFuzz, HostileCountsFailWithoutAllocating) {
+  // Directed cases for every bounded count: each must produce a clean
+  // ParseError, not a resize() into bad_alloc or a replay of 10^18 rows.
+  const std::vector<std::string> hostile = {
+      "banditware-state v2\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 0\n"
+      "epsilon 1\nfeatures 999999999999999999 a\narms 1\n",
+      "banditware-state v2\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 0\n"
+      "epsilon 1\nfeatures 1 x\narms 888888888888\n",
+      "banditware-state v1\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0\n"
+      "epsilon 1\nfeatures 1 x\narms 1\narm H0 1 8 obs 999999999999\n",
+      "banditserver-state v3\n"
+      "shards 77777777777777 sharding feature-hash seed 1 threads 0 explore 1 "
+      "sync_every 0 sync_mode inline observe_batches 0 rr_counter 0\n",
+      // "-7" wraps to ~1.8e19 in the unsigned extraction: must be a clean
+      // ParseError, not a ThreadPool trying to reserve that many workers.
+      "banditserver-state v3\n"
+      "shards 1 sharding feature-hash seed 1 threads -7 explore 1 "
+      "sync_every 0 sync_mode inline observe_batches 0 rr_counter 0\n",
+      "banditserver-state v3\n"
+      "shards 1 sharding feature-hash seed 1 threads 0 explore 1 sync_every 0 "
+      "sync_mode inline observe_batches 0 rr_counter 0\n"
+      "shard 0 bytes 888888888888888\nbanditware-state v2\n",
+  };
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    if (hostile[i].rfind("banditserver", 0) == 0) {
+      EXPECT_THROW(serve::BanditServer::load_state(hostile[i]), ParseError) << i;
+    } else {
+      EXPECT_THROW(core::BanditWare::load_state(hostile[i]), ParseError) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bw

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/banditware.hpp"
+#include "serve/bandit_server.hpp"
 
 namespace bw::core {
 namespace {
@@ -66,6 +67,49 @@ TEST(SnapshotGolden, V1FixtureMigratesToPinnedV2Bytes) {
   EXPECT_EQ(migrated.rfind("banditware-state v2\n", 0), 0u);
   // The migration itself must be stable under a second round trip.
   EXPECT_EQ(BanditWare::load_state(migrated).save_state(), migrated);
+}
+
+TEST(SnapshotGolden, V2ServerFixtureMigratesToPinnedV3Bytes) {
+  // Legacy `banditserver-state v2` (no sync_mode token) carrying a
+  // NON-TRIVIAL sync baseline: 2 round-robin shards, sync_every=2, one
+  // auto-sync fused 12 observations into the baseline, then one more
+  // mid-cadence batch left per-shard deltas on top. Produced by the v2
+  // writer before the v3 (sync_mode) bump. It must keep loading — inline
+  // mode default, baseline intact (no double-counting on the next sync) —
+  // and re-save as exactly the pinned v3 migration.
+  const std::string fixture = read_file(data_path("server_state_v2.bw"));
+  const std::string expected = read_file(data_path("server_state_v2_migrated.bw"));
+  ASSERT_FALSE(fixture.empty());
+  ASSERT_FALSE(expected.empty());
+  ASSERT_EQ(fixture.rfind("banditserver-state v2\n", 0), 0u);
+
+  serve::BanditServer server = serve::BanditServer::load_state(fixture);
+  EXPECT_EQ(server.num_shards(), 2u);
+  EXPECT_EQ(server.config().sync_mode, serve::SyncMode::kInline);
+  EXPECT_EQ(server.config().sync_every, 2u);
+  // 3 batches x 6 observations; the baseline carries the 12 fused at the
+  // auto-sync, each shard 12 fused + 3 own: 30 raw - 12 shared = 18.
+  EXPECT_EQ(server.num_observations(), 18u);
+  EXPECT_EQ(server.shard_observation_counts(), (std::vector<std::size_t>{15, 15}));
+
+  const std::string migrated = server.save_state();
+  EXPECT_EQ(migrated, expected);
+  EXPECT_EQ(migrated.rfind("banditserver-state v3\n", 0), 0u);
+  // The migration itself must be stable under a second round trip.
+  EXPECT_EQ(serve::BanditServer::load_state(migrated).save_state(), migrated);
+}
+
+TEST(SnapshotGolden, MigratedServerBaselineKeepsSyncExact) {
+  // The restored baseline must thread through the merge algebra: syncing
+  // the restored server must not double-count the 12 shared observations.
+  const std::string fixture = read_file(data_path("server_state_v2.bw"));
+  serve::BanditServer server = serve::BanditServer::load_state(fixture);
+  const std::size_t before = server.num_observations();
+  server.sync_shards();
+  EXPECT_EQ(server.num_observations(), before);
+  // Post-sync both replicas serve the identical fused model.
+  const core::FeatureVector x = {123.0};
+  EXPECT_EQ(server.predictions(0, x), server.predictions(1, x));
 }
 
 }  // namespace

@@ -229,6 +229,9 @@ int cmd_serve(int argc, char** argv) {
   cli.add_flag("threads", "0", "batch-execution threads (0 = shards)");
   cli.add_flag("sync-every", "0",
                "fuse all shard models every K observe batches (0 = never)");
+  cli.add_flag("sync-mode", "inline",
+               "inline (stop-the-world fusion) | async (background fuser, "
+               "observes never block on fusion math)");
   cli.add_flag("tolerance-seconds", "0", "tolerance_seconds of Algorithm 1");
   cli.add_flag("tolerance-ratio", "0", "tolerance_ratio of Algorithm 1");
   cli.add_flag("epsilon0", "1.0", "initial exploration rate");
@@ -268,6 +271,7 @@ int cmd_serve(int argc, char** argv) {
   config.sharding = bw::serve::parse_sharding_policy(cli.get("sharding"));
   config.num_threads = static_cast<std::size_t>(threads);
   config.sync_every = static_cast<std::size_t>(sync_every);
+  config.sync_mode = bw::serve::parse_sync_mode(cli.get("sync-mode"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.bandit.policy.initial_epsilon = cli.get_double("epsilon0");
   config.bandit.policy.decay = cli.get_double("decay");
@@ -280,13 +284,17 @@ int cmd_serve(int argc, char** argv) {
   options.rounds = rounds;
   options.seed = config.seed;
   const bw::serve::ReplayReport result = bw::serve::replay_run_table(server, table, options);
+  // Quiesce the background fuser so the report (and any saved snapshot)
+  // reflects every requested fusion.
+  server.drain_sync();
 
   bw::Table report({"metric", "value"});
   report.add_row({"shards", std::to_string(server.num_shards())});
   report.add_row({"sharding", bw::serve::to_string(config.sharding)});
   if (config.sync_every > 0) {
     report.add_row({"shard syncs", std::to_string(server.sync_count()) + " (every " +
-                                       std::to_string(config.sync_every) + " batches)"});
+                                       std::to_string(config.sync_every) + " batches, " +
+                                       bw::serve::to_string(config.sync_mode) + ")"});
   }
   report.add_row({"decisions served", std::to_string(result.decisions)});
   report.add_row({"wall time (s)", bw::format_double(result.wall_s, 3)});
