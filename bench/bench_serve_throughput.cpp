@@ -7,7 +7,13 @@
 //   ./bench/bench_serve_throughput [--decisions=20000] [--batches=1,64,256]
 //       [--workload=train|read-heavy|sync|async-sync] [--read-frac=0.9]
 //       [--clients=4] [--sync-every=1] [--max-regret-ratio=0]
-//       [--max-p99-ratio=0] [--json=BENCH_serve_throughput.json]
+//       [--max-p99-ratio=0] [--policy=epsilon-greedy|linucb|thompson]
+//       [--alpha=1] [--posterior-scale=1] [--json=BENCH_serve_throughput.json]
+//
+// --policy swaps the learning policy in every cell (baselines included) and
+// is recorded in the BENCH json, so the sync-regret gates apply per policy:
+// the CI perf-smoke job runs the sync workload for both epsilon-greedy and
+// linucb against the same 1.1x bar.
 //
 // Workloads:
 //   * train       — the original 1:1 recommend/observe loop (exploring
@@ -61,6 +67,21 @@ namespace {
 
 constexpr std::size_t kNumFeatures = 7;
 
+/// Policy under test (--policy / --alpha / --posterior-scale), applied to
+/// every cell so baselines and gated cells always compare like for like.
+struct PolicyChoice {
+  bw::core::PolicyKind kind = bw::core::PolicyKind::kEpsilonGreedy;
+  double alpha = 1.0;
+  double posterior_scale = 1.0;
+};
+PolicyChoice g_policy;
+
+void apply_policy(bw::serve::BanditServerConfig& config) {
+  config.bandit.policy_kind = g_policy.kind;
+  config.bandit.alpha = g_policy.alpha;
+  config.bandit.posterior_scale = g_policy.posterior_scale;
+}
+
 bw::core::FeatureVector random_features(bw::Rng& rng) {
   bw::core::FeatureVector x(kNumFeatures);
   for (double& v : x) v = rng.uniform(1.0, 10.0);
@@ -107,6 +128,7 @@ CellResult run_train_cell(std::size_t shards, std::size_t batch,
   config.num_shards = shards;
   config.sharding = bw::serve::ShardingPolicy::kFeatureHash;
   config.seed = 42;
+  apply_policy(config);
   bw::serve::BanditServer server(bw::hw::ndp_catalog(), feature_names(), config);
 
   bw::Rng rng(11);
@@ -144,6 +166,7 @@ CellResult run_sync_cell(std::size_t shards, std::size_t batch, std::size_t deci
   config.sharding = bw::serve::ShardingPolicy::kRoundRobin;
   config.seed = 42;
   config.sync_every = sync_every;
+  apply_policy(config);
   const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
   bw::serve::BanditServer server(catalog, feature_names(), config);
 
@@ -206,6 +229,7 @@ CellResult run_async_sync_cell(std::size_t shards, std::size_t batch,
   config.sync_every = mode == "off" ? 0 : sync_every;
   config.sync_mode = mode == "async" ? bw::serve::SyncMode::kAsync
                                      : bw::serve::SyncMode::kInline;
+  apply_policy(config);
   // Leave the fuser a core: with num_threads defaulting to shard count an
   // 8-shard cell spawns 8 pool threads and oversubscribes small hosts, so
   // the background fuser starves, syncs lag, and regret drifts toward the
@@ -273,6 +297,7 @@ CellResult run_read_heavy_cell(std::size_t shards, std::size_t batch,
   config.seed = 42;
   config.explore = false;  // pure exploitation: reads share the shard lock
   config.num_threads = std::max<std::size_t>(shards, clients);
+  apply_policy(config);
   bw::serve::BanditServer server(bw::hw::ndp_catalog(), feature_names(), config);
 
   // Pre-train every replica so the serving phase exercises fitted models.
@@ -351,8 +376,10 @@ void write_json(const std::string& path, const std::string& workload,
   }
   std::fprintf(f,
                "{\n  \"bench\": \"serve_throughput\",\n  \"workload\": \"%s\",\n"
+               "  \"policy\": \"%s\",\n"
                "  \"read_frac\": %.2f,\n  \"clients\": %zu,\n  \"results\": [\n",
-               workload.c_str(), read_frac, clients);
+               workload.c_str(), bw::core::to_string(g_policy.kind).c_str(),
+               read_frac, clients);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellResult& cell = cells[i];
     std::fprintf(f,
@@ -399,6 +426,11 @@ int run(int argc, char** argv) {
   cli.add_flag("batches", "1,64,256", "batch sizes to sweep");
   cli.add_flag("workload", "train",
                "train (1:1 learn loop), read-heavy, sync, or async-sync");
+  cli.add_flag("policy", "epsilon-greedy",
+               "learning policy for every cell: epsilon-greedy | linucb | thompson");
+  cli.add_flag("alpha", "1.0", "linucb confidence width (policy=linucb)");
+  cli.add_flag("posterior-scale", "1.0",
+               "thompson sampling scale v (policy=thompson)");
   cli.add_flag("read-frac", "0.9", "read fraction of the read-heavy mix");
   cli.add_flag("clients", "4", "concurrent client threads (read-heavy)");
   cli.add_flag("sync-every", "1", "sync cadence in batches (sync workloads)");
@@ -420,6 +452,9 @@ int run(int argc, char** argv) {
     return 1;
   }
   const auto decisions = static_cast<std::size_t>(cli.get_int("decisions"));
+  g_policy.kind = bw::core::parse_policy_kind(cli.get("policy"));
+  g_policy.alpha = cli.get_double("alpha");
+  g_policy.posterior_scale = cli.get_double("posterior-scale");
   const auto shard_counts = bw::parse_size_list(cli.get("shards"));
   const auto batch_sizes = bw::parse_size_list(cli.get("batches"));
   const std::string workload = cli.get("workload");
@@ -443,8 +478,10 @@ int run(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("hardware threads: %u, decisions per cell: %zu, workload: %s\n",
-              std::thread::hardware_concurrency(), decisions, workload.c_str());
+  std::printf("hardware threads: %u, decisions per cell: %zu, workload: %s, "
+              "policy: %s\n",
+              std::thread::hardware_concurrency(), decisions, workload.c_str(),
+              bw::core::to_string(g_policy.kind).c_str());
   if (read_heavy) {
     std::printf("read fraction: %.0f%%, clients: %zu\n", read_frac * 100.0, clients);
   }

@@ -72,11 +72,11 @@ int main(int argc, char** argv) {
   std::puts("\nlearned per-hardware models (runtime = w * num_tasks + b):");
   bw::Table table({"hardware", "w (s/task)", "b (s)", "observations"});
   for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
-    const auto& model = bandit.policy().arm_model(arm).model();
+    const auto& model = bandit.arm_model(arm).model();
     table.add_row({catalog[arm].name + " " + catalog[arm].to_string(),
                    bw::format_double(model.weights[0], 3),
                    bw::format_double(model.bias, 1),
-                   std::to_string(bandit.policy().arm_model(arm).count())});
+                   std::to_string(bandit.arm_model(arm).count())});
   }
   std::fputs(table.to_string().c_str(), stdout);
 

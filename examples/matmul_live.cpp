@@ -61,10 +61,10 @@ int main(int argc, char** argv) {
   std::puts("\nlearned models (seconds = w * size + b):");
   bw::Table table({"arm", "w (s/row)", "b (s)", "observations"});
   for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
-    const auto& model = bandit.policy().arm_model(arm).model();
+    const auto& model = bandit.arm_model(arm).model();
     table.add_row({catalog[arm].name, bw::format_double(model.weights[0], 6),
                    bw::format_double(model.bias, 4),
-                   std::to_string(bandit.policy().arm_model(arm).count())});
+                   std::to_string(bandit.arm_model(arm).count())});
   }
   std::fputs(table.to_string().c_str(), stdout);
 

@@ -11,6 +11,7 @@
 //   ./examples/serve_cluster [--waves=30] [--wave-size=8] [--shards=4]
 //       [--sharding=feature-hash|round-robin] [--sync-every=0]
 //       [--sync-mode=inline|async]
+//       [--policy=epsilon-greedy|linucb|thompson] [--alpha=1] [--posterior-scale=1]
 
 #include <cstdio>
 #include <string>
@@ -43,6 +44,11 @@ int main(int argc, char** argv) {
   cli.add_flag("sync-every", "0",
                "fuse all shard models every K observe batches (0 = never)");
   cli.add_flag("sync-mode", "inline", "fusion mode: inline | async");
+  cli.add_flag("policy", "epsilon-greedy",
+               "learning policy: epsilon-greedy | linucb | thompson");
+  cli.add_flag("alpha", "1.0", "linucb confidence width (policy=linucb)");
+  cli.add_flag("posterior-scale", "1.0",
+               "thompson sampling scale v (policy=thompson)");
   cli.add_flag("arrival-seconds", "600", "mean inter-wave time");
   cli.add_flag("seed", "23", "random seed");
   if (!cli.parse(argc, argv)) return 0;
@@ -64,6 +70,9 @@ int main(int argc, char** argv) {
   config.sync_every = static_cast<std::size_t>(cli.get_int("sync-every"));
   config.sync_mode = bw::serve::parse_sync_mode(cli.get("sync-mode"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.bandit.policy_kind = bw::core::parse_policy_kind(cli.get("policy"));
+  config.bandit.alpha = cli.get_double("alpha");
+  config.bandit.posterior_scale = cli.get_double("posterior-scale");
   config.bandit.policy.tolerance.seconds = 30.0;  // trade 30 s for smaller pods
   bw::serve::BanditServer server(bw::hw::synthetic_cycles_catalog(), {"num_tasks"},
                                  config);
@@ -126,8 +135,9 @@ int main(int argc, char** argv) {
   server.drain_sync();  // settle in-flight async fusions before reporting
 
   const auto stats = sim.stats();
-  std::printf("served %ld waves x %ld workflows through %zu shards\n\n", waves,
-              wave_size, server.num_shards());
+  std::printf("served %ld waves x %ld workflows through %zu shards (%s policy)\n\n",
+              waves, wave_size, server.num_shards(),
+              bw::core::to_string(config.bandit.policy_kind).c_str());
   bw::Table table({"metric", "value"});
   table.add_row({"completed pods", std::to_string(stats.completed)});
   table.add_row({"makespan (h)", bw::format_double(stats.makespan_s / 3600.0, 2)});

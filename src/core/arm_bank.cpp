@@ -1,0 +1,58 @@
+#include "core/arm_bank.hpp"
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+ArmBank::ArmBank(const hw::HardwareCatalog& catalog, std::size_t num_features,
+                 const linalg::FitOptions& fit, bool exact_history,
+                 const ToleranceParams& tolerance, const hw::ResourceWeights& weights)
+    : tolerance_(tolerance) {
+  BW_CHECK_MSG(!catalog.empty(), "policy needs at least one arm");
+  BW_CHECK_MSG(num_features > 0, "policy needs at least one feature");
+  arms_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    arms_.emplace_back(num_features, fit, exact_history);
+  }
+  resource_costs_ = catalog.resource_costs(weights);
+}
+
+void ArmBank::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  arms_[arm].observe(x, runtime_s);
+}
+
+double ArmBank::predict(ArmIndex arm, const FeatureVector& x) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  return arms_[arm].predict(x);
+}
+
+double ArmBank::variance_proxy(ArmIndex arm, const FeatureVector& x) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  return arms_[arm].variance_proxy(x);
+}
+
+TolerantChoice ArmBank::recommend_choice(const FeatureVector& x) const {
+  static thread_local std::vector<double> predictions;
+  predictions.resize(arms_.size());
+  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
+    predictions[arm] = arms_[arm].predict(x);
+  }
+  return tolerant_select(predictions, resource_costs_, tolerance_);
+}
+
+LinearArmModel& ArmBank::arm(ArmIndex index) {
+  BW_CHECK_MSG(index < arms_.size(), "arm index out of range");
+  return arms_[index];
+}
+
+const LinearArmModel& ArmBank::arm(ArmIndex index) const {
+  BW_CHECK_MSG(index < arms_.size(), "arm index out of range");
+  return arms_[index];
+}
+
+void ArmBank::reset() {
+  for (auto& arm : arms_) arm.reset();
+}
+
+}  // namespace bw::core

@@ -1,0 +1,61 @@
+#pragma once
+// ArmBank — the shared per-arm ridge-RLS substrate every production policy
+// sits on. ε-greedy, LinUCB, and linear-Gaussian Thompson sampling all keep
+// one LinearArmModel per hardware arm, predict with the same tolerant-greedy
+// pass over the same resource-cost ordering, and fuse/serialize the same
+// information-form sufficient statistics. Before this layer each policy
+// re-implemented that loop; now the policies differ only in how they pick an
+// arm during exploration (ε-coin, LCB optimism, posterior draw).
+
+#include <vector>
+
+#include "core/arm_model.hpp"
+#include "core/tolerant.hpp"
+#include "core/types.hpp"
+#include "hardware/catalog.hpp"
+
+namespace bw::core {
+
+class ArmBank {
+ public:
+  /// One LinearArmModel per catalog arm; `fit` + `exact_history` select the
+  /// regression backend exactly as LinearArmModel does, and resource costs
+  /// are precomputed from the catalog for the tolerant tie-break.
+  ArmBank(const hw::HardwareCatalog& catalog, std::size_t num_features,
+          const linalg::FitOptions& fit, bool exact_history,
+          const ToleranceParams& tolerance, const hw::ResourceWeights& weights);
+
+  std::size_t size() const { return arms_.size(); }
+  std::size_t dim() const { return arms_.front().dim(); }
+
+  /// Records an observation on one arm (Alg. 1 lines 10-11).
+  void observe(ArmIndex arm, const FeatureVector& x, double runtime_s);
+
+  /// Current estimate R̂(H_arm, x).
+  double predict(ArmIndex arm, const FeatureVector& x) const;
+
+  /// x̃^T P_arm x̃ — the posterior-width quadratic form LinUCB's confidence
+  /// bound and Thompson's posterior draw share. Incremental backend only.
+  double variance_proxy(ArmIndex arm, const FeatureVector& x) const;
+
+  /// Tolerant-greedy choice with its predicted runtime — one prediction
+  /// pass over all arms. thread_local scratch: this is the serving hot path
+  /// and may run concurrently under shared locks, so the reusable buffer
+  /// must be per-thread rather than a mutable member.
+  TolerantChoice recommend_choice(const FeatureVector& x) const;
+
+  LinearArmModel& arm(ArmIndex index);
+  const LinearArmModel& arm(ArmIndex index) const;
+
+  const std::vector<double>& resource_costs() const { return resource_costs_; }
+  const ToleranceParams& tolerance() const { return tolerance_; }
+
+  void reset();
+
+ private:
+  std::vector<LinearArmModel> arms_;
+  std::vector<double> resource_costs_;
+  ToleranceParams tolerance_;
+};
+
+}  // namespace bw::core

@@ -110,4 +110,10 @@ double LinearArmModel::predict(std::span<const double> x) const {
   return model_.predict(x);
 }
 
+double LinearArmModel::variance_proxy(std::span<const double> x) const {
+  BW_CHECK_MSG(!exact_history_,
+               "arm model: variance_proxy requires the incremental backend");
+  return rls_.variance_proxy(x);
+}
+
 }  // namespace bw::core

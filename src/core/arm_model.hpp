@@ -66,6 +66,12 @@ class LinearArmModel {
   /// calls are safe as long as no observe() runs (read-mostly serving).
   double predict(std::span<const double> x) const;
 
+  /// Posterior-width quadratic form x̃^T P x̃ (intercept-augmented) — what
+  /// LinUCB's confidence bound and Thompson's posterior draw both consume.
+  /// Incremental backend only: a history-backed arm keeps no P. Throws
+  /// InvalidArgument in exact_history mode.
+  double variance_proxy(std::span<const double> x) const;
+
   const linalg::LinearModel& model() const { return model_; }
 
   /// Sufficient statistics of the incremental backend (P, theta, n) — the

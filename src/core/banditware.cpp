@@ -1,5 +1,6 @@
 #include "core/banditware.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <limits>
 #include <sstream>
@@ -52,8 +53,9 @@ struct SnapshotHeader {
   std::size_t num_arms = 0;
 };
 
-/// Parses the config / epsilon / features / arms preamble shared by v1 and
-/// v2 (v2 additionally carries the exact_history flag on the config line).
+/// Parses the config / epsilon / features / arms preamble shared by v1, v2,
+/// and v3 (v2+ additionally carries the exact_history flag on the config
+/// line; the v3 policy line is read by the caller before this preamble).
 SnapshotHeader read_header(std::istream& is, int version) {
   SnapshotHeader header;
   std::string token;
@@ -90,22 +92,77 @@ SnapshotHeader read_header(std::istream& is, int version) {
 
 }  // namespace
 
+BanditWare::ProductionPolicy BanditWare::make_policy(const hw::HardwareCatalog& catalog,
+                                                     std::size_t num_features,
+                                                     const BanditWareConfig& config) {
+  if (config.policy_kind == PolicyKind::kEpsilonGreedy) {
+    return DecayingEpsilonGreedy(catalog, num_features, config.policy);
+  }
+  // LinUCB / Thompson read the RLS posterior for their exploration width;
+  // a history-backed arm has none. intercept=false forces the batch backend
+  // too, so the effective-backend rule is the thing to check.
+  BW_CHECK_MSG(
+      !LinearArmModel::uses_exact_history(config.policy.fit, config.policy.exact_history),
+      "policy '" + to_string(config.policy_kind) +
+          "' requires the incremental arm backend (exact_history, and "
+          "intercept=false which forces it, are epsilon-greedy only)");
+  ArmBank bank(catalog, num_features, config.policy.fit,
+               /*exact_history=*/false, config.policy.tolerance,
+               config.policy.resource_weights);
+  if (config.policy_kind == PolicyKind::kLinUcb) {
+    return LinUcb(std::move(bank), config.alpha);
+  }
+  return LinearThompson(std::move(bank), config.posterior_scale);
+}
+
+BankedPolicy& BanditWare::banked() {
+  return std::visit([](auto& policy) -> BankedPolicy& { return policy; }, policy_);
+}
+
+const BankedPolicy& BanditWare::banked() const {
+  return std::visit([](const auto& policy) -> const BankedPolicy& { return policy; },
+                    policy_);
+}
+
+DecayingEpsilonGreedy* BanditWare::eps_greedy() {
+  return std::get_if<DecayingEpsilonGreedy>(&policy_);
+}
+
+const DecayingEpsilonGreedy* BanditWare::eps_greedy() const {
+  return std::get_if<DecayingEpsilonGreedy>(&policy_);
+}
+
 BanditWare::BanditWare(hw::HardwareCatalog catalog, std::vector<std::string> feature_names,
                        BanditWareConfig config)
     : catalog_(std::move(catalog)),
       feature_names_(std::move(feature_names)),
       config_(config),
-      policy_(catalog_, feature_names_.empty() ? 1 : feature_names_.size(), config.policy) {
+      policy_(make_policy(catalog_, feature_names_.empty() ? 1 : feature_names_.size(),
+                          config)) {
   BW_CHECK_MSG(!feature_names_.empty(), "BanditWare needs at least one feature name");
 }
 
 BanditWare::Decision BanditWare::next(const FeatureVector& x, Rng& rng) {
   BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
   Decision decision;
-  decision.arm = policy_.select(x, rng);
-  decision.explored = policy_.last_was_exploration();
+  decision.arm = banked().select(x, rng);
+  if (const auto* eps = eps_greedy()) {
+    decision.explored = eps->last_was_exploration();
+    decision.predicted_runtime_s = banked().predict(decision.arm, x);
+  } else {
+    // LinUCB/Thompson have no explicit explore/exploit coin; report whether
+    // the pick differed from the tolerant-greedy recommendation. One
+    // tolerant pass is the price of the diagnostic (select scores with
+    // LCB/posterior draws, not the greedy means, so its pass cannot answer
+    // this) — and it is reused for the prediction on the greedy pick, so
+    // serving under the exclusive shard lock pays no third pass.
+    const TolerantChoice greedy = banked().recommend_choice(x);
+    decision.explored = decision.arm != greedy.arm;
+    decision.predicted_runtime_s = decision.explored
+                                       ? banked().predict(decision.arm, x)
+                                       : greedy.predicted_runtime;
+  }
   decision.spec = &catalog_[decision.arm];
-  decision.predicted_runtime_s = policy_.predict(decision.arm, x);
   return decision;
 }
 
@@ -115,12 +172,12 @@ const hw::HardwareSpec& BanditWare::recommend(const FeatureVector& x) const {
 
 ArmIndex BanditWare::recommend_index(const FeatureVector& x) const {
   BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
-  return policy_.recommend(x);
+  return banked().recommend(x);
 }
 
 BanditWare::Decision BanditWare::recommend_decision(const FeatureVector& x) const {
   BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
-  const auto choice = policy_.recommend_choice(x);
+  const auto choice = banked().recommend_choice(x);
   Decision decision;
   decision.arm = choice.arm;
   decision.spec = &catalog_[choice.arm];
@@ -131,40 +188,81 @@ BanditWare::Decision BanditWare::recommend_decision(const FeatureVector& x) cons
 
 void BanditWare::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
   BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
-  policy_.observe(arm, x, runtime_s);
+  banked().observe(arm, x, runtime_s);
+}
+
+double BanditWare::epsilon() const {
+  const auto* eps = eps_greedy();
+  return eps != nullptr ? eps->epsilon() : 0.0;
+}
+
+const LinearArmModel& BanditWare::arm_model(ArmIndex arm) const {
+  return banked().arm_model(arm);
+}
+
+const DecayingEpsilonGreedy& BanditWare::policy() const {
+  const auto* eps = eps_greedy();
+  BW_CHECK_MSG(eps != nullptr,
+               "policy(): instance runs '" + to_string(config_.policy_kind) +
+                   "', not epsilon-greedy; use arm_model()/policy_kind()");
+  return *eps;
 }
 
 void BanditWare::merge_from(const BanditWare& other, const BanditWare* base) {
   BW_CHECK_MSG(other.feature_names_ == feature_names_,
                "merge_from: feature names mismatch");
+  BW_CHECK_MSG(other.config_.policy_kind == config_.policy_kind,
+               "merge_from: policy kinds mismatch (" + to_string(config_.policy_kind) +
+                   " vs " + to_string(other.config_.policy_kind) +
+                   ") — cross-policy fusion is undefined");
   const auto& mine = config_.policy;
   const auto& theirs = other.config_.policy;
   BW_CHECK_MSG(mine.fit.ridge == theirs.fit.ridge &&
                    mine.fit.fallback_ridge == theirs.fit.fallback_ridge &&
                    mine.fit.intercept == theirs.fit.intercept,
                "merge_from: fit options mismatch — fusion would not be exact");
-  BW_CHECK_MSG(policy_.arm_model(0).exact_history() ==
-                   other.policy_.arm_model(0).exact_history(),
+  BW_CHECK_MSG(banked().arm_model(0).exact_history() ==
+                   other.banked().arm_model(0).exact_history(),
                "merge_from: model backends mismatch");
-  BW_CHECK_MSG(mine.initial_epsilon == theirs.initial_epsilon &&
-                   mine.decay == theirs.decay,
-               "merge_from: exploration schedule mismatch");
+  switch (config_.policy_kind) {
+    case PolicyKind::kEpsilonGreedy:
+      BW_CHECK_MSG(mine.initial_epsilon == theirs.initial_epsilon &&
+                       mine.decay == theirs.decay,
+                   "merge_from: exploration schedule mismatch");
+      break;
+    case PolicyKind::kLinUcb:
+      BW_CHECK_MSG(config_.alpha == other.config_.alpha,
+                   "merge_from: linucb alpha mismatch");
+      break;
+    case PolicyKind::kThompson:
+      BW_CHECK_MSG(config_.posterior_scale == other.config_.posterior_scale,
+                   "merge_from: thompson posterior scale mismatch");
+      break;
+  }
   if (base != nullptr) {
     BW_CHECK_MSG(base->feature_names_ == feature_names_,
                  "merge_from: base feature names mismatch");
+    BW_CHECK_MSG(base->config_.policy_kind == config_.policy_kind,
+                 "merge_from: base policy kind mismatch");
   }
 
   // ε decays by α once per observation, so absorbing other's stream maps to
   // multiplying the decay factors each side accumulated since the shared
   // starting point (ε₀, or the common ancestor's ε under replica sync).
-  const double eps_anchor = base != nullptr ? base->epsilon() : mine.initial_epsilon;
-  const double merged_epsilon =
-      eps_anchor > 0.0 ? policy_.epsilon() * other.policy_.epsilon() / eps_anchor : 0.0;
+  // LinUCB/Thompson carry no mutable scalar state outside the arms — their
+  // exploration width is posterior-driven, so the arm fusion below is the
+  // whole merge.
+  double merged_epsilon = 0.0;
+  if (eps_greedy() != nullptr) {
+    const double eps_anchor = base != nullptr ? base->epsilon() : mine.initial_epsilon;
+    merged_epsilon =
+        eps_anchor > 0.0 ? epsilon() * other.epsilon() / eps_anchor : 0.0;
+  }
 
   auto base_model_for = [base](const std::string& name) -> const LinearArmModel* {
     if (base == nullptr) return nullptr;
     const auto index = base->catalog_.index_of(name);
-    return index ? &base->policy_.arm_model(*index) : nullptr;
+    return index ? &base->banked().arm_model(*index) : nullptr;
   };
 
   // Union of arms: self arms keep their indices, other-only arms append.
@@ -183,7 +281,7 @@ void BanditWare::merge_from(const BanditWare& other, const BanditWare* base) {
     // (indices are preserved; resource costs recompute from the catalog).
     BanditWare widened(merged_catalog, feature_names_, config_);
     for (ArmIndex arm = 0; arm < catalog_.size(); ++arm) {
-      widened.policy_.arm_model(arm) = policy_.arm_model(arm);
+      widened.banked().arm_model(arm) = banked().arm_model(arm);
     }
     *this = std::move(widened);
   }
@@ -191,17 +289,17 @@ void BanditWare::merge_from(const BanditWare& other, const BanditWare* base) {
   for (ArmIndex j = 0; j < other.catalog_.size(); ++j) {
     const std::string& name = other.catalog_[j].name;
     const auto index = catalog_.index_of(name);
-    policy_.arm_model(*index).merge(other.policy_.arm_model(j), base_model_for(name));
+    banked().arm_model(*index).merge(other.banked().arm_model(j), base_model_for(name));
   }
-  policy_.set_epsilon(merged_epsilon);
+  if (auto* eps = eps_greedy()) eps->set_epsilon(merged_epsilon);
 }
 
 BanditWareStats BanditWare::export_stats() const {
   BanditWareStats stats;
-  stats.epsilon = policy_.epsilon();
+  stats.epsilon = epsilon();
   stats.arms.reserve(catalog_.size());
   for (ArmIndex arm = 0; arm < catalog_.size(); ++arm) {
-    stats.arms.push_back(policy_.arm_model(arm).export_stats());
+    stats.arms.push_back(banked().arm_model(arm).export_stats());
   }
   return stats;
 }
@@ -215,50 +313,67 @@ BanditWare BanditWare::from_stats(const hw::HardwareCatalog& catalog,
   BanditWare restored(catalog, feature_names, config);
   for (ArmIndex arm = 0; arm < restored.num_arms(); ++arm) {
     const ArmStats& s = stats.arms[arm];
-    restored.policy_.arm_model(arm).restore_stats(s.p, s.theta, s.n);
+    restored.banked().arm_model(arm).restore_stats(s.p, s.theta, s.n);
   }
-  restored.policy_.set_epsilon(stats.epsilon);
+  if (auto* eps = restored.eps_greedy()) eps->set_epsilon(stats.epsilon);
   return restored;
 }
 
 std::vector<double> BanditWare::predictions(const FeatureVector& x) const {
   BW_CHECK_MSG(x.size() == feature_names_.size(), "feature vector size mismatch");
-  return policy_.predict_all(x);
+  return banked().predict_all(x);
 }
 
 std::size_t BanditWare::num_observations() const {
   std::size_t total = 0;
   for (ArmIndex arm = 0; arm < catalog_.size(); ++arm) {
-    total += policy_.arm_model(arm).count();
+    total += banked().arm_model(arm).count();
   }
   return total;
 }
 
 std::string BanditWare::save_state() const {
-  // v2: sufficient statistics per arm. Incremental arms serialize (theta,
-  // P, n) — O(arms * d^2) regardless of history length — while
-  // exact_history arms still carry their raw observation rows (the batch
-  // backend *is* its history). load_state below reads both v2 and v1.
+  // Sufficient statistics per arm. Incremental arms serialize (theta, P, n)
+  // — O(arms * d^2) regardless of history length — while exact_history arms
+  // still carry their raw observation rows (the batch backend *is* its
+  // history). ε-greedy instances write the pre-policy-axis v2 format
+  // byte-for-byte (existing snapshots and golden fixtures stay stable);
+  // LinUCB/Thompson write v3, which only adds the `policy` line below.
+  // load_state below reads v3, v2, and v1.
   // The serialized flag is the arms' *effective* backend (every arm shares
   // it): a fit with intercept=false forces the batch backend even when
   // exact_history was not requested, and the reader checks record kinds
   // against this flag.
-  const bool effective_exact_history = policy_.arm_model(0).exact_history();
+  const bool eps_kind = config_.policy_kind == PolicyKind::kEpsilonGreedy;
+  const bool effective_exact_history = banked().arm_model(0).exact_history();
   std::ostringstream os;
   os << std::setprecision(17);
-  os << "banditware-state v2\n";
+  os << (eps_kind ? "banditware-state v2\n" : "banditware-state v3\n");
+  if (!eps_kind) {
+    os << "policy " << to_string(config_.policy_kind);
+    if (config_.policy_kind == PolicyKind::kLinUcb) {
+      os << " alpha " << config_.alpha;
+    } else {
+      os << " posterior_scale " << config_.posterior_scale;
+    }
+    os << "\n";
+  }
+  // Non-ε policies carry no decaying exploration rate; the schedule fields
+  // round-trip the config so the shared header stays one format.
+  const double epsilon_line =
+      eps_kind ? epsilon() : config_.policy.initial_epsilon;
   os << "epsilon0 " << config_.policy.initial_epsilon << " decay " << config_.policy.decay
      << " tol_ratio " << config_.policy.tolerance.ratio << " tol_seconds "
      << config_.policy.tolerance.seconds << " exact_history "
      << (effective_exact_history ? 1 : 0) << "\n";
-  os << "epsilon " << policy_.epsilon() << "\n";
+  os << "epsilon " << epsilon_line << "\n";
   os << "features " << feature_names_.size();
   for (const auto& name : feature_names_) os << ' ' << name;
   os << "\n";
   os << "arms " << catalog_.size() << "\n";
   for (ArmIndex arm = 0; arm < catalog_.size(); ++arm) {
     const auto& spec = catalog_[arm];
-    const auto& model = policy_.arm_model(arm);
+    const auto& model = banked().arm_model(arm);
     os << "arm " << spec.name << ' ' << spec.cpus << ' ' << spec.memory_gb << ' '
        << spec.gpus;
     if (model.exact_history()) {
@@ -291,7 +406,8 @@ BanditWare BanditWare::load_state(const std::string& text) {
   std::istringstream is(text);
   std::string line;
   if (!std::getline(is, line)) fail("bad header");
-  if (line == "banditware-state v2") return load_state_v2(is);
+  if (line == "banditware-state v3") return load_state_v2(is, 3);
+  if (line == "banditware-state v2") return load_state_v2(is, 2);
   if (line == "banditware-state v1") return load_state_v1(is);
   fail("bad header");
 }
@@ -334,20 +450,52 @@ BanditWare BanditWare::load_state_v1(std::istream& is) {
   BanditWare restored(std::move(catalog), header.feature_names, header.config);
   for (ArmIndex arm = 0; arm < restored.num_arms(); ++arm) {
     for (std::size_t i = 0; i < arms[arm].xs.size(); ++i) {
-      restored.policy_.observe(arm, arms[arm].xs[i], arms[arm].ys[i]);
+      restored.banked().observe(arm, arms[arm].xs[i], arms[arm].ys[i]);
     }
   }
   // observe() decayed ε during the replay above; the snapshot value is
   // authoritative (the original run may have interleaved other decays).
-  restored.policy_.set_epsilon(header.epsilon);
+  restored.eps_greedy()->set_epsilon(header.epsilon);
   return restored;
 }
 
-BanditWare BanditWare::load_state_v2(std::istream& is) {
-  const SnapshotHeader header = read_header(is, 2);
+BanditWare BanditWare::load_state_v2(std::istream& is, int version) {
+  std::string token;
+  PolicyKind kind = PolicyKind::kEpsilonGreedy;
+  double alpha = 1.0;
+  double posterior_scale = 1.0;
+  if (version >= 3) {
+    is >> token;
+    if (!is || token != "policy") fail("expected policy");
+    std::string kind_name;
+    is >> kind_name;
+    if (!is) fail("truncated policy line");
+    try {
+      kind = parse_policy_kind(kind_name);
+    } catch (const InvalidArgument& error) {
+      fail(error.what());
+    }
+    // Scalar ranges are validated here, not left to the policy
+    // constructors: a corrupted snapshot must surface as the documented
+    // ParseError, never as the constructors' InvalidArgument.
+    if (kind == PolicyKind::kLinUcb) {
+      is >> token >> alpha;
+      if (!is || token != "alpha") fail("expected alpha");
+      if (!std::isfinite(alpha) || alpha < 0.0) fail("alpha out of range");
+    } else if (kind == PolicyKind::kThompson) {
+      is >> token >> posterior_scale;
+      if (!is || token != "posterior_scale") fail("expected posterior_scale");
+      if (!std::isfinite(posterior_scale) || posterior_scale <= 0.0) {
+        fail("posterior_scale out of range");
+      }
+    }
+  }
+  SnapshotHeader header = read_header(is, version);
+  header.config.policy_kind = kind;
+  header.config.alpha = alpha;
+  header.config.posterior_scale = posterior_scale;
   const std::size_t dim = header.feature_names.size();
   const std::size_t dim_aug = dim + 1;
-  std::string token;
 
   struct ArmState {
     bool exact = false;
@@ -406,13 +554,13 @@ BanditWare BanditWare::load_state_v2(std::istream& is) {
     ArmState& state = arms[arm];
     if (state.exact) {
       for (std::size_t i = 0; i < state.xs.size(); ++i) {
-        restored.policy_.observe(arm, state.xs[i], state.ys[i]);
+        restored.banked().observe(arm, state.xs[i], state.ys[i]);
       }
     } else {
-      restored.policy_.arm_model(arm).restore_stats(state.p, state.theta, state.n);
+      restored.banked().arm_model(arm).restore_stats(state.p, state.theta, state.n);
     }
   }
-  restored.policy_.set_epsilon(header.epsilon);
+  if (auto* eps = restored.eps_greedy()) eps->set_epsilon(header.epsilon);
   return restored;
 }
 

@@ -12,20 +12,38 @@
 //   }
 //   const auto& best = bw.recommend(features);           // pure exploitation
 //
+// The learning policy is a pluggable axis (BanditWareConfig::policy_kind):
+// the paper's decaying ε-greedy (default), LinUCB, or linear-Gaussian
+// Thompson sampling. All three run on the same per-arm ridge-RLS substrate
+// (core/arm_bank.hpp), so merging, sufficient-statistics export, and
+// snapshots work identically whichever policy serves.
+//
 // State can be saved to / restored from a plain-text snapshot so a service
 // can restart without losing what it learned.
 
 #include <iosfwd>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "core/epsilon_greedy.hpp"
+#include "core/linucb.hpp"
+#include "core/thompson.hpp"
 #include "hardware/catalog.hpp"
 
 namespace bw::core {
 
 struct BanditWareConfig {
+  /// Which learning policy drives next()/observe(). All policies share the
+  /// substrate options in `policy` (fit, tolerance, resource weights);
+  /// non-ε-greedy policies require the incremental backend (exact_history
+  /// and intercept=false are rejected — only ε-greedy can replay raw
+  /// histories).
+  PolicyKind policy_kind = PolicyKind::kEpsilonGreedy;
+  /// ε-greedy schedule plus the substrate options every policy shares.
   EpsilonGreedyConfig policy{};
+  double alpha = 1.0;            ///< LinUCB confidence width (kLinUcb only)
+  double posterior_scale = 1.0;  ///< Thompson sampling v (kThompson only)
 };
 
 /// Compact copy of a whole instance's learned state: per-arm sufficient
@@ -35,7 +53,7 @@ struct BanditWareConfig {
 /// (Cholesky recovery, baseline subtraction) entirely off the hot path.
 /// Only meaningful for the incremental backend (see export_stats()).
 struct BanditWareStats {
-  double epsilon = 1.0;
+  double epsilon = 1.0;  ///< ε-greedy exploration state (0 for other kinds)
   std::vector<ArmStats> arms;  ///< indexed like the catalog
 
   std::size_t num_observations() const {
@@ -54,11 +72,14 @@ class BanditWare {
   struct Decision {
     ArmIndex arm = 0;
     const hw::HardwareSpec* spec = nullptr;
-    bool explored = false;             ///< true if this was an ε-exploration
+    bool explored = false;             ///< true if this was a non-greedy pick
     double predicted_runtime_s = 0.0;  ///< R̂ for the chosen arm (0 if untrained)
   };
 
   /// Online step: selects hardware for the next workflow (may explore).
+  /// ε-greedy flips the ε-coin; LinUCB picks the optimistic LCB arm;
+  /// Thompson draws from each arm's posterior. `explored` reports whether
+  /// the pick differed from the tolerant-greedy recommendation.
   Decision next(const FeatureVector& x, Rng& rng);
 
   /// Greedy tolerant recommendation — never explores.
@@ -67,10 +88,11 @@ class BanditWare {
 
   /// Greedy tolerant recommendation with its prediction attached — one
   /// prediction pass, cheaper than recommend_index() + predictions() on a
-  /// serving hot path. `explored` is always false.
+  /// serving hot path. `explored` is always false. Identical across policy
+  /// kinds (the greedy surface is shared substrate, not policy-specific).
   Decision recommend_decision(const FeatureVector& x) const;
 
-  /// Feeds back an observed runtime (also decays ε, per Algorithm 1).
+  /// Feeds back an observed runtime (ε-greedy also decays ε, per Alg. 1).
   void observe(ArmIndex arm, const FeatureVector& x, double runtime_s);
 
   /// Folds another instance's learned state into this one by fusing per-arm
@@ -78,12 +100,16 @@ class BanditWare {
   /// two independently trained instances reproduces the single-stream
   /// result; see tests/test_merge_equivalence.cpp). Arms are matched by
   /// hardware name; arms only `other` knows are appended (union of arms),
-  /// and exact_history arms merge by history concatenation. ε is combined
+  /// and exact_history arms merge by history concatenation. Both instances
+  /// must run the same policy kind with matching policy scalars (ε schedule
+  /// for ε-greedy, alpha for LinUCB, posterior scale for Thompson) — all
+  /// three kinds sit on the same information-form statistics, so the arm
+  /// algebra is shared, but cross-policy fusion is rejected. ε is combined
   /// multiplicatively (ε_merged = ε_self · ε_other / ε₀), matching one
   /// decay per absorbed observation. Pass the common ancestor both
   /// instances grew from as `base` (replica sync) so shared evidence is
   /// counted once. Requires matching feature names, fit options, backend,
-  /// and exploration schedule; throws InvalidArgument otherwise.
+  /// and policy; throws InvalidArgument otherwise.
   void merge_from(const BanditWare& other, const BanditWare* base = nullptr);
 
   /// Copies out the learned state as sufficient statistics — O(arms * d^2),
@@ -104,34 +130,66 @@ class BanditWare {
   /// R̂(H_i, x) for every arm.
   std::vector<double> predictions(const FeatureVector& x) const;
 
-  double epsilon() const { return policy_.epsilon(); }
+  /// Current ε of the ε-greedy schedule; 0 for LinUCB/Thompson (their
+  /// exploration is driven by posterior width, not a decaying rate).
+  double epsilon() const;
+
   std::size_t num_observations() const;
   std::size_t num_arms() const { return catalog_.size(); }
   const BanditWareConfig& config() const { return config_; }
+  PolicyKind policy_kind() const { return config_.policy_kind; }
   const hw::HardwareCatalog& catalog() const { return catalog_; }
   const std::vector<std::string>& feature_names() const { return feature_names_; }
-  const DecayingEpsilonGreedy& policy() const { return policy_; }
 
-  /// Plain-text state snapshot, format `banditware-state v2`: config +
-  /// catalog + per-arm sufficient statistics (theta, P, n) + ε. Cost is
-  /// O(arms * d^2) independent of how many observations were absorbed.
-  /// Arms running in exact_history mode serialize their raw observation
-  /// rows instead (their history *is* their state).
+  /// The per-arm learned model, whichever policy runs — what inspection
+  /// tools and state loaders read.
+  const LinearArmModel& arm_model(ArmIndex arm) const;
+
+  /// The ε-greedy policy instance. Only valid when policy_kind() is
+  /// kEpsilonGreedy (the historical accessor; policy-agnostic callers use
+  /// arm_model()/epsilon() instead). Throws InvalidArgument otherwise.
+  const DecayingEpsilonGreedy& policy() const;
+
+  /// Plain-text state snapshot: config + catalog + per-arm sufficient
+  /// statistics (theta, P, n) + ε. Cost is O(arms * d^2) independent of how
+  /// many observations were absorbed. Arms running in exact_history mode
+  /// serialize their raw observation rows instead (their history *is* their
+  /// state). ε-greedy instances write format `banditware-state v2` —
+  /// byte-identical to the pre-policy-axis writer, so existing snapshots
+  /// and golden fixtures stay stable — while LinUCB/Thompson instances
+  /// write the `v3` superset, which adds one `policy` line carrying the
+  /// kind token and its scalar.
   std::string save_state() const;
 
-  /// Rebuilds an instance from save_state() output. Reads both the current
-  /// v2 format and legacy v1 snapshots (raw observation rows, restored by
-  /// replay). Throws ParseError on malformed input.
+  /// Rebuilds an instance from save_state() output. Reads v3 (policy
+  /// token), v2, and legacy v1 snapshots (raw observation rows, restored by
+  /// replay); v1/v2 always load as ε-greedy. Throws ParseError on
+  /// malformed input.
   static BanditWare load_state(const std::string& text);
 
  private:
+  /// Exactly one of these runs, selected by config.policy_kind. A variant
+  /// (not a pointer) keeps the facade copyable and no-throw movable — the
+  /// serve layer's publish step depends on move-assigning shards without
+  /// throwing.
+  using ProductionPolicy = std::variant<DecayingEpsilonGreedy, LinUcb, LinearThompson>;
+
+  static ProductionPolicy make_policy(const hw::HardwareCatalog& catalog,
+                                      std::size_t num_features,
+                                      const BanditWareConfig& config);
+
+  BankedPolicy& banked();
+  const BankedPolicy& banked() const;
+  DecayingEpsilonGreedy* eps_greedy();
+  const DecayingEpsilonGreedy* eps_greedy() const;
+
   static BanditWare load_state_v1(std::istream& is);
-  static BanditWare load_state_v2(std::istream& is);
+  static BanditWare load_state_v2(std::istream& is, int version);
 
   hw::HardwareCatalog catalog_;
   std::vector<std::string> feature_names_;
   BanditWareConfig config_;
-  DecayingEpsilonGreedy policy_;
+  ProductionPolicy policy_;
 };
 
 }  // namespace bw::core

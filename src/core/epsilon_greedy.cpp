@@ -6,58 +6,41 @@
 
 namespace bw::core {
 
-DecayingEpsilonGreedy::DecayingEpsilonGreedy(const hw::HardwareCatalog& catalog,
-                                             std::size_t num_features,
-                                             EpsilonGreedyConfig config)
-    : config_(config), epsilon_(config.initial_epsilon) {
-  BW_CHECK_MSG(!catalog.empty(), "policy needs at least one arm");
-  BW_CHECK_MSG(num_features > 0, "policy needs at least one feature");
+namespace {
+
+ArmBank make_bank(const hw::HardwareCatalog& catalog, std::size_t num_features,
+                  const EpsilonGreedyConfig& config) {
   BW_CHECK_MSG(config.initial_epsilon >= 0.0 && config.initial_epsilon <= 1.0,
                "initial epsilon must be in [0,1]");
   BW_CHECK_MSG(config.decay > 0.0 && config.decay <= 1.0, "decay must be in (0,1]");
-  arms_.reserve(catalog.size());
-  for (std::size_t i = 0; i < catalog.size(); ++i) {
-    arms_.emplace_back(num_features, config.fit, config.exact_history);
-  }
-  resource_costs_ = catalog.resource_costs(config.resource_weights);
+  return ArmBank(catalog, num_features, config.fit, config.exact_history,
+                 config.tolerance, config.resource_weights);
 }
+
+}  // namespace
+
+DecayingEpsilonGreedy::DecayingEpsilonGreedy(const hw::HardwareCatalog& catalog,
+                                             std::size_t num_features,
+                                             EpsilonGreedyConfig config)
+    : BankedPolicy(make_bank(catalog, num_features, config)),
+      config_(config),
+      epsilon_(config.initial_epsilon) {}
 
 ArmIndex DecayingEpsilonGreedy::select(const FeatureVector& x, Rng& rng) {
   // Line 6: with probability ε, explore uniformly at random.
   if (rng.bernoulli(epsilon_)) {
     last_was_exploration_ = true;
-    return rng.index(arms_.size());
+    return rng.index(bank_.size());
   }
   last_was_exploration_ = false;
   // Line 7: tolerant selection over the current estimates.
   return recommend(x);
 }
 
-void DecayingEpsilonGreedy::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
-  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
-  arms_[arm].observe(x, runtime_s);  // lines 10-11: store + least squares
+void DecayingEpsilonGreedy::observe(ArmIndex arm, const FeatureVector& x,
+                                    double runtime_s) {
+  bank_.observe(arm, x, runtime_s);  // lines 10-11: store + least squares
   epsilon_ *= config_.decay;         // line 12: ε <- α ε
-}
-
-TolerantChoice DecayingEpsilonGreedy::recommend_choice(const FeatureVector& x) const {
-  // thread_local scratch: recommend_choice is the serving hot path and may
-  // run concurrently under shared locks, so the reusable buffer must be
-  // per-thread rather than a mutable member.
-  static thread_local std::vector<double> predictions;
-  predictions.resize(arms_.size());
-  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
-    predictions[arm] = arms_[arm].predict(x);
-  }
-  return tolerant_select(predictions, resource_costs_, config_.tolerance);
-}
-
-ArmIndex DecayingEpsilonGreedy::recommend(const FeatureVector& x) const {
-  return recommend_choice(x).arm;
-}
-
-double DecayingEpsilonGreedy::predict(ArmIndex arm, const FeatureVector& x) const {
-  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
-  return arms_[arm].predict(x);
 }
 
 void DecayingEpsilonGreedy::set_epsilon(double epsilon) {
@@ -65,19 +48,9 @@ void DecayingEpsilonGreedy::set_epsilon(double epsilon) {
 }
 
 void DecayingEpsilonGreedy::reset() {
-  for (auto& arm : arms_) arm.reset();
+  bank_.reset();
   epsilon_ = config_.initial_epsilon;
   last_was_exploration_ = false;
-}
-
-const LinearArmModel& DecayingEpsilonGreedy::arm_model(ArmIndex arm) const {
-  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
-  return arms_[arm];
-}
-
-LinearArmModel& DecayingEpsilonGreedy::arm_model(ArmIndex arm) {
-  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
-  return arms_[arm];
 }
 
 }  // namespace bw::core

@@ -10,10 +10,7 @@
 //     least-squares refit of (w_k, b_k)                    (line 11)
 //     ε <- α ε                                             (line 12)
 
-#include <vector>
-
-#include "core/arm_model.hpp"
-#include "core/policy.hpp"
+#include "core/banked_policy.hpp"
 #include "core/tolerant.hpp"
 #include "hardware/catalog.hpp"
 
@@ -32,43 +29,30 @@ struct EpsilonGreedyConfig {
   bool exact_history = false;
 };
 
-class DecayingEpsilonGreedy final : public Policy {
+class DecayingEpsilonGreedy final : public BankedPolicy {
  public:
   /// `catalog` supplies arm count and resource costs; `num_features` = m.
   DecayingEpsilonGreedy(const hw::HardwareCatalog& catalog, std::size_t num_features,
                         EpsilonGreedyConfig config = {});
 
-  std::size_t num_arms() const override { return arms_.size(); }
   ArmIndex select(const FeatureVector& x, Rng& rng) override;
   void observe(ArmIndex arm, const FeatureVector& x, double runtime_s) override;
-  ArmIndex recommend(const FeatureVector& x) const override;
-  double predict(ArmIndex arm, const FeatureVector& x) const override;
   std::string name() const override { return "decaying-contextual-eps-greedy"; }
+  PolicyKind kind() const override { return PolicyKind::kEpsilonGreedy; }
   void reset() override;
 
   double epsilon() const { return epsilon_; }
-
-  /// Tolerant-greedy choice with its predicted runtime — one prediction
-  /// pass, unlike recommend() followed by predict().
-  TolerantChoice recommend_choice(const FeatureVector& x) const;
 
   /// Overrides the current exploration rate (clamped to [0, 1]).
   /// Intended for resuming from a saved snapshot, not for tuning mid-run.
   void set_epsilon(double epsilon);
   const EpsilonGreedyConfig& config() const { return config_; }
-  const LinearArmModel& arm_model(ArmIndex arm) const;
-
-  /// Mutable arm access for snapshot restoration (state loaders reinstate
-  /// sufficient statistics directly instead of replaying history).
-  LinearArmModel& arm_model(ArmIndex arm);
 
   /// True if the most recent select() call explored (for diagnostics).
   bool last_was_exploration() const { return last_was_exploration_; }
 
  private:
   EpsilonGreedyConfig config_;
-  std::vector<LinearArmModel> arms_;
-  std::vector<double> resource_costs_;
   double epsilon_;
   bool last_was_exploration_ = false;
 };

@@ -6,31 +6,41 @@
 
 namespace bw::core {
 
+namespace {
+
+ArmBank make_bank(const hw::HardwareCatalog& catalog, std::size_t num_features,
+                  const LinUcbConfig& config) {
+  linalg::FitOptions fit;
+  fit.ridge = config.ridge;
+  return ArmBank(catalog, num_features, fit, /*exact_history=*/false,
+                 config.tolerance, config.resource_weights);
+}
+
+}  // namespace
+
 LinUcb::LinUcb(const hw::HardwareCatalog& catalog, std::size_t num_features,
                LinUcbConfig config)
-    : config_(config) {
-  BW_CHECK_MSG(!catalog.empty(), "policy needs at least one arm");
-  BW_CHECK_MSG(num_features > 0, "policy needs at least one feature");
-  BW_CHECK_MSG(config.alpha >= 0.0, "alpha must be non-negative");
-  arms_.reserve(catalog.size());
-  for (std::size_t i = 0; i < catalog.size(); ++i) {
-    arms_.emplace_back(num_features, config.ridge);
-  }
-  resource_costs_ = catalog.resource_costs(config.resource_weights);
+    : LinUcb(make_bank(catalog, num_features, config), config.alpha) {}
+
+LinUcb::LinUcb(ArmBank bank, double alpha)
+    : BankedPolicy(std::move(bank)), alpha_(alpha) {
+  BW_CHECK_MSG(alpha_ >= 0.0, "alpha must be non-negative");
+  BW_CHECK_MSG(!bank_.arm(0).exact_history(),
+               "linucb requires the incremental backend (the confidence "
+               "width reads the RLS posterior)");
 }
 
 double LinUcb::lcb(ArmIndex arm, const FeatureVector& x) const {
-  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
-  const double mean = arms_[arm].predict(x);
-  const double width = std::sqrt(std::max(0.0, arms_[arm].variance_proxy(x)));
-  return mean - config_.alpha * width;
+  const double mean = bank_.predict(arm, x);
+  const double width = std::sqrt(std::max(0.0, bank_.variance_proxy(arm, x)));
+  return mean - alpha_ * width;
 }
 
 ArmIndex LinUcb::select(const FeatureVector& x, Rng& rng) {
   (void)rng;  // LinUCB is deterministic given its history
   ArmIndex best = 0;
   double best_lcb = lcb(0, x);
-  for (ArmIndex arm = 1; arm < arms_.size(); ++arm) {
+  for (ArmIndex arm = 1; arm < bank_.size(); ++arm) {
     const double value = lcb(arm, x);
     if (value < best_lcb) {
       best_lcb = value;
@@ -38,28 +48,6 @@ ArmIndex LinUcb::select(const FeatureVector& x, Rng& rng) {
     }
   }
   return best;
-}
-
-void LinUcb::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
-  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
-  arms_[arm].update(x, runtime_s);
-}
-
-ArmIndex LinUcb::recommend(const FeatureVector& x) const {
-  std::vector<double> predictions(arms_.size());
-  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
-    predictions[arm] = arms_[arm].predict(x);
-  }
-  return tolerant_select(predictions, resource_costs_, config_.tolerance).arm;
-}
-
-double LinUcb::predict(ArmIndex arm, const FeatureVector& x) const {
-  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
-  return arms_[arm].predict(x);
-}
-
-void LinUcb::reset() {
-  for (auto& arm : arms_) arm.reset();
 }
 
 }  // namespace bw::core

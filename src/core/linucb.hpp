@@ -1,15 +1,13 @@
 #pragma once
 // LinUCB for runtime minimization (paper future work: "more complex
-// contextual bandit algorithms"). Per arm we keep a ridge RLS posterior;
-// selection is optimistic toward *low* runtime via the lower confidence
-// bound  R̂(H_i, x) - alpha * sqrt(x̃^T A_i^{-1} x̃).
+// contextual bandit algorithms"). Per arm we keep a ridge RLS posterior on
+// the shared ArmBank substrate; selection is optimistic toward *low*
+// runtime via the lower confidence bound
+//   R̂(H_i, x) - alpha * sqrt(x̃^T A_i^{-1} x̃).
 
-#include <vector>
-
-#include "core/policy.hpp"
+#include "core/banked_policy.hpp"
 #include "core/tolerant.hpp"
 #include "hardware/catalog.hpp"
-#include "linalg/rls.hpp"
 
 namespace bw::core {
 
@@ -20,26 +18,28 @@ struct LinUcbConfig {
   hw::ResourceWeights resource_weights{};
 };
 
-class LinUcb final : public Policy {
+class LinUcb final : public BankedPolicy {
  public:
   LinUcb(const hw::HardwareCatalog& catalog, std::size_t num_features,
          LinUcbConfig config = {});
 
-  std::size_t num_arms() const override { return arms_.size(); }
+  /// Production-stack path: a pre-built substrate (the BanditWare facade
+  /// constructs it from the shared BanditWareConfig fit/tolerance options)
+  /// plus this policy's own scalar. Requires the incremental backend (the
+  /// confidence width reads the RLS posterior).
+  LinUcb(ArmBank bank, double alpha);
+
   ArmIndex select(const FeatureVector& x, Rng& rng) override;
-  void observe(ArmIndex arm, const FeatureVector& x, double runtime_s) override;
-  ArmIndex recommend(const FeatureVector& x) const override;
-  double predict(ArmIndex arm, const FeatureVector& x) const override;
   std::string name() const override { return "linucb"; }
-  void reset() override;
+  PolicyKind kind() const override { return PolicyKind::kLinUcb; }
+
+  double alpha() const { return alpha_; }
 
   /// Lower confidence bound used by select().
   double lcb(ArmIndex arm, const FeatureVector& x) const;
 
  private:
-  LinUcbConfig config_;
-  std::vector<linalg::RecursiveLeastSquares> arms_;
-  std::vector<double> resource_costs_;
+  double alpha_;
 };
 
 }  // namespace bw::core

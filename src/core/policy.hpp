@@ -13,6 +13,19 @@
 
 namespace bw::core {
 
+/// The production-stack policy axis: which learning strategy the BanditWare
+/// facade (and everything above it — merge, snapshots, serving) runs. All
+/// three share the same per-arm ridge-RLS substrate (core/arm_bank.hpp), so
+/// they fuse and serialize through the same sufficient statistics.
+enum class PolicyKind {
+  kEpsilonGreedy,  ///< the paper's decaying contextual ε-greedy (default)
+  kLinUcb,         ///< deterministic LCB optimism, width scaled by alpha
+  kThompson,       ///< linear-Gaussian posterior sampling, scaled by v
+};
+
+std::string to_string(PolicyKind kind);
+PolicyKind parse_policy_kind(const std::string& name);
+
 class Policy {
  public:
   virtual ~Policy() = default;

@@ -1,0 +1,26 @@
+#include "core/policy.hpp"
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kEpsilonGreedy:
+      return "epsilon-greedy";
+    case PolicyKind::kLinUcb:
+      return "linucb";
+    case PolicyKind::kThompson:
+      return "thompson";
+  }
+  return "unknown";
+}
+
+PolicyKind parse_policy_kind(const std::string& name) {
+  if (name == "epsilon-greedy") return PolicyKind::kEpsilonGreedy;
+  if (name == "linucb") return PolicyKind::kLinUcb;
+  if (name == "thompson") return PolicyKind::kThompson;
+  throw InvalidArgument("unknown policy kind: " + name);
+}
+
+}  // namespace bw::core

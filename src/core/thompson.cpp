@@ -6,17 +6,28 @@
 
 namespace bw::core {
 
-LinearThompson::LinearThompson(const hw::HardwareCatalog& catalog, std::size_t num_features,
-                               ThompsonConfig config)
-    : config_(config) {
-  BW_CHECK_MSG(!catalog.empty(), "policy needs at least one arm");
-  BW_CHECK_MSG(num_features > 0, "policy needs at least one feature");
-  BW_CHECK_MSG(config.posterior_scale > 0.0, "posterior scale must be positive");
-  arms_.reserve(catalog.size());
-  for (std::size_t i = 0; i < catalog.size(); ++i) {
-    arms_.emplace_back(num_features, config.ridge);
-  }
-  resource_costs_ = catalog.resource_costs(config.resource_weights);
+namespace {
+
+ArmBank make_bank(const hw::HardwareCatalog& catalog, std::size_t num_features,
+                  const ThompsonConfig& config) {
+  linalg::FitOptions fit;
+  fit.ridge = config.ridge;
+  return ArmBank(catalog, num_features, fit, /*exact_history=*/false,
+                 config.tolerance, config.resource_weights);
+}
+
+}  // namespace
+
+LinearThompson::LinearThompson(const hw::HardwareCatalog& catalog,
+                               std::size_t num_features, ThompsonConfig config)
+    : LinearThompson(make_bank(catalog, num_features, config), config.posterior_scale) {}
+
+LinearThompson::LinearThompson(ArmBank bank, double posterior_scale)
+    : BankedPolicy(std::move(bank)), posterior_scale_(posterior_scale) {
+  BW_CHECK_MSG(posterior_scale_ > 0.0, "posterior scale must be positive");
+  BW_CHECK_MSG(!bank_.arm(0).exact_history(),
+               "thompson requires the incremental backend (the posterior "
+               "draw reads the RLS covariance)");
 }
 
 double LinearThompson::sample_prediction(ArmIndex arm, const FeatureVector& x,
@@ -24,15 +35,15 @@ double LinearThompson::sample_prediction(ArmIndex arm, const FeatureVector& x,
   // For a single decision only the marginal of x̃^T θ matters, and
   // θ ~ N(θ̂, v² P) implies x̃^T θ ~ N(x̃^T θ̂, v² x̃^T P x̃) — so we sample
   // the scalar directly instead of factorizing P.
-  const double mean = arms_[arm].predict(x);
-  const double var = std::max(0.0, arms_[arm].variance_proxy(x));
-  return mean + config_.posterior_scale * std::sqrt(var) * rng.normal();
+  const double mean = bank_.predict(arm, x);
+  const double var = std::max(0.0, bank_.variance_proxy(arm, x));
+  return mean + posterior_scale_ * std::sqrt(var) * rng.normal();
 }
 
 ArmIndex LinearThompson::select(const FeatureVector& x, Rng& rng) {
   ArmIndex best = 0;
   double best_sample = sample_prediction(0, x, rng);
-  for (ArmIndex arm = 1; arm < arms_.size(); ++arm) {
+  for (ArmIndex arm = 1; arm < bank_.size(); ++arm) {
     const double sample = sample_prediction(arm, x, rng);
     if (sample < best_sample) {
       best_sample = sample;
@@ -40,28 +51,6 @@ ArmIndex LinearThompson::select(const FeatureVector& x, Rng& rng) {
     }
   }
   return best;
-}
-
-void LinearThompson::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
-  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
-  arms_[arm].update(x, runtime_s);
-}
-
-ArmIndex LinearThompson::recommend(const FeatureVector& x) const {
-  std::vector<double> predictions(arms_.size());
-  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
-    predictions[arm] = arms_[arm].predict(x);
-  }
-  return tolerant_select(predictions, resource_costs_, config_.tolerance).arm;
-}
-
-double LinearThompson::predict(ArmIndex arm, const FeatureVector& x) const {
-  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
-  return arms_[arm].predict(x);
-}
-
-void LinearThompson::reset() {
-  for (auto& arm : arms_) arm.reset();
 }
 
 }  // namespace bw::core

@@ -2,15 +2,12 @@
 // Linear-Gaussian Thompson sampling: per arm, sample a parameter vector
 // from the posterior N(θ̂_i, v² A_i^{-1}) and pick the arm whose *sampled*
 // model predicts the lowest runtime. Exploration comes from posterior
-// width, so it self-anneals as data accumulates.
+// width, so it self-anneals as data accumulates. Runs on the shared
+// ArmBank substrate.
 
-#include <vector>
-
-#include "core/policy.hpp"
+#include "core/banked_policy.hpp"
 #include "core/tolerant.hpp"
 #include "hardware/catalog.hpp"
-#include "linalg/cholesky.hpp"
-#include "linalg/rls.hpp"
 
 namespace bw::core {
 
@@ -21,26 +18,28 @@ struct ThompsonConfig {
   hw::ResourceWeights resource_weights{};
 };
 
-class LinearThompson final : public Policy {
+class LinearThompson final : public BankedPolicy {
  public:
   LinearThompson(const hw::HardwareCatalog& catalog, std::size_t num_features,
                  ThompsonConfig config = {});
 
-  std::size_t num_arms() const override { return arms_.size(); }
+  /// Production-stack path: a pre-built substrate (the BanditWare facade
+  /// constructs it from the shared BanditWareConfig fit/tolerance options)
+  /// plus this policy's own scalar. Requires the incremental backend (the
+  /// posterior draw reads the RLS covariance).
+  LinearThompson(ArmBank bank, double posterior_scale);
+
   ArmIndex select(const FeatureVector& x, Rng& rng) override;
-  void observe(ArmIndex arm, const FeatureVector& x, double runtime_s) override;
-  ArmIndex recommend(const FeatureVector& x) const override;
-  double predict(ArmIndex arm, const FeatureVector& x) const override;
   std::string name() const override { return "linear-thompson"; }
-  void reset() override;
+  PolicyKind kind() const override { return PolicyKind::kThompson; }
+
+  double posterior_scale() const { return posterior_scale_; }
 
  private:
   /// One posterior draw of the predicted runtime for (arm, x).
   double sample_prediction(ArmIndex arm, const FeatureVector& x, Rng& rng) const;
 
-  ThompsonConfig config_;
-  std::vector<linalg::RecursiveLeastSquares> arms_;
-  std::vector<double> resource_costs_;
+  double posterior_scale_;
 };
 
 }  // namespace bw::core

@@ -579,14 +579,22 @@ std::string BanditServer::save_state() const {
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
 
+  // ε-greedy engines write the pre-policy-axis v3 format byte-for-byte
+  // (existing snapshots and golden fixtures stay stable); LinUCB/Thompson
+  // engines write v4, which only adds the `policy` token below. The policy
+  // scalars (alpha / posterior scale) ride inside the shard blobs — the
+  // header token is the cross-check the loader verifies against them.
+  const bool eps_kind =
+      config_.bandit.policy_kind == core::PolicyKind::kEpsilonGreedy;
   std::ostringstream os;
-  os << "banditserver-state v3\n";
+  os << (eps_kind ? "banditserver-state v3\n" : "banditserver-state v4\n");
   os << "shards " << shards_.size() << " sharding " << to_string(config_.sharding)
      << " seed " << config_.seed << " threads " << config_.num_threads << " explore "
      << (config_.explore ? 1 : 0) << " sync_every " << config_.sync_every
-     << " sync_mode " << to_string(config_.sync_mode) << " observe_batches "
-     << observe_batches_.load(std::memory_order_relaxed) << " rr_counter "
-     << rr_counter_.load(std::memory_order_relaxed) << "\n";
+     << " sync_mode " << to_string(config_.sync_mode);
+  if (!eps_kind) os << " policy " << core::to_string(config_.bandit.policy_kind);
+  os << " observe_batches " << observe_batches_.load(std::memory_order_relaxed)
+     << " rr_counter " << rr_counter_.load(std::memory_order_relaxed) << "\n";
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const std::string state = shards_[s]->bandit.save_state();
     os << "shard " << s << " bytes " << state.size() << "\n" << state;
@@ -610,6 +618,7 @@ BanditServer BanditServer::load_state(const std::string& text) {
   if (line == "banditserver-state v1") version = 1;
   if (line == "banditserver-state v2") version = 2;
   if (line == "banditserver-state v3") version = 3;
+  if (line == "banditserver-state v4") version = 4;
   if (version == 0) fail("bad header");
 
   BanditServerConfig config;
@@ -647,6 +656,19 @@ BanditServer BanditServer::load_state(const std::string& text) {
       if (!is || token != "sync_mode") fail("expected sync_mode");
       config.sync_mode = parse_sync_mode(mode_name);
     }
+    if (version >= 4) {
+      // v1-v3 predate the policy axis; they always restore as ε-greedy
+      // (the shard blobs carry no policy line either). The v4 token is
+      // verified against the blob configs after the replicas load.
+      std::string policy_name;
+      is >> token >> policy_name;
+      if (!is || token != "policy") fail("expected policy");
+      try {
+        config.bandit.policy_kind = core::parse_policy_kind(policy_name);
+      } catch (const InvalidArgument& error) {
+        fail(error.what());
+      }
+    }
     // The auto-sync cadence phase: without it a restored server with
     // sync_every > 1 would sync on different batches than the original.
     is >> token >> observe_batches;
@@ -677,6 +699,10 @@ BanditServer BanditServer::load_state(const std::string& text) {
 
   std::vector<core::BanditWare> replicas;
   replicas.reserve(num_shards);
+  // The header's policy kind (ε-greedy implicitly for v1-v3) must agree
+  // with what the shard blobs actually carry — a mismatch means the
+  // snapshot was stitched together, not written by save_state().
+  const core::PolicyKind header_kind = config.bandit.policy_kind;
   for (std::size_t s = 0; s < num_shards; ++s) {
     std::size_t index = 0;
     is >> token >> index;
@@ -685,6 +711,10 @@ BanditServer BanditServer::load_state(const std::string& text) {
     // The per-shard config is authoritative for the whole engine (every
     // replica is constructed identically).
     config.bandit = replicas.back().config();
+    if (config.bandit.policy_kind != header_kind) {
+      fail("shard policy '" + core::to_string(config.bandit.policy_kind) +
+           "' contradicts the header policy '" + core::to_string(header_kind) + "'");
+    }
   }
 
   // v1 snapshots predate cross-shard sync; their baseline is the prior
@@ -695,6 +725,10 @@ BanditServer BanditServer::load_state(const std::string& text) {
     if (!is || token != "base") fail("expected base record");
     base = std::make_unique<core::BanditWare>(
         core::BanditWare::load_state(read_blob("base")));
+    if (base->config().policy_kind != header_kind) {
+      fail("base policy '" + core::to_string(base->config().policy_kind) +
+           "' contradicts the header policy '" + core::to_string(header_kind) + "'");
+    }
   }
 
   BanditServer server(config, std::move(replicas), std::move(base));

@@ -45,12 +45,14 @@
 // plain-text snapshots, so save -> load -> save is byte-identical. Like
 // BanditWare::save_state, exploration RNG state and non-default fit options
 // are not serialized — a restored server resumes with reseeded exploration
-// streams but identical learned models. Format `banditserver-state v3`
-// carries the sync baseline, cadence phase, and sync mode; v1 and v2
-// snapshots still load (missing fields default: prior baseline, inline
-// mode). Snapshots taken mid-async-sync are consistent cuts: publishing
-// holds the fuse lock exclusive across the whole swap, so a snapshot never
-// observes a half-published generation.
+// streams but identical learned models. ε-greedy engines write format
+// `banditserver-state v3` (sync baseline, cadence phase, sync mode —
+// byte-identical to the pre-policy-axis writer); LinUCB/Thompson engines
+// write `v4`, which adds a policy token cross-checked against the shard
+// blobs. v1-v3 snapshots still load, always as ε-greedy (missing fields
+// default: prior baseline, inline mode). Snapshots taken mid-async-sync are
+// consistent cuts: publishing holds the fuse lock exclusive across the
+// whole swap, so a snapshot never observes a half-published generation.
 
 #include <atomic>
 #include <condition_variable>
@@ -250,9 +252,14 @@ class BanditServer {
 
  private:
   // Read-mostly concurrency: recommends in pure-exploitation mode
-  // (config.explore == false) only read the replica, so they take the
+  // (config.explore == false) only read the replica — the tolerant-greedy
+  // pass is shared substrate across every policy kind — so they take the
   // shard lock shared and run concurrently; observes, snapshots, and
-  // exploring recommends (which advance the shard RNG) take it exclusive.
+  // exploring recommends take it exclusive. Exploring recommends must stay
+  // exclusive for every policy: ε-greedy flips the ε-coin and Thompson
+  // draws from the posterior (both advance the shard RNG), and LinUCB
+  // rides the same path for uniformity (its select is deterministic but
+  // explore mode is a per-engine, not per-policy, switch).
   struct Shard {
     mutable std::shared_mutex mutex;
     core::BanditWare bandit;

@@ -35,6 +35,12 @@ BanditServerConfig async_config(std::size_t shards, std::uint64_t seed = 7) {
   return config;
 }
 
+BanditServerConfig async_policy_config(std::size_t shards, core::PolicyKind kind) {
+  BanditServerConfig config = async_config(shards);
+  config.bandit.policy_kind = kind;
+  return config;
+}
+
 ScheduleDriver make_driver(std::size_t shards, ScheduleWeights weights,
                            std::size_t ticks = 400, std::size_t batch = 8) {
   return ScheduleDriver(async_config(shards), hw::ndp_catalog(), batch, ticks,
@@ -55,6 +61,46 @@ TEST(AsyncSyncSchedule, SameSeedAndScheduleIsByteIdentical) {
     EXPECT_EQ(a.syncs, b.syncs) << "seed=" << seed;
     EXPECT_EQ(a.abandoned_rounds, b.abandoned_rounds) << "seed=" << seed;
     EXPECT_GT(a.decisions.size(), 0u);
+  }
+}
+
+TEST(AsyncSyncSchedule, LinUcbScheduleIsDeterministicAndBalanced) {
+  // The policy axis must not disturb the harness's reproducibility bar:
+  // a LinUCB-driven fleet (deterministic optimism instead of the ε-coin)
+  // replays byte-identically from the seed, and whatever the interleaving
+  // the books balance after quiesce.
+  const ScheduleDriver driver(async_policy_config(4, core::PolicyKind::kLinUcb),
+                              hw::ndp_catalog(), 8, 400, ScheduleWeights{8, 4, 1, 1});
+  for (const std::uint64_t seed : kSeeds) {
+    const ScheduleResult a = driver.run(seed);
+    const ScheduleResult b = driver.run(seed);
+    EXPECT_EQ(a.decisions, b.decisions) << "seed=" << seed;
+    EXPECT_EQ(a.final_state, b.final_state) << "seed=" << seed;
+    EXPECT_EQ(a.observations, a.observations_fed) << "seed=" << seed;
+    EXPECT_EQ(a.inconsistent_snapshots, 0u) << "seed=" << seed;
+    EXPECT_GT(a.decisions.size(), 0u);
+    // The v4 snapshot must carry the policy token end-to-end.
+    EXPECT_EQ(a.final_state.rfind("banditserver-state v4\n", 0), 0u);
+    EXPECT_NE(a.final_state.find("policy linucb"), std::string::npos);
+  }
+}
+
+TEST(AsyncSyncSchedule, ThompsonScheduleIsDeterministicAndBalanced) {
+  // Same bar for Thompson: its exploration consumes the per-shard RNG
+  // (posterior draws), which the virtual-clock schedule serializes — same
+  // seed + schedule must still replay bit-for-bit.
+  const ScheduleDriver driver(async_policy_config(4, core::PolicyKind::kThompson),
+                              hw::ndp_catalog(), 8, 400, ScheduleWeights{8, 4, 1, 1});
+  for (const std::uint64_t seed : kSeeds) {
+    const ScheduleResult a = driver.run(seed);
+    const ScheduleResult b = driver.run(seed);
+    EXPECT_EQ(a.decisions, b.decisions) << "seed=" << seed;
+    EXPECT_EQ(a.final_state, b.final_state) << "seed=" << seed;
+    EXPECT_EQ(a.observations, a.observations_fed) << "seed=" << seed;
+    EXPECT_EQ(a.inconsistent_snapshots, 0u) << "seed=" << seed;
+    EXPECT_GT(a.decisions.size(), 0u);
+    EXPECT_EQ(a.final_state.rfind("banditserver-state v4\n", 0), 0u);
+    EXPECT_NE(a.final_state.find("policy thompson"), std::string::npos);
   }
 }
 
@@ -134,54 +180,61 @@ TEST(AsyncSyncSchedule, AsyncRegretConvergesLikeInlineSync) {
 TEST(AsyncSyncSchedule, QuiescedAsyncMatchesSingleStreamExactly) {
   // After quiesce (drain + final sync) the fused model must equal a single
   // facade that saw the whole stream — the async path is the same exact
-  // algebra as inline, just pipelined.
-  BanditServerConfig config = async_config(4);
-  config.bandit.policy.fit.ridge = 1e-6;
-  BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
-  const hw::HardwareCatalog catalog = hw::ndp_catalog();
-  core::BanditWare reference(catalog, {"num_tasks"}, config.bandit);
+  // algebra as inline, just pipelined. All three policies sit on the same
+  // information-form statistics, so the 1e-9 bar holds for each.
+  for (const core::PolicyKind kind :
+       {core::PolicyKind::kEpsilonGreedy, core::PolicyKind::kLinUcb,
+        core::PolicyKind::kThompson}) {
+    BanditServerConfig config = async_config(4);
+    config.bandit.policy_kind = kind;
+    config.bandit.policy.fit.ridge = 1e-6;
+    BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+    const hw::HardwareCatalog catalog = hw::ndp_catalog();
+    core::BanditWare reference(catalog, {"num_tasks"}, config.bandit);
 
-  int phase = 0;
-  for (int i = 0; i < 240; ++i) {
-    const double tasks = 20.0 + 9.0 * (i % 41);
-    const auto x = features_for(tasks);
-    const auto arm = static_cast<core::ArmIndex>(i % 3);
-    const double runtime = ScheduleDriver::synthetic_runtime(catalog[arm], tasks);
-    server.observe_one({static_cast<std::size_t>(i % 4), arm, x, runtime});
-    reference.observe(arm, x, runtime);
-    if (i % 7 == 6) {
-      // Interleave pipeline phases with the stream: one phase per 7 obs.
-      switch (phase % 3) {
-        case 0:
-          server.sync_stage();
-          break;
-        case 1:
-          server.sync_fuse();
-          break;
-        case 2:
-          server.sync_publish();
-          break;
+    int phase = 0;
+    for (int i = 0; i < 240; ++i) {
+      const double tasks = 20.0 + 9.0 * (i % 41);
+      const auto x = features_for(tasks);
+      const auto arm = static_cast<core::ArmIndex>(i % 3);
+      const double runtime = ScheduleDriver::synthetic_runtime(catalog[arm], tasks);
+      server.observe_one({static_cast<std::size_t>(i % 4), arm, x, runtime});
+      reference.observe(arm, x, runtime);
+      if (i % 7 == 6) {
+        // Interleave pipeline phases with the stream: one phase per 7 obs.
+        switch (phase % 3) {
+          case 0:
+            server.sync_stage();
+            break;
+          case 1:
+            server.sync_fuse();
+            break;
+          case 2:
+            server.sync_publish();
+            break;
+        }
+        ++phase;
       }
+    }
+    // Finish the in-flight round, then fold the remaining deltas.
+    while (phase % 3 != 0) {
+      if (phase % 3 == 1) server.sync_fuse();
+      if (phase % 3 == 2) server.sync_publish();
       ++phase;
     }
-  }
-  // Finish the in-flight round, then fold the remaining deltas.
-  while (phase % 3 != 0) {
-    if (phase % 3 == 1) server.sync_fuse();
-    if (phase % 3 == 2) server.sync_publish();
-    ++phase;
-  }
-  server.sync_shards();
+    server.sync_shards();
 
-  EXPECT_EQ(server.num_observations(), 240u);
-  for (double tasks : {33.0, 150.0, 371.0}) {
-    const auto x = features_for(tasks);
-    const auto want = reference.predictions(x);
-    for (std::size_t s = 0; s < server.num_shards(); ++s) {
-      const auto got = server.predictions(s, x);
-      ASSERT_EQ(got.size(), want.size());
-      for (std::size_t arm = 0; arm < want.size(); ++arm) {
-        EXPECT_NEAR(got[arm], want[arm], 1e-9) << "shard=" << s << " arm=" << arm;
+    EXPECT_EQ(server.num_observations(), 240u) << core::to_string(kind);
+    for (double tasks : {33.0, 150.0, 371.0}) {
+      const auto x = features_for(tasks);
+      const auto want = reference.predictions(x);
+      for (std::size_t s = 0; s < server.num_shards(); ++s) {
+        const auto got = server.predictions(s, x);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t arm = 0; arm < want.size(); ++arm) {
+          EXPECT_NEAR(got[arm], want[arm], 1e-9)
+              << core::to_string(kind) << " shard=" << s << " arm=" << arm;
+        }
       }
     }
   }

@@ -181,6 +181,21 @@ core::BanditWareConfig shared_ridge_config(bool exact_history = false) {
   return config;
 }
 
+/// Shared-ridge config running a specific policy kind, with non-default
+/// policy scalars so the merge-compatibility checks have something real to
+/// compare.
+core::BanditWareConfig policy_config(core::PolicyKind kind) {
+  core::BanditWareConfig config = shared_ridge_config();
+  config.policy_kind = kind;
+  config.alpha = 1.5;
+  config.posterior_scale = 1.25;
+  return config;
+}
+
+constexpr core::PolicyKind kAllKinds[] = {core::PolicyKind::kEpsilonGreedy,
+                                          core::PolicyKind::kLinUcb,
+                                          core::PolicyKind::kThompson};
+
 /// Feeds a stream into a facade, spreading observations over all arms with
 /// a per-arm runtime shift so every arm's model is distinct.
 void observe_stream(core::BanditWare& bandit, const Stream& s, std::size_t offset) {
@@ -221,6 +236,121 @@ TEST(BanditWareMerge, MatchesSingleStreamTraining) {
             << "exact_history=" << exact_history << " arm=" << arm;
       }
       EXPECT_EQ(merged.recommend_index(x), reference.recommend_index(x));
+    }
+  }
+}
+
+TEST(BanditWareMerge, MatchesSingleStreamTrainingAcrossPoliciesAndDims) {
+  // The policy axis rides on the same information-form statistics, so the
+  // merge algebra must stay exact to 1e-9 whichever policy runs — across
+  // every dimension the RLS-level suite covers.
+  for (const core::PolicyKind kind : kAllKinds) {
+    for (const std::size_t dim : {1u, 2u, 4u, 8u}) {
+      Rng rng(3000 + 10 * dim + static_cast<std::size_t>(kind));
+      const Stream s1 = random_stream(40 + 5 * dim, dim, rng);
+      const Stream s2 = random_stream(25 + 9 * dim, dim, rng);
+      const auto config = policy_config(kind);
+      std::vector<std::string> features;
+      for (std::size_t j = 0; j < dim; ++j) features.push_back("f" + std::to_string(j));
+
+      core::BanditWare merged(hw::ndp_catalog(), features, config);
+      core::BanditWare other(hw::ndp_catalog(), features, config);
+      core::BanditWare reference(hw::ndp_catalog(), features, config);
+      observe_stream(merged, s1, 0);
+      observe_stream(other, s2, s1.size());
+      observe_stream(reference, s1, 0);
+      observe_stream(reference, s2, s1.size());
+
+      merged.merge_from(other);
+      EXPECT_EQ(merged.num_observations(), reference.num_observations())
+          << "kind=" << core::to_string(kind) << " dim=" << dim;
+      for (int probe = 0; probe < 8; ++probe) {
+        core::FeatureVector x(dim);
+        for (double& v : x) v = rng.uniform(0.0, 5.0);
+        const auto got = merged.predictions(x);
+        const auto want = reference.predictions(x);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t arm = 0; arm < got.size(); ++arm) {
+          EXPECT_NEAR(got[arm], want[arm], kTol)
+              << "kind=" << core::to_string(kind) << " dim=" << dim << " arm=" << arm;
+        }
+        EXPECT_EQ(merged.recommend_index(x), reference.recommend_index(x))
+            << "kind=" << core::to_string(kind) << " dim=" << dim;
+      }
+    }
+  }
+}
+
+TEST(BanditWareMerge, CrossPolicyMergeIsRejected) {
+  // All three policies share the arm statistics, which makes a cross-policy
+  // fusion *numerically* possible — and semantically meaningless. It must
+  // be a hard InvalidArgument, not a silent blend.
+  const std::vector<std::string> features = {"f0", "f1"};
+  for (const core::PolicyKind kind_a : kAllKinds) {
+    for (const core::PolicyKind kind_b : kAllKinds) {
+      if (kind_a == kind_b) continue;
+      core::BanditWare a(hw::ndp_catalog(), features, policy_config(kind_a));
+      const core::BanditWare b(hw::ndp_catalog(), features, policy_config(kind_b));
+      EXPECT_THROW(a.merge_from(b), InvalidArgument)
+          << core::to_string(kind_a) << " <- " << core::to_string(kind_b);
+    }
+  }
+  // Matching kinds with mismatched policy scalars must also be rejected:
+  // the scalar is part of the policy's identity at merge time.
+  auto alpha_a = policy_config(core::PolicyKind::kLinUcb);
+  auto alpha_b = alpha_a;
+  alpha_b.alpha = 2.5;
+  core::BanditWare ucb_a(hw::ndp_catalog(), features, alpha_a);
+  const core::BanditWare ucb_b(hw::ndp_catalog(), features, alpha_b);
+  EXPECT_THROW(ucb_a.merge_from(ucb_b), InvalidArgument);
+
+  auto scale_a = policy_config(core::PolicyKind::kThompson);
+  auto scale_b = scale_a;
+  scale_b.posterior_scale = 3.0;
+  core::BanditWare th_a(hw::ndp_catalog(), features, scale_a);
+  const core::BanditWare th_b(hw::ndp_catalog(), features, scale_b);
+  EXPECT_THROW(th_a.merge_from(th_b), InvalidArgument);
+}
+
+TEST(BanditWareMerge, BaseMergeNeverDoubleCountsAcrossPolicies) {
+  // The replica-sync form (merge with a shared ancestor) is what
+  // BanditServer::sync_shards runs; it must stay exact for every policy.
+  const std::size_t dim = 2;
+  const std::vector<std::string> features = {"f0", "f1"};
+  for (const core::PolicyKind kind : kAllKinds) {
+    Rng rng(71 + static_cast<std::size_t>(kind));
+    const Stream s0 = random_stream(40, dim, rng);
+    const Stream s1 = random_stream(30, dim, rng);
+    const Stream s2 = random_stream(35, dim, rng);
+    const auto config = policy_config(kind);
+
+    core::BanditWare base(hw::ndp_catalog(), features, config);
+    observe_stream(base, s0, 0);
+    core::BanditWare replica_a = base;
+    observe_stream(replica_a, s1, s0.size());
+    core::BanditWare replica_b = base;
+    observe_stream(replica_b, s2, s0.size() + s1.size());
+
+    core::BanditWare fused = base;
+    fused.merge_from(replica_a, &base);
+    fused.merge_from(replica_b, &base);
+
+    core::BanditWare reference(hw::ndp_catalog(), features, config);
+    observe_stream(reference, s0, 0);
+    observe_stream(reference, s1, s0.size());
+    observe_stream(reference, s2, s0.size() + s1.size());
+
+    EXPECT_EQ(fused.num_observations(), reference.num_observations())
+        << core::to_string(kind);
+    for (int probe = 0; probe < 8; ++probe) {
+      core::FeatureVector x(dim);
+      for (double& v : x) v = rng.uniform(0.0, 5.0);
+      const auto got = fused.predictions(x);
+      const auto want = reference.predictions(x);
+      for (std::size_t arm = 0; arm < got.size(); ++arm) {
+        EXPECT_NEAR(got[arm], want[arm], kTol)
+            << core::to_string(kind) << " arm=" << arm;
+      }
     }
   }
 }

@@ -1,8 +1,9 @@
 // Fuzz-style property tests for the snapshot parsers: seeded mutations of
-// valid `banditware-state` (v1/v2) and `banditserver-state` (v1/v2/v3)
+// valid `banditware-state` (v1/v2/v3) and `banditserver-state` (v1-v4)
 // texts — truncations, byte flips, deleted/duplicated spans, corrupted
-// numbers — must either load cleanly (a benign mutation, in which case the
-// result must round-trip) or fail with a clean bw::Error. Never a crash,
+// numbers, policy-token garbage — must either load cleanly (a benign
+// mutation, in which case the result must round-trip) or fail with a clean
+// bw::Error. Never a crash,
 // never an unbounded allocation, never a foreign exception type. The
 // loaders are static factories, so "partially applied" state is impossible
 // by construction — what this pins is that every rejection is the
@@ -36,11 +37,29 @@ core::BanditWare trained_instance(bool exact_history) {
   return bandit;
 }
 
-serve::BanditServer trained_server() {
+/// A trained instance running a non-default policy kind — its snapshot is
+/// the v3 format (policy token + scalar), which the mutation corpus must
+/// cover too.
+core::BanditWare trained_policy_instance(core::PolicyKind kind) {
+  core::BanditWareConfig config;
+  config.policy_kind = kind;
+  config.alpha = 1.5;
+  config.posterior_scale = 1.25;
+  core::BanditWare bandit(hw::ndp_catalog(), {"num_tasks", "mem_req"}, config);
+  for (int i = 0; i < 9; ++i) {
+    const core::FeatureVector x = {50.0 + 13.0 * i, 4.0 + (i % 3)};
+    bandit.observe(static_cast<core::ArmIndex>(i % 3), x, 10.0 + 0.3 * i);
+  }
+  return bandit;
+}
+
+serve::BanditServer trained_server(
+    core::PolicyKind kind = core::PolicyKind::kEpsilonGreedy) {
   serve::BanditServerConfig config;
   config.num_shards = 2;
   config.sharding = serve::ShardingPolicy::kRoundRobin;
   config.sync_every = 2;
+  config.bandit.policy_kind = kind;
   serve::BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
   const hw::HardwareCatalog catalog = hw::ndp_catalog();
   for (int batch = 0; batch < 3; ++batch) {
@@ -110,7 +129,8 @@ std::string mutate(const std::string& base, Rng& rng) {
           "-3",  "999999999999999999999", "nan",
           "inf", "arm",                   "end",
           std::string("\0", 1),           "1e308",
-          "shards"};
+          "shards",                       "policy",
+          "linucb"};
       text.insert(pos, kTokens[rng.index(std::size(kTokens))]);
       break;
     }
@@ -149,6 +169,10 @@ TEST(SnapshotFuzz, BanditWareParsersRejectMutationsCleanly) {
       trained_instance(false).save_state(),  // v2 stats records
       trained_instance(true).save_state(),   // v2 raw-row records
       v1_banditware_text(),                  // legacy v1
+      // v3 policy-token formats: mutations hit the policy line and its
+      // scalar as often as the rest of the header.
+      trained_policy_instance(core::PolicyKind::kLinUcb).save_state(),
+      trained_policy_instance(core::PolicyKind::kThompson).save_state(),
   };
   Rng rng(20260730);
   constexpr int kCasesPerBase = 220;
@@ -173,6 +197,9 @@ TEST(SnapshotFuzz, BanditServerParsersRejectMutationsCleanly) {
   const std::vector<std::string> corpus = {
       trained_server().save_state(),  // current v3 (shard + baseline blobs)
       v1_banditserver_text(),         // legacy v1
+      // v4 (policy token in the header, v3 blobs inside).
+      trained_server(core::PolicyKind::kLinUcb).save_state(),
+      trained_server(core::PolicyKind::kThompson).save_state(),
   };
   Rng rng(9143071);
   constexpr int kCasesPerBase = 220;
@@ -217,6 +244,33 @@ TEST(SnapshotFuzz, HostileCountsFailWithoutAllocating) {
       "shards 1 sharding feature-hash seed 1 threads 0 explore 1 sync_every 0 "
       "sync_mode inline observe_batches 0 rr_counter 0\n"
       "shard 0 bytes 888888888888888\nbanditware-state v2\n",
+      // Policy-token corruption: an unknown kind and a missing scalar must
+      // both be clean ParseErrors, not partially-parsed configs.
+      "banditware-state v3\n"
+      "policy warp-drive\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 0\n"
+      "epsilon 1\nfeatures 1 x\narms 1\n",
+      "banditware-state v3\n"
+      "policy linucb width 2\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 0\n"
+      "epsilon 1\nfeatures 1 x\narms 1\n",
+      // Out-of-range policy scalars must be the documented ParseError, not
+      // the policy constructors' InvalidArgument leaking through the loader.
+      "banditware-state v3\n"
+      "policy linucb alpha -1\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 0\n"
+      "epsilon 1\nfeatures 1 x\narms 1\n",
+      "banditware-state v3\n"
+      "policy thompson posterior_scale 0\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 0\n"
+      "epsilon 1\nfeatures 1 x\narms 1\n",
+      "banditware-state v3\n"
+      "policy thompson posterior_scale nan\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 0\n"
+      "epsilon 1\nfeatures 1 x\narms 1\n",
+      "banditserver-state v4\n"
+      "shards 1 sharding feature-hash seed 1 threads 0 explore 1 sync_every 0 "
+      "sync_mode inline policy warp-drive observe_batches 0 rr_counter 0\n",
   };
   for (std::size_t i = 0; i < hostile.size(); ++i) {
     if (hostile[i].rfind("banditserver", 0) == 0) {

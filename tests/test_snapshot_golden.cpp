@@ -99,6 +99,57 @@ TEST(SnapshotGolden, V2ServerFixtureMigratesToPinnedV3Bytes) {
   EXPECT_EQ(serve::BanditServer::load_state(migrated).save_state(), migrated);
 }
 
+TEST(SnapshotGolden, V3LinUcbFixtureRoundTripsByteIdentical) {
+  // Policy-axis format: LinUCB (alpha 1.5) over the NDP catalog, trained on
+  // a short deterministic stream. The `policy` line is the only addition
+  // over the v2 body; the bytes are pinned so the policy token and its
+  // scalar can never drift silently.
+  const std::string fixture = read_file(data_path("state_v3_linucb.bw"));
+  ASSERT_FALSE(fixture.empty());
+  ASSERT_EQ(fixture.rfind("banditware-state v3\npolicy linucb alpha 1.5\n", 0), 0u);
+  const BanditWare bandit = BanditWare::load_state(fixture);
+  EXPECT_EQ(bandit.save_state(), fixture);
+  EXPECT_EQ(bandit.policy_kind(), PolicyKind::kLinUcb);
+  EXPECT_DOUBLE_EQ(bandit.config().alpha, 1.5);
+  EXPECT_EQ(bandit.num_observations(), 9u);
+}
+
+TEST(SnapshotGolden, V4ThompsonServerFixtureRoundTripsByteIdentical) {
+  // `banditserver-state v4`: 2 round-robin shards, sync_every=2, Thompson
+  // (v=1.25); the auto-sync at batch 2 fused 8 observations into the
+  // baseline and batch 3 left per-shard deltas — so the policy axis is
+  // pinned together with a real sync baseline, not a fresh engine.
+  const std::string fixture = read_file(data_path("server_state_v4_thompson.bw"));
+  ASSERT_FALSE(fixture.empty());
+  ASSERT_EQ(fixture.rfind("banditserver-state v4\n", 0), 0u);
+  serve::BanditServer server = serve::BanditServer::load_state(fixture);
+  EXPECT_EQ(server.config().bandit.policy_kind, PolicyKind::kThompson);
+  EXPECT_DOUBLE_EQ(server.config().bandit.posterior_scale, 1.25);
+  EXPECT_EQ(server.num_shards(), 2u);
+  EXPECT_EQ(server.num_observations(), 12u);
+  EXPECT_EQ(server.save_state(), fixture);
+  // A sync on the restored engine must not double-count the fused baseline.
+  server.sync_shards();
+  EXPECT_EQ(server.num_observations(), 12u);
+}
+
+TEST(SnapshotGolden, LegacyFixturesRestoreAsEpsilonGreedyByteForByte) {
+  // The pre-policy-axis formats carry no policy token; they must restore as
+  // ε-greedy and re-save to exactly their own bytes — the v2 (banditware)
+  // and v3 (banditserver) encodings ARE the ε-greedy encodings, so the
+  // legacy->current "migration" is pinned as the identity.
+  const std::string bandit_fixture = read_file(data_path("state_v2_stats.bw"));
+  const BanditWare bandit = BanditWare::load_state(bandit_fixture);
+  EXPECT_EQ(bandit.policy_kind(), PolicyKind::kEpsilonGreedy);
+  EXPECT_EQ(bandit.save_state(), bandit_fixture);
+
+  const std::string server_fixture = read_file(data_path("server_state_v2_migrated.bw"));
+  ASSERT_EQ(server_fixture.rfind("banditserver-state v3\n", 0), 0u);
+  serve::BanditServer server = serve::BanditServer::load_state(server_fixture);
+  EXPECT_EQ(server.config().bandit.policy_kind, PolicyKind::kEpsilonGreedy);
+  EXPECT_EQ(server.save_state(), server_fixture);
+}
+
 TEST(SnapshotGolden, MigratedServerBaselineKeepsSyncExact) {
   // The restored baseline must thread through the merge algebra: syncing
   // the restored server must not double-count the 12 shared observations.

@@ -203,12 +203,13 @@ int cmd_inspect(int argc, char** argv) {
   const BanditWare bandit = load_state_file(cli.get("state"));
   std::printf("features:");
   for (const auto& name : bandit.feature_names()) std::printf(" %s", name.c_str());
-  std::printf("\nepsilon: %.4f\nobservations: %zu\n", bandit.epsilon(),
+  std::printf("\npolicy: %s\nepsilon: %.4f\nobservations: %zu\n",
+              bw::core::to_string(bandit.policy_kind()).c_str(), bandit.epsilon(),
               bandit.num_observations());
   bw::Table table({"hardware", "spec", "observations", "learned model"});
   for (std::size_t arm = 0; arm < bandit.num_arms(); ++arm) {
     const auto& spec = bandit.catalog()[arm];
-    const auto& model = bandit.policy().arm_model(arm);
+    const auto& model = bandit.arm_model(arm);
     table.add_row({spec.name, spec.to_string(), std::to_string(model.count()),
                    model.model().to_string()});
   }
@@ -232,10 +233,15 @@ int cmd_serve(int argc, char** argv) {
   cli.add_flag("sync-mode", "inline",
                "inline (stop-the-world fusion) | async (background fuser, "
                "observes never block on fusion math)");
+  cli.add_flag("policy", "epsilon-greedy",
+               "learning policy: epsilon-greedy | linucb | thompson");
+  cli.add_flag("alpha", "1.0", "linucb confidence width (policy=linucb)");
+  cli.add_flag("posterior-scale", "1.0",
+               "thompson sampling scale v (policy=thompson)");
   cli.add_flag("tolerance-seconds", "0", "tolerance_seconds of Algorithm 1");
   cli.add_flag("tolerance-ratio", "0", "tolerance_ratio of Algorithm 1");
-  cli.add_flag("epsilon0", "1.0", "initial exploration rate");
-  cli.add_flag("decay", "0.99", "epsilon decay factor");
+  cli.add_flag("epsilon0", "1.0", "initial exploration rate (policy=epsilon-greedy)");
+  cli.add_flag("decay", "0.99", "epsilon decay factor (policy=epsilon-greedy)");
   cli.add_flag("seed", "42", "replay + exploration seed");
   cli.add_flag("state", "", "optional output file for the engine snapshot");
   if (!cli.parse(argc, argv)) return 0;
@@ -273,6 +279,9 @@ int cmd_serve(int argc, char** argv) {
   config.sync_every = static_cast<std::size_t>(sync_every);
   config.sync_mode = bw::serve::parse_sync_mode(cli.get("sync-mode"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.bandit.policy_kind = bw::core::parse_policy_kind(cli.get("policy"));
+  config.bandit.alpha = cli.get_double("alpha");
+  config.bandit.posterior_scale = cli.get_double("posterior-scale");
   config.bandit.policy.initial_epsilon = cli.get_double("epsilon0");
   config.bandit.policy.decay = cli.get_double("decay");
   config.bandit.policy.tolerance.seconds = cli.get_double("tolerance-seconds");
@@ -291,6 +300,7 @@ int cmd_serve(int argc, char** argv) {
   bw::Table report({"metric", "value"});
   report.add_row({"shards", std::to_string(server.num_shards())});
   report.add_row({"sharding", bw::serve::to_string(config.sharding)});
+  report.add_row({"policy", bw::core::to_string(config.bandit.policy_kind)});
   if (config.sync_every > 0) {
     report.add_row({"shard syncs", std::to_string(server.sync_count()) + " (every " +
                                        std::to_string(config.sync_every) + " batches, " +
