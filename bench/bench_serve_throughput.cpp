@@ -57,15 +57,37 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "hardware/catalog.hpp"
+#include "io/state_io.hpp"
 #include "serve/bandit_server.hpp"
 
 namespace {
 
 constexpr std::size_t kNumFeatures = 7;
+
+/// --state-out: when set, every cell snapshots its trained engine through
+/// the io layer (last cell wins) — the bench doubles as a generator of
+/// realistic serve-scale state files.
+struct SnapshotChoice {
+  std::string path;
+  bw::io::Format format = bw::io::Format::kAuto;
+};
+SnapshotChoice g_snapshot;
+
+void maybe_snapshot(const bw::serve::BanditServer& server) {
+  if (g_snapshot.path.empty()) return;
+  std::ofstream out(g_snapshot.path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", g_snapshot.path.c_str());
+    return;
+  }
+  bw::io::save_state(out, server, g_snapshot.format);
+}
 
 /// Policy under test (--policy / --alpha / --posterior-scale), applied to
 /// every cell so baselines and gated cells always compare like for like.
@@ -150,6 +172,7 @@ CellResult run_train_cell(std::size_t shards, std::size_t batch,
     served += n;
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;
+  maybe_snapshot(server);
 
   CellResult result;
   result.shards = shards;
@@ -202,6 +225,7 @@ CellResult run_sync_cell(std::size_t shards, std::size_t batch, std::size_t deci
     served += n;
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;
+  maybe_snapshot(server);
 
   CellResult result;
   result.shards = shards;
@@ -273,6 +297,7 @@ CellResult run_async_sync_cell(std::size_t shards, std::size_t batch,
   }
   server.drain_sync();  // settle the fuser before the cell ends
   const auto elapsed = std::chrono::steady_clock::now() - start;
+  maybe_snapshot(server);
 
   std::sort(observe_us.begin(), observe_us.end());
   CellResult result;
@@ -356,6 +381,7 @@ CellResult run_read_heavy_cell(std::size_t shards, std::size_t batch,
   for (std::size_t c = 0; c < clients; ++c) threads.emplace_back(client_loop, c);
   for (auto& thread : threads) thread.join();
   const auto elapsed = std::chrono::steady_clock::now() - start;
+  maybe_snapshot(server);
 
   CellResult result;
   result.shards = shards;
@@ -441,6 +467,10 @@ int run(int argc, char** argv) {
                "fail if the async cell's observe p99 exceeds this x the "
                "sync-off baseline (async-sync workload; 0 = report only)");
   cli.add_flag("json", "BENCH_serve_throughput.json", "machine-readable output path");
+  cli.add_flag("state-out", "",
+               "optional engine snapshot written through the io layer "
+               "(last cell wins)");
+  cli.add_flag("format", "auto", "snapshot format: auto | text | binary");
   if (!cli.parse(argc, argv)) return 0;
 
   if (cli.get_int("decisions") <= 0 || cli.get_int("clients") <= 0) {
@@ -453,6 +483,8 @@ int run(int argc, char** argv) {
   }
   const auto decisions = static_cast<std::size_t>(cli.get_int("decisions"));
   g_policy.kind = bw::core::parse_policy_kind(cli.get("policy"));
+  g_snapshot.path = cli.get("state-out");
+  g_snapshot.format = bw::io::parse_format(cli.get("format"));
   g_policy.alpha = cli.get_double("alpha");
   g_policy.posterior_scale = cli.get_double("posterior-scale");
   const auto shard_counts = bw::parse_size_list(cli.get("shards"));

@@ -14,6 +14,7 @@
 //       [--policy=epsilon-greedy|linucb|thompson] [--alpha=1] [--posterior-scale=1]
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "hardware/catalog.hpp"
+#include "io/state_io.hpp"
 #include "serve/bandit_server.hpp"
 
 namespace {
@@ -51,6 +53,8 @@ int main(int argc, char** argv) {
                "thompson sampling scale v (policy=thompson)");
   cli.add_flag("arrival-seconds", "600", "mean inter-wave time");
   cli.add_flag("seed", "23", "random seed");
+  cli.add_flag("state-out", "", "optional engine snapshot (io layer, any format)");
+  cli.add_flag("format", "auto", "snapshot format: auto | text | binary");
   if (!cli.parse(argc, argv)) return 0;
   if (cli.get_int("sync-every") < 0) {
     std::fprintf(stderr, "--sync-every must be >= 0\n");
@@ -172,6 +176,17 @@ int main(int argc, char** argv) {
     }
     std::printf("  %3zu tasks -> fastest predicted arm %zu (%.1f s)\n", num_tasks, best,
                 predictions[best]);
+  }
+
+  if (!cli.get("state-out").empty()) {
+    const std::string path = cli.get("state-out");
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 2;
+    }
+    bw::io::save_state(out, server, bw::io::parse_format(cli.get("format")));
+    std::printf("\nengine snapshot saved to %s\n", path.c_str());
   }
   return 0;
 }

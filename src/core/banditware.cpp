@@ -1,96 +1,11 @@
 #include "core/banditware.hpp"
 
-#include <cmath>
-#include <iomanip>
-#include <limits>
 #include <sstream>
-#include <unordered_set>
 
 #include "common/error.hpp"
+#include "io/state_io.hpp"
 
 namespace bw::core {
-
-namespace {
-
-[[noreturn]] void fail(const std::string& what) {
-  throw ParseError("BanditWare::load_state: " + what);
-}
-
-/// Arms are bounded by what a serialized catalog can sanely hold; a
-/// mis-parsed (negative / overflowed) count must not turn into a
-/// multi-gigabyte replay allocation.
-constexpr long long kMaxObservationsPerArm = 100'000'000;
-
-/// Header counts are bounded the same way: a corrupted "features N" or
-/// "arms N" line must fail cleanly, not drive a resize() into bad_alloc
-/// (each feature later sizes a (d+1)x(d+1) matrix per arm). Real catalogs
-/// hold a handful of arms over a handful of features; these caps are
-/// orders of magnitude above any sane snapshot.
-constexpr std::size_t kMaxFeatures = 512;
-constexpr std::size_t kMaxArms = 4096;
-
-/// Reads a per-arm observation count defensively: the stream extracts a
-/// signed value so "-3" is caught as negative instead of wrapping to a
-/// huge unsigned count, and overflow sets failbit.
-std::size_t read_obs_count(std::istream& is) {
-  long long obs = 0;
-  is >> obs;
-  if (!is) fail("malformed obs count");
-  if (obs < 0) fail("negative obs count");
-  if (obs > kMaxObservationsPerArm) fail("obs count exceeds limit");
-  return static_cast<std::size_t>(obs);
-}
-
-void check_unique_arm_name(std::unordered_set<std::string>& seen,
-                           const std::string& name) {
-  if (!seen.insert(name).second) fail("duplicate arm name: " + name);
-}
-
-struct SnapshotHeader {
-  BanditWareConfig config;
-  double epsilon = 1.0;
-  std::vector<std::string> feature_names;
-  std::size_t num_arms = 0;
-};
-
-/// Parses the config / epsilon / features / arms preamble shared by v1, v2,
-/// and v3 (v2+ additionally carries the exact_history flag on the config
-/// line; the v3 policy line is read by the caller before this preamble).
-SnapshotHeader read_header(std::istream& is, int version) {
-  SnapshotHeader header;
-  std::string token;
-  is >> token;
-  if (token != "epsilon0") fail("expected epsilon0");
-  is >> header.config.policy.initial_epsilon;
-  is >> token >> header.config.policy.decay;
-  is >> token >> header.config.policy.tolerance.ratio;
-  is >> token >> header.config.policy.tolerance.seconds;
-  if (version >= 2) {
-    int exact = 0;
-    is >> token >> exact;
-    if (token != "exact_history") fail("expected exact_history");
-    header.config.policy.exact_history = exact != 0;
-  }
-  is >> token;
-  if (token != "epsilon") fail("expected epsilon");
-  is >> header.epsilon;
-
-  std::size_t num_features = 0;
-  is >> token >> num_features;
-  // Check the stream BEFORE acting on the count: an overflowed extraction
-  // leaves a garbage value that must not reach resize().
-  if (!is || token != "features" || num_features == 0) fail("expected features");
-  if (num_features > kMaxFeatures) fail("feature count exceeds limit");
-  header.feature_names.resize(num_features);
-  for (auto& name : header.feature_names) is >> name;
-
-  is >> token >> header.num_arms;
-  if (!is || token != "arms" || header.num_arms == 0) fail("expected arms");
-  if (header.num_arms > kMaxArms) fail("arm count exceeds limit");
-  return header;
-}
-
-}  // namespace
 
 BanditWare::ProductionPolicy BanditWare::make_policy(const hw::HardwareCatalog& catalog,
                                                      std::size_t num_features,
@@ -333,235 +248,18 @@ std::size_t BanditWare::num_observations() const {
 }
 
 std::string BanditWare::save_state() const {
-  // Sufficient statistics per arm. Incremental arms serialize (theta, P, n)
-  // — O(arms * d^2) regardless of history length — while exact_history arms
-  // still carry their raw observation rows (the batch backend *is* its
-  // history). ε-greedy instances write the pre-policy-axis v2 format
-  // byte-for-byte (existing snapshots and golden fixtures stay stable);
-  // LinUCB/Thompson write v3, which only adds the `policy` line below.
-  // load_state below reads v3, v2, and v1.
-  // The serialized flag is the arms' *effective* backend (every arm shares
-  // it): a fit with intercept=false forces the batch backend even when
-  // exact_history was not requested, and the reader checks record kinds
-  // against this flag.
-  const bool eps_kind = config_.policy_kind == PolicyKind::kEpsilonGreedy;
-  const bool effective_exact_history = banked().arm_model(0).exact_history();
+  // Thin wrapper over the io layer (src/io/), which owns every snapshot
+  // codec. Text is the default format; see io::save_state for binary.
   std::ostringstream os;
-  os << std::setprecision(17);
-  os << (eps_kind ? "banditware-state v2\n" : "banditware-state v3\n");
-  if (!eps_kind) {
-    os << "policy " << to_string(config_.policy_kind);
-    if (config_.policy_kind == PolicyKind::kLinUcb) {
-      os << " alpha " << config_.alpha;
-    } else {
-      os << " posterior_scale " << config_.posterior_scale;
-    }
-    os << "\n";
-  }
-  // Non-ε policies carry no decaying exploration rate; the schedule fields
-  // round-trip the config so the shared header stays one format.
-  const double epsilon_line =
-      eps_kind ? epsilon() : config_.policy.initial_epsilon;
-  os << "epsilon0 " << config_.policy.initial_epsilon << " decay " << config_.policy.decay
-     << " tol_ratio " << config_.policy.tolerance.ratio << " tol_seconds "
-     << config_.policy.tolerance.seconds << " exact_history "
-     << (effective_exact_history ? 1 : 0) << "\n";
-  os << "epsilon " << epsilon_line << "\n";
-  os << "features " << feature_names_.size();
-  for (const auto& name : feature_names_) os << ' ' << name;
-  os << "\n";
-  os << "arms " << catalog_.size() << "\n";
-  for (ArmIndex arm = 0; arm < catalog_.size(); ++arm) {
-    const auto& spec = catalog_[arm];
-    const auto& model = banked().arm_model(arm);
-    os << "arm " << spec.name << ' ' << spec.cpus << ' ' << spec.memory_gb << ' '
-       << spec.gpus;
-    if (model.exact_history()) {
-      os << " obs " << model.count() << "\n";
-      for (std::size_t i = 0; i < model.count(); ++i) {
-        for (double v : model.observed_features()[i]) os << v << ' ';
-        os << model.observed_runtimes()[i] << "\n";
-      }
-    } else {
-      const auto& rls = model.rls();
-      os << " stats " << model.count() << "\n";
-      os << "theta";
-      for (double v : rls.theta()) os << ' ' << v;
-      os << "\n";
-      const auto& p = rls.precision_inverse();
-      for (std::size_t r = 0; r < p.rows(); ++r) {
-        os << "P";
-        for (std::size_t c = 0; c < p.cols(); ++c) os << ' ' << p(r, c);
-        os << "\n";
-      }
-    }
-  }
-  // Explicit trailer: a truncated numeric tail would still parse as a
-  // (wrong) shorter number, so the reader verifies this sentinel instead.
-  os << "end\n";
+  io::save_state(os, *this, io::Format::kText);
   return os.str();
 }
 
 BanditWare BanditWare::load_state(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
-  if (!std::getline(is, line)) fail("bad header");
-  if (line == "banditware-state v3") return load_state_v2(is, 3);
-  if (line == "banditware-state v2") return load_state_v2(is, 2);
-  if (line == "banditware-state v1") return load_state_v1(is);
-  fail("bad header");
-}
-
-BanditWare BanditWare::load_state_v1(std::istream& is) {
-  // Legacy format: raw observation rows per arm, rebuilt by replaying every
-  // observation through the policy. With the incremental backend the replay
-  // is O(n d^2) total (it was O(n^2 d^2) when each observe refit the batch).
-  const SnapshotHeader header = read_header(is, 1);
-  std::string token;
-
-  struct ArmData {
-    std::vector<FeatureVector> xs;
-    std::vector<double> ys;
-  };
-  std::vector<ArmData> arms(header.num_arms);
-  hw::HardwareCatalog catalog;
-  std::unordered_set<std::string> seen_names;
-  for (auto& arm : arms) {
-    hw::HardwareSpec spec;
-    is >> token;
-    if (token != "arm") fail("expected arm record");
-    is >> spec.name >> spec.cpus >> spec.memory_gb >> token;
-    if (token != "obs") fail("expected obs count");
-    const std::size_t obs = read_obs_count(is);
-    if (!is) fail("truncated arm header");
-    check_unique_arm_name(seen_names, spec.name);
-    catalog.add(spec);
-    for (std::size_t i = 0; i < obs; ++i) {
-      FeatureVector x(header.feature_names.size());
-      double y = 0.0;
-      for (double& v : x) is >> v;
-      is >> y;
-      if (!is) fail("truncated observation");
-      arm.xs.push_back(std::move(x));
-      arm.ys.push_back(y);
-    }
-  }
-
-  BanditWare restored(std::move(catalog), header.feature_names, header.config);
-  for (ArmIndex arm = 0; arm < restored.num_arms(); ++arm) {
-    for (std::size_t i = 0; i < arms[arm].xs.size(); ++i) {
-      restored.banked().observe(arm, arms[arm].xs[i], arms[arm].ys[i]);
-    }
-  }
-  // observe() decayed ε during the replay above; the snapshot value is
-  // authoritative (the original run may have interleaved other decays).
-  restored.eps_greedy()->set_epsilon(header.epsilon);
-  return restored;
-}
-
-BanditWare BanditWare::load_state_v2(std::istream& is, int version) {
-  std::string token;
-  PolicyKind kind = PolicyKind::kEpsilonGreedy;
-  double alpha = 1.0;
-  double posterior_scale = 1.0;
-  if (version >= 3) {
-    is >> token;
-    if (!is || token != "policy") fail("expected policy");
-    std::string kind_name;
-    is >> kind_name;
-    if (!is) fail("truncated policy line");
-    try {
-      kind = parse_policy_kind(kind_name);
-    } catch (const InvalidArgument& error) {
-      fail(error.what());
-    }
-    // Scalar ranges are validated here, not left to the policy
-    // constructors: a corrupted snapshot must surface as the documented
-    // ParseError, never as the constructors' InvalidArgument.
-    if (kind == PolicyKind::kLinUcb) {
-      is >> token >> alpha;
-      if (!is || token != "alpha") fail("expected alpha");
-      if (!std::isfinite(alpha) || alpha < 0.0) fail("alpha out of range");
-    } else if (kind == PolicyKind::kThompson) {
-      is >> token >> posterior_scale;
-      if (!is || token != "posterior_scale") fail("expected posterior_scale");
-      if (!std::isfinite(posterior_scale) || posterior_scale <= 0.0) {
-        fail("posterior_scale out of range");
-      }
-    }
-  }
-  SnapshotHeader header = read_header(is, version);
-  header.config.policy_kind = kind;
-  header.config.alpha = alpha;
-  header.config.posterior_scale = posterior_scale;
-  const std::size_t dim = header.feature_names.size();
-  const std::size_t dim_aug = dim + 1;
-
-  struct ArmState {
-    bool exact = false;
-    std::size_t n = 0;
-    linalg::Vector theta;          // stats record
-    linalg::Matrix p;              // stats record
-    std::vector<FeatureVector> xs; // obs record
-    std::vector<double> ys;
-  };
-  std::vector<ArmState> arms(header.num_arms);
-  hw::HardwareCatalog catalog;
-  std::unordered_set<std::string> seen_names;
-  for (auto& arm : arms) {
-    hw::HardwareSpec spec;
-    is >> token;
-    if (token != "arm") fail("expected arm record");
-    is >> spec.name >> spec.cpus >> spec.memory_gb >> spec.gpus >> token;
-    if (token != "obs" && token != "stats") fail("expected obs or stats count");
-    arm.exact = token == "obs";
-    if (arm.exact != header.config.policy.exact_history) {
-      fail("arm record kind contradicts exact_history flag");
-    }
-    arm.n = read_obs_count(is);
-    if (!is) fail("truncated arm header");
-    check_unique_arm_name(seen_names, spec.name);
-    catalog.add(spec);
-    if (arm.exact) {
-      for (std::size_t i = 0; i < arm.n; ++i) {
-        FeatureVector x(dim);
-        double y = 0.0;
-        for (double& v : x) is >> v;
-        is >> y;
-        if (!is) fail("truncated observation");
-        arm.xs.push_back(std::move(x));
-        arm.ys.push_back(y);
-      }
-    } else {
-      is >> token;
-      if (token != "theta") fail("expected theta");
-      arm.theta.resize(dim_aug);
-      for (double& v : arm.theta) is >> v;
-      arm.p = linalg::Matrix(dim_aug, dim_aug);
-      for (std::size_t r = 0; r < dim_aug; ++r) {
-        is >> token;
-        if (token != "P") fail("expected P row");
-        for (std::size_t c = 0; c < dim_aug; ++c) is >> arm.p(r, c);
-      }
-      if (!is) fail("truncated sufficient statistics");
-    }
-  }
-  is >> token;
-  if (token != "end") fail("truncated state (missing end trailer)");
-
-  BanditWare restored(std::move(catalog), header.feature_names, header.config);
-  for (ArmIndex arm = 0; arm < restored.num_arms(); ++arm) {
-    ArmState& state = arms[arm];
-    if (state.exact) {
-      for (std::size_t i = 0; i < state.xs.size(); ++i) {
-        restored.banked().observe(arm, state.xs[i], state.ys[i]);
-      }
-    } else {
-      restored.banked().arm_model(arm).restore_stats(state.p, state.theta, state.n);
-    }
-  }
-  if (auto* eps = restored.eps_greedy()) eps->set_epsilon(header.epsilon);
-  return restored;
+  // Thin wrapper over io::load_state, which auto-detects text v1-v3 and
+  // the binary container from the leading bytes.
+  std::istringstream is(text, std::ios::binary);
+  return io::load_state(is);
 }
 
 }  // namespace bw::core

@@ -31,6 +31,10 @@
 #include "core/thompson.hpp"
 #include "hardware/catalog.hpp"
 
+namespace bw::io {
+struct StateAccess;  // src/io/: the snapshot codecs' window into internals
+}
+
 namespace bw::core {
 
 struct BanditWareConfig {
@@ -159,12 +163,17 @@ class BanditWare {
   /// and golden fixtures stay stable — while LinUCB/Thompson instances
   /// write the `v3` superset, which adds one `policy` line carrying the
   /// kind token and its scalar.
+  ///
+  /// Back-compat convenience over the io layer: equivalent to
+  /// `io::save_state(os, *this, io::Format::kText)`. The binary format
+  /// (and format auto-detection) lives in src/io/state_io.hpp.
   std::string save_state() const;
 
-  /// Rebuilds an instance from save_state() output. Reads v3 (policy
-  /// token), v2, and legacy v1 snapshots (raw observation rows, restored by
-  /// replay); v1/v2 always load as ε-greedy. Throws ParseError on
-  /// malformed input.
+  /// Rebuilds an instance from a serialized snapshot, any format: text v3
+  /// (policy token), v2, legacy v1 (raw observation rows, restored by
+  /// replay; v1/v2 always load as ε-greedy), or the binary container —
+  /// a thin wrapper over `io::load_state`, which auto-detects from the
+  /// leading bytes. Throws ParseError on malformed input.
   static BanditWare load_state(const std::string& text);
 
  private:
@@ -178,13 +187,14 @@ class BanditWare {
                                       std::size_t num_features,
                                       const BanditWareConfig& config);
 
+  // The io-layer codecs (src/io/) restore stats and replay histories
+  // through the policy bank; nothing else sees it.
+  friend struct bw::io::StateAccess;
+
   BankedPolicy& banked();
   const BankedPolicy& banked() const;
   DecayingEpsilonGreedy* eps_greedy();
   const DecayingEpsilonGreedy* eps_greedy() const;
-
-  static BanditWare load_state_v1(std::istream& is);
-  static BanditWare load_state_v2(std::istream& is, int version);
 
   hw::HardwareCatalog catalog_;
   std::vector<std::string> feature_names_;

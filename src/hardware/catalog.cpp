@@ -14,8 +14,9 @@ HardwareCatalog::HardwareCatalog(std::vector<HardwareSpec> specs) {
 
 std::size_t HardwareCatalog::add(HardwareSpec spec) {
   BW_CHECK_MSG(!spec.name.empty(), "hardware spec needs a name");
-  BW_CHECK_MSG(!index_of(spec.name).has_value(), "duplicate hardware name: " + spec.name);
   BW_CHECK_MSG(spec.cpus > 0 && spec.memory_gb > 0, "hardware resources must be positive");
+  const auto [it, inserted] = index_.emplace(spec.name, specs_.size());
+  BW_CHECK_MSG(inserted, "duplicate hardware name: " + spec.name);
   specs_.push_back(std::move(spec));
   return specs_.size() - 1;
 }
@@ -26,10 +27,9 @@ const HardwareSpec& HardwareCatalog::operator[](std::size_t arm) const {
 }
 
 std::optional<std::size_t> HardwareCatalog::index_of(const std::string& name) const {
-  for (std::size_t i = 0; i < specs_.size(); ++i) {
-    if (specs_[i].name == name) return i;
-  }
-  return std::nullopt;
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<double> HardwareCatalog::resource_costs(const ResourceWeights& weights) const {

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hardware/spec.hpp"
@@ -37,6 +38,9 @@ class HardwareCatalog {
 
  private:
   std::vector<HardwareSpec> specs_;
+  /// name -> arm index. Keeps add() O(1): snapshot loaders rebuild
+  /// thousand-arm catalogs, where a scan-per-add dup check is quadratic.
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 /// NDP hardware used in paper Experiments 2 (Section 4):

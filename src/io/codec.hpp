@@ -1,0 +1,34 @@
+#pragma once
+// Internal to src/io/: the per-format codec entry points state_io.cpp
+// dispatches between. Text readers are handed the stream positioned AFTER
+// the header line (the dispatcher consumed it to identify the version);
+// binary readers take the stream from the start (the container magic is
+// part of the packet framing).
+
+#include <istream>
+#include <string>
+
+#include "io/state_io.hpp"
+
+namespace bw::core {
+class BanditWare;
+}
+namespace bw::serve {
+class BanditServer;
+}
+
+namespace bw::io::detail {
+
+// ---- text (the historical formats, moved verbatim from core/serve) -----
+std::string bandit_state_text(const core::BanditWare& bandit);
+std::string server_state_text(const serve::BanditServer& server);
+core::BanditWare load_bandit_text(std::istream& is, int version);
+serve::BanditServer load_server_text(std::istream& is, int version);
+
+// ---- binary (packet container; see docs/FORMATS.md) --------------------
+std::string bandit_state_binary(const core::BanditWare& bandit);
+void save_server_binary(std::ostream& os, const serve::BanditServer& server);
+core::BanditWare load_bandit_binary(std::istream& is, LoadInfo* info);
+serve::BanditServer load_server_binary(std::istream& is, LoadInfo* info);
+
+}  // namespace bw::io::detail

@@ -1,0 +1,105 @@
+#pragma once
+// Binary run-table format (.bwt): the replay dataset as packet-framed
+// blocks of raw little-endian doubles — the streaming ingest path that
+// replaces per-row CSV parsing for `banditware_cli serve`/replay (an order
+// of magnitude faster at million-row sizes; bench/bench_state_io.cpp).
+//
+// Container payload kind 3 (see docs/FORMATS.md):
+//   0x20 header     feature names + hardware catalog
+//   0x21 row block  up to 4096 rows of [features..., runtimes...]
+//   0x7F end        total row count
+//
+// Same truncation contract as the state formats: a torn file yields every
+// row up to the last complete (checksummed) block; converters are
+// csv2bw / bw2csv (tools/).
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/run_table.hpp"
+#include "hardware/catalog.hpp"
+#include "io/container.hpp"
+#include "io/state_io.hpp"
+
+namespace bw::io {
+
+/// Streaming writer: header up front, rows appended in blocks, end
+/// sentinel on finish(). Total row count need not be known in advance.
+class RunTableWriter {
+ public:
+  RunTableWriter(std::ostream& os, std::vector<std::string> feature_names,
+                 hw::HardwareCatalog catalog);
+
+  /// `features` must have num_features values, `runtimes` one per arm.
+  void append(std::span<const double> features, std::span<const double> runtimes);
+
+  /// Flushes the partial block and writes the end sentinel. Must be called
+  /// exactly once; append() after finish() throws.
+  void finish();
+
+  std::size_t num_features() const { return num_features_; }
+  std::size_t num_arms() const { return num_arms_; }
+
+ private:
+  void flush_block();
+
+  std::ostream& os_;
+  std::size_t num_features_;
+  std::size_t num_arms_;
+  std::string block_;
+  std::uint32_t block_rows_ = 0;
+  std::uint64_t total_rows_ = 0;
+  bool finished_ = false;
+};
+
+/// Streaming reader: header on construction, then one row per next_row()
+/// call — no whole-file buffering, rows decode straight out of each
+/// checksummed block. next_row() returns false at the end of data; check
+/// truncated() to distinguish a clean end from a torn file.
+class RunTableReader {
+ public:
+  /// Reads the container magic and header packet. Throws ParseError when
+  /// the stream is not a run-table container or the header is missing.
+  explicit RunTableReader(std::istream& is);
+
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+  const hw::HardwareCatalog& catalog() const { return catalog_; }
+  std::size_t num_features() const { return feature_names_.size(); }
+  std::size_t num_arms() const { return catalog_.size(); }
+
+  /// Decodes the next row into `features` (num_features values) and
+  /// `runtimes` (num_arms values); both are resized. False = no more rows.
+  bool next_row(std::vector<double>& features, std::vector<double>& runtimes);
+
+  std::uint64_t rows_read() const { return rows_read_; }
+  /// True when the stream ended at a torn/corrupted packet or without the
+  /// end sentinel (meaningful once next_row() returned false).
+  bool truncated() const { return truncated_ || !saw_end_; }
+
+ private:
+  bool next_block();
+
+  PacketReader reader_;
+  std::vector<std::string> feature_names_;
+  hw::HardwareCatalog catalog_;
+  std::string block_;
+  std::size_t block_pos_ = 0;
+  std::uint32_t block_rows_left_ = 0;
+  std::uint64_t rows_read_ = 0;
+  bool saw_end_ = false;
+  bool truncated_ = false;
+  bool done_ = false;
+};
+
+/// Writes a whole RunTable as one container.
+void write_run_table(std::ostream& os, const core::RunTable& table);
+
+/// Reads a whole container into a RunTable (validated: finite values, at
+/// least one row). A truncated stream loads every complete row block and
+/// sets info->truncated; zero complete rows is a ParseError.
+core::RunTable read_run_table(std::istream& is, LoadInfo* info = nullptr);
+
+}  // namespace bw::io

@@ -1,0 +1,496 @@
+// The plain-text snapshot codecs — `banditware-state v1..v3` and
+// `banditserver-state v1..v4` — moved here from core/banditware.cpp and
+// serve/bandit_server.cpp so that no version-specific parser lives outside
+// src/io/. The writers are byte-for-byte the historical writers (the
+// golden fixtures in tests/data/ pin this); the readers keep the exact
+// validation order and error messages, with one deliberate change: shard
+// blob reads are bounded by chunked reads instead of rdbuf()->in_avail(),
+// because in_avail() only sees the buffered portion of a file stream and
+// the codec now reads from arbitrary istreams, not just istringstreams.
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "io/codec.hpp"
+#include "io/state_access.hpp"
+
+namespace bw::io::detail {
+namespace {
+
+using core::ArmIndex;
+using core::BanditWare;
+using core::FeatureVector;
+using core::PolicyKind;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ParseError("BanditWare::load_state: " + what);
+}
+
+/// Arms are bounded by what a serialized catalog can sanely hold; a
+/// mis-parsed (negative / overflowed) count must not turn into a
+/// multi-gigabyte replay allocation.
+constexpr long long kMaxObservationsPerArm = 100'000'000;
+
+/// Header counts are bounded the same way: a corrupted "features N" or
+/// "arms N" line must fail cleanly, not drive a resize() into bad_alloc
+/// (each feature later sizes a (d+1)x(d+1) matrix per arm). Real catalogs
+/// hold a handful of arms over a handful of features; these caps are
+/// orders of magnitude above any sane snapshot.
+constexpr std::size_t kMaxFeatures = 512;
+constexpr std::size_t kMaxArms = 4096;
+constexpr std::size_t kMaxShards = 4096;
+
+/// Reads a per-arm observation count defensively: the stream extracts a
+/// signed value so "-3" is caught as negative instead of wrapping to a
+/// huge unsigned count, and overflow sets failbit.
+std::size_t read_obs_count(std::istream& is) {
+  long long obs = 0;
+  is >> obs;
+  if (!is) fail("malformed obs count");
+  if (obs < 0) fail("negative obs count");
+  if (obs > kMaxObservationsPerArm) fail("obs count exceeds limit");
+  return static_cast<std::size_t>(obs);
+}
+
+void check_unique_arm_name(std::unordered_set<std::string>& seen,
+                           const std::string& name) {
+  if (!seen.insert(name).second) fail("duplicate arm name: " + name);
+}
+
+struct SnapshotHeader {
+  core::BanditWareConfig config;
+  double epsilon = 1.0;
+  std::vector<std::string> feature_names;
+  std::size_t num_arms = 0;
+};
+
+/// Parses the config / epsilon / features / arms preamble shared by v1, v2,
+/// and v3 (v2+ additionally carries the exact_history flag on the config
+/// line; the v3 policy line is read by the caller before this preamble).
+SnapshotHeader read_header(std::istream& is, int version) {
+  SnapshotHeader header;
+  std::string token;
+  is >> token;
+  if (token != "epsilon0") fail("expected epsilon0");
+  is >> header.config.policy.initial_epsilon;
+  is >> token >> header.config.policy.decay;
+  is >> token >> header.config.policy.tolerance.ratio;
+  is >> token >> header.config.policy.tolerance.seconds;
+  if (version >= 2) {
+    int exact = 0;
+    is >> token >> exact;
+    if (token != "exact_history") fail("expected exact_history");
+    header.config.policy.exact_history = exact != 0;
+  }
+  is >> token;
+  if (token != "epsilon") fail("expected epsilon");
+  is >> header.epsilon;
+
+  std::size_t num_features = 0;
+  is >> token >> num_features;
+  // Check the stream BEFORE acting on the count: an overflowed extraction
+  // leaves a garbage value that must not reach resize().
+  if (!is || token != "features" || num_features == 0) fail("expected features");
+  if (num_features > kMaxFeatures) fail("feature count exceeds limit");
+  header.feature_names.resize(num_features);
+  for (auto& name : header.feature_names) is >> name;
+
+  is >> token >> header.num_arms;
+  if (!is || token != "arms" || header.num_arms == 0) fail("expected arms");
+  if (header.num_arms > kMaxArms) fail("arm count exceeds limit");
+  return header;
+}
+
+BanditWare load_bandit_text_v1(std::istream& is) {
+  // Legacy format: raw observation rows per arm, rebuilt by replaying every
+  // observation through the policy. With the incremental backend the replay
+  // is O(n d^2) total (it was O(n^2 d^2) when each observe refit the batch).
+  const SnapshotHeader header = read_header(is, 1);
+  std::string token;
+
+  struct ArmData {
+    std::vector<FeatureVector> xs;
+    std::vector<double> ys;
+  };
+  std::vector<ArmData> arms(header.num_arms);
+  hw::HardwareCatalog catalog;
+  std::unordered_set<std::string> seen_names;
+  for (auto& arm : arms) {
+    hw::HardwareSpec spec;
+    is >> token;
+    if (token != "arm") fail("expected arm record");
+    is >> spec.name >> spec.cpus >> spec.memory_gb >> token;
+    if (token != "obs") fail("expected obs count");
+    const std::size_t obs = read_obs_count(is);
+    if (!is) fail("truncated arm header");
+    check_unique_arm_name(seen_names, spec.name);
+    catalog.add(spec);
+    for (std::size_t i = 0; i < obs; ++i) {
+      FeatureVector x(header.feature_names.size());
+      double y = 0.0;
+      for (double& v : x) is >> v;
+      is >> y;
+      if (!is) fail("truncated observation");
+      arm.xs.push_back(std::move(x));
+      arm.ys.push_back(y);
+    }
+  }
+
+  BanditWare restored(std::move(catalog), header.feature_names, header.config);
+  for (ArmIndex arm = 0; arm < restored.num_arms(); ++arm) {
+    for (std::size_t i = 0; i < arms[arm].xs.size(); ++i) {
+      StateAccess::banked(restored).observe(arm, arms[arm].xs[i], arms[arm].ys[i]);
+    }
+  }
+  // observe() decayed ε during the replay above; the snapshot value is
+  // authoritative (the original run may have interleaved other decays).
+  StateAccess::eps_greedy(restored)->set_epsilon(header.epsilon);
+  return restored;
+}
+
+BanditWare load_bandit_text_v2(std::istream& is, int version) {
+  std::string token;
+  PolicyKind kind = PolicyKind::kEpsilonGreedy;
+  double alpha = 1.0;
+  double posterior_scale = 1.0;
+  if (version >= 3) {
+    is >> token;
+    if (!is || token != "policy") fail("expected policy");
+    std::string kind_name;
+    is >> kind_name;
+    if (!is) fail("truncated policy line");
+    try {
+      kind = core::parse_policy_kind(kind_name);
+    } catch (const InvalidArgument& error) {
+      fail(error.what());
+    }
+    // Scalar ranges are validated here, not left to the policy
+    // constructors: a corrupted snapshot must surface as the documented
+    // ParseError, never as the constructors' InvalidArgument.
+    if (kind == PolicyKind::kLinUcb) {
+      is >> token >> alpha;
+      if (!is || token != "alpha") fail("expected alpha");
+      if (!std::isfinite(alpha) || alpha < 0.0) fail("alpha out of range");
+    } else if (kind == PolicyKind::kThompson) {
+      is >> token >> posterior_scale;
+      if (!is || token != "posterior_scale") fail("expected posterior_scale");
+      if (!std::isfinite(posterior_scale) || posterior_scale <= 0.0) {
+        fail("posterior_scale out of range");
+      }
+    }
+  }
+  SnapshotHeader header = read_header(is, version);
+  header.config.policy_kind = kind;
+  header.config.alpha = alpha;
+  header.config.posterior_scale = posterior_scale;
+  const std::size_t dim = header.feature_names.size();
+  const std::size_t dim_aug = dim + 1;
+
+  struct ArmState {
+    bool exact = false;
+    std::size_t n = 0;
+    linalg::Vector theta;           // stats record
+    linalg::Matrix p;               // stats record
+    std::vector<FeatureVector> xs;  // obs record
+    std::vector<double> ys;
+  };
+  std::vector<ArmState> arms(header.num_arms);
+  hw::HardwareCatalog catalog;
+  std::unordered_set<std::string> seen_names;
+  for (auto& arm : arms) {
+    hw::HardwareSpec spec;
+    is >> token;
+    if (token != "arm") fail("expected arm record");
+    is >> spec.name >> spec.cpus >> spec.memory_gb >> spec.gpus >> token;
+    if (token != "obs" && token != "stats") fail("expected obs or stats count");
+    arm.exact = token == "obs";
+    if (arm.exact != header.config.policy.exact_history) {
+      fail("arm record kind contradicts exact_history flag");
+    }
+    arm.n = read_obs_count(is);
+    if (!is) fail("truncated arm header");
+    check_unique_arm_name(seen_names, spec.name);
+    catalog.add(spec);
+    if (arm.exact) {
+      for (std::size_t i = 0; i < arm.n; ++i) {
+        FeatureVector x(dim);
+        double y = 0.0;
+        for (double& v : x) is >> v;
+        is >> y;
+        if (!is) fail("truncated observation");
+        arm.xs.push_back(std::move(x));
+        arm.ys.push_back(y);
+      }
+    } else {
+      is >> token;
+      if (token != "theta") fail("expected theta");
+      arm.theta.resize(dim_aug);
+      for (double& v : arm.theta) is >> v;
+      arm.p = linalg::Matrix(dim_aug, dim_aug);
+      for (std::size_t r = 0; r < dim_aug; ++r) {
+        is >> token;
+        if (token != "P") fail("expected P row");
+        for (std::size_t c = 0; c < dim_aug; ++c) is >> arm.p(r, c);
+      }
+      if (!is) fail("truncated sufficient statistics");
+    }
+  }
+  is >> token;
+  if (token != "end") fail("truncated state (missing end trailer)");
+
+  BanditWare restored(std::move(catalog), header.feature_names, header.config);
+  for (ArmIndex arm = 0; arm < restored.num_arms(); ++arm) {
+    ArmState& state = arms[arm];
+    if (state.exact) {
+      for (std::size_t i = 0; i < state.xs.size(); ++i) {
+        StateAccess::banked(restored).observe(arm, state.xs[i], state.ys[i]);
+      }
+    } else {
+      StateAccess::banked(restored).arm_model(arm).restore_stats(state.p, state.theta,
+                                                                 state.n);
+    }
+  }
+  if (auto* eps = StateAccess::eps_greedy(restored)) eps->set_epsilon(header.epsilon);
+  return restored;
+}
+
+}  // namespace
+
+std::string bandit_state_text(const BanditWare& bandit) {
+  // Sufficient statistics per arm. Incremental arms serialize (theta, P, n)
+  // — O(arms * d^2) regardless of history length — while exact_history arms
+  // still carry their raw observation rows (the batch backend *is* its
+  // history). ε-greedy instances write the pre-policy-axis v2 format
+  // byte-for-byte (existing snapshots and golden fixtures stay stable);
+  // LinUCB/Thompson write v3, which only adds the `policy` line below.
+  // The serialized flag is the arms' *effective* backend (every arm shares
+  // it): a fit with intercept=false forces the batch backend even when
+  // exact_history was not requested, and the reader checks record kinds
+  // against this flag.
+  const core::BanditWareConfig& config = bandit.config();
+  const hw::HardwareCatalog& catalog = bandit.catalog();
+  const core::BankedPolicy& policy = StateAccess::banked(bandit);
+  const bool eps_kind = config.policy_kind == PolicyKind::kEpsilonGreedy;
+  const bool effective_exact_history = policy.arm_model(0).exact_history();
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << (eps_kind ? "banditware-state v2\n" : "banditware-state v3\n");
+  if (!eps_kind) {
+    os << "policy " << core::to_string(config.policy_kind);
+    if (config.policy_kind == PolicyKind::kLinUcb) {
+      os << " alpha " << config.alpha;
+    } else {
+      os << " posterior_scale " << config.posterior_scale;
+    }
+    os << "\n";
+  }
+  // Non-ε policies carry no decaying exploration rate; the schedule fields
+  // round-trip the config so the shared header stays one format.
+  const double epsilon_line =
+      eps_kind ? bandit.epsilon() : config.policy.initial_epsilon;
+  os << "epsilon0 " << config.policy.initial_epsilon << " decay " << config.policy.decay
+     << " tol_ratio " << config.policy.tolerance.ratio << " tol_seconds "
+     << config.policy.tolerance.seconds << " exact_history "
+     << (effective_exact_history ? 1 : 0) << "\n";
+  os << "epsilon " << epsilon_line << "\n";
+  os << "features " << bandit.feature_names().size();
+  for (const auto& name : bandit.feature_names()) os << ' ' << name;
+  os << "\n";
+  os << "arms " << catalog.size() << "\n";
+  for (ArmIndex arm = 0; arm < catalog.size(); ++arm) {
+    const auto& spec = catalog[arm];
+    const auto& model = policy.arm_model(arm);
+    os << "arm " << spec.name << ' ' << spec.cpus << ' ' << spec.memory_gb << ' '
+       << spec.gpus;
+    if (model.exact_history()) {
+      os << " obs " << model.count() << "\n";
+      for (std::size_t i = 0; i < model.count(); ++i) {
+        for (double v : model.observed_features()[i]) os << v << ' ';
+        os << model.observed_runtimes()[i] << "\n";
+      }
+    } else {
+      const auto& rls = model.rls();
+      os << " stats " << model.count() << "\n";
+      os << "theta";
+      for (double v : rls.theta()) os << ' ' << v;
+      os << "\n";
+      const auto& p = rls.precision_inverse();
+      for (std::size_t r = 0; r < p.rows(); ++r) {
+        os << "P";
+        for (std::size_t c = 0; c < p.cols(); ++c) os << ' ' << p(r, c);
+        os << "\n";
+      }
+    }
+  }
+  // Explicit trailer: a truncated numeric tail would still parse as a
+  // (wrong) shorter number, so the reader verifies this sentinel instead.
+  os << "end\n";
+  return os.str();
+}
+
+core::BanditWare load_bandit_text(std::istream& is, int version) {
+  if (version == 1) return load_bandit_text_v1(is);
+  if (version == 2 || version == 3) return load_bandit_text_v2(is, version);
+  fail("bad header");
+}
+
+std::string server_state_text(const serve::BanditServer& server) {
+  // Consistent cut: the fuse lock plus every shard lock, shared, held while
+  // the text is assembled (see StateAccess::lock_snapshot).
+  const StateAccess::ServerReadLock lock = StateAccess::lock_snapshot(server);
+
+  // ε-greedy engines write the pre-policy-axis v3 format byte-for-byte
+  // (existing snapshots and golden fixtures stay stable); LinUCB/Thompson
+  // engines write v4, which only adds the `policy` token below. The policy
+  // scalars (alpha / posterior scale) ride inside the shard blobs — the
+  // header token is the cross-check the loader verifies against them.
+  const serve::BanditServerConfig& config = server.config();
+  const std::size_t num_shards = StateAccess::num_shards(server);
+  const bool eps_kind = config.bandit.policy_kind == PolicyKind::kEpsilonGreedy;
+  std::ostringstream os;
+  os << (eps_kind ? "banditserver-state v3\n" : "banditserver-state v4\n");
+  os << "shards " << num_shards << " sharding " << to_string(config.sharding)
+     << " seed " << config.seed << " threads " << config.num_threads << " explore "
+     << (config.explore ? 1 : 0) << " sync_every " << config.sync_every
+     << " sync_mode " << to_string(config.sync_mode);
+  if (!eps_kind) os << " policy " << core::to_string(config.bandit.policy_kind);
+  os << " observe_batches " << StateAccess::observe_batches(server) << " rr_counter "
+     << StateAccess::rr_counter(server) << "\n";
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::string state = bandit_state_text(StateAccess::shard_bandit(server, s));
+    os << "shard " << s << " bytes " << state.size() << "\n" << state;
+  }
+  // The sync baseline rides along so a restored server keeps merging
+  // exactly (the shared fuse lock serializes against baseline swaps).
+  const std::string base_state = bandit_state_text(StateAccess::sync_base(server));
+  os << "base bytes " << base_state.size() << "\n" << base_state;
+  return os.str();
+}
+
+serve::BanditServer load_server_text(std::istream& is, int version) {
+  std::string line;
+  auto fail = [](const std::string& what) -> void {
+    throw ParseError("BanditServer::load_state: " + what);
+  };
+
+  serve::BanditServerConfig config;
+  std::size_t num_shards = 0;
+  std::string token;
+  std::string sharding_name;
+  int explore = 1;
+  std::uint64_t rr_counter = 0;
+  std::uint64_t observe_batches = 0;
+  is >> token >> num_shards;
+  // Stream state is checked BEFORE the count is used: an overflowed
+  // extraction must not turn into a huge replica allocation.
+  if (!is || token != "shards" || num_shards == 0) fail("expected shards");
+  if (num_shards > kMaxShards) fail("shard count exceeds limit");
+  is >> token >> sharding_name;
+  if (!is || token != "sharding") fail("expected sharding");
+  config.sharding = serve::parse_sharding_policy(sharding_name);
+  is >> token >> config.seed;
+  if (!is || token != "seed") fail("expected seed");
+  is >> token >> config.num_threads;
+  if (!is || token != "threads") fail("expected threads");
+  // Same cap as shards: a corrupted count (e.g. "-7" wrapping to ~1.8e19)
+  // must fail cleanly here, not inside ThreadPool's worker reserve.
+  if (config.num_threads > kMaxShards) fail("thread count exceeds limit");
+  is >> token >> explore;
+  if (!is || token != "explore") fail("expected explore");
+  config.explore = explore != 0;
+  if (version >= 2) {
+    is >> token >> config.sync_every;
+    if (!is || token != "sync_every") fail("expected sync_every");
+    if (version >= 3) {
+      // v2 predates SyncMode; restored v2 servers default to inline.
+      std::string mode_name;
+      is >> token >> mode_name;
+      if (!is || token != "sync_mode") fail("expected sync_mode");
+      config.sync_mode = serve::parse_sync_mode(mode_name);
+    }
+    if (version >= 4) {
+      // v1-v3 predate the policy axis; they always restore as ε-greedy
+      // (the shard blobs carry no policy line either). The v4 token is
+      // verified against the blob configs after the replicas load.
+      std::string policy_name;
+      is >> token >> policy_name;
+      if (!is || token != "policy") fail("expected policy");
+      try {
+        config.bandit.policy_kind = core::parse_policy_kind(policy_name);
+      } catch (const InvalidArgument& error) {
+        fail(error.what());
+      }
+    }
+    // The auto-sync cadence phase: without it a restored server with
+    // sync_every > 1 would sync on different batches than the original.
+    is >> token >> observe_batches;
+    if (!is || token != "observe_batches") fail("expected observe_batches");
+  }
+  is >> token >> rr_counter;
+  if (!is || token != "rr_counter") fail("expected rr_counter");
+  if (!std::getline(is, line)) fail("truncated header");
+
+  auto read_blob = [&](const char* what) -> std::string {
+    std::size_t bytes = 0;
+    is >> token >> bytes;
+    if (!is || token != "bytes") fail(std::string("expected ") + what + " byte count");
+    if (!std::getline(is, line)) fail(std::string("truncated ") + what + " header");
+    // Read in chunks so the allocation is bounded by the bytes the stream
+    // actually provides — a corrupted byte count must fail cleanly, not
+    // bad_alloc. (in_avail() cannot bound this: it only sees the buffered
+    // portion of a file stream.)
+    std::string blob;
+    constexpr std::size_t kChunk = 1u << 16;
+    while (blob.size() < bytes) {
+      const std::size_t want = std::min(kChunk, bytes - blob.size());
+      const std::size_t old = blob.size();
+      blob.resize(old + want);
+      is.read(blob.data() + old, static_cast<std::streamsize>(want));
+      if (static_cast<std::size_t>(is.gcount()) != want) {
+        fail(std::string("truncated ") + what + " blob");
+      }
+    }
+    return blob;
+  };
+
+  std::vector<core::BanditWare> replicas;
+  replicas.reserve(num_shards);
+  // The header's policy kind (ε-greedy implicitly for v1-v3) must agree
+  // with what the shard blobs actually carry — a mismatch means the
+  // snapshot was stitched together, not written by save_state().
+  const PolicyKind header_kind = config.bandit.policy_kind;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    std::size_t index = 0;
+    is >> token >> index;
+    if (!is || token != "shard" || index != s) fail("expected shard record");
+    replicas.push_back(BanditWare::load_state(read_blob("shard")));
+    // The per-shard config is authoritative for the whole engine (every
+    // replica is constructed identically).
+    config.bandit = replicas.back().config();
+    if (config.bandit.policy_kind != header_kind) {
+      fail("shard policy '" + core::to_string(config.bandit.policy_kind) +
+           "' contradicts the header policy '" + core::to_string(header_kind) + "'");
+    }
+  }
+
+  // v1 snapshots predate cross-shard sync; their baseline is the prior
+  // (reconstructed by the constructor when no base is passed).
+  std::unique_ptr<core::BanditWare> base;
+  if (version >= 2) {
+    is >> token;
+    if (!is || token != "base") fail("expected base record");
+    base = std::make_unique<core::BanditWare>(BanditWare::load_state(read_blob("base")));
+    if (base->config().policy_kind != header_kind) {
+      fail("base policy '" + core::to_string(base->config().policy_kind) +
+           "' contradicts the header policy '" + core::to_string(header_kind) + "'");
+    }
+  }
+
+  return StateAccess::make_server(config, std::move(replicas), std::move(base),
+                                  rr_counter, observe_batches);
+}
+
+}  // namespace bw::io::detail

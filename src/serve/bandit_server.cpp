@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "io/state_io.hpp"
 
 namespace bw::serve {
 
@@ -75,11 +76,6 @@ std::vector<core::BanditWare> make_replicas(const hw::HardwareCatalog& catalog,
   }
   return replicas;
 }
-
-/// Snapshot header counts are bounded so a corrupted count fails cleanly
-/// instead of driving a huge allocation (the per-shard blobs are further
-/// bounded by the bytes actually present in the stream).
-constexpr std::size_t kMaxShards = 4096;
 
 }  // namespace
 
@@ -568,173 +564,18 @@ std::vector<std::size_t> BanditServer::shard_observation_counts() const {
 }
 
 std::string BanditServer::save_state() const {
-  // Take the fuse lock plus every shard lock before reading anything: the
-  // snapshot is a consistent cut across the whole engine — an async publish
-  // (which holds the fuse lock exclusive across all its per-shard swaps)
-  // can never be half-visible here. Shared mode suffices (the snapshot
-  // only reads) and still excludes every writer. Lock order is fuse lock
-  // then shard index, matching every other multi-lock path.
-  std::shared_lock fuse_lock(fuse_mutex_);
-  std::vector<std::shared_lock<std::shared_mutex>> locks;
-  locks.reserve(shards_.size());
-  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
-
-  // ε-greedy engines write the pre-policy-axis v3 format byte-for-byte
-  // (existing snapshots and golden fixtures stay stable); LinUCB/Thompson
-  // engines write v4, which only adds the `policy` token below. The policy
-  // scalars (alpha / posterior scale) ride inside the shard blobs — the
-  // header token is the cross-check the loader verifies against them.
-  const bool eps_kind =
-      config_.bandit.policy_kind == core::PolicyKind::kEpsilonGreedy;
+  // Thin wrapper over the io layer (src/io/), which owns every snapshot
+  // codec and takes the consistent-cut locks itself.
   std::ostringstream os;
-  os << (eps_kind ? "banditserver-state v3\n" : "banditserver-state v4\n");
-  os << "shards " << shards_.size() << " sharding " << to_string(config_.sharding)
-     << " seed " << config_.seed << " threads " << config_.num_threads << " explore "
-     << (config_.explore ? 1 : 0) << " sync_every " << config_.sync_every
-     << " sync_mode " << to_string(config_.sync_mode);
-  if (!eps_kind) os << " policy " << core::to_string(config_.bandit.policy_kind);
-  os << " observe_batches " << observe_batches_.load(std::memory_order_relaxed)
-     << " rr_counter " << rr_counter_.load(std::memory_order_relaxed) << "\n";
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const std::string state = shards_[s]->bandit.save_state();
-    os << "shard " << s << " bytes " << state.size() << "\n" << state;
-  }
-  // The sync baseline rides along so a restored server keeps merging
-  // exactly (the shared fuse lock serializes against baseline swaps).
-  const std::string base_state = sync_base_->save_state();
-  os << "base bytes " << base_state.size() << "\n" << base_state;
+  io::save_state(os, *this, io::Format::kText);
   return os.str();
 }
 
 BanditServer BanditServer::load_state(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
-  auto fail = [](const std::string& what) -> void {
-    throw ParseError("BanditServer::load_state: " + what);
-  };
-
-  if (!std::getline(is, line)) fail("bad header");
-  int version = 0;
-  if (line == "banditserver-state v1") version = 1;
-  if (line == "banditserver-state v2") version = 2;
-  if (line == "banditserver-state v3") version = 3;
-  if (line == "banditserver-state v4") version = 4;
-  if (version == 0) fail("bad header");
-
-  BanditServerConfig config;
-  std::size_t num_shards = 0;
-  std::string token;
-  std::string sharding_name;
-  int explore = 1;
-  std::uint64_t rr_counter = 0;
-  std::uint64_t observe_batches = 0;
-  is >> token >> num_shards;
-  // Stream state is checked BEFORE the count is used: an overflowed
-  // extraction must not turn into a huge replica allocation.
-  if (!is || token != "shards" || num_shards == 0) fail("expected shards");
-  if (num_shards > kMaxShards) fail("shard count exceeds limit");
-  is >> token >> sharding_name;
-  if (!is || token != "sharding") fail("expected sharding");
-  config.sharding = parse_sharding_policy(sharding_name);
-  is >> token >> config.seed;
-  if (!is || token != "seed") fail("expected seed");
-  is >> token >> config.num_threads;
-  if (!is || token != "threads") fail("expected threads");
-  // Same cap as shards: a corrupted count (e.g. "-7" wrapping to ~1.8e19)
-  // must fail cleanly here, not inside ThreadPool's worker reserve.
-  if (config.num_threads > kMaxShards) fail("thread count exceeds limit");
-  is >> token >> explore;
-  if (!is || token != "explore") fail("expected explore");
-  config.explore = explore != 0;
-  if (version >= 2) {
-    is >> token >> config.sync_every;
-    if (!is || token != "sync_every") fail("expected sync_every");
-    if (version >= 3) {
-      // v2 predates SyncMode; restored v2 servers default to inline.
-      std::string mode_name;
-      is >> token >> mode_name;
-      if (!is || token != "sync_mode") fail("expected sync_mode");
-      config.sync_mode = parse_sync_mode(mode_name);
-    }
-    if (version >= 4) {
-      // v1-v3 predate the policy axis; they always restore as ε-greedy
-      // (the shard blobs carry no policy line either). The v4 token is
-      // verified against the blob configs after the replicas load.
-      std::string policy_name;
-      is >> token >> policy_name;
-      if (!is || token != "policy") fail("expected policy");
-      try {
-        config.bandit.policy_kind = core::parse_policy_kind(policy_name);
-      } catch (const InvalidArgument& error) {
-        fail(error.what());
-      }
-    }
-    // The auto-sync cadence phase: without it a restored server with
-    // sync_every > 1 would sync on different batches than the original.
-    is >> token >> observe_batches;
-    if (!is || token != "observe_batches") fail("expected observe_batches");
-  }
-  is >> token >> rr_counter;
-  if (!is || token != "rr_counter") fail("expected rr_counter");
-  if (!std::getline(is, line)) fail("truncated header");
-
-  auto read_blob = [&](const char* what) -> std::string {
-    std::size_t bytes = 0;
-    is >> token >> bytes;
-    if (!is || token != "bytes") fail(std::string("expected ") + what + " byte count");
-    if (!std::getline(is, line)) fail(std::string("truncated ") + what + " header");
-    // Bound the allocation by what the stream can still provide — a
-    // corrupted byte count must fail cleanly, not bad_alloc.
-    const std::streamsize available = is.rdbuf()->in_avail();
-    if (available < 0 || bytes > static_cast<std::size_t>(available)) {
-      fail(std::string("truncated ") + what + " blob");
-    }
-    std::string blob(bytes, '\0');
-    is.read(blob.data(), static_cast<std::streamsize>(bytes));
-    if (static_cast<std::size_t>(is.gcount()) != bytes) {
-      fail(std::string("truncated ") + what + " blob");
-    }
-    return blob;
-  };
-
-  std::vector<core::BanditWare> replicas;
-  replicas.reserve(num_shards);
-  // The header's policy kind (ε-greedy implicitly for v1-v3) must agree
-  // with what the shard blobs actually carry — a mismatch means the
-  // snapshot was stitched together, not written by save_state().
-  const core::PolicyKind header_kind = config.bandit.policy_kind;
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    std::size_t index = 0;
-    is >> token >> index;
-    if (!is || token != "shard" || index != s) fail("expected shard record");
-    replicas.push_back(core::BanditWare::load_state(read_blob("shard")));
-    // The per-shard config is authoritative for the whole engine (every
-    // replica is constructed identically).
-    config.bandit = replicas.back().config();
-    if (config.bandit.policy_kind != header_kind) {
-      fail("shard policy '" + core::to_string(config.bandit.policy_kind) +
-           "' contradicts the header policy '" + core::to_string(header_kind) + "'");
-    }
-  }
-
-  // v1 snapshots predate cross-shard sync; their baseline is the prior
-  // (reconstructed by the constructor when no base is passed).
-  std::unique_ptr<core::BanditWare> base;
-  if (version >= 2) {
-    is >> token;
-    if (!is || token != "base") fail("expected base record");
-    base = std::make_unique<core::BanditWare>(
-        core::BanditWare::load_state(read_blob("base")));
-    if (base->config().policy_kind != header_kind) {
-      fail("base policy '" + core::to_string(base->config().policy_kind) +
-           "' contradicts the header policy '" + core::to_string(header_kind) + "'");
-    }
-  }
-
-  BanditServer server(config, std::move(replicas), std::move(base));
-  server.rr_counter_.store(rr_counter, std::memory_order_relaxed);
-  server.observe_batches_.store(observe_batches, std::memory_order_relaxed);
-  return server;
+  // Thin wrapper over io::load_server_state, which auto-detects text v1-v4
+  // and the binary container from the leading bytes.
+  std::istringstream is(text, std::ios::binary);
+  return io::load_server_state(is);
 }
 
 }  // namespace bw::serve

@@ -67,6 +67,10 @@
 #include "common/thread_pool.hpp"
 #include "core/banditware.hpp"
 
+namespace bw::io {
+struct StateAccess;  // src/io/: the snapshot codecs' window into internals
+}
+
 namespace bw::serve {
 
 enum class ShardingPolicy {
@@ -245,12 +249,21 @@ class BanditServer {
   /// Atomic whole-engine snapshot: the fuse lock plus every shard lock is
   /// held (shared) while the text is assembled, so the state is a
   /// consistent cut — even mid-async-sync it captures one generation.
+  /// Back-compat convenience over the io layer: equivalent to
+  /// `io::save_state(os, *this, io::Format::kText)`; the binary format
+  /// lives in src/io/state_io.hpp.
   std::string save_state() const;
 
-  /// Rebuilds a server from save_state() output. Throws ParseError.
+  /// Rebuilds a server from a serialized snapshot, any format (text v1-v4
+  /// or binary — a thin wrapper over `io::load_server_state`, which
+  /// auto-detects from the leading bytes). Throws ParseError.
   static BanditServer load_state(const std::string& text);
 
  private:
+  // The io-layer codecs (src/io/) take the consistent-cut locks and drive
+  // the restore constructor; nothing else sees the internals.
+  friend struct bw::io::StateAccess;
+
   // Read-mostly concurrency: recommends in pure-exploitation mode
   // (config.explore == false) only read the replica — the tolerant-greedy
   // pass is shared substrate across every policy kind — so they take the

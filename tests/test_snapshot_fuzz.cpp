@@ -1,6 +1,7 @@
 // Fuzz-style property tests for the snapshot parsers: seeded mutations of
 // valid `banditware-state` (v1/v2/v3) and `banditserver-state` (v1-v4)
-// texts — truncations, byte flips, deleted/duplicated spans, corrupted
+// texts and of the binary containers (all three payload kinds) —
+// truncations, byte flips, deleted/duplicated spans, corrupted
 // numbers, policy-token garbage — must either load cleanly (a benign
 // mutation, in which case the result must round-trip) or fail with a clean
 // bw::Error. Never a crash,
@@ -14,13 +15,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/banditware.hpp"
+#include "core/run_table.hpp"
 #include "hardware/catalog.hpp"
+#include "io/run_table_io.hpp"
+#include "io/state_io.hpp"
 #include "serve/bandit_server.hpp"
 
 namespace bw {
@@ -278,6 +283,108 @@ TEST(SnapshotFuzz, HostileCountsFailWithoutAllocating) {
     } else {
       EXPECT_THROW(core::BanditWare::load_state(hostile[i]), ParseError) << i;
     }
+  }
+}
+
+// ---- binary container corpus --------------------------------------------
+// The same mutation engine against the packet-framed binary formats. Most
+// byte damage lands in a checksummed payload, which the reader absorbs as
+// a tolerant truncation — so a "clean load with info.truncated set" is as
+// common an outcome here as ParseError. Both are fine; foreign exceptions,
+// crashes, and bad_alloc are not.
+
+template <typename State>
+std::string binary_blob(const State& state) {
+  std::ostringstream os(std::ios::binary);
+  io::save_state(os, state, io::Format::kBinary);
+  return os.str();
+}
+
+TEST(SnapshotFuzz, BinaryStateContainersRejectMutationsCleanly) {
+  const std::vector<std::string> bandit_corpus = {
+      binary_blob(trained_instance(false)),
+      binary_blob(trained_instance(true)),
+      binary_blob(trained_policy_instance(core::PolicyKind::kLinUcb)),
+      binary_blob(trained_policy_instance(core::PolicyKind::kThompson)),
+  };
+  const std::vector<std::string> server_corpus = {
+      binary_blob(trained_server()),
+      binary_blob(trained_server(core::PolicyKind::kThompson)),
+  };
+  Rng rng(20260808);
+  constexpr int kCasesPerBase = 220;
+  for (std::size_t b = 0; b < bandit_corpus.size(); ++b) {
+    for (int i = 0; i < kCasesPerBase; ++i) {
+      std::string mutated = mutate(bandit_corpus[b], rng);
+      if (rng.bernoulli(0.33)) mutated = mutate(mutated, rng);
+      check_one(
+          mutated,
+          [](const std::string& bytes) {
+            std::istringstream is(bytes, std::ios::binary);
+            const core::BanditWare bandit = io::load_state(is);
+            // Whatever loaded — full or truncated-tolerant — must be a
+            // coherent model whose binary round trip is byte-stable.
+            const std::string resaved = binary_blob(bandit);
+            std::istringstream is2(resaved, std::ios::binary);
+            EXPECT_EQ(binary_blob(io::load_state(is2)), resaved);
+          },
+          "banditware-binary", i);
+    }
+  }
+  for (std::size_t b = 0; b < server_corpus.size(); ++b) {
+    for (int i = 0; i < kCasesPerBase; ++i) {
+      std::string mutated = mutate(server_corpus[b], rng);
+      if (rng.bernoulli(0.33)) mutated = mutate(mutated, rng);
+      check_one(
+          mutated,
+          [](const std::string& bytes) {
+            std::istringstream is(bytes, std::ios::binary);
+            serve::BanditServer server = io::load_server_state(is);
+            const std::string resaved = binary_blob(server);
+            std::istringstream is2(resaved, std::ios::binary);
+            EXPECT_EQ(binary_blob(io::load_server_state(is2)), resaved);
+          },
+          "banditserver-binary", i);
+    }
+  }
+}
+
+TEST(SnapshotFuzz, RunTableContainersRejectMutationsCleanly) {
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  linalg::Matrix features(12, 2);
+  linalg::Matrix runtimes(12, catalog.size());
+  for (std::size_t g = 0; g < 12; ++g) {
+    features(g, 0) = 20.0 + 3.0 * static_cast<double>(g);
+    features(g, 1) = 4.0 + static_cast<double>(g % 3);
+    for (std::size_t a = 0; a < catalog.size(); ++a) {
+      runtimes(g, a) = 2.0 + features(g, 0) / catalog[a].cpus;
+    }
+  }
+  const core::RunTable table({"num_tasks", "mem_req"}, std::move(features),
+                             std::move(runtimes), catalog);
+  std::ostringstream os(std::ios::binary);
+  io::write_run_table(os, table);
+  const std::string base = os.str();
+
+  Rng rng(20260809);
+  for (int i = 0; i < 330; ++i) {
+    std::string mutated = mutate(base, rng);
+    if (rng.bernoulli(0.33)) mutated = mutate(mutated, rng);
+    check_one(
+        mutated,
+        [](const std::string& bytes) {
+          std::istringstream is(bytes, std::ios::binary);
+          const core::RunTable loaded = io::read_run_table(is);
+          // Any table that loads is valid by construction (finite values,
+          // >= 1 row); its own round trip must be byte-stable.
+          std::ostringstream out(std::ios::binary);
+          io::write_run_table(out, loaded);
+          std::istringstream is2(out.str(), std::ios::binary);
+          std::ostringstream out2(std::ios::binary);
+          io::write_run_table(out2, io::read_run_table(is2));
+          EXPECT_EQ(out2.str(), out.str());
+        },
+        "run-table", i);
   }
 }
 

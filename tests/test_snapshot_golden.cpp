@@ -15,6 +15,9 @@
 #include <string>
 
 #include "core/banditware.hpp"
+#include "core/run_table.hpp"
+#include "io/run_table_io.hpp"
+#include "io/state_io.hpp"
 #include "serve/bandit_server.hpp"
 
 namespace bw::core {
@@ -148,6 +151,87 @@ TEST(SnapshotGolden, LegacyFixturesRestoreAsEpsilonGreedyByteForByte) {
   serve::BanditServer server = serve::BanditServer::load_state(server_fixture);
   EXPECT_EQ(server.config().bandit.policy_kind, PolicyKind::kEpsilonGreedy);
   EXPECT_EQ(server.save_state(), server_fixture);
+}
+
+// ---- binary container fixtures ------------------------------------------
+// Checked-in .bwb/.bwt files pin the binary container encoding the same
+// way the .bw files pin the text formats: load (through io:: auto-
+// detection) -> re-save must reproduce the fixture bytes exactly, so a
+// framing, checksum, or field-layout drift fails loudly instead of
+// corrupting deployed binary snapshots. Regenerating after an intentional
+// format change: the expected bytes are exactly
+// `io::save_state(os, io::load_state(<fixture>), Format::kBinary)`.
+
+template <typename State>
+std::string save_binary(const State& state) {
+  std::ostringstream os(std::ios::binary);
+  io::save_state(os, state, io::Format::kBinary);
+  return os.str();
+}
+
+TEST(SnapshotGolden, BinaryStateFixtureRoundTripsByteIdentical) {
+  // ε-greedy over the NDP catalog, 9 deterministic observations, saved by
+  // the v1 binary writer (container version byte 1).
+  const std::string fixture = read_file(data_path("state_bin_v1.bwb"));
+  ASSERT_FALSE(fixture.empty());
+  std::istringstream is(fixture, std::ios::binary);
+  io::LoadInfo info;
+  const BanditWare bandit = io::load_state(is, &info);
+  EXPECT_EQ(info.format, io::Format::kBinary);
+  EXPECT_EQ(info.version, 1);
+  EXPECT_FALSE(info.truncated);
+  EXPECT_EQ(bandit.policy_kind(), PolicyKind::kEpsilonGreedy);
+  EXPECT_EQ(bandit.num_arms(), 3u);
+  EXPECT_EQ(bandit.num_observations(), 9u);
+  EXPECT_EQ(save_binary(bandit), fixture);
+}
+
+TEST(SnapshotGolden, BinaryLinUcbFixtureRoundTripsByteIdentical) {
+  // Same stream under LinUCB (alpha 1.5): pins the policy-kind byte and
+  // scalar slots of the binary header packet.
+  const std::string fixture = read_file(data_path("state_bin_v1_linucb.bwb"));
+  ASSERT_FALSE(fixture.empty());
+  std::istringstream is(fixture, std::ios::binary);
+  const BanditWare bandit = io::load_state(is);
+  EXPECT_EQ(bandit.policy_kind(), PolicyKind::kLinUcb);
+  EXPECT_DOUBLE_EQ(bandit.config().alpha, 1.5);
+  EXPECT_EQ(bandit.num_observations(), 9u);
+  EXPECT_EQ(save_binary(bandit), fixture);
+}
+
+TEST(SnapshotGolden, BinaryServerFixtureRoundTripsByteIdentical) {
+  // 2 round-robin shards, sync_every=2, one auto-sync baseline — the same
+  // non-trivial engine shape the text server fixtures pin, as packets.
+  const std::string fixture = read_file(data_path("server_state_bin_v1.bwb"));
+  ASSERT_FALSE(fixture.empty());
+  std::istringstream is(fixture, std::ios::binary);
+  io::LoadInfo info;
+  serve::BanditServer server = io::load_server_state(is, &info);
+  EXPECT_FALSE(info.truncated);
+  EXPECT_EQ(server.num_shards(), 2u);
+  EXPECT_EQ(server.config().sync_every, 2u);
+  EXPECT_EQ(save_binary(server), fixture);
+  // The restored baseline threads through the merge algebra: a sync must
+  // not double-count what the snapshot already fused.
+  const std::size_t before = server.num_observations();
+  server.sync_shards();
+  EXPECT_EQ(server.num_observations(), before);
+}
+
+TEST(SnapshotGolden, BinaryRunTableFixtureRoundTripsByteIdentical) {
+  // 10 groups x 2 features over the NDP arms, one row block + end sentinel.
+  const std::string fixture = read_file(data_path("runs_bin_v1.bwt"));
+  ASSERT_FALSE(fixture.empty());
+  std::istringstream is(fixture, std::ios::binary);
+  io::LoadInfo info;
+  const RunTable table = io::read_run_table(is, &info);
+  EXPECT_FALSE(info.truncated);
+  EXPECT_EQ(table.num_groups(), 10u);
+  EXPECT_EQ(table.num_features(), 2u);
+  EXPECT_EQ(table.num_arms(), 3u);
+  std::ostringstream os(std::ios::binary);
+  io::write_run_table(os, table);
+  EXPECT_EQ(os.str(), fixture);
 }
 
 TEST(SnapshotGolden, MigratedServerBaselineKeepsSyncExact) {

@@ -1,0 +1,549 @@
+// The io:: layer contract, end to end: format detection (probe), text<->
+// binary bit-exactness per policy kind, byte-stable binary round trips,
+// the binary truncation contract (a torn file loads up to the last
+// complete packet, a corrupted checksum stops the stream there), hostile
+// binary counts failing as clean ParseErrors, and the streaming run-table
+// reader/writer. Companion suites: tests/test_snapshot_golden.cpp pins the
+// bytes of checked-in fixtures, tests/test_snapshot_fuzz.cpp mutates both
+// encodings at random.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/banditware.hpp"
+#include "core/run_table.hpp"
+#include "hardware/catalog.hpp"
+#include "io/container.hpp"
+#include "io/run_table_io.hpp"
+#include "io/state_io.hpp"
+#include "serve/bandit_server.hpp"
+
+namespace bw {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::BanditWare trained_instance(core::PolicyKind kind, bool exact_history = false) {
+  core::BanditWareConfig config;
+  config.policy_kind = kind;
+  config.policy.exact_history = exact_history;
+  config.alpha = 1.5;
+  config.posterior_scale = 1.25;
+  core::BanditWare bandit(hw::ndp_catalog(), {"num_tasks", "mem_req"}, config);
+  for (int i = 0; i < 9; ++i) {
+    const core::FeatureVector x = {50.0 + 13.0 * i, 4.0 + (i % 3)};
+    bandit.observe(static_cast<core::ArmIndex>(i % 3), x, 10.0 + 0.3 * i);
+  }
+  return bandit;
+}
+
+serve::BanditServer trained_server(
+    core::PolicyKind kind = core::PolicyKind::kEpsilonGreedy) {
+  serve::BanditServerConfig config;
+  config.num_shards = 2;
+  config.sharding = serve::ShardingPolicy::kRoundRobin;
+  config.sync_every = 2;
+  config.bandit.policy_kind = kind;
+  serve::BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  for (int batch = 0; batch < 3; ++batch) {
+    std::vector<serve::ServeObservation> observations;
+    for (int i = 0; i < 4; ++i) {
+      const double tasks = 30.0 + 7.0 * (batch * 4 + i);
+      observations.push_back({static_cast<std::size_t>(i % 2),
+                              static_cast<core::ArmIndex>(i % 3),
+                              {tasks},
+                              5.0 + tasks / catalog[i % 3].cpus});
+    }
+    server.observe_batch(observations);
+  }
+  return server;
+}
+
+template <typename State>
+std::string save_as(const State& state, io::Format format) {
+  std::ostringstream os(std::ios::binary);
+  io::save_state(os, state, format);
+  return os.str();
+}
+
+core::BanditWare load_bandit(const std::string& bytes, io::LoadInfo* info = nullptr) {
+  std::istringstream is(bytes, std::ios::binary);
+  return io::load_state(is, info);
+}
+
+serve::BanditServer load_server(const std::string& bytes,
+                                io::LoadInfo* info = nullptr) {
+  std::istringstream is(bytes, std::ios::binary);
+  return io::load_server_state(is, info);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Byte offsets of each packet *end* in a container blob (the preamble end
+/// is entry 0), computed from the frames alone — the cut points at which a
+/// truncated stream still ends on a whole packet.
+std::vector<std::size_t> packet_ends(const std::string& blob) {
+  std::vector<std::size_t> ends;
+  std::size_t pos = sizeof(io::kMagic) + 1;
+  ends.push_back(pos);
+  while (pos + 12 <= blob.size()) {
+    const auto* p = reinterpret_cast<const unsigned char*>(blob.data() + pos);
+    const std::uint32_t payload_size = static_cast<std::uint32_t>(p[0]) |
+                                       static_cast<std::uint32_t>(p[1]) << 8 |
+                                       static_cast<std::uint32_t>(p[2]) << 16 |
+                                       static_cast<std::uint32_t>(p[3]) << 24;
+    pos += 12 + payload_size;
+    ends.push_back(pos);
+  }
+  EXPECT_EQ(ends.back(), blob.size()) << "frame walk must land on the blob end";
+  return ends;
+}
+
+/// A hand-built banditware-state container: valid preamble + header packet
+/// whose tail bytes come from `header_tail` (the bytes after the config +
+/// epsilon prefix — i.e. the feature-name and catalog sections).
+std::string crafted_bandit_container(const std::string& header_tail) {
+  std::string payload;
+  io::put_u8(payload, 0);  // policy kind: epsilon-greedy
+  io::put_f64(payload, 1.0);   // alpha
+  io::put_f64(payload, 1.0);   // posterior_scale
+  io::put_f64(payload, 1.0);   // initial_epsilon
+  io::put_f64(payload, 0.99);  // decay
+  io::put_f64(payload, 0.1);   // tolerance ratio
+  io::put_f64(payload, 5.0);   // tolerance seconds
+  io::put_u8(payload, 0);      // exact_history
+  io::put_f64(payload, 1.0);   // live epsilon
+  payload += header_tail;
+  std::ostringstream os(std::ios::binary);
+  io::write_container_magic(os, io::PayloadKind::kBanditWareState);
+  io::write_packet(os, 0x01, payload);
+  return os.str();
+}
+
+core::RunTable small_table(std::size_t groups) {
+  const hw::HardwareCatalog catalog = hw::ndp_catalog();
+  linalg::Matrix features(groups, 2);
+  linalg::Matrix runtimes(groups, catalog.size());
+  for (std::size_t g = 0; g < groups; ++g) {
+    features(g, 0) = 10.0 + 1.25 * static_cast<double>(g);
+    features(g, 1) = 4.0 + static_cast<double>(g % 5);
+    for (std::size_t a = 0; a < catalog.size(); ++a) {
+      runtimes(g, a) = 3.0 + features(g, 0) / catalog[a].cpus + 0.125 * a;
+    }
+  }
+  return core::RunTable({"num_tasks", "mem_req"}, std::move(features),
+                        std::move(runtimes), catalog);
+}
+
+// ---- format tokens and detection ----------------------------------------
+
+TEST(StateIo, FormatTokensParseAndPrint) {
+  EXPECT_EQ(io::parse_format("auto"), io::Format::kAuto);
+  EXPECT_EQ(io::parse_format("text"), io::Format::kText);
+  EXPECT_EQ(io::parse_format("binary"), io::Format::kBinary);
+  EXPECT_EQ(io::to_string(io::Format::kAuto), "auto");
+  EXPECT_EQ(io::to_string(io::Format::kText), "text");
+  EXPECT_EQ(io::to_string(io::Format::kBinary), "binary");
+  EXPECT_THROW(io::parse_format("bson"), InvalidArgument);
+  EXPECT_THROW(io::parse_format(""), InvalidArgument);
+}
+
+TEST(StateIo, ProbeIdentifiesEveryFormatWithoutConsuming) {
+  const core::BanditWare bandit = trained_instance(core::PolicyKind::kEpsilonGreedy);
+  const serve::BanditServer server = trained_server();
+  const core::RunTable table = small_table(5);
+  std::ostringstream table_os(std::ios::binary);
+  io::write_run_table(table_os, table);
+
+  struct Case {
+    std::string bytes;
+    io::PayloadKind kind;
+    io::Format format;
+  };
+  const std::vector<Case> cases = {
+      {save_as(bandit, io::Format::kText), io::PayloadKind::kBanditWareState,
+       io::Format::kText},
+      {save_as(bandit, io::Format::kBinary), io::PayloadKind::kBanditWareState,
+       io::Format::kBinary},
+      {save_as(server, io::Format::kText), io::PayloadKind::kBanditServerState,
+       io::Format::kText},
+      {save_as(server, io::Format::kBinary), io::PayloadKind::kBanditServerState,
+       io::Format::kBinary},
+      {table_os.str(), io::PayloadKind::kRunTable, io::Format::kBinary},
+  };
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::istringstream is(cases[i].bytes, std::ios::binary);
+    io::ProbeResult probe;
+    ASSERT_TRUE(io::probe(is, probe)) << "case " << i;
+    EXPECT_EQ(probe.kind, cases[i].kind) << "case " << i;
+    EXPECT_EQ(probe.format, cases[i].format) << "case " << i;
+    EXPECT_GE(probe.version, 1) << "case " << i;
+    // Probing must not consume: the stream still loads from byte zero.
+    EXPECT_EQ(is.tellg(), std::istringstream::pos_type(0)) << "case " << i;
+  }
+
+  std::istringstream junk("neither a text header nor a container\n");
+  io::ProbeResult probe;
+  EXPECT_FALSE(io::probe(junk, probe));
+}
+
+TEST(StateIo, EveryCheckedInTextFixtureLoadsThroughAutoDetection) {
+  // The acceptance bar for the io:: redesign: all text snapshots ever
+  // shipped (bandit v1-v3, server v2-v4 fixtures) keep loading through the
+  // single io::load_state / io::load_server_state entry point.
+  std::size_t fixtures = 0;
+  for (const auto& entry : fs::directory_iterator(BW_TEST_DATA_DIR)) {
+    if (entry.path().extension() != ".bw") continue;
+    ++fixtures;
+    const std::string bytes = read_file(entry.path().string());
+    std::istringstream is(bytes, std::ios::binary);
+    io::ProbeResult probe;
+    ASSERT_TRUE(io::probe(is, probe)) << entry.path();
+    EXPECT_EQ(probe.format, io::Format::kText) << entry.path();
+    io::LoadInfo info;
+    if (probe.kind == io::PayloadKind::kBanditWareState) {
+      const core::BanditWare bandit = io::load_state(is, &info);
+      EXPECT_GT(bandit.num_arms(), 0u) << entry.path();
+    } else {
+      ASSERT_EQ(probe.kind, io::PayloadKind::kBanditServerState) << entry.path();
+      const serve::BanditServer server = io::load_server_state(is, &info);
+      EXPECT_GT(server.num_shards(), 0u) << entry.path();
+    }
+    EXPECT_EQ(info.format, io::Format::kText) << entry.path();
+    EXPECT_EQ(info.version, probe.version) << entry.path();
+    EXPECT_FALSE(info.truncated) << entry.path();
+  }
+  EXPECT_GE(fixtures, 8u) << "text fixture corpus went missing";
+}
+
+// ---- binary <-> text bit-exactness --------------------------------------
+
+TEST(StateIo, BinaryRoundTripIsBitExactPerPolicy) {
+  const core::PolicyKind kinds[] = {core::PolicyKind::kEpsilonGreedy,
+                                    core::PolicyKind::kLinUcb,
+                                    core::PolicyKind::kThompson};
+  for (const core::PolicyKind kind : kinds) {
+    const core::BanditWare original = trained_instance(kind);
+    const std::string text = save_as(original, io::Format::kText);
+    const std::string binary = save_as(original, io::Format::kBinary);
+
+    io::LoadInfo info;
+    const core::BanditWare restored = load_bandit(binary, &info);
+    EXPECT_EQ(info.format, io::Format::kBinary);
+    EXPECT_FALSE(info.truncated);
+
+    // The binary container stores raw IEEE-754 bits, so the restored model
+    // re-saves to the *identical* text bytes — not merely close doubles.
+    EXPECT_EQ(save_as(restored, io::Format::kText), text) << core::to_string(kind);
+    // And its predictions are the same bit patterns.
+    const core::FeatureVector x = {77.0, 5.0};
+    EXPECT_EQ(restored.predictions(x), original.predictions(x));
+    EXPECT_EQ(restored.epsilon(), original.epsilon());
+  }
+}
+
+TEST(StateIo, BinarySaveLoadSaveIsByteIdentical) {
+  const core::BanditWare bandit = trained_instance(core::PolicyKind::kLinUcb);
+  const std::string binary = save_as(bandit, io::Format::kBinary);
+  EXPECT_EQ(save_as(load_bandit(binary), io::Format::kBinary), binary);
+
+  const serve::BanditServer server = trained_server(core::PolicyKind::kThompson);
+  const std::string server_binary = save_as(server, io::Format::kBinary);
+  EXPECT_EQ(save_as(load_server(server_binary), io::Format::kBinary), server_binary);
+}
+
+TEST(StateIo, ExactHistoryArmsRoundTripThroughBinary) {
+  const core::BanditWare original =
+      trained_instance(core::PolicyKind::kEpsilonGreedy, /*exact_history=*/true);
+  const std::string binary = save_as(original, io::Format::kBinary);
+  const core::BanditWare restored = load_bandit(binary);
+  EXPECT_TRUE(restored.config().policy.exact_history);
+  EXPECT_EQ(restored.num_observations(), original.num_observations());
+  EXPECT_EQ(save_as(restored, io::Format::kText),
+            save_as(original, io::Format::kText));
+}
+
+TEST(StateIo, ServerBinaryRoundTripMatchesTextPerPolicy) {
+  const core::PolicyKind kinds[] = {core::PolicyKind::kEpsilonGreedy,
+                                    core::PolicyKind::kLinUcb,
+                                    core::PolicyKind::kThompson};
+  for (const core::PolicyKind kind : kinds) {
+    const serve::BanditServer original = trained_server(kind);
+    const std::string text = save_as(original, io::Format::kText);
+    io::LoadInfo info;
+    serve::BanditServer restored =
+        load_server(save_as(original, io::Format::kBinary), &info);
+    EXPECT_FALSE(info.truncated);
+    EXPECT_EQ(save_as(restored, io::Format::kText), text) << core::to_string(kind);
+    EXPECT_EQ(restored.num_observations(), original.num_observations());
+  }
+}
+
+TEST(StateIo, MismatchedPayloadKindsAreRejected) {
+  const std::string bandit_binary =
+      save_as(trained_instance(core::PolicyKind::kEpsilonGreedy), io::Format::kBinary);
+  const std::string server_binary = save_as(trained_server(), io::Format::kBinary);
+  std::ostringstream table_os(std::ios::binary);
+  io::write_run_table(table_os, small_table(4));
+  const std::string table_binary = table_os.str();
+
+  EXPECT_THROW(load_bandit(server_binary), ParseError);
+  EXPECT_THROW(load_bandit(table_binary), ParseError);
+  EXPECT_THROW(load_server(bandit_binary), ParseError);
+  EXPECT_THROW(load_server(table_binary), ParseError);
+  std::istringstream not_a_table(bandit_binary, std::ios::binary);
+  EXPECT_THROW(io::read_run_table(not_a_table), ParseError);
+}
+
+// ---- truncation and corruption contracts --------------------------------
+
+TEST(StateIo, TruncatedBinaryLoadsUpToLastCompletePacket) {
+  const core::BanditWare original = trained_instance(core::PolicyKind::kEpsilonGreedy);
+  const std::string binary = save_as(original, io::Format::kBinary);
+  const std::vector<std::size_t> ends = packet_ends(binary);
+  // header + 3 arm packets + end sentinel => 5 packets.
+  ASSERT_EQ(ends.size(), 6u);
+  const core::BanditWareStats full = original.export_stats();
+
+  // Cut after the header packet: the shape survives, all arms at the prior.
+  {
+    io::LoadInfo info;
+    const core::BanditWare loaded = load_bandit(binary.substr(0, ends[1]), &info);
+    EXPECT_TRUE(info.truncated);
+    EXPECT_EQ(loaded.num_arms(), original.num_arms());
+    EXPECT_EQ(loaded.num_observations(), 0u);
+    EXPECT_EQ(loaded.feature_names(), original.feature_names());
+  }
+  // Cut after header + first arm packet: arm 0 fully restored, bit-exact.
+  {
+    io::LoadInfo info;
+    const core::BanditWare loaded = load_bandit(binary.substr(0, ends[2]), &info);
+    EXPECT_TRUE(info.truncated);
+    const core::BanditWareStats stats = loaded.export_stats();
+    EXPECT_EQ(stats.arms[0].n, full.arms[0].n);
+    EXPECT_EQ(stats.arms[0].theta, full.arms[0].theta);
+    EXPECT_EQ(stats.arms[1].n, 0u);
+    EXPECT_EQ(stats.arms[2].n, 0u);
+  }
+  // One byte short of complete: every arm made it, only the end sentinel
+  // is torn — still flagged truncated (the writer never ends mid-stream).
+  {
+    io::LoadInfo info;
+    const core::BanditWare loaded =
+        load_bandit(binary.substr(0, binary.size() - 1), &info);
+    EXPECT_TRUE(info.truncated);
+    EXPECT_EQ(loaded.num_observations(), original.num_observations());
+  }
+  // The full blob is not truncated.
+  {
+    io::LoadInfo info;
+    load_bandit(binary, &info);
+    EXPECT_FALSE(info.truncated);
+  }
+  // Every possible cut point either loads (flagged truncated) or throws a
+  // clean ParseError (cut before the header packet completed) — never
+  // anything else. This is the exhaustive version of the pins above.
+  for (std::size_t cut = 0; cut < binary.size(); ++cut) {
+    try {
+      io::LoadInfo info;
+      load_bandit(binary.substr(0, cut), &info);
+      EXPECT_TRUE(info.truncated) << "cut " << cut;
+      EXPECT_GE(cut, ends[1]) << "loaded without a complete header, cut " << cut;
+    } catch (const ParseError&) {
+      EXPECT_LT(cut, ends[1]) << "complete header must load, cut " << cut;
+    }
+  }
+}
+
+TEST(StateIo, CorruptedChecksumStopsTheStreamAtTheCorruption) {
+  const core::BanditWare original = trained_instance(core::PolicyKind::kEpsilonGreedy);
+  const std::string binary = save_as(original, io::Format::kBinary);
+  const std::vector<std::size_t> ends = packet_ends(binary);
+
+  // Flip a payload byte inside the *second* arm packet: header and arm 0
+  // load; arms 1 and 2 stop at the failed checksum.
+  {
+    std::string corrupted = binary;
+    corrupted[ends[2] + 20] ^= 0x40;
+    io::LoadInfo info;
+    const core::BanditWare loaded = load_bandit(corrupted, &info);
+    EXPECT_TRUE(info.truncated);
+    const core::BanditWareStats stats = loaded.export_stats();
+    EXPECT_EQ(stats.arms[0].n, original.export_stats().arms[0].n);
+    EXPECT_EQ(stats.arms[1].n, 0u);
+  }
+  // Flip a byte inside the header payload: nothing before the corruption,
+  // so the load fails with the documented ParseError.
+  {
+    std::string corrupted = binary;
+    corrupted[ends[0] + 16] ^= 0x01;
+    EXPECT_THROW(load_bandit(corrupted), ParseError);
+  }
+  // Torn server snapshot: cut after the first shard blob packet. The engine
+  // keeps its shape; the missing shard restores as a fresh replica.
+  {
+    const serve::BanditServer server = trained_server();
+    const std::string server_binary = save_as(server, io::Format::kBinary);
+    const std::vector<std::size_t> server_ends = packet_ends(server_binary);
+    io::LoadInfo info;
+    serve::BanditServer loaded =
+        load_server(server_binary.substr(0, server_ends[2]), &info);
+    EXPECT_TRUE(info.truncated);
+    EXPECT_EQ(loaded.num_shards(), server.num_shards());
+    const std::vector<std::size_t> counts = loaded.shard_observation_counts();
+    EXPECT_EQ(counts[0], server.shard_observation_counts()[0]);
+    EXPECT_EQ(counts[1], 0u);
+  }
+}
+
+TEST(StateIo, HostileBinaryCountsFailWithoutAllocating) {
+  // Checksum-valid packets carrying hostile counts: each must be the
+  // documented ParseError, never a resize() into bad_alloc. The payloads
+  // are crafted with the real framing helpers so the CRC passes and the
+  // semantic validators are what reject them.
+  const std::vector<std::string> hostile = [] {
+    std::vector<std::string> cases;
+    {  // feature count far beyond kMaxFeatures
+      std::string tail;
+      io::put_u32(tail, 0xFFFFFFFFu);
+      cases.push_back(crafted_bandit_container(tail));
+    }
+    {  // arm count far beyond kMaxArms
+      std::string tail;
+      io::put_u32(tail, 1);
+      io::put_string(tail, "x");
+      io::put_u32(tail, 999999999u);
+      cases.push_back(crafted_bandit_container(tail));
+    }
+    {  // feature count claims more strings than the payload holds
+      std::string tail;
+      io::put_u32(tail, 400);
+      io::put_string(tail, "x");
+      cases.push_back(crafted_bandit_container(tail));
+    }
+    return cases;
+  }();
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_THROW(load_bandit(hostile[i]), ParseError) << i;
+  }
+
+  // A frame whose length field exceeds the packet cap reads as corruption
+  // of the frame itself — truncated stream, no header, clean ParseError.
+  std::string huge_frame;
+  {
+    std::ostringstream os(std::ios::binary);
+    io::write_container_magic(os, io::PayloadKind::kBanditWareState);
+    huge_frame = os.str();
+    io::put_u32(huge_frame, 0xFFFFFFF0u);  // payload_size
+    io::put_u32(huge_frame, 0);            // crc
+    huge_frame.append(4, '\0');            // type + reserved
+  }
+  EXPECT_THROW(load_bandit(huge_frame), ParseError);
+
+  // An arm packet with an observation count beyond the ceiling.
+  {
+    const core::BanditWare bandit =
+        trained_instance(core::PolicyKind::kEpsilonGreedy, /*exact_history=*/true);
+    const std::string binary = save_as(bandit, io::Format::kBinary);
+    const std::vector<std::size_t> ends = packet_ends(binary);
+    std::string payload;
+    io::put_u32(payload, 0);                          // arm index
+    io::put_u64(payload, 200'000'000ull);             // n > kMaxObservationsPerArm
+    std::ostringstream os(std::ios::binary);
+    os.write(binary.data(), static_cast<std::streamsize>(ends[1]));  // preamble+header
+    io::write_packet(os, 0x03, payload);
+    EXPECT_THROW(load_bandit(os.str()), ParseError);
+  }
+}
+
+// ---- run tables ----------------------------------------------------------
+
+TEST(StateIo, RunTableStreamsRowsBitExact) {
+  const core::RunTable table = small_table(10);
+  std::ostringstream os(std::ios::binary);
+  io::write_run_table(os, table);
+  const std::string blob = os.str();
+
+  std::istringstream is(blob, std::ios::binary);
+  io::RunTableReader reader(is);
+  EXPECT_EQ(reader.feature_names(), table.feature_names());
+  EXPECT_EQ(reader.num_arms(), table.num_arms());
+
+  std::vector<double> features;
+  std::vector<double> runtimes;
+  std::size_t row = 0;
+  while (reader.next_row(features, runtimes)) {
+    ASSERT_LT(row, table.num_groups());
+    for (std::size_t f = 0; f < table.num_features(); ++f) {
+      EXPECT_EQ(features[f], table.features()(row, f)) << row << "," << f;
+    }
+    for (std::size_t a = 0; a < table.num_arms(); ++a) {
+      EXPECT_EQ(runtimes[a], table.runtime(row, static_cast<core::ArmIndex>(a)));
+    }
+    ++row;
+  }
+  EXPECT_EQ(row, table.num_groups());
+  EXPECT_FALSE(reader.truncated());
+
+  // Whole-table reader: identical matrices, identical catalog.
+  std::istringstream is2(blob, std::ios::binary);
+  io::LoadInfo info;
+  const core::RunTable loaded = io::read_run_table(is2, &info);
+  EXPECT_FALSE(info.truncated);
+  EXPECT_EQ(loaded.features().data(), table.features().data());
+  EXPECT_EQ(loaded.runtimes().data(), table.runtimes().data());
+  EXPECT_EQ(loaded.catalog().to_string(), table.catalog().to_string());
+}
+
+TEST(StateIo, TruncatedRunTableKeepsEveryCompleteBlock) {
+  // 4100 rows span two row blocks (4096 + 4). Cutting after the first
+  // block must yield exactly the 4096 rows it holds, flagged truncated;
+  // cutting inside the first block leaves zero rows — a ParseError for the
+  // whole-table reader, which requires at least one row.
+  const core::RunTable table = small_table(4100);
+  std::ostringstream os(std::ios::binary);
+  io::write_run_table(os, table);
+  const std::string blob = os.str();
+  const std::vector<std::size_t> ends = packet_ends(blob);
+  ASSERT_EQ(ends.size(), 5u);  // header, block, block, end
+
+  {
+    std::istringstream is(blob.substr(0, ends[2]), std::ios::binary);
+    io::LoadInfo info;
+    const core::RunTable loaded = io::read_run_table(is, &info);
+    EXPECT_TRUE(info.truncated);
+    EXPECT_EQ(loaded.num_groups(), 4096u);
+    EXPECT_EQ(loaded.features()(4095, 0), table.features()(4095, 0));
+  }
+  {
+    std::istringstream is(blob.substr(0, ends[1] + 100), std::ios::binary);
+    EXPECT_THROW(io::read_run_table(is), ParseError);
+  }
+  {  // streaming reader on the same torn stream: rows then truncated()
+    std::istringstream is(blob.substr(0, ends[2]), std::ios::binary);
+    io::RunTableReader reader(is);
+    std::vector<double> features;
+    std::vector<double> runtimes;
+    std::size_t rows = 0;
+    while (reader.next_row(features, runtimes)) ++rows;
+    EXPECT_EQ(rows, 4096u);
+    EXPECT_TRUE(reader.truncated());
+  }
+}
+
+}  // namespace
+}  // namespace bw

@@ -1,22 +1,32 @@
 // banditware_cli — command-line front end for the BanditWare framework.
 //
 // A downstream user brings per-hardware run tables as CSV files (one per
-// hardware setting, sharing a run-id column), trains a recommender by
-// online replay, saves its state, and queries recommendations later:
+// hardware setting, sharing a run-id column) or a binary .bwt run table,
+// trains a recommender by online replay, saves its state, and queries
+// recommendations later:
 //
 //   banditware_cli train
 //     --data "H0=(2,16):runs_h0.csv,H1=(3,24):runs_h1.csv"
 //     --features num_tasks --rounds 100 --tolerance-seconds 20
-//     --state model.bw                      (one command, wrapped here)
+//     --state-out model.bw [--format=binary]
 //
-//   banditware_cli recommend --state model.bw --x 350
-//   banditware_cli inspect --state model.bw
-//   banditware_cli serve --data ... --shards 4 --batch 64   # throughput replay
+//   banditware_cli recommend --state-in model.bw --x 350
+//   banditware_cli inspect --state-in model.bw      # any format, any kind
+//   banditware_cli convert --state-in model.bw --state-out model.bwb --format=binary
+//   banditware_cli serve --data runs.bwt --shards 4 --batch 64
 //   banditware_cli demo        # self-contained end-to-end walkthrough
+//
+// Every state file round-trips through src/io/: saves honour
+// --format={auto,text,binary} (auto = text), loads auto-detect from the
+// leading bytes — text v1..v4 snapshots and the binary container all load
+// through the same flag. `--state` is a deprecated alias for
+// --state-in/--state-out and prints a warning. A --data value without '='
+// is read as a binary run table (csv2bw converts CSVs).
 //
 // Exit codes: 0 success, 1 usage error, 2 data/state error.
 
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -29,6 +39,8 @@
 #include "core/decision_log.hpp"
 #include "dataframe/csv.hpp"
 #include "experiments/datasets.hpp"
+#include "io/run_table_io.hpp"
+#include "io/state_io.hpp"
 #include "serve/bandit_server.hpp"
 #include "serve/replay.hpp"
 
@@ -44,8 +56,6 @@ struct DataSource {
 /// Parses "H0=(2,16):runs_h0.csv,H1=(3,24,1):runs_h1.csv".
 std::vector<DataSource> parse_data_flag(const std::string& value) {
   std::vector<DataSource> sources;
-  std::stringstream stream(value);
-  std::string entry;
   // Entries are comma-separated, but specs contain commas inside (...)
   // — split on commas that are outside parentheses.
   std::vector<std::string> entries;
@@ -88,40 +98,75 @@ std::vector<std::string> split_commas(const std::string& value) {
   return out;
 }
 
-BanditWare load_state_file(const std::string& path) {
+/// Registers the unified state flags plus the deprecated --state alias.
+void add_state_flag(bw::CliParser& cli, const std::string& name, const std::string& help) {
+  cli.add_flag(name, "", help);
+  cli.add_flag("state", "", "deprecated alias for --" + name);
+}
+
+/// Resolves --state-in/--state-out against the deprecated --state alias.
+std::string state_path(const bw::CliParser& cli, const std::string& name,
+                       const std::string& fallback) {
+  std::string value = cli.get(name);
+  const std::string legacy = cli.get("state");
+  if (!legacy.empty()) {
+    std::fprintf(stderr, "warning: --state is deprecated; use --%s\n", name.c_str());
+    if (value.empty()) value = legacy;
+  }
+  return value.empty() ? fallback : value;
+}
+
+std::ifstream open_state_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw bw::ParseError("cannot open state file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return BanditWare::load_state(buffer.str());
+  return in;
 }
 
-void write_state_file(const std::string& path, const std::string& text) {
+BanditWare load_state_file(const std::string& path) {
+  std::ifstream in = open_state_file(path);
+  bw::io::LoadInfo info;
+  BanditWare bandit = bw::io::load_state(in, &info);
+  if (info.truncated) {
+    std::fprintf(stderr, "warning: %s is truncated; loaded the recoverable prefix\n",
+                 path.c_str());
+  }
+  return bandit;
+}
+
+template <typename State>
+void write_state_file(const std::string& path, const State& state, bw::io::Format format) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw bw::ParseError("cannot write state file: " + path);
-  out << text;
-  std::printf("state saved to %s\n", path.c_str());
+  bw::io::save_state(out, state, format);
+  if (!out) throw bw::ParseError("failed writing state file: " + path);
+  const bw::io::Format actual =
+      format == bw::io::Format::kAuto ? bw::io::Format::kText : format;
+  std::printf("state saved to %s (%s)\n", path.c_str(), bw::io::to_string(actual).c_str());
 }
 
-int cmd_train(int argc, char** argv) {
-  bw::CliParser cli("banditware_cli train — fit a recommender from CSV run tables");
-  cli.add_flag("data", "", "NAME=(cpus,mem[,gpus]):file.csv per hardware, comma separated");
-  cli.add_flag("key", "run_id", "shared run-id column");
-  cli.add_flag("features", "", "comma-separated feature column names");
-  cli.add_flag("rounds", "100", "replay rounds");
-  cli.add_flag("tolerance-seconds", "0", "tolerance_seconds of Algorithm 1");
-  cli.add_flag("tolerance-ratio", "0", "tolerance_ratio of Algorithm 1");
-  cli.add_flag("epsilon0", "1.0", "initial exploration rate");
-  cli.add_flag("decay", "0.99", "epsilon decay factor");
-  cli.add_flag("seed", "42", "replay seed");
-  cli.add_flag("state", "banditware_state.bw", "output state file");
-  cli.add_flag("log", "", "optional CSV decision-audit log to write");
-  if (!cli.parse(argc, argv)) return 0;
+/// --data dispatch: entries with '=' are per-hardware CSVs merged on the
+/// --key column; a bare path is a binary .bwt run table (header carries the
+/// catalog and feature names, so --features/--key are ignored).
+bw::core::RunTable load_table(const bw::CliParser& cli) {
+  const std::string data = cli.get("data");
+  if (data.empty()) throw bw::InvalidArgument("--data is required");
+  if (data.find('=') == std::string::npos) {
+    std::ifstream in(data, std::ios::binary);
+    if (!in) throw bw::ParseError("cannot open run table: " + data);
+    bw::io::LoadInfo info;
+    bw::core::RunTable table = bw::io::read_run_table(in, &info);
+    if (info.truncated) {
+      std::fprintf(stderr, "warning: %s is truncated; loaded %zu complete rows\n",
+                   data.c_str(), table.num_groups());
+    }
+    std::printf("loaded binary run table %s: %zu run groups x %zu hardware settings\n",
+                data.c_str(), table.num_groups(), table.num_arms());
+    return table;
+  }
 
-  const auto sources = parse_data_flag(cli.get("data"));
+  const auto sources = parse_data_flag(data);
   const auto features = split_commas(cli.get("features"));
   if (features.empty()) throw bw::InvalidArgument("--features must name at least one column");
-
   bw::hw::HardwareCatalog catalog;
   std::vector<bw::df::DataFrame> frames;
   for (const auto& source : sources) {
@@ -130,20 +175,42 @@ int cmd_train(int argc, char** argv) {
     std::printf("loaded %s: %zu runs from %s\n", source.spec.name.c_str(),
                 frames.back().num_rows(), source.path.c_str());
   }
-  const bw::core::RunTable table =
+  bw::core::RunTable table =
       bw::exp::merge_frames_to_table(frames, cli.get("key"), features, catalog);
   std::printf("merged table: %zu run groups x %zu hardware settings\n",
               table.num_groups(), table.num_arms());
+  return table;
+}
+
+int cmd_train(int argc, char** argv) {
+  bw::CliParser cli("banditware_cli train — fit a recommender from run tables");
+  cli.add_flag("data", "",
+               "NAME=(cpus,mem[,gpus]):file.csv per hardware (comma separated), "
+               "or one binary .bwt run table");
+  cli.add_flag("key", "run_id", "shared run-id column (CSV data only)");
+  cli.add_flag("features", "", "comma-separated feature column names (CSV data only)");
+  cli.add_flag("rounds", "100", "replay rounds");
+  cli.add_flag("tolerance-seconds", "0", "tolerance_seconds of Algorithm 1");
+  cli.add_flag("tolerance-ratio", "0", "tolerance_ratio of Algorithm 1");
+  cli.add_flag("epsilon0", "1.0", "initial exploration rate");
+  cli.add_flag("decay", "0.99", "epsilon decay factor");
+  cli.add_flag("seed", "42", "replay seed");
+  add_state_flag(cli, "state-out", "output state file");
+  cli.add_flag("format", "auto", "state file format: auto | text | binary");
+  cli.add_flag("log", "", "optional CSV decision-audit log to write");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bw::core::RunTable table = load_table(cli);
 
   bw::core::BanditWareConfig config;
   config.policy.initial_epsilon = cli.get_double("epsilon0");
   config.policy.decay = cli.get_double("decay");
   config.policy.tolerance.seconds = cli.get_double("tolerance-seconds");
   config.policy.tolerance.ratio = cli.get_double("tolerance-ratio");
-  BanditWare bandit(catalog, features, config);
+  BanditWare bandit(table.catalog(), table.feature_names(), config);
 
   bw::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
-  bw::core::DecisionLog log(features);
+  bw::core::DecisionLog log(table.feature_names());
   const long rounds = cli.get_int("rounds");
   for (long round = 0; round < rounds; ++round) {
     const std::size_t group = rng.index(table.num_groups());
@@ -161,17 +228,19 @@ int cmd_train(int argc, char** argv) {
     std::printf("decision audit log written to %s\n", cli.get("log").c_str());
   }
 
-  write_state_file(cli.get("state"), bandit.save_state());
+  write_state_file(state_path(cli, "state-out", "banditware_state.bw"), bandit,
+                   bw::io::parse_format(cli.get("format")));
   return 0;
 }
 
 int cmd_recommend(int argc, char** argv) {
   bw::CliParser cli("banditware_cli recommend — query a trained recommender");
-  cli.add_flag("state", "banditware_state.bw", "state file from `train`");
+  add_state_flag(cli, "state-in", "state file from `train` (any format)");
   cli.add_flag("x", "", "comma-separated feature values, in training order");
   if (!cli.parse(argc, argv)) return 0;
 
-  const BanditWare bandit = load_state_file(cli.get("state"));
+  const BanditWare bandit =
+      load_state_file(state_path(cli, "state-in", "banditware_state.bw"));
   const auto tokens = split_commas(cli.get("x"));
   if (tokens.size() != bandit.feature_names().size()) {
     std::ostringstream os;
@@ -195,12 +264,24 @@ int cmd_recommend(int argc, char** argv) {
   return 0;
 }
 
-int cmd_inspect(int argc, char** argv) {
-  bw::CliParser cli("banditware_cli inspect — show a trained recommender's state");
-  cli.add_flag("state", "banditware_state.bw", "state file from `train`");
-  if (!cli.parse(argc, argv)) return 0;
+void inspect_header(const bw::io::ProbeResult& probe, const std::string& path) {
+  const char* kind = "?";
+  switch (probe.kind) {
+    case bw::io::PayloadKind::kBanditWareState:
+      kind = "banditware-state";
+      break;
+    case bw::io::PayloadKind::kBanditServerState:
+      kind = "banditserver-state";
+      break;
+    case bw::io::PayloadKind::kRunTable:
+      kind = "run-table";
+      break;
+  }
+  std::printf("file: %s\nkind: %s\nformat: %s v%d\n", path.c_str(), kind,
+              bw::io::to_string(probe.format).c_str(), probe.version);
+}
 
-  const BanditWare bandit = load_state_file(cli.get("state"));
+void inspect_bandit(const BanditWare& bandit) {
   std::printf("features:");
   for (const auto& name : bandit.feature_names()) std::printf(" %s", name.c_str());
   std::printf("\npolicy: %s\nepsilon: %.4f\nobservations: %zu\n",
@@ -214,15 +295,143 @@ int cmd_inspect(int argc, char** argv) {
                    model.model().to_string()});
   }
   std::fputs(table.to_string().c_str(), stdout);
+}
+
+void inspect_server(const bw::serve::BanditServer& server) {
+  const auto& config = server.config();
+  std::printf("shards: %zu\nsharding: %s\npolicy: %s\n", server.num_shards(),
+              bw::serve::to_string(config.sharding).c_str(),
+              bw::core::to_string(config.bandit.policy_kind).c_str());
+  const auto counts = server.shard_observation_counts();
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    std::printf("shard %zu observations: %zu\n", s, counts[s]);
+  }
+}
+
+void print_table_rows(const char* label, const std::deque<std::vector<double>>& rows,
+                      std::uint64_t first_index) {
+  if (rows.empty()) return;
+  std::printf("%s:\n", label);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("  row %llu:", static_cast<unsigned long long>(first_index + i));
+    for (double v : rows[i]) std::printf(" %g", v);
+    std::printf("\n");
+  }
+}
+
+/// Streams a binary run table: header summary, the first --head rows, the
+/// total count, and the last --tail rows (kept in a ring buffer — the file
+/// is never loaded whole).
+void inspect_run_table(std::istream& in, std::size_t head, std::size_t tail) {
+  bw::io::RunTableReader reader(in);
+  std::printf("features:");
+  for (const auto& name : reader.feature_names()) std::printf(" %s", name.c_str());
+  std::printf("\narms:");
+  for (const auto& spec : reader.catalog().specs()) {
+    std::printf(" %s%s", spec.name.c_str(), spec.to_string().c_str());
+  }
+  std::printf("\n");
+
+  std::deque<std::vector<double>> head_rows;
+  std::deque<std::vector<double>> tail_rows;
+  std::vector<double> features;
+  std::vector<double> runtimes;
+  while (reader.next_row(features, runtimes)) {
+    std::vector<double> row = features;
+    row.insert(row.end(), runtimes.begin(), runtimes.end());
+    if (head_rows.size() < head) {
+      head_rows.push_back(std::move(row));
+    } else if (tail > 0) {
+      tail_rows.push_back(std::move(row));
+      if (tail_rows.size() > tail) tail_rows.pop_front();
+    }
+  }
+  std::printf("rows: %llu%s\n", static_cast<unsigned long long>(reader.rows_read()),
+              reader.truncated() ? " (truncated file — complete rows only)" : "");
+  print_table_rows("head", head_rows, 0);
+  // Rows that fell inside the head window are not repeated in the tail.
+  print_table_rows("tail", tail_rows, reader.rows_read() - tail_rows.size());
+}
+
+int cmd_inspect(int argc, char** argv) {
+  bw::CliParser cli(
+      "banditware_cli inspect — identify and summarize any state or run-table file");
+  add_state_flag(cli, "state-in", "file to inspect (any format, any kind)");
+  cli.add_flag("head", "5", "run tables: rows to print from the start");
+  cli.add_flag("tail", "5", "run tables: rows to print from the end");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // `inspect <file>` is the natural spelling; --state-in wins if both given.
+  std::string path = state_path(cli, "state-in", "");
+  if (path.empty() && !cli.positional().empty()) path = cli.positional().front();
+  if (path.empty()) path = "banditware_state.bw";
+  std::ifstream in = open_state_file(path);
+  bw::io::ProbeResult probe;
+  if (!bw::io::probe(in, probe)) {
+    throw bw::ParseError("unrecognized state file: " + path);
+  }
+  inspect_header(probe, path);
+  bw::io::LoadInfo info;
+  switch (probe.kind) {
+    case bw::io::PayloadKind::kBanditWareState:
+      inspect_bandit(bw::io::load_state(in, &info));
+      break;
+    case bw::io::PayloadKind::kBanditServerState:
+      inspect_server(bw::io::load_server_state(in, &info));
+      break;
+    case bw::io::PayloadKind::kRunTable:
+      inspect_run_table(in, static_cast<std::size_t>(cli.get_int("head")),
+                        static_cast<std::size_t>(cli.get_int("tail")));
+      return 0;
+  }
+  if (info.truncated) {
+    std::printf("note: file is truncated — recoverable prefix shown\n");
+  }
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  bw::CliParser cli("banditware_cli convert — re-encode a state file (text <-> binary)");
+  add_state_flag(cli, "state-in", "input state file (format auto-detected)");
+  cli.add_flag("state-out", "", "output state file");
+  cli.add_flag("format", "binary", "output format: text | binary");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string in_path = state_path(cli, "state-in", "");
+  const std::string out_path = cli.get("state-out");
+  if (in_path.empty()) throw bw::InvalidArgument("--state-in is required");
+  if (out_path.empty()) throw bw::InvalidArgument("--state-out is required");
+  const bw::io::Format format = bw::io::parse_format(cli.get("format"));
+  if (format == bw::io::Format::kAuto) {
+    throw bw::InvalidArgument("convert needs an explicit --format (text or binary)");
+  }
+
+  std::ifstream in = open_state_file(in_path);
+  bw::io::ProbeResult probe;
+  if (!bw::io::probe(in, probe)) {
+    throw bw::ParseError("unrecognized state file: " + in_path);
+  }
+  switch (probe.kind) {
+    case bw::io::PayloadKind::kBanditWareState:
+      write_state_file(out_path, bw::io::load_state(in), format);
+      break;
+    case bw::io::PayloadKind::kBanditServerState:
+      write_state_file(out_path, bw::io::load_server_state(in), format);
+      break;
+    case bw::io::PayloadKind::kRunTable:
+      throw bw::InvalidArgument("run tables convert via csv2bw / bw2csv, not convert");
+  }
   return 0;
 }
 
 int cmd_serve(int argc, char** argv) {
   bw::CliParser cli(
       "banditware_cli serve — batched throughput replay through the sharded engine");
-  cli.add_flag("data", "", "NAME=(cpus,mem[,gpus]):file.csv per hardware, comma separated");
-  cli.add_flag("key", "run_id", "shared run-id column");
-  cli.add_flag("features", "", "comma-separated feature column names");
+  cli.add_flag("data", "",
+               "NAME=(cpus,mem[,gpus]):file.csv per hardware (comma separated), "
+               "or one binary .bwt run table");
+  cli.add_flag("key", "run_id", "shared run-id column (CSV data only)");
+  cli.add_flag("features", "", "comma-separated feature column names (CSV data only)");
   cli.add_flag("shards", "4", "serving shards (independent bandit replicas)");
   cli.add_flag("sharding", "feature-hash", "routing: feature-hash | round-robin");
   cli.add_flag("batch", "64", "workflows per recommend/observe batch");
@@ -243,21 +452,11 @@ int cmd_serve(int argc, char** argv) {
   cli.add_flag("epsilon0", "1.0", "initial exploration rate (policy=epsilon-greedy)");
   cli.add_flag("decay", "0.99", "epsilon decay factor (policy=epsilon-greedy)");
   cli.add_flag("seed", "42", "replay + exploration seed");
-  cli.add_flag("state", "", "optional output file for the engine snapshot");
+  add_state_flag(cli, "state-out", "optional output file for the engine snapshot");
+  cli.add_flag("format", "auto", "snapshot format: auto | text | binary");
   if (!cli.parse(argc, argv)) return 0;
 
-  const auto sources = parse_data_flag(cli.get("data"));
-  const auto features = split_commas(cli.get("features"));
-  if (features.empty()) throw bw::InvalidArgument("--features must name at least one column");
-
-  bw::hw::HardwareCatalog catalog;
-  std::vector<bw::df::DataFrame> frames;
-  for (const auto& source : sources) {
-    catalog.add(source.spec);
-    frames.push_back(bw::df::read_csv_file(source.path));
-  }
-  const bw::core::RunTable table =
-      bw::exp::merge_frames_to_table(frames, cli.get("key"), features, catalog);
+  const bw::core::RunTable table = load_table(cli);
   std::printf("replaying %zu run groups x %zu hardware settings\n", table.num_groups(),
               table.num_arms());
 
@@ -286,7 +485,7 @@ int cmd_serve(int argc, char** argv) {
   config.bandit.policy.decay = cli.get_double("decay");
   config.bandit.policy.tolerance.seconds = cli.get_double("tolerance-seconds");
   config.bandit.policy.tolerance.ratio = cli.get_double("tolerance-ratio");
-  bw::serve::BanditServer server(catalog, features, config);
+  bw::serve::BanditServer server(table.catalog(), table.feature_names(), config);
 
   bw::serve::ReplayOptions options;
   options.batch = static_cast<std::size_t>(batch);
@@ -319,8 +518,9 @@ int cmd_serve(int argc, char** argv) {
     std::printf("shard %zu observations: %zu\n", s, result.shard_observations[s]);
   }
 
-  if (!cli.get("state").empty()) {
-    write_state_file(cli.get("state"), server.save_state());
+  const std::string snapshot = state_path(cli, "state-out", "");
+  if (!snapshot.empty()) {
+    write_state_file(snapshot, server, bw::io::parse_format(cli.get("format")));
   }
   return 0;
 }
@@ -358,7 +558,7 @@ int cmd_demo(int argc, char** argv) {
     std::string rounds = "--rounds=150";
     std::string tolerance = "--tolerance-seconds=20";
     std::string data = "--data=" + data_flag;
-    std::string state_flag = "--state=" + state.string();
+    std::string state_flag = "--state-out=" + state.string();
     const char* train_argv[] = {"train",          data.c_str(),      "--features=num_tasks",
                                 rounds.c_str(),   tolerance.c_str(), state_flag.c_str()};
     const int rc = cmd_train(6, const_cast<char**>(train_argv));
@@ -369,7 +569,7 @@ int cmd_demo(int argc, char** argv) {
   for (const char* size : {"120", "300", "480"}) {
     std::printf("\nrecommend --x %s:\n", size);
     std::string x = std::string("--x=") + size;
-    std::string state_flag = "--state=" + state.string();
+    std::string state_flag = "--state-in=" + state.string();
     const char* rec_argv[] = {"recommend", state_flag.c_str(), x.c_str()};
     const int rc = cmd_recommend(3, const_cast<char**>(rec_argv));
     if (rc != 0) return rc;
@@ -380,7 +580,8 @@ int cmd_demo(int argc, char** argv) {
 
 void print_usage() {
   std::puts("banditware_cli — hardware recommendation from run-table CSVs");
-  std::puts("usage: banditware_cli <train|recommend|inspect|serve|demo> [flags]");
+  std::puts(
+      "usage: banditware_cli <train|recommend|inspect|convert|serve|demo> [flags]");
   std::puts("       banditware_cli <command> --help for per-command flags");
 }
 
@@ -396,6 +597,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(argc - 1, argv + 1);
     if (command == "recommend") return cmd_recommend(argc - 1, argv + 1);
     if (command == "inspect") return cmd_inspect(argc - 1, argv + 1);
+    if (command == "convert") return cmd_convert(argc - 1, argv + 1);
     if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     if (command == "demo") return cmd_demo(argc - 1, argv + 1);
     print_usage();

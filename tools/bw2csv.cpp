@@ -1,0 +1,88 @@
+// bw2csv — binary .bwt run table -> per-hardware CSV run tables.
+//
+//   bw2csv --in runs.bwt --out-dir tables/
+//
+// Writes one CSV per hardware arm (runs_<name>.csv: run_id, features,
+// runtime) — exactly the shape `csv2bw` and `banditware_cli train --data`
+// consume, so the conversion round-trips. The matching --data flag value is
+// printed on success. Rows stream through the packet reader; a truncated
+// input converts every complete row and warns.
+//
+// Exit codes: 0 success, 1 usage error, 2 data error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "dataframe/csv.hpp"
+#include "dataframe/dataframe.hpp"
+#include "io/run_table_io.hpp"
+
+int main(int argc, char** argv) {
+  bw::CliParser cli("bw2csv — split a binary run table into per-hardware CSVs");
+  cli.add_flag("in", "runs.bwt", "input binary run table");
+  cli.add_flag("out-dir", ".", "directory for the per-hardware CSVs");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const std::string in_path = cli.get("in");
+    std::ifstream in(in_path, std::ios::binary);
+    if (!in) throw bw::ParseError("cannot open run table: " + in_path);
+    bw::io::RunTableReader reader(in);
+
+    // Column-oriented accumulation: features are shared across arms, each
+    // arm contributes its runtime column.
+    std::vector<std::int64_t> run_ids;
+    std::vector<std::vector<double>> feature_columns(reader.num_features());
+    std::vector<std::vector<double>> runtime_columns(reader.num_arms());
+    std::vector<double> features;
+    std::vector<double> runtimes;
+    while (reader.next_row(features, runtimes)) {
+      run_ids.push_back(static_cast<std::int64_t>(run_ids.size()));
+      for (std::size_t f = 0; f < features.size(); ++f) {
+        feature_columns[f].push_back(features[f]);
+      }
+      for (std::size_t arm = 0; arm < runtimes.size(); ++arm) {
+        runtime_columns[arm].push_back(runtimes[arm]);
+      }
+    }
+    if (reader.truncated()) {
+      std::fprintf(stderr, "warning: %s is truncated; converting %llu complete rows\n",
+                   in_path.c_str(),
+                   static_cast<unsigned long long>(reader.rows_read()));
+    }
+    if (reader.rows_read() == 0) throw bw::ParseError("run table holds no complete rows");
+
+    const std::filesystem::path out_dir = cli.get("out-dir");
+    std::filesystem::create_directories(out_dir);
+    std::string data_flag;
+    const auto& specs = reader.catalog().specs();
+    for (std::size_t arm = 0; arm < specs.size(); ++arm) {
+      bw::df::DataFrame frame;
+      frame.add_column("run_id", bw::df::Column(run_ids));
+      for (std::size_t f = 0; f < reader.num_features(); ++f) {
+        frame.add_column(reader.feature_names()[f], bw::df::Column(feature_columns[f]));
+      }
+      frame.add_column("runtime", bw::df::Column(runtime_columns[arm]));
+      const std::filesystem::path csv = out_dir / ("runs_" + specs[arm].name + ".csv");
+      bw::df::write_csv_file(frame, csv.string());
+      std::printf("wrote %s: %zu rows\n", csv.string().c_str(), frame.num_rows());
+      if (arm) data_flag += ',';
+      data_flag += specs[arm].name + "=" + specs[arm].to_string() + ":" + csv.string();
+    }
+    std::printf("feed back with: --data \"%s\" --features ", data_flag.c_str());
+    for (std::size_t f = 0; f < reader.num_features(); ++f) {
+      std::printf("%s%s", f ? "," : "", reader.feature_names()[f].c_str());
+    }
+    std::printf("\n");
+    return 0;
+  } catch (const bw::InvalidArgument& error) {
+    std::fprintf(stderr, "usage error: %s\n", error.what());
+    return 1;
+  } catch (const bw::Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

@@ -1,0 +1,113 @@
+// csv2bw — per-hardware CSV run tables -> one binary .bwt run table.
+//
+//   csv2bw --data "H0=(2,16):runs_h0.csv,H1=(3,24):runs_h1.csv"
+//          --features num_tasks --out runs.bwt
+//
+// The input grammar matches `banditware_cli train --data`; the output is
+// the packet-framed container of src/io/run_table_io.hpp (feature names and
+// the hardware catalog travel in the header, so downstream commands need no
+// --features/--key flags). bw2csv inverts the conversion.
+//
+// Exit codes: 0 success, 1 usage error, 2 data error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "dataframe/csv.hpp"
+#include "experiments/datasets.hpp"
+#include "hardware/catalog.hpp"
+#include "io/run_table_io.hpp"
+
+namespace {
+
+/// Parses "H0=(2,16):runs_h0.csv,..." — same grammar as banditware_cli.
+std::vector<std::pair<bw::hw::HardwareSpec, std::string>> parse_data_flag(
+    const std::string& value) {
+  std::vector<std::string> entries;
+  int depth = 0;
+  std::string current;
+  for (char ch : value) {
+    if (ch == '(') ++depth;
+    if (ch == ')') --depth;
+    if (ch == ',' && depth == 0) {
+      entries.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) entries.push_back(current);
+
+  std::vector<std::pair<bw::hw::HardwareSpec, std::string>> sources;
+  for (const std::string& item : entries) {
+    const auto eq = item.find('=');
+    const auto colon = item.find(':', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || colon == std::string::npos) {
+      throw bw::InvalidArgument("--data entries must look like NAME=(cpus,mem):file.csv");
+    }
+    sources.emplace_back(
+        bw::hw::parse_spec(item.substr(0, eq), item.substr(eq + 1, colon - eq - 1)),
+        item.substr(colon + 1));
+  }
+  if (sources.empty()) throw bw::InvalidArgument("--data lists no sources");
+  return sources;
+}
+
+std::vector<std::string> split_commas(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream stream(value);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bw::CliParser cli("csv2bw — merge per-hardware CSVs into a binary run table");
+  cli.add_flag("data", "",
+               "NAME=(cpus,mem[,gpus]):file.csv per hardware, comma separated");
+  cli.add_flag("key", "run_id", "shared run-id column");
+  cli.add_flag("features", "", "comma-separated feature column names");
+  cli.add_flag("out", "runs.bwt", "output binary run table");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const auto sources = parse_data_flag(cli.get("data"));
+    const auto features = split_commas(cli.get("features"));
+    if (features.empty()) {
+      throw bw::InvalidArgument("--features must name at least one column");
+    }
+
+    bw::hw::HardwareCatalog catalog;
+    std::vector<bw::df::DataFrame> frames;
+    for (const auto& [spec, path] : sources) {
+      catalog.add(spec);
+      frames.push_back(bw::df::read_csv_file(path));
+      std::printf("loaded %s: %zu runs from %s\n", spec.name.c_str(),
+                  frames.back().num_rows(), path.c_str());
+    }
+    const bw::core::RunTable table =
+        bw::exp::merge_frames_to_table(frames, cli.get("key"), features, catalog);
+
+    const std::string out_path = cli.get("out");
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) throw bw::ParseError("cannot write run table: " + out_path);
+    bw::io::write_run_table(out, table);
+    if (!out) throw bw::ParseError("failed writing run table: " + out_path);
+    std::printf("wrote %s: %zu run groups x %zu hardware settings\n", out_path.c_str(),
+                table.num_groups(), table.num_arms());
+    return 0;
+  } catch (const bw::InvalidArgument& error) {
+    std::fprintf(stderr, "usage error: %s\n", error.what());
+    return 1;
+  } catch (const bw::Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}
