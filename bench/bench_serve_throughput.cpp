@@ -5,10 +5,11 @@
 // recommend_batch + observe_batch pairs.
 //
 //   ./bench/bench_serve_throughput [--decisions=20000] [--batches=1,64,256]
-//       [--workload=train|read-heavy|sync|async-sync] [--read-frac=0.9]
-//       [--clients=4] [--sync-every=1] [--max-regret-ratio=0]
-//       [--max-p99-ratio=0] [--policy=epsilon-greedy|linucb|thompson]
-//       [--alpha=1] [--posterior-scale=1] [--json=BENCH_serve_throughput.json]
+//       [--workload=train|read-heavy|read-scaling|sync|async-sync]
+//       [--read-frac=0.9] [--clients=4] [--arrival-rate=0] [--min-scaling=0]
+//       [--sync-every=1] [--max-regret-ratio=0] [--max-p99-ratio=0]
+//       [--policy=epsilon-greedy|linucb|thompson] [--alpha=1]
+//       [--posterior-scale=1] [--json=BENCH_serve_throughput.json]
 //
 // --policy swaps the learning policy in every cell (baselines included) and
 // is recorded in the BENCH json, so the sync-regret gates apply per policy:
@@ -21,8 +22,25 @@
 //     replica seeing a 1/N slice of the stream.
 //   * read-heavy  — production serving: pure-exploitation recommends from
 //     `clients` concurrent threads with a `read-frac` read/write mix.
-//     Reads take the per-shard lock shared, so concurrent recommend
-//     batches to the *same* shard no longer serialize.
+//     Reads load the published snapshot, so concurrent recommend batches
+//     to the *same* shard never contend on anything.
+//   * read-scaling — the lock-free read path under a client-thread sweep
+//     (--clients takes a list here, e.g. 1,2,4,8,16). Each client issues
+//     single pure-exploitation recommends and records per-call latency;
+//     the cell reports recommends/s plus recommend p50/p99/p999. Two
+//     generator modes: closed-loop (--arrival-rate=0, the default — each
+//     client fires its next recommend as soon as the previous returns,
+//     measuring peak throughput) and open-loop (--arrival-rate=R>0 —
+//     arrivals follow a deterministic Poisson process at R recommends/s
+//     total across clients, and latency is measured from the *scheduled*
+//     arrival, so queueing delay counts; this is the production view of
+//     tail latency, immune to coordinated omission). A background writer
+//     thread keeps observes flowing so reads race real republishes.
+//     --min-scaling=S (0 = report only) exits nonzero if the largest
+//     client count's closed-loop throughput is below S x the first client
+//     count's, with S clamped to 0.75 x hardware_concurrency so the gate
+//     asks only for scaling the host can physically deliver (a 16-client
+//     4x target is unreachable on a 1-core container).
 //   * sync        — statistical quality of round-robin sharding: mean
 //     regret per decision with and without cross-shard sync, against the
 //     1-shard baseline. Round-robin shows each replica only 1/N of the
@@ -52,6 +70,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -136,6 +155,12 @@ struct CellResult {
   std::string sync_mode;           ///< "off" | "inline" | "async"
   double observe_p50_ms = -1.0;    ///< per observe_batch call wall time
   double observe_p99_ms = -1.0;
+  // read-scaling workload only:
+  std::size_t clients = 0;          ///< 0 = not a read-scaling cell
+  double arrival_rate = 0.0;        ///< recommends/s across clients; 0 = closed
+  double recommend_p50_us = -1.0;   ///< per recommend_one call wall time
+  double recommend_p99_us = -1.0;
+  double recommend_p999_us = -1.0;
 };
 
 double percentile_ms(std::vector<double>& sorted_us, double q) {
@@ -392,6 +417,139 @@ CellResult run_read_heavy_cell(std::size_t shards, std::size_t batch,
   return result;
 }
 
+double percentile_us(const std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(q * (sorted_us.size() - 1));
+  return sorted_us[rank];
+}
+
+/// One cell of the read-scaling workload: `clients` threads issue single
+/// pure-exploitation recommends down the lock-free read path while one
+/// background writer streams observes (so reads race real snapshot swaps).
+/// arrival_rate == 0 runs closed-loop; > 0 runs open-loop at that many
+/// recommends/s spread evenly across clients, with latency measured from
+/// the scheduled arrival time (queueing delay included).
+CellResult run_read_scaling_cell(std::size_t shards, std::size_t clients,
+                                 std::size_t decisions, double arrival_rate) {
+  using Clock = std::chrono::steady_clock;
+  bw::serve::BanditServerConfig config;
+  config.num_shards = shards;
+  config.sharding = bw::serve::ShardingPolicy::kFeatureHash;
+  config.seed = 42;
+  config.explore = false;  // reads never touch a shard lock
+  config.num_threads = shards;  // pool serves only the writer's observe fan-out
+  apply_policy(config);
+  bw::serve::BanditServer server(bw::hw::ndp_catalog(), feature_names(), config);
+  const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+
+  // Pre-train every replica so the serving phase exercises fitted models.
+  {
+    bw::Rng rng(5);
+    std::vector<bw::serve::ServeObservation> warmup;
+    for (std::size_t i = 0; i < 64 * shards; ++i) {
+      const auto x = random_features(rng);
+      const auto arm = static_cast<bw::core::ArmIndex>(i % catalog.size());
+      warmup.push_back({server.shard_of(x), arm, x, synthetic_runtime(catalog[arm], x)});
+    }
+    server.observe_batch(warmup);
+  }
+
+  const std::size_t per_client = (decisions + clients - 1) / clients;
+  std::vector<std::vector<double>> latencies_us(clients);
+  std::atomic<std::size_t> total_served{0};
+  std::atomic<bool> stop_writer{false};
+
+  // Feature pools are pre-generated per client so the timed loop measures
+  // the recommend, not the RNG.
+  constexpr std::size_t kPoolSize = 512;
+  auto make_pool = [&](std::uint64_t seed) {
+    bw::Rng rng(seed);
+    std::vector<bw::core::FeatureVector> pool;
+    pool.reserve(kPoolSize);
+    for (std::size_t i = 0; i < kPoolSize; ++i) pool.push_back(random_features(rng));
+    return pool;
+  };
+
+  auto client_loop = [&](std::size_t client_id) {
+    const auto pool = make_pool(100 + client_id);
+    auto& lat = latencies_us[client_id];
+    lat.reserve(per_client);
+    // Open loop: exponential inter-arrival times (Poisson process) at this
+    // client's share of the total rate, generated deterministically.
+    const double rate = arrival_rate > 0.0 ? arrival_rate / static_cast<double>(clients)
+                                           : 0.0;
+    bw::Rng arrivals(900 + client_id);
+    auto next_arrival = Clock::now();
+    for (std::size_t i = 0; i < per_client; ++i) {
+      auto issued = Clock::now();
+      if (rate > 0.0) {
+        const double gap_s =
+            -std::log(std::max(1e-12, 1.0 - arrivals.uniform(0.0, 1.0))) / rate;
+        next_arrival += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(gap_s));
+        while (Clock::now() < next_arrival) {
+          // spin: sleep granularity is far coarser than the inter-arrival gap
+        }
+        issued = next_arrival;  // schedule time, not send time (no omission)
+      }
+      const auto& decision = server.recommend_one(pool[i % kPoolSize]);
+      (void)decision;
+      lat.push_back(std::chrono::duration<double, std::micro>(Clock::now() - issued)
+                        .count());
+    }
+    total_served += per_client;
+  };
+
+  // Background writer: a steady trickle of observe batches forces snapshot
+  // republishes, so readers exercise the swap path rather than a frozen
+  // model that never changes.
+  auto writer_loop = [&] {
+    bw::Rng rng(7);
+    while (!stop_writer.load(std::memory_order_relaxed)) {
+      std::vector<bw::serve::ServeObservation> observations;
+      observations.reserve(16);
+      for (std::size_t i = 0; i < 16; ++i) {
+        const auto x = random_features(rng);
+        const auto arm = static_cast<bw::core::ArmIndex>(
+            rng.uniform_int(0, static_cast<std::int64_t>(catalog.size()) - 1));
+        observations.push_back({server.shard_of(x), arm, x,
+                                synthetic_runtime(catalog[arm], x)});
+      }
+      server.observe_batch(observations);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  };
+
+  const auto start = Clock::now();
+  std::thread writer(writer_loop);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) threads.emplace_back(client_loop, c);
+  for (auto& thread : threads) thread.join();
+  stop_writer.store(true, std::memory_order_relaxed);
+  writer.join();
+  const auto elapsed = Clock::now() - start;
+  maybe_snapshot(server);
+
+  std::vector<double> all_us;
+  all_us.reserve(decisions);
+  for (const auto& lat : latencies_us) {
+    all_us.insert(all_us.end(), lat.begin(), lat.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+
+  CellResult result;
+  result.shards = shards;
+  result.batch = 1;
+  result.clients = clients;
+  result.arrival_rate = arrival_rate;
+  result.seconds = std::chrono::duration<double>(elapsed).count();
+  result.decisions_per_s = static_cast<double>(total_served.load()) / result.seconds;
+  result.recommend_p50_us = percentile_us(all_us, 0.50);
+  result.recommend_p99_us = percentile_us(all_us, 0.99);
+  result.recommend_p999_us = percentile_us(all_us, 0.999);
+  return result;
+}
+
 void write_json(const std::string& path, const std::string& workload,
                 double read_frac, std::size_t clients,
                 const std::vector<CellResult>& cells) {
@@ -425,6 +583,14 @@ void write_json(const std::string& path, const std::string& workload,
                    "\"observe_p99_ms\": %.4f",
                    cell.sync_mode.c_str(), cell.observe_p50_ms, cell.observe_p99_ms);
     }
+    if (cell.clients > 0) {
+      std::fprintf(f,
+                   ", \"clients\": %zu, \"arrival_rate\": %.1f, "
+                   "\"recommend_p50_us\": %.3f, \"recommend_p99_us\": %.3f, "
+                   "\"recommend_p999_us\": %.3f",
+                   cell.clients, cell.arrival_rate, cell.recommend_p50_us,
+                   cell.recommend_p99_us, cell.recommend_p999_us);
+    }
     std::fprintf(f, "}%s\n", i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -451,14 +617,26 @@ int run(int argc, char** argv) {
   cli.add_flag("shards", "1,2,4,8", "shard counts to sweep");
   cli.add_flag("batches", "1,64,256", "batch sizes to sweep");
   cli.add_flag("workload", "train",
-               "train (1:1 learn loop), read-heavy, sync, or async-sync");
+               "train (1:1 learn loop), read-heavy, read-scaling, sync, or "
+               "async-sync");
   cli.add_flag("policy", "epsilon-greedy",
                "learning policy for every cell: epsilon-greedy | linucb | thompson");
   cli.add_flag("alpha", "1.0", "linucb confidence width (policy=linucb)");
   cli.add_flag("posterior-scale", "1.0",
                "thompson sampling scale v (policy=thompson)");
   cli.add_flag("read-frac", "0.9", "read fraction of the read-heavy mix");
-  cli.add_flag("clients", "4", "concurrent client threads (read-heavy)");
+  cli.add_flag("clients", "4",
+               "concurrent client threads (read-heavy); a sweep list like "
+               "1,2,4,8,16 for read-scaling");
+  cli.add_flag("arrival-rate", "0",
+               "read-scaling generator: 0 = closed-loop (peak throughput), "
+               ">0 = open-loop Poisson arrivals at this many recommends/s "
+               "total across clients (latency from scheduled arrival)");
+  cli.add_flag("min-scaling", "0",
+               "fail if the largest client count's closed-loop throughput is "
+               "below this x the first client count's; clamped to 0.75 x "
+               "hardware threads so small hosts are not asked for impossible "
+               "parallelism (read-scaling workload; 0 = report only)");
   cli.add_flag("sync-every", "1", "sync cadence in batches (sync workloads)");
   cli.add_flag("max-regret-ratio", "0",
                "fail if a synced cell's regret exceeds this x the 1-shard "
@@ -473,8 +651,8 @@ int run(int argc, char** argv) {
   cli.add_flag("format", "auto", "snapshot format: auto | text | binary");
   if (!cli.parse(argc, argv)) return 0;
 
-  if (cli.get_int("decisions") <= 0 || cli.get_int("clients") <= 0) {
-    std::fprintf(stderr, "--decisions and --clients must be positive\n");
+  if (cli.get_int("decisions") <= 0) {
+    std::fprintf(stderr, "--decisions must be positive\n");
     return 1;
   }
   if (cli.get_int("sync-every") <= 0) {
@@ -491,18 +669,26 @@ int run(int argc, char** argv) {
   const auto batch_sizes = bw::parse_size_list(cli.get("batches"));
   const std::string workload = cli.get("workload");
   const double read_frac = cli.get_double("read-frac");
-  const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
+  const auto client_list = bw::parse_size_list(cli.get("clients"));
+  if (client_list.empty() || client_list.front() == 0) {
+    std::fprintf(stderr, "--clients must be positive\n");
+    return 1;
+  }
+  const std::size_t clients = client_list.front();
+  const double arrival_rate = cli.get_double("arrival-rate");
+  const double min_scaling = cli.get_double("min-scaling");
   const auto sync_every = static_cast<std::size_t>(cli.get_int("sync-every"));
   const double max_regret_ratio = cli.get_double("max-regret-ratio");
   const double max_p99_ratio = cli.get_double("max-p99-ratio");
   const bool read_heavy = workload == "read-heavy";
+  const bool read_scaling = workload == "read-scaling";
   const bool sync = workload == "sync";
   const bool async_sync = workload == "async-sync";
-  if (workload != "train" && workload != "read-heavy" && workload != "sync" &&
-      workload != "async-sync") {
+  if (workload != "train" && workload != "read-heavy" && workload != "read-scaling" &&
+      workload != "sync" && workload != "async-sync") {
     std::fprintf(stderr,
-                 "--workload must be 'train', 'read-heavy', 'sync', or "
-                 "'async-sync'\n");
+                 "--workload must be 'train', 'read-heavy', 'read-scaling', "
+                 "'sync', or 'async-sync'\n");
     return 1;
   }
   if (read_heavy && (read_frac < 0.0 || read_frac > 1.0)) {
@@ -517,12 +703,57 @@ int run(int argc, char** argv) {
   if (read_heavy) {
     std::printf("read fraction: %.0f%%, clients: %zu\n", read_frac * 100.0, clients);
   }
+  if (read_scaling) {
+    std::printf("clients sweep: %s, generator: %s\n", cli.get("clients").c_str(),
+                arrival_rate > 0.0 ? "open-loop" : "closed-loop");
+  }
   if (sync || async_sync) std::printf("sync cadence: every %zu batches\n", sync_every);
   std::printf("\n");
 
   std::vector<CellResult> cells;
   bool gate_failed = false;
-  if (async_sync) {
+  if (read_scaling) {
+    // Client-thread sweep down the lock-free read path. Per shard count,
+    // the first client count pins the throughput baseline; the gate (if
+    // any) applies to the largest.
+    bw::Table table({"shards", "clients", "wall (s)", "recommends/s",
+                     "p50 (us)", "p99 (us)", "p999 (us)", "vs 1st"});
+    for (std::size_t shards : shard_counts) {
+      double baseline = 0.0;
+      for (std::size_t num_clients : client_list) {
+        const CellResult cell =
+            run_read_scaling_cell(shards, num_clients, decisions, arrival_rate);
+        if (num_clients == client_list.front()) baseline = cell.decisions_per_s;
+        cells.push_back(cell);
+        const double scaling = cell.decisions_per_s / baseline;
+        table.add_row({std::to_string(cell.shards), std::to_string(cell.clients),
+                       bw::format_double(cell.seconds, 3),
+                       bw::format_double(cell.decisions_per_s, 0),
+                       bw::format_double(cell.recommend_p50_us, 2),
+                       bw::format_double(cell.recommend_p99_us, 2),
+                       bw::format_double(cell.recommend_p999_us, 2),
+                       bw::format_double(scaling, 2) + "x"});
+        if (min_scaling > 0.0 && arrival_rate == 0.0 &&
+            num_clients == client_list.back() && client_list.size() > 1) {
+          // A 16-client 4x target is physically unreachable on a 1- or
+          // 2-core host; ask only for what the hardware can deliver.
+          const double hw = std::max(1u, std::thread::hardware_concurrency());
+          const double required = std::min(min_scaling, 0.75 * hw);
+          if (required > 1.0 && scaling < required) {
+            std::fprintf(stderr,
+                         "FAIL: %zu-shard %zu-client throughput %.0f/s is only "
+                         "%.2fx the %zu-client baseline %.0f/s (limit %.2fx, "
+                         "requested %.2fx, %u hardware threads)\n",
+                         shards, num_clients, cell.decisions_per_s, scaling,
+                         client_list.front(), baseline, required, min_scaling,
+                         std::thread::hardware_concurrency());
+            gate_failed = true;
+          }
+        }
+      }
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  } else if (async_sync) {
     // Observe-latency sweep: per batch size, a 1-shard no-sync cell pins
     // the regret baseline; per multi-shard count, sync-off pins the p99
     // baseline and inline/async are measured (and gated) against the two.
@@ -632,6 +863,6 @@ int run(int argc, char** argv) {
     std::fputs(table.to_string().c_str(), stdout);
   }
   write_json(cli.get("json"), workload, read_heavy ? read_frac : 0.0,
-             read_heavy ? clients : 1, cells);
+             read_heavy || read_scaling ? clients : 1, cells);
   return gate_failed ? 1 : 0;
 }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "core/frozen_model.hpp"
 #include "io/state_io.hpp"
 
 namespace bw::core {
@@ -232,6 +233,37 @@ BanditWare BanditWare::from_stats(const hw::HardwareCatalog& catalog,
   }
   if (auto* eps = restored.eps_greedy()) eps->set_epsilon(stats.epsilon);
   return restored;
+}
+
+std::shared_ptr<const FrozenModel> BanditWare::freeze(std::uint64_t epoch) const {
+  const ArmBank& bank = banked().bank();
+  std::vector<std::shared_ptr<const FrozenArm>> arms;
+  arms.reserve(bank.size());
+  for (ArmIndex arm = 0; arm < bank.size(); ++arm) {
+    arms.push_back(std::make_shared<const FrozenArm>(FrozenArm{bank.arm(arm).model()}));
+  }
+  return std::make_shared<const FrozenModel>(
+      std::move(arms),
+      std::make_shared<const std::vector<double>>(bank.resource_costs()),
+      bank.tolerance(), feature_names_.size(), epoch);
+}
+
+std::shared_ptr<const FrozenModel> BanditWare::refreeze(const FrozenModel& prev,
+                                                        std::span<const ArmIndex> dirty,
+                                                        std::uint64_t epoch) const {
+  const ArmBank& bank = banked().bank();
+  BW_CHECK_MSG(prev.num_arms() == bank.size() && prev.dim() == feature_names_.size(),
+               "refreeze: previous snapshot shape mismatch");
+  std::vector<std::shared_ptr<const FrozenArm>> arms;
+  arms.reserve(bank.size());
+  for (ArmIndex arm = 0; arm < bank.size(); ++arm) arms.push_back(prev.arm_node(arm));
+  for (const ArmIndex arm : dirty) {
+    BW_CHECK_MSG(arm < bank.size(), "refreeze: dirty arm out of range");
+    arms[arm] = std::make_shared<const FrozenArm>(FrozenArm{bank.arm(arm).model()});
+  }
+  return std::make_shared<const FrozenModel>(std::move(arms),
+                                             prev.shared_resource_costs(),
+                                             prev.tolerance(), prev.dim(), epoch);
 }
 
 std::vector<double> BanditWare::predictions(const FeatureVector& x) const {

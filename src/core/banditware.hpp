@@ -21,7 +21,10 @@
 // State can be saved to / restored from a plain-text snapshot so a service
 // can restart without losing what it learned.
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -36,6 +39,8 @@ struct StateAccess;  // src/io/: the snapshot codecs' window into internals
 }
 
 namespace bw::core {
+
+class FrozenModel;  // core/frozen_model.hpp: immutable greedy-surface snapshot
 
 struct BanditWareConfig {
   /// Which learning policy drives next()/observe(). All policies share the
@@ -130,6 +135,23 @@ class BanditWare {
                                const std::vector<std::string>& feature_names,
                                const BanditWareConfig& config,
                                const BanditWareStats& stats);
+
+  /// Immutable snapshot of the greedy serving surface (core/frozen_model.hpp)
+  /// — what the serve layer publishes behind an atomically-swapped pointer so
+  /// pure-exploitation recommends never touch a shard lock. O(arms * d): only
+  /// the fitted per-arm LinearModel is copied, never the O(d^2) sufficient
+  /// statistics. `epoch` is the publisher's per-shard publication counter,
+  /// carried inside the snapshot for reader-side monotonicity checks.
+  std::shared_ptr<const FrozenModel> freeze(std::uint64_t epoch = 0) const;
+
+  /// Delta-rebuild of `prev` after a write: allocates fresh nodes only for
+  /// the arms in `dirty` and shares every other node (and the resource-cost
+  /// table) with the previous snapshot — O(|dirty| * d + arms). `prev` must
+  /// have been frozen from a same-shape instance (same catalog size and
+  /// feature count); throws InvalidArgument otherwise.
+  std::shared_ptr<const FrozenModel> refreeze(const FrozenModel& prev,
+                                              std::span<const ArmIndex> dirty,
+                                              std::uint64_t epoch) const;
 
   /// R̂(H_i, x) for every arm.
   std::vector<double> predictions(const FeatureVector& x) const;

@@ -1,0 +1,48 @@
+#include "core/frozen_model.hpp"
+
+#include "common/error.hpp"
+
+namespace bw::core {
+
+FrozenModel::FrozenModel(std::vector<std::shared_ptr<const FrozenArm>> arms,
+                         std::shared_ptr<const std::vector<double>> resource_costs,
+                         ToleranceParams tolerance, std::size_t num_features,
+                         std::uint64_t epoch)
+    : arms_(std::move(arms)),
+      resource_costs_(std::move(resource_costs)),
+      tolerance_(tolerance),
+      num_features_(num_features),
+      epoch_(epoch) {
+  BW_CHECK_MSG(!arms_.empty(), "frozen model needs at least one arm");
+  BW_CHECK_MSG(resource_costs_ != nullptr && resource_costs_->size() == arms_.size(),
+               "frozen model: resource costs do not match the arms");
+  for (const auto& arm : arms_) {
+    BW_CHECK_MSG(arm != nullptr, "frozen model: null arm node");
+  }
+  BW_CHECK_MSG(num_features_ > 0, "frozen model needs at least one feature");
+}
+
+TolerantChoice FrozenModel::recommend_choice(const FeatureVector& x) const {
+  BW_CHECK_MSG(x.size() == num_features_, "feature vector size mismatch");
+  // Same scratch idiom as ArmBank::recommend_choice: this is the serving
+  // hot path and runs concurrently on many reader threads, so the reusable
+  // prediction buffer must be per-thread.
+  static thread_local std::vector<double> predictions;
+  predictions.resize(arms_.size());
+  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
+    predictions[arm] = arms_[arm]->model.predict(x);
+  }
+  return tolerant_select(predictions, *resource_costs_, tolerance_);
+}
+
+double FrozenModel::predict(ArmIndex arm, const FeatureVector& x) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  return arms_[arm]->model.predict(x);
+}
+
+const std::shared_ptr<const FrozenArm>& FrozenModel::arm_node(ArmIndex arm) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  return arms_[arm];
+}
+
+}  // namespace bw::core

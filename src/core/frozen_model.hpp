@@ -1,0 +1,85 @@
+#pragma once
+// FrozenModel — an immutable, structurally-shared snapshot of a BanditWare
+// instance's greedy serving surface (the tolerant-greedy pass every policy
+// kind shares). The serve layer publishes one of these per shard behind an
+// atomically-swapped shared_ptr (RCU-style), so a pure-exploitation
+// recommend is a wait-free pointer load plus a predict against frozen state
+// — no shard mutex touched (ROADMAP "Read publication").
+//
+// A snapshot holds exactly what the greedy pass reads and nothing else: one
+// fitted linalg::LinearModel per arm (O(d) doubles — not the O(d^2)
+// sufficient statistics, which only writers need), the catalog's resource
+// costs, and the tolerance parameters. Prediction runs through the same
+// LinearModel::predict and tolerant_select the live ArmBank pass uses, so a
+// frozen recommend is byte-identical to a shared-lock recommend against the
+// model it was frozen from.
+//
+// Structural sharing keeps republication off the O(arms) cliff: per-arm
+// state lives in individually shared nodes, so rebuilding after a write
+// (BanditWare::refreeze) allocates new nodes only for the arms the write
+// touched and shares every other node with the previous snapshot —
+// O(dirty * d + arms) per publish instead of O(arms * d), which is what
+// makes per-batch republication affordable at hardware-catalog scale.
+//
+// Instances are deeply immutable after construction and safe to read from
+// any number of threads with no synchronization beyond the pointer load
+// that obtained them. Build them via BanditWare::freeze / refreeze.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/tolerant.hpp"
+#include "core/types.hpp"
+#include "linalg/lstsq.hpp"
+
+namespace bw::core {
+
+/// One frozen arm: the fitted linear model only. Nodes are the unit of
+/// structural sharing between successive snapshots.
+struct FrozenArm {
+  linalg::LinearModel model;
+};
+
+class FrozenModel {
+ public:
+  /// Assembled by BanditWare::freeze / refreeze; `epoch` is the publisher's
+  /// per-shard publication counter (readers use it to assert monotonic
+  /// snapshot visibility — a reader must never observe an epoch go
+  /// backwards on one shard).
+  FrozenModel(std::vector<std::shared_ptr<const FrozenArm>> arms,
+              std::shared_ptr<const std::vector<double>> resource_costs,
+              ToleranceParams tolerance, std::size_t num_features,
+              std::uint64_t epoch);
+
+  std::size_t num_arms() const { return arms_.size(); }
+  std::size_t dim() const { return num_features_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Tolerant-greedy choice with its predicted runtime — the same pass (and
+  /// the same thread_local scratch idiom) as ArmBank::recommend_choice, so
+  /// the decision is byte-identical to a locked read of the source model.
+  TolerantChoice recommend_choice(const FeatureVector& x) const;
+
+  /// R̂ for one arm against the frozen weights.
+  double predict(ArmIndex arm, const FeatureVector& x) const;
+
+  /// The shared per-arm node — exposed so refreeze can share untouched
+  /// nodes and tests can pin the structural-sharing contract by pointer
+  /// identity.
+  const std::shared_ptr<const FrozenArm>& arm_node(ArmIndex arm) const;
+
+  const std::shared_ptr<const std::vector<double>>& shared_resource_costs() const {
+    return resource_costs_;
+  }
+  const ToleranceParams& tolerance() const { return tolerance_; }
+
+ private:
+  std::vector<std::shared_ptr<const FrozenArm>> arms_;
+  std::shared_ptr<const std::vector<double>> resource_costs_;
+  ToleranceParams tolerance_;
+  std::size_t num_features_;
+  std::uint64_t epoch_;
+};
+
+}  // namespace bw::core

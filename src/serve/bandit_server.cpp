@@ -213,16 +213,60 @@ ServeDecision BanditServer::decide_locked(Shard& shard, std::size_t shard_index,
   return out;
 }
 
+ServeDecision BanditServer::decide_frozen(const core::FrozenModel& model,
+                                          std::size_t shard_index,
+                                          const core::FeatureVector& x) const {
+  const core::TolerantChoice choice = model.recommend_choice(x);
+  ServeDecision out;
+  out.shard = shard_index;
+  out.arm = choice.arm;
+  out.spec = &catalog_[choice.arm];
+  out.explored = false;
+  out.predicted_runtime_s = choice.predicted_runtime;
+  return out;
+}
+
+void BanditServer::republish_locked(Shard& shard) {
+  shard.published.store(shard.bandit.freeze(++shard.publish_epoch),
+                        std::memory_order_release);
+}
+
+void BanditServer::republish_locked(Shard& shard,
+                                    std::span<const core::ArmIndex> dirty) {
+  // Relaxed load is enough: the exclusive shard lock makes us the only
+  // publisher, so the previous snapshot is whatever we (or a predecessor
+  // under this lock) last stored.
+  const auto prev = shard.published.load(std::memory_order_relaxed);
+  shard.published.store(shard.bandit.refreeze(*prev, dirty, ++shard.publish_epoch),
+                        std::memory_order_release);
+}
+
+ServeDecision BanditServer::recommend_greedy(const core::FeatureVector& x) {
+  const std::size_t index = route(x);
+  // The lock-free read path: one atomic snapshot load, predict against
+  // frozen immutable state. The shard mutex is never touched, so greedy
+  // reads scale with client threads and never wait out a sync swap.
+  const auto model = shards_[index]->published.load(std::memory_order_acquire);
+  return decide_frozen(*model, index, x);
+}
+
+std::shared_ptr<const core::FrozenModel> BanditServer::published_model(
+    std::size_t shard) const {
+  BW_CHECK_MSG(shard < shards_.size(), "published_model: unknown shard");
+  return shards_[shard]->published.load(std::memory_order_acquire);
+}
+
+std::uint64_t BanditServer::published_epoch(std::size_t shard) const {
+  return published_model(shard)->epoch();
+}
+
 ServeDecision BanditServer::recommend_one(const core::FeatureVector& x) {
+  // Exploration mutates the shard RNG and policy diagnostics, so it needs
+  // the exclusive lock; pure exploitation reads the published snapshot.
+  if (!config_.explore) return recommend_greedy(x);
   const std::size_t index = route(x);
   Shard& shard = *shards_[index];
-  // Exploration mutates the shard RNG and policy diagnostics; pure
-  // exploitation is read-only and may share the lock with other readers.
-  if (config_.explore) {
-    std::unique_lock lock(shard.mutex);
-    return decide_locked(shard, index, x);
-  }
-  std::shared_lock lock(shard.mutex);
+  std::unique_lock lock(shard.mutex);
   return decide_locked(shard, index, x);
 }
 
@@ -231,8 +275,27 @@ std::vector<ServeDecision> BanditServer::recommend_batch(
   std::vector<ServeDecision> results(xs.size());
   if (xs.empty()) return results;
 
-  // Route serially (keeps round-robin deterministic for a batch), then fan
-  // out one task per non-empty shard. Tasks write to disjoint result slots.
+  if (!config_.explore) {
+    // Lock-free read path, served inline: one published-snapshot load per
+    // shard-group per batch (the load is hoisted out of the item loop), no
+    // locks, no pool dispatch. Fan-out would buy nothing here — the
+    // per-item work is an O(arms * d) prediction pass, smaller than a
+    // task's queue + wake cost, and read-heavy deployments already bring
+    // their concurrency as client threads.
+    std::vector<std::shared_ptr<const core::FrozenModel>> snapshots(shards_.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const std::size_t s = route(xs[i]);
+      if (snapshots[s] == nullptr) {
+        snapshots[s] = shards_[s]->published.load(std::memory_order_acquire);
+      }
+      results[i] = decide_frozen(*snapshots[s], s, xs[i]);
+    }
+    return results;
+  }
+
+  // Exploring batch: route serially (keeps round-robin deterministic for a
+  // batch), then fan out one task per non-empty shard under its exclusive
+  // lock. Tasks write to disjoint result slots.
   std::vector<std::vector<std::size_t>> by_shard(shards_.size());
   for (std::size_t i = 0; i < xs.size(); ++i) by_shard[route(xs[i])].push_back(i);
 
@@ -241,16 +304,9 @@ std::vector<ServeDecision> BanditServer::recommend_batch(
     if (by_shard[s].empty()) continue;
     futures.push_back(pool_->submit([this, s, &by_shard, &xs, &results] {
       Shard& shard = *shards_[s];
-      if (config_.explore) {
-        std::unique_lock lock(shard.mutex);
-        for (std::size_t i : by_shard[s]) {
-          results[i] = decide_locked(shard, s, xs[i]);
-        }
-      } else {
-        std::shared_lock lock(shard.mutex);
-        for (std::size_t i : by_shard[s]) {
-          results[i] = decide_locked(shard, s, xs[i]);
-        }
+      std::unique_lock lock(shard.mutex);
+      for (std::size_t i : by_shard[s]) {
+        results[i] = decide_locked(shard, s, xs[i]);
       }
     }));
   }
@@ -289,6 +345,8 @@ void BanditServer::observe_one(const ServeObservation& obs) {
   Shard& shard = *shards_[obs.shard];
   std::unique_lock lock(shard.mutex);
   shard.bandit.observe(obs.arm, obs.x, obs.runtime_s);
+  const core::ArmIndex dirty[] = {obs.arm};
+  republish_locked(shard, dirty);
 }
 
 void BanditServer::observe_batch(const std::vector<ServeObservation>& observations) {
@@ -306,10 +364,18 @@ void BanditServer::observe_batch(const std::vector<ServeObservation>& observatio
     futures.push_back(pool_->submit([this, s, &by_shard, &observations] {
       Shard& shard = *shards_[s];
       std::unique_lock lock(shard.mutex);
+      std::vector<core::ArmIndex> dirty;
+      dirty.reserve(by_shard[s].size());
       for (std::size_t i : by_shard[s]) {
         const ServeObservation& obs = observations[i];
         shard.bandit.observe(obs.arm, obs.x, obs.runtime_s);
+        dirty.push_back(obs.arm);
       }
+      // Coalesce: one rebuild + swap per shard per batch, refreezing only
+      // the arms this batch touched.
+      std::sort(dirty.begin(), dirty.end());
+      dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+      republish_locked(shard, dirty);
     }));
   }
   wait_all(futures);
@@ -337,7 +403,12 @@ void BanditServer::sync_shards() {
     // algebra exact across repeated syncs (shared ancestry counted once).
     core::BanditWare fused = *sync_base_;
     for (const auto& shard : shards_) fused.merge_from(shard->bandit, sync_base_.get());
-    for (const auto& shard : shards_) shard->bandit = fused;
+    for (const auto& shard : shards_) {
+      shard->bandit = fused;
+      // Every arm may have moved: full re-freeze before the lock drops so
+      // lock-free readers flip straight to the fused generation.
+      republish_locked(*shard);
+    }
     *sync_base_ = std::move(fused);
     base_obs_count_.store(sync_base_->num_observations(), std::memory_order_relaxed);
     // The baseline moved: any async round staged against the previous
@@ -513,6 +584,11 @@ bool BanditServer::sync_publish() {
   }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->bandit = std::move(published[s]);  // move-assigns: no-throw
+    // Re-freeze inside the exclusive window: a freeze only copies the
+    // O(arms * d) fitted weights, so the window stays short, and lock-free
+    // readers never observe a half-published generation — they flip from
+    // the old snapshot to the fully fused one in a single pointer swap.
+    republish_locked(*shards_[s]);
   }
   *sync_base_ = std::move(*staging_.fused);
   base_obs_count_.store(sync_base_->num_observations(), std::memory_order_relaxed);

@@ -41,6 +41,24 @@
 //     still in the shards and re-folds next round). recommends and observes
 //     never block on fusion math.
 //
+// Read publication (RCU-style lock-free reads): each shard additionally
+// publishes its model's greedy surface as an immutable core::FrozenModel
+// behind an atomically-swapped shared_ptr. A pure-exploitation recommend is
+// one atomic pointer load plus a predict against frozen state — it never
+// touches the shard mutex, so read-heavy throughput scales with client
+// threads instead of serializing on shared-lock cacheline traffic. Every
+// writer funnels through one build-and-swap idiom under the exclusive shard
+// lock: observes refreeze only the arms they touched (structural sharing —
+// O(dirty * d + arms) per publish), batch observes coalesce into one
+// refreeze per shard per batch, and the sync paths (inline sync_shards and
+// the async fuser's publish window) re-freeze the whole shard after
+// swapping in the fused model. Readers therefore see either the old or the
+// new snapshot, never a half-published one, and the per-shard publication
+// epoch (FrozenModel::epoch) is monotone under the write lock. The shared
+// lock still guards everything that is not a frozen read: exploring
+// recommends (they consume the shard RNG), predictions(), counts, and
+// snapshots.
+//
 // Snapshots are atomic (all shard locks held) and built on the facade's
 // plain-text snapshots, so save -> load -> save is byte-identical. Like
 // BanditWare::save_state, exploration RNG state and non-default fit options
@@ -60,12 +78,14 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/banditware.hpp"
+#include "core/frozen_model.hpp"
 
 namespace bw::io {
 struct StateAccess;  // src/io/: the snapshot codecs' window into internals
@@ -157,12 +177,32 @@ class BanditServer {
   /// `shard` field instead.
   std::size_t shard_of(const core::FeatureVector& x) const;
 
-  /// Serves one decision (locks a single shard).
+  /// Serves one decision. Pure-exploitation engines (config.explore ==
+  /// false) serve from the shard's published snapshot — one atomic pointer
+  /// load, no lock; exploring engines lock their shard exclusively (the
+  /// pick consumes the shard RNG).
   ServeDecision recommend_one(const core::FeatureVector& x);
 
-  /// Serves a batch: requests are routed, grouped per shard, and executed
-  /// concurrently on the internal pool. Result i corresponds to xs[i].
+  /// Serves a batch. Pure-exploitation engines serve inline on the calling
+  /// thread from one published-snapshot load per shard-group — no locks, no
+  /// pool dispatch (the per-item work is an O(arms * d) prediction pass;
+  /// client-side concurrency supplies the parallelism in read-heavy
+  /// serving). Exploring engines group per shard and fan out on the
+  /// internal pool under exclusive locks. Result i corresponds to xs[i].
   std::vector<ServeDecision> recommend_batch(const std::vector<core::FeatureVector>& xs);
+
+  /// The lock-free read path, independent of config.explore: routes x and
+  /// serves the tolerant-greedy recommendation from the shard's published
+  /// immutable snapshot (`explored` is always false). This is what
+  /// recommend_one/recommend_batch run in pure-exploitation mode; exposed
+  /// so mixed deployments (and the publication-protocol tests) can issue
+  /// greedy reads against an exploring engine without touching its locks.
+  ServeDecision recommend_greedy(const core::FeatureVector& x);
+
+  /// The shard's currently published snapshot / its publication epoch (one
+  /// atomic load; epochs are monotone per shard). Monitoring + test hooks.
+  std::shared_ptr<const core::FrozenModel> published_model(std::size_t shard) const;
+  std::uint64_t published_epoch(std::size_t shard) const;
 
   /// Feeds one observed runtime back into its shard. The observation is
   /// validated first: shard in range, arm known, feature size matching, and
@@ -264,20 +304,33 @@ class BanditServer {
   // the restore constructor; nothing else sees the internals.
   friend struct bw::io::StateAccess;
 
-  // Read-mostly concurrency: recommends in pure-exploitation mode
-  // (config.explore == false) only read the replica — the tolerant-greedy
-  // pass is shared substrate across every policy kind — so they take the
-  // shard lock shared and run concurrently; observes, snapshots, and
-  // exploring recommends take it exclusive. Exploring recommends must stay
-  // exclusive for every policy: ε-greedy flips the ε-coin and Thompson
-  // draws from the posterior (both advance the shard RNG), and LinUCB
-  // rides the same path for uniformity (its select is deterministic but
-  // explore mode is a per-engine, not per-policy, switch).
+  // Concurrency model per shard:
+  //   * Lock-free reads — pure-exploitation recommends load `published`
+  //     (an immutable FrozenModel behind std::atomic<shared_ptr>) and never
+  //     touch the mutex. Writers swap in a fresh snapshot before releasing
+  //     the exclusive lock, so a read sees either the pre- or post-write
+  //     model, never a torn one.
+  //   * Exclusive mutex — observes, sync swaps, and exploring recommends.
+  //     Exploring recommends must stay exclusive for every policy: ε-greedy
+  //     flips the ε-coin and Thompson draws from the posterior (both
+  //     advance the shard RNG), and LinUCB rides the same path for
+  //     uniformity (explore mode is a per-engine, not per-policy, switch).
+  //   * Shared mutex — predictions(), counts, snapshots, and the async
+  //     fuser's stage copies: consistent reads of the *live* model (the
+  //     published snapshot only carries the greedy surface).
   struct Shard {
     mutable std::shared_mutex mutex;
     core::BanditWare bandit;
     Rng rng;
-    Shard(core::BanditWare b, std::uint64_t seed) : bandit(std::move(b)), rng(seed) {}
+    /// Epoch-published immutable snapshot of `bandit`'s greedy surface.
+    /// Readers: one atomic load, any thread, no lock. Writers: rebuilt and
+    /// swapped under the exclusive mutex (single writer at a time, so
+    /// `publish_epoch` below needs no atomicity of its own).
+    std::atomic<std::shared_ptr<const core::FrozenModel>> published;
+    std::uint64_t publish_epoch = 0;  ///< guarded by mutex (writers only)
+    Shard(core::BanditWare b, std::uint64_t seed) : bandit(std::move(b)), rng(seed) {
+      published.store(bandit.freeze(publish_epoch), std::memory_order_release);
+    }
   };
 
   /// One in-flight async round: staged statistics, then their fused result.
@@ -303,6 +356,14 @@ class BanditServer {
   std::size_t route(const core::FeatureVector& x);
   ServeDecision decide_locked(Shard& shard, std::size_t shard_index,
                               const core::FeatureVector& x);
+  ServeDecision decide_frozen(const core::FrozenModel& model, std::size_t shard_index,
+                              const core::FeatureVector& x) const;
+  /// Build-and-swap: the one write-side publication idiom. Both run with
+  /// the shard mutex held exclusive; `dirty` lists the arms the write
+  /// touched (refreeze shares every other node with the previous snapshot),
+  /// the no-argument form re-freezes the whole model (sync swaps).
+  void republish_locked(Shard& shard);
+  void republish_locked(Shard& shard, std::span<const core::ArmIndex> dirty);
   void validate_observation(const ServeObservation& obs) const;
   void fuser_loop();
   void ensure_fuser_locked();

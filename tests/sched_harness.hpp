@@ -5,8 +5,9 @@
 // Real-thread stress tests (test_serve.cpp) prove the locking is clean, but
 // they cannot replay a failing interleaving. This driver replaces threads
 // with a virtual clock: every "concurrent" actor — serving workers, the
-// background fuser, a snapshotter, an inline-sync antagonist — becomes a
-// step function, and a seeded RNG picks which actor advances at each tick.
+// background fuser, a snapshotter, an inline-sync antagonist, a lock-free
+// reader probing the published snapshots — becomes a step function, and a
+// seeded RNG picks which actor advances at each tick.
 // All ops run serialized on the calling thread, so one (seed, weights,
 // ticks) triple reproduces the exact interleaving every time: same seed ⇒
 // byte-identical final snapshot, same decision trace, same regret. The
@@ -22,6 +23,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/tolerant.hpp"
 #include "serve/bandit_server.hpp"
 
 namespace bw::serve::testing {
@@ -32,6 +34,7 @@ struct ScheduleWeights {
   int fuser_step = 4;   ///< advance the async pipeline by one phase
   int inline_sync = 0;  ///< stop-the-world sync_shards() racing the pipeline
   int snapshot = 1;     ///< save_state + load + consistency assertions
+  int read = 0;         ///< lock-free recommend_greedy + publication checks
 };
 
 struct ScheduleResult {
@@ -47,6 +50,11 @@ struct ScheduleResult {
   std::size_t abandoned_rounds = 0;  ///< publishes dropped (stale generation)
   std::size_t snapshots_checked = 0;
   std::size_t inconsistent_snapshots = 0;  ///< mid-sync cuts that failed checks
+  // Read actor (lock-free publication path):
+  std::size_t read_decisions = 0;     ///< recommend_greedy calls issued
+  std::size_t read_checks = 0;        ///< reads cross-checked against live model
+  std::size_t read_mismatches = 0;    ///< published decision != live-model decision
+  std::size_t epoch_regressions = 0;  ///< a shard's published epoch went backwards
 };
 
 /// Virtual-clock schedule driver. The server must be configured with
@@ -85,8 +93,12 @@ class ScheduleDriver {
     enum class Phase { kStage, kFuse, kPublish };
     Phase phase = Phase::kStage;
 
+    // Read actor state: the highest published epoch each shard has shown a
+    // reader, for the monotonicity check.
+    std::vector<std::uint64_t> last_epoch(server.num_shards(), 0);
+
     const int total_weight = weights_.serve + weights_.fuser_step +
-                             weights_.inline_sync + weights_.snapshot;
+                             weights_.inline_sync + weights_.snapshot + weights_.read;
     BW_CHECK_MSG(total_weight > 0, "ScheduleDriver needs at least one actor");
 
     for (std::size_t tick = 0; tick < ticks_; ++tick) {
@@ -121,7 +133,12 @@ class ScheduleDriver {
         server.sync_shards();
         continue;
       }
-      check_snapshot(server, result);
+      pick -= weights_.inline_sync;
+      if (pick < weights_.snapshot) {
+        check_snapshot(server, result);
+        continue;
+      }
+      read_one(server, workload_rng, last_epoch, result);
     }
 
     // Quiesce: finish the in-flight round (published or abandoned — either
@@ -178,6 +195,34 @@ class ScheduleDriver {
     }
     server.observe_batch(observations);
     result.observations_fed += observations.size();
+  }
+
+  /// One lock-free read plus the two publication invariants. The harness is
+  /// serialized, so every writer has republished before this actor runs:
+  /// the published snapshot must decide exactly like the live (locked)
+  /// model, and no shard's epoch may ever move backwards. A reader that
+  /// caught a half-published generation would fail the first check; a torn
+  /// or reordered swap would fail the second.
+  void read_one(BanditServer& server, Rng& workload_rng,
+                std::vector<std::uint64_t>& last_epoch, ScheduleResult& result) const {
+    const core::FeatureVector x{
+        static_cast<double>(workload_rng.uniform_int(20, 500))};
+    const ServeDecision decision = server.recommend_greedy(x);
+    ++result.read_decisions;
+
+    const std::uint64_t epoch = server.published_epoch(decision.shard);
+    if (epoch < last_epoch[decision.shard]) ++result.epoch_regressions;
+    last_epoch[decision.shard] = std::max(last_epoch[decision.shard], epoch);
+
+    ++result.read_checks;
+    const std::vector<double> live = server.predictions(decision.shard, x);
+    const core::TolerantChoice expected = core::tolerant_select(
+        live, catalog_.resource_costs(config_.bandit.policy.resource_weights),
+        config_.bandit.policy.tolerance);
+    if (expected.arm != decision.arm ||
+        expected.predicted_runtime != decision.predicted_runtime_s) {
+      ++result.read_mismatches;
+    }
   }
 
   /// A snapshot taken at any tick — including between stage/fuse/publish —

@@ -354,5 +354,59 @@ TEST(AsyncSyncPipeline, RequestSyncAndDrainPublishViaBackgroundFuser) {
   EXPECT_EQ(server.predictions(0, x), server.predictions(1, x));
 }
 
+// ---------------------------------------------------------------------------
+// ReadPublication: the lock-free read path (atomically swapped immutable
+// snapshots) interleaved with every writer the engine has — observe batches,
+// the stepwise async pipeline, inline-sync antagonists, snapshotters. The
+// harness serializes the schedule, so after each writer tick the published
+// snapshot must agree bit-for-bit with the live locked model, and epochs
+// must only move forward.
+// ---------------------------------------------------------------------------
+
+TEST(ReadPublication, SameSeedWithReadersIsByteIdentical) {
+  // Adding lock-free readers must not cost the harness its acceptance bar:
+  // same seed + schedule => identical trace and byte-identical snapshot.
+  const ScheduleDriver driver = make_driver(4, ScheduleWeights{8, 4, 1, 1, 6});
+  for (const std::uint64_t seed : kSeeds) {
+    const ScheduleResult a = driver.run(seed);
+    const ScheduleResult b = driver.run(seed);
+    EXPECT_EQ(a.decisions, b.decisions) << "seed=" << seed;
+    EXPECT_EQ(a.final_state, b.final_state) << "seed=" << seed;
+    EXPECT_EQ(a.read_decisions, b.read_decisions) << "seed=" << seed;
+    EXPECT_GT(a.read_decisions, 0u) << "seed=" << seed;
+  }
+}
+
+TEST(ReadPublication, ReaderNeverObservesStaleOrTornSnapshot) {
+  // The publication protocol's two invariants, checked after every read:
+  // the published snapshot decides exactly like the live model (writers
+  // republish before releasing the shard lock, so a serialized reader can
+  // never see a half-published generation), and no shard's epoch moves
+  // backwards. Reader-heavy schedule with both sync antagonists racing.
+  const ScheduleDriver driver = make_driver(4, ScheduleWeights{4, 6, 2, 1, 10});
+  for (const std::uint64_t seed : kSeeds) {
+    const ScheduleResult result = driver.run(seed);
+    EXPECT_GT(result.read_checks, 0u) << "seed=" << seed;
+    EXPECT_EQ(result.read_mismatches, 0u) << "seed=" << seed;
+    EXPECT_EQ(result.epoch_regressions, 0u) << "seed=" << seed;
+    EXPECT_EQ(result.observations, result.observations_fed) << "seed=" << seed;
+  }
+}
+
+TEST(ReadPublication, ReadersSeeEveryPolicyIdentically) {
+  // The frozen snapshot carries only the shared greedy surface, so the
+  // publication invariants are policy-independent: LinUCB and Thompson
+  // fleets pass the same mismatch/epoch bars.
+  for (const core::PolicyKind kind :
+       {core::PolicyKind::kLinUcb, core::PolicyKind::kThompson}) {
+    const ScheduleDriver driver(async_policy_config(4, kind), hw::ndp_catalog(), 8,
+                                400, ScheduleWeights{6, 4, 1, 1, 8});
+    const ScheduleResult result = driver.run(kSeeds[0]);
+    EXPECT_GT(result.read_checks, 0u);
+    EXPECT_EQ(result.read_mismatches, 0u);
+    EXPECT_EQ(result.epoch_regressions, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace bw::serve
