@@ -5,11 +5,12 @@
 // recommend_batch + observe_batch pairs.
 //
 //   ./bench/bench_serve_throughput [--decisions=20000] [--batches=1,64,256]
-//       [--workload=train|read-heavy|read-scaling|sync|async-sync]
+//       [--workload=train|read-heavy|read-scaling|sync|async-sync|drift]
 //       [--read-frac=0.9] [--clients=4] [--arrival-rate=0] [--min-scaling=0]
 //       [--sync-every=1] [--max-regret-ratio=0] [--max-p99-ratio=0]
 //       [--policy=epsilon-greedy|linucb|thompson] [--alpha=1]
-//       [--posterior-scale=1] [--json=BENCH_serve_throughput.json]
+//       [--posterior-scale=1] [--lambda=1] [--max-post-shift-regret-ratio=0]
+//       [--json=BENCH_serve_throughput.json]
 //
 // --policy swaps the learning policy in every cell (baselines included) and
 // is recorded in the BENCH json, so the sync-regret gates apply per policy:
@@ -63,6 +64,19 @@
 //     exceeds R x the sync-off baseline at the same shard count;
 //     --max-regret-ratio=R fails if the async cell's regret exceeds R x
 //     the 1-shard baseline.
+//   * drift        — nonstationary workloads: the synthetic runtime model
+//     shifts halfway through the run (abrupt: the cpu axis flips in one
+//     step; gradual: the same flip blended linearly over the second half;
+//     churn: the pre-shift best arm alone turns pathological) and every
+//     policy is run twice — undiscounted (lambda=1) and with a forgetting
+//     factor (--lambda, or 0.98 when --lambda is left at 1). The cell
+//     reports mean regret over the whole run and over the post-shift half
+//     separately; the discounted learner should recover faster.
+//     --max-post-shift-regret-ratio=R (0 = report only) fails if the
+//     discounted cell's post-shift regret exceeds R x its undiscounted
+//     twin for epsilon-greedy or linucb (Thompson is reported unguarded:
+//     posterior sampling adds variance the deterministic gate would
+//     punish unfairly). Decisions are deterministic for a fixed seed.
 //
 // Emits machine-readable BENCH_*.json so the perf trajectory is tracked
 // across PRs.
@@ -114,6 +128,7 @@ struct PolicyChoice {
   bw::core::PolicyKind kind = bw::core::PolicyKind::kEpsilonGreedy;
   double alpha = 1.0;
   double posterior_scale = 1.0;
+  double lambda = 1.0;  ///< RLS forgetting factor (1 = no discounting)
 };
 PolicyChoice g_policy;
 
@@ -121,6 +136,7 @@ void apply_policy(bw::serve::BanditServerConfig& config) {
   config.bandit.policy_kind = g_policy.kind;
   config.bandit.alpha = g_policy.alpha;
   config.bandit.posterior_scale = g_policy.posterior_scale;
+  config.bandit.policy.fit.forgetting = g_policy.lambda;
 }
 
 bw::core::FeatureVector random_features(bw::Rng& rng) {
@@ -161,6 +177,11 @@ struct CellResult {
   double recommend_p50_us = -1.0;   ///< per recommend_one call wall time
   double recommend_p99_us = -1.0;
   double recommend_p999_us = -1.0;
+  // drift workload only:
+  std::string scenario;             ///< "abrupt" | "gradual" | "churn"
+  std::string policy;               ///< drift runs every policy per scenario
+  double lambda = 1.0;              ///< forgetting factor of this cell
+  double post_shift_regret_s = -1.0;  ///< mean regret after the midpoint shift
 };
 
 double percentile_ms(std::vector<double>& sorted_us, double q) {
@@ -487,8 +508,17 @@ CellResult run_read_scaling_cell(std::size_t shards, std::size_t clients,
             -std::log(std::max(1e-12, 1.0 - arrivals.uniform(0.0, 1.0))) / rate;
         next_arrival += std::chrono::duration_cast<Clock::duration>(
             std::chrono::duration<double>(gap_s));
+        // Hybrid wait: sleep off the bulk of the gap, spin only the final
+        // stretch. A pure spin burns a full core per client between
+        // arrivals (at low rates that is almost the whole run); a pure
+        // sleep overshoots by the scheduler's wake-up jitter. The slack
+        // absorbs that jitter so the arrival time stays precise.
+        constexpr auto kSpinSlack = std::chrono::microseconds(200);
+        if (Clock::now() + kSpinSlack < next_arrival) {
+          std::this_thread::sleep_until(next_arrival - kSpinSlack);
+        }
         while (Clock::now() < next_arrival) {
-          // spin: sleep granularity is far coarser than the inter-arrival gap
+          // spin: sleep granularity is far coarser than the remaining gap
         }
         issued = next_arrival;  // schedule time, not send time (no omission)
       }
@@ -550,6 +580,118 @@ CellResult run_read_scaling_cell(std::size_t shards, std::size_t clients,
   return result;
 }
 
+/// How the synthetic runtime model drifts over a run. `t` is decision
+/// progress in [0, 1); every scenario shifts at t = 0.5. `mirror_sum` is
+/// min_cpus + max_cpus, so `mirror_sum - cpus` reflects the cpu axis: the
+/// pre-shift best arm (most cpus) becomes the post-shift worst and vice
+/// versa. `churn_arm` is the pre-shift best arm.
+struct DriftModel {
+  std::string scenario;
+  int mirror_sum = 0;
+  std::size_t churn_arm = 0;
+
+  double runtime(const bw::hw::HardwareCatalog& catalog, std::size_t arm,
+                 const bw::core::FeatureVector& x, double t) const {
+    double load = 0.0;
+    for (double v : x) load += v;
+    const double pre = 5.0 + load / catalog[arm].cpus;
+    if (t < 0.5) return pre;
+    if (scenario == "churn") {
+      // The churned arm alone degrades to a single-core box; the rest of
+      // the fleet is stable, so the learner must discover the runner-up.
+      return arm == churn_arm ? 5.0 + load : pre;
+    }
+    const double post = 5.0 + load / (mirror_sum - catalog[arm].cpus);
+    if (scenario == "abrupt") return post;
+    const double w = (t - 0.5) * 2.0;  // gradual: linear blend over the 2nd half
+    return (1.0 - w) * pre + w * post;
+  }
+};
+
+/// One cell of the drift workload: a single-shard learner runs decision by
+/// decision against a runtime model that shifts at the midpoint. Regret is
+/// tracked against the instantaneous oracle (the best arm under the model
+/// as it stands at that decision), whole-run and post-shift separately.
+///
+/// The harness overrides 5% of decisions with a uniform-random arm — the
+/// persistent excitation a discounted learner needs. Under pure greedy
+/// feedback an arm's recent observations concentrate near the decision
+/// boundary; with lambda < 1 the old full-rank mass decays geometrically,
+/// the precision matrix goes near-singular in the unexcited directions,
+/// and predictions swing chaotically (classic RLS covariance wind-up).
+/// The floor is applied identically to both lambda twins, so the regret
+/// comparison stays like for like; its cost shows up in both cells.
+CellResult run_drift_cell(const std::string& scenario, bw::core::PolicyKind kind,
+                          double lambda, std::size_t decisions) {
+  bw::serve::BanditServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 1;
+  config.sharding = bw::serve::ShardingPolicy::kFeatureHash;
+  config.seed = 42;
+  config.bandit.policy_kind = kind;
+  config.bandit.alpha = g_policy.alpha;
+  config.bandit.posterior_scale = g_policy.posterior_scale;
+  config.bandit.policy.fit.forgetting = lambda;
+  const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+  bw::serve::BanditServer server(catalog, feature_names(), config);
+
+  DriftModel model{scenario, 0, 0};
+  int min_cpus = catalog[0].cpus;
+  int max_cpus = catalog[0].cpus;
+  for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+    min_cpus = std::min(min_cpus, catalog[arm].cpus);
+    if (catalog[arm].cpus > max_cpus) {
+      max_cpus = catalog[arm].cpus;
+      model.churn_arm = arm;
+    }
+  }
+  model.mirror_sum = min_cpus + max_cpus;
+
+  bw::Rng rng(11);
+  bw::Rng excitation(77);
+  constexpr double kExcitationFloor = 0.05;
+  const auto start = std::chrono::steady_clock::now();
+  double regret = 0.0;
+  double post_regret = 0.0;
+  std::size_t post = 0;
+  std::vector<bw::core::FeatureVector> xs(1);
+  for (std::size_t i = 0; i < decisions; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(decisions);
+    xs[0] = random_features(rng);
+    auto decision = server.recommend_batch(xs)[0];
+    if (excitation.bernoulli(kExcitationFloor)) {
+      decision.arm = static_cast<bw::core::ArmIndex>(
+          excitation.uniform_int(0, static_cast<std::int64_t>(catalog.size()) - 1));
+    }
+    const double runtime = model.runtime(catalog, decision.arm, xs[0], t);
+    double best = runtime;
+    for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+      best = std::min(best, model.runtime(catalog, arm, xs[0], t));
+    }
+    regret += runtime - best;
+    if (t >= 0.5) {
+      post_regret += runtime - best;
+      ++post;
+    }
+    server.observe_batch({{decision.shard, decision.arm, xs[0], runtime}});
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  maybe_snapshot(server);
+
+  CellResult result;
+  result.shards = 1;
+  result.batch = 1;
+  result.seconds = std::chrono::duration<double>(elapsed).count();
+  result.decisions_per_s = static_cast<double>(decisions) / result.seconds;
+  result.mean_regret_s = regret / static_cast<double>(decisions);
+  result.scenario = scenario;
+  result.policy = bw::core::to_string(kind);
+  result.lambda = lambda;
+  result.post_shift_regret_s =
+      post > 0 ? post_regret / static_cast<double>(post) : 0.0;
+  return result;
+}
+
 void write_json(const std::string& path, const std::string& workload,
                 double read_frac, std::size_t clients,
                 const std::vector<CellResult>& cells) {
@@ -591,6 +733,13 @@ void write_json(const std::string& path, const std::string& workload,
                    cell.clients, cell.arrival_rate, cell.recommend_p50_us,
                    cell.recommend_p99_us, cell.recommend_p999_us);
     }
+    if (!cell.scenario.empty()) {
+      std::fprintf(f,
+                   ", \"scenario\": \"%s\", \"policy\": \"%s\", \"lambda\": %.4f, "
+                   "\"post_shift_regret_s\": %.6f",
+                   cell.scenario.c_str(), cell.policy.c_str(), cell.lambda,
+                   cell.post_shift_regret_s);
+    }
     std::fprintf(f, "}%s\n", i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -617,13 +766,21 @@ int run(int argc, char** argv) {
   cli.add_flag("shards", "1,2,4,8", "shard counts to sweep");
   cli.add_flag("batches", "1,64,256", "batch sizes to sweep");
   cli.add_flag("workload", "train",
-               "train (1:1 learn loop), read-heavy, read-scaling, sync, or "
-               "async-sync");
+               "train (1:1 learn loop), read-heavy, read-scaling, sync, "
+               "async-sync, or drift");
   cli.add_flag("policy", "epsilon-greedy",
                "learning policy for every cell: epsilon-greedy | linucb | thompson");
   cli.add_flag("alpha", "1.0", "linucb confidence width (policy=linucb)");
   cli.add_flag("posterior-scale", "1.0",
                "thompson sampling scale v (policy=thompson)");
+  cli.add_flag("lambda", "1.0",
+               "RLS forgetting factor in (0, 1] applied to every cell; the "
+               "drift workload compares lambda=1 against this value (0.98 "
+               "when left at 1)");
+  cli.add_flag("max-post-shift-regret-ratio", "0",
+               "fail if a discounted drift cell's post-shift regret exceeds "
+               "this x its undiscounted twin, for epsilon-greedy and linucb "
+               "(drift workload; 0 = report only)");
   cli.add_flag("read-frac", "0.9", "read fraction of the read-heavy mix");
   cli.add_flag("clients", "4",
                "concurrent client threads (read-heavy); a sweep list like "
@@ -665,33 +822,56 @@ int run(int argc, char** argv) {
   g_snapshot.format = bw::io::parse_format(cli.get("format"));
   g_policy.alpha = cli.get_double("alpha");
   g_policy.posterior_scale = cli.get_double("posterior-scale");
-  const auto shard_counts = bw::parse_size_list(cli.get("shards"));
-  const auto batch_sizes = bw::parse_size_list(cli.get("batches"));
-  const std::string workload = cli.get("workload");
-  const double read_frac = cli.get_double("read-frac");
-  const auto client_list = bw::parse_size_list(cli.get("clients"));
-  if (client_list.empty() || client_list.front() == 0) {
-    std::fprintf(stderr, "--clients must be positive\n");
+  g_policy.lambda = cli.get_double("lambda");
+  if (!std::isfinite(g_policy.lambda) || g_policy.lambda <= 0.0 ||
+      g_policy.lambda > 1.0) {
+    std::fprintf(stderr, "--lambda must be in (0, 1]\n");
     return 1;
   }
+  // parse_size_list rejects zero and non-numeric entries itself; what it
+  // cannot reject is an empty list (`--clients=`), which would otherwise
+  // reach .front() below.
+  const auto shard_counts = bw::parse_size_list(cli.get("shards"));
+  const auto batch_sizes = bw::parse_size_list(cli.get("batches"));
+  const auto client_list = bw::parse_size_list(cli.get("clients"));
+  if (shard_counts.empty()) {
+    std::fprintf(stderr, "--shards needs at least one positive entry\n");
+    return 1;
+  }
+  if (batch_sizes.empty()) {
+    std::fprintf(stderr, "--batches needs at least one positive entry\n");
+    return 1;
+  }
+  if (client_list.empty()) {
+    std::fprintf(stderr, "--clients needs at least one positive entry\n");
+    return 1;
+  }
+  const std::string workload = cli.get("workload");
+  const double read_frac = cli.get_double("read-frac");
   const std::size_t clients = client_list.front();
   const double arrival_rate = cli.get_double("arrival-rate");
+  if (!std::isfinite(arrival_rate) || arrival_rate < 0.0) {
+    std::fprintf(stderr, "--arrival-rate must be finite and non-negative\n");
+    return 1;
+  }
   const double min_scaling = cli.get_double("min-scaling");
   const auto sync_every = static_cast<std::size_t>(cli.get_int("sync-every"));
   const double max_regret_ratio = cli.get_double("max-regret-ratio");
   const double max_p99_ratio = cli.get_double("max-p99-ratio");
+  const double max_post_shift_ratio = cli.get_double("max-post-shift-regret-ratio");
   const bool read_heavy = workload == "read-heavy";
   const bool read_scaling = workload == "read-scaling";
   const bool sync = workload == "sync";
   const bool async_sync = workload == "async-sync";
+  const bool drift = workload == "drift";
   if (workload != "train" && workload != "read-heavy" && workload != "read-scaling" &&
-      workload != "sync" && workload != "async-sync") {
+      workload != "sync" && workload != "async-sync" && workload != "drift") {
     std::fprintf(stderr,
                  "--workload must be 'train', 'read-heavy', 'read-scaling', "
-                 "'sync', or 'async-sync'\n");
+                 "'sync', 'async-sync', or 'drift'\n");
     return 1;
   }
-  if (read_heavy && (read_frac < 0.0 || read_frac > 1.0)) {
+  if (!std::isfinite(read_frac) || read_frac < 0.0 || read_frac > 1.0) {
     std::fprintf(stderr, "--read-frac must be in [0, 1]\n");
     return 1;
   }
@@ -708,11 +888,53 @@ int run(int argc, char** argv) {
                 arrival_rate > 0.0 ? "open-loop" : "closed-loop");
   }
   if (sync || async_sync) std::printf("sync cadence: every %zu batches\n", sync_every);
+  const double drift_lambda = g_policy.lambda < 1.0 ? g_policy.lambda : 0.98;
+  if (drift) std::printf("discounted lambda: %.4f\n", drift_lambda);
   std::printf("\n");
 
   std::vector<CellResult> cells;
   bool gate_failed = false;
-  if (read_scaling) {
+  if (drift) {
+    // Nonstationarity sweep: per scenario, every policy runs twice — the
+    // undiscounted learner pins the recovery baseline, the discounted twin
+    // is measured (and gated) against it on post-shift regret.
+    bw::Table table({"scenario", "policy", "lambda", "wall (s)", "mean regret (s)",
+                     "post-shift regret (s)", "vs lambda=1"});
+    for (const char* scenario : {"abrupt", "gradual", "churn"}) {
+      for (const auto kind :
+           {bw::core::PolicyKind::kEpsilonGreedy, bw::core::PolicyKind::kLinUcb,
+            bw::core::PolicyKind::kThompson}) {
+        const CellResult base = run_drift_cell(scenario, kind, 1.0, decisions);
+        const CellResult disc = run_drift_cell(scenario, kind, drift_lambda, decisions);
+        cells.push_back(base);
+        cells.push_back(disc);
+        const double ratio = base.post_shift_regret_s > 0.0
+                                 ? disc.post_shift_regret_s / base.post_shift_regret_s
+                                 : 1.0;
+        table.add_row({scenario, base.policy, "1", bw::format_double(base.seconds, 3),
+                       bw::format_double(base.mean_regret_s, 4),
+                       bw::format_double(base.post_shift_regret_s, 4), "1.00x"});
+        table.add_row({scenario, disc.policy, bw::format_double(disc.lambda, 4),
+                       bw::format_double(disc.seconds, 3),
+                       bw::format_double(disc.mean_regret_s, 4),
+                       bw::format_double(disc.post_shift_regret_s, 4),
+                       bw::format_double(ratio, 2) + "x"});
+        // Thompson is reported unguarded: posterior sampling adds decision
+        // noise the deterministic gate would punish unfairly.
+        if (max_post_shift_ratio > 0.0 && kind != bw::core::PolicyKind::kThompson &&
+            ratio > max_post_shift_ratio) {
+          std::fprintf(stderr,
+                       "FAIL: %s %s lambda=%.4f post-shift regret %.4f s is %.2fx "
+                       "the undiscounted %.4f s (limit %.2fx)\n",
+                       scenario, disc.policy.c_str(), disc.lambda,
+                       disc.post_shift_regret_s, ratio, base.post_shift_regret_s,
+                       max_post_shift_ratio);
+          gate_failed = true;
+        }
+      }
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  } else if (read_scaling) {
     // Client-thread sweep down the lock-free read path. Per shard count,
     // the first client count pins the throughput baseline; the gate (if
     // any) applies to the largest.

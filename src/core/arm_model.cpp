@@ -24,8 +24,13 @@ LinearArmModel::LinearArmModel(std::size_t dim, linalg::FitOptions fit,
     : dim_(dim),
       fit_(fit),
       exact_history_(uses_exact_history(fit, exact_history)),
-      rls_(dim > 0 ? dim : 1, rls_prior_ridge(fit)) {
+      rls_(dim > 0 ? dim : 1, rls_prior_ridge(fit), fit.forgetting) {
   BW_CHECK_MSG(dim > 0, "arm model needs at least one feature");
+  // The batch-QR backend refits the full history with uniform weights; a
+  // forgetting factor has no exact batch counterpart here, so λ < 1 is an
+  // incremental-backend-only option.
+  BW_CHECK_MSG(!exact_history_ || fit.forgetting == 1.0,
+               "arm model: forgetting (lambda < 1) requires the incremental backend");
   reset();
 }
 

@@ -137,6 +137,8 @@ void BanditWare::merge_from(const BanditWare& other, const BanditWare* base) {
                    mine.fit.fallback_ridge == theirs.fit.fallback_ridge &&
                    mine.fit.intercept == theirs.fit.intercept,
                "merge_from: fit options mismatch — fusion would not be exact");
+  BW_CHECK_MSG(mine.fit.forgetting == theirs.fit.forgetting,
+               "merge_from: forgetting factor mismatch — fusion would not be exact");
   BW_CHECK_MSG(banked().arm_model(0).exact_history() ==
                    other.banked().arm_model(0).exact_history(),
                "merge_from: model backends mismatch");

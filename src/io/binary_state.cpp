@@ -8,12 +8,16 @@
 //   0x01 header     config + epsilon + feature names + arm catalog
 //   0x02 arm stats  arm index, n, theta[d+1], P[(d+1)^2]  (incremental)
 //   0x03 arm rows   arm index, row count, rows of [x..., y] (exact_history)
+//   0x04 lambda     forgetting factor λ (f64); written before the header,
+//                   only when λ != 1 — λ=1 streams stay byte-identical
 //   0x7F end        number of arm packets written
 //
 // `banditserver-state` payload (kind 2):
 //   0x10 header     server config + counters + bandit config + catalog
 //   0x11 shard      shard index + nested banditware-state container
 //   0x12 base       nested banditware-state container (sync baseline)
+//   0x13 lambda     forgetting factor λ (f64); written before the header,
+//                   only when λ != 1 (cross-checked against the shard blobs)
 //   0x7F end        number of shard + base packets written
 //
 // Truncation contract: a torn or checksum-failing packet ends the stream
@@ -44,9 +48,11 @@ using core::PolicyKind;
 constexpr std::uint8_t kBanditHeader = 0x01;
 constexpr std::uint8_t kArmStats = 0x02;
 constexpr std::uint8_t kArmRows = 0x03;
+constexpr std::uint8_t kBanditLambda = 0x04;
 constexpr std::uint8_t kServerHeader = 0x10;
 constexpr std::uint8_t kShard = 0x11;
 constexpr std::uint8_t kBase = 0x12;
+constexpr std::uint8_t kServerLambda = 0x13;
 constexpr std::uint8_t kEnd = 0x7F;
 
 // The same hardening caps the text readers enforce: hostile counts must
@@ -144,6 +150,17 @@ void put_catalog(std::string& out, const hw::HardwareCatalog& catalog) {
   for (const auto& spec : catalog.specs()) put_spec(out, spec);
 }
 
+/// Reads a lambda extension packet's payload. Written before the header,
+/// only when λ != 1, so legacy readers skip it and λ=1 streams never grow.
+double get_lambda(PayloadReader& payload, void (*raise)(const std::string&)) {
+  const double lambda = payload.get_f64();
+  payload.expect_done("lambda");
+  if (!std::isfinite(lambda) || lambda <= 0.0 || lambda > 1.0) {
+    raise("lambda out of range");
+  }
+  return lambda;
+}
+
 hw::HardwareCatalog get_catalog(PayloadReader& reader,
                                 void (*raise)(const std::string&)) {
   const std::uint32_t count = reader.get_u32();
@@ -167,6 +184,11 @@ void write_bandit_packets(std::ostream& os, const BanditWare& bandit) {
   write_container_magic(os, PayloadKind::kBanditWareState);
 
   std::string payload;
+  if (config.policy.fit.forgetting != 1.0) {
+    put_f64(payload, config.policy.fit.forgetting);
+    write_packet(os, kBanditLambda, payload);
+    payload.clear();
+  }
   put_bandit_config(payload, config, effective_exact_history);
   // Like the text writer, the epsilon line is live state for ε-greedy and
   // the schedule origin for the other kinds.
@@ -217,6 +239,7 @@ core::BanditWare load_bandit_binary(std::istream& is, LoadInfo* info) {
 
   std::optional<BanditWare> bandit;
   double epsilon = 1.0;
+  double lambda = 1.0;
   std::size_t dim = 0;
   std::vector<bool> arm_seen;
   std::uint64_t arm_packets = 0;
@@ -229,9 +252,19 @@ core::BanditWare load_bandit_binary(std::istream& is, LoadInfo* info) {
   while (!saw_end && reader.next(packet)) {
     PayloadReader payload(packet.payload);
     switch (packet.type) {
+      case kBanditLambda: {
+        if (bandit.has_value()) fail("lambda packet after header");
+        if (lambda != 1.0) fail("duplicate lambda packet");
+        lambda = get_lambda(payload, &fail);
+        break;
+      }
       case kBanditHeader: {
         if (bandit.has_value()) fail("duplicate header packet");
         core::BanditWareConfig config = get_bandit_config(payload, &fail);
+        config.policy.fit.forgetting = lambda;
+        if (lambda != 1.0 && config.policy.exact_history) {
+          fail("lambda requires the incremental backend (exact_history set)");
+        }
         epsilon = payload.get_f64();
         std::vector<std::string> feature_names = get_feature_names(payload, &fail);
         hw::HardwareCatalog catalog = get_catalog(payload, &fail);
@@ -323,6 +356,11 @@ void save_server_binary(std::ostream& os, const serve::BanditServer& server) {
   write_container_magic(os, PayloadKind::kBanditServerState);
 
   std::string payload;
+  if (config.bandit.policy.fit.forgetting != 1.0) {
+    put_f64(payload, config.bandit.policy.fit.forgetting);
+    write_packet(os, kServerLambda, payload);
+    payload.clear();
+  }
   put_u32(payload, static_cast<std::uint32_t>(num_shards));
   put_u8(payload, static_cast<std::uint8_t>(config.sharding));
   put_u64(payload, config.seed);
@@ -365,6 +403,7 @@ serve::BanditServer load_server_binary(std::istream& is, LoadInfo* info) {
   hw::HardwareCatalog catalog;
   bool saw_header = false;
   bool saw_end = false;
+  double header_lambda = 1.0;
   std::size_t num_shards = 0;
   std::vector<std::optional<BanditWare>> slots;
   std::unique_ptr<BanditWare> base;
@@ -385,6 +424,12 @@ serve::BanditServer load_server_binary(std::istream& is, LoadInfo* info) {
   while (!saw_end && reader.next(packet)) {
     PayloadReader payload(packet.payload);
     switch (packet.type) {
+      case kServerLambda: {
+        if (saw_header) fail_server("lambda packet after header");
+        if (header_lambda != 1.0) fail_server("duplicate lambda packet");
+        header_lambda = get_lambda(payload, &fail_server);
+        break;
+      }
       case kServerHeader: {
         if (saw_header) fail_server("duplicate header packet");
         num_shards = payload.get_u32();
@@ -408,6 +453,10 @@ serve::BanditServer load_server_binary(std::istream& is, LoadInfo* info) {
         observe_batches = payload.get_u64();
         rr_counter = payload.get_u64();
         config.bandit = get_bandit_config(payload, &fail_server);
+        config.bandit.policy.fit.forgetting = header_lambda;
+        if (header_lambda != 1.0 && config.bandit.policy.exact_history) {
+          fail_server("lambda requires the incremental backend (exact_history set)");
+        }
         feature_names = get_feature_names(payload, &fail_server);
         catalog = get_catalog(payload, &fail_server);
         payload.expect_done("header");
@@ -432,6 +481,9 @@ serve::BanditServer load_server_binary(std::istream& is, LoadInfo* info) {
         if (replica.catalog().specs() != catalog.specs()) {
           fail_server("shard catalog contradicts the header");
         }
+        if (replica.config().policy.fit.forgetting != header_lambda) {
+          fail_server("shard lambda contradicts the header lambda");
+        }
         // The per-shard config is authoritative, mirroring the text loader
         // (every replica is constructed identically).
         config.bandit = replica.config();
@@ -447,6 +499,9 @@ serve::BanditServer load_server_binary(std::istream& is, LoadInfo* info) {
           fail_server("base policy '" + core::to_string(base->config().policy_kind) +
                       "' contradicts the header policy '" +
                       core::to_string(config.bandit.policy_kind) + "'");
+        }
+        if (base->config().policy.fit.forgetting != header_lambda) {
+          fail_server("base lambda contradicts the header lambda");
         }
         ++blob_packets;
         break;

@@ -1,5 +1,5 @@
-// The plain-text snapshot codecs — `banditware-state v1..v3` and
-// `banditserver-state v1..v4` — moved here from core/banditware.cpp and
+// The plain-text snapshot codecs — `banditware-state v1..v4` and
+// `banditserver-state v1..v5` — moved here from core/banditware.cpp and
 // serve/bandit_server.cpp so that no version-specific parser lives outside
 // src/io/. The writers are byte-for-byte the historical writers (the
 // golden fixtures in tests/data/ pin this); the readers keep the exact
@@ -156,6 +156,14 @@ BanditWare load_bandit_text_v2(std::istream& is, int version) {
   PolicyKind kind = PolicyKind::kEpsilonGreedy;
   double alpha = 1.0;
   double posterior_scale = 1.0;
+  double lambda = 1.0;  // v1-v3 predate the discount: legacy loads as λ=1
+  if (version >= 4) {
+    is >> token >> lambda;
+    if (!is || token != "lambda") fail("expected lambda");
+    if (!std::isfinite(lambda) || lambda <= 0.0 || lambda > 1.0) {
+      fail("lambda out of range");
+    }
+  }
   if (version >= 3) {
     is >> token;
     if (!is || token != "policy") fail("expected policy");
@@ -186,6 +194,12 @@ BanditWare load_bandit_text_v2(std::istream& is, int version) {
   header.config.policy_kind = kind;
   header.config.alpha = alpha;
   header.config.posterior_scale = posterior_scale;
+  header.config.policy.fit.forgetting = lambda;
+  // The discount has no batch-QR counterpart; a snapshot claiming both is
+  // corrupt (the writer can never produce it).
+  if (lambda != 1.0 && header.config.policy.exact_history) {
+    fail("lambda requires the incremental backend (exact_history set)");
+  }
   const std::size_t dim = header.feature_names.size();
   const std::size_t dim_aug = dim + 1;
 
@@ -275,14 +289,22 @@ std::string bandit_state_text(const BanditWare& bandit) {
   const core::BankedPolicy& policy = StateAccess::banked(bandit);
   const bool eps_kind = config.policy_kind == PolicyKind::kEpsilonGreedy;
   const bool effective_exact_history = policy.arm_model(0).exact_history();
+  // λ < 1 writes the v4 superset (a `lambda` line, then an always-present
+  // `policy` line — ε-greedy included, so v4 has one body shape). λ = 1
+  // keeps writing v2/v3 byte-for-byte: the discount is the only thing the
+  // new version carries, and stationary snapshots must not drift.
+  const double lambda = config.policy.fit.forgetting;
+  const bool discounted = lambda != 1.0;
   std::ostringstream os;
   os << std::setprecision(17);
-  os << (eps_kind ? "banditware-state v2\n" : "banditware-state v3\n");
-  if (!eps_kind) {
+  os << (discounted ? "banditware-state v4\n"
+                    : (eps_kind ? "banditware-state v2\n" : "banditware-state v3\n"));
+  if (discounted) os << "lambda " << lambda << "\n";
+  if (!eps_kind || discounted) {
     os << "policy " << core::to_string(config.policy_kind);
     if (config.policy_kind == PolicyKind::kLinUcb) {
       os << " alpha " << config.alpha;
-    } else {
+    } else if (config.policy_kind == PolicyKind::kThompson) {
       os << " posterior_scale " << config.posterior_scale;
     }
     os << "\n";
@@ -333,7 +355,7 @@ std::string bandit_state_text(const BanditWare& bandit) {
 
 core::BanditWare load_bandit_text(std::istream& is, int version) {
   if (version == 1) return load_bandit_text_v1(is);
-  if (version == 2 || version == 3) return load_bandit_text_v2(is, version);
+  if (version >= 2 && version <= 4) return load_bandit_text_v2(is, version);
   fail("bad header");
 }
 
@@ -350,13 +372,24 @@ std::string server_state_text(const serve::BanditServer& server) {
   const serve::BanditServerConfig& config = server.config();
   const std::size_t num_shards = StateAccess::num_shards(server);
   const bool eps_kind = config.bandit.policy_kind == PolicyKind::kEpsilonGreedy;
+  // λ < 1 writes the v5 superset (a `lambda` header token, and the `policy`
+  // token becomes always-present so v5 has one header shape); λ = 1 keeps
+  // writing v3/v4 byte-for-byte. The shard blobs carry λ themselves (v4
+  // bandit format) — the header token is the cross-check the loader
+  // verifies against them, like the policy token.
+  const double lambda = config.bandit.policy.fit.forgetting;
+  const bool discounted = lambda != 1.0;
   std::ostringstream os;
-  os << (eps_kind ? "banditserver-state v3\n" : "banditserver-state v4\n");
+  os << (discounted ? "banditserver-state v5\n"
+                    : (eps_kind ? "banditserver-state v3\n" : "banditserver-state v4\n"));
   os << "shards " << num_shards << " sharding " << to_string(config.sharding)
      << " seed " << config.seed << " threads " << config.num_threads << " explore "
      << (config.explore ? 1 : 0) << " sync_every " << config.sync_every
      << " sync_mode " << to_string(config.sync_mode);
-  if (!eps_kind) os << " policy " << core::to_string(config.bandit.policy_kind);
+  if (discounted) os << std::setprecision(17) << " lambda " << lambda;
+  if (!eps_kind || discounted) {
+    os << " policy " << core::to_string(config.bandit.policy_kind);
+  }
   os << " observe_batches " << StateAccess::observe_batches(server) << " rr_counter "
      << StateAccess::rr_counter(server) << "\n";
   for (std::size_t s = 0; s < num_shards; ++s) {
@@ -401,6 +434,7 @@ serve::BanditServer load_server_text(std::istream& is, int version) {
   is >> token >> explore;
   if (!is || token != "explore") fail("expected explore");
   config.explore = explore != 0;
+  double header_lambda = 1.0;  // v1-v4 predate the discount: legacy λ=1
   if (version >= 2) {
     is >> token >> config.sync_every;
     if (!is || token != "sync_every") fail("expected sync_every");
@@ -410,6 +444,15 @@ serve::BanditServer load_server_text(std::istream& is, int version) {
       is >> token >> mode_name;
       if (!is || token != "sync_mode") fail("expected sync_mode");
       config.sync_mode = serve::parse_sync_mode(mode_name);
+    }
+    if (version >= 5) {
+      is >> token >> header_lambda;
+      if (!is || token != "lambda") fail("expected lambda");
+      if (!std::isfinite(header_lambda) || header_lambda <= 0.0 ||
+          header_lambda > 1.0) {
+        fail("lambda out of range");
+      }
+      config.bandit.policy.fit.forgetting = header_lambda;
     }
     if (version >= 4) {
       // v1-v3 predate the policy axis; they always restore as ε-greedy
@@ -474,6 +517,9 @@ serve::BanditServer load_server_text(std::istream& is, int version) {
       fail("shard policy '" + core::to_string(config.bandit.policy_kind) +
            "' contradicts the header policy '" + core::to_string(header_kind) + "'");
     }
+    if (config.bandit.policy.fit.forgetting != header_lambda) {
+      fail("shard lambda contradicts the header lambda");
+    }
   }
 
   // v1 snapshots predate cross-shard sync; their baseline is the prior
@@ -486,6 +532,9 @@ serve::BanditServer load_server_text(std::istream& is, int version) {
     if (base->config().policy_kind != header_kind) {
       fail("base policy '" + core::to_string(base->config().policy_kind) +
            "' contradicts the header policy '" + core::to_string(header_kind) + "'");
+    }
+    if (base->config().policy.fit.forgetting != header_lambda) {
+      fail("base lambda contradicts the header lambda");
     }
   }
 

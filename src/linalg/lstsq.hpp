@@ -35,6 +35,12 @@ struct FitOptions {
   double fallback_ridge = 1e-8;
   /// Fit the intercept b (paper's model always has one).
   bool intercept = true;
+  /// Forgetting factor λ ∈ (0, 1] for the incremental (RLS) backend:
+  /// A ← λA + xxᵀ, b ← λb + yx, so an observation k steps old carries
+  /// weight λ^k (effective window ≈ 1/(1-λ)). λ = 1 is the stationary
+  /// estimator, bit-identical to the pre-λ code paths. Incremental backend
+  /// only — the batch-QR (exact_history) path rejects λ < 1.
+  double forgetting = 1.0;
 };
 
 struct FitResult {

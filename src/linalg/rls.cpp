@@ -1,14 +1,19 @@
 #include "linalg/rls.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/intercept.hpp"
 
 namespace bw::linalg {
 
-RecursiveLeastSquares::RecursiveLeastSquares(std::size_t dim, double ridge)
-    : dim_(dim), ridge_(ridge) {
+RecursiveLeastSquares::RecursiveLeastSquares(std::size_t dim, double ridge,
+                                             double forgetting)
+    : dim_(dim), ridge_(ridge), lambda_(forgetting) {
   BW_CHECK_MSG(ridge > 0.0, "RLS requires a positive ridge prior");
+  BW_CHECK_MSG(std::isfinite(forgetting) && forgetting > 0.0 && forgetting <= 1.0,
+               "RLS forgetting factor must be in (0, 1]");
   reset();
 }
 
@@ -27,7 +32,11 @@ void RecursiveLeastSquares::update(std::span<const double> x, double y) {
   const Vector& xa = xa_scratch_;
   const std::size_t p = xa.size();
 
-  // k = P x / (1 + x^T P x); theta += k (y - x^T theta); P -= k x^T P.
+  // Forgetting-factor gain: k = P x / (λ + x^T P x); theta += k (y - x^T
+  // theta); P <- (P - k x^T P) / λ. This is Sherman–Morrison on the
+  // discounted information recursion A <- λA + xxᵀ, b <- λb + yx. At λ = 1
+  // the denominator is 1 + x^T P x and the final rescale is skipped, so the
+  // stationary path is bit-identical to the pre-λ update.
   px_scratch_.resize(p);  // every element is overwritten below
   Vector& px = px_scratch_;
   for (std::size_t i = 0; i < p; ++i) {
@@ -36,14 +45,33 @@ void RecursiveLeastSquares::update(std::span<const double> x, double y) {
     for (std::size_t j = 0; j < p; ++j) s += row[j] * xa[j];
     px[i] = s;
   }
-  const double denom = 1.0 + dot(xa, px);
+  const double denom = lambda_ + dot(xa, px);
   const double err = y - dot(xa, theta_);
   for (std::size_t i = 0; i < p; ++i) theta_[i] += px[i] * err / denom;
   // P <- P - (P x)(x^T P) / denom; exploit symmetry.
-  for (std::size_t i = 0; i < p; ++i) {
-    double* row = p_.row(i).data();
-    const double pxi = px[i] / denom;
-    for (std::size_t j = 0; j < p; ++j) row[j] -= pxi * px[j];
+  if (lambda_ == 1.0) {
+    for (std::size_t i = 0; i < p; ++i) {
+      double* row = p_.row(i).data();
+      const double pxi = px[i] / denom;
+      for (std::size_t j = 0; j < p; ++j) row[j] -= pxi * px[j];
+    }
+  } else {
+    // Discounted path: the downdate must use FP-symmetric arithmetic —
+    // px[i] * px[j] / denom, divide last — so P(i,j) and P(j,i) round
+    // identically and P stays exactly symmetric. The λ=1 precompute
+    // (px[i]/denom first) rounds differently across (i,j)/(j,i); that
+    // ~1e-16 asymmetry is harmless when λ = 1, but the symmetric rank-one
+    // downdate never contracts an asymmetric component, so the 1/λ
+    // rescale below amplifies it geometrically (λ^-n) until P — and with
+    // it θ — diverges after a few thousand updates. The rescale rides in
+    // the same pass (scalar multiply preserves symmetry).
+    const double inv_lambda = 1.0 / lambda_;
+    for (std::size_t i = 0; i < p; ++i) {
+      double* row = p_.row(i).data();
+      for (std::size_t j = 0; j < p; ++j) {
+        row[j] = (row[j] - px[i] * px[j] / denom) * inv_lambda;
+      }
+    }
   }
   ++n_;
 }
@@ -71,9 +99,13 @@ void RecursiveLeastSquares::merge(const RecursiveLeastSquares& other,
   BW_CHECK_MSG(other.dim_ == dim_, "RLS::merge: dimension mismatch");
   BW_CHECK_MSG(other.ridge_ == ridge_,
                "RLS::merge: ridge priors differ — fusion would not be exact");
+  BW_CHECK_MSG(other.lambda_ == lambda_,
+               "RLS::merge: forgetting factors differ — fusion would not be exact");
   if (base != nullptr) {
     BW_CHECK_MSG(base->dim_ == dim_ && base->ridge_ == ridge_,
                  "RLS::merge: base dimension or ridge mismatch");
+    BW_CHECK_MSG(base->lambda_ == lambda_,
+                 "RLS::merge: base forgetting factor mismatch");
     BW_CHECK_MSG(base->n_ <= other.n_,
                  "RLS::merge: base holds more observations than other");
     // No evidence beyond the common ancestor — nothing to fold in. (The
@@ -92,21 +124,37 @@ void RecursiveLeastSquares::merge(const RecursiveLeastSquares& other,
     }
   }
 
+  // Discount alignment: the fused estimator is the one that saw self's
+  // stream, then other's m new observations (m = other.n - base.n). The
+  // observation count is the discount generation, so self's and the base's
+  // information age by λ^m before the stationary information-form algebra
+  // runs. scale == 1.0 exactly at λ = 1 (pow(1, m) == 1), so multiplying by
+  // it keeps the stationary path bit-identical.
   const std::size_t p = dim_ + 1;
-  const Matrix a_self = invert_spd(p_);
+  const std::size_t other_new = other.n_ - (base != nullptr ? base->n_ : 0);
+  const double scale = std::pow(lambda_, static_cast<double>(other_new));
+  Matrix a_self = invert_spd(p_);
   const Matrix a_other = invert_spd(other.p_);
-  Matrix a = a_self + a_other;
   Vector b = a_self * theta_;
+  if (scale != 1.0) {
+    for (double& v : a_self.data()) v *= scale;
+    for (double& v : b) v *= scale;
+  }
+  Matrix a = a_self + a_other;
   axpy(1.0, a_other * other.theta_, b);
-  std::size_t n = n_ + other.n_;
+  const std::size_t n = n_ + other_new;
   if (base != nullptr) {
-    const Matrix a_base = invert_spd(base->p_);
+    Matrix a_base = invert_spd(base->p_);
+    Vector b_base = a_base * base->theta_;
+    if (scale != 1.0) {
+      for (double& v : a_base.data()) v *= scale;
+      for (double& v : b_base) v *= scale;
+    }
     a = a - a_base;
-    axpy(-1.0, a_base * base->theta_, b);
-    n -= base->n_;
+    axpy(-1.0, b_base, b);
   } else {
-    // Both operands carry the ridge prior; keep exactly one copy.
-    for (std::size_t i = 0; i < p; ++i) a(i, i) -= ridge_;
+    // Both operands carry the (aged) ridge prior; keep exactly one copy.
+    for (std::size_t i = 0; i < p; ++i) a(i, i) -= scale * ridge_;
   }
   // Solve the fused normal equations; one step of iterative refinement
   // (r = b - A theta, theta += A^{-1} r) recovers the digits the plain

@@ -23,10 +23,16 @@ class RecursiveLeastSquares {
  public:
   /// `dim` features (+ intercept handled internally), prior precision
   /// ridge * I. ridge must be > 0 (a proper prior keeps P finite at n=0).
-  explicit RecursiveLeastSquares(std::size_t dim, double ridge = 1e-6);
+  /// `forgetting` is the discount λ ∈ (0, 1]: each update scales the old
+  /// information by λ (A ← λA + xxᵀ, b ← λb + yx), so an observation k
+  /// steps old carries weight λ^k. λ = 1 is today's stationary estimator,
+  /// bit-identical to the two-argument constructor's behavior.
+  explicit RecursiveLeastSquares(std::size_t dim, double ridge = 1e-6,
+                                 double forgetting = 1.0);
 
   std::size_t dim() const { return dim_; }
   double ridge() const { return ridge_; }
+  double forgetting() const { return lambda_; }
   std::size_t n_observations() const { return n_; }
 
   /// Incorporates one observation (x, y). O(p^2), allocation-free.
@@ -61,8 +67,18 @@ class RecursiveLeastSquares {
   /// trained models. Pass the common ancestor as `base` when both models
   /// grew from shared state (replica sync): only the evidence beyond the
   /// ancestor is folded in, so repeated syncs never double-count.
+  ///
+  /// Under discounting (λ < 1) the fused estimator is the one that saw the
+  /// canonical concatenation "self's stream, then other's new slice": the
+  /// observation count is the discount generation, and self's (and the
+  /// base's) information is aged by λ^m where m = other.n - base.n is the
+  /// number of new observations other contributes:
+  ///   A <- λ^m A + A_other - λ^m A_base,  b <- λ^m b + b_other - λ^m b_base.
+  /// At λ = 1 the scale is exactly 1 and this reduces bit-identically to
+  /// the stationary formula above. Mismatched forgetting factors are
+  /// rejected (fusion would not be exact), like mismatched dim or ridge.
   /// Recovery of A from P and of the fused (theta, P) goes through the
-  /// Cholesky path (factor_spd). Requires matching dim and ridge.
+  /// Cholesky path (factor_spd). Requires matching dim, ridge, forgetting.
   void merge(const RecursiveLeastSquares& other,
              const RecursiveLeastSquares* base = nullptr);
 
@@ -71,6 +87,7 @@ class RecursiveLeastSquares {
  private:
   std::size_t dim_;
   double ridge_;
+  double lambda_;  ///< forgetting factor λ ∈ (0, 1]; 1 = stationary
   std::size_t n_ = 0;
   Matrix p_;      ///< (X^T X + ridge I)^{-1}
   Vector theta_;  ///< [w; b]

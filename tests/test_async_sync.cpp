@@ -104,6 +104,28 @@ TEST(AsyncSyncSchedule, ThompsonScheduleIsDeterministicAndBalanced) {
   }
 }
 
+TEST(AsyncSyncSchedule, DiscountedScheduleIsDeterministicAndBalanced) {
+  // λ < 1 through the full async machinery — staged rounds, late refolds,
+  // inline-sync races — must keep the harness's bars: byte-identical replay
+  // from the seed, every observation accounted for, no inconsistent cuts.
+  BanditServerConfig config = async_config(4);
+  config.bandit.policy.fit.forgetting = 0.97;
+  const ScheduleDriver driver(config, hw::ndp_catalog(), 8, 400,
+                              ScheduleWeights{8, 4, 1, 1});
+  for (const std::uint64_t seed : kSeeds) {
+    const ScheduleResult a = driver.run(seed);
+    const ScheduleResult b = driver.run(seed);
+    EXPECT_EQ(a.decisions, b.decisions) << "seed=" << seed;
+    EXPECT_EQ(a.final_state, b.final_state) << "seed=" << seed;
+    EXPECT_EQ(a.observations, a.observations_fed) << "seed=" << seed;
+    EXPECT_EQ(a.inconsistent_snapshots, 0u) << "seed=" << seed;
+    EXPECT_GT(a.decisions.size(), 0u);
+    // Discounted state rides the v5 header with its lambda token.
+    EXPECT_EQ(a.final_state.rfind("banditserver-state v5\n", 0), 0u);
+    EXPECT_NE(a.final_state.find(" lambda 0.9"), std::string::npos);
+  }
+}
+
 TEST(AsyncSyncSchedule, DifferentSeedsExploreDifferentInterleavings) {
   // Sanity check that the harness actually varies the schedule: distinct
   // seeds must not all collapse onto one trace.
@@ -225,6 +247,65 @@ TEST(AsyncSyncSchedule, QuiescedAsyncMatchesSingleStreamExactly) {
     server.sync_shards();
 
     EXPECT_EQ(server.num_observations(), 240u) << core::to_string(kind);
+    for (double tasks : {33.0, 150.0, 371.0}) {
+      const auto x = features_for(tasks);
+      const auto want = reference.predictions(x);
+      for (std::size_t s = 0; s < server.num_shards(); ++s) {
+        const auto got = server.predictions(s, x);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t arm = 0; arm < want.size(); ++arm) {
+          EXPECT_NEAR(got[arm], want[arm], 1e-9)
+              << core::to_string(kind) << " shard=" << s << " arm=" << arm;
+        }
+      }
+    }
+  }
+}
+
+TEST(AsyncSyncPipeline, DiscountedRoundMatchesCanonicalShardOrder) {
+  // Under λ < 1 observation order matters, so "the model that saw the whole
+  // stream" must be pinned, not assumed: the generation algebra defines the
+  // fused estimator as one facade that saw the base stream, then each
+  // shard's new slice in shard index order (sync_fuse folds staged
+  // snapshots against the round's base in that order). Observations arrive
+  // temporally interleaved across shards — exactly the case where the
+  // canonical order differs from arrival order — and the 1e-9 bound must
+  // still hold for every policy, across two full pipeline rounds.
+  for (const core::PolicyKind kind :
+       {core::PolicyKind::kEpsilonGreedy, core::PolicyKind::kLinUcb,
+        core::PolicyKind::kThompson}) {
+    BanditServerConfig config = async_config(2);
+    config.bandit.policy_kind = kind;
+    config.bandit.policy.fit.ridge = 1e-6;
+    config.bandit.policy.fit.forgetting = 0.97;
+    BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
+    const hw::HardwareCatalog catalog = hw::ndp_catalog();
+    core::BanditWare reference(catalog, {"num_tasks"}, config.bandit);
+
+    int i = 0;
+    for (int round = 0; round < 2; ++round) {
+      std::vector<std::vector<std::pair<core::ArmIndex, double>>> slices(2);
+      for (int k = 0; k < 36; ++k) {
+        const std::size_t shard = static_cast<std::size_t>(k % 2);
+        const double tasks = 20.0 + 9.0 * (i % 41);
+        const auto arm = static_cast<core::ArmIndex>(i % 3);
+        server.observe_one({shard, arm, features_for(tasks),
+                            ScheduleDriver::synthetic_runtime(catalog[arm], tasks)});
+        slices[shard].emplace_back(arm, tasks);
+        ++i;
+      }
+      ASSERT_TRUE(server.sync_stage());
+      server.sync_fuse();
+      ASSERT_TRUE(server.sync_publish());
+      for (const auto& slice : slices) {  // canonical: shard index order
+        for (const auto& [arm, tasks] : slice) {
+          reference.observe(arm, features_for(tasks),
+                            ScheduleDriver::synthetic_runtime(catalog[arm], tasks));
+        }
+      }
+    }
+
+    EXPECT_EQ(server.num_observations(), 72u) << core::to_string(kind);
     for (double tasks : {33.0, 150.0, 371.0}) {
       const auto x = features_for(tasks);
       const auto want = reference.predictions(x);

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
 #include "linalg/intercept.hpp"
 #include "linalg/lstsq.hpp"
 #include "linalg/rls.hpp"
@@ -224,6 +225,108 @@ TEST_P(RlsEquivalence, MatchesBatchRidge) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Streams, RlsEquivalence, ::testing::Range(0, 8));
+
+TEST(Rls, RejectsBadForgetting) {
+  EXPECT_THROW(RecursiveLeastSquares(2, 1e-6, 0.0), InvalidArgument);
+  EXPECT_THROW(RecursiveLeastSquares(2, 1e-6, -0.5), InvalidArgument);
+  EXPECT_THROW(RecursiveLeastSquares(2, 1e-6, 1.5), InvalidArgument);
+  EXPECT_THROW(RecursiveLeastSquares(2, 1e-6, std::nan("")), InvalidArgument);
+}
+
+TEST(Rls, ForgettingOneIsBitIdenticalToDefault) {
+  bw::Rng rng(13);
+  RecursiveLeastSquares plain(3, 1e-6);
+  RecursiveLeastSquares explicit_one(3, 1e-6, 1.0);
+  for (int i = 0; i < 60; ++i) {
+    const std::vector<double> x = {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+                                   rng.uniform(-2.0, 2.0)};
+    const double y = rng.uniform(-5.0, 5.0);
+    plain.update(x, y);
+    explicit_one.update(x, y);
+  }
+  // Bit-identical, not merely close: λ = 1 must take the pre-λ code path.
+  EXPECT_EQ(plain.theta(), explicit_one.theta());
+  EXPECT_EQ(plain.precision_inverse().data(), explicit_one.precision_inverse().data());
+}
+
+// Discounted RLS against its definition: θ solves the geometrically
+// weighted normal equations (λ^n ridge I + Σ λ^{n-i} x̃ᵢx̃ᵢᵀ) θ = Σ λ^{n-i} yᵢx̃ᵢ.
+TEST(Rls, DiscountedMatchesWeightedNormalEquations) {
+  const double lambda = 0.9;
+  const double ridge = 1e-4;
+  const std::size_t dim = 2;
+  const std::size_t n = 30;
+  bw::Rng rng(31);
+  RecursiveLeastSquares rls(dim, ridge, lambda);
+
+  Matrix a(dim + 1, dim + 1);
+  Vector b(dim + 1, 0.0);
+  for (std::size_t i = 0; i < dim + 1; ++i) a(i, i) = ridge;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double> x = {rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+    const double y = rng.uniform(-5.0, 5.0);
+    rls.update(x, y);
+    const Vector xa = with_intercept(x);
+    for (auto& v : a.data()) v *= lambda;
+    for (auto& v : b) v *= lambda;
+    for (std::size_t r = 0; r < xa.size(); ++r) {
+      for (std::size_t c = 0; c < xa.size(); ++c) a(r, c) += xa[r] * xa[c];
+      b[r] += y * xa[r];
+    }
+  }
+  const Vector theta = invert_spd(a) * b;
+  for (std::size_t c = 0; c < dim + 1; ++c) {
+    EXPECT_NEAR(rls.theta()[c], theta[c], 1e-8) << "theta " << c;
+  }
+}
+
+TEST(Rls, DiscountedTracksTargetShift) {
+  const std::size_t dim = 1;
+  RecursiveLeastSquares discounted(dim, 1e-8, 0.9);
+  RecursiveLeastSquares undiscounted(dim, 1e-8, 1.0);
+  bw::Rng rng(41);
+  auto feed = [&](double slope, int count) {
+    for (int i = 0; i < count; ++i) {
+      const std::vector<double> x = {rng.uniform(-2.0, 2.0)};
+      discounted.update(x, slope * x[0]);
+      undiscounted.update(x, slope * x[0]);
+    }
+  };
+  feed(3.0, 400);   // long stationary prefix
+  feed(-5.0, 60);   // regime change: slope flips
+  // λ = 0.9 (effective window ~10) has converged to the new slope; λ = 1
+  // is still dominated by the 400 old observations.
+  EXPECT_NEAR(discounted.weights()[0], -5.0, 0.05);
+  EXPECT_GT(std::abs(undiscounted.weights()[0] - (-5.0)), 1.0);
+}
+
+// Regression pin: the discounted downdate must keep P exactly symmetric.
+// An FP-asymmetric rank-one downdate (dividing the gain into one factor
+// before the outer product) seeds a ~1e-16 asymmetry that the symmetric
+// downdate never contracts; the 1/λ rescale then amplifies it by λ^-n
+// until P — and θ — diverge after a few thousand updates.
+TEST(Rls, DiscountedPrecisionStaysExactlySymmetric) {
+  const std::size_t dim = 3;
+  RecursiveLeastSquares rls(dim, 1e-8, 0.98);
+  bw::Rng rng(53);
+  for (int i = 0; i < 4000; ++i) {
+    const std::vector<double> x = {rng.uniform(1.0, 10.0), rng.uniform(1.0, 10.0),
+                                   rng.uniform(1.0, 10.0)};
+    // Regime change halfway through: the old windup bug needed a large
+    // error signal to surface in θ, not just in P.
+    const double y = i < 2000 ? x[0] + 2.0 * x[1] : 10.0 * x[0] - x[2];
+    rls.update(x, y);
+  }
+  const Matrix& p = rls.precision_inverse();
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    for (std::size_t c = 0; c < r; ++c) {
+      EXPECT_EQ(p(r, c), p(c, r)) << "P asymmetric at (" << r << "," << c << ")";
+    }
+  }
+  // And θ has tracked the shifted target instead of diverging.
+  const std::vector<double> probe = {5.0, 5.0, 5.0};
+  EXPECT_NEAR(rls.predict(probe), 10.0 * 5.0 - 5.0, 1e-3);
+}
 
 TEST(Rls, RestoreRoundTripsSufficientStatistics) {
   bw::Rng rng(21);

@@ -56,8 +56,9 @@ Stream random_stream(std::size_t n, std::size_t dim, Rng& rng) {
   return s;
 }
 
-linalg::RecursiveLeastSquares train_rls(const Stream& s, std::size_t dim) {
-  linalg::RecursiveLeastSquares rls(dim, kRidge);
+linalg::RecursiveLeastSquares train_rls(const Stream& s, std::size_t dim,
+                                        double forgetting = 1.0) {
+  linalg::RecursiveLeastSquares rls(dim, kRidge, forgetting);
   for (std::size_t i = 0; i < s.size(); ++i) rls.update(s.xs[i], s.ys[i]);
   return rls;
 }
@@ -161,6 +162,83 @@ TEST(RlsMerge, BaseMergeNeverDoubleCountsSharedAncestry) {
   fused2.merge(idle, &base);
   EXPECT_EQ(fused2.n_observations(), fused.n_observations());
   EXPECT_EQ(fused2.theta(), fused.theta());
+}
+
+TEST(RlsMerge, DiscountedMergeMatchesCanonicalConcatenation) {
+  // Under λ < 1 the fused estimator is defined as the one that saw "self's
+  // stream, then other's new slice" in one pass: the observation count is
+  // the discount generation, so self's information ages by λ^|s2| during
+  // the merge. The 1e-9 bound must hold exactly as in the stationary case.
+  const double lambda = 0.95;
+  for (const std::size_t dim : {1u, 2u, 4u}) {
+    Rng rng(4000 + dim);
+    for (int trial = 0; trial < 3; ++trial) {
+      const Stream s1 = random_stream(30 + 20 * trial, dim, rng);
+      const Stream s2 = random_stream(15 + 25 * trial, dim, rng);
+      linalg::RecursiveLeastSquares merged = train_rls(s1, dim, lambda);
+      const linalg::RecursiveLeastSquares other = train_rls(s2, dim, lambda);
+      merged.merge(other);
+      const linalg::RecursiveLeastSquares reference =
+          train_rls(concat(s1, s2), dim, lambda);
+
+      EXPECT_EQ(merged.n_observations(), s1.size() + s2.size());
+      for (std::size_t i = 0; i < dim + 1; ++i) {
+        EXPECT_NEAR(merged.theta()[i], reference.theta()[i], kTol)
+            << "dim=" << dim << " trial=" << trial << " i=" << i;
+      }
+      expect_same_predictions(merged, reference, dim, rng);
+    }
+  }
+}
+
+TEST(RlsMerge, DiscountedBaseMergeNeverDoubleCountsSharedAncestry) {
+  // Replica sync under discounting: both replicas grew from a shared base;
+  // generation-aligned folding must match one discounted pass over
+  // s0 ++ s1 ++ s2, counting the shared prefix once.
+  const double lambda = 0.95;
+  const std::size_t dim = 3;
+  Rng rng(47);
+  const Stream s0 = random_stream(40, dim, rng);
+  const Stream s1 = random_stream(30, dim, rng);
+  const Stream s2 = random_stream(45, dim, rng);
+
+  const linalg::RecursiveLeastSquares base = train_rls(s0, dim, lambda);
+  linalg::RecursiveLeastSquares replica_a = base;
+  for (std::size_t i = 0; i < s1.size(); ++i) replica_a.update(s1.xs[i], s1.ys[i]);
+  linalg::RecursiveLeastSquares replica_b = base;
+  for (std::size_t i = 0; i < s2.size(); ++i) replica_b.update(s2.xs[i], s2.ys[i]);
+
+  linalg::RecursiveLeastSquares fused = base;
+  fused.merge(replica_a, &base);
+  fused.merge(replica_b, &base);
+
+  const linalg::RecursiveLeastSquares reference =
+      train_rls(concat(concat(s0, s1), s2), dim, lambda);
+  EXPECT_EQ(fused.n_observations(), s0.size() + s1.size() + s2.size());
+  for (std::size_t i = 0; i < dim + 1; ++i) {
+    EXPECT_NEAR(fused.theta()[i], reference.theta()[i], kTol) << "i=" << i;
+  }
+  expect_same_predictions(fused, reference, dim, rng);
+
+  // An idle replica still contributes nothing under discounting.
+  linalg::RecursiveLeastSquares idle = base;
+  linalg::RecursiveLeastSquares fused2 = fused;
+  fused2.merge(idle, &base);
+  EXPECT_EQ(fused2.n_observations(), fused.n_observations());
+  EXPECT_EQ(fused2.theta(), fused.theta());
+}
+
+TEST(RlsMerge, RejectsMismatchedForgetting) {
+  // Fusing estimators with different discount factors has no exact answer;
+  // it must be a hard error like a dim or ridge mismatch.
+  linalg::RecursiveLeastSquares a(3, kRidge, 0.95);
+  const linalg::RecursiveLeastSquares stationary(3, kRidge);
+  const linalg::RecursiveLeastSquares other_lambda(3, kRidge, 0.9);
+  EXPECT_THROW(a.merge(stationary), InvalidArgument);
+  EXPECT_THROW(a.merge(other_lambda), InvalidArgument);
+  const linalg::RecursiveLeastSquares other(3, kRidge, 0.95);
+  const linalg::RecursiveLeastSquares bad_base(3, kRidge, 0.9);
+  EXPECT_THROW(a.merge(other, &bad_base), InvalidArgument);
 }
 
 TEST(RlsMerge, RejectsIncompatibleOperands) {
@@ -353,6 +431,58 @@ TEST(BanditWareMerge, BaseMergeNeverDoubleCountsAcrossPolicies) {
       }
     }
   }
+}
+
+TEST(BanditWareMerge, DiscountedMergeStaysExactAcrossPolicies) {
+  // The generation-aligned discount algebra must survive the facade: a
+  // λ < 1 merge matches the model that saw both streams in one pass, for
+  // every policy, to the same 1e-9 bound as the stationary suite.
+  const std::size_t dim = 2;
+  const std::vector<std::string> features = {"f0", "f1"};
+  for (const core::PolicyKind kind : kAllKinds) {
+    Rng rng(8100 + static_cast<std::size_t>(kind));
+    const Stream s1 = random_stream(45, dim, rng);
+    const Stream s2 = random_stream(35, dim, rng);
+    auto config = policy_config(kind);
+    config.policy.fit.forgetting = 0.95;
+
+    core::BanditWare merged(hw::ndp_catalog(), features, config);
+    core::BanditWare other(hw::ndp_catalog(), features, config);
+    core::BanditWare reference(hw::ndp_catalog(), features, config);
+    observe_stream(merged, s1, 0);
+    observe_stream(other, s2, s1.size());
+    observe_stream(reference, s1, 0);
+    observe_stream(reference, s2, s1.size());
+
+    merged.merge_from(other);
+    EXPECT_EQ(merged.num_observations(), reference.num_observations())
+        << core::to_string(kind);
+    for (int probe = 0; probe < 8; ++probe) {
+      core::FeatureVector x(dim);
+      for (double& v : x) v = rng.uniform(0.0, 5.0);
+      const auto got = merged.predictions(x);
+      const auto want = reference.predictions(x);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t arm = 0; arm < got.size(); ++arm) {
+        EXPECT_NEAR(got[arm], want[arm], kTol)
+            << core::to_string(kind) << " arm=" << arm;
+      }
+    }
+  }
+}
+
+TEST(BanditWareMerge, MismatchedForgettingIsRejected) {
+  const std::vector<std::string> features = {"f0", "f1"};
+  auto discounted = shared_ridge_config();
+  discounted.policy.fit.forgetting = 0.95;
+  core::BanditWare a(hw::ndp_catalog(), features, discounted);
+  const core::BanditWare stationary(hw::ndp_catalog(), features,
+                                    shared_ridge_config());
+  EXPECT_THROW(a.merge_from(stationary), InvalidArgument);
+  auto other_lambda = shared_ridge_config();
+  other_lambda.policy.fit.forgetting = 0.9;
+  const core::BanditWare b(hw::ndp_catalog(), features, other_lambda);
+  EXPECT_THROW(a.merge_from(b), InvalidArgument);
 }
 
 TEST(BanditWareMerge, DisjointArmsFormTheUnion) {

@@ -31,9 +31,10 @@
 namespace bw {
 namespace {
 
-core::BanditWare trained_instance(bool exact_history) {
+core::BanditWare trained_instance(bool exact_history, double forgetting = 1.0) {
   core::BanditWareConfig config;
   config.policy.exact_history = exact_history;
+  config.policy.fit.forgetting = forgetting;
   core::BanditWare bandit(hw::ndp_catalog(), {"num_tasks", "mem_req"}, config);
   for (int i = 0; i < 9; ++i) {
     const core::FeatureVector x = {50.0 + 13.0 * i, 4.0 + (i % 3)};
@@ -59,12 +60,14 @@ core::BanditWare trained_policy_instance(core::PolicyKind kind) {
 }
 
 serve::BanditServer trained_server(
-    core::PolicyKind kind = core::PolicyKind::kEpsilonGreedy) {
+    core::PolicyKind kind = core::PolicyKind::kEpsilonGreedy,
+    double forgetting = 1.0) {
   serve::BanditServerConfig config;
   config.num_shards = 2;
   config.sharding = serve::ShardingPolicy::kRoundRobin;
   config.sync_every = 2;
   config.bandit.policy_kind = kind;
+  config.bandit.policy.fit.forgetting = forgetting;
   serve::BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
   const hw::HardwareCatalog catalog = hw::ndp_catalog();
   for (int batch = 0; batch < 3; ++batch) {
@@ -178,6 +181,8 @@ TEST(SnapshotFuzz, BanditWareParsersRejectMutationsCleanly) {
       // scalar as often as the rest of the header.
       trained_policy_instance(core::PolicyKind::kLinUcb).save_state(),
       trained_policy_instance(core::PolicyKind::kThompson).save_state(),
+      // v4 discount superset: mutations hit the lambda line too.
+      trained_instance(false, 0.5).save_state(),
   };
   Rng rng(20260730);
   constexpr int kCasesPerBase = 220;
@@ -205,6 +210,8 @@ TEST(SnapshotFuzz, BanditServerParsersRejectMutationsCleanly) {
       // v4 (policy token in the header, v3 blobs inside).
       trained_server(core::PolicyKind::kLinUcb).save_state(),
       trained_server(core::PolicyKind::kThompson).save_state(),
+      // v5 discount superset: header lambda token + discounted blobs.
+      trained_server(core::PolicyKind::kEpsilonGreedy, 0.5).save_state(),
   };
   Rng rng(9143071);
   constexpr int kCasesPerBase = 220;
@@ -276,6 +283,36 @@ TEST(SnapshotFuzz, HostileCountsFailWithoutAllocating) {
       "banditserver-state v4\n"
       "shards 1 sharding feature-hash seed 1 threads 0 explore 1 sync_every 0 "
       "sync_mode inline policy warp-drive observe_batches 0 rr_counter 0\n",
+      // Discount-token corruption: out-of-range, non-finite, or
+      // backend-incompatible lambdas must all be clean ParseErrors.
+      "banditware-state v4\n"
+      "lambda 1.5\n"
+      "policy epsilon-greedy\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 0\n"
+      "epsilon 1\nfeatures 1 x\narms 1\n",
+      "banditware-state v4\n"
+      "lambda 0\n"
+      "policy epsilon-greedy\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 0\n"
+      "epsilon 1\nfeatures 1 x\narms 1\n",
+      "banditware-state v4\n"
+      "lambda nan\n"
+      "policy epsilon-greedy\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 0\n"
+      "epsilon 1\nfeatures 1 x\narms 1\n",
+      "banditware-state v4\n"
+      "lambda 0.5\n"
+      "policy epsilon-greedy\n"
+      "epsilon0 1 decay 0.99 tol_ratio 0 tol_seconds 0 exact_history 1\n"
+      "epsilon 1\nfeatures 1 x\narms 1\n",
+      "banditserver-state v5\n"
+      "shards 1 sharding feature-hash seed 1 threads 0 explore 1 sync_every 0 "
+      "sync_mode inline lambda -1 policy epsilon-greedy observe_batches 0 "
+      "rr_counter 0\n",
+      "banditserver-state v5\n"
+      "shards 1 sharding feature-hash seed 1 threads 0 explore 1 sync_every 0 "
+      "sync_mode inline lambda inf policy epsilon-greedy observe_batches 0 "
+      "rr_counter 0\n",
   };
   for (std::size_t i = 0; i < hostile.size(); ++i) {
     if (hostile[i].rfind("banditserver", 0) == 0) {

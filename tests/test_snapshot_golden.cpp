@@ -153,6 +153,44 @@ TEST(SnapshotGolden, LegacyFixturesRestoreAsEpsilonGreedyByteForByte) {
   EXPECT_EQ(server.save_state(), server_fixture);
 }
 
+TEST(SnapshotGolden, V4LambdaFixtureRoundTripsByteIdentical) {
+  // `banditware-state v4`: the discount superset — a `lambda 0.5` line
+  // before the (now always present) policy line. LinUCB (alpha 1.5) over
+  // the NDP catalog on the standard 9-observation stream, λ = 0.5 chosen
+  // exactly representable so the text bytes are platform-stable.
+  const std::string fixture = read_file(data_path("state_v4_lambda.bw"));
+  ASSERT_FALSE(fixture.empty());
+  ASSERT_EQ(
+      fixture.rfind("banditware-state v4\nlambda 0.5\npolicy linucb alpha 1.5\n", 0),
+      0u);
+  const BanditWare bandit = BanditWare::load_state(fixture);
+  EXPECT_EQ(bandit.save_state(), fixture);
+  EXPECT_EQ(bandit.config().policy.fit.forgetting, 0.5);
+  EXPECT_EQ(bandit.policy_kind(), PolicyKind::kLinUcb);
+  EXPECT_EQ(bandit.num_observations(), 9u);
+}
+
+TEST(SnapshotGolden, V5LambdaServerFixtureRoundTripsByteIdentical) {
+  // `banditserver-state v5`: the header's ` lambda 0.5` token ahead of the
+  // policy token, Thompson (v=1.25), 2 shards, one auto-sync baseline —
+  // pins the discounted header together with discounted shard/base blobs
+  // (each a v4 bandit blob whose lambda must agree with the header).
+  const std::string fixture = read_file(data_path("server_state_v5_lambda.bw"));
+  ASSERT_FALSE(fixture.empty());
+  ASSERT_EQ(fixture.rfind("banditserver-state v5\n", 0), 0u);
+  ASSERT_NE(fixture.find(" lambda 0.5 "), std::string::npos);
+  serve::BanditServer server = serve::BanditServer::load_state(fixture);
+  EXPECT_EQ(server.config().bandit.policy.fit.forgetting, 0.5);
+  EXPECT_EQ(server.config().bandit.policy_kind, PolicyKind::kThompson);
+  EXPECT_EQ(server.num_shards(), 2u);
+  EXPECT_EQ(server.save_state(), fixture);
+  // Discounted baseline algebra survives the round trip: a sync must not
+  // double-count what the snapshot already fused.
+  const std::size_t before = server.num_observations();
+  server.sync_shards();
+  EXPECT_EQ(server.num_observations(), before);
+}
+
 // ---- binary container fixtures ------------------------------------------
 // Checked-in .bwb/.bwt files pin the binary container encoding the same
 // way the .bw files pin the text formats: load (through io:: auto-
@@ -232,6 +270,40 @@ TEST(SnapshotGolden, BinaryRunTableFixtureRoundTripsByteIdentical) {
   std::ostringstream os(std::ios::binary);
   io::write_run_table(os, table);
   EXPECT_EQ(os.str(), fixture);
+}
+
+TEST(SnapshotGolden, BinaryLambdaFixturesRoundTripByteIdentical) {
+  // The 0x04 (bandit) and 0x13 (server) lambda extension packets, pinned as
+  // checked-in bytes: the same discounted instances as the text fixtures,
+  // through the binary container. The lambda packet rides between the magic
+  // and the header, uncounted by the end sentinel — old readers skip it.
+  {
+    const std::string fixture = read_file(data_path("state_bin_v1_lambda.bwb"));
+    ASSERT_FALSE(fixture.empty());
+    std::istringstream is(fixture, std::ios::binary);
+    io::LoadInfo info;
+    const BanditWare bandit = io::load_state(is, &info);
+    EXPECT_FALSE(info.truncated);
+    EXPECT_EQ(bandit.config().policy.fit.forgetting, 0.5);
+    EXPECT_EQ(bandit.policy_kind(), PolicyKind::kLinUcb);
+    EXPECT_EQ(bandit.num_observations(), 9u);
+    EXPECT_EQ(save_binary(bandit), fixture);
+    // Binary and text fixtures pin the same model.
+    EXPECT_EQ(bandit.save_state(), read_file(data_path("state_v4_lambda.bw")));
+  }
+  {
+    const std::string fixture =
+        read_file(data_path("server_state_bin_v1_lambda.bwb"));
+    ASSERT_FALSE(fixture.empty());
+    std::istringstream is(fixture, std::ios::binary);
+    io::LoadInfo info;
+    serve::BanditServer server = io::load_server_state(is, &info);
+    EXPECT_FALSE(info.truncated);
+    EXPECT_EQ(server.config().bandit.policy.fit.forgetting, 0.5);
+    EXPECT_EQ(save_binary(server), fixture);
+    EXPECT_EQ(server.save_state(),
+              read_file(data_path("server_state_v5_lambda.bw")));
+  }
 }
 
 TEST(SnapshotGolden, MigratedServerBaselineKeepsSyncExact) {

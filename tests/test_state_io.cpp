@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,10 +31,12 @@ namespace {
 
 namespace fs = std::filesystem;
 
-core::BanditWare trained_instance(core::PolicyKind kind, bool exact_history = false) {
+core::BanditWare trained_instance(core::PolicyKind kind, bool exact_history = false,
+                                  double forgetting = 1.0) {
   core::BanditWareConfig config;
   config.policy_kind = kind;
   config.policy.exact_history = exact_history;
+  config.policy.fit.forgetting = forgetting;
   config.alpha = 1.5;
   config.posterior_scale = 1.25;
   core::BanditWare bandit(hw::ndp_catalog(), {"num_tasks", "mem_req"}, config);
@@ -45,12 +48,14 @@ core::BanditWare trained_instance(core::PolicyKind kind, bool exact_history = fa
 }
 
 serve::BanditServer trained_server(
-    core::PolicyKind kind = core::PolicyKind::kEpsilonGreedy) {
+    core::PolicyKind kind = core::PolicyKind::kEpsilonGreedy,
+    double forgetting = 1.0) {
   serve::BanditServerConfig config;
   config.num_shards = 2;
   config.sharding = serve::ShardingPolicy::kRoundRobin;
   config.sync_every = 2;
   config.bandit.policy_kind = kind;
+  config.bandit.policy.fit.forgetting = forgetting;
   serve::BanditServer server(hw::ndp_catalog(), {"num_tasks"}, config);
   const hw::HardwareCatalog catalog = hw::ndp_catalog();
   for (int batch = 0; batch < 3; ++batch) {
@@ -307,6 +312,135 @@ TEST(StateIo, MismatchedPayloadKindsAreRejected) {
   EXPECT_THROW(load_server(table_binary), ParseError);
   std::istringstream not_a_table(bandit_binary, std::ios::binary);
   EXPECT_THROW(io::read_run_table(not_a_table), ParseError);
+}
+
+// ---- discount (lambda) supersets -----------------------------------------
+
+/// One framed lambda extension packet (`type` 0x04 bandit / 0x13 server).
+std::string lambda_packet(std::uint8_t type, double lambda) {
+  std::string payload;
+  io::put_f64(payload, lambda);
+  std::ostringstream os(std::ios::binary);
+  io::write_packet(os, type, payload);
+  return os.str();
+}
+
+TEST(StateIo, DiscountedStateRoundTripsBothFormats) {
+  // λ = 0.5 (exactly representable, prints without a decimal tail). The
+  // text side is the v4 superset; the binary side carries the 0x04
+  // extension packet. Both must round-trip bit-exact and agree.
+  const core::PolicyKind kinds[] = {core::PolicyKind::kEpsilonGreedy,
+                                    core::PolicyKind::kLinUcb,
+                                    core::PolicyKind::kThompson};
+  for (const core::PolicyKind kind : kinds) {
+    const core::BanditWare original =
+        trained_instance(kind, /*exact_history=*/false, /*forgetting=*/0.5);
+    const std::string text = save_as(original, io::Format::kText);
+    EXPECT_EQ(text.rfind("banditware-state v4\nlambda 0.5\n", 0), 0u)
+        << core::to_string(kind);
+    const std::string binary = save_as(original, io::Format::kBinary);
+
+    io::LoadInfo info;
+    const core::BanditWare from_text = load_bandit(text, &info);
+    EXPECT_EQ(info.version, 4);
+    EXPECT_EQ(from_text.config().policy.fit.forgetting, 0.5);
+    EXPECT_EQ(save_as(from_text, io::Format::kText), text);
+
+    const core::BanditWare from_binary = load_bandit(binary);
+    EXPECT_EQ(from_binary.config().policy.fit.forgetting, 0.5);
+    EXPECT_EQ(save_as(from_binary, io::Format::kBinary), binary);
+    EXPECT_EQ(save_as(from_binary, io::Format::kText), text) << core::to_string(kind);
+  }
+}
+
+TEST(StateIo, DiscountedServerRoundTripsBothFormats) {
+  const serve::BanditServer original =
+      trained_server(core::PolicyKind::kLinUcb, /*forgetting=*/0.5);
+  const std::string text = save_as(original, io::Format::kText);
+  EXPECT_EQ(text.rfind("banditserver-state v5\n", 0), 0u);
+  EXPECT_NE(text.find(" lambda 0.5 "), std::string::npos);
+  const std::string binary = save_as(original, io::Format::kBinary);
+
+  io::LoadInfo info;
+  const serve::BanditServer from_text = load_server(text, &info);
+  EXPECT_EQ(info.version, 5);
+  EXPECT_EQ(from_text.config().bandit.policy.fit.forgetting, 0.5);
+  EXPECT_EQ(save_as(from_text, io::Format::kText), text);
+
+  const serve::BanditServer from_binary = load_server(binary);
+  EXPECT_EQ(from_binary.config().bandit.policy.fit.forgetting, 0.5);
+  EXPECT_EQ(save_as(from_binary, io::Format::kBinary), binary);
+  EXPECT_EQ(save_as(from_binary, io::Format::kText), text);
+}
+
+TEST(StateIo, StationarySnapshotsCarryNoLambdaAndLoadAsLambdaOne) {
+  // λ = 1 must write the legacy formats byte-for-byte — no v4/v5 bump, no
+  // extension packet — and every legacy snapshot loads as λ = 1.
+  const core::BanditWare bandit = trained_instance(core::PolicyKind::kEpsilonGreedy);
+  const std::string text = save_as(bandit, io::Format::kText);
+  EXPECT_EQ(text.find("lambda"), std::string::npos);
+  EXPECT_EQ(load_bandit(text).config().policy.fit.forgetting, 1.0);
+  EXPECT_EQ(load_bandit(save_as(bandit, io::Format::kBinary))
+                .config()
+                .policy.fit.forgetting,
+            1.0);
+
+  const serve::BanditServer server = trained_server();
+  EXPECT_EQ(save_as(server, io::Format::kText).find("lambda"), std::string::npos);
+  EXPECT_EQ(load_server(save_as(server, io::Format::kBinary))
+                .config()
+                .bandit.policy.fit.forgetting,
+            1.0);
+}
+
+TEST(StateIo, BinaryLambdaPacketBeforeHeaderAppliesToTheModel) {
+  // The writer's contract (lambda packet between magic and header) from the
+  // reader's side: splicing a 0x04 packet into a stationary blob's preamble
+  // yields a discounted model.
+  const std::string binary =
+      save_as(trained_instance(core::PolicyKind::kEpsilonGreedy), io::Format::kBinary);
+  const std::vector<std::size_t> ends = packet_ends(binary);
+  const std::string spliced =
+      binary.substr(0, ends[0]) + lambda_packet(0x04, 0.5) + binary.substr(ends[0]);
+  EXPECT_EQ(load_bandit(spliced).config().policy.fit.forgetting, 0.5);
+}
+
+TEST(StateIo, HostileLambdaPacketsAreCleanParseErrors) {
+  const std::string binary =
+      save_as(trained_instance(core::PolicyKind::kEpsilonGreedy), io::Format::kBinary);
+  const std::vector<std::size_t> ends = packet_ends(binary);
+  const auto splice_at = [&](std::size_t pos, const std::string& packet) {
+    return binary.substr(0, pos) + packet + binary.substr(pos);
+  };
+
+  // Out-of-range or non-finite discounts.
+  for (const double bad : {1.5, 0.0, -0.25,
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    EXPECT_THROW(load_bandit(splice_at(ends[0], lambda_packet(0x04, bad))), ParseError)
+        << bad;
+  }
+  // A lambda packet after the header came from no writer we ever shipped.
+  EXPECT_THROW(load_bandit(splice_at(ends[1], lambda_packet(0x04, 0.5))), ParseError);
+  // Two lambda packets are ambiguous.
+  EXPECT_THROW(
+      load_bandit(splice_at(ends[0], lambda_packet(0x04, 0.5) + lambda_packet(0x04, 0.5))),
+      ParseError);
+  // λ < 1 requires the incremental backend.
+  const std::string exact_binary = save_as(
+      trained_instance(core::PolicyKind::kEpsilonGreedy, /*exact_history=*/true),
+      io::Format::kBinary);
+  EXPECT_THROW(load_bandit(exact_binary.substr(0, ends[0]) + lambda_packet(0x04, 0.5) +
+                           exact_binary.substr(ends[0])),
+               ParseError);
+
+  // Server side: a 0x13 header-lambda packet over stationary shard blobs is
+  // a contradiction (every shard blob still says λ = 1).
+  const std::string server_binary = save_as(trained_server(), io::Format::kBinary);
+  const std::size_t preamble = sizeof(io::kMagic) + 1;
+  EXPECT_THROW(load_server(server_binary.substr(0, preamble) +
+                           lambda_packet(0x13, 0.5) + server_binary.substr(preamble)),
+               ParseError);
 }
 
 // ---- truncation and corruption contracts --------------------------------

@@ -25,6 +25,7 @@
 //
 // Exit codes: 0 success, 1 usage error, 2 data/state error.
 
+#include <cmath>
 #include <cstdio>
 #include <deque>
 #include <filesystem>
@@ -194,6 +195,8 @@ int cmd_train(int argc, char** argv) {
   cli.add_flag("tolerance-ratio", "0", "tolerance_ratio of Algorithm 1");
   cli.add_flag("epsilon0", "1.0", "initial exploration rate");
   cli.add_flag("decay", "0.99", "epsilon decay factor");
+  cli.add_flag("lambda", "1.0",
+               "RLS forgetting factor in (0, 1]; < 1 discounts old observations");
   cli.add_flag("seed", "42", "replay seed");
   add_state_flag(cli, "state-out", "output state file");
   cli.add_flag("format", "auto", "state file format: auto | text | binary");
@@ -207,6 +210,11 @@ int cmd_train(int argc, char** argv) {
   config.policy.decay = cli.get_double("decay");
   config.policy.tolerance.seconds = cli.get_double("tolerance-seconds");
   config.policy.tolerance.ratio = cli.get_double("tolerance-ratio");
+  const double lambda = cli.get_double("lambda");
+  if (!std::isfinite(lambda) || lambda <= 0.0 || lambda > 1.0) {
+    throw bw::InvalidArgument("--lambda must be in (0, 1]");
+  }
+  config.policy.fit.forgetting = lambda;
   BanditWare bandit(table.catalog(), table.feature_names(), config);
 
   bw::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -451,6 +459,8 @@ int cmd_serve(int argc, char** argv) {
   cli.add_flag("tolerance-ratio", "0", "tolerance_ratio of Algorithm 1");
   cli.add_flag("epsilon0", "1.0", "initial exploration rate (policy=epsilon-greedy)");
   cli.add_flag("decay", "0.99", "epsilon decay factor (policy=epsilon-greedy)");
+  cli.add_flag("lambda", "1.0",
+               "RLS forgetting factor in (0, 1]; < 1 discounts old observations");
   cli.add_flag("seed", "42", "replay + exploration seed");
   add_state_flag(cli, "state-out", "optional output file for the engine snapshot");
   cli.add_flag("format", "auto", "snapshot format: auto | text | binary");
@@ -485,6 +495,11 @@ int cmd_serve(int argc, char** argv) {
   config.bandit.policy.decay = cli.get_double("decay");
   config.bandit.policy.tolerance.seconds = cli.get_double("tolerance-seconds");
   config.bandit.policy.tolerance.ratio = cli.get_double("tolerance-ratio");
+  const double lambda = cli.get_double("lambda");
+  if (!std::isfinite(lambda) || lambda <= 0.0 || lambda > 1.0) {
+    throw bw::InvalidArgument("--lambda must be in (0, 1]");
+  }
+  config.bandit.policy.fit.forgetting = lambda;
   bw::serve::BanditServer server(table.catalog(), table.feature_names(), config);
 
   bw::serve::ReplayOptions options;
