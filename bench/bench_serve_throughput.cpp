@@ -5,12 +5,12 @@
 // recommend_batch + observe_batch pairs.
 //
 //   ./bench/bench_serve_throughput [--decisions=20000] [--batches=1,64,256]
-//       [--workload=train|read-heavy|read-scaling|sync|async-sync|drift]
+//       [--workload=train|read-heavy|read-scaling|sync|async-sync|drift|fleet]
 //       [--read-frac=0.9] [--clients=4] [--arrival-rate=0] [--min-scaling=0]
-//       [--sync-every=1] [--max-regret-ratio=0] [--max-p99-ratio=0]
-//       [--policy=epsilon-greedy|linucb|thompson] [--alpha=1]
-//       [--posterior-scale=1] [--lambda=1] [--max-post-shift-regret-ratio=0]
-//       [--json=BENCH_serve_throughput.json]
+//       [--sync-every=1] [--nodes=1,2,4] [--max-regret-ratio=0]
+//       [--max-p99-ratio=0] [--policy=epsilon-greedy|linucb|thompson]
+//       [--alpha=1] [--posterior-scale=1] [--lambda=1]
+//       [--max-post-shift-regret-ratio=0] [--json=BENCH_serve_throughput.json]
 //
 // --policy swaps the learning policy in every cell (baselines included) and
 // is recorded in the BENCH json, so the sync-regret gates apply per policy:
@@ -77,6 +77,16 @@
 //     twin for epsilon-greedy or linucb (Thompson is reported unguarded:
 //     posterior sampling adds variance the deterministic gate would
 //     punish unfairly). Decisions are deterministic for a fixed seed.
+//   * fleet       — statistical quality of multi-node gossip (src/fleet/):
+//     N independent FleetNodes split one decision stream round-robin and
+//     gossip sufficient-statistic deltas along a ring (both directions,
+//     over the real wire codec) every --sync-every batches. Without
+//     gossip each node learns from a 1/N slice; with it, evidence fuses
+//     fleet-wide and mean regret approaches the 1-node baseline — the
+//     distributed analogue of the sync workload, one level up.
+//     --max-regret-ratio=R (0 = report only) exits nonzero if a gossiped
+//     cell's mean regret exceeds R x the 1-node baseline of its batch
+//     size — the CI fleet acceptance gate (4-node bar: 1.2x).
 //
 // Emits machine-readable BENCH_*.json so the perf trajectory is tracked
 // across PRs.
@@ -95,7 +105,9 @@
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "fleet/fleet_node.hpp"
 #include "hardware/catalog.hpp"
+#include "io/fleet_wire.hpp"
 #include "io/state_io.hpp"
 #include "serve/bandit_server.hpp"
 
@@ -182,6 +194,8 @@ struct CellResult {
   std::string policy;               ///< drift runs every policy per scenario
   double lambda = 1.0;              ///< forgetting factor of this cell
   double post_shift_regret_s = -1.0;  ///< mean regret after the midpoint shift
+  // fleet workload only:
+  std::size_t nodes = 0;            ///< 0 = not a fleet cell
 };
 
 double percentile_ms(std::vector<double>& sorted_us, double q) {
@@ -692,6 +706,82 @@ CellResult run_drift_cell(const std::string& scenario, bw::core::PolicyKind kind
   return result;
 }
 
+/// One cell of the fleet workload: `num_nodes` FleetNodes split one
+/// deterministic decision stream round-robin; every `gossip_every` batches
+/// the ring gossips one round (each node to both neighbours, through the
+/// real wire codec — serialize, parse, apply). gossip_every == 0 disables
+/// gossip, leaving each node with its 1/N slice. Regret is tracked against
+/// the same oracle as the sync workload, so the N-node gossiped cell is
+/// directly comparable to the 1-node baseline.
+CellResult run_fleet_cell(std::size_t num_nodes, std::size_t batch,
+                          std::size_t decisions, std::size_t gossip_every) {
+  const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+  std::vector<bw::fleet::FleetNode> nodes;
+  nodes.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    bw::fleet::FleetNodeConfig node_config;
+    node_config.node_id = static_cast<std::uint32_t>(i);
+    node_config.server.num_shards = 1;
+    node_config.server.num_threads = 1;
+    node_config.server.seed = 42 + i;  // distinct exploration streams
+    apply_policy(node_config.server);
+    nodes.emplace_back(catalog, feature_names(), node_config);
+  }
+
+  bw::Rng rng(11);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t served = 0;
+  std::size_t batches = 0;
+  double regret = 0.0;
+  while (served < decisions) {
+    bw::fleet::FleetNode& node = nodes[batches % num_nodes];
+    const std::size_t n = std::min(batch, decisions - served);
+    std::vector<bw::core::FeatureVector> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) xs.push_back(random_features(rng));
+    const auto batch_decisions = node.recommend_batch(xs);
+    std::vector<bw::serve::ServeObservation> observations;
+    observations.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double runtime = synthetic_runtime(*batch_decisions[i].spec, xs[i]);
+      double best = runtime;
+      for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+        best = std::min(best, synthetic_runtime(catalog[arm], xs[i]));
+      }
+      regret += runtime - best;
+      observations.push_back(
+          {batch_decisions[i].shard, batch_decisions[i].arm, xs[i], runtime});
+    }
+    node.observe_batch(observations);
+    served += n;
+    ++batches;
+    if (num_nodes > 1 && gossip_every > 0 && batches % gossip_every == 0) {
+      // One ring round over the real wire: both directions, so evidence
+      // crosses the N/2-hop diameter in N/2 rounds.
+      for (std::size_t src = 0; src < num_nodes; ++src) {
+        for (const std::size_t dst :
+             {(src + 1) % num_nodes, (src + num_nodes - 1) % num_nodes}) {
+          if (dst == src) continue;
+          const std::string bytes = bw::io::save_fleet_delta(
+              nodes[src].make_delta(nodes[dst].node_id()));
+          nodes[dst].apply_delta(bw::io::load_fleet_delta(bytes));
+        }
+      }
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  CellResult result;
+  result.shards = 1;
+  result.batch = batch;
+  result.nodes = num_nodes;
+  result.sync_every = gossip_every;
+  result.seconds = std::chrono::duration<double>(elapsed).count();
+  result.decisions_per_s = static_cast<double>(served) / result.seconds;
+  result.mean_regret_s = regret / static_cast<double>(served);
+  return result;
+}
+
 void write_json(const std::string& path, const std::string& workload,
                 double read_frac, std::size_t clients,
                 const std::vector<CellResult>& cells) {
@@ -740,6 +830,9 @@ void write_json(const std::string& path, const std::string& workload,
                    cell.scenario.c_str(), cell.policy.c_str(), cell.lambda,
                    cell.post_shift_regret_s);
     }
+    if (cell.nodes > 0) {
+      std::fprintf(f, ", \"nodes\": %zu", cell.nodes);
+    }
     std::fprintf(f, "}%s\n", i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -767,7 +860,10 @@ int run(int argc, char** argv) {
   cli.add_flag("batches", "1,64,256", "batch sizes to sweep");
   cli.add_flag("workload", "train",
                "train (1:1 learn loop), read-heavy, read-scaling, sync, "
-               "async-sync, or drift");
+               "async-sync, drift, or fleet");
+  cli.add_flag("nodes", "1,2,4",
+               "fleet sizes to sweep (fleet workload); gossip rides the "
+               "--sync-every cadence");
   cli.add_flag("policy", "epsilon-greedy",
                "learning policy for every cell: epsilon-greedy | linucb | thompson");
   cli.add_flag("alpha", "1.0", "linucb confidence width (policy=linucb)");
@@ -864,11 +960,18 @@ int run(int argc, char** argv) {
   const bool sync = workload == "sync";
   const bool async_sync = workload == "async-sync";
   const bool drift = workload == "drift";
+  const bool fleet = workload == "fleet";
   if (workload != "train" && workload != "read-heavy" && workload != "read-scaling" &&
-      workload != "sync" && workload != "async-sync" && workload != "drift") {
+      workload != "sync" && workload != "async-sync" && workload != "drift" &&
+      workload != "fleet") {
     std::fprintf(stderr,
                  "--workload must be 'train', 'read-heavy', 'read-scaling', "
-                 "'sync', 'async-sync', or 'drift'\n");
+                 "'sync', 'async-sync', 'drift', or 'fleet'\n");
+    return 1;
+  }
+  const auto node_counts = bw::parse_size_list(cli.get("nodes"));
+  if (fleet && node_counts.empty()) {
+    std::fprintf(stderr, "--nodes needs at least one positive entry\n");
     return 1;
   }
   if (!std::isfinite(read_frac) || read_frac < 0.0 || read_frac > 1.0) {
@@ -888,6 +991,10 @@ int run(int argc, char** argv) {
                 arrival_rate > 0.0 ? "open-loop" : "closed-loop");
   }
   if (sync || async_sync) std::printf("sync cadence: every %zu batches\n", sync_every);
+  if (fleet) {
+    std::printf("fleet sweep: %s nodes, ring gossip every %zu batches\n",
+                cli.get("nodes").c_str(), sync_every);
+  }
   const double drift_lambda = g_policy.lambda < 1.0 ? g_policy.lambda : 0.98;
   if (drift) std::printf("discounted lambda: %.4f\n", drift_lambda);
   std::printf("\n");
@@ -930,6 +1037,45 @@ int run(int argc, char** argv) {
                        disc.post_shift_regret_s, ratio, base.post_shift_regret_s,
                        max_post_shift_ratio);
           gate_failed = true;
+        }
+      }
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  } else if (fleet) {
+    // Gossip quality sweep: the 1-node baseline pins the regret bar per
+    // batch size; each fleet size runs gossip-off (1/N slices, regret
+    // grows with N) and ring-gossiped (the gated cell).
+    bw::Table table({"nodes", "gossip", "batch", "wall (s)", "decisions/s",
+                     "mean regret (s)", "vs 1 node"});
+    for (std::size_t batch : batch_sizes) {
+      const CellResult baseline = run_fleet_cell(1, batch, decisions, 0);
+      cells.push_back(baseline);
+      table.add_row({"1", "-", std::to_string(batch),
+                     bw::format_double(baseline.seconds, 3),
+                     bw::format_double(baseline.decisions_per_s, 0),
+                     bw::format_double(baseline.mean_regret_s, 4), "1.00x"});
+      for (std::size_t num_nodes : node_counts) {
+        if (num_nodes <= 1) continue;
+        for (const std::size_t cadence : {std::size_t{0}, sync_every}) {
+          const CellResult cell =
+              run_fleet_cell(num_nodes, batch, decisions, cadence);
+          cells.push_back(cell);
+          const double ratio = cell.mean_regret_s / baseline.mean_regret_s;
+          table.add_row({std::to_string(cell.nodes),
+                         cadence == 0 ? "off" : "every " + std::to_string(cadence),
+                         std::to_string(cell.batch),
+                         bw::format_double(cell.seconds, 3),
+                         bw::format_double(cell.decisions_per_s, 0),
+                         bw::format_double(cell.mean_regret_s, 4),
+                         bw::format_double(ratio, 2) + "x"});
+          if (cadence > 0 && max_regret_ratio > 0.0 && ratio > max_regret_ratio) {
+            std::fprintf(stderr,
+                         "FAIL: %zu-node gossiped regret %.4f s is %.2fx the "
+                         "1-node baseline %.4f s (limit %.2fx)\n",
+                         num_nodes, cell.mean_regret_s, ratio,
+                         baseline.mean_regret_s, max_regret_ratio);
+            gate_failed = true;
+          }
         }
       }
     }

@@ -1,0 +1,177 @@
+// Multi-node gossip fleet under an adversarial network, end to end: N
+// FleetNodes serve and learn independently while the deterministic network
+// simulator (src/fleet/sim.hpp) delays, reorders, drops, and duplicates
+// their gossip — optionally crashing a node mid-run and restarting it from
+// its durable snapshot, or partitioning the fleet and healing it. After the
+// scheduled chaos the fleet quiesces and the demo verifies what the test
+// suite proves: every node's fused model is byte-identical, and it matches
+// a single learner fed every surviving observation in canonical order.
+//
+//   ./examples/fleet_sim [--nodes=4] [--ticks=400] [--seed=1]
+//       [--topology=complete|ring] [--drop=0.2] [--duplicate=0.1]
+//       [--min-delay=1] [--max-delay=20] [--crash=1] [--partition=1]
+//       [--policy=epsilon-greedy|linucb|thompson] [--lambda=1]
+//
+// Every number printed is a pure function of the flags — rerun with the
+// same seed and the run replays exactly, message for message.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/cli.hpp"
+#include "fleet/sim.hpp"
+#include "hardware/catalog.hpp"
+#include "io/state_io.hpp"
+
+namespace {
+
+/// Text snapshot of a node's canonical fused model — byte-comparable.
+std::string fused_text(const bw::fleet::FleetNode& node) {
+  std::ostringstream os;
+  bw::io::save_state(os, node.fused_model(), bw::io::Format::kText);
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bw::CliParser cli("gossip fleet under a faulty network, converging anyway");
+  cli.add_flag("nodes", "4", "fleet size");
+  cli.add_flag("ticks", "400", "virtual-clock steps before quiescing");
+  cli.add_flag("seed", "1", "root seed (schedule, workload, network)");
+  cli.add_flag("topology", "complete", "gossip partners: complete | ring");
+  cli.add_flag("drop", "0.2", "per-message drop probability");
+  cli.add_flag("duplicate", "0.1", "per-message duplicate probability");
+  cli.add_flag("min-delay", "1", "min in-flight ticks per message");
+  cli.add_flag("max-delay", "20", "max in-flight ticks per message");
+  cli.add_flag("crash", "1", "crash node 1 mid-run and restart it from its "
+               "snapshot (0 = stable fleet)");
+  cli.add_flag("partition", "1",
+               "split the fleet in half for the third quarter of the run "
+               "(0 = no partition)");
+  cli.add_flag("policy", "epsilon-greedy",
+               "learning policy: epsilon-greedy | linucb | thompson");
+  cli.add_flag("alpha", "1.0", "linucb confidence width (policy=linucb)");
+  cli.add_flag("posterior-scale", "1.0",
+               "thompson sampling scale v (policy=thompson)");
+  cli.add_flag("lambda", "1.0", "RLS forgetting factor in (0, 1]");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes"));
+  const auto ticks = static_cast<std::uint64_t>(cli.get_int("ticks"));
+  if (nodes < 1 || ticks < 4) {
+    std::fprintf(stderr, "--nodes must be >= 1 and --ticks >= 4\n");
+    return 1;
+  }
+
+  bw::fleet::FleetSimConfig config;
+  config.num_nodes = nodes;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.topology = cli.get("topology") == "ring"
+                        ? bw::fleet::GossipTopology::kRing
+                        : bw::fleet::GossipTopology::kComplete;
+  config.drop_probability = cli.get_double("drop");
+  config.duplicate_probability = cli.get_double("duplicate");
+  config.min_delay = static_cast<std::uint64_t>(cli.get_int("min-delay"));
+  config.max_delay = static_cast<std::uint64_t>(cli.get_int("max-delay"));
+  config.snapshot_every = 2;  // keep restart points fresh
+  config.server.num_shards = 1;
+  config.server.num_threads = 1;
+  config.server.seed = 17;
+  config.server.bandit.policy_kind = bw::core::parse_policy_kind(cli.get("policy"));
+  config.server.bandit.alpha = cli.get_double("alpha");
+  config.server.bandit.posterior_scale = cli.get_double("posterior-scale");
+  config.server.bandit.policy.fit.forgetting = cli.get_double("lambda");
+
+  bw::fleet::FleetSim sim(bw::hw::ndp_catalog(), {"num_tasks", "mem_gb"}, config);
+
+  // Schedule: four quarters of chaos. Q1-Q2 plain faulty gossip; a crash
+  // (if enabled) lands at the end of Q1 and the restart at the end of Q2;
+  // Q3 runs under a half/half partition (if enabled); Q4 heals and runs to
+  // the finish.
+  const std::uint64_t quarter = ticks / 4;
+  const bool crash = cli.get_int("crash") != 0 && nodes >= 2;
+  const bool split = cli.get_int("partition") != 0 && nodes >= 2;
+  sim.run(quarter);
+  if (crash) {
+    std::printf("t=%llu: node 1 crashes (loses everything since its snapshot)\n",
+                static_cast<unsigned long long>(sim.now()));
+    sim.crash(1);
+  }
+  sim.run(quarter);
+  if (crash) {
+    sim.restart(1);
+    std::printf("t=%llu: node 1 restarts from its snapshot as incarnation %u\n",
+                static_cast<unsigned long long>(sim.now()), sim.node(1).incarnation());
+  }
+  if (split) {
+    std::vector<std::size_t> left, right;
+    for (std::size_t i = 0; i < nodes; ++i) (i < nodes / 2 ? left : right).push_back(i);
+    sim.partition({left, right});
+    std::printf("t=%llu: partition — %zu nodes | %zu nodes\n",
+                static_cast<unsigned long long>(sim.now()), left.size(), right.size());
+  }
+  sim.run(quarter);
+  if (split) {
+    sim.heal();
+    std::printf("t=%llu: partition heals\n",
+                static_cast<unsigned long long>(sim.now()));
+  }
+  sim.run(ticks - 3 * quarter);
+  sim.quiesce();
+
+  const bw::fleet::FleetSimStats& stats = sim.stats();
+  std::printf("\nfleet of %zu (%s gossip), %llu ticks, seed %llu\n\n", nodes,
+              cli.get("topology").c_str(), static_cast<unsigned long long>(sim.now()),
+              static_cast<unsigned long long>(config.seed));
+  bw::Table table({"metric", "value"});
+  table.add_row({"observations fed", std::to_string(stats.observations_fed)});
+  table.add_row({"messages sent", std::to_string(stats.sent)});
+  table.add_row({"delivered", std::to_string(stats.delivered)});
+  table.add_row({"dropped (network)", std::to_string(stats.dropped)});
+  table.add_row({"dropped (partition)", std::to_string(stats.partition_dropped)});
+  table.add_row({"dropped (crashed dst)", std::to_string(stats.crash_dropped)});
+  table.add_row({"duplicated", std::to_string(stats.duplicated)});
+  table.add_row({"entries applied", std::to_string(stats.entries_applied)});
+  table.add_row({"entries stale (ignored)", std::to_string(stats.entries_stale)});
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // The convergence claim, verified live: every node serves the identical
+  // fused model (byte-for-byte), and that model agrees with a single
+  // learner replaying every surviving observation in canonical origin
+  // order — to 1e-9 on a probe grid, the same bar the test suite sets.
+  const std::string fused = fused_text(sim.node(0));
+  bool identical = true;
+  for (std::size_t i = 1; i < nodes; ++i) {
+    identical = identical && fused_text(sim.node(i)) == fused;
+  }
+  const bw::core::BanditWare fleet_model = sim.node(0).fused_model();
+  const bw::core::BanditWare reference = sim.reference_model();
+  double worst = 0.0;
+  bw::Rng probe_rng(99);
+  for (int probe = 0; probe < 25; ++probe) {
+    bw::core::FeatureVector x(2);
+    for (double& v : x) v = probe_rng.uniform(1.0, 10.0);
+    const std::vector<double> a = fleet_model.predictions(x);
+    const std::vector<double> b = reference.predictions(x);
+    for (std::size_t arm = 0; arm < a.size(); ++arm) {
+      const double scale = std::max(1.0, std::fabs(b[arm]));
+      worst = std::max(worst, std::fabs(a[arm] - b[arm]) / scale);
+    }
+  }
+  const bool matches =
+      worst <= 1e-9 && fleet_model.num_observations() == reference.num_observations();
+  std::printf("\nfused models byte-identical across nodes: %s\n",
+              identical ? "yes" : "NO — protocol bug");
+  std::printf("fleet model vs single-learner replay: max deviation %.2e — %s\n", worst,
+              matches ? "agrees (<= 1e-9)" : "DIVERGED — protocol bug");
+  std::printf("each node holds %llu observations across %zu origin streams\n",
+              static_cast<unsigned long long>(sim.node(0).total_observations()),
+              sim.node(0).num_origins());
+  return identical && matches ? 0 : 2;
+}

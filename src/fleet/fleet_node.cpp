@@ -1,0 +1,303 @@
+#include "fleet/fleet_node.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "io/state_io.hpp"
+
+namespace bw::fleet {
+
+namespace {
+
+io::FleetWireConfig wire_config_of(const serve::BanditServer& server,
+                                   const core::BanditWareConfig& bandit) {
+  io::FleetWireConfig wire;
+  wire.policy = bandit.policy_kind;
+  wire.alpha = bandit.alpha;
+  wire.posterior_scale = bandit.posterior_scale;
+  wire.initial_epsilon = bandit.policy.initial_epsilon;
+  wire.decay = bandit.policy.decay;
+  wire.lambda = bandit.policy.fit.forgetting;
+  wire.ridge = bandit.policy.fit.ridge;
+  wire.num_features = static_cast<std::uint32_t>(server.feature_names().size());
+  wire.num_arms = static_cast<std::uint32_t>(server.catalog().size());
+  return wire;
+}
+
+}  // namespace
+
+FleetNode::FleetNode(hw::HardwareCatalog catalog,
+                     std::vector<std::string> feature_names, FleetNodeConfig config)
+    : FleetNode(serve::BanditServer(std::move(catalog), std::move(feature_names),
+                                    config.server),
+                config.server.bandit, config.node_id, 1) {}
+
+FleetNode::FleetNode(serve::BanditServer server, core::BanditWareConfig bandit_config,
+                     std::uint32_t node_id, std::uint32_t incarnation)
+    : node_id_(node_id),
+      incarnation_(incarnation),
+      server_(std::move(server)),
+      bandit_config_(std::move(bandit_config)),
+      local_bank_(server_.catalog(), server_.feature_names(), bandit_config_) {
+  // Gossip ships sufficient statistics; the exact-history backend has none
+  // to ship (it replays raw rows), so the fleet requires the incremental
+  // backend — same constraint as the serve layer's async sync.
+  BW_CHECK_MSG(!bandit_config_.policy.exact_history,
+               "fleet: gossip requires the incremental arm backend");
+  wire_config_ = wire_config_of(server_, bandit_config_);
+  prior_arms_ = local_bank_.export_stats().arms;
+  origins_.emplace(self_origin(), prior_arms_);
+}
+
+std::vector<serve::ServeDecision> FleetNode::recommend_batch(
+    const std::vector<core::FeatureVector>& xs) {
+  return server_.recommend_batch(xs);
+}
+
+void FleetNode::observe_batch(
+    const std::vector<serve::ServeObservation>& observations) {
+  // The engine validates the whole batch before applying any of it, so
+  // mirroring into the origin stream afterwards keeps the two in lockstep
+  // even on a rejected batch.
+  server_.observe_batch(observations);
+  for (const auto& obs : observations) {
+    local_bank_.observe(obs.arm, obs.x, obs.runtime_s);
+  }
+  if (!observations.empty()) refresh_self_origin();
+}
+
+void FleetNode::refresh_self_origin() {
+  origins_[self_origin()] = local_bank_.export_stats().arms;
+}
+
+FleetDelta FleetNode::make_delta(std::uint32_t peer) const {
+  FleetDelta delta;
+  delta.sender = node_id_;
+  delta.sender_incarnation = incarnation_;
+  delta.config = wire_config_;
+  const auto known_it = peer_known_.find(peer);
+  const auto* known =
+      known_it != peer_known_.end() ? &known_it->second.floors : nullptr;
+  for (const auto& [origin, arms] : origins_) {
+    const std::vector<std::uint64_t>* floor = nullptr;
+    if (known != nullptr) {
+      const auto floor_it = known->find(origin);
+      if (floor_it != known->end()) floor = &floor_it->second;
+    }
+    io::FleetOriginBlock block;
+    block.origin = origin;
+    for (std::size_t arm = 0; arm < arms.size(); ++arm) {
+      const core::ArmStats& stats = arms[arm];
+      if (stats.n == 0) continue;
+      if (floor != nullptr && (*floor)[arm] >= stats.n) continue;
+      block.arms.push_back({static_cast<std::uint32_t>(arm), stats});
+    }
+    if (!block.arms.empty()) delta.origins.push_back(std::move(block));
+  }
+  delta.version_vector = version_vector();
+  return delta;
+}
+
+ApplyResult FleetNode::apply_delta(const FleetDelta& delta) {
+  if (!(delta.config == wire_config_)) {
+    throw ParseError("fleet: config envelope mismatch from node " +
+                     std::to_string(delta.sender) +
+                     " — refusing cross-config fusion");
+  }
+  ApplyResult result;
+  for (const auto& block : delta.origins) {
+    // Self-authority: this node is the sole writer of its current stream,
+    // so an echo of it (or a claim about a future incarnation) is stale by
+    // definition. Pre-crash incarnations are ordinary origins.
+    if (block.origin.node == node_id_ && block.origin.incarnation >= incarnation_) {
+      result.stale += block.arms.size();
+      continue;
+    }
+    const auto [applied, stale] = fold_origin(block.origin, block.arms);
+    result.applied += applied;
+    result.stale += stale;
+  }
+  // Max-merge the sender's version vector: it is a floor on what the peer
+  // holds, and floors only rise — within one incarnation. A restart loses
+  // the peer's in-memory store, so a newer incarnation voids every floor
+  // learned from the old one, and a straggling old-incarnation message
+  // (whose entries were folded above — cumulative statistics never expire)
+  // must not raise the new incarnation's floors.
+  auto& view = peer_known_[delta.sender];
+  if (delta.sender_incarnation > view.incarnation) {
+    view.incarnation = delta.sender_incarnation;
+    view.floors.clear();
+  }
+  if (delta.sender_incarnation == view.incarnation) {
+    for (const auto& entry : delta.version_vector) {
+      if (entry.per_arm_n.size() != wire_config_.num_arms) {
+        throw ParseError("fleet: version vector width mismatch from node " +
+                         std::to_string(delta.sender));
+      }
+      auto [it, inserted] = view.floors.try_emplace(entry.origin, entry.per_arm_n);
+      if (!inserted) {
+        for (std::size_t arm = 0; arm < entry.per_arm_n.size(); ++arm) {
+          if (entry.per_arm_n[arm] > it->second[arm]) {
+            it->second[arm] = entry.per_arm_n[arm];
+          }
+        }
+      }
+    }
+  }
+  result.changed = result.applied > 0;
+  if (result.changed) rebuild_from_origins();
+  return result;
+}
+
+std::pair<std::size_t, std::size_t> FleetNode::fold_origin(
+    const FleetOriginKey& origin, const std::vector<io::FleetArmEntry>& entries) {
+  auto it = origins_.find(origin);
+  if (it == origins_.end()) {
+    if (origins_.size() >= io::kMaxFleetOrigins) {
+      throw ParseError("fleet: origin store is full (" +
+                       std::to_string(io::kMaxFleetOrigins) + " origins)");
+    }
+    it = origins_.emplace(origin, prior_arms_).first;
+  }
+  std::vector<core::ArmStats>& slots = it->second;
+  std::size_t applied = 0;
+  std::size_t stale = 0;
+  for (const auto& entry : entries) {
+    if (entry.arm >= slots.size()) {
+      throw ParseError("fleet: arm index out of range in origin block");
+    }
+    core::ArmStats& slot = slots[entry.arm];
+    if (entry.stats.theta.size() != slot.theta.size() ||
+        entry.stats.p.rows() != slot.p.rows() ||
+        entry.stats.p.cols() != slot.p.cols()) {
+      throw ParseError("fleet: statistics shape mismatch in origin block");
+    }
+    // Replace-if-larger-n: a single-writer stream's statistics at count n
+    // extend the statistics at any smaller count, so the larger entry is a
+    // strict superset of the smaller — never add, never diff.
+    if (entry.stats.n > slot.n) {
+      slot = entry.stats;
+      ++applied;
+    } else {
+      ++stale;
+    }
+  }
+  return {applied, stale};
+}
+
+core::BanditWare FleetNode::origin_model(
+    const std::vector<core::ArmStats>& arms) const {
+  core::BanditWareStats stats;
+  stats.arms = arms;
+  if (wire_config_.policy == core::PolicyKind::kEpsilonGreedy) {
+    // ε decays once per observation, so the origin's exploration state is
+    // fully determined by its count — deriving it keeps the wire format
+    // free of redundant (and potentially contradictory) scalars.
+    stats.epsilon = wire_config_.initial_epsilon *
+                    std::pow(wire_config_.decay,
+                             static_cast<double>(stats.num_observations()));
+  } else {
+    stats.epsilon = 0.0;
+  }
+  return core::BanditWare::from_stats(server_.catalog(), server_.feature_names(),
+                                      bandit_config_, stats);
+}
+
+core::BanditWare FleetNode::fused_model() const {
+  core::BanditWare fused(server_.catalog(), server_.feature_names(), bandit_config_);
+  for (const auto& [origin, arms] : origins_) {
+    bool any = false;
+    for (const auto& slot : arms) {
+      if (slot.n > 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    // No base: each origin model carries the shared ridge prior once, and
+    // the merge keeps exactly one copy — the fold over origins in ascending
+    // key order is the canonical single-learner concatenation.
+    fused.merge_from(origin_model(arms), nullptr);
+  }
+  return fused;
+}
+
+void FleetNode::rebuild_from_origins() { server_.adopt_model(fused_model()); }
+
+std::vector<io::FleetVvEntry> FleetNode::version_vector() const {
+  std::vector<io::FleetVvEntry> vv;
+  vv.reserve(origins_.size());
+  for (const auto& [origin, arms] : origins_) {
+    io::FleetVvEntry entry;
+    entry.origin = origin;
+    entry.per_arm_n.reserve(arms.size());
+    for (const auto& slot : arms) entry.per_arm_n.push_back(slot.n);
+    vv.push_back(std::move(entry));
+  }
+  return vv;
+}
+
+std::uint64_t FleetNode::total_observations() const {
+  std::uint64_t total = 0;
+  for (const auto& [origin, arms] : origins_) {
+    for (const auto& slot : arms) total += slot.n;
+  }
+  return total;
+}
+
+std::string FleetNode::save_snapshot() const {
+  io::FleetNodeState state;
+  state.node = node_id_;
+  state.incarnation = incarnation_;
+  state.config = wire_config_;
+  std::ostringstream blob;
+  io::save_state(blob, server_, io::Format::kBinary);
+  state.server_blob = blob.str();
+  for (const auto& [origin, arms] : origins_) {
+    io::FleetOriginBlock block;
+    block.origin = origin;
+    for (std::size_t arm = 0; arm < arms.size(); ++arm) {
+      if (arms[arm].n == 0) continue;
+      block.arms.push_back({static_cast<std::uint32_t>(arm), arms[arm]});
+    }
+    if (!block.arms.empty()) state.origins.push_back(std::move(block));
+  }
+  return io::save_fleet_node(state);
+}
+
+FleetNode FleetNode::restore(const std::string& bytes) {
+  const io::FleetNodeState state = io::load_fleet_node(bytes);
+  std::istringstream blob(state.server_blob);
+  serve::BanditServer server = io::load_server_state(blob);
+  // The engine snapshot intentionally drops non-default fit options; the
+  // ridge prior is the one whose loss would silently corrupt the fusion
+  // algebra (the merge subtracts exactly one prior copy), so the fleet
+  // envelope persists it and restore re-applies it here. Every other
+  // envelope field round-trips through the engine blob and is verified
+  // against the envelope below.
+  core::BanditWareConfig bandit_config = server.config().bandit;
+  bandit_config.policy.fit.ridge = state.config.ridge;
+  // Restarting closes the old origin stream: the node re-enters the fleet
+  // under incarnation + 1 and appends to a fresh stream, so the pre-crash
+  // prefix (restored below, possibly extended later by peers that held
+  // more of it) can never be confused with post-restart evidence.
+  FleetNode node(std::move(server), std::move(bandit_config), state.node,
+                 state.incarnation + 1);
+  if (!(node.wire_config_ == state.config)) {
+    throw ParseError(
+        "fleet: snapshot config envelope does not match the embedded engine");
+  }
+  for (const auto& block : state.origins) {
+    if (block.origin.node == node.node_id_ &&
+        block.origin.incarnation >= node.incarnation_) {
+      throw ParseError("fleet: snapshot holds an origin from a future incarnation");
+    }
+    node.fold_origin(block.origin, block.arms);
+  }
+  node.rebuild_from_origins();
+  return node;
+}
+
+}  // namespace bw::fleet

@@ -1,0 +1,188 @@
+#pragma once
+// FleetNode — one member of a multi-node BanditWare fleet, gossiping
+// learned evidence as sufficient-statistic deltas (src/io/fleet_wire.hpp).
+//
+// The unit of replication is the *origin stream*: every observation belongs
+// to the (node, incarnation) that absorbed it, and each node keeps, per
+// origin, the cumulative per-arm sufficient statistics (P, θ, n) of that
+// origin's stream prefix it has seen. Because a stream is appended by
+// exactly one writer, the statistics at count n extend the statistics at
+// any smaller count — so state exchange needs no increments, acks, or
+// ordering: a gossip message carries cumulative entries and the receiver
+// applies replace-if-larger-n per (origin, arm). The apply is idempotent
+// and commutative; messages may be dropped, delayed, reordered, or
+// duplicated freely and evidence is never lost or double-counted.
+//
+// Serving model: the node's engine (a wrapped serve::BanditServer) adopts
+// the *canonical fold* of the origin store — a fresh prior merged with
+// every origin's model in ascending (node, incarnation) order via the same
+// information-form algebra as cross-shard sync (core::BanditWare::
+// merge_from with no base, so exactly one ridge prior survives). Every
+// node folds in the same order, so once their origin stores agree their
+// serving models agree bit-for-bit with a single learner fed the origin
+// streams in that canonical order — including under a forgetting factor
+// λ < 1, where the fold order is the discount order. ε-greedy's scalar
+// decays once per observation, so an origin's exploration state is derived
+// as ε₀ · αⁿ and chains multiplicatively through the fold exactly like the
+// single learner's repeated decay.
+//
+// Anti-entropy: each message also carries the sender's version vector
+// (per-origin per-arm counts). Receivers remember the freshest vector per
+// peer and send only entries the peer lacks — steady-state gossip is
+// version vectors only. The vector is a *floor* on what the peer holds
+// (learned from its own messages, never assumed from ours), so a dropped
+// message merely leaves the floor low and the entries re-send next round.
+//
+// Crash/restart: restore() rebuilds a node from its durable snapshot and
+// bumps the incarnation, closing the old origin stream forever — the
+// pre-crash prefix survives at whatever count any node (including the
+// snapshot) holds, and the restarted node appends under the new identity.
+// A node is authoritative for its *current* stream: incoming entries for
+// (node_id, current incarnation) are counted stale and skipped, while old
+// incarnations are accepted like any other origin (a peer may well hold
+// more of the pre-crash stream than the snapshot did).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/fleet_wire.hpp"
+#include "serve/bandit_server.hpp"
+
+namespace bw::fleet {
+
+using io::FleetDelta;
+using io::FleetOriginKey;
+
+struct FleetNodeConfig {
+  std::uint32_t node_id = 0;
+  serve::BanditServerConfig server{};  ///< applied to the wrapped engine
+};
+
+/// What FleetNode::apply_delta did with a message.
+struct ApplyResult {
+  std::size_t applied = 0;  ///< entries that advanced an (origin, arm)
+  std::size_t stale = 0;    ///< entries at or behind what we already held
+  bool changed = false;     ///< applied > 0 (the serving model was rebuilt)
+};
+
+class FleetNode {
+ public:
+  FleetNode(hw::HardwareCatalog catalog, std::vector<std::string> feature_names,
+            FleetNodeConfig config);
+
+  std::uint32_t node_id() const { return node_id_; }
+  std::uint32_t incarnation() const { return incarnation_; }
+  FleetOriginKey self_origin() const { return {node_id_, incarnation_}; }
+
+  /// The wrapped serving engine (recommend paths; const inspection). Feed
+  /// observations through FleetNode::observe_batch, never the engine
+  /// directly — the node must mirror them into its origin stream.
+  serve::BanditServer& server() { return server_; }
+  const serve::BanditServer& server() const { return server_; }
+
+  std::vector<serve::ServeDecision> recommend_batch(
+      const std::vector<core::FeatureVector>& xs);
+
+  /// Absorbs local feedback: trains the serving engine and appends the
+  /// observations (in batch order) to this node's origin stream.
+  void observe_batch(const std::vector<serve::ServeObservation>& observations);
+
+  /// Builds the gossip message for `peer`: every (origin, arm) entry that
+  /// is ahead of the freshest version vector the peer has sent us (all
+  /// entries, for a peer we have never heard from), plus our own version
+  /// vector. Symmetric and ack-free.
+  FleetDelta make_delta(std::uint32_t peer) const;
+
+  /// Applies a gossip message: cross-checks the config envelope (throws
+  /// ParseError on any mismatch — fusing across policies, schedules, λ, or
+  /// shapes would be silently wrong), records the sender's version vector,
+  /// replace-if-larger-n folds each entry, and — when anything advanced —
+  /// rebuilds the serving model from the canonical fold.
+  ApplyResult apply_delta(const FleetDelta& delta);
+
+  /// The canonical fold of the origin store (see file comment). This is
+  /// the node's fleet-wide model: deterministic in the store's contents,
+  /// identical across nodes whose stores agree.
+  core::BanditWare fused_model() const;
+
+  /// Rebuilds the serving engine from the canonical fold. apply_delta runs
+  /// this automatically; exposed for harnesses that batch several applies
+  /// before paying the rebuild.
+  void rebuild_from_origins();
+
+  /// Per-origin per-arm counts of everything this node holds.
+  std::vector<io::FleetVvEntry> version_vector() const;
+
+  /// Total observations held across all origins / distinct origins held.
+  std::uint64_t total_observations() const;
+  std::size_t num_origins() const { return origins_.size(); }
+
+  /// The wire-format config envelope this node stamps on and demands from
+  /// every message.
+  io::FleetWireConfig wire_config() const { return wire_config_; }
+
+  /// Durable snapshot (kind-5 container): identity, the full serving-engine
+  /// state as a nested blob, and the origin store.
+  std::string save_snapshot() const;
+
+  /// Rebuilds a node from save_snapshot() bytes under a bumped incarnation
+  /// (see file comment). Gossip accounting (version-vector floors) resets —
+  /// it is soft state and re-learns from the first message per peer.
+  static FleetNode restore(const std::string& bytes);
+
+ private:
+  FleetNode(serve::BanditServer server, core::BanditWareConfig bandit_config,
+            std::uint32_t node_id, std::uint32_t incarnation);
+
+  /// Folds `stats` (cumulative, full-width) into the store under
+  /// replace-if-larger-n. Returns [applied, stale] entry counts.
+  std::pair<std::size_t, std::size_t> fold_origin(
+      const FleetOriginKey& origin, const std::vector<io::FleetArmEntry>& entries);
+
+  /// Re-exports the local bank into the self-origin slot.
+  void refresh_self_origin();
+
+  /// Builds the per-origin model the canonical fold merges: full-width
+  /// stats (prior where the origin has no evidence) plus the derived
+  /// exploration scalar.
+  core::BanditWare origin_model(const std::vector<core::ArmStats>& arms) const;
+
+  std::uint32_t node_id_ = 0;
+  std::uint32_t incarnation_ = 1;
+  serve::BanditServer server_;
+  /// Authoritative learner config for origin models and the canonical
+  /// fold. Normally identical to the engine's; after restore() it re-adds
+  /// what the engine snapshot intentionally drops (the ridge prior — a
+  /// non-default fit option) from the fleet envelope, which does persist
+  /// it because the fusion algebra depends on it.
+  core::BanditWareConfig bandit_config_;
+  io::FleetWireConfig wire_config_;
+  /// This node's own stream under the current incarnation: a single
+  /// learner fed exactly the observations passed to observe_batch, whose
+  /// export is the self-origin's cumulative statistics.
+  core::BanditWare local_bank_;
+  /// Prior-state template: origin slots start as copies so absent arms
+  /// carry exactly the shared ridge prior.
+  std::vector<core::ArmStats> prior_arms_;
+  /// Origin store: per origin, full-width cumulative per-arm statistics
+  /// (slots with n == 0 are the untouched prior, never serialized).
+  std::map<FleetOriginKey, std::vector<core::ArmStats>> origins_;
+  /// Freshest version vector received from one peer, tagged with the
+  /// incarnation that sent it. The tag is what makes floors crash-safe: a
+  /// restart loses the peer's in-memory store, so every claim learned from
+  /// the dead incarnation is void — a message from a newer incarnation
+  /// resets the floors, and a straggler from an older one cannot raise
+  /// them (its origin *entries* still apply; cumulative statistics are
+  /// valid forever, only the holdings claim expires).
+  struct PeerView {
+    std::uint32_t incarnation = 0;
+    std::map<FleetOriginKey, std::vector<std::uint64_t>> floors;
+  };
+  /// Per-peer holdings floor. Soft state: never persisted, rebuilt from
+  /// gossip (restore() starts empty and simply resends generously).
+  std::map<std::uint32_t, PeerView> peer_known_;
+};
+
+}  // namespace bw::fleet

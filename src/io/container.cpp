@@ -256,7 +256,7 @@ bool peek_container(std::istream& is, PayloadKind& kind) {
   const bool match =
       is.gcount() == static_cast<std::streamsize>(sizeof(preamble)) &&
       std::memcmp(preamble, kMagic, sizeof(kMagic)) == 0 &&
-      preamble[sizeof(kMagic)] >= 1 && preamble[sizeof(kMagic)] <= 3;
+      preamble[sizeof(kMagic)] >= 1 && preamble[sizeof(kMagic)] <= 5;
   is.clear();
   is.seekg(start);
   if (!match) return false;

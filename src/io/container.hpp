@@ -44,6 +44,8 @@ enum class PayloadKind : std::uint8_t {
   kBanditWareState = 1,
   kBanditServerState = 2,
   kRunTable = 3,
+  kFleetDelta = 4,  ///< gossip message: per-origin sufficient-stat entries
+  kFleetNode = 5,   ///< fleet node snapshot: server blob + origin store
 };
 
 /// Hard ceiling on one packet's payload. Real packets are far smaller (the

@@ -77,6 +77,27 @@ std::vector<core::BanditWare> make_replicas(const hw::HardwareCatalog& catalog,
   return replicas;
 }
 
+/// Round-robin tickets are claimed from the shared counter in blocks of
+/// this size and consumed thread-locally, so the hot path pays one
+/// fetch_add per kRrTicketBlock requests instead of one per request.
+constexpr std::uint64_t kRrTicketBlock = 16;
+
+/// Per-thread cache of the current ticket block. `tag` names the server
+/// instance that issued it (see BanditServer::rr_tag_); a mismatch — a
+/// different server, or the same address recycled — refills from that
+/// server's own counter.
+struct RrCursor {
+  std::uint64_t tag = 0;  ///< 0 = empty (valid tags start at 1)
+  std::uint64_t next = 0;
+  std::uint64_t end = 0;
+};
+thread_local RrCursor t_rr_cursor;
+
+std::uint64_t next_rr_tag() {
+  static std::atomic<std::uint64_t> source{0};
+  return source.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
 
 std::string to_string(ShardingPolicy policy) {
@@ -129,7 +150,7 @@ BanditServer::BanditServer(hw::HardwareCatalog catalog,
 BanditServer::BanditServer(BanditServerConfig config,
                            std::vector<core::BanditWare> replicas,
                            std::unique_ptr<core::BanditWare> sync_base)
-    : config_(config) {
+    : config_(config), rr_tag_(next_rr_tag()) {
   BW_CHECK_MSG(!replicas.empty(), "BanditServer needs at least one shard replica");
   config_.num_shards = replicas.size();
   validate_config(config_);
@@ -169,6 +190,9 @@ BanditServer::BanditServer(BanditServer&& other) noexcept
       shards_(std::move(other.shards_)),
       pool_(std::move(other.pool_)),
       rr_counter_(other.rr_counter_.load(std::memory_order_relaxed)),
+      // A fresh tag, not other's: threads holding blocks claimed from the
+      // source must refill here instead of striding a moved-from counter.
+      rr_tag_(next_rr_tag()),
       sync_base_(std::move(other.sync_base_)),
       base_obs_count_(other.base_obs_count_.load(std::memory_order_relaxed)),
       observe_batches_(other.observe_batches_.load(std::memory_order_relaxed)),
@@ -191,9 +215,26 @@ std::size_t BanditServer::shard_of(const core::FeatureVector& x) const {
 
 std::size_t BanditServer::route(const core::FeatureVector& x) {
   if (config_.sharding == ShardingPolicy::kRoundRobin) {
-    return rr_counter_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    return next_rr_ticket() % shards_.size();
   }
   return shard_of(x);
+}
+
+std::uint64_t BanditServer::next_rr_ticket() {
+  // Per-thread block striding: consume the cached block, refill with one
+  // fetch_add when it runs dry or belongs to another server. Tickets are
+  // handed out in counter order within a thread, so a single-threaded
+  // caller still sees the exact 0,1,2,… rotation the tests pin; across
+  // threads each claims disjoint blocks and the per-shard spread stays
+  // fair to within one block per thread (a thread's unused tail is at most
+  // kRrTicketBlock-1 tickets, each landing on a distinct shard).
+  RrCursor& cursor = t_rr_cursor;
+  if (cursor.tag != rr_tag_ || cursor.next == cursor.end) {
+    cursor.tag = rr_tag_;
+    cursor.next = rr_counter_.fetch_add(kRrTicketBlock, std::memory_order_relaxed);
+    cursor.end = cursor.next + kRrTicketBlock;
+  }
+  return cursor.next++;
 }
 
 ServeDecision BanditServer::decide_locked(Shard& shard, std::size_t shard_index,
@@ -416,6 +457,60 @@ void BanditServer::sync_shards() {
     generation_.fetch_add(1, std::memory_order_relaxed);
   }
   sync_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+core::BanditWare BanditServer::fused_model() const {
+  // Same fold as sync_shards — fused = base + sum_s (shard_s - base) — but
+  // read-only: shared locks, nothing redistributed, nothing published. The
+  // consistent cut (fuse lock excludes a mid-publish generation) makes the
+  // result exactly the model a stop-the-world sync would have installed.
+  std::shared_lock fuse_lock(fuse_mutex_);
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  core::BanditWare fused = *sync_base_;
+  for (const auto& shard : shards_) fused.merge_from(shard->bandit, sync_base_.get());
+  return fused;
+}
+
+void BanditServer::adopt_model(const core::BanditWare& model) {
+  // Shape checks mirror merge_from's: adopting a foreign model must fail
+  // loudly, not serve from a catalog the routing layer knows nothing about.
+  BW_CHECK_MSG(model.num_arms() == num_arms_,
+               "adopt_model: arm count mismatch (engine " + std::to_string(num_arms_) +
+                   ", model " + std::to_string(model.num_arms()) + ")");
+  BW_CHECK_MSG(model.feature_names() == feature_names_,
+               "adopt_model: feature names mismatch");
+  BW_CHECK_MSG(model.policy_kind() == config_.bandit.policy_kind,
+               "adopt_model: policy kind mismatch");
+  BW_CHECK_MSG(model.config().policy.fit.forgetting ==
+                   config_.bandit.policy.fit.forgetting,
+               "adopt_model: forgetting factor mismatch");
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    BW_CHECK_MSG(model.catalog()[i].name == catalog_[i].name,
+                 "adopt_model: catalog mismatch at arm " + std::to_string(i));
+  }
+  // Prepare every copy before taking any lock: copies can throw
+  // (bad_alloc); the swap window below must not.
+  std::vector<core::BanditWare> replicas;
+  replicas.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) replicas.push_back(model);
+  core::BanditWare base = model;
+
+  std::unique_lock fuse_lock(fuse_mutex_);
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->bandit = std::move(replicas[i]);
+    republish_locked(*shards_[i]);
+  }
+  *sync_base_ = std::move(base);
+  base_obs_count_.store(sync_base_->num_observations(), std::memory_order_relaxed);
+  // Any async round staged against the previous baseline would publish
+  // pre-adoption evidence the caller already fused into `model`: move the
+  // generation so it abandons.
+  generation_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BanditServer::request_sync() {

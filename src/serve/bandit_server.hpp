@@ -11,8 +11,13 @@
 // the shard that served a decision also learns from it:
 //   * kFeatureHash — shard = FNV-1a(feature bits) % N. Deterministic in x,
 //     so repeat workflows always hit (and train) the same replica.
-//   * kRoundRobin  — an atomic counter spreads load evenly; the decision
-//     carries its shard id and the caller echoes it back with the runtime.
+//   * kRoundRobin  — a shared ticket counter spreads load evenly; the
+//     decision carries its shard id and the caller echoes it back with the
+//     runtime. Threads claim tickets in per-thread blocks (one fetch_add
+//     per 16 requests instead of one per request), so concurrent round-robin
+//     routing does not serialize on a single contended cacheline. A
+//     single-threaded caller sees the exact historical sequence 0,1,2,…;
+//     across threads the spread stays fair to within one block per thread.
 //
 // Shards never share mutable state while serving, but they can be fused:
 // sync_shards() merges every replica's sufficient statistics into one model
@@ -171,6 +176,7 @@ class BanditServer {
   std::size_t num_shards() const { return shards_.size(); }
   const BanditServerConfig& config() const { return config_; }
   const std::vector<std::string>& feature_names() const { return feature_names_; }
+  const hw::HardwareCatalog& catalog() const { return catalog_; }
 
   /// Shard a feature vector routes to under kFeatureHash (stable within a
   /// build). For kRoundRobin routing happens per request; use the decision's
@@ -275,6 +281,25 @@ class BanditServer {
   /// concurrent inline sync_shards()).
   bool sync_publish();
 
+  /// Fleet export hook: one consistent-cut copy of the engine's full
+  /// evidence — baseline + every shard's delta since the last sync, fused
+  /// with the same information-form algebra as sync_shards() but without
+  /// touching any shard (fuse lock + shard locks held shared). For a
+  /// 1-shard engine this is simply a copy of the shard model.
+  core::BanditWare fused_model() const;
+
+  /// Fleet apply hook: atomically replaces every shard replica *and* the
+  /// sync baseline with `model`, republishes every shard's read snapshot,
+  /// and bumps the generation (abandoning any staged async round — its
+  /// evidence is assumed folded into `model` by the caller). This is how a
+  /// fleet node adopts the gossip-fused fleet-wide model: afterwards the
+  /// engine serves from `model` and the shard-vs-baseline delta algebra
+  /// restarts from it, so local evidence keeps accumulating on top without
+  /// double-counting. The model must match the engine's shape (catalog,
+  /// feature names, policy kind, forgetting factor); throws
+  /// InvalidArgument otherwise.
+  void adopt_model(const core::BanditWare& model);
+
   /// R̂ per arm from one shard's replica (locks that shard).
   std::vector<double> predictions(std::size_t shard, const core::FeatureVector& x) const;
 
@@ -354,6 +379,7 @@ class BanditServer {
                std::unique_ptr<core::BanditWare> sync_base = nullptr);
 
   std::size_t route(const core::FeatureVector& x);
+  std::uint64_t next_rr_ticket();
   ServeDecision decide_locked(Shard& shard, std::size_t shard_index,
                               const core::FeatureVector& x);
   ServeDecision decide_frozen(const core::FrozenModel& model, std::size_t shard_index,
@@ -378,7 +404,16 @@ class BanditServer {
   hw::HardwareCatalog catalog_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Round-robin ticket allocator. Threads reserve tickets in blocks (see
+  /// next_rr_ticket), so this counts tickets *allocated* — a high-water
+  /// mark, not a request count. Snapshots persist it so a restored engine
+  /// keeps rotating from where it left off.
   std::atomic<std::uint64_t> rr_counter_{0};
+  /// Process-unique identity for the thread-local ticket-block cache: a
+  /// cached block is only valid for the server instance that issued it
+  /// (fresh per construction and per move, so a recycled address or a
+  /// moved-from engine can never leak another server's tickets).
+  std::uint64_t rr_tag_ = 0;
 
   /// Generation lock. Exclusive: anything that swaps the baseline and the
   /// published models (inline sync_shards, async sync_publish). Shared:

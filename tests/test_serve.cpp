@@ -60,6 +60,50 @@ TEST(BanditServer, RoundRobinSpreadsBatchEvenly) {
   for (int count : served) EXPECT_EQ(count, 4);
 }
 
+TEST(BanditServer, RoundRobinSingleThreadSequenceIsExactlyHistorical) {
+  // Tickets are claimed in per-thread blocks (one fetch_add per 16
+  // requests), but a single-threaded caller consumes each block in counter
+  // order — the visible rotation must stay the exact historical 0,1,2,…
+  // sequence, request by request.
+  BanditServer server = make_server(4, ShardingPolicy::kRoundRobin);
+  for (int i = 0; i < 40; ++i) {
+    const auto decision = server.recommend_one(features_for(50.0));
+    EXPECT_EQ(decision.shard, static_cast<std::size_t>(i) % 4) << "request " << i;
+  }
+}
+
+TEST(BanditServer, RoundRobinConcurrentSpreadStaysFair) {
+  // Fairness regression for the block-claiming allocator: with T threads
+  // the spread can skew by at most one partially-consumed block (16
+  // tickets) per thread, never more — a stuck or leaked cursor would show
+  // up as a shard starved far beyond that bound.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 400;
+  constexpr std::size_t kShards = 4;
+  BanditServer server = make_server(kShards, ShardingPolicy::kRoundRobin);
+  std::vector<std::atomic<std::size_t>> served(kShards);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&server, &served] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const auto decision = server.recommend_one(features_for(50.0));
+        served[decision.shard].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  std::size_t total = 0;
+  for (const auto& count : served) total += count.load();
+  ASSERT_EQ(total, kThreads * kPerThread);
+  const std::size_t expected = total / kShards;
+  const std::size_t slack = kThreads * 16;  // one in-flight block per thread
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    const std::size_t count = served[shard].load();
+    EXPECT_GE(count + slack, expected) << "shard " << shard << " starved";
+    EXPECT_LE(count, expected + slack) << "shard " << shard << " hogged";
+  }
+}
+
 TEST(BanditServer, BatchResultsMatchRequestOrder) {
   BanditServer server = make_server(3, ShardingPolicy::kFeatureHash);
   std::vector<core::FeatureVector> xs;

@@ -15,15 +15,21 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/banditware.hpp"
 #include "core/run_table.hpp"
+#include "fleet/fleet_node.hpp"
 #include "hardware/catalog.hpp"
+#include "io/container.hpp"
+#include "io/fleet_wire.hpp"
 #include "io/run_table_io.hpp"
 #include "io/state_io.hpp"
 #include "serve/bandit_server.hpp"
@@ -423,6 +429,351 @@ TEST(SnapshotFuzz, RunTableContainersRejectMutationsCleanly) {
         },
         "run-table", i);
   }
+}
+
+// ---- fleet wire corpus ---------------------------------------------------
+// The gossip delta (kind 4) and node snapshot (kind 5) under the same
+// mutation engine, plus directed hostile packets against every bounded
+// count in the fleet readers. Deltas that survive a mutation are also
+// pushed through the semantic apply path of a live FleetNode — whatever
+// the wire layer tolerated must fold cleanly or reject with a typed error,
+// never corrupt the receiver.
+
+/// A fleet node with a deterministic local stream. All nodes built here
+/// share one config envelope so their deltas fuse into each other.
+fleet::FleetNode trained_fleet_node(std::uint32_t node_id, core::PolicyKind kind,
+                                    double forgetting) {
+  fleet::FleetNodeConfig config;
+  config.node_id = node_id;
+  config.server.num_shards = 1;
+  config.server.seed = 17 + node_id;
+  config.server.bandit.policy_kind = kind;
+  config.server.bandit.alpha = 1.5;
+  config.server.bandit.posterior_scale = 1.25;
+  config.server.bandit.policy.fit.forgetting = forgetting;
+  config.server.bandit.policy.fit.ridge = 1e-3;
+  fleet::FleetNode node(hw::ndp_catalog(), {"num_tasks"}, config);
+  std::vector<serve::ServeObservation> observations;
+  for (int i = 0; i < 8; ++i) {
+    const double tasks = 20.0 + 5.0 * i + 3.0 * node_id;
+    observations.push_back(
+        {0, static_cast<core::ArmIndex>(i % 3), {tasks}, 4.0 + tasks / 16.0});
+  }
+  node.observe_batch(observations);
+  return node;
+}
+
+/// A delta carrying TWO origin streams (the sender's own plus one learned
+/// via gossip) and a version vector — the richest kind-4 shape.
+std::string fleet_delta_bytes(core::PolicyKind kind, double forgetting) {
+  fleet::FleetNode a = trained_fleet_node(0, kind, forgetting);
+  fleet::FleetNode b = trained_fleet_node(1, kind, forgetting);
+  b.apply_delta(io::load_fleet_delta(io::save_fleet_delta(a.make_delta(1))));
+  return io::save_fleet_delta(b.make_delta(2));
+}
+
+std::string fleet_node_bytes(core::PolicyKind kind, double forgetting) {
+  fleet::FleetNode a = trained_fleet_node(0, kind, forgetting);
+  fleet::FleetNode b = trained_fleet_node(1, kind, forgetting);
+  b.apply_delta(io::load_fleet_delta(io::save_fleet_delta(a.make_delta(1))));
+  return b.save_snapshot();
+}
+
+TEST(SnapshotFuzz, FleetWireContainersRejectMutationsCleanly) {
+  struct DeltaBase {
+    std::string bytes;
+    core::PolicyKind kind;
+    double forgetting;
+  };
+  const std::vector<DeltaBase> delta_corpus = {
+      {fleet_delta_bytes(core::PolicyKind::kEpsilonGreedy, 1.0),
+       core::PolicyKind::kEpsilonGreedy, 1.0},
+      {fleet_delta_bytes(core::PolicyKind::kLinUcb, 1.0), core::PolicyKind::kLinUcb,
+       1.0},
+      // Discounted: mutations hit the λ slot of the config envelope too.
+      {fleet_delta_bytes(core::PolicyKind::kThompson, 0.5),
+       core::PolicyKind::kThompson, 0.5},
+  };
+  const std::vector<std::string> node_corpus = {
+      fleet_node_bytes(core::PolicyKind::kEpsilonGreedy, 1.0),
+      fleet_node_bytes(core::PolicyKind::kLinUcb, 0.5),
+  };
+  Rng rng(20260810);
+  constexpr int kCasesPerBase = 220;
+  for (const DeltaBase& base : delta_corpus) {
+    // One long-lived receiver per base: mutated-but-parseable deltas must
+    // fold into it (or reject cleanly) without ever poisoning later applies.
+    fleet::FleetNode receiver = trained_fleet_node(9, base.kind, base.forgetting);
+    for (int i = 0; i < kCasesPerBase; ++i) {
+      std::string mutated = mutate(base.bytes, rng);
+      if (rng.bernoulli(0.33)) mutated = mutate(mutated, rng);
+      check_one(
+          mutated,
+          [&receiver](const std::string& bytes) {
+            bool truncated = false;
+            const io::FleetDelta delta = io::load_fleet_delta(bytes, &truncated);
+            // Whatever loaded — full or truncated-tolerant — must re-save
+            // byte-stably...
+            const std::string resaved = io::save_fleet_delta(delta);
+            EXPECT_EQ(io::save_fleet_delta(io::load_fleet_delta(resaved)), resaved);
+            // ...and apply cleanly: a partial apply before a typed rejection
+            // is fine (replace-if-larger-n makes it harmless), corruption or
+            // a foreign exception is not.
+            receiver.apply_delta(delta);
+          },
+          "fleet-delta", i);
+    }
+  }
+  for (const std::string& base : node_corpus) {
+    for (int i = 0; i < kCasesPerBase; ++i) {
+      std::string mutated = mutate(base, rng);
+      if (rng.bernoulli(0.33)) mutated = mutate(mutated, rng);
+      check_one(
+          mutated,
+          [](const std::string& bytes) {
+            bool truncated = false;
+            const io::FleetNodeState state = io::load_fleet_node(bytes, &truncated);
+            const std::string resaved = io::save_fleet_node(state);
+            EXPECT_EQ(io::save_fleet_node(io::load_fleet_node(resaved)), resaved);
+            // The semantic layer on top: a restart from these bytes must
+            // come up coherent or reject with a typed error (the nested
+            // engine blob and the envelope are cross-checked there).
+            const fleet::FleetNode node = fleet::FleetNode::restore(bytes);
+            EXPECT_GE(node.incarnation(), 2u);
+          },
+          "fleet-node", i);
+    }
+  }
+}
+
+// Hand-framed fleet packets: helpers to write syntactically valid
+// containers whose *contents* are hostile — every byte CRC-clean, so the
+// semantic checks (not the checksum) must be what rejects them.
+
+constexpr std::uint8_t kFzDeltaHeader = 0x30;
+constexpr std::uint8_t kFzOriginBlock = 0x31;
+constexpr std::uint8_t kFzVersionVector = 0x32;
+constexpr std::uint8_t kFzNodeHeader = 0x40;
+constexpr std::uint8_t kFzServerBlob = 0x41;
+constexpr std::uint8_t kFzNodeOriginBlock = 0x42;
+constexpr std::uint8_t kFzEnd = 0x7F;
+
+std::string fleet_stream(io::PayloadKind kind,
+                         const std::vector<std::pair<std::uint8_t, std::string>>&
+                             packets) {
+  std::ostringstream os(std::ios::binary);
+  io::write_container_magic(os, kind);
+  for (const auto& [type, payload] : packets) io::write_packet(os, type, payload);
+  return os.str();
+}
+
+/// Header payload for 1 feature x 3 arms (dim_aug = 2) unless overridden.
+std::string fleet_header_payload(std::uint8_t policy_token, double alpha,
+                                 double lambda, std::uint32_t num_features = 1,
+                                 std::uint32_t num_arms = 3,
+                                 std::uint8_t wire_version = 1) {
+  std::string p;
+  io::put_u8(p, wire_version);
+  io::put_u32(p, 7);  // sender / node
+  io::put_u32(p, 1);  // incarnation
+  io::put_u8(p, policy_token);
+  io::put_f64(p, alpha);
+  io::put_f64(p, 1.25);  // posterior_scale
+  io::put_f64(p, 1.0);   // initial_epsilon
+  io::put_f64(p, 0.99);  // decay
+  io::put_f64(p, lambda);
+  io::put_f64(p, 1e-3);  // ridge
+  io::put_u32(p, num_features);
+  io::put_u32(p, num_arms);
+  return p;
+}
+
+constexpr std::uint8_t kFzEps =
+    static_cast<std::uint8_t>(core::PolicyKind::kEpsilonGreedy);
+
+/// One (arm, n, θ, P) entry for dim_aug = 2 (1 feature + intercept).
+std::string fleet_arm_entry(std::uint32_t arm, std::uint64_t n, double value) {
+  std::string p;
+  io::put_u32(p, arm);
+  io::put_u64(p, n);
+  io::put_f64(p, value);  // theta[0]
+  io::put_f64(p, value);  // theta[1]
+  io::put_f64(p, value);  // P(0,0)
+  io::put_f64(p, 0.0);    // P(0,1)
+  io::put_f64(p, 0.0);    // P(1,0)
+  io::put_f64(p, value);  // P(1,1)
+  return p;
+}
+
+std::string fleet_origin_payload(std::uint32_t node, std::uint32_t incarnation,
+                                 std::uint32_t claimed_count,
+                                 const std::string& entries) {
+  std::string p;
+  io::put_u32(p, node);
+  io::put_u32(p, incarnation);
+  io::put_u32(p, claimed_count);
+  p += entries;
+  return p;
+}
+
+std::string fleet_end_payload(std::uint64_t count) {
+  std::string p;
+  io::put_u64(p, count);
+  return p;
+}
+
+TEST(SnapshotFuzz, HostileFleetPacketsFailWithoutAllocating) {
+  const std::string header = fleet_header_payload(kFzEps, 1.5, 1.0);
+  const std::string good_origin =
+      fleet_origin_payload(2, 1, 1, fleet_arm_entry(0, 4, 2.0));
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  using Packets = std::vector<std::pair<std::uint8_t, std::string>>;
+  const std::vector<Packets> hostile_deltas = {
+      // Stitched messages: duplicate header / duplicate origin block.
+      {{kFzDeltaHeader, header}, {kFzDeltaHeader, header}},
+      {{kFzDeltaHeader, header},
+       {kFzOriginBlock, good_origin},
+       {kFzOriginBlock, good_origin},
+       {kFzEnd, fleet_end_payload(2)}},
+      // Body packets ahead of the header they depend on.
+      {{kFzOriginBlock, good_origin}},
+      {{kFzVersionVector, std::string(4, '\0')}},
+      {{kFzEnd, fleet_end_payload(0)}},
+      // Unknown wire version / policy token; λ outside (0, 1]; non-finite
+      // scalar; shape counts out of range.
+      {{kFzDeltaHeader, fleet_header_payload(kFzEps, 1.5, 1.0, 1, 3, 9)}},
+      {{kFzDeltaHeader, fleet_header_payload(99, 1.5, 1.0)}},
+      {{kFzDeltaHeader, fleet_header_payload(kFzEps, 1.5, 0.0)}},
+      {{kFzDeltaHeader, fleet_header_payload(kFzEps, 1.5, 1.5)}},
+      {{kFzDeltaHeader, fleet_header_payload(kFzEps, nan, 1.0)}},
+      {{kFzDeltaHeader, fleet_header_payload(kFzEps, 1.5, 1.0, 1, 0)}},
+      {{kFzDeltaHeader, fleet_header_payload(kFzEps, 1.5, 1.0, 1, 5000)}},
+      {{kFzDeltaHeader, fleet_header_payload(kFzEps, 1.5, 1.0, 600, 3)}},
+      // Origin block pathologies: hostile entry count vs. actual bytes,
+      // count above the arm count, unknown arm, duplicate arm, n = 0,
+      // n above the per-arm ceiling, non-finite statistics.
+      {{kFzDeltaHeader, header},
+       {kFzOriginBlock, fleet_origin_payload(2, 1, 2, fleet_arm_entry(0, 4, 2.0))}},
+      {{kFzDeltaHeader, header},
+       {kFzOriginBlock,
+        fleet_origin_payload(2, 1, 4,
+                             fleet_arm_entry(0, 4, 2.0) + fleet_arm_entry(1, 4, 2.0) +
+                                 fleet_arm_entry(2, 4, 2.0) +
+                                 fleet_arm_entry(0, 5, 2.0))}},
+      {{kFzDeltaHeader, header},
+       {kFzOriginBlock, fleet_origin_payload(2, 1, 1, fleet_arm_entry(3, 4, 2.0))}},
+      {{kFzDeltaHeader, header},
+       {kFzOriginBlock,
+        fleet_origin_payload(2, 1, 2,
+                             fleet_arm_entry(0, 4, 2.0) +
+                                 fleet_arm_entry(0, 5, 2.0))}},
+      {{kFzDeltaHeader, header},
+       {kFzOriginBlock, fleet_origin_payload(2, 1, 1, fleet_arm_entry(0, 0, 2.0))}},
+      {{kFzDeltaHeader, header},
+       {kFzOriginBlock,
+        fleet_origin_payload(2, 1, 1, fleet_arm_entry(0, 200'000'000, 2.0))}},
+      {{kFzDeltaHeader, header},
+       {kFzOriginBlock, fleet_origin_payload(2, 1, 1, fleet_arm_entry(0, 4, inf))}},
+      {{kFzDeltaHeader, header},
+       {kFzOriginBlock, fleet_origin_payload(2, 1, 1, fleet_arm_entry(0, 4, nan))}},
+      // Version-vector pathologies: hostile origin count with no bytes
+      // behind it, truncated entry bytes, duplicate origin, per-arm count
+      // above the ceiling, duplicate vv packet.
+      {{kFzDeltaHeader, header},
+       {kFzVersionVector,
+        [] {
+          std::string p;
+          io::put_u32(p, 0xFFFFFFFFu);
+          return p;
+        }()}},
+      {{kFzDeltaHeader, header},
+       {kFzVersionVector,
+        [] {
+          std::string p;
+          io::put_u32(p, 2);  // claims 2 entries, carries 1
+          io::put_u32(p, 0);
+          io::put_u32(p, 1);
+          for (int arm = 0; arm < 3; ++arm) io::put_u64(p, 4);
+          return p;
+        }()}},
+      {{kFzDeltaHeader, header},
+       {kFzVersionVector,
+        [] {
+          std::string p;
+          io::put_u32(p, 2);
+          for (int rep = 0; rep < 2; ++rep) {
+            io::put_u32(p, 0);
+            io::put_u32(p, 1);
+            for (int arm = 0; arm < 3; ++arm) io::put_u64(p, 4);
+          }
+          return p;
+        }()}},
+      {{kFzDeltaHeader, header},
+       {kFzVersionVector,
+        [] {
+          std::string p;
+          io::put_u32(p, 1);
+          io::put_u32(p, 0);
+          io::put_u32(p, 1);
+          for (int arm = 0; arm < 3; ++arm) io::put_u64(p, 200'000'000);
+          return p;
+        }()}},
+      {{kFzDeltaHeader, header},
+       {kFzVersionVector, std::string(4, '\0')},
+       {kFzVersionVector, std::string(4, '\0')}},
+      // End-sentinel pathologies: wrong origin count, data after the end.
+      {{kFzDeltaHeader, header}, {kFzEnd, fleet_end_payload(3)}},
+      {{kFzDeltaHeader, header},
+       {kFzEnd, fleet_end_payload(0)},
+       {kFzOriginBlock, good_origin}},
+  };
+  for (std::size_t i = 0; i < hostile_deltas.size(); ++i) {
+    const std::string bytes =
+        fleet_stream(io::PayloadKind::kFleetDelta, hostile_deltas[i]);
+    EXPECT_THROW(io::load_fleet_delta(bytes), ParseError) << "delta case " << i;
+  }
+
+  const std::vector<Packets> hostile_nodes = {
+      // Engine blob is mandatory; so is exactly one of it.
+      {{kFzNodeHeader, header}, {kFzEnd, fleet_end_payload(0)}},
+      {{kFzNodeHeader, header},
+       {kFzServerBlob, "blob"},
+       {kFzServerBlob, "blob"},
+       {kFzEnd, fleet_end_payload(2)}},
+      {{kFzServerBlob, "blob"}},
+      // Stitched snapshot: duplicate header / duplicate origin / data after
+      // the end sentinel / end count that omits the blob.
+      {{kFzNodeHeader, header}, {kFzNodeHeader, header}},
+      {{kFzNodeHeader, header},
+       {kFzServerBlob, "blob"},
+       {kFzNodeOriginBlock, good_origin},
+       {kFzNodeOriginBlock, good_origin},
+       {kFzEnd, fleet_end_payload(3)}},
+      {{kFzNodeHeader, header},
+       {kFzServerBlob, "blob"},
+       {kFzEnd, fleet_end_payload(1)},
+       {kFzServerBlob, "blob"}},
+      {{kFzNodeHeader, header},
+       {kFzServerBlob, "blob"},
+       {kFzEnd, fleet_end_payload(0)}},
+  };
+  for (std::size_t i = 0; i < hostile_nodes.size(); ++i) {
+    const std::string bytes =
+        fleet_stream(io::PayloadKind::kFleetNode, hostile_nodes[i]);
+    EXPECT_THROW(io::load_fleet_node(bytes), ParseError) << "node case " << i;
+  }
+
+  // Kind cross-feeding and headerless tears are hard errors too: a delta
+  // stream is not a snapshot, and a stream torn before its header carries
+  // nothing applicable.
+  const std::string delta = fleet_delta_bytes(core::PolicyKind::kEpsilonGreedy, 1.0);
+  const std::string node = fleet_node_bytes(core::PolicyKind::kEpsilonGreedy, 1.0);
+  EXPECT_THROW(io::load_fleet_node(delta), ParseError);
+  EXPECT_THROW(io::load_fleet_delta(node), ParseError);
+  EXPECT_THROW(io::load_fleet_delta(delta.substr(0, 12)), ParseError);
+  EXPECT_THROW(io::load_fleet_node(node.substr(0, 12)), ParseError);
 }
 
 }  // namespace

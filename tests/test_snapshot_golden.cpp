@@ -16,6 +16,9 @@
 
 #include "core/banditware.hpp"
 #include "core/run_table.hpp"
+#include "fleet/fleet_node.hpp"
+#include "hardware/catalog.hpp"
+#include "io/fleet_wire.hpp"
 #include "io/run_table_io.hpp"
 #include "io/state_io.hpp"
 #include "serve/bandit_server.hpp"
@@ -304,6 +307,96 @@ TEST(SnapshotGolden, BinaryLambdaFixturesRoundTripByteIdentical) {
     EXPECT_EQ(server.save_state(),
               read_file(data_path("server_state_v5_lambda.bw")));
   }
+}
+
+// ---- fleet wire fixtures -------------------------------------------------
+// Kind-4 (gossip delta) and kind-5 (node snapshot) containers, pinned the
+// same way: load -> re-save must reproduce the fixture bytes exactly, so
+// the delta framing a whole fleet gossips over can never drift silently.
+// Regenerating after an intentional format change:
+//   ./build/tools/gen_fleet_fixtures --out-dir tests/data
+// (the generator's fixture_node() must stay in lockstep with the helper
+// below — both build node 1 after one gossip hop from node 0).
+
+fleet::FleetNode fleet_fixture_node(std::uint32_t node_id, PolicyKind kind,
+                                    double forgetting) {
+  fleet::FleetNodeConfig config;
+  config.node_id = node_id;
+  config.server.num_shards = 1;
+  config.server.seed = 17 + node_id;
+  config.server.bandit.policy_kind = kind;
+  config.server.bandit.alpha = 1.5;
+  config.server.bandit.posterior_scale = 1.25;
+  config.server.bandit.policy.fit.forgetting = forgetting;
+  config.server.bandit.policy.fit.ridge = 1e-3;
+  fleet::FleetNode node(hw::ndp_catalog(), {"num_tasks", "mem_gb"}, config);
+  std::vector<serve::ServeObservation> observations;
+  for (int i = 0; i < 8; ++i) {
+    const double tasks = 20.0 + 5.0 * i + 3.0 * node_id;
+    const double mem = 4.0 + (i % 3);
+    observations.push_back(
+        {0, static_cast<ArmIndex>(i % 3), {tasks, mem}, 4.0 + tasks / 16.0});
+  }
+  node.observe_batch(observations);
+  return node;
+}
+
+TEST(SnapshotGolden, FleetDeltaFixturesRoundTripByteIdentical) {
+  struct Case {
+    const char* file;
+    PolicyKind kind;
+    double forgetting;
+  };
+  const std::vector<Case> cases = {
+      {"fleet_delta_v1_eps.bwf", PolicyKind::kEpsilonGreedy, 1.0},
+      {"fleet_delta_v1_linucb.bwf", PolicyKind::kLinUcb, 1.0},
+      {"fleet_delta_v1_lambda.bwf", PolicyKind::kThompson, 0.5},
+  };
+  for (const Case& c : cases) {
+    const std::string fixture = read_file(data_path(c.file));
+    ASSERT_FALSE(fixture.empty()) << c.file;
+    bool truncated = true;
+    const io::FleetDelta delta = io::load_fleet_delta(fixture, &truncated);
+    EXPECT_FALSE(truncated) << c.file;
+    EXPECT_EQ(delta.sender, 1u) << c.file;
+    EXPECT_EQ(delta.sender_incarnation, 1u) << c.file;
+    EXPECT_EQ(delta.config.policy, c.kind) << c.file;
+    EXPECT_DOUBLE_EQ(delta.config.lambda, c.forgetting) << c.file;
+    EXPECT_DOUBLE_EQ(delta.config.ridge, 1e-3) << c.file;
+    EXPECT_EQ(delta.config.num_features, 2u) << c.file;
+    EXPECT_EQ(delta.config.num_arms, 3u) << c.file;
+    // Node 1 after one gossip hop holds its own stream and node 0's.
+    EXPECT_EQ(delta.origins.size(), 2u) << c.file;
+    EXPECT_EQ(delta.version_vector.size(), 2u) << c.file;
+    EXPECT_EQ(io::save_fleet_delta(delta), fixture) << c.file;
+    // The pinned bytes stay semantically live: a receiver built with the
+    // canonical fixture config must accept and fold every entry.
+    fleet::FleetNode receiver = fleet_fixture_node(9, c.kind, c.forgetting);
+    const fleet::ApplyResult applied = receiver.apply_delta(delta);
+    EXPECT_EQ(applied.applied, 6u) << c.file;  // 2 origins x 3 arms
+    EXPECT_TRUE(applied.changed) << c.file;
+  }
+}
+
+TEST(SnapshotGolden, FleetNodeFixtureRestoresAndRoundTripsByteIdentical) {
+  const std::string fixture = read_file(data_path("fleet_node_v1.bwf"));
+  ASSERT_FALSE(fixture.empty());
+  bool truncated = true;
+  const io::FleetNodeState state = io::load_fleet_node(fixture, &truncated);
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(state.node, 1u);
+  EXPECT_EQ(state.incarnation, 1u);
+  EXPECT_EQ(state.config.policy, PolicyKind::kEpsilonGreedy);
+  EXPECT_FALSE(state.server_blob.empty());
+  EXPECT_EQ(state.origins.size(), 2u);
+  EXPECT_EQ(io::save_fleet_node(state), fixture);
+  // The snapshot must keep restarting: next incarnation, both origin
+  // streams intact (2 nodes x 8 observations).
+  const fleet::FleetNode node = fleet::FleetNode::restore(fixture);
+  EXPECT_EQ(node.node_id(), 1u);
+  EXPECT_EQ(node.incarnation(), 2u);
+  EXPECT_EQ(node.total_observations(), 16u);
+  EXPECT_EQ(node.num_origins(), 3u);  // restored streams + the fresh self
 }
 
 TEST(SnapshotGolden, MigratedServerBaselineKeepsSyncExact) {

@@ -40,6 +40,7 @@
 #include "core/decision_log.hpp"
 #include "dataframe/csv.hpp"
 #include "experiments/datasets.hpp"
+#include "io/fleet_wire.hpp"
 #include "io/run_table_io.hpp"
 #include "io/state_io.hpp"
 #include "serve/bandit_server.hpp"
@@ -284,6 +285,12 @@ void inspect_header(const bw::io::ProbeResult& probe, const std::string& path) {
     case bw::io::PayloadKind::kRunTable:
       kind = "run-table";
       break;
+    case bw::io::PayloadKind::kFleetDelta:
+      kind = "fleet-delta";
+      break;
+    case bw::io::PayloadKind::kFleetNode:
+      kind = "fleet-node";
+      break;
   }
   std::printf("file: %s\nkind: %s\nformat: %s v%d\n", path.c_str(), kind,
               bw::io::to_string(probe.format).c_str(), probe.version);
@@ -361,6 +368,50 @@ void inspect_run_table(std::istream& in, std::size_t head, std::size_t tail) {
   print_table_rows("tail", tail_rows, reader.rows_read() - tail_rows.size());
 }
 
+std::string slurp(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void print_fleet_origins(const std::vector<bw::io::FleetOriginBlock>& origins) {
+  bw::Table table({"origin", "incarnation", "arms", "observations"});
+  for (const auto& block : origins) {
+    std::size_t n = 0;
+    for (const auto& entry : block.arms) n += entry.stats.n;
+    table.add_row({std::to_string(block.origin.node),
+                   std::to_string(block.origin.incarnation),
+                   std::to_string(block.arms.size()), std::to_string(n)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+}
+
+void inspect_fleet_delta(std::istream& in, bw::io::LoadInfo& info) {
+  bool truncated = false;
+  const bw::io::FleetDelta delta = bw::io::load_fleet_delta(slurp(in), &truncated);
+  info.truncated = truncated;
+  std::printf("sender: node %u incarnation %u\npolicy: %s\nlambda: %g\n",
+              delta.sender, delta.sender_incarnation,
+              bw::core::to_string(delta.config.policy).c_str(), delta.config.lambda);
+  std::printf("features: %u, arms: %u, origin blocks: %zu, version vector: %zu\n",
+              delta.config.num_features, delta.config.num_arms, delta.origins.size(),
+              delta.version_vector.size());
+  print_fleet_origins(delta.origins);
+}
+
+void inspect_fleet_node(std::istream& in, bw::io::LoadInfo& info) {
+  bool truncated = false;
+  const bw::io::FleetNodeState state = bw::io::load_fleet_node(slurp(in), &truncated);
+  info.truncated = truncated;
+  std::printf("node: %u incarnation %u\npolicy: %s\nlambda: %g\n", state.node,
+              state.incarnation, bw::core::to_string(state.config.policy).c_str(),
+              state.config.lambda);
+  std::printf("features: %u, arms: %u, origins: %zu, server blob: %zu bytes\n",
+              state.config.num_features, state.config.num_arms, state.origins.size(),
+              state.server_blob.size());
+  print_fleet_origins(state.origins);
+}
+
 int cmd_inspect(int argc, char** argv) {
   bw::CliParser cli(
       "banditware_cli inspect — identify and summarize any state or run-table file");
@@ -391,6 +442,12 @@ int cmd_inspect(int argc, char** argv) {
       inspect_run_table(in, static_cast<std::size_t>(cli.get_int("head")),
                         static_cast<std::size_t>(cli.get_int("tail")));
       return 0;
+    case bw::io::PayloadKind::kFleetDelta:
+      inspect_fleet_delta(in, info);
+      break;
+    case bw::io::PayloadKind::kFleetNode:
+      inspect_fleet_node(in, info);
+      break;
   }
   if (info.truncated) {
     std::printf("note: file is truncated — recoverable prefix shown\n");
@@ -428,6 +485,9 @@ int cmd_convert(int argc, char** argv) {
       break;
     case bw::io::PayloadKind::kRunTable:
       throw bw::InvalidArgument("run tables convert via csv2bw / bw2csv, not convert");
+    case bw::io::PayloadKind::kFleetDelta:
+    case bw::io::PayloadKind::kFleetNode:
+      throw bw::InvalidArgument("fleet wire formats are binary-only; nothing to convert");
   }
   return 0;
 }

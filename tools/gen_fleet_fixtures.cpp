@@ -1,0 +1,99 @@
+// gen_fleet_fixtures — regenerate the checked-in fleet wire fixtures under
+// tests/data/ (fleet_delta_v1_*.bwf, fleet_node_v1.bwf).
+//
+//   gen_fleet_fixtures --out-dir tests/data
+//
+// The fixtures pin the kind-4 (gossip delta) and kind-5 (node snapshot)
+// container encodings byte-for-byte in test_snapshot_golden.cpp. Every
+// input here is fixed — node ids, seeds, arms, features, runtimes — so the
+// bytes are a pure function of the wire writers and the RLS update; rerun
+// this tool only after an *intentional* format change, and review the byte
+// diff it causes.
+//
+// Exit codes: 0 success, 1 usage error, 2 write error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "fleet/fleet_node.hpp"
+#include "hardware/catalog.hpp"
+#include "io/fleet_wire.hpp"
+
+namespace {
+
+/// The canonical fixture node: 1 shard over the NDP catalog, 2 features,
+/// 8 deterministic observations round-robining the 3 arms. Must stay in
+/// lockstep with fixture_node() in tests/test_snapshot_golden.cpp.
+bw::fleet::FleetNode fixture_node(std::uint32_t node_id, bw::core::PolicyKind kind,
+                                  double forgetting) {
+  bw::fleet::FleetNodeConfig config;
+  config.node_id = node_id;
+  config.server.num_shards = 1;
+  config.server.seed = 17 + node_id;
+  config.server.bandit.policy_kind = kind;
+  config.server.bandit.alpha = 1.5;
+  config.server.bandit.posterior_scale = 1.25;
+  config.server.bandit.policy.fit.forgetting = forgetting;
+  config.server.bandit.policy.fit.ridge = 1e-3;
+  bw::fleet::FleetNode node(bw::hw::ndp_catalog(), {"num_tasks", "mem_gb"}, config);
+  std::vector<bw::serve::ServeObservation> observations;
+  for (int i = 0; i < 8; ++i) {
+    const double tasks = 20.0 + 5.0 * i + 3.0 * node_id;
+    const double mem = 4.0 + (i % 3);
+    observations.push_back({0, static_cast<bw::core::ArmIndex>(i % 3),
+                            {tasks, mem}, 4.0 + tasks / 16.0});
+  }
+  node.observe_batch(observations);
+  return node;
+}
+
+/// A delta carrying two origin streams: node 1's own plus node 0's learned
+/// via one gossip hop — the richest kind-4 shape (origin blocks + vv).
+std::string fixture_delta(bw::core::PolicyKind kind, double forgetting) {
+  bw::fleet::FleetNode a = fixture_node(0, kind, forgetting);
+  bw::fleet::FleetNode b = fixture_node(1, kind, forgetting);
+  b.apply_delta(bw::io::load_fleet_delta(bw::io::save_fleet_delta(a.make_delta(1))));
+  return bw::io::save_fleet_delta(b.make_delta(2));
+}
+
+std::string fixture_snapshot(bw::core::PolicyKind kind, double forgetting) {
+  bw::fleet::FleetNode a = fixture_node(0, kind, forgetting);
+  bw::fleet::FleetNode b = fixture_node(1, kind, forgetting);
+  b.apply_delta(bw::io::load_fleet_delta(bw::io::save_fleet_delta(a.make_delta(1))));
+  return b.save_snapshot();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw bw::Error("cannot write fixture: " + path.string());
+  std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bw::CliParser cli("gen_fleet_fixtures — regenerate tests/data fleet wire fixtures");
+  cli.add_flag("out-dir", "tests/data", "directory for the .bwf fixtures");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::filesystem::path out_dir = cli.get("out-dir");
+    std::filesystem::create_directories(out_dir);
+    using bw::core::PolicyKind;
+    write_file(out_dir / "fleet_delta_v1_eps.bwf",
+               fixture_delta(PolicyKind::kEpsilonGreedy, 1.0));
+    write_file(out_dir / "fleet_delta_v1_linucb.bwf",
+               fixture_delta(PolicyKind::kLinUcb, 1.0));
+    write_file(out_dir / "fleet_delta_v1_lambda.bwf",
+               fixture_delta(PolicyKind::kThompson, 0.5));
+    write_file(out_dir / "fleet_node_v1.bwf",
+               fixture_snapshot(PolicyKind::kEpsilonGreedy, 1.0));
+    return 0;
+  } catch (const bw::Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}
