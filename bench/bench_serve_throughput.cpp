@@ -5,12 +5,13 @@
 // recommend_batch + observe_batch pairs.
 //
 //   ./bench/bench_serve_throughput [--decisions=20000] [--batches=1,64,256]
-//       [--workload=train|read-heavy|read-scaling|sync|async-sync|drift|fleet]
+//       [--workload=train|read-heavy|read-scaling|sync|async-sync|drift|fleet|decide]
 //       [--read-frac=0.9] [--clients=4] [--arrival-rate=0] [--min-scaling=0]
 //       [--sync-every=1] [--nodes=1,2,4] [--max-regret-ratio=0]
 //       [--max-p99-ratio=0] [--policy=epsilon-greedy|linucb|thompson]
 //       [--alpha=1] [--posterior-scale=1] [--lambda=1]
-//       [--max-post-shift-regret-ratio=0] [--json=BENCH_serve_throughput.json]
+//       [--max-post-shift-regret-ratio=0] [--arms=8,64,512]
+//       [--min-decide-speedup=0] [--json=BENCH_serve_throughput.json]
 //
 // --policy swaps the learning policy in every cell (baselines included) and
 // is recorded in the BENCH json, so the sync-regret gates apply per policy:
@@ -87,6 +88,22 @@
 //     --max-regret-ratio=R (0 = report only) exits nonzero if a gossiped
 //     cell's mean regret exceeds R x the 1-node baseline of its batch
 //     size — the CI fleet acceptance gate (4-node bar: 1.2x).
+//   * decide      — the decision kernel in isolation: a single-shard
+//     pure-exploitation engine on a synthetic catalog of --arms arms
+//     (sweeps every entry; default 8,64,512), timed on decisions only.
+//     Three modes per arm count: scalar (the per-node pointer-chase
+//     reference, FrozenModel::recommend_choice_scalar), vector (one
+//     matrix-vector pass over the snapshot's coefficient plane per
+//     decision), and batch (server.recommend_batch — the blocked
+//     GEMM-shaped panel kernel — per --batches entry > 1). All three
+//     produce byte-identical decisions (tests/test_decision_kernel.cpp);
+//     this cell measures what the layout buys. --min-decide-speedup=S
+//     (0 = report only) fails if a batched cell at >= 512 arms is below
+//     S x the same-arms scalar decisions/s — the CI kernel gate (bar: 2x).
+//
+// --arms also reshapes every *other* workload when set: the first entry
+// replaces the 3-arm NDP catalog with a synthetic one of that size, so the
+// existing sweeps can be rerun at high arm counts.
 //
 // Emits machine-readable BENCH_*.json so the perf trajectory is tracked
 // across PRs.
@@ -170,6 +187,31 @@ std::vector<std::string> feature_names() {
   return names;
 }
 
+/// --arms sizes; empty = the workload's defaults (decide: 8,64,512 sweep,
+/// everything else: the 3-arm NDP catalog).
+std::vector<std::size_t> g_arms;
+
+/// A deterministic `arms`-sized catalog with enough cpu/memory spread that
+/// synthetic_runtime separates the arms and the resource costs are not all
+/// tied. cpus cycle 1..64, so mod-64-equal arms are true runtime ties and
+/// the tolerant cost tie-break stays exercised at high arm counts.
+bw::hw::HardwareCatalog synthetic_catalog(std::size_t arms) {
+  bw::hw::HardwareCatalog catalog;
+  for (std::size_t i = 0; i < arms; ++i) {
+    bw::hw::HardwareSpec spec;
+    spec.name = "S" + std::to_string(i);
+    spec.cpus = static_cast<int>(1 + i % 64);
+    spec.memory_gb = static_cast<double>(8 * (1 + i % 32));
+    catalog.add(std::move(spec));
+  }
+  return catalog;
+}
+
+/// The catalog every non-decide cell serves: NDP unless --arms resized it.
+bw::hw::HardwareCatalog bench_catalog() {
+  return g_arms.empty() ? bw::hw::ndp_catalog() : synthetic_catalog(g_arms.front());
+}
+
 struct CellResult {
   std::size_t shards = 0;
   std::size_t batch = 0;
@@ -196,6 +238,10 @@ struct CellResult {
   double post_shift_regret_s = -1.0;  ///< mean regret after the midpoint shift
   // fleet workload only:
   std::size_t nodes = 0;            ///< 0 = not a fleet cell
+  // decide workload only:
+  std::size_t catalog_arms = 0;     ///< 0 = not a decide cell
+  std::string decide_mode;          ///< "scalar" | "vector" | "batch"
+  double kernel_speedup = 0.0;      ///< decisions/s vs the same-arms scalar cell
 };
 
 double percentile_ms(std::vector<double>& sorted_us, double q) {
@@ -211,7 +257,7 @@ CellResult run_train_cell(std::size_t shards, std::size_t batch,
   config.sharding = bw::serve::ShardingPolicy::kFeatureHash;
   config.seed = 42;
   apply_policy(config);
-  bw::serve::BanditServer server(bw::hw::ndp_catalog(), feature_names(), config);
+  bw::serve::BanditServer server(bench_catalog(), feature_names(), config);
 
   bw::Rng rng(11);
   const auto start = std::chrono::steady_clock::now();
@@ -250,7 +296,7 @@ CellResult run_sync_cell(std::size_t shards, std::size_t batch, std::size_t deci
   config.seed = 42;
   config.sync_every = sync_every;
   apply_policy(config);
-  const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+  const bw::hw::HardwareCatalog catalog = bench_catalog();
   bw::serve::BanditServer server(catalog, feature_names(), config);
 
   bw::Rng rng(11);
@@ -321,7 +367,7 @@ CellResult run_async_sync_cell(std::size_t shards, std::size_t batch,
   // comparison) at hardware_concurrency - 1.
   const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
   config.num_threads = std::max<std::size_t>(1, std::min(shards, hw - 1));
-  const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+  const bw::hw::HardwareCatalog catalog = bench_catalog();
   bw::serve::BanditServer server(catalog, feature_names(), config);
 
   bw::Rng rng(11);
@@ -383,13 +429,13 @@ CellResult run_read_heavy_cell(std::size_t shards, std::size_t batch,
   config.explore = false;  // pure exploitation: reads share the shard lock
   config.num_threads = std::max<std::size_t>(shards, clients);
   apply_policy(config);
-  bw::serve::BanditServer server(bw::hw::ndp_catalog(), feature_names(), config);
+  bw::serve::BanditServer server(bench_catalog(), feature_names(), config);
 
   // Pre-train every replica so the serving phase exercises fitted models.
   {
     bw::Rng rng(5);
     std::vector<bw::serve::ServeObservation> warmup;
-    const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+    const bw::hw::HardwareCatalog catalog = bench_catalog();
     for (std::size_t i = 0; i < 64 * shards; ++i) {
       const auto x = random_features(rng);
       const auto arm = static_cast<bw::core::ArmIndex>(i % catalog.size());
@@ -474,8 +520,8 @@ CellResult run_read_scaling_cell(std::size_t shards, std::size_t clients,
   config.explore = false;  // reads never touch a shard lock
   config.num_threads = shards;  // pool serves only the writer's observe fan-out
   apply_policy(config);
-  bw::serve::BanditServer server(bw::hw::ndp_catalog(), feature_names(), config);
-  const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+  bw::serve::BanditServer server(bench_catalog(), feature_names(), config);
+  const bw::hw::HardwareCatalog catalog = bench_catalog();
 
   // Pre-train every replica so the serving phase exercises fitted models.
   {
@@ -646,7 +692,7 @@ CellResult run_drift_cell(const std::string& scenario, bw::core::PolicyKind kind
   config.bandit.alpha = g_policy.alpha;
   config.bandit.posterior_scale = g_policy.posterior_scale;
   config.bandit.policy.fit.forgetting = lambda;
-  const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+  const bw::hw::HardwareCatalog catalog = bench_catalog();
   bw::serve::BanditServer server(catalog, feature_names(), config);
 
   DriftModel model{scenario, 0, 0};
@@ -715,7 +761,7 @@ CellResult run_drift_cell(const std::string& scenario, bw::core::PolicyKind kind
 /// directly comparable to the 1-node baseline.
 CellResult run_fleet_cell(std::size_t num_nodes, std::size_t batch,
                           std::size_t decisions, std::size_t gossip_every) {
-  const bw::hw::HardwareCatalog catalog = bw::hw::ndp_catalog();
+  const bw::hw::HardwareCatalog catalog = bench_catalog();
   std::vector<bw::fleet::FleetNode> nodes;
   nodes.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i) {
@@ -782,6 +828,116 @@ CellResult run_fleet_cell(std::size_t num_nodes, std::size_t batch,
   return result;
 }
 
+/// One cell of the decide workload: a single-shard pure-exploitation engine
+/// pre-trained on a synthetic `arms`-sized catalog, then timed on decisions
+/// only (no observes, so the cell isolates the scoring pass). Modes:
+///   * scalar — FrozenModel::recommend_choice_scalar per context (the
+///     per-node pointer-chase reference path);
+///   * vector — FrozenModel::recommend_choice per context (one
+///     matrix-vector pass over the snapshot's coefficient plane);
+///   * batch  — server.recommend_batch with `batch` contexts per call (the
+///     blocked GEMM-shaped panel kernel, shard routing included).
+CellResult run_decide_cell(std::size_t arms, const std::string& mode,
+                           std::size_t batch, std::size_t decisions) {
+  bw::serve::BanditServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 1;
+  config.sharding = bw::serve::ShardingPolicy::kFeatureHash;
+  config.seed = 42;
+  config.explore = false;
+  apply_policy(config);
+  const bw::hw::HardwareCatalog catalog = synthetic_catalog(arms);
+  bw::serve::BanditServer server(catalog, feature_names(), config);
+
+  // Pre-train two observations per arm so every row of the frozen plane
+  // carries a fitted model; chunked so the per-batch refreeze stays cheap.
+  {
+    bw::Rng rng(5);
+    std::vector<bw::serve::ServeObservation> warmup;
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+      for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+        const auto x = random_features(rng);
+        warmup.push_back({server.shard_of(x), static_cast<bw::core::ArmIndex>(arm),
+                          x, synthetic_runtime(catalog[arm], x)});
+        if (warmup.size() >= 512) {
+          server.observe_batch(warmup);
+          warmup.clear();
+        }
+      }
+    }
+    if (!warmup.empty()) server.observe_batch(warmup);
+  }
+
+  // The feature pool is pre-generated so the timed loop measures the
+  // decision pass, not the RNG.
+  constexpr std::size_t kPoolSize = 512;
+  bw::Rng rng(11);
+  std::vector<bw::core::FeatureVector> pool;
+  pool.reserve(kPoolSize);
+  for (std::size_t i = 0; i < kPoolSize; ++i) pool.push_back(random_features(rng));
+
+  // Batch panels are also pre-built: copying B heap-backed FeatureVectors
+  // into the request vector per call is harness cost, not serving cost, and
+  // at 64-context batches it was large enough to mask the kernel.
+  std::vector<std::vector<bw::core::FeatureVector>> panels;
+  if (mode == "batch") {
+    const std::size_t num_panels = (kPoolSize + batch - 1) / batch + 1;
+    panels.resize(num_panels);
+    std::size_t cursor = 0;
+    for (auto& panel : panels) {
+      panel.reserve(batch);
+      for (std::size_t i = 0; i < batch; ++i) {
+        panel.push_back(pool[cursor++ % kPoolSize]);
+      }
+    }
+  }
+
+  // Best of 3 timed reps: the decide gate compares two sub-second cells, so
+  // one scheduler hiccup in either leg can swing the ratio past the bar.
+  // Taking each leg's fastest rep measures the kernel, not the interference.
+  constexpr int kReps = 3;
+  double best_seconds = 0.0;
+  std::size_t best_served = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::size_t served = 0;
+    const auto start = std::chrono::steady_clock::now();
+    if (mode == "batch") {
+      std::size_t next_panel = 0;
+      while (served < decisions) {
+        const auto& xs = panels[next_panel];
+        next_panel = (next_panel + 1) % panels.size();
+        served += server.recommend_batch(xs).size();
+      }
+    } else {
+      const auto model = server.published_model(0);
+      const bool scalar = mode == "scalar";
+      for (; served < decisions; ++served) {
+        const auto& x = pool[served % kPoolSize];
+        const auto choice =
+            scalar ? model->recommend_choice_scalar(x) : model->recommend_choice(x);
+        (void)choice;
+      }
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double seconds = std::chrono::duration<double>(elapsed).count();
+    if (rep == 0 || seconds * static_cast<double>(best_served) <
+                        best_seconds * static_cast<double>(served)) {
+      best_seconds = seconds;
+      best_served = served;
+    }
+  }
+  maybe_snapshot(server);
+
+  CellResult result;
+  result.shards = 1;
+  result.batch = mode == "batch" ? batch : 1;
+  result.catalog_arms = arms;
+  result.decide_mode = mode;
+  result.seconds = best_seconds;
+  result.decisions_per_s = static_cast<double>(best_served) / best_seconds;
+  return result;
+}
+
 void write_json(const std::string& path, const std::string& workload,
                 double read_frac, std::size_t clients,
                 const std::vector<CellResult>& cells) {
@@ -832,6 +988,12 @@ void write_json(const std::string& path, const std::string& workload,
     }
     if (cell.nodes > 0) {
       std::fprintf(f, ", \"nodes\": %zu", cell.nodes);
+    }
+    if (cell.catalog_arms > 0) {
+      std::fprintf(f,
+                   ", \"arms\": %zu, \"decide_mode\": \"%s\", "
+                   "\"kernel_speedup\": %.2f",
+                   cell.catalog_arms, cell.decide_mode.c_str(), cell.kernel_speedup);
     }
     std::fprintf(f, "}%s\n", i + 1 < cells.size() ? "," : "");
   }
@@ -890,6 +1052,15 @@ int run(int argc, char** argv) {
                "below this x the first client count's; clamped to 0.75 x "
                "hardware threads so small hosts are not asked for impossible "
                "parallelism (read-scaling workload; 0 = report only)");
+  cli.add_flag("arms", "",
+               "synthetic catalog sizes: the decide workload sweeps every "
+               "entry (default 8,64,512); other workloads replace the 3-arm "
+               "NDP catalog with the first entry");
+  cli.add_flag("min-decide-speedup", "0",
+               "fail if a vectorized or batched decide cell at >= 512 arms "
+               "is below this x the same-arms scalar decisions/s (decide "
+               "workload; 0 = "
+               "report only)");
   cli.add_flag("sync-every", "1", "sync cadence in batches (sync workloads)");
   cli.add_flag("max-regret-ratio", "0",
                "fail if a synced cell's regret exceeds this x the 1-shard "
@@ -961,14 +1132,22 @@ int run(int argc, char** argv) {
   const bool async_sync = workload == "async-sync";
   const bool drift = workload == "drift";
   const bool fleet = workload == "fleet";
+  const bool decide = workload == "decide";
   if (workload != "train" && workload != "read-heavy" && workload != "read-scaling" &&
       workload != "sync" && workload != "async-sync" && workload != "drift" &&
-      workload != "fleet") {
+      workload != "fleet" && workload != "decide") {
     std::fprintf(stderr,
                  "--workload must be 'train', 'read-heavy', 'read-scaling', "
-                 "'sync', 'async-sync', 'drift', or 'fleet'\n");
+                 "'sync', 'async-sync', 'drift', 'fleet', or 'decide'\n");
     return 1;
   }
+  // --arms: parse_size_list rejects zero/non-numeric entries; an unset flag
+  // means workload defaults (decide sweeps 8,64,512; others keep NDP).
+  std::vector<std::size_t> arms_list;
+  if (!cli.get("arms").empty()) arms_list = bw::parse_size_list(cli.get("arms"));
+  if (decide && arms_list.empty()) arms_list = {8, 64, 512};
+  g_arms = arms_list;
+  const double min_decide_speedup = cli.get_double("min-decide-speedup");
   const auto node_counts = bw::parse_size_list(cli.get("nodes"));
   if (fleet && node_counts.empty()) {
     std::fprintf(stderr, "--nodes needs at least one positive entry\n");
@@ -991,6 +1170,13 @@ int run(int argc, char** argv) {
                 arrival_rate > 0.0 ? "open-loop" : "closed-loop");
   }
   if (sync || async_sync) std::printf("sync cadence: every %zu batches\n", sync_every);
+  if (decide) {
+    std::printf("arms sweep:");
+    for (std::size_t arms : arms_list) std::printf(" %zu", arms);
+    std::printf("\n");
+  } else if (!g_arms.empty()) {
+    std::printf("synthetic catalog: %zu arms\n", g_arms.front());
+  }
   if (fleet) {
     std::printf("fleet sweep: %s nodes, ring gossip every %zu batches\n",
                 cli.get("nodes").c_str(), sync_every);
@@ -1001,7 +1187,58 @@ int run(int argc, char** argv) {
 
   std::vector<CellResult> cells;
   bool gate_failed = false;
-  if (drift) {
+  if (decide) {
+    // Kernel isolation sweep: per arm count, the scalar cell pins the
+    // baseline; vector and batched cells are measured (and the batched
+    // ones gated) against it. Decisions are byte-identical across modes —
+    // only the memory layout and batching differ.
+    bw::Table table({"arms", "mode", "batch", "wall (s)", "decisions/s",
+                     "vs scalar"});
+    for (std::size_t arms : arms_list) {
+      const CellResult scalar = run_decide_cell(arms, "scalar", 1, decisions);
+      cells.push_back(scalar);
+      table.add_row({std::to_string(arms), "scalar", "1",
+                     bw::format_double(scalar.seconds, 3),
+                     bw::format_double(scalar.decisions_per_s, 0), "1.00x"});
+      CellResult vec = run_decide_cell(arms, "vector", 1, decisions);
+      vec.kernel_speedup = vec.decisions_per_s / scalar.decisions_per_s;
+      cells.push_back(vec);
+      table.add_row({std::to_string(arms), "vector", "1",
+                     bw::format_double(vec.seconds, 3),
+                     bw::format_double(vec.decisions_per_s, 0),
+                     bw::format_double(vec.kernel_speedup, 2) + "x"});
+      if (min_decide_speedup > 0.0 && arms >= 512 &&
+          vec.kernel_speedup < min_decide_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: %zu-arm vectorized decide throughput %.0f/s is "
+                     "only %.2fx the scalar baseline %.0f/s (limit %.2fx)\n",
+                     arms, vec.decisions_per_s, vec.kernel_speedup,
+                     scalar.decisions_per_s, min_decide_speedup);
+        gate_failed = true;
+      }
+      for (std::size_t batch : batch_sizes) {
+        // batch=1 through the server measures routing, not the kernel.
+        if (batch <= 1) continue;
+        CellResult cell = run_decide_cell(arms, "batch", batch, decisions);
+        cell.kernel_speedup = cell.decisions_per_s / scalar.decisions_per_s;
+        cells.push_back(cell);
+        table.add_row({std::to_string(arms), "batch", std::to_string(batch),
+                       bw::format_double(cell.seconds, 3),
+                       bw::format_double(cell.decisions_per_s, 0),
+                       bw::format_double(cell.kernel_speedup, 2) + "x"});
+        if (min_decide_speedup > 0.0 && arms >= 512 &&
+            cell.kernel_speedup < min_decide_speedup) {
+          std::fprintf(stderr,
+                       "FAIL: %zu-arm batch-%zu decide throughput %.0f/s is "
+                       "only %.2fx the scalar baseline %.0f/s (limit %.2fx)\n",
+                       arms, batch, cell.decisions_per_s, cell.kernel_speedup,
+                       scalar.decisions_per_s, min_decide_speedup);
+          gate_failed = true;
+        }
+      }
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  } else if (drift) {
     // Nonstationarity sweep: per scenario, every policy runs twice — the
     // undiscounted learner pins the recovery baseline, the discounted twin
     // is measured (and gated) against it on post-shift regret.

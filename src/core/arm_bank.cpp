@@ -1,13 +1,17 @@
 #include "core/arm_bank.hpp"
 
 #include "common/error.hpp"
+#include "core/score_scratch.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/intercept.hpp"
+#include "linalg/matrix.hpp"
 
 namespace bw::core {
 
 ArmBank::ArmBank(const hw::HardwareCatalog& catalog, std::size_t num_features,
                  const linalg::FitOptions& fit, bool exact_history,
                  const ToleranceParams& tolerance, const hw::ResourceWeights& weights)
-    : tolerance_(tolerance) {
+    : tolerance_(tolerance), dim_(num_features) {
   BW_CHECK_MSG(!catalog.empty(), "policy needs at least one arm");
   BW_CHECK_MSG(num_features > 0, "policy needs at least one feature");
   arms_.reserve(catalog.size());
@@ -15,11 +19,32 @@ ArmBank::ArmBank(const hw::HardwareCatalog& catalog, std::size_t num_features,
     arms_.emplace_back(num_features, fit, exact_history);
   }
   resource_costs_ = catalog.resource_costs(weights);
+  // Fresh arms are all-zero (w = b = 0), so the zero-initialized plane is
+  // already in sync.
+  theta_plane_.assign((dim_ + 1) * arms_.size(), 0.0);
+}
+
+void ArmBank::fill_plane_column(ArmIndex arm) {
+  // Transposed plane (see gemm.hpp): one arm is a strided column. Writes
+  // are per-observation; reads are the hot path and stream unit-stride.
+  const linalg::LinearModel& model = arms_[arm].model();
+  const std::size_t stride = arms_.size();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    theta_plane_[i * stride + arm] = model.weights[i];
+  }
+  theta_plane_[dim_ * stride + arm] = model.bias;
+}
+
+void ArmBank::rebuild_plane() {
+  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) fill_plane_column(arm);
+  plane_dirty_ = false;
 }
 
 void ArmBank::observe(ArmIndex arm, const FeatureVector& x, double runtime_s) {
   BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  if (plane_dirty_) rebuild_plane();
   arms_[arm].observe(x, runtime_s);
+  fill_plane_column(arm);
 }
 
 double ArmBank::predict(ArmIndex arm, const FeatureVector& x) const {
@@ -32,17 +57,65 @@ double ArmBank::variance_proxy(ArmIndex arm, const FeatureVector& x) const {
   return arms_[arm].variance_proxy(x);
 }
 
-TolerantChoice ArmBank::recommend_choice(const FeatureVector& x) const {
-  static thread_local std::vector<double> predictions;
-  predictions.resize(arms_.size());
-  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
-    predictions[arm] = arms_[arm].predict(x);
+void ArmBank::predict_all(const FeatureVector& x, std::span<double> out) const {
+  BW_CHECK_MSG(x.size() == dim_, "feature vector size mismatch");
+  BW_CHECK_MSG(out.size() == arms_.size(), "predict_all: output size mismatch");
+  if (plane_dirty_) {
+    // A non-observe mutation (merge/restore/widen) invalidated the plane.
+    // Const readers must not rebuild it — they may hold only a shared lock
+    // — so walk the arms directly; the FP order is identical either way.
+    for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
+      out[arm] = arms_[arm].predict(x);
+    }
+    return;
   }
-  return tolerant_select(predictions, resource_costs_, tolerance_);
+  static thread_local std::vector<double> xa;
+  linalg::with_intercept_into(x, xa);
+  linalg::score_block(theta_plane_.data(), arms_.size(), dim_ + 1, xa.data(), 1,
+                      out.data());
+}
+
+std::vector<double> ArmBank::predict_all(const FeatureVector& x) const {
+  std::vector<double> out(arms_.size());
+  predict_all(x, out);
+  return out;
+}
+
+void ArmBank::variance_proxy_all(const FeatureVector& x,
+                                 std::span<double> out) const {
+  BW_CHECK_MSG(x.size() == dim_, "feature vector size mismatch");
+  BW_CHECK_MSG(out.size() == arms_.size(),
+               "variance_proxy_all: output size mismatch");
+  BW_CHECK_MSG(!arms_.front().exact_history(),
+               "variance proxy requires the incremental backend");
+  static thread_local std::vector<double> xa;
+  static thread_local std::vector<double> px;
+  linalg::with_intercept_into(x, xa);
+  px.resize(dim_ + 1);
+  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
+    // Same value sequence as RLS::variance_proxy — dot(xa, P xa) with P xa
+    // computed row-by-row via linalg::dot — minus its two per-call Vector
+    // allocations.
+    const linalg::Matrix& p = arms_[arm].rls().precision_inverse();
+    for (std::size_t i = 0; i < dim_ + 1; ++i) {
+      px[i] = linalg::dot(p.row(i), xa);
+    }
+    out[arm] = linalg::dot(xa, px);
+  }
+}
+
+TolerantChoice ArmBank::recommend_choice(const FeatureVector& x) const {
+  DecisionScratch& scratch = DecisionScratch::local();
+  scratch.ensure(arms_.size(), dim_, 1);
+  predict_all(x, std::span<double>(scratch.scores.data(), arms_.size()));
+  return tolerant_select(
+      std::span<const double>(scratch.scores.data(), arms_.size()),
+      resource_costs_, tolerance_);
 }
 
 LinearArmModel& ArmBank::arm(ArmIndex index) {
   BW_CHECK_MSG(index < arms_.size(), "arm index out of range");
+  plane_dirty_ = true;
   return arms_[index];
 }
 
@@ -53,6 +126,8 @@ const LinearArmModel& ArmBank::arm(ArmIndex index) const {
 
 void ArmBank::reset() {
   for (auto& arm : arms_) arm.reset();
+  theta_plane_.assign((dim_ + 1) * arms_.size(), 0.0);
+  plane_dirty_ = false;
 }
 
 }  // namespace bw::core

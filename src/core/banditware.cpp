@@ -263,9 +263,12 @@ std::shared_ptr<const FrozenModel> BanditWare::refreeze(const FrozenModel& prev,
     BW_CHECK_MSG(arm < bank.size(), "refreeze: dirty arm out of range");
     arms[arm] = std::make_shared<const FrozenArm>(FrozenArm{bank.arm(arm).model()});
   }
+  // Delta ctor: the coefficient plane is copied flat from `prev` and only
+  // the dirty rows are re-read from the new nodes.
   return std::make_shared<const FrozenModel>(std::move(arms),
                                              prev.shared_resource_costs(),
-                                             prev.tolerance(), prev.dim(), epoch);
+                                             prev.tolerance(), prev.dim(), epoch,
+                                             prev, dirty);
 }
 
 std::vector<double> BanditWare::predictions(const FeatureVector& x) const {

@@ -35,6 +35,12 @@ class BankedPolicy : public Policy {
     return bank_.predict(arm, x);
   }
 
+  /// Shadows Policy::predict_all (a per-arm predict loop) with the bank's
+  /// one-pass theta-plane sweep. Same values, bitwise.
+  std::vector<double> predict_all(const FeatureVector& x) const {
+    return bank_.predict_all(x);
+  }
+
   void reset() override { bank_.reset(); }
 
   virtual PolicyKind kind() const = 0;

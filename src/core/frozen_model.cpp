@@ -1,8 +1,35 @@
 #include "core/frozen_model.hpp"
 
 #include "common/error.hpp"
+#include "core/score_scratch.hpp"
+#include "linalg/gemm.hpp"
 
 namespace bw::core {
+
+void FrozenModel::validate() const {
+  BW_CHECK_MSG(!arms_.empty(), "frozen model needs at least one arm");
+  BW_CHECK_MSG(resource_costs_ != nullptr && resource_costs_->size() == arms_.size(),
+               "frozen model: resource costs do not match the arms");
+  for (const auto& arm : arms_) {
+    BW_CHECK_MSG(arm != nullptr, "frozen model: null arm node");
+    BW_CHECK_MSG(arm->model.weights.size() == num_features_,
+                 "frozen model: arm weight dimension mismatch");
+  }
+  BW_CHECK_MSG(num_features_ > 0, "frozen model needs at least one feature");
+}
+
+void FrozenModel::fill_plane_column(ArmIndex arm) {
+  // The plane is transposed (k x arms, see gemm.hpp), so one arm's
+  // coefficients land as a strided column. Updates are rare (freeze and
+  // refreeze only); the layout is chosen for the read side, where the
+  // kernel streams unit-stride across arms.
+  const linalg::LinearModel& model = arms_[arm]->model;
+  const std::size_t stride = arms_.size();
+  for (std::size_t i = 0; i < num_features_; ++i) {
+    weight_plane_[i * stride + arm] = model.weights[i];
+  }
+  weight_plane_[num_features_ * stride + arm] = model.bias;
+}
 
 FrozenModel::FrozenModel(std::vector<std::shared_ptr<const FrozenArm>> arms,
                          std::shared_ptr<const std::vector<double>> resource_costs,
@@ -13,31 +40,106 @@ FrozenModel::FrozenModel(std::vector<std::shared_ptr<const FrozenArm>> arms,
       tolerance_(tolerance),
       num_features_(num_features),
       epoch_(epoch) {
-  BW_CHECK_MSG(!arms_.empty(), "frozen model needs at least one arm");
-  BW_CHECK_MSG(resource_costs_ != nullptr && resource_costs_->size() == arms_.size(),
-               "frozen model: resource costs do not match the arms");
-  for (const auto& arm : arms_) {
-    BW_CHECK_MSG(arm != nullptr, "frozen model: null arm node");
+  validate();
+  weight_plane_.resize((num_features_ + 1) * arms_.size());
+  for (ArmIndex arm = 0; arm < arms_.size(); ++arm) fill_plane_column(arm);
+}
+
+FrozenModel::FrozenModel(std::vector<std::shared_ptr<const FrozenArm>> arms,
+                         std::shared_ptr<const std::vector<double>> resource_costs,
+                         ToleranceParams tolerance, std::size_t num_features,
+                         std::uint64_t epoch, const FrozenModel& prev,
+                         std::span<const ArmIndex> dirty)
+    : arms_(std::move(arms)),
+      resource_costs_(std::move(resource_costs)),
+      tolerance_(tolerance),
+      num_features_(num_features),
+      epoch_(epoch) {
+  validate();
+  BW_CHECK_MSG(
+      prev.arms_.size() == arms_.size() && prev.num_features_ == num_features_,
+      "frozen model: delta refreeze against a differently-shaped snapshot");
+  weight_plane_ = prev.weight_plane_;
+  for (ArmIndex arm : dirty) {
+    BW_CHECK_MSG(arm < arms_.size(), "frozen model: dirty arm out of range");
+    fill_plane_column(arm);
   }
-  BW_CHECK_MSG(num_features_ > 0, "frozen model needs at least one feature");
 }
 
 TolerantChoice FrozenModel::recommend_choice(const FeatureVector& x) const {
   BW_CHECK_MSG(x.size() == num_features_, "feature vector size mismatch");
-  // Same scratch idiom as ArmBank::recommend_choice: this is the serving
-  // hot path and runs concurrently on many reader threads, so the reusable
-  // prediction buffer must be per-thread.
-  static thread_local std::vector<double> predictions;
-  predictions.resize(arms_.size());
+  DecisionScratch& scratch = DecisionScratch::local();
+  scratch.ensure(arms_.size(), num_features_, 1);
+  for (std::size_t i = 0; i < num_features_; ++i) scratch.panel[i] = x[i];
+  scratch.panel[num_features_] = 1.0;
+  linalg::score_block(weight_plane_.data(), arms_.size(), num_features_ + 1,
+                      scratch.panel.data(), 1, scratch.scores.data());
+  return tolerant_select(
+      std::span<const double>(scratch.scores.data(), arms_.size()),
+      *resource_costs_, tolerance_);
+}
+
+TolerantChoice FrozenModel::recommend_choice_scalar(const FeatureVector& x) const {
+  BW_CHECK_MSG(x.size() == num_features_, "feature vector size mismatch");
+  DecisionScratch& scratch = DecisionScratch::local();
+  scratch.ensure(arms_.size(), num_features_, 1);
   for (ArmIndex arm = 0; arm < arms_.size(); ++arm) {
-    predictions[arm] = arms_[arm]->model.predict(x);
+    scratch.scores[arm] = arms_[arm]->model.predict(x);
   }
-  return tolerant_select(predictions, *resource_costs_, tolerance_);
+  return tolerant_select(
+      std::span<const double>(scratch.scores.data(), arms_.size()),
+      *resource_costs_, tolerance_);
+}
+
+void FrozenModel::recommend_greedy_batch(std::span<const FeatureVector> xs,
+                                         std::span<const std::size_t> items,
+                                         std::span<TolerantChoice> out) const {
+  BW_CHECK_MSG(out.size() == items.size(),
+               "recommend_greedy_batch: output size mismatch");
+  if (items.empty()) return;
+  const std::size_t b = items.size();
+  DecisionScratch& scratch = DecisionScratch::local();
+  scratch.ensure(arms_.size(), num_features_, b);
+  for (std::size_t j = 0; j < b; ++j) {
+    BW_CHECK_MSG(items[j] < xs.size(), "recommend_greedy_batch: item out of range");
+    const FeatureVector& x = xs[items[j]];
+    BW_CHECK_MSG(x.size() == num_features_, "feature vector size mismatch");
+    // Context-major pack: row j of the panel is [x_j; 1] (see gemm.hpp).
+    double* row = scratch.panel.data() + j * (num_features_ + 1);
+    for (std::size_t kk = 0; kk < num_features_; ++kk) row[kk] = x[kk];
+    row[num_features_] = 1.0;
+  }
+  linalg::score_block(weight_plane_.data(), arms_.size(), num_features_ + 1,
+                      scratch.panel.data(), b, scratch.scores.data());
+  for (std::size_t j = 0; j < b; ++j) {
+    out[j] = tolerant_select(
+        std::span<const double>(scratch.scores.data() + j * arms_.size(),
+                                arms_.size()),
+        *resource_costs_, tolerance_);
+  }
+}
+
+std::vector<TolerantChoice> FrozenModel::recommend_greedy_batch(
+    std::span<const FeatureVector> xs) const {
+  std::vector<std::size_t> items(xs.size());
+  for (std::size_t j = 0; j < items.size(); ++j) items[j] = j;
+  std::vector<TolerantChoice> out(xs.size());
+  recommend_greedy_batch(xs, items, out);
+  return out;
 }
 
 double FrozenModel::predict(ArmIndex arm, const FeatureVector& x) const {
   BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
   return arms_[arm]->model.predict(x);
+}
+
+std::vector<double> FrozenModel::weight_row(ArmIndex arm) const {
+  BW_CHECK_MSG(arm < arms_.size(), "arm index out of range");
+  std::vector<double> row(num_features_ + 1);
+  for (std::size_t i = 0; i <= num_features_; ++i) {
+    row[i] = weight_plane_[i * arms_.size() + arm];
+  }
+  return row;
 }
 
 const std::shared_ptr<const FrozenArm>& FrozenModel::arm_node(ArmIndex arm) const {

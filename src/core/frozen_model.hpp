@@ -21,6 +21,21 @@
 // O(dirty * d + arms) per publish instead of O(arms * d), which is what
 // makes per-batch republication affordable at hardware-catalog scale.
 //
+// Decision kernel (ROADMAP "Decision kernel"): alongside the shared nodes
+// — which remain the publish/refreeze currency — every snapshot carries a
+// contiguous TRANSPOSED (d+1) x arms coefficient plane: row kk holds
+// coefficient kk across every arm, the intercept row last (matching the
+// linalg/intercept convention). Scoring all arms is then one GEMM-shaped
+// pass whose inner loop streams unit-stride across arms (linalg::
+// score_block), instead of a pointer chase through one heap node per arm,
+// and batched greedy reads (recommend_greedy_batch) amortize one traversal
+// of the plane across B concurrent contexts. Each arm's score still
+// accumulates its dot product in the same index order as
+// LinearModel::predict, so decisions are byte-identical to the scalar
+// node walk (recommend_choice_scalar — kept as the pinned reference path).
+// Refreeze copies the previous snapshot's plane flat and rewrites only the
+// dirty columns, so the delta publish stays one memcpy plus O(dirty * d).
+//
 // Instances are deeply immutable after construction and safe to read from
 // any number of threads with no synchronization beyond the pointer load
 // that obtained them. Build them via BanditWare::freeze / refreeze.
@@ -52,17 +67,52 @@ class FrozenModel {
               ToleranceParams tolerance, std::size_t num_features,
               std::uint64_t epoch);
 
+  /// Delta-assembly ctor (BanditWare::refreeze): identical to the one above
+  /// except the coefficient plane is copied flat from `prev` and only the
+  /// columns in `dirty` are re-read from their (freshly allocated) arm
+  /// nodes. `prev` must have the same shape.
+  FrozenModel(std::vector<std::shared_ptr<const FrozenArm>> arms,
+              std::shared_ptr<const std::vector<double>> resource_costs,
+              ToleranceParams tolerance, std::size_t num_features,
+              std::uint64_t epoch, const FrozenModel& prev,
+              std::span<const ArmIndex> dirty);
+
   std::size_t num_arms() const { return arms_.size(); }
   std::size_t dim() const { return num_features_; }
   std::uint64_t epoch() const { return epoch_; }
 
-  /// Tolerant-greedy choice with its predicted runtime — the same pass (and
-  /// the same thread_local scratch idiom) as ArmBank::recommend_choice, so
-  /// the decision is byte-identical to a locked read of the source model.
+  /// Tolerant-greedy choice with its predicted runtime. Scores every arm
+  /// as one matrix-vector pass over the contiguous coefficient plane into
+  /// the shared per-thread DecisionScratch, then runs the same
+  /// tolerant_select as the live ArmBank pass — byte-identical to
+  /// recommend_choice_scalar (pinned in tests/test_decision_kernel.cpp).
   TolerantChoice recommend_choice(const FeatureVector& x) const;
+
+  /// The scalar reference path: the original per-node predict walk. This is
+  /// the FP-order source of truth the vectorized plane is pinned bitwise
+  /// against, and the pointer-chasing baseline the decide bench gate
+  /// measures the kernel speedup from.
+  TolerantChoice recommend_choice_scalar(const FeatureVector& x) const;
+
+  /// Batched greedy reads: packs the contexts xs[items[j]] into a
+  /// B x (d+1) panel and scores all arms for all of them with one blocked
+  /// linalg::score_block call, writing the tolerant choice for items[j]
+  /// into out[j]. Decisions are byte-identical to calling recommend_choice
+  /// per context. `out` must have items.size() entries.
+  void recommend_greedy_batch(std::span<const FeatureVector> xs,
+                              std::span<const std::size_t> items,
+                              std::span<TolerantChoice> out) const;
+
+  /// Convenience form: one choice per context, in order.
+  std::vector<TolerantChoice> recommend_greedy_batch(
+      std::span<const FeatureVector> xs) const;
 
   /// R̂ for one arm against the frozen weights.
   double predict(ArmIndex arm, const FeatureVector& x) const;
+
+  /// Arm `arm`'s plane column gathered as [w_0 .. w_{d-1}, b]. Test hook
+  /// for the plane-vs-node identity contract.
+  std::vector<double> weight_row(ArmIndex arm) const;
 
   /// The shared per-arm node — exposed so refreeze can share untouched
   /// nodes and tests can pin the structural-sharing contract by pointer
@@ -75,11 +125,20 @@ class FrozenModel {
   const ToleranceParams& tolerance() const { return tolerance_; }
 
  private:
+  void validate() const;
+  /// Copies arm `arm`'s node coefficients into its plane column.
+  void fill_plane_column(ArmIndex arm);
+
   std::vector<std::shared_ptr<const FrozenArm>> arms_;
   std::shared_ptr<const std::vector<double>> resource_costs_;
   ToleranceParams tolerance_;
   std::size_t num_features_;
   std::uint64_t epoch_;
+  /// Transposed (d+1) x arms coefficient plane: row kk = coefficient kk
+  /// across all arms, intercept row last (the layout linalg::score_block
+  /// streams). Assembled at freeze/refreeze; immutable afterwards like
+  /// everything else here.
+  std::vector<double> weight_plane_;
 };
 
 }  // namespace bw::core

@@ -1,8 +1,11 @@
 #include "core/thompson.hpp"
 
 #include <cmath>
+#include <span>
+#include <utility>
 
 #include "common/error.hpp"
+#include "core/score_scratch.hpp"
 
 namespace bw::core {
 
@@ -25,26 +28,32 @@ LinearThompson::LinearThompson(const hw::HardwareCatalog& catalog,
 LinearThompson::LinearThompson(ArmBank bank, double posterior_scale)
     : BankedPolicy(std::move(bank)), posterior_scale_(posterior_scale) {
   BW_CHECK_MSG(posterior_scale_ > 0.0, "posterior scale must be positive");
-  BW_CHECK_MSG(!bank_.arm(0).exact_history(),
+  BW_CHECK_MSG(!std::as_const(bank_).arm(0).exact_history(),
                "thompson requires the incremental backend (the posterior "
                "draw reads the RLS covariance)");
 }
 
-double LinearThompson::sample_prediction(ArmIndex arm, const FeatureVector& x,
-                                         Rng& rng) const {
+ArmIndex LinearThompson::select(const FeatureVector& x, Rng& rng) {
   // For a single decision only the marginal of x̃^T θ matters, and
   // θ ~ N(θ̂, v² P) implies x̃^T θ ~ N(x̃^T θ̂, v² x̃^T P x̃) — so we sample
-  // the scalar directly instead of factorizing P.
-  const double mean = bank_.predict(arm, x);
-  const double var = std::max(0.0, bank_.variance_proxy(arm, x));
-  return mean + posterior_scale_ * std::sqrt(var) * rng.normal();
-}
-
-ArmIndex LinearThompson::select(const FeatureVector& x, Rng& rng) {
+  // the scalar directly instead of factorizing P. Means and variances come
+  // from one bank-level sweep; the draw itself still consumes exactly one
+  // rng.normal() per arm in ascending order, so the sampled decisions match
+  // the old per-arm walk stream-for-stream and bit-for-bit.
+  DecisionScratch& scratch = DecisionScratch::local();
+  scratch.ensure(bank_.size(), bank_.dim(), 1);
+  const std::span<double> means(scratch.scores.data(), bank_.size());
+  const std::span<double> vars(scratch.widths.data(), bank_.size());
+  bank_.predict_all(x, means);
+  bank_.variance_proxy_all(x, vars);
   ArmIndex best = 0;
-  double best_sample = sample_prediction(0, x, rng);
+  double best_sample = means[0] + posterior_scale_ *
+                                      std::sqrt(std::max(0.0, vars[0])) *
+                                      rng.normal();
   for (ArmIndex arm = 1; arm < bank_.size(); ++arm) {
-    const double sample = sample_prediction(arm, x, rng);
+    const double sample = means[arm] + posterior_scale_ *
+                                           std::sqrt(std::max(0.0, vars[arm])) *
+                                           rng.normal();
     if (sample < best_sample) {
       best_sample = sample;
       best = arm;

@@ -36,9 +36,6 @@ class LinearThompson final : public BankedPolicy {
   double posterior_scale() const { return posterior_scale_; }
 
  private:
-  /// One posterior draw of the predicted runtime for (arm, x).
-  double sample_prediction(ArmIndex arm, const FeatureVector& x, Rng& rng) const;
-
   double posterior_scale_;
 };
 

@@ -4,6 +4,7 @@
 //   R_limit = (1 + tolerance_ratio) * R̂(H_fastest) + tolerance_seconds
 // choose the most resource-efficient one.
 
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -28,8 +29,20 @@ struct TolerantChoice {
 /// arm. We therefore apply the ratio to max(R̂_min, 0):
 ///   R_limit = R̂_min + tr * max(R̂_min, 0) + ts
 /// which equals the paper's formula whenever R̂_min >= 0.
-TolerantChoice tolerant_select(const std::vector<double>& predictions,
-                               const std::vector<double>& resource_costs,
+///
+/// Span-based so the batched decision kernel can feed per-context slices of
+/// its score matrix straight in without copying.
+TolerantChoice tolerant_select(std::span<const double> predictions,
+                               std::span<const double> resource_costs,
                                const ToleranceParams& tolerance);
+
+/// Vector overload — C++20 span has no initializer_list constructor, so
+/// this is what keeps brace-literal call sites (tests, examples) compiling.
+inline TolerantChoice tolerant_select(const std::vector<double>& predictions,
+                                      const std::vector<double>& resource_costs,
+                                      const ToleranceParams& tolerance) {
+  return tolerant_select(std::span<const double>(predictions),
+                         std::span<const double>(resource_costs), tolerance);
+}
 
 }  // namespace bw::core

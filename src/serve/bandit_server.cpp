@@ -316,23 +316,7 @@ std::vector<ServeDecision> BanditServer::recommend_batch(
   std::vector<ServeDecision> results(xs.size());
   if (xs.empty()) return results;
 
-  if (!config_.explore) {
-    // Lock-free read path, served inline: one published-snapshot load per
-    // shard-group per batch (the load is hoisted out of the item loop), no
-    // locks, no pool dispatch. Fan-out would buy nothing here — the
-    // per-item work is an O(arms * d) prediction pass, smaller than a
-    // task's queue + wake cost, and read-heavy deployments already bring
-    // their concurrency as client threads.
-    std::vector<std::shared_ptr<const core::FrozenModel>> snapshots(shards_.size());
-    for (std::size_t i = 0; i < xs.size(); ++i) {
-      const std::size_t s = route(xs[i]);
-      if (snapshots[s] == nullptr) {
-        snapshots[s] = shards_[s]->published.load(std::memory_order_acquire);
-      }
-      results[i] = decide_frozen(*snapshots[s], s, xs[i]);
-    }
-    return results;
-  }
+  if (!config_.explore) return recommend_greedy_batch(xs);
 
   // Exploring batch: route serially (keeps round-robin deterministic for a
   // batch), then fan out one task per non-empty shard under its exclusive
@@ -352,6 +336,53 @@ std::vector<ServeDecision> BanditServer::recommend_batch(
     }));
   }
   wait_all(futures);
+  return results;
+}
+
+std::vector<ServeDecision> BanditServer::recommend_greedy_batch(
+    const std::vector<core::FeatureVector>& xs) {
+  std::vector<ServeDecision> results(xs.size());
+  if (xs.empty()) return results;
+
+  // Lock-free read path, served inline: route serially (ascending i keeps
+  // round-robin deterministic for a batch), group per shard, then serve
+  // each group from one published-snapshot load with one blocked
+  // score_block pass over the snapshot's coefficient plane. No locks, no
+  // pool dispatch — read-heavy deployments bring their concurrency as
+  // client threads; the win here is amortizing the weight-plane traversal
+  // across the group.
+  // Reused across calls: a serving thread issues batches back-to-back, and
+  // re-growing a vector-of-vectors per batch showed up in the decide bench.
+  static thread_local std::vector<std::vector<std::size_t>> by_shard;
+  static thread_local std::vector<core::TolerantChoice> choices;
+  by_shard.resize(shards_.size());
+  for (auto& group : by_shard) group.clear();
+  if (shards_.size() == 1) {
+    // Single shard: every item routes to shard 0 — skip the per-item route
+    // hash and build the identity list directly.
+    std::vector<std::size_t>& group = by_shard[0];
+    group.resize(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) group[i] = i;
+  } else {
+    for (std::size_t i = 0; i < xs.size(); ++i) by_shard[route(xs[i])].push_back(i);
+  }
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<std::size_t>& items = by_shard[s];
+    if (items.empty()) continue;
+    const auto model = shards_[s]->published.load(std::memory_order_acquire);
+    choices.resize(items.size());
+    model->recommend_greedy_batch(xs, items, choices);
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      const core::TolerantChoice& choice = choices[j];
+      ServeDecision& out = results[items[j]];
+      out.shard = s;
+      out.arm = choice.arm;
+      out.spec = &catalog_[choice.arm];
+      out.explored = false;
+      out.predicted_runtime_s = choice.predicted_runtime;
+    }
+  }
   return results;
 }
 

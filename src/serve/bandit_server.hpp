@@ -205,6 +205,17 @@ class BanditServer {
   /// greedy reads against an exploring engine without touching its locks.
   ServeDecision recommend_greedy(const core::FeatureVector& x);
 
+  /// Batched lock-free reads: routes every context, groups per shard, loads
+  /// each group's published snapshot once, and scores the whole group with
+  /// one blocked GEMM-shaped pass over the snapshot's coefficient plane
+  /// (core::FrozenModel::recommend_greedy_batch) — amortizing one traversal
+  /// of the arms x (d+1) weight matrix across the group instead of
+  /// re-walking it per item. Decisions are byte-identical to calling
+  /// recommend_greedy per item; result i corresponds to xs[i]. This is what
+  /// recommend_batch runs in pure-exploitation mode.
+  std::vector<ServeDecision> recommend_greedy_batch(
+      const std::vector<core::FeatureVector>& xs);
+
   /// The shard's currently published snapshot / its publication epoch (one
   /// atomic load; epochs are monotone per shard). Monitoring + test hooks.
   std::shared_ptr<const core::FrozenModel> published_model(std::size_t shard) const;

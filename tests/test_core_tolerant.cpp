@@ -99,7 +99,9 @@ TEST(TolerantSelect, SingleArm) {
 }
 
 TEST(TolerantSelect, RejectsInvalidInput) {
-  EXPECT_THROW(tolerant_select({}, {}, {}), InvalidArgument);
+  // Empty braced lists would be ambiguous between the span and vector
+  // overloads; spell the type to pin the empty-input contract itself.
+  EXPECT_THROW(tolerant_select(std::vector<double>{}, {}, {}), InvalidArgument);
   EXPECT_THROW(tolerant_select({1.0}, {1.0, 2.0}, {}), InvalidArgument);
   ToleranceParams negative;
   negative.ratio = -0.1;

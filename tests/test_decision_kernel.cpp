@@ -1,0 +1,422 @@
+// The decision kernel's byte-identity contract (ROADMAP "Decision kernel").
+//
+// The SoA scoring substrate (linalg/gemm, the FrozenModel coefficient
+// plane, the ArmBank theta plane) promises decisions that are BITWISE
+// identical to the per-arm scalar walks it replaced — same arm, same
+// predicted-runtime double, same tolerant limit. These tests pin that
+// contract end to end:
+//
+//   * kernel — gemm_rm / score_block against a naive k-ascending loop;
+//   * frozen — recommend_choice and recommend_greedy_batch against
+//     recommend_choice_scalar across policies x dims x arm counts,
+//     including the negative-R̂ tolerant edge;
+//   * bank — predict_all / variance_proxy_all against the per-arm calls,
+//     LinUCB's select against the lcb() argmin, Thompson's select against
+//     a cloned-seed per-arm reference stream;
+//   * lifecycle — refreeze-after-dirty-write (delta plane vs full rebuild,
+//     node sharing by pointer identity), the dirty-plane scalar fallback
+//     after a direct arm mutation, and the empty-catalog ctor guard (the
+//     former ArmBank::dim() UB).
+//
+// The ASan and TSan CI jobs both run this file.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/banditware.hpp"
+#include "core/epsilon_greedy.hpp"
+#include "core/frozen_model.hpp"
+#include "core/linucb.hpp"
+#include "core/thompson.hpp"
+#include "core/tolerant.hpp"
+#include "hardware/catalog.hpp"
+#include "linalg/gemm.hpp"
+#include "serve/bandit_server.hpp"
+
+namespace bw::core {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Bitwise choice equality: arm, candidates, and the tie-break flag must
+/// match exactly, and the two doubles must match bit for bit (EXPECT_EQ on
+/// doubles would accept -0.0 == 0.0).
+void expect_choice_identical(const TolerantChoice& a, const TolerantChoice& b) {
+  EXPECT_EQ(a.arm, b.arm);
+  EXPECT_EQ(bits(a.predicted_runtime), bits(b.predicted_runtime));
+  EXPECT_EQ(bits(a.limit), bits(b.limit));
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.efficiency_tie_break, b.efficiency_tie_break);
+}
+
+hw::HardwareCatalog synth_catalog(std::size_t arms) {
+  hw::HardwareCatalog catalog;
+  for (std::size_t i = 0; i < arms; ++i) {
+    catalog.add({"S" + std::to_string(i), static_cast<int>(1 + i % 64),
+                 8.0 * static_cast<double>(1 + i % 32)});
+  }
+  return catalog;
+}
+
+FeatureVector random_features(Rng& rng, std::size_t d) {
+  FeatureVector x(d);
+  for (auto& v : x) v = rng.uniform(0.5, 40.0);
+  return x;
+}
+
+double synth_runtime(const hw::HardwareSpec& spec, const FeatureVector& x) {
+  double load = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) load += (1.0 + 0.25 * i) * x[i];
+  return 5.0 + load / spec.cpus;
+}
+
+// ---- kernel primitives -------------------------------------------------------
+
+/// The reference the contract names: every output element as one
+/// k-ascending dot from a 0.0 start.
+void naive_gemm(const double* a, std::size_t m, std::size_t k, const double* b,
+                std::size_t n, double* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+TEST(DecisionKernel, GemmRmMatchesNaiveLoopBitwise) {
+  // Shapes straddle every internal boundary: the n == 1 fast path, the kk
+  // unroll remainder (k % 4), and n not a multiple of any vector width.
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{1, 9, 1},  {5, 34, 16}, {3, 7, 17},  {2, 9, 33},
+                {1, 4, 512}, {4, 1, 5},   {1, 3, 1000}, {7, 8, 2}};
+  bw::Rng rng(7);
+  for (const auto& s : shapes) {
+    std::vector<double> a(s.m * s.k), b(s.k * s.n);
+    for (auto& v : a) v = rng.uniform(-3.0, 3.0);
+    for (auto& v : b) v = rng.uniform(-3.0, 3.0);
+    std::vector<double> got(s.m * s.n, -1.0), want(s.m * s.n, -2.0);
+    linalg::gemm_rm(a.data(), s.m, s.k, b.data(), s.n, got.data());
+    naive_gemm(a.data(), s.m, s.k, b.data(), s.n, want.data());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(bits(got[i]), bits(want[i]))
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " elt=" << i;
+    }
+  }
+}
+
+TEST(DecisionKernel, ScoreBlockMatchesPerArmDotBitwise) {
+  // score_block takes the TRANSPOSED plane (k x arms); out[j*arms + i] must
+  // equal the k-ascending dot of context row j against arm i's column.
+  bw::Rng rng(11);
+  for (const std::size_t arms : {1u, 16u, 17u, 100u}) {
+    for (const std::size_t n : {1u, 3u, 64u}) {
+      const std::size_t k = 9;
+      std::vector<double> plane_t(k * arms), ctx(n * k), out(n * arms);
+      for (auto& v : plane_t) v = rng.uniform(-2.0, 2.0);
+      for (auto& v : ctx) v = rng.uniform(-2.0, 2.0);
+      linalg::score_block(plane_t.data(), arms, k, ctx.data(), n, out.data());
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < arms; ++i) {
+          double acc = 0.0;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            acc += ctx[j * k + kk] * plane_t[kk * arms + i];
+          }
+          ASSERT_EQ(bits(out[j * arms + i]), bits(acc))
+              << "arms=" << arms << " n=" << n << " j=" << j << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// ---- frozen plane vs scalar node walk ----------------------------------------
+
+BanditWareConfig config_for(PolicyKind kind) {
+  BanditWareConfig config;
+  config.policy_kind = kind;
+  config.policy.initial_epsilon = 0.0;  // decisions only; no exploration
+  config.policy.tolerance.ratio = 0.10;
+  config.policy.tolerance.seconds = 2.0;
+  return config;
+}
+
+BanditWare trained_instance(PolicyKind kind, std::size_t d, std::size_t arms,
+                            double runtime_scale = 1.0) {
+  const hw::HardwareCatalog catalog = synth_catalog(arms);
+  BanditWare bandit(catalog, std::vector<std::string>(d, "f"), config_for(kind));
+  bw::Rng rng(101 + d + arms);
+  // Two observations per arm, capped so the 1000-arm cells stay fast; the
+  // untouched tail keeps its zero init, which the plane must mirror too.
+  const std::size_t trained = std::min<std::size_t>(arms, 192);
+  for (std::size_t pass = 0; pass < 2; ++pass) {
+    for (std::size_t arm = 0; arm < trained; ++arm) {
+      const auto x = random_features(rng, d);
+      bandit.observe(static_cast<ArmIndex>(arm), x,
+                     runtime_scale * synth_runtime(catalog[arm], x));
+    }
+  }
+  return bandit;
+}
+
+TEST(DecisionKernel, FrozenVectorizedMatchesScalarAcrossGrid) {
+  for (const PolicyKind kind :
+       {PolicyKind::kEpsilonGreedy, PolicyKind::kLinUcb, PolicyKind::kThompson}) {
+    for (const std::size_t d : {1u, 4u, 8u, 33u}) {
+      for (const std::size_t arms : {1u, 7u, 256u, 1000u}) {
+        const BanditWare bandit = trained_instance(kind, d, arms);
+        const auto frozen = bandit.freeze(1);
+        bw::Rng rng(23);
+        std::vector<FeatureVector> xs;
+        for (int q = 0; q < 8; ++q) xs.push_back(random_features(rng, d));
+        for (const auto& x : xs) {
+          const TolerantChoice vec = frozen->recommend_choice(x);
+          const TolerantChoice ref = frozen->recommend_choice_scalar(x);
+          expect_choice_identical(vec, ref);
+        }
+        // The batched panel path must agree with the one-context path.
+        const auto batch = frozen->recommend_greedy_batch(xs);
+        ASSERT_EQ(batch.size(), xs.size());
+        for (std::size_t j = 0; j < xs.size(); ++j) {
+          expect_choice_identical(batch[j], frozen->recommend_choice(xs[j]));
+        }
+      }
+    }
+  }
+}
+
+TEST(DecisionKernel, NegativePredictionsStayIdentical) {
+  // An extrapolating model predicts negative runtimes; the tolerant limit
+  // then takes its max(R̂, 0) branch. The vectorized path must track the
+  // scalar one through that edge bit for bit.
+  const hw::HardwareCatalog catalog = synth_catalog(5);
+  BanditWareConfig config = config_for(PolicyKind::kEpsilonGreedy);
+  config.policy.tolerance.ratio = 0.5;
+  config.policy.tolerance.seconds = 5.0;
+  BanditWare bandit(catalog, {"f"}, config);
+  for (const double x : {1.0, 2.0, 3.0}) {
+    for (std::size_t arm = 0; arm < catalog.size(); ++arm) {
+      // Steeply decreasing in x, so large x extrapolates below zero.
+      bandit.observe(static_cast<ArmIndex>(arm), {x},
+                     100.0 - 30.0 * x - static_cast<double>(arm));
+    }
+  }
+  const auto frozen = bandit.freeze(1);
+  const FeatureVector far{25.0};
+  const TolerantChoice ref = frozen->recommend_choice_scalar(far);
+  ASSERT_LT(ref.predicted_runtime, 0.0) << "edge case not reached";
+  expect_choice_identical(frozen->recommend_choice(far), ref);
+  expect_choice_identical(frozen->recommend_greedy_batch(
+                              std::vector<FeatureVector>{far})[0],
+                          ref);
+}
+
+TEST(DecisionKernel, RefreezeAfterDirtyWriteMatchesFullFreeze) {
+  BanditWare bandit = trained_instance(PolicyKind::kEpsilonGreedy, 4, 64);
+  const auto prev = bandit.freeze(1);
+  // Dirty a scattered subset, including arm 0 and the last arm.
+  const std::vector<ArmIndex> dirty = {0, 17, 40, 63};
+  bw::Rng rng(5);
+  for (const ArmIndex arm : dirty) {
+    const auto x = random_features(rng, 4);
+    bandit.observe(arm, x, 7.0 + static_cast<double>(arm));
+  }
+  const auto delta = bandit.refreeze(*prev, dirty, 2);
+  const auto full = bandit.freeze(2);
+  // Structural sharing: untouched nodes are the same allocation.
+  for (ArmIndex arm = 0; arm < 64; ++arm) {
+    const bool is_dirty =
+        std::find(dirty.begin(), dirty.end(), arm) != dirty.end();
+    if (is_dirty) {
+      EXPECT_NE(delta->arm_node(arm).get(), prev->arm_node(arm).get());
+    } else {
+      EXPECT_EQ(delta->arm_node(arm).get(), prev->arm_node(arm).get());
+    }
+  }
+  // The delta-copied plane must decide exactly like a fully rebuilt one —
+  // and like the scalar node walk.
+  for (int q = 0; q < 16; ++q) {
+    const auto x = random_features(rng, 4);
+    const TolerantChoice from_delta = delta->recommend_choice(x);
+    expect_choice_identical(from_delta, full->recommend_choice(x));
+    expect_choice_identical(from_delta, delta->recommend_choice_scalar(x));
+  }
+  // And the gathered plane columns match the nodes they were copied from.
+  for (ArmIndex arm = 0; arm < 64; ++arm) {
+    const auto row = delta->weight_row(arm);
+    const auto& model = delta->arm_node(arm)->model;
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(bits(row[i]), bits(model.weights[i]));
+    }
+    EXPECT_EQ(bits(row[4]), bits(model.bias));
+  }
+}
+
+// ---- live bank: batched reads vs per-arm calls -------------------------------
+
+TEST(DecisionKernel, BankPredictAllMatchesPerArmBitwise) {
+  LinUcbConfig config;
+  LinUcb policy(synth_catalog(33), 3, config);
+  bw::Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const auto x = random_features(rng, 3);
+    policy.observe(static_cast<ArmIndex>(i % 33), x, rng.uniform(1.0, 50.0));
+  }
+  for (int q = 0; q < 8; ++q) {
+    const auto x = random_features(rng, 3);
+    const std::vector<double> all = policy.bank().predict_all(x);
+    ASSERT_EQ(all.size(), 33u);
+    std::vector<double> vars(33);
+    policy.bank().variance_proxy_all(x, vars);
+    for (ArmIndex arm = 0; arm < 33; ++arm) {
+      EXPECT_EQ(bits(all[arm]), bits(policy.bank().predict(arm, x)));
+      EXPECT_EQ(bits(vars[arm]), bits(policy.bank().variance_proxy(arm, x)));
+    }
+  }
+}
+
+TEST(DecisionKernel, LinUcbSelectMatchesLcbArgmin) {
+  LinUcbConfig config;
+  config.alpha = 1.7;
+  LinUcb policy(synth_catalog(21), 2, config);
+  bw::Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    const auto x = random_features(rng, 2);
+    policy.observe(static_cast<ArmIndex>(i % 21), x, rng.uniform(1.0, 40.0));
+  }
+  bw::Rng select_rng(1);
+  for (int q = 0; q < 20; ++q) {
+    const auto x = random_features(rng, 2);
+    // Reference: the scalar lcb() walk, strict < from arm 0.
+    ArmIndex want = 0;
+    double best = policy.lcb(0, x);
+    for (ArmIndex arm = 1; arm < 21; ++arm) {
+      const double value = policy.lcb(arm, x);
+      if (value < best) {
+        best = value;
+        want = arm;
+      }
+    }
+    EXPECT_EQ(policy.select(x, select_rng), want);
+  }
+}
+
+TEST(DecisionKernel, ThompsonSelectMatchesClonedSeedReference) {
+  ThompsonConfig config;
+  config.posterior_scale = 2.5;
+  LinearThompson policy(synth_catalog(17), 2, config);
+  bw::Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const auto x = random_features(rng, 2);
+    policy.observe(static_cast<ArmIndex>(i % 17), x, rng.uniform(1.0, 30.0));
+  }
+  // Two Rngs from the same seed: the bank-level sweep must consume exactly
+  // one normal() per arm in ascending order, like the per-arm walk did.
+  bw::Rng policy_rng(77);
+  bw::Rng reference_rng(77);
+  for (int q = 0; q < 20; ++q) {
+    const auto x = random_features(rng, 2);
+    ArmIndex want = 0;
+    double best = 0.0;
+    for (ArmIndex arm = 0; arm < 17; ++arm) {
+      const double sample =
+          policy.predict(arm, x) +
+          config.posterior_scale *
+              std::sqrt(std::max(0.0, policy.bank().variance_proxy(arm, x))) *
+              reference_rng.normal();
+      if (arm == 0 || sample < best) {
+        best = sample;
+        want = arm;
+      }
+    }
+    EXPECT_EQ(policy.select(x, policy_rng), want);
+  }
+}
+
+TEST(DecisionKernel, DirtyPlaneFallsBackToScalarUntilNextObserve) {
+  EpsilonGreedyConfig config;
+  DecayingEpsilonGreedy policy(synth_catalog(9), 2, config);
+  bw::Rng rng(31);
+  for (int i = 0; i < 30; ++i) {
+    const auto x = random_features(rng, 2);
+    policy.observe(static_cast<ArmIndex>(i % 9), x, rng.uniform(1.0, 20.0));
+  }
+  // Mutate an arm behind the bank's back — the merge/restore/widen channel.
+  // The theta plane is now stale; reads must fall back to the per-arm walk.
+  policy.arm_model(4).observe(std::vector<double>{3.0, 5.0}, 42.0);
+  for (int q = 0; q < 4; ++q) {
+    const auto x = random_features(rng, 2);
+    const std::vector<double> all = policy.bank().predict_all(x);
+    for (ArmIndex arm = 0; arm < 9; ++arm) {
+      EXPECT_EQ(bits(all[arm]), bits(policy.bank().predict(arm, x)));
+    }
+  }
+  // The next observe() rebuilds the plane; reads stay identical after it.
+  const auto x0 = random_features(rng, 2);
+  policy.observe(2, x0, 11.0);
+  for (int q = 0; q < 4; ++q) {
+    const auto x = random_features(rng, 2);
+    const std::vector<double> all = policy.bank().predict_all(x);
+    for (ArmIndex arm = 0; arm < 9; ++arm) {
+      EXPECT_EQ(bits(all[arm]), bits(policy.bank().predict(arm, x)));
+    }
+  }
+}
+
+// ---- construction guards -----------------------------------------------------
+
+TEST(DecisionKernel, EmptyCatalogThrowsEverywhere) {
+  // Regression for the ArmBank::dim() UB: an empty catalog must be a loud
+  // InvalidArgument from every entry point, never an arms_.front() on an
+  // empty vector.
+  const hw::HardwareCatalog empty;
+  EXPECT_THROW(DecayingEpsilonGreedy(empty, 1, {}), InvalidArgument);
+  EXPECT_THROW(LinUcb(empty, 1, {}), InvalidArgument);
+  EXPECT_THROW(LinearThompson(empty, 1, {}), InvalidArgument);
+  EXPECT_THROW(BanditWare(empty, {"f"}, {}), InvalidArgument);
+}
+
+// ---- serve layer -------------------------------------------------------------
+
+TEST(DecisionKernel, ServerBatchMatchesPerItemGreedy) {
+  serve::BanditServerConfig config;
+  config.num_shards = 2;
+  config.sharding = serve::ShardingPolicy::kFeatureHash;
+  config.seed = 42;
+  config.explore = false;
+  const hw::HardwareCatalog catalog = synth_catalog(24);
+  serve::BanditServer server(catalog, {"a", "b"}, config);
+  bw::Rng rng(17);
+  for (int i = 0; i < 80; ++i) {
+    const auto x = random_features(rng, 2);
+    const auto arm = static_cast<ArmIndex>(i % catalog.size());
+    server.observe_one(
+        {server.shard_of(x), arm, x, synth_runtime(catalog[arm], x)});
+  }
+  std::vector<FeatureVector> xs;
+  for (int i = 0; i < 37; ++i) xs.push_back(random_features(rng, 2));
+  const auto batched = server.recommend_batch(xs);
+  ASSERT_EQ(batched.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto single = server.recommend_greedy(xs[i]);
+    EXPECT_EQ(batched[i].shard, single.shard);
+    EXPECT_EQ(batched[i].arm, single.arm);
+    EXPECT_EQ(bits(batched[i].predicted_runtime_s),
+              bits(single.predicted_runtime_s));
+    EXPECT_FALSE(batched[i].explored);
+    EXPECT_EQ(batched[i].spec, single.spec);
+  }
+}
+
+}  // namespace
+}  // namespace bw::core
